@@ -1,0 +1,141 @@
+//! Broadcast on BSP: the textbook `g`-vs-`ℓ` trade-off.
+//!
+//! * **Direct**: the root sends `p−1` messages in one superstep — cost
+//!   `(p−1) + g(p−1) + ℓ`. Bandwidth-bound at the root.
+//! * **Two-phase tree**: `⌈log₂ p⌉` supersteps of doubling, each a
+//!   1-relation — cost `≈ log p · (1 + g + ℓ)`. Latency-bound.
+//!
+//! Which wins depends on `g(p−1)` vs `(log p)(g + ℓ)` — exactly the kind of
+//! parameter-driven choice the bridging-model methodology is for.
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Broadcast strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastStrategy {
+    /// Root sends to everyone in one superstep.
+    Direct,
+    /// Recursive doubling over `⌈log₂ p⌉` supersteps.
+    Doubling,
+}
+
+/// Broadcast `value` from processor 0; returns (per-processor value, report).
+pub fn broadcast(
+    params: BspParams,
+    value: Word,
+    strategy: BcastStrategy,
+) -> Result<(Vec<Word>, RunReport), ModelError> {
+    let p = params.p;
+
+    let procs: Vec<FnProcess<Option<Word>>> = (0..p)
+        .map(|i| {
+            let init = if i == 0 { Some(value) } else { None };
+            FnProcess::new(init, move |have, ctx| {
+                let p = ctx.p();
+                let me = ctx.me().index();
+                if have.is_none() {
+                    if let Some(m) = ctx.recv() {
+                        *have = Some(m.payload.expect_word());
+                    }
+                }
+                match strategy {
+                    BcastStrategy::Direct => {
+                        if ctx.superstep_index() == 0 {
+                            if me == 0 {
+                                let v = have.expect("root holds the value");
+                                for j in 1..p {
+                                    ctx.send(ProcId::from(j), Payload::word(0, v));
+                                }
+                            }
+                            Status::Continue
+                        } else {
+                            Status::Halt
+                        }
+                    }
+                    BcastStrategy::Doubling => {
+                        let k = ctx.superstep_index();
+                        let stride = 1usize << k;
+                        if stride >= p {
+                            return Status::Halt;
+                        }
+                        if let Some(v) = *have {
+                            // Informed processors are exactly 0..stride.
+                            if me < stride && me + stride < p {
+                                ctx.send(ProcId::from(me + stride), Payload::word(0, v));
+                            }
+                        }
+                        Status::Continue
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(64)?;
+    let mut out = Vec::with_capacity(p);
+    for pr in machine.into_processes() {
+        out.push(pr.into_state().expect("everyone informed"));
+    }
+    Ok((out, report))
+}
+
+/// Predicted cost of each strategy (for the ablation experiment).
+pub fn predicted_cost(params: &BspParams, strategy: BcastStrategy) -> u64 {
+    let p = params.p as u64;
+    match strategy {
+        BcastStrategy::Direct => (p - 1) + params.g * (p - 1) + params.l,
+        BcastStrategy::Doubling => {
+            let rounds = (params.p.max(2) as f64).log2().ceil() as u64;
+            rounds * (1 + params.g + params.l) + params.l
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_strategies_inform_everyone() {
+        for strategy in [BcastStrategy::Direct, BcastStrategy::Doubling] {
+            for p in [1usize, 2, 5, 8, 16] {
+                let params = BspParams::new(p, 2, 8).unwrap();
+                let (vals, _) = broadcast(params, 42, strategy).unwrap();
+                assert_eq!(vals, vec![42; p], "{strategy:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_is_one_communication_superstep() {
+        let params = BspParams::new(16, 2, 8).unwrap();
+        let (_, report) = broadcast(params, 7, BcastStrategy::Direct).unwrap();
+        assert_eq!(report.records[0].h, 15);
+        assert_eq!(report.supersteps, 2);
+    }
+
+    #[test]
+    fn doubling_uses_one_relations() {
+        let params = BspParams::new(16, 2, 8).unwrap();
+        let (_, report) = broadcast(params, 7, BcastStrategy::Doubling).unwrap();
+        for rec in &report.records {
+            assert!(rec.h <= 1);
+        }
+        assert_eq!(report.supersteps, 5); // 4 doubling rounds + final check
+    }
+
+    #[test]
+    fn crossover_matches_parameters() {
+        // Large g, small l: doubling wins. Small g, huge l: direct wins.
+        let bandwidth_poor = BspParams::new(64, 50, 2).unwrap();
+        let latency_poor = BspParams::new(64, 1, 500).unwrap();
+        let (_, r_dir) = broadcast(bandwidth_poor, 1, BcastStrategy::Direct).unwrap();
+        let (_, r_dbl) = broadcast(bandwidth_poor, 1, BcastStrategy::Doubling).unwrap();
+        assert!(r_dbl.cost < r_dir.cost, "doubling should win under poor bandwidth");
+        let (_, r_dir) = broadcast(latency_poor, 1, BcastStrategy::Direct).unwrap();
+        let (_, r_dbl) = broadcast(latency_poor, 1, BcastStrategy::Doubling).unwrap();
+        assert!(r_dir.cost < r_dbl.cost, "direct should win under poor latency");
+    }
+}

@@ -1,0 +1,125 @@
+//! Distributed histogram / counting on BSP — the per-digit kernel of the
+//! parallel Radixsort the paper's §6 discusses (whose LogP formulation "may
+//! violate the capacity constraint"; on BSP it is just an h-relation).
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Compute the global histogram of values in `[0, buckets)`; bucket `b` ends
+/// up at processor `b % p`. Returns (flat histogram, report).
+pub fn histogram(
+    params: BspParams,
+    values: &[Vec<Word>],
+    buckets: usize,
+) -> Result<(Vec<u64>, RunReport), ModelError> {
+    let p = params.p;
+    assert_eq!(values.len(), p);
+
+    struct St {
+        local: Vec<Word>,
+        owned: Vec<(usize, u64)>,
+    }
+
+    let procs: Vec<FnProcess<St>> = values
+        .iter()
+        .map(|vals| {
+            let local = vals.clone();
+            FnProcess::new(
+                St {
+                    local,
+                    owned: Vec::new(),
+                },
+                move |st, ctx| {
+                    let p = ctx.p();
+                    match ctx.superstep_index() {
+                        0 => {
+                            // Local counts, then one message per nonzero
+                            // bucket to its owner.
+                            let mut counts = vec![0u64; buckets];
+                            for &v in &st.local {
+                                assert!((0..buckets as Word).contains(&v));
+                                counts[v as usize] += 1;
+                            }
+                            ctx.charge(st.local.len() as u64);
+                            for (b, &c) in counts.iter().enumerate() {
+                                if c > 0 {
+                                    ctx.send(
+                                        ProcId::from(b % p),
+                                        Payload::words(0, &[b as Word, c as Word]),
+                                    );
+                                }
+                            }
+                            Status::Continue
+                        }
+                        _ => {
+                            let mut sums = std::collections::BTreeMap::new();
+                            while let Some(m) = ctx.recv() {
+                                let b = m.payload.data[0] as usize;
+                                let c = m.payload.data[1] as u64;
+                                *sums.entry(b).or_insert(0u64) += c;
+                                ctx.charge(1);
+                            }
+                            st.owned = sums.into_iter().collect();
+                            Status::Halt
+                        }
+                    }
+                },
+            )
+        })
+        .collect();
+
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(8)?;
+    let mut hist = vec![0u64; buckets];
+    for pr in machine.into_processes() {
+        for (b, c) in pr.into_state().owned {
+            hist[b] = c;
+        }
+    }
+    Ok((hist, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::rngutil::SeedStream;
+    use rand::Rng;
+
+    #[test]
+    fn counts_match_sequential() {
+        let p = 8;
+        let buckets = 16;
+        let mut rng = SeedStream::new(5).derive("h", 0);
+        let values: Vec<Vec<Word>> = (0..p)
+            .map(|_| (0..40).map(|_| rng.gen_range(0..buckets as Word)).collect())
+            .collect();
+        let mut want = vec![0u64; buckets];
+        for v in values.iter().flatten() {
+            want[*v as usize] += 1;
+        }
+        let params = BspParams::new(p, 2, 8).unwrap();
+        let (got, report) = histogram(params, &values, buckets).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(report.supersteps, 2);
+    }
+
+    #[test]
+    fn skewed_input_is_a_hot_spot_relation() {
+        // Every processor counts only bucket 0: owner P0 receives p messages.
+        let p = 8;
+        let values: Vec<Vec<Word>> = (0..p).map(|_| vec![0; 10]).collect();
+        let params = BspParams::new(p, 2, 8).unwrap();
+        let (got, report) = histogram(params, &values, 4).unwrap();
+        assert_eq!(got[0], 80);
+        assert_eq!(report.records[0].h, p as u64);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = 4;
+        let values: Vec<Vec<Word>> = vec![Vec::new(); p];
+        let params = BspParams::new(p, 1, 4).unwrap();
+        let (got, _) = histogram(params, &values, 8).unwrap();
+        assert_eq!(got, vec![0; 8]);
+    }
+}

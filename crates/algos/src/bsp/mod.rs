@@ -1,0 +1,9 @@
+//! Native BSP algorithms.
+
+pub mod bcast;
+pub mod histogram;
+pub mod matmul;
+pub mod prefix;
+pub mod radix;
+pub mod reduce;
+pub mod sort;

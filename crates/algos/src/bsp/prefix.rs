@@ -1,0 +1,97 @@
+//! Parallel prefix sums on BSP (recursive doubling).
+//!
+//! `⌈log₂ p⌉` supersteps, each routing a 1-relation: in superstep `k`,
+//! processor `i` sends its running partial to `i + 2^k` and adds what it
+//! received from `i − 2^k`. Cost `≈ ⌈log p⌉·(1 + g + ℓ)` — the standard
+//! example of a latency-bound BSP kernel.
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Compute inclusive prefix sums of one value per processor.
+/// Returns (per-processor prefix, host run report).
+pub fn prefix_sums(params: BspParams, values: &[Word]) -> Result<(Vec<Word>, RunReport), ModelError> {
+    let p = params.p;
+    assert_eq!(values.len(), p);
+
+    let procs: Vec<FnProcess<Word>> = values
+        .iter()
+        .map(|&v| {
+            FnProcess::new(v, move |acc, ctx| {
+                let p = ctx.p();
+                let k = ctx.superstep_index();
+                // Fold in the partial sent by i - 2^(k-1) last superstep,
+                // *before* forwarding (Hillis-Steele).
+                if k > 0 {
+                    if let Some(m) = ctx.recv() {
+                        *acc += m.payload.expect_word();
+                        ctx.charge(1);
+                    }
+                }
+                let stride = 1usize << k;
+                if stride >= p {
+                    return Status::Halt;
+                }
+                let i = ctx.me().index();
+                if i + stride < p {
+                    ctx.send(ProcId::from(i + stride), Payload::word(0, *acc));
+                }
+                Status::Continue
+            })
+        })
+        .collect();
+
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(64)?;
+    let out = machine
+        .into_processes()
+        .into_iter()
+        .map(|pr| pr.into_state())
+        .collect();
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(p: usize, values: Vec<Word>) {
+        let params = BspParams::new(p, 2, 8).unwrap();
+        let (got, report) = prefix_sums(params, &values).unwrap();
+        let mut acc = 0;
+        let want: Vec<Word> = values
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        assert_eq!(got, want);
+        // ceil(log2 p) + 1 supersteps (the last one only folds).
+        let expect_ss = (p.max(2) as f64).log2().ceil() as u64 + 1;
+        assert!(report.supersteps <= expect_ss, "{} supersteps", report.supersteps);
+    }
+
+    #[test]
+    fn small_and_power_of_two() {
+        check(1, vec![5]);
+        check(2, vec![3, 4]);
+        check(8, (1..=8).collect());
+        check(16, vec![1; 16]);
+    }
+
+    #[test]
+    fn non_power_of_two_and_negatives() {
+        check(7, vec![-1, 2, -3, 4, -5, 6, -7]);
+        check(13, (0..13).map(|i| i * i - 20).collect());
+    }
+
+    #[test]
+    fn superstep_relations_are_one_relations() {
+        let params = BspParams::new(8, 3, 10).unwrap();
+        let (_, report) = prefix_sums(params, &[1; 8]).unwrap();
+        for rec in &report.records {
+            assert!(rec.h <= 1, "superstep {} has h = {}", rec.index, rec.h);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Parallel LSD radix sort on BSP — the algorithm §6 contrasts with its
+//! capacity-troubled LogP formulation. On BSP every pass is three plain
+//! supersteps (histogram exchange, nothing, key permutation), each an
+//! ordinary h-relation priced by `w + g·h + ℓ` regardless of skew.
+
+use bvl_bsp::{BspMachine, BspParams, BspProcess, RunReport, Status, SuperstepCtx};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Digit radix (messages carry `RADIX` histogram words; keys are sorted by
+/// `DIGIT_BITS`-bit digits).
+pub const DIGIT_BITS: u32 = 4;
+/// `2^DIGIT_BITS`.
+pub const RADIX: usize = 1 << DIGIT_BITS;
+
+fn digit(key: Word, pass: u32) -> usize {
+    ((key as u64 >> (pass * DIGIT_BITS)) & (RADIX as u64 - 1)) as usize
+}
+
+struct RadixProc {
+    keys: Vec<Word>,
+    /// Target block size per processor (balanced redistribution).
+    block: usize,
+    passes: u32,
+    pass: u32,
+    /// 0 = send histogram, 1 = collect histograms & send keys, 2 = collect keys.
+    stage: u8,
+}
+
+impl BspProcess for RadixProc {
+    fn superstep(&mut self, ctx: &mut SuperstepCtx<'_>) -> Status {
+        let p = ctx.p();
+        let me = ctx.me().index();
+        match self.stage {
+            0 => {
+                // Stable local order by the current digit only (Rust's sort
+                // is stable, preserving the previous passes' order — the
+                // LSD invariant).
+                let pass = self.pass;
+                self.keys.sort_by_key(|&k| digit(k, pass));
+                ctx.charge(self.keys.len() as u64);
+                // Broadcast the local histogram to everyone.
+                let mut hist = vec![0 as Word; RADIX];
+                for &k in &self.keys {
+                    hist[digit(k, pass)] += 1;
+                }
+                for j in 0..p {
+                    ctx.send(ProcId::from(j), Payload::words(0, &hist));
+                }
+                self.stage = 1;
+                Status::Continue
+            }
+            1 => {
+                // Assemble the global bucket layout: offsets[b] = number of
+                // keys in smaller buckets; within a bucket, processors
+                // contribute in id order (stability across processors).
+                let mut hists: Vec<Vec<Word>> = vec![Vec::new(); p];
+                while let Some(m) = ctx.recv() {
+                    hists[m.src.index()] = m.payload.data.clone();
+                }
+                ctx.charge((p * RADIX) as u64);
+                let bucket_total = |b: usize| -> u64 {
+                    hists.iter().map(|h| h.get(b).copied().unwrap_or(0) as u64).sum()
+                };
+                let mut bucket_start = vec![0u64; RADIX + 1];
+                for b in 0..RADIX {
+                    bucket_start[b + 1] = bucket_start[b] + bucket_total(b);
+                }
+                // Global rank of my first key of bucket b.
+                let mut my_rank = vec![0u64; RADIX];
+                for b in 0..RADIX {
+                    let before_me: u64 = (0..me)
+                        .map(|j| hists[j].get(b).copied().unwrap_or(0) as u64)
+                        .sum();
+                    my_rank[b] = bucket_start[b] + before_me;
+                }
+                // Ship every key to the processor owning its global rank.
+                let pass = self.pass;
+                for &k in &self.keys {
+                    let b = digit(k, pass);
+                    let rank = my_rank[b];
+                    my_rank[b] += 1;
+                    let dst = ((rank as usize) / self.block).min(p - 1);
+                    ctx.send(ProcId::from(dst), Payload::words(1, &[rank as Word, k]));
+                }
+                ctx.charge(self.keys.len() as u64);
+                self.keys.clear();
+                self.stage = 2;
+                Status::Continue
+            }
+            _ => {
+                // Collect and order by global rank.
+                let mut got: Vec<(Word, Word)> = Vec::new();
+                while let Some(m) = ctx.recv() {
+                    got.push((m.payload.data[0], m.payload.data[1]));
+                }
+                got.sort_unstable();
+                ctx.charge(got.len() as u64);
+                self.keys = got.into_iter().map(|(_, k)| k).collect();
+                self.pass += 1;
+                self.stage = 0;
+                if self.pass >= self.passes {
+                    Status::Halt
+                } else {
+                    Status::Continue
+                }
+            }
+        }
+    }
+}
+
+/// Sort non-negative keys distributed over the processors; `passes` digit
+/// passes cover keys `< 2^(passes·DIGIT_BITS)`. Returns (sorted blocks in
+/// processor order, report).
+pub fn radix_sort(
+    params: BspParams,
+    keys: Vec<Vec<Word>>,
+    passes: u32,
+) -> Result<(Vec<Vec<Word>>, RunReport), ModelError> {
+    let p = params.p;
+    assert_eq!(keys.len(), p);
+    let total: usize = keys.iter().map(|k| k.len()).sum();
+    assert!(
+        keys.iter().flatten().all(|&k| k >= 0),
+        "radix sort expects non-negative keys"
+    );
+    let block = total.div_ceil(p).max(1);
+    let procs: Vec<RadixProc> = keys
+        .into_iter()
+        .map(|keys| RadixProc {
+            keys,
+            block,
+            passes,
+            pass: 0,
+            stage: 0,
+        })
+        .collect();
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(8 * passes as u64 + 8)?;
+    let out = machine.into_processes().into_iter().map(|pr| pr.keys).collect();
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::rngutil::SeedStream;
+    use rand::Rng;
+
+    fn check(p: usize, per: usize, bits: u32, seed: u64) {
+        let passes = bits.div_ceil(DIGIT_BITS);
+        let mut rng = SeedStream::new(seed).derive("rx", 0);
+        let keys: Vec<Vec<Word>> = (0..p)
+            .map(|_| (0..per).map(|_| rng.gen_range(0..(1i64 << bits))).collect())
+            .collect();
+        let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+        want.sort_unstable();
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let (blocks, report) = radix_sort(params, keys, passes).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, want, "p={p} per={per} bits={bits}");
+        assert_eq!(report.supersteps, 3 * passes as u64);
+    }
+
+    #[test]
+    fn sorts_random_keys() {
+        check(4, 40, 8, 1);
+        check(8, 32, 12, 2);
+        check(16, 25, 16, 3);
+    }
+
+    #[test]
+    fn sorts_skewed_keys() {
+        // All keys share the low digit: the histogram exchange is uniform
+        // and the key redistribution is balanced regardless — the point of
+        // doing this on BSP.
+        let p = 8;
+        let keys: Vec<Vec<Word>> = (0..p)
+            .map(|i| (0..20).map(|q| ((q * p + i) as Word) * 16).collect())
+            .collect();
+        let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+        want.sort_unstable();
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let (blocks, _) = radix_sort(params, keys, 3).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_pass_sorts_by_low_digit() {
+        let p = 4;
+        let keys: Vec<Vec<Word>> = vec![vec![3, 1], vec![2, 0], vec![1, 3], vec![0, 2]];
+        let params = BspParams::new(p, 1, 4).unwrap();
+        let (blocks, _) = radix_sort(params, keys, 1).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn uneven_blocks_balance_out() {
+        let p = 4;
+        let mut keys: Vec<Vec<Word>> = vec![Vec::new(); p];
+        keys[0] = (0..40).rev().collect();
+        let params = BspParams::new(p, 2, 8).unwrap();
+        let (blocks, _) = radix_sort(params, keys, 2).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, (0..40).collect::<Vec<Word>>());
+        // Redistribution balanced the load.
+        assert!(blocks.iter().all(|b| b.len() == 10));
+    }
+}

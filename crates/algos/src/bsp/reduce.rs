@@ -1,0 +1,71 @@
+//! Tree reduction on BSP.
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Reduce one value per processor with an associative, commutative operator
+/// to processor 0, by halving: in round `k`, the upper half of the live
+/// range sends to the lower half. `⌈log₂ p⌉` supersteps of 1-relations.
+pub fn reduce(
+    params: BspParams,
+    values: &[Word],
+    op: fn(Word, Word) -> Word,
+) -> Result<(Word, RunReport), ModelError> {
+    let p = params.p;
+    assert_eq!(values.len(), p);
+    let procs: Vec<FnProcess<Word>> = values
+        .iter()
+        .map(|&v| {
+            FnProcess::new(v, move |acc, ctx| {
+                let p = ctx.p();
+                let me = ctx.me().index();
+                while let Some(m) = ctx.recv() {
+                    *acc = op(*acc, m.payload.expect_word());
+                    ctx.charge(1);
+                }
+                // Live range size after k rounds: ceil(p / 2^k).
+                let k = ctx.superstep_index();
+                let live = p.div_ceil(1 << k.min(40));
+                if live <= 1 {
+                    return Status::Halt;
+                }
+                let half = live.div_ceil(2);
+                if me >= half && me < live {
+                    ctx.send(ProcId::from(me - half), Payload::word(0, *acc));
+                }
+                Status::Continue
+            })
+        })
+        .collect();
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(64)?;
+    let result = *machine.process(0).state();
+    Ok((result, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_maxima() {
+        for p in [1usize, 2, 3, 8, 15, 16] {
+            let params = BspParams::new(p, 2, 8).unwrap();
+            let values: Vec<Word> = (0..p as Word).map(|i| i * 3 - 5).collect();
+            let (sum, _) = reduce(params, &values, |a, b| a + b).unwrap();
+            assert_eq!(sum, values.iter().sum::<Word>(), "p={p}");
+            let (mx, _) = reduce(params, &values, Word::max).unwrap();
+            assert_eq!(mx, *values.iter().max().unwrap(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_supersteps() {
+        let params = BspParams::new(64, 2, 8).unwrap();
+        let (_, report) = reduce(params, &[1; 64], |a, b| a + b).unwrap();
+        assert!(report.supersteps <= 8, "{}", report.supersteps);
+        for rec in &report.records {
+            assert!(rec.h <= 1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Parallel sample sort on BSP.
+//!
+//! The classic direct-BSP sorting algorithm (Gerbessiotis–Valiant style):
+//!
+//! 1. local sort; every processor picks `p−1` evenly spaced samples and
+//!    sends them to processor 0 — an h-relation with `h = p(p−1)` at P0;
+//! 2. P0 sorts the `p(p−1)` samples, picks `p−1` splitters, broadcasts;
+//! 3. every processor partitions its keys by splitter and routes each
+//!    bucket to its owner (the irregular all-to-all);
+//! 4. local merge.
+//!
+//! Four supersteps; with `n/p` keys per processor the bucket relation has
+//! expected degree `O(n/p)` for random inputs.
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_model::{ModelError, Payload, ProcId, Word};
+
+/// Sort `n` keys distributed round-robin-block over the processors.
+/// `keys[i]` is processor `i`'s initial block (blocks may differ in size).
+/// Returns (per-processor sorted blocks, concatenation globally sorted, report).
+pub fn sample_sort(
+    params: BspParams,
+    keys: Vec<Vec<Word>>,
+) -> Result<(Vec<Vec<Word>>, RunReport), ModelError> {
+    let p = params.p;
+    assert_eq!(keys.len(), p);
+    if p == 1 {
+        let mut k = keys;
+        k[0].sort_unstable();
+        // A trivial one-superstep machine for uniform reporting.
+        let params1 = params;
+        let mut m = BspMachine::new(
+            params1,
+            vec![FnProcess::new((), |_, _| Status::Halt)],
+        );
+        let report = m.run(2)?;
+        return Ok((k, report));
+    }
+
+    struct St {
+        mine: Vec<Word>,
+        splitters: Vec<Word>,
+        received: Vec<Word>,
+    }
+
+    const TAG_SAMPLE: u32 = 1;
+    const TAG_SPLIT: u32 = 2;
+    const TAG_KEY: u32 = 3;
+
+    let procs: Vec<FnProcess<St>> = keys
+        .into_iter()
+        .map(|block| {
+            FnProcess::new(
+                St {
+                    mine: block,
+                    splitters: Vec::new(),
+                    received: Vec::new(),
+                },
+                move |st, ctx| {
+                    let p = ctx.p();
+                    let me = ctx.me().index();
+                    match ctx.superstep_index() {
+                        0 => {
+                            // Local sort + sample.
+                            st.mine.sort_unstable();
+                            ctx.charge(st.mine.len() as u64);
+                            let n = st.mine.len();
+                            for k in 1..p {
+                                if n > 0 {
+                                    let idx = (k * n) / p;
+                                    let s = st.mine[idx.min(n - 1)];
+                                    ctx.send(ProcId(0), Payload::word(TAG_SAMPLE, s));
+                                }
+                            }
+                            Status::Continue
+                        }
+                        1 => {
+                            // P0 selects and broadcasts splitters.
+                            if me == 0 {
+                                let mut samples: Vec<Word> = Vec::new();
+                                while let Some(m) = ctx.recv() {
+                                    samples.push(m.payload.expect_word());
+                                }
+                                samples.sort_unstable();
+                                ctx.charge(samples.len() as u64);
+                                let m = samples.len();
+                                let splitters: Vec<Word> = (1..p)
+                                    .map(|k| samples[(k * m / p).min(m.saturating_sub(1))])
+                                    .collect();
+                                for j in 0..p {
+                                    ctx.send(
+                                        ProcId::from(j),
+                                        Payload::words(TAG_SPLIT, &splitters),
+                                    );
+                                }
+                            }
+                            Status::Continue
+                        }
+                        2 => {
+                            // Partition by splitters; route buckets.
+                            let m = ctx.recv().expect("splitters");
+                            debug_assert_eq!(m.payload.tag, TAG_SPLIT);
+                            st.splitters = m.payload.data.clone();
+                            for &key in &st.mine {
+                                let owner = st.splitters.partition_point(|&s| s < key);
+                                ctx.send(ProcId::from(owner), Payload::word(TAG_KEY, key));
+                            }
+                            ctx.charge(st.mine.len() as u64);
+                            Status::Continue
+                        }
+                        _ => {
+                            while let Some(m) = ctx.recv() {
+                                st.received.push(m.payload.expect_word());
+                            }
+                            st.received.sort_unstable();
+                            ctx.charge(st.received.len() as u64);
+                            Status::Halt
+                        }
+                    }
+                },
+            )
+        })
+        .collect();
+
+    let mut machine = BspMachine::new(params, procs);
+    let report = machine.run(16)?;
+    let out: Vec<Vec<Word>> = machine
+        .into_processes()
+        .into_iter()
+        .map(|pr| pr.into_state().received)
+        .collect();
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::rngutil::SeedStream;
+    use rand::Rng;
+
+    fn check(p: usize, per: usize, seed: u64) {
+        let mut rng = SeedStream::new(seed).derive("ss", 0);
+        let keys: Vec<Vec<Word>> = (0..p)
+            .map(|_| (0..per).map(|_| rng.gen_range(-500..500)).collect())
+            .collect();
+        let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+        want.sort_unstable();
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let (blocks, report) = sample_sort(params, keys).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, want, "p={p} per={per}");
+        // Bucket boundaries respect processor order.
+        for w in blocks.windows(2) {
+            if let (Some(&a), Some(&b)) = (w[0].last(), w[1].first()) {
+                assert!(a <= b);
+            }
+        }
+        assert!(report.supersteps <= 4 + 1);
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        check(4, 32, 1);
+        check(8, 50, 2);
+        check(16, 20, 3);
+    }
+
+    #[test]
+    fn sorts_skewed_inputs() {
+        // All keys equal: everything lands in one bucket, still correct.
+        let p = 4;
+        let keys: Vec<Vec<Word>> = (0..p).map(|_| vec![7; 16]).collect();
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let (blocks, _) = sample_sort(params, keys).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, vec![7; 64]);
+    }
+
+    #[test]
+    fn single_processor_trivial() {
+        let params = BspParams::new(1, 1, 1).unwrap();
+        let (blocks, _) = sample_sort(params, vec![vec![3, 1, 2]]).unwrap();
+        assert_eq!(blocks[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_blocks_ok() {
+        let p = 4;
+        let mut keys: Vec<Vec<Word>> = vec![Vec::new(); p];
+        keys[2] = vec![5, -5, 0];
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let (blocks, _) = sample_sort(params, keys).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        assert_eq!(got, vec![-5, 0, 5]);
+    }
+}

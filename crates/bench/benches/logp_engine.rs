@@ -1,0 +1,69 @@
+//! Throughput of the event-driven LogP engine.
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn ring_scripts(p: usize, rounds: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..rounds {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % p) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn hot_spot_scripts(p: usize, k: usize) -> Vec<Script> {
+    let mut v = vec![Script::new(vec![Op::Recv; (p - 1) * k])];
+    v.extend((1..p).map(|i| {
+        Script::new((0..k).map(move |q| Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(q as u32, i as i64),
+        }))
+    }));
+    v
+}
+
+fn bench_logp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logp_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for p in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("ring_x8", p), &p, |b, &p| {
+            let params = LogpParams::new(p, 16, 1, 4).unwrap();
+            b.iter(|| {
+                let mut m = LogpMachine::new(params, ring_scripts(p, 8));
+                m.run().unwrap().makespan
+            });
+        });
+    }
+
+    for p in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("hot_spot_stalling", p), &p, |b, &p| {
+            let params = LogpParams::new(p, 8, 1, 2).unwrap();
+            b.iter(|| {
+                let mut m = LogpMachine::with_config(
+                    params,
+                    LogpConfig::default(),
+                    hot_spot_scripts(p, 4),
+                );
+                m.run().unwrap().total_stall
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logp);
+criterion_main!(benches);

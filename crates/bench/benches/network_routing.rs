@@ -1,0 +1,48 @@
+//! Store-and-forward router throughput across topologies.
+
+use bvl_model::rngutil::SeedStream;
+use bvl_model::HRelation;
+use bvl_net::{route_relation, Array, Hypercube, MeshOfTrees, PortMode, RouterConfig, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_routing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let seeds = SeedStream::new(5);
+    let cases: Vec<(&str, Box<dyn Topology>)> = vec![
+        ("hypercube_256", Box::new(Hypercube::new(8))),
+        ("mesh2d_256", Box::new(Array::mesh2d(16))),
+        ("mesh_of_trees_256", Box::new(MeshOfTrees::new(16))),
+    ];
+    for (name, topo) in &cases {
+        let mut rng = seeds.derive("rel", 0);
+        let rel = HRelation::random_exact(&mut rng, topo.num_processors(), 8);
+        group.bench_with_input(BenchmarkId::new("h8_multi", name), &rel, |b, rel| {
+            b.iter(|| {
+                route_relation(topo.as_ref(), rel, RouterConfig::default())
+                    .unwrap()
+                    .time
+            });
+        });
+    }
+
+    let hc = Hypercube::new(8);
+    let mut rng = seeds.derive("rel", 1);
+    let rel = HRelation::random_exact(&mut rng, 256, 8);
+    group.bench_function("hypercube_256/h8_single_port", |b| {
+        let cfg = RouterConfig {
+            mode: PortMode::Single,
+            ..RouterConfig::default()
+        };
+        b.iter(|| route_relation(&hc, &rel, cfg).unwrap().time);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Sorting-network construction/evaluation and h-relation decomposition.
+
+use bvl_core::bsp_on_logp::sortnet::{apply_network, bitonic_stages};
+use bvl_model::decompose::{euler_split, koenig_color};
+use bvl_model::rngutil::SeedStream;
+use bvl_model::HRelation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::time::Duration;
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting_networks");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for k in [8usize, 10] {
+        let p = 1usize << k;
+        group.bench_with_input(BenchmarkId::new("bitonic_build", p), &p, |b, &p| {
+            b.iter(|| bitonic_stages(p).len());
+        });
+        let rounds = bitonic_stages(p);
+        let mut rng = SeedStream::new(1).derive("v", k as u64);
+        let input: Vec<i64> = (0..p).map(|_| rng.gen_range(-1000..1000)).collect();
+        group.bench_with_input(BenchmarkId::new("bitonic_apply", p), &p, |b, _| {
+            b.iter(|| {
+                let mut v = input.clone();
+                apply_network(&rounds, &mut v);
+                v[0]
+            });
+        });
+    }
+
+    let mut rng = SeedStream::new(2).derive("rel", 0);
+    let rel = HRelation::random_exact(&mut rng, 64, 16);
+    group.bench_function("euler_split/64x16", |b| {
+        b.iter(|| euler_split(&rel).num_rounds());
+    });
+    group.bench_function("koenig_color/64x16", |b| {
+        b.iter(|| koenig_color(&rel).num_rounds());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

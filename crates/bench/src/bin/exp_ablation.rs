@@ -1,0 +1,118 @@
+//! E-ABL: design-choice ablations for the network substrate.
+//!
+//! Not a paper table — these isolate the router options DESIGN.md calls
+//! out, confirming each mechanism matters for the Table 1 measurements:
+//!
+//! 1. **Valiant vs greedy** on adversarial permutations (bit-reversal on a
+//!    mesh, matrix transpose): oblivious dimension-order routing congests
+//!    queues at the bisection (visible in peak queue depth); routing via a
+//!    random intermediate restores random-case behaviour at the price of
+//!    ~2x path length (the reason \[32\]'s bounds need randomization).
+//! 2. **Queue discipline** (FIFO vs farthest-first) on loaded relations.
+//! 3. **Torus vs mesh** wraparound: the factor-2 diameter/bandwidth gain.
+
+use bvl_bench::{banner, f2, print_table};
+use bvl_model::rngutil::SeedStream;
+use bvl_model::HRelation;
+use bvl_net::{
+    route_relation, Array, PathStrategy, QueueDiscipline, RouterConfig, Topology,
+};
+
+fn main() {
+    banner("Valiant vs greedy on adversarial permutations (2-dim mesh, p = 256)");
+    let mesh = Array::mesh2d(16);
+    let mut rows = Vec::new();
+    let seeds = SeedStream::new(11);
+    let cases: Vec<(&str, HRelation)> = vec![
+        ("bit-reversal", HRelation::bit_reversal(256)),
+        ("transpose", HRelation::transpose(16)),
+        ("random perm", {
+            let mut rng = seeds.derive("perm", 0);
+            HRelation::random_permutation(&mut rng, 256)
+        }),
+    ];
+    for (name, rel) in &cases {
+        let greedy = route_relation(&mesh, rel, RouterConfig::default()).unwrap();
+        let valiant = route_relation(
+            &mesh,
+            rel,
+            RouterConfig {
+                paths: PathStrategy::Valiant,
+                seed: 3,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        rows.push(vec![
+            (*name).into(),
+            format!("{}", greedy.time),
+            format!("{}", greedy.max_queue),
+            format!("{}", valiant.time),
+            format!("{}", valiant.max_queue),
+            f2(greedy.time as f64 / valiant.time as f64),
+        ]);
+    }
+    print_table(
+        &["permutation", "greedy T", "greedy maxQ", "valiant T", "valiant maxQ", "greedy/valiant"],
+        &rows,
+    );
+    println!();
+    println!("(at this scale greedy's congestion shows up in queue depth, not");
+    println!(" completion time — bit-reversal doubles greedy's peak queue while");
+    println!(" Valiant's stays flat at the random-case level; Valiant pays ~2x");
+    println!(" path length for that immunity, the classic trade-off)");
+
+    banner("Queue discipline under load (mesh p = 256, exact h-relations)");
+    let mut rows = Vec::new();
+    for h in [4usize, 16] {
+        let mut rng = seeds.derive("rel", h as u64);
+        let rel = HRelation::random_exact(&mut rng, 256, h);
+        let fifo = route_relation(&mesh, &rel, RouterConfig::default()).unwrap();
+        let ff = route_relation(
+            &mesh,
+            &rel,
+            RouterConfig {
+                discipline: QueueDiscipline::FarthestFirst,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        rows.push(vec![
+            format!("{h}"),
+            format!("{}", fifo.time),
+            format!("{}", ff.time),
+            f2(fifo.time as f64 / ff.time as f64),
+        ]);
+    }
+    print_table(&["h", "FIFO T", "farthest-first T", "ratio"], &rows);
+
+    banner("Torus wraparound vs mesh (1-dim ring p = 64, 2-dim p = 256)");
+    let mut rows = Vec::new();
+    for (name, mesh_t, torus_t) in [
+        (
+            "1-dim, p=64",
+            Box::new(Array::chain(64)) as Box<dyn Topology>,
+            Box::new(Array::torus(&[64])) as Box<dyn Topology>,
+        ),
+        (
+            "2-dim, p=256",
+            Box::new(Array::mesh2d(16)),
+            Box::new(Array::torus(&[16, 16])),
+        ),
+    ] {
+        let mut rng = seeds.derive("tor", name.len() as u64);
+        let rel = HRelation::random_exact(&mut rng, mesh_t.num_processors(), 4);
+        let m = route_relation(mesh_t.as_ref(), &rel, RouterConfig::default()).unwrap();
+        let t = route_relation(torus_t.as_ref(), &rel, RouterConfig::default()).unwrap();
+        rows.push(vec![
+            name.into(),
+            format!("{}", m.time),
+            format!("{}", t.time),
+            f2(m.time as f64 / t.time as f64),
+        ]);
+    }
+    print_table(&["shape", "mesh T", "torus T", "mesh/torus"], &rows);
+    println!();
+    println!("(wraparound buys roughly the expected ~2x on both diameter- and");
+    println!(" bandwidth-limited regimes)");
+}

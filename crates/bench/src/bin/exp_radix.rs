@@ -1,0 +1,84 @@
+//! E-RADIX: §6's Radixsort capacity hazard — the same counting phase under
+//! uniform vs skewed keys, naive vs capacity-respecting schedules, and the
+//! BSP superstep that prices it predictably either way.
+
+use bvl_algos::logp::radix::{naive_count_phase, reference_counts, staggered_count_phase};
+use bvl_bench::{banner, f2, print_table};
+use bvl_bsp::BspParams;
+use bvl_logp::LogpParams;
+use bvl_model::Word;
+
+fn main() {
+    let p = 16usize;
+    let digits = 16usize;
+    let params = LogpParams::new(p, 8, 1, 2).unwrap();
+    println!("LogP machine: p = {p}, L = 8, o = 1, G = 2 (capacity 4); {digits} digit owners");
+
+    // Balanced: every processor holds every digit equally.
+    let balanced: Vec<Vec<Word>> = (0..p)
+        .map(|_| (0..64).map(|q| (q % digits) as Word).collect())
+        .collect();
+    // Skew levels: keys drawn from only the first `present` digits, so the
+    // counting relation concentrates on fewer owners.
+    let skew = |present: usize| -> Vec<Vec<Word>> {
+        (0..p)
+            .map(|_| (0..64).map(|q| (q % present) as Word).collect())
+            .collect()
+    };
+
+    banner("Counting phase on LogP: naive vs capacity-respecting schedule");
+    let mut rows = Vec::new();
+    for (name, keys) in [
+        ("16 digits (balanced)", balanced.clone()),
+        ("8 digits", skew(8)),
+        ("4 digits", skew(4)),
+        ("1 digit (hot spot)", skew(1)),
+    ] {
+        let naive = naive_count_phase(params, &keys, digits, 1).unwrap();
+        let stag = staggered_count_phase(params, &keys, digits, 1).unwrap();
+        assert_eq!(naive.counts, reference_counts(&keys, digits));
+        rows.push(vec![
+            name.into(),
+            format!("{}", naive.makespan.get()),
+            format!("{}", naive.stall_episodes),
+            f2(naive.mean_latency),
+            format!("{}", stag.makespan.get()),
+            format!("{}", stag.stall_episodes),
+            f2(stag.mean_latency),
+        ]);
+    }
+    print_table(
+        &[
+            "keys",
+            "naive time",
+            "naive stalls",
+            "naive latency",
+            "stag time",
+            "stag stalls",
+            "stag latency",
+        ],
+        &rows,
+    );
+    println!();
+    println!("(naive stalls scale with skew and its per-message latency balloons —");
+    println!(" 'relations that may violate the capacity constraint and whose cost");
+    println!(" cannot be estimated reliably'; the staggered rewrite is stall-free");
+    println!(" but required global knowledge of the senders per owner)");
+
+    banner("The same phase as one BSP superstep: cost is w + g*h + l, always");
+    let bsp = BspParams::new(p, 2, 8).unwrap();
+    let mut rows = Vec::new();
+    for (name, h) in [("balanced", p as u64), ("100% skew", p as u64)] {
+        // Balanced: every owner receives p messages (h = p). Full skew:
+        // owner 0 receives p (h = p as well) — BSP prices both identically.
+        rows.push(vec![
+            name.into(),
+            format!("{h}"),
+            format!("{}", bsp.superstep_cost(4, h)),
+        ]);
+    }
+    print_table(&["keys", "h", "superstep cost"], &rows);
+    println!();
+    println!("(on BSP the programmer never sees the capacity constraint: any");
+    println!(" h-relation is legal and priced by the same two parameters)");
+}

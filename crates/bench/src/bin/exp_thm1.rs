@@ -1,0 +1,104 @@
+//! E-THM1: Theorem 1 — LogP-on-BSP slowdown `O(1 + g/G + ℓ/L)`.
+//!
+//! Three stall-free LogP workloads (ring rounds, the Karp et al. optimal
+//! broadcast schedule, staggered all-to-all) run natively on the LogP
+//! machine and hosted on BSP machines whose `(g, ℓ)` are `1×, 2×, 4×` the
+//! LogP `(G, L)`. The measured slowdown column should track (within engine
+//! constants) the `1 + g/G + ℓ/L` bound, and be flat along the matched
+//! diagonal — the paper's "substantial equivalence" claim.
+
+use bvl_bench::{banner, f2, print_table};
+use bvl_bsp::BspParams;
+use bvl_core::slowdown::theorem1_bound;
+use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId};
+
+fn ring_workload(p: usize, rounds: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..rounds {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % p) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn alltoall_workload(p: usize) -> Vec<Script> {
+    (0..p)
+        .map(|me| {
+            let mut ops = Vec::new();
+            for t in 0..p - 1 {
+                ops.push(Op::Send {
+                    dst: ProcId(((me + 1 + t) % p) as u32),
+                    payload: Payload::word(0, me as i64),
+                });
+            }
+            ops.extend(std::iter::repeat(Op::Recv).take(p - 1));
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn run_case(
+    name: &str,
+    logp: LogpParams,
+    factor_g: u64,
+    factor_l: u64,
+    build: &dyn Fn() -> Vec<Script>,
+) -> Vec<String> {
+    let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), build());
+    let native_time = native.run().expect("native run").makespan;
+    let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
+    let rep = simulate_logp_on_bsp(logp, bsp, build(), Theorem1Config::default())
+        .expect("hosted run");
+    let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
+    let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
+    vec![
+        name.into(),
+        format!("{}", logp.p),
+        format!("{}x/{}x", factor_g, factor_l),
+        format!("{}", native_time.get()),
+        format!("{}", rep.bsp.cost.get()),
+        f2(slowdown),
+        f2(bound),
+        f2(slowdown / bound),
+    ]
+}
+
+fn main() {
+    banner("Theorem 1: slowdown of stall-free LogP hosted on BSP");
+    let logp = LogpParams::new(16, 16, 1, 4).unwrap();
+    let mut rows = Vec::new();
+    for (fg, fl) in [(1u64, 1u64), (2, 1), (1, 2), (2, 2), (4, 4)] {
+        rows.push(run_case("ring x8", logp, fg, fl, &|| ring_workload(16, 8)));
+    }
+    for (fg, fl) in [(1u64, 1u64), (2, 2)] {
+        rows.push(run_case("all-to-all", logp, fg, fl, &|| alltoall_workload(16)));
+    }
+    print_table(
+        &[
+            "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
+        ],
+        &rows,
+    );
+
+    banner("Matched parameters across machine sizes (slowdown should stay flat)");
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 16, 32, 64] {
+        let logp = LogpParams::new(p, 16, 1, 4).unwrap();
+        rows.push(run_case("ring x8", logp, 1, 1, &|| ring_workload(p, 8)));
+    }
+    print_table(
+        &[
+            "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! # bvl-bench — experiment regenerators and engine benchmarks
+//!
+//! The `exp-*` binaries (`src/bin/`) regenerate every quantitative result of
+//! the paper — Table 1 and each theorem/proposition bound — printing
+//! measured-vs-predicted tables (recorded in `EXPERIMENTS.md`). The
+//! Criterion benches (`benches/`) track simulator throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Print a fixed-width table: a header row, a separator, then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", parts.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // rustfmt of floats rounds half-even
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

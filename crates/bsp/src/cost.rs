@@ -1,0 +1,90 @@
+//! Cost accounting: the `w + g·h + ℓ` ledger.
+
+use crate::params::BspParams;
+use bvl_model::Steps;
+
+/// The cost-relevant summary of one executed superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperstepRecord {
+    /// Superstep index.
+    pub index: u64,
+    /// Maximum local work at any processor (`w`).
+    pub w: u64,
+    /// Degree of the routed relation (`h` = max messages sent or received by
+    /// any processor).
+    pub h: u64,
+    /// `w + g·h + ℓ`.
+    pub cost: Steps,
+}
+
+/// Accumulated cost over a run.
+#[derive(Clone, Debug, Default)]
+pub struct CostLedger {
+    records: Vec<SuperstepRecord>,
+    total: Steps,
+}
+
+impl CostLedger {
+    /// Empty ledger.
+    pub fn new() -> CostLedger {
+        CostLedger::default()
+    }
+
+    /// Append the record for a completed superstep.
+    pub fn charge(&mut self, params: &BspParams, w: u64, h: u64) -> SuperstepRecord {
+        let cost = params.superstep_cost(w, h);
+        let rec = SuperstepRecord {
+            index: self.records.len() as u64,
+            w,
+            h,
+            cost,
+        };
+        self.records.push(rec);
+        self.total += cost;
+        rec
+    }
+
+    /// Total cost so far (sum over superstep costs, per §2.1).
+    pub fn total(&self) -> Steps {
+        self.total
+    }
+
+    /// Number of supersteps charged.
+    pub fn supersteps(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Per-superstep records.
+    pub fn records(&self) -> &[SuperstepRecord] {
+        &self.records
+    }
+
+    /// Sum of `w` terms — the pure computation part of the total.
+    pub fn total_work(&self) -> u64 {
+        self.records.iter().map(|r| r.w).sum()
+    }
+
+    /// Sum of `h` terms — total per-superstep relation degrees.
+    pub fn total_h(&self) -> u64 {
+        self.records.iter().map(|r| r.h).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let p = BspParams::new(4, 2, 10).unwrap();
+        let mut led = CostLedger::new();
+        let r0 = led.charge(&p, 5, 3);
+        assert_eq!(r0.cost, Steps(5 + 6 + 10));
+        led.charge(&p, 0, 0);
+        assert_eq!(led.supersteps(), 2);
+        assert_eq!(led.total(), Steps(21 + 10));
+        assert_eq!(led.total_work(), 5);
+        assert_eq!(led.total_h(), 3);
+        assert_eq!(led.records()[1].index, 1);
+    }
+}

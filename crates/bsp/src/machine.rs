@@ -1,0 +1,468 @@
+//! The sequential superstep engine.
+
+use crate::cost::{CostLedger, SuperstepRecord};
+use crate::params::{BspConfig, BspParams};
+use crate::process::BspProcess;
+use bvl_model::trace::{Event, Trace};
+use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
+
+/// Outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+    /// Total model cost `Σ (w + g·h + ℓ)`.
+    pub cost: Steps,
+    /// Per-superstep records.
+    pub records: Vec<SuperstepRecord>,
+}
+
+/// A BSP machine holding `p` processes of type `P`.
+///
+/// The machine is generic over the process type so callers can recover final
+/// process state without downcasting; heterogeneous programs use
+/// `P = Box<dyn BspProcess>`.
+pub struct BspMachine<P: BspProcess> {
+    params: BspParams,
+    config: BspConfig,
+    procs: Vec<P>,
+    inboxes: Vec<Vec<Envelope>>,
+    halted: Vec<bool>,
+    ledger: CostLedger,
+    trace: Trace,
+    superstep: u64,
+    next_msg_id: u64,
+    threads: usize,
+}
+
+impl<P: BspProcess> BspMachine<P> {
+    /// Build a machine from parameters and one process per processor.
+    ///
+    /// # Panics
+    /// If `procs.len() != params.p`.
+    pub fn new(params: BspParams, procs: Vec<P>) -> BspMachine<P> {
+        Self::with_config(params, BspConfig::default(), procs)
+    }
+
+    /// Build with explicit execution options.
+    pub fn with_config(params: BspParams, config: BspConfig, procs: Vec<P>) -> BspMachine<P> {
+        assert_eq!(procs.len(), params.p, "need exactly p processes");
+        let p = params.p;
+        BspMachine {
+            params,
+            config,
+            procs,
+            inboxes: vec![Vec::new(); p],
+            halted: vec![false; p],
+            ledger: CostLedger::new(),
+            trace: if config.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            superstep: 0,
+            next_msg_id: 0,
+            threads: 1,
+        }
+    }
+
+    /// Run local computation phases on `n` OS threads (default 1). Results
+    /// and costs are identical for every `n`; see [`crate::parallel`].
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// The machine parameters.
+    pub fn params(&self) -> &BspParams {
+        &self.params
+    }
+
+    /// The cost ledger accumulated so far.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to a process (e.g. to read final state).
+    pub fn process(&self, i: usize) -> &P {
+        &self.procs[i]
+    }
+
+    /// Consume the machine, returning the processes.
+    pub fn into_processes(self) -> Vec<P> {
+        self.procs
+    }
+
+    /// True when every process has halted.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// Pre-load a message into a processor's input pool for superstep 0
+    /// (test/bootstrap convenience; does not enter the cost ledger).
+    pub fn preload(&mut self, dst: ProcId, payload: Payload) {
+        let env = Envelope::new(dst, dst, payload);
+        self.inboxes[dst.index()].push(env);
+    }
+
+    /// Execute one superstep. Returns its record, or `None` if the machine
+    /// had already fully halted.
+    pub fn step(&mut self) -> Option<SuperstepRecord> {
+        if self.all_halted() {
+            return None;
+        }
+        let p = self.params.p;
+        let mut w_max = 0u64;
+        let mut sent = vec![0u64; p];
+        let mut recvd = vec![0u64; p];
+
+        // Local computation phase (sequential or multithreaded; identical
+        // outcomes either way). Unread pool contents of non-retaining
+        // machines are discarded inside the phase, per §2.1.
+        let outcomes = crate::parallel::local_phase(
+            &mut self.procs,
+            &mut self.inboxes,
+            &self.halted,
+            self.superstep,
+            self.config.retain_unread,
+            self.threads,
+        );
+        let mut outboxes: Vec<Vec<(ProcId, Payload)>> = Vec::with_capacity(p);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            w_max = w_max.max(outcome.w);
+            sent[i] = outcome.outbox.len() as u64;
+            outboxes.push(outcome.outbox);
+            if outcome.halt {
+                self.halted[i] = true;
+            }
+        }
+
+        // Communication phase: deterministic delivery order (sender id, then
+        // submission order at the sender).
+        for (i, outbox) in outboxes.into_iter().enumerate() {
+            for (dst, payload) in outbox {
+                recvd[dst.index()] += 1;
+                let id = MsgId(self.next_msg_id);
+                self.next_msg_id += 1;
+                let now = self.ledger.total();
+                let env = Envelope {
+                    id,
+                    src: ProcId::from(i),
+                    dst,
+                    payload,
+                    submitted: now,
+                    accepted: now,
+                    delivered: now,
+                };
+                self.trace.record(Event::Submit {
+                    at: now,
+                    proc: ProcId::from(i),
+                    msg: id,
+                    dst,
+                });
+                self.inboxes[dst.index()].push(env);
+            }
+        }
+
+        let h = sent
+            .iter()
+            .zip(recvd.iter())
+            .map(|(&s, &r)| s.max(r))
+            .max()
+            .unwrap_or(0);
+        let rec = self.ledger.charge(&self.params, w_max, h);
+        self.trace.record(Event::Superstep {
+            index: rec.index,
+            w: rec.w,
+            h: rec.h,
+            cost: rec.cost,
+        });
+        self.superstep += 1;
+        Some(rec)
+    }
+
+    /// Run until every process halts, or fail with [`ModelError::Timeout`]
+    /// after `max_supersteps`.
+    pub fn run(&mut self, max_supersteps: u64) -> Result<RunReport, ModelError> {
+        let mut executed = 0u64;
+        while !self.all_halted() {
+            if executed >= max_supersteps {
+                return Err(ModelError::Timeout {
+                    budget: max_supersteps,
+                });
+            }
+            self.step();
+            executed += 1;
+        }
+        Ok(RunReport {
+            supersteps: self.ledger.supersteps(),
+            cost: self.ledger.total(),
+            records: self.ledger.records().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Status;
+    use crate::spmd::FnProcess;
+
+    /// Each processor sends its id to processor 0; processor 0 sums what it
+    /// receives in the next superstep.
+    fn gather_machine(p: usize, g: u64, l: u64) -> BspMachine<FnProcess<i64>> {
+        let params = BspParams::new(p, g, l).unwrap();
+        let procs: Vec<FnProcess<i64>> = (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |state, ctx| match ctx.superstep_index() {
+                    0 => {
+                        ctx.send(ProcId(0), Payload::word(0, ctx.me().0 as i64));
+                        Status::Continue
+                    }
+                    1 => {
+                        if ctx.me().0 == 0 {
+                            while let Some(m) = ctx.recv() {
+                                *state += m.payload.expect_word();
+                            }
+                        }
+                        Status::Halt
+                    }
+                    _ => unreachable!(),
+                })
+            })
+            .collect();
+        BspMachine::new(params, procs)
+    }
+
+    #[test]
+    fn gather_sums_all_ids() {
+        let mut m = gather_machine(8, 2, 16);
+        let report = m.run(10).unwrap();
+        assert_eq!(report.supersteps, 2);
+        assert_eq!(*m.process(0).state(), (0..8).sum::<i64>());
+        // Superstep 0: w = 1 send per proc, h = max(1 sent, 8 received) = 8.
+        assert_eq!(report.records[0].h, 8);
+        assert_eq!(report.records[0].w, 1);
+        // Superstep 1: no communication, and extracting messages from the
+        // input pool is not charged as local work (h already priced it).
+        assert_eq!(report.records[1].h, 0);
+        assert_eq!(report.records[1].w, 0);
+        assert_eq!(report.cost, Steps((1 + 2 * 8 + 16) + (0 + 0 + 16)));
+    }
+
+    #[test]
+    fn parameters_do_not_affect_results() {
+        let mut a = gather_machine(8, 1, 1);
+        let mut b = gather_machine(8, 50, 1000);
+        a.run(10).unwrap();
+        b.run(10).unwrap();
+        assert_eq!(a.process(0).state(), b.process(0).state());
+    }
+
+    #[test]
+    fn messages_arrive_next_superstep_not_same() {
+        let params = BspParams::new(2, 1, 1).unwrap();
+        let procs: Vec<FnProcess<Vec<usize>>> = (0..2)
+            .map(|_| {
+                FnProcess::new(Vec::new(), move |seen, ctx| {
+                    seen.push(ctx.inbox_len());
+                    if ctx.superstep_index() == 0 && ctx.me().0 == 1 {
+                        ctx.send(ProcId(0), Payload::tagged(0));
+                    }
+                    if ctx.superstep_index() >= 1 {
+                        Status::Halt
+                    } else {
+                        Status::Continue
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        m.run(10).unwrap();
+        // P0 sees nothing in superstep 0, one message in superstep 1.
+        assert_eq!(m.process(0).state(), &vec![0, 1]);
+    }
+
+    #[test]
+    fn unread_messages_are_discarded_by_default() {
+        let params = BspParams::new(2, 1, 1).unwrap();
+        let procs: Vec<FnProcess<usize>> = (0..2)
+            .map(|_| {
+                FnProcess::new(0usize, move |got, ctx| {
+                    if ctx.me().0 == 1 && ctx.superstep_index() == 0 {
+                        ctx.send(ProcId(0), Payload::tagged(0));
+                    }
+                    if ctx.superstep_index() == 2 {
+                        *got = ctx.inbox_len();
+                        return Status::Halt;
+                    }
+                    // Superstep 1: P0 deliberately does not read its inbox.
+                    Status::Continue
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        m.run(10).unwrap();
+        assert_eq!(*m.process(0).state(), 0, "pool must be discarded");
+    }
+
+    #[test]
+    fn retain_unread_keeps_messages() {
+        let params = BspParams::new(2, 1, 1).unwrap();
+        let config = BspConfig {
+            retain_unread: true,
+            ..BspConfig::default()
+        };
+        let procs: Vec<FnProcess<usize>> = (0..2)
+            .map(|_| {
+                FnProcess::new(0usize, move |got, ctx| {
+                    if ctx.me().0 == 1 && ctx.superstep_index() == 0 {
+                        ctx.send(ProcId(0), Payload::tagged(0));
+                    }
+                    if ctx.superstep_index() == 2 {
+                        *got = ctx.inbox_len();
+                        return Status::Halt;
+                    }
+                    Status::Continue
+                })
+            })
+            .collect();
+        let mut m = BspMachine::with_config(params, config, procs);
+        m.run(10).unwrap();
+        assert_eq!(*m.process(0).state(), 1);
+    }
+
+    #[test]
+    fn timeout_on_nonhalting_program() {
+        let params = BspParams::new(2, 1, 1).unwrap();
+        let procs: Vec<FnProcess<()>> =
+            (0..2).map(|_| FnProcess::new((), |_, _| Status::Continue)).collect();
+        let mut m = BspMachine::new(params, procs);
+        assert!(matches!(m.run(5), Err(ModelError::Timeout { budget: 5 })));
+    }
+
+    #[test]
+    fn step_after_halt_returns_none() {
+        let params = BspParams::new(1, 1, 1).unwrap();
+        let mut m = BspMachine::new(params, vec![FnProcess::new((), |_, _| Status::Halt)]);
+        assert!(m.step().is_some());
+        assert!(m.step().is_none());
+        assert!(m.all_halted());
+    }
+
+    #[test]
+    fn delivery_order_is_by_sender_then_submission() {
+        let params = BspParams::new(4, 1, 1).unwrap();
+        let procs: Vec<FnProcess<Vec<i64>>> = (0..4)
+            .map(|_| {
+                FnProcess::new(Vec::new(), move |order, ctx| match ctx.superstep_index() {
+                    0 => {
+                        if ctx.me().0 != 0 {
+                            // Two messages each, to exercise within-sender order.
+                            ctx.send(ProcId(0), Payload::word(0, (ctx.me().0 * 10) as i64));
+                            ctx.send(ProcId(0), Payload::word(0, (ctx.me().0 * 10 + 1) as i64));
+                        }
+                        Status::Continue
+                    }
+                    _ => {
+                        if ctx.me().0 == 0 {
+                            while let Some(m) = ctx.recv() {
+                                order.push(m.payload.expect_word());
+                            }
+                        }
+                        Status::Halt
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        m.run(10).unwrap();
+        assert_eq!(m.process(0).state(), &vec![10, 11, 20, 21, 30, 31]);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::params::BspConfig;
+    use crate::process::Status;
+    use crate::spmd::FnProcess;
+    use bvl_model::trace::Event;
+
+    #[test]
+    fn traced_machine_records_submits_and_supersteps() {
+        let params = BspParams::new(2, 1, 4).unwrap();
+        let config = BspConfig {
+            trace: true,
+            ..BspConfig::default()
+        };
+        let procs: Vec<FnProcess<()>> = (0..2)
+            .map(|_| {
+                FnProcess::new((), |_, ctx| {
+                    if ctx.superstep_index() == 0 {
+                        let other = ProcId(1 - ctx.me().0);
+                        ctx.send(other, Payload::tagged(0));
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::with_config(params, config, procs);
+        m.run(4).unwrap();
+        let submits = m.trace().filter(|e| matches!(e, Event::Submit { .. })).count();
+        let steps = m.trace().filter(|e| matches!(e, Event::Superstep { .. })).count();
+        assert_eq!(submits, 2);
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    fn untraced_machine_records_nothing() {
+        let params = BspParams::new(1, 1, 1).unwrap();
+        let mut m = BspMachine::new(params, vec![FnProcess::new((), |_, _| Status::Halt)]);
+        m.run(2).unwrap();
+        assert!(m.trace().events().is_empty());
+    }
+
+    #[test]
+    fn preload_feeds_superstep_zero() {
+        let params = BspParams::new(1, 1, 1).unwrap();
+        let procs = vec![FnProcess::new(0i64, |got, ctx| {
+            *got = ctx.recv().map(|m| m.payload.expect_word()).unwrap_or(-1);
+            Status::Halt
+        })];
+        let mut m = BspMachine::new(params, procs);
+        m.preload(ProcId(0), Payload::word(0, 77));
+        m.run(2).unwrap();
+        assert_eq!(*m.process(0).state(), 77);
+    }
+
+    #[test]
+    fn ledger_accessible_mid_run() {
+        let params = BspParams::new(2, 3, 5).unwrap();
+        let procs: Vec<FnProcess<()>> = (0..2)
+            .map(|_| {
+                FnProcess::new((), |_, ctx| {
+                    ctx.charge(2);
+                    if ctx.superstep_index() >= 2 {
+                        Status::Halt
+                    } else {
+                        Status::Continue
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        m.step();
+        assert_eq!(m.ledger().supersteps(), 1);
+        assert_eq!(m.ledger().total(), Steps(2 + 5));
+        assert!(!m.all_halted());
+        m.run(10).unwrap();
+        assert_eq!(m.ledger().supersteps(), 3);
+    }
+}

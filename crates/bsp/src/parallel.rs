@@ -1,0 +1,169 @@
+//! Multithreaded execution of the local computation phase.
+//!
+//! A BSP superstep's local phase is embarrassingly parallel — the barrier is
+//! the *only* synchronization point in the model, so the engine can farm the
+//! `p` process bodies out to OS threads and still produce a schedule
+//! bit-identical to the sequential one: message delivery order is fixed by
+//! `(sender id, submission order)` regardless of which thread ran the sender.
+//!
+//! Enable with [`crate::BspMachine::set_threads`]. Thread parallelism pays
+//! off when process bodies do real work (e.g. the local sorting phases of
+//! the cross-simulation protocols); for micro-supersteps the sequential path
+//! is faster, which is why `1` is the default.
+
+use crate::process::{BspProcess, Status, SuperstepCtx};
+use bvl_model::{Envelope, Payload, ProcId};
+
+/// Result of one process's local phase.
+pub(crate) struct LocalOutcome {
+    pub w: u64,
+    pub outbox: Vec<(ProcId, Payload)>,
+    pub halt: bool,
+}
+
+impl LocalOutcome {
+    fn idle() -> LocalOutcome {
+        LocalOutcome {
+            w: 0,
+            outbox: Vec::new(),
+            halt: true,
+        }
+    }
+}
+
+/// Run the local phase of one process against its inbox, honouring the
+/// `retain_unread` pool semantics.
+fn run_one<P: BspProcess>(
+    proc: &mut P,
+    inbox: &mut Vec<Envelope>,
+    superstep: u64,
+    p: usize,
+    me: usize,
+    retain_unread: bool,
+) -> LocalOutcome {
+    let mut pool = std::mem::take(inbox);
+    let mut ctx = SuperstepCtx::new(ProcId::from(me), p, superstep, &mut pool);
+    let status = proc.superstep(&mut ctx);
+    let (w, outbox, read) = ctx.finish();
+    if retain_unread {
+        pool.drain(..read);
+        *inbox = pool;
+    }
+    LocalOutcome {
+        w,
+        outbox,
+        halt: status == Status::Halt,
+    }
+}
+
+/// Execute the local phase for all non-halted processes, sequentially or on
+/// `threads` OS threads. Outcomes are indexed by processor id either way.
+pub(crate) fn local_phase<P: BspProcess>(
+    procs: &mut [P],
+    inboxes: &mut [Vec<Envelope>],
+    halted: &[bool],
+    superstep: u64,
+    retain_unread: bool,
+    threads: usize,
+) -> Vec<LocalOutcome> {
+    let p = procs.len();
+    if threads <= 1 || p < 2 {
+        return (0..p)
+            .map(|i| {
+                if halted[i] {
+                    LocalOutcome::idle()
+                } else {
+                    run_one(&mut procs[i], &mut inboxes[i], superstep, p, i, retain_unread)
+                }
+            })
+            .collect();
+    }
+
+    let chunk = p.div_ceil(threads.min(p));
+    let mut results: Vec<Vec<LocalOutcome>> = Vec::with_capacity(p.div_ceil(chunk));
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, ((pc, ic), hc)) in procs
+            .chunks_mut(chunk)
+            .zip(inboxes.chunks_mut(chunk))
+            .zip(halted.chunks(chunk))
+            .enumerate()
+        {
+            let base = ci * chunk;
+            handles.push(s.spawn(move |_| {
+                pc.iter_mut()
+                    .zip(ic.iter_mut())
+                    .zip(hc.iter())
+                    .enumerate()
+                    .map(|(k, ((proc, inbox), &is_halted))| {
+                        if is_halted {
+                            LocalOutcome::idle()
+                        } else {
+                            run_one(proc, inbox, superstep, p, base + k, retain_unread)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("BSP worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::BspMachine;
+    use crate::params::BspParams;
+    use crate::spmd::FnProcess;
+
+    fn shift_ring(p: usize) -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(-1i64, move |got, ctx| {
+                    let p = ctx.p();
+                    if ctx.superstep_index() < 4 {
+                        let right = ProcId(((ctx.me().0 as usize + 1) % p) as u32);
+                        ctx.send(right, Payload::word(0, ctx.me().0 as i64));
+                        if ctx.superstep_index() > 0 {
+                            *got = ctx.recv().unwrap().payload.expect_word();
+                        }
+                        Status::Continue
+                    } else {
+                        *got = ctx.recv().unwrap().payload.expect_word();
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let params = BspParams::new(16, 2, 8).unwrap();
+        let mut seq = BspMachine::new(params, shift_ring(16));
+        let rep_seq = seq.run(10).unwrap();
+
+        let mut par = BspMachine::new(params, shift_ring(16));
+        par.set_threads(4);
+        let rep_par = par.run(10).unwrap();
+
+        assert_eq!(rep_seq.cost, rep_par.cost);
+        assert_eq!(rep_seq.supersteps, rep_par.supersteps);
+        for i in 0..16 {
+            assert_eq!(seq.process(i).state(), par.process(i).state());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_processors() {
+        let params = BspParams::new(3, 1, 1).unwrap();
+        let mut m = BspMachine::new(params, shift_ring(3));
+        m.set_threads(64);
+        m.run(10).unwrap();
+        assert_eq!(*m.process(0).state(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! BSP machine parameters.
+
+use bvl_model::{ModelError, Steps};
+
+/// The BSP parameter triple `(p, g, ℓ)` of §2.1.
+///
+/// * `1/g` is the available per-processor bandwidth: for large message sets
+///   the medium delivers `p` messages every `g` time units.
+/// * `ℓ` upper-bounds barrier synchronization time, and `g + ℓ` upper-bounds
+///   the routing time of any partial permutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BspParams {
+    /// Number of processors.
+    pub p: usize,
+    /// Bandwidth parameter `g` (time per message per processor at saturation).
+    pub g: u64,
+    /// Latency / synchronization parameter `ℓ`.
+    pub l: u64,
+}
+
+impl BspParams {
+    /// Validated constructor: `p ≥ 1`, `g ≥ 1`, `ℓ ≥ 1`.
+    ///
+    /// The model itself does not constrain `g` and `ℓ` beyond positivity
+    /// (contrast with LogP's `max{2,o} ≤ G ≤ L`); correctness of BSP programs
+    /// is parameter-independent.
+    pub fn new(p: usize, g: u64, l: u64) -> Result<BspParams, ModelError> {
+        if p == 0 {
+            return Err(ModelError::InvalidParams("p must be >= 1".into()));
+        }
+        if g == 0 {
+            return Err(ModelError::InvalidParams("g must be >= 1".into()));
+        }
+        if l == 0 {
+            return Err(ModelError::InvalidParams("l must be >= 1".into()));
+        }
+        Ok(BspParams { p, g, l })
+    }
+
+    /// Cost of one superstep: `w + g·h + ℓ`.
+    pub fn superstep_cost(&self, w: u64, h: u64) -> Steps {
+        Steps(w + self.g * h + self.l)
+    }
+}
+
+/// Execution options orthogonal to the model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BspConfig {
+    /// Keep unread inbox messages across supersteps instead of discarding
+    /// them at the communication phase. `false` is the paper-faithful
+    /// behaviour ("the previous contents of the input pools, if any, are
+    /// discarded").
+    pub retain_unread: bool,
+    /// Record machine events into the trace.
+    pub trace: bool,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig {
+            retain_unread: false,
+            trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = BspParams::new(8, 4, 32).unwrap();
+        assert_eq!(p.superstep_cost(10, 3), Steps(10 + 12 + 32));
+    }
+
+    #[test]
+    fn zero_superstep_still_pays_barrier() {
+        let p = BspParams::new(2, 1, 7).unwrap();
+        assert_eq!(p.superstep_cost(0, 0), Steps(7));
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(BspParams::new(0, 1, 1).is_err());
+        assert!(BspParams::new(1, 0, 1).is_err());
+        assert!(BspParams::new(1, 1, 0).is_err());
+    }
+}

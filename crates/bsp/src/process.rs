@@ -1,0 +1,173 @@
+//! The BSP programming interface.
+
+use bvl_model::{Envelope, Payload, ProcId};
+
+/// What a process wants after finishing a superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Participate in further supersteps.
+    Continue,
+    /// Done: this process executes no further supersteps. The machine stops
+    /// once every process has halted.
+    Halt,
+}
+
+/// A per-processor BSP program.
+///
+/// `superstep` is called once per superstep with a [`SuperstepCtx`] exposing
+/// the messages delivered at the start of this superstep and collecting the
+/// messages to be routed during its communication phase. Local work is
+/// accounted via [`SuperstepCtx::charge`]; sends implicitly charge one unit
+/// each (preparing a message is a local operation).
+pub trait BspProcess: Send {
+    /// Execute the local computation phase of one superstep.
+    fn superstep(&mut self, ctx: &mut SuperstepCtx<'_>) -> Status;
+}
+
+impl BspProcess for Box<dyn BspProcess> {
+    fn superstep(&mut self, ctx: &mut SuperstepCtx<'_>) -> Status {
+        (**self).superstep(ctx)
+    }
+}
+
+/// The view a process has of the machine during its local computation phase.
+#[derive(Debug)]
+pub struct SuperstepCtx<'a> {
+    me: ProcId,
+    p: usize,
+    superstep: u64,
+    inbox: &'a mut Vec<Envelope>,
+    cursor: usize,
+    outbox: Vec<(ProcId, Payload)>,
+    work: u64,
+}
+
+impl<'a> SuperstepCtx<'a> {
+    /// Build a context for one local computation phase. Public so that
+    /// external host simulators (e.g. the BSP-on-LogP runner in `bvl-core`)
+    /// can drive `BspProcess` implementations outside [`crate::BspMachine`].
+    pub fn new(
+        me: ProcId,
+        p: usize,
+        superstep: u64,
+        inbox: &'a mut Vec<Envelope>,
+    ) -> SuperstepCtx<'a> {
+        SuperstepCtx {
+            me,
+            p,
+            superstep,
+            inbox,
+            cursor: 0,
+            outbox: Vec::new(),
+            work: 0,
+        }
+    }
+
+    /// This processor's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Machine size `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Zero-based index of the current superstep.
+    pub fn superstep_index(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Number of messages still unread in the input pool.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len() - self.cursor
+    }
+
+    /// Extract the next message from the input pool (messages arrive sorted
+    /// by sender id, then by submission order at the sender — a fixed,
+    /// deterministic order).
+    pub fn recv(&mut self) -> Option<Envelope> {
+        if self.cursor < self.inbox.len() {
+            let e = self.inbox[self.cursor].clone();
+            self.cursor += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Extract all remaining messages from the input pool.
+    pub fn recv_all(&mut self) -> Vec<Envelope> {
+        let out = self.inbox[self.cursor..].to_vec();
+        self.cursor = self.inbox.len();
+        out
+    }
+
+    /// Insert a message into the output pool; it is routed during this
+    /// superstep's communication phase and becomes available to `dst` at the
+    /// start of the next superstep. Charges one local operation.
+    ///
+    /// # Panics
+    /// If `dst` is outside `0..p`.
+    pub fn send(&mut self, dst: ProcId, payload: Payload) {
+        assert!(
+            dst.index() < self.p,
+            "send to {dst:?} on a p={} machine",
+            self.p
+        );
+        self.work += 1;
+        self.outbox.push((dst, payload));
+    }
+
+    /// Account `w` units of local computation.
+    pub fn charge(&mut self, w: u64) {
+        self.work += w;
+    }
+
+    /// Tear down into `(work, outbox, number of messages read)`. Public for
+    /// the same external drivers as [`SuperstepCtx::new`].
+    pub fn finish(self) -> (u64, Vec<(ProcId, Payload)>, usize) {
+        (self.work, self.outbox, self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_send_and_charge_accumulate_work() {
+        let mut inbox = Vec::new();
+        let mut ctx = SuperstepCtx::new(ProcId(0), 4, 0, &mut inbox);
+        ctx.charge(5);
+        ctx.send(ProcId(1), Payload::word(0, 9));
+        ctx.send(ProcId(2), Payload::word(0, 9));
+        let (w, out, read) = ctx.finish();
+        assert_eq!(w, 7);
+        assert_eq!(out.len(), 2);
+        assert_eq!(read, 0);
+    }
+
+    #[test]
+    fn ctx_recv_in_order() {
+        let mut inbox = vec![
+            Envelope::new(ProcId(1), ProcId(0), Payload::word(0, 10)),
+            Envelope::new(ProcId(2), ProcId(0), Payload::word(0, 20)),
+        ];
+        let mut ctx = SuperstepCtx::new(ProcId(0), 4, 1, &mut inbox);
+        assert_eq!(ctx.inbox_len(), 2);
+        assert_eq!(ctx.recv().unwrap().payload.expect_word(), 10);
+        assert_eq!(ctx.inbox_len(), 1);
+        let rest = ctx.recv_all();
+        assert_eq!(rest.len(), 1);
+        assert!(ctx.recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "send to")]
+    fn ctx_rejects_bad_destination() {
+        let mut inbox = Vec::new();
+        let mut ctx = SuperstepCtx::new(ProcId(0), 2, 0, &mut inbox);
+        ctx.send(ProcId(2), Payload::tagged(0));
+    }
+}

@@ -1,0 +1,89 @@
+//! SPMD convenience wrappers.
+
+use crate::process::{BspProcess, Status, SuperstepCtx};
+
+/// A [`BspProcess`] built from a state value and a superstep closure — the
+/// idiomatic way to write SPMD programs without naming a struct per kernel.
+///
+/// ```
+/// use bvl_bsp::{BspMachine, BspParams, FnProcess, Status};
+/// use bvl_model::{Payload, ProcId};
+///
+/// let params = BspParams::new(4, 1, 8).unwrap();
+/// let procs: Vec<_> = (0..4)
+///     .map(|_| FnProcess::new(0i64, |sum, ctx| {
+///         if ctx.superstep_index() == 0 {
+///             let right = ProcId(((ctx.me().0 + 1) % 4) as u32);
+///             ctx.send(right, Payload::word(0, ctx.me().0 as i64));
+///             Status::Continue
+///         } else {
+///             *sum = ctx.recv().unwrap().payload.expect_word();
+///             Status::Halt
+///         }
+///     }))
+///     .collect();
+/// let mut machine = BspMachine::new(params, procs);
+/// machine.run(8).unwrap();
+/// assert_eq!(*machine.process(0).state(), 3); // left neighbour's id
+/// ```
+pub struct FnProcess<S> {
+    state: S,
+    f: Box<dyn FnMut(&mut S, &mut SuperstepCtx<'_>) -> Status + Send>,
+}
+
+impl<S: Send> FnProcess<S> {
+    /// Wrap a state value and a superstep function.
+    pub fn new(
+        state: S,
+        f: impl FnMut(&mut S, &mut SuperstepCtx<'_>) -> Status + Send + 'static,
+    ) -> FnProcess<S> {
+        FnProcess {
+            state,
+            f: Box::new(f),
+        }
+    }
+
+    /// The process state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Consume into the state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+impl<S: Send> BspProcess for FnProcess<S> {
+    fn superstep(&mut self, ctx: &mut SuperstepCtx<'_>) -> Status {
+        (self.f)(&mut self.state, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::BspMachine;
+    use crate::params::BspParams;
+
+    #[test]
+    fn fn_process_roundtrip() {
+        let params = BspParams::new(2, 1, 1).unwrap();
+        let procs: Vec<FnProcess<u32>> = (0..2)
+            .map(|_| {
+                FnProcess::new(0u32, |s, _ctx| {
+                    *s += 1;
+                    if *s == 3 {
+                        Status::Halt
+                    } else {
+                        Status::Continue
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        let report = m.run(10).unwrap();
+        assert_eq!(report.supersteps, 3);
+        assert_eq!(m.into_processes().pop().unwrap().into_state(), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! The §2.2 parameter-constraint anomalies.
+//!
+//! The paper argues for `max{2, o} ≤ G ≤ L` with two thought experiments,
+//! both of which this module makes executable:
+//!
+//! * **`G = 1` (capacity `⌈L/G⌉ = L`)**: if `L` processors simultaneously
+//!   send to one destination, the model accepts all of them instantly (no
+//!   stall) and must deliver all within `L` steps — forcing the network to
+//!   deliver one message *every* step to a single node, "a strong
+//!   performance requirement hard to support on a real machine". With
+//!   `G = 2` the same pattern immediately stalls.
+//! * **`G > L` (capacity 1)**: two senders alternating sends to one
+//!   receiver at period `max{G, 2L}` keep at most one message in transit
+//!   (never stalling), yet messages arrive faster than the receiver's
+//!   acquisition rate `1/G`, so its input buffer grows without bound.
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::trace::Event;
+use bvl_model::{ModelError, Payload, ProcId, Steps};
+
+/// Metrics from the `G = 1` scenario.
+#[derive(Clone, Debug)]
+pub struct GapOneReport {
+    /// Did any sender stall?
+    pub stalled: bool,
+    /// Number of senders (= L).
+    pub senders: usize,
+    /// All messages delivered within `L` of submission?
+    pub all_within_latency: bool,
+    /// Maximum messages delivered to the target in one single time step —
+    /// `G = 1` forces this towards the full batch under the latest-delivery
+    /// policy, i.e. a single-step burst no real network port sustains.
+    pub max_deliveries_per_step: usize,
+}
+
+/// Run the `G = 1` anomaly: `L` senders fire simultaneously at processor 0.
+/// Pass `g = 1` (via `new_unchecked`) or `g = 2` to contrast.
+pub fn gap_one_anomaly(l: u64, o: u64, g: u64, seed: u64) -> Result<GapOneReport, ModelError> {
+    let senders = l as usize;
+    let p = senders + 1;
+    let params = LogpParams::new_unchecked(p, l, o, g);
+    let mut programs = vec![Script::new(vec![Op::Recv; senders])];
+    programs.extend((1..p).map(|i| {
+        Script::new([Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(0, i as i64),
+        }])
+    }));
+    let config = LogpConfig {
+        trace: true,
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, programs);
+    let report = machine.run()?;
+
+    let mut within = true;
+    let mut per_step: std::collections::BTreeMap<Steps, usize> = std::collections::BTreeMap::new();
+    let mut submit: std::collections::BTreeMap<bvl_model::MsgId, Steps> =
+        std::collections::BTreeMap::new();
+    for ev in machine.trace().events() {
+        match *ev {
+            Event::Submit { at, msg, .. } => {
+                submit.insert(msg, at);
+            }
+            Event::Deliver { at, msg, .. } => {
+                *per_step.entry(at).or_insert(0) += 1;
+                if let Some(&s) = submit.get(&msg) {
+                    // Stall-free: submission == acceptance, so the latency
+                    // bound is relative to submission here.
+                    if at > s + Steps(l) {
+                        within = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(GapOneReport {
+        stalled: report.stall_episodes > 0,
+        senders,
+        all_within_latency: within && report.stall_free(),
+        max_deliveries_per_step: per_step.values().copied().max().unwrap_or(0),
+    })
+}
+
+/// Metrics from the `G > L` scenario.
+#[derive(Clone, Debug)]
+pub struct GapExceedsLatencyReport {
+    /// No stalling ever occurs (capacity 1 is never exceeded).
+    pub stall_free: bool,
+    /// Messages delivered to the receiver.
+    pub delivered: u64,
+    /// Peak input-buffer occupancy at the receiver.
+    pub peak_buffer: usize,
+}
+
+/// Run the `G > L` anomaly with `n` messages per sender: processor
+/// `i ∈ {0, 1}` sends to processor 2 at times `max{G, 2L}·k + L·i`
+/// (the paper's exact schedule).
+pub fn gap_exceeds_latency_anomaly(
+    l: u64,
+    g: u64,
+    n: u64,
+    seed: u64,
+) -> Result<GapExceedsLatencyReport, ModelError> {
+    assert!(g > l, "this anomaly needs G > L");
+    let params = LogpParams::new_unchecked(3, l, 1, g);
+    debug_assert_eq!(params.capacity(), 1);
+    let period = g.max(2 * l);
+    let mk = |i: u64| {
+        let mut ops = Vec::new();
+        for k in 0..n {
+            // Wait until period*k + L*i; both senders then submit a uniform
+            // `o` later, preserving the paper's L-offset interleaving.
+            ops.push(Op::WaitUntil(Steps(period * k + l * i)));
+            ops.push(Op::Send {
+                dst: ProcId(2),
+                payload: Payload::word(0, (i * 1000 + k) as i64),
+            });
+        }
+        Script::new(ops)
+    };
+    let programs = vec![mk(0), mk(1), Script::new(vec![Op::Recv; 2 * n as usize])];
+    let mut machine = LogpMachine::with_config(
+        params,
+        LogpConfig {
+            seed,
+            ..LogpConfig::default()
+        },
+        programs,
+    );
+    let report = machine.run()?;
+    Ok(GapExceedsLatencyReport {
+        stall_free: report.stall_free(),
+        delivered: report.delivered,
+        peak_buffer: report.per_proc[2].max_buffer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_one_accepts_everything_instantly() {
+        let rep = gap_one_anomaly(8, 1, 1, 1).unwrap();
+        assert!(!rep.stalled, "G=1 capacity L admits all senders");
+        assert!(rep.all_within_latency);
+        // The latest-delivery schedule dumps the whole batch in one step.
+        assert!(
+            rep.max_deliveries_per_step >= rep.senders,
+            "burst {} < senders {}",
+            rep.max_deliveries_per_step,
+            rep.senders
+        );
+    }
+
+    #[test]
+    fn gap_two_same_pattern_stalls() {
+        let rep = gap_one_anomaly(8, 1, 2, 1).unwrap();
+        assert!(rep.stalled, "G=2 halves the capacity: stalls appear");
+    }
+
+    #[test]
+    fn buffer_growth_is_linear_when_g_exceeds_l() {
+        // G = 6 > L = 2, period max{G, 2L} = 6: two messages arrive per
+        // period but only one can be acquired per G -> backlog grows ~ n/2.
+        let small = gap_exceeds_latency_anomaly(2, 6, 10, 1).unwrap();
+        let large = gap_exceeds_latency_anomaly(2, 6, 40, 1).unwrap();
+        assert!(small.stall_free && large.stall_free);
+        assert_eq!(large.delivered, 80);
+        assert!(
+            large.peak_buffer >= small.peak_buffer + 10,
+            "buffer must grow with n: {} vs {}",
+            large.peak_buffer,
+            small.peak_buffer
+        );
+    }
+
+    #[test]
+    fn no_growth_when_g_within_l_at_same_rate() {
+        // Control: G = L = 4 (capacity 1), same period structure -> the
+        // receiver keeps up and the buffer stays bounded by a small constant
+        // independent of n.
+        let params_ok = |n: u64| {
+            let l = 4u64;
+            let g = 4u64;
+            let params = LogpParams::new(3, l, 1, g).unwrap();
+            let period = g.max(2 * l);
+            let mk = |i: u64| {
+                let mut ops = Vec::new();
+                for k in 0..n {
+                    let _ = &params;
+                    ops.push(Op::WaitUntil(Steps(period * k + l * i)));
+                    ops.push(Op::Send {
+                        dst: ProcId(2),
+                        payload: Payload::word(0, k as i64),
+                    });
+                }
+                Script::new(ops)
+            };
+            let programs = vec![mk(0), mk(1), Script::new(vec![Op::Recv; 2 * n as usize])];
+            let mut machine = LogpMachine::new(params, programs);
+            machine.run().unwrap().per_proc[2].max_buffer
+        };
+        let b10 = params_ok(10);
+        let b40 = params_ok(40);
+        assert!(b40 <= b10 + 2, "bounded buffers expected: {b10} vs {b40}");
+    }
+}

@@ -1,0 +1,547 @@
+//! Combine-and-Broadcast (§4.1).
+//!
+//! Given an associative operator `op` and values `x_0 … x_{p−1}` held by
+//! distinct processors, CB returns `op(x_0, …, x_{p−1})` to all processors.
+//! The paper's algorithm ascends and descends a complete
+//! `max{2, ⌈L/G⌉}`-ary tree; when `⌈L/G⌉ = 1` the tree is binary and
+//! transmissions to the parent are confined to timed slots (even multiples
+//! of `L` for left children, odd for right) so the capacity-1 constraint is
+//! never violated. Running time (Proposition 2, optimal by Proposition 1):
+//!
+//! ```text
+//! T_CB ≤ 3(L + o) · log p / log(1 + ⌈L/G⌉)
+//! ```
+//!
+//! Two tree shapes are provided:
+//!
+//! * [`TreeShape::Heap`] — the paper's complete k-ary heap tree. Children
+//!   are combined in arrival order, so the operator must be commutative
+//!   (the paper's uses — AND, OR, MAX — all are).
+//! * [`TreeShape::Range`] — a contiguous k-ary range tree that folds
+//!   children strictly in processor order, supporting *non-commutative*
+//!   associative operators (needed by the deterministic router's segmented
+//!   in-degree computation, `route_det`).
+//!
+//! CB doubles as the barrier of the superstep simulation: processors may
+//! join at different times (`join_at`), and `T_synch` is measured from the
+//! latest join, exactly as Proposition 2 states.
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, LogpProcess, Op, ProcView};
+use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps};
+use std::sync::Arc;
+
+/// An associative combiner over payloads.
+pub type Combine = Arc<dyn Fn(&Payload, &Payload) -> Payload + Send + Sync>;
+
+/// Tree shape used by CB (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Paper-faithful complete k-ary heap tree (commutative operators).
+    Heap,
+    /// Contiguous range tree folding children in processor order
+    /// (supports non-commutative operators).
+    Range,
+}
+
+/// Communication plan for one processor within the CB tree.
+#[derive(Clone, Debug, Default)]
+pub struct CbPlan {
+    /// Processors whose partial results this processor combines, in fold
+    /// order.
+    pub gather_from: Vec<u32>,
+    /// Where to send the combined value (`None` at the root).
+    pub send_up_to: Option<u32>,
+    /// Processors to forward the final result to.
+    pub scatter_to: Vec<u32>,
+    /// `Some(offset)` when ascending sends are confined to timed slots
+    /// `t ≡ offset·L (mod 2L)` (the paper's capacity-1 discipline).
+    pub slot_offset: Option<u64>,
+}
+
+/// Build the per-processor plans for a `p`-processor tree of the given
+/// shape and arity `k = max{2, ⌈L/G⌉}`.
+pub fn build_plans(p: usize, k: usize, shape: TreeShape, timed_slots: bool) -> Vec<CbPlan> {
+    assert!(k >= 2);
+    let mut plans = vec![CbPlan::default(); p];
+    match shape {
+        TreeShape::Heap => {
+            for i in 0..p {
+                let children: Vec<u32> = (1..=k)
+                    .map(|c| k * i + c)
+                    .filter(|&c| c < p)
+                    .map(|c| c as u32)
+                    .collect();
+                plans[i].gather_from = children.clone();
+                plans[i].scatter_to = children;
+                if i > 0 {
+                    plans[i].send_up_to = Some(((i - 1) / k) as u32);
+                    if timed_slots {
+                        plans[i].slot_offset = Some(((i - 1) % k) as u64 % 2);
+                    }
+                }
+            }
+        }
+        TreeShape::Range => {
+            // Recursive contiguous split: owner of [lo, hi) is lo; the range
+            // splits into k near-equal parts, part 0 owned by lo itself and
+            // parts 1..k sending their sub-results to lo in order. Deeper
+            // (smaller) ranges complete first, so a processor's fold order
+            // is "own leaf value, then senders from deepest to shallowest".
+            fn split(lo: usize, hi: usize, k: usize, plans: &mut Vec<CbPlan>) {
+                let n = hi - lo;
+                if n <= 1 {
+                    return;
+                }
+                let part = n.div_ceil(k);
+                let mut starts = Vec::new();
+                let mut s = lo;
+                while s < hi {
+                    starts.push(s);
+                    s += part;
+                }
+                // Recurse first so that deeper senders are appended to the
+                // owner's gather list before this level's senders.
+                for (idx, &st) in starts.iter().enumerate() {
+                    let en = (st + part).min(hi);
+                    split(st, en, k, plans);
+                    if idx > 0 {
+                        plans[st].send_up_to = Some(lo as u32);
+                        plans[lo].gather_from.push(st as u32);
+                        plans[lo].scatter_to.push(st as u32);
+                    }
+                }
+            }
+            split(0, p, k, &mut plans);
+        }
+    }
+    plans
+}
+
+enum Phase {
+    Join,
+    Gather,
+    SendUp,
+    AwaitResult,
+    Scatter(usize),
+    Done,
+}
+
+/// The LogP process executing one node of the CB tree.
+pub struct CbProcess {
+    plan: CbPlan,
+    combine: Combine,
+    ordered: bool,
+    value: Payload,
+    join_at: Steps,
+    received: Vec<Envelope>,
+    acc: Option<Payload>,
+    result: Option<Payload>,
+    phase: Phase,
+    l: u64,
+}
+
+impl CbProcess {
+    /// Build the process for one processor.
+    pub fn new(
+        plan: CbPlan,
+        value: Payload,
+        combine: Combine,
+        ordered: bool,
+        join_at: Steps,
+        l: u64,
+    ) -> CbProcess {
+        CbProcess {
+            plan,
+            combine,
+            ordered,
+            value,
+            join_at,
+            received: Vec::new(),
+            acc: None,
+            result: None,
+            phase: Phase::Join,
+            l,
+        }
+    }
+
+    /// The final CB result (after the machine has run).
+    pub fn result(&self) -> Option<&Payload> {
+        self.result.as_ref()
+    }
+
+    fn fold(&mut self) {
+        let mut acc = self.value.clone();
+        if self.ordered {
+            for &src in &self.plan.gather_from {
+                let msg = self
+                    .received
+                    .iter()
+                    .find(|e| e.src.0 == src)
+                    .expect("gather message from every child");
+                acc = (self.combine)(&acc, &msg.payload);
+            }
+        } else {
+            for msg in &self.received {
+                acc = (self.combine)(&acc, &msg.payload);
+            }
+        }
+        self.acc = Some(acc);
+    }
+}
+
+impl LogpProcess for CbProcess {
+    fn next_op(&mut self, view: &ProcView) -> Op {
+        loop {
+            match self.phase {
+                Phase::Join => {
+                    self.phase = Phase::Gather;
+                    if view.now < self.join_at {
+                        return Op::WaitUntil(self.join_at);
+                    }
+                }
+                Phase::Gather => {
+                    if self.received.len() < self.plan.gather_from.len() {
+                        return Op::Recv;
+                    }
+                    self.fold();
+                    self.phase = Phase::SendUp;
+                }
+                Phase::SendUp => {
+                    let acc = self.acc.clone().expect("folded");
+                    match self.plan.send_up_to {
+                        Some(parent) => {
+                            self.phase = Phase::AwaitResult;
+                            if let Some(offset) = self.plan.slot_offset {
+                                // Next slot t >= now with t = offset*L (mod 2L).
+                                let period = 2 * self.l;
+                                let now = view.now.get();
+                                let base = offset * self.l;
+                                let t = if now <= base {
+                                    base
+                                } else {
+                                    base + (now - base).div_ceil(period) * period
+                                };
+                                if t > now {
+                                    // Re-enter SendUp after the wait.
+                                    self.phase = Phase::SendUp;
+                                    self.plan.slot_offset = None; // wait once, then send
+                                    let slot = Steps(t);
+                                    // Remember the slot by re-checking time.
+                                    return Op::WaitUntil(slot);
+                                }
+                            }
+                            return Op::Send {
+                                dst: ProcId(parent),
+                                payload: acc,
+                            };
+                        }
+                        None => {
+                            self.result = Some(acc);
+                            self.phase = Phase::Scatter(0);
+                        }
+                    }
+                }
+                Phase::AwaitResult => {
+                    if self.result.is_none() {
+                        return Op::Recv;
+                    }
+                    self.phase = Phase::Scatter(0);
+                }
+                Phase::Scatter(i) => {
+                    if i < self.plan.scatter_to.len() {
+                        self.phase = Phase::Scatter(i + 1);
+                        return Op::Send {
+                            dst: ProcId(self.plan.scatter_to[i]),
+                            payload: self.result.clone().expect("have result"),
+                        };
+                    }
+                    self.phase = Phase::Done;
+                }
+                Phase::Done => return Op::Halt,
+            }
+        }
+    }
+
+    fn on_recv(&mut self, msg: Envelope) {
+        if self.received.len() < self.plan.gather_from.len() {
+            self.received.push(msg);
+        } else {
+            // The only message after all gathers is the parent's result.
+            self.result = Some(msg.payload);
+        }
+    }
+}
+
+/// Outcome of a CB run.
+#[derive(Debug)]
+pub struct CbReport {
+    /// Makespan measured from the latest `join_at` (Proposition 2's
+    /// `T_synch` convention) — zero-clamped if the machine somehow finished
+    /// before the last join.
+    pub t_cb: Steps,
+    /// Absolute machine makespan.
+    pub makespan: Steps,
+    /// The result payload as seen by every processor.
+    pub results: Vec<Payload>,
+}
+
+/// Run a full CB: builds the tree (`k = max{2, ⌈L/G⌉}`, timed slots iff the
+/// capacity is 1), executes it on a fresh LogP machine with stalling
+/// *forbidden* (the algorithm must be stall-free by construction), and
+/// returns per-processor results plus timing.
+pub fn run_cb(
+    params: LogpParams,
+    shape: TreeShape,
+    values: Vec<Payload>,
+    combine: Combine,
+    join_times: &[Steps],
+    seed: u64,
+) -> Result<CbReport, ModelError> {
+    assert_eq!(values.len(), params.p);
+    assert_eq!(join_times.len(), params.p);
+    let k = 2usize.max(params.capacity() as usize);
+    let timed = params.capacity() == 1;
+    let plans = build_plans(params.p, k, shape, timed);
+    let ordered = shape == TreeShape::Range;
+    // The heap tree is stall-free by construction (timed slots cover the
+    // capacity-1 case, per §4.1). The range tree bounds per-level fan-in by
+    // k-1 <= capacity but can see brief cross-level overlaps at capacity 1;
+    // stalling is permitted there (correctness unaffected, bounded delay).
+    let forbid = shape == TreeShape::Heap || params.capacity() > 1;
+    let procs: Vec<CbProcess> = plans
+        .into_iter()
+        .zip(values)
+        .zip(join_times)
+        .map(|((plan, v), &j)| CbProcess::new(plan, v, combine.clone(), ordered, j, params.l))
+        .collect();
+    let config = LogpConfig {
+        forbid_stalling: forbid,
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, procs);
+    let report = machine.run()?;
+    let last_join = join_times.iter().copied().max().unwrap_or(Steps::ZERO);
+    let results: Vec<Payload> = machine
+        .into_programs()
+        .into_iter()
+        .map(|p| p.result().cloned().expect("CB completed"))
+        .collect();
+    Ok(CbReport {
+        t_cb: report.makespan.saturating_sub(last_join),
+        makespan: report.makespan,
+        results,
+    })
+}
+
+/// Convenience: CB over single words with a word-level operator.
+pub fn word_combine(f: fn(i64, i64) -> i64) -> Combine {
+    Arc::new(move |a: &Payload, b: &Payload| {
+        Payload::word(a.tag, f(a.expect_word(), b.expect_word()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps0(p: usize) -> Vec<Steps> {
+        vec![Steps::ZERO; p]
+    }
+
+    #[test]
+    fn heap_plans_form_a_tree() {
+        let plans = build_plans(10, 3, TreeShape::Heap, false);
+        assert!(plans[0].send_up_to.is_none());
+        assert_eq!(plans[0].gather_from, vec![1, 2, 3]);
+        assert_eq!(plans[3].send_up_to, Some(0));
+        assert_eq!(plans[3].gather_from, vec![]);
+        assert_eq!(plans[1].gather_from, vec![4, 5, 6]);
+        // Every non-root appears exactly once as someone's child.
+        let mut seen = vec![0usize; 10];
+        for pl in &plans {
+            for &c in &pl.gather_from {
+                seen[c as usize] += 1;
+            }
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1..].iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn range_plans_cover_every_processor_once() {
+        for p in [1usize, 2, 3, 7, 16, 31] {
+            for k in [2usize, 3, 5] {
+                let plans = build_plans(p, k, TreeShape::Range, false);
+                let mut seen = vec![0usize; p];
+                for pl in &plans {
+                    for &c in &pl.gather_from {
+                        seen[c as usize] += 1;
+                    }
+                }
+                assert_eq!(seen[0], 0, "p={p} k={k}");
+                assert!(seen[1..].iter().all(|&s| s == 1), "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cb_max_over_all_processors() {
+        let params = LogpParams::new(13, 8, 1, 2).unwrap();
+        let values: Vec<Payload> = (0..13).map(|i| Payload::word(0, (i * 7 % 13) as i64)).collect();
+        let rep = run_cb(
+            params,
+            TreeShape::Heap,
+            values,
+            word_combine(i64::max),
+            &steps0(13),
+            1,
+        )
+        .unwrap();
+        for r in &rep.results {
+            assert_eq!(r.expect_word(), 12);
+        }
+    }
+
+    #[test]
+    fn cb_and_barrier_semantics() {
+        let params = LogpParams::new(8, 8, 1, 2).unwrap();
+        let values = vec![Payload::word(0, 1); 8];
+        let rep = run_cb(
+            params,
+            TreeShape::Heap,
+            values,
+            word_combine(|a, b| a & b),
+            &steps0(8),
+            1,
+        )
+        .unwrap();
+        assert!(rep.results.iter().all(|r| r.expect_word() == 1));
+    }
+
+    #[test]
+    fn cb_with_capacity_one_uses_timed_slots_and_stays_stall_free() {
+        // G = L -> capacity 1, binary tree, timed slots. forbid_stalling
+        // inside run_cb turns any violation into an error.
+        let params = LogpParams::new(16, 6, 1, 6).unwrap();
+        assert_eq!(params.capacity(), 1);
+        let values: Vec<Payload> = (0..16).map(|i| Payload::word(0, i as i64)).collect();
+        let rep = run_cb(
+            params,
+            TreeShape::Heap,
+            values,
+            word_combine(i64::max),
+            &steps0(16),
+            2,
+        )
+        .unwrap();
+        assert!(rep.results.iter().all(|r| r.expect_word() == 15));
+    }
+
+    #[test]
+    fn cb_sum_matches_sequential() {
+        let params = LogpParams::new(32, 16, 2, 4).unwrap();
+        let values: Vec<Payload> = (0..32).map(|i| Payload::word(0, i as i64 * 3 - 7)).collect();
+        let expect: i64 = (0..32).map(|i| i * 3 - 7).sum();
+        let rep = run_cb(
+            params,
+            TreeShape::Heap,
+            values,
+            word_combine(|a, b| a + b),
+            &steps0(32),
+            3,
+        )
+        .unwrap();
+        assert!(rep.results.iter().all(|r| r.expect_word() == expect));
+    }
+
+    #[test]
+    fn range_tree_supports_non_commutative_fold() {
+        // Operator: list concatenation (associative, NOT commutative).
+        let params = LogpParams::new(11, 8, 1, 2).unwrap();
+        let values: Vec<Payload> = (0..11).map(|i| Payload::word(0, i as i64)).collect();
+        let concat: Combine = Arc::new(|a: &Payload, b: &Payload| {
+            let mut data = a.data.clone();
+            data.extend_from_slice(&b.data);
+            Payload { tag: 0, data }
+        });
+        let rep = run_cb(params, TreeShape::Range, values, concat, &steps0(11), 4).unwrap();
+        let expect: Vec<i64> = (0..11).collect();
+        for r in &rep.results {
+            assert_eq!(r.data, expect, "fold must preserve processor order");
+        }
+    }
+
+    #[test]
+    fn staggered_joins_measure_from_latest() {
+        let params = LogpParams::new(8, 8, 1, 2).unwrap();
+        let joins: Vec<Steps> = (0..8).map(|i| Steps(i as u64 * 10)).collect();
+        let values = vec![Payload::word(0, 1); 8];
+        let rep = run_cb(
+            params,
+            TreeShape::Heap,
+            values,
+            word_combine(|a, b| a & b),
+            &joins,
+            5,
+        )
+        .unwrap();
+        assert!(rep.makespan >= Steps(70));
+        assert!(rep.t_cb < rep.makespan);
+    }
+
+    #[test]
+    fn cb_time_tracks_the_proposition2_bound() {
+        // Measured T_CB should be within a small constant of the paper's
+        // 3(L+o) log p / log(1+cap) expression across parameter choices.
+        for (p, l, o, g) in [(64, 16, 1, 2), (64, 8, 1, 8), (128, 32, 2, 4), (256, 16, 1, 2)] {
+            let params = LogpParams::new(p, l, o, g).unwrap();
+            let values = vec![Payload::word(0, 1); p];
+            let rep = run_cb(
+                params,
+                TreeShape::Heap,
+                values,
+                word_combine(|a, b| a & b),
+                &vec![Steps::ZERO; p],
+                6,
+            )
+            .unwrap();
+            let bound = params.cb_bound();
+            let measured = rep.t_cb.get() as f64;
+            assert!(
+                measured <= 2.0 * bound + 4.0 * (l + o) as f64,
+                "p={p} L={l} o={o} G={g}: measured {measured}, bound {bound}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod capacity_one_range_tests {
+    use super::*;
+
+    #[test]
+    fn range_tree_correct_at_capacity_one() {
+        // G = L -> capacity 1: the range tree may stall briefly (permitted;
+        // see run_cb) but the ordered fold must still be exact.
+        let params = LogpParams::new(13, 6, 1, 6).unwrap();
+        assert_eq!(params.capacity(), 1);
+        let values: Vec<Payload> = (0..13).map(|i| Payload::word(0, i as i64)).collect();
+        let concat: Combine = Arc::new(|a: &Payload, b: &Payload| {
+            let mut d = a.data.clone();
+            d.extend_from_slice(&b.data);
+            Payload { tag: 0, data: d }
+        });
+        let rep = run_cb(
+            params,
+            TreeShape::Range,
+            values,
+            concat,
+            &vec![Steps::ZERO; 13],
+            8,
+        )
+        .unwrap();
+        let expect: Vec<i64> = (0..13).collect();
+        assert!(rep.results.iter().all(|r| r.data == expect));
+    }
+}

@@ -1,0 +1,20 @@
+//! Simulation of BSP on LogP (§4, Theorems 2 and 3).
+//!
+//! The superstep simulation needs two ingredients beyond local execution:
+//! a LogP barrier ([`cb`], Propositions 1–2) and a capacity-respecting
+//! h-relation router — deterministic via sorting-based decomposition
+//! ([`route_det`], with [`sortnet`] and [`columnsort`] as the two §4.2
+//! sorting schemes) or randomized batching ([`route_rand`], Theorem 3).
+//! [`runner`] assembles them into the full per-superstep pipeline; shared
+//! phase plumbing (scripted machine runs, off-line optimal routing) lives
+//! in [`phase`], and the message records the sorting protocols move live in
+//! [`record`].
+
+pub mod cb;
+pub mod columnsort;
+pub mod phase;
+pub mod record;
+pub mod route_det;
+pub mod route_rand;
+pub mod runner;
+pub mod sortnet;

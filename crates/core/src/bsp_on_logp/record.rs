@@ -1,0 +1,131 @@
+//! The routable message record used by the §4.2 sorting-based protocols.
+//!
+//! The deterministic router moves whole messages (destination, unique id,
+//! original payload) through the sorting phases; the sort key is
+//! `(destination, uid)`, with dummy records carrying "nominal destination
+//! `p`" exactly as Step 1 of the protocol prescribes, so they sort after
+//! every real message.
+
+use bvl_model::{Payload, Word};
+
+/// A message record in transit through the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Destination processor, or `p` for a dummy.
+    pub dest: u32,
+    /// Globally unique id (ties the record back to its demand; also breaks
+    /// sort-key ties so records are totally ordered).
+    pub uid: u64,
+    /// Original payload tag.
+    pub tag: u32,
+    /// Original payload words.
+    pub data: Vec<Word>,
+}
+
+impl Record {
+    /// A dummy record (nominal destination `p`).
+    pub fn dummy(p: usize, uid: u64) -> Record {
+        Record {
+            dest: p as u32,
+            uid,
+            tag: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Is this a dummy for a `p`-processor machine?
+    pub fn is_dummy(&self, p: usize) -> bool {
+        self.dest as usize >= p
+    }
+
+    /// The sort key.
+    pub fn key(&self) -> (u32, u64) {
+        (self.dest, self.uid)
+    }
+
+    /// Encode into a message payload (constant-size per the model: the
+    /// record rides in one message).
+    pub fn to_payload(&self) -> Payload {
+        let mut data = Vec::with_capacity(3 + self.data.len());
+        data.push(self.dest as Word);
+        data.push(self.uid as Word);
+        data.push(self.tag as Word);
+        data.extend_from_slice(&self.data);
+        Payload { tag: RECORD_TAG, data }
+    }
+
+    /// Decode from a payload produced by [`Record::to_payload`].
+    pub fn from_payload(p: &Payload) -> Record {
+        assert_eq!(p.tag, RECORD_TAG, "not a record payload");
+        Record {
+            dest: p.data[0] as u32,
+            uid: p.data[1] as u64,
+            tag: p.data[2] as u32,
+            data: p.data[3..].to_vec(),
+        }
+    }
+
+    /// The original message payload this record carries.
+    pub fn original_payload(&self) -> Payload {
+        Payload {
+            tag: self.tag,
+            data: self.data.clone(),
+        }
+    }
+}
+
+/// Payload tag marking an encoded [`Record`].
+pub const RECORD_TAG: u32 = 0x5EC0;
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Record {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let r = Record {
+            dest: 3,
+            uid: 42,
+            tag: 7,
+            data: vec![10, -20, 30],
+        };
+        let back = Record::from_payload(&r.to_payload());
+        assert_eq!(r, back);
+        assert_eq!(back.original_payload().tag, 7);
+        assert_eq!(back.original_payload().data, vec![10, -20, 30]);
+    }
+
+    #[test]
+    fn dummies_sort_last() {
+        let real = Record {
+            dest: 7,
+            uid: 999,
+            tag: 0,
+            data: vec![],
+        };
+        let dummy = Record::dummy(8, 0);
+        assert!(real < dummy);
+        assert!(dummy.is_dummy(8));
+        assert!(!real.is_dummy(8));
+    }
+
+    #[test]
+    fn ordering_by_dest_then_uid() {
+        let a = Record { dest: 1, uid: 5, tag: 0, data: vec![] };
+        let b = Record { dest: 1, uid: 6, tag: 0, data: vec![] };
+        let c = Record { dest: 2, uid: 0, tag: 0, data: vec![] };
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,224 @@
+//! Randomized routing of h-relations with `h` known in advance (§4.3,
+//! Theorem 3).
+//!
+//! The protocol, per processor:
+//!
+//! 1. Assign each outgoing message an integer batch uniformly in `[1, R]`,
+//!    independently, with `R = (1 + β')·h/⌈L/G⌉`.
+//! 2. Execute `R` rounds of `2(L + o)` steps each; in round `r` transmit up
+//!    to `⌈L/G⌉` messages of batch `r`, one every `G` steps.
+//! 3. Transmit all remaining messages, one every `G` steps.
+//!
+//! Theorem 3: with `⌈L/G⌉ ≥ c₁ log p`, the relation completes without
+//! stalling in time `βGh` with probability `≥ 1 − p^{−c₂}`,
+//! `β = 4e^{2(c₂+3)/c₁}`. Even when the Chernoff bound fails, the Stalling
+//! Rule guarantees an `O(Gh²)` worst case. The engine runs with stalling
+//! *permitted* and reports whether any occurred — that is the experiment's
+//! measured failure event.
+
+use crate::bsp_on_logp::phase::verify_delivery;
+use crate::slowdown::theorem3_batches;
+use bvl_logp::{LogpParams, Op, Script};
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{HRelation, ModelError, Steps};
+use rand::Rng;
+
+/// Outcome of one randomized routing run.
+#[derive(Clone, Debug)]
+pub struct RouteRandReport {
+    /// Completion time (makespan of the routing phase).
+    pub time: Steps,
+    /// Number of batches `R` used.
+    pub batches: u64,
+    /// Messages that overflowed their batch's capacity window and were sent
+    /// in the cleanup step (Step 3).
+    pub leftover: usize,
+    /// Did any processor stall?
+    pub stalled: bool,
+    /// Total stall episodes (0 in the high-probability case).
+    pub stall_episodes: u64,
+    /// Measured `time / (G·h)` — the empirical β.
+    pub beta_measured: f64,
+}
+
+/// Route `rel` (degree `h` assumed known to all processors, as Theorem 3
+/// requires) with the randomized batching protocol. `slack` is the batch
+/// head-room factor `1 + β'` (see `slowdown::theorem3_batches`; `2.0` is a
+/// good default).
+pub fn route_randomized(
+    params: LogpParams,
+    rel: &HRelation,
+    slack: f64,
+    seed: u64,
+) -> Result<RouteRandReport, ModelError> {
+    let p = params.p;
+    assert_eq!(rel.p(), p);
+    let h = rel.degree() as u64;
+    if h == 0 {
+        return Ok(RouteRandReport {
+            time: Steps::ZERO,
+            batches: 0,
+            leftover: 0,
+            stalled: false,
+            stall_episodes: 0,
+            beta_measured: 0.0,
+        });
+    }
+    let cap = params.capacity() as usize;
+    let r_batches = theorem3_batches(&params, h, slack);
+    let round_len = 2 * (params.l + params.o);
+
+    // Batch assignment, independently uniform per message.
+    let seeds = SeedStream::new(seed);
+    let mut assign: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); r_batches as usize]; p];
+    for (idx, d) in rel.demands().iter().enumerate() {
+        let mut rng = seeds.derive("batch", idx as u64);
+        let b = rng.gen_range(0..r_batches) as usize;
+        assign[d.src.index()][b].push(idx);
+    }
+
+    // Build the scripts.
+    let in_deg = rel.in_degrees();
+    let mut leftover = 0usize;
+    let scripts: Vec<Script> = (0..p)
+        .map(|j| {
+            let mut ops = Vec::new();
+            let mut spill: Vec<usize> = Vec::new();
+            for (b, msgs) in assign[j].iter().enumerate() {
+                if msgs.is_empty() && spill.is_empty() {
+                    continue;
+                }
+                let start = Steps(b as u64 * round_len);
+                if !msgs.is_empty() {
+                    ops.push(Op::WaitUntil(start));
+                }
+                for (k, &idx) in msgs.iter().enumerate() {
+                    if k < cap {
+                        let d = &rel.demands()[idx];
+                        ops.push(Op::Send {
+                            dst: d.dst,
+                            payload: d.payload.clone(),
+                        });
+                    } else {
+                        spill.push(idx);
+                    }
+                }
+            }
+            // Step 3: cleanup at the end of the R rounds.
+            if !spill.is_empty() {
+                leftover += spill.len();
+                ops.push(Op::WaitUntil(Steps(r_batches * round_len)));
+                for idx in spill {
+                    let d = &rel.demands()[idx];
+                    ops.push(Op::Send {
+                        dst: d.dst,
+                        payload: d.payload.clone(),
+                    });
+                }
+            }
+            ops.extend(std::iter::repeat(Op::Recv).take(in_deg[j]));
+            Script::new(ops)
+        })
+        .collect();
+
+    // Stalling permitted: its occurrence is the measured failure event.
+    let config = bvl_logp::LogpConfig {
+        forbid_stalling: false,
+        seed: seed.wrapping_add(1),
+        ..bvl_logp::LogpConfig::default()
+    };
+    let mut machine = bvl_logp::LogpMachine::with_config(params, config, scripts);
+    let report = machine.run()?;
+    let received: Vec<Vec<bvl_model::Envelope>> = machine
+        .into_programs()
+        .into_iter()
+        .map(|s| s.into_received())
+        .collect();
+    verify_delivery(rel, &received).map_err(ModelError::Internal)?;
+
+    Ok(RouteRandReport {
+        time: report.makespan,
+        batches: r_batches,
+        leftover,
+        stalled: report.stall_episodes > 0,
+        stall_episodes: report.stall_episodes,
+        beta_measured: report.makespan.get() as f64 / (params.g * h) as f64,
+    })
+}
+
+// Re-exported so callers can size experiments without running them.
+pub use crate::slowdown::theorem3_beta;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameters satisfying ⌈L/G⌉ ≥ c₁ log p comfortably.
+    fn roomy_params(p: usize) -> LogpParams {
+        // L = 64, G = 2 -> capacity 32 >= 4·log2(p) for p <= 256.
+        LogpParams::new(p, 64, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn routes_exact_relation_without_stalling_whp() {
+        let params = roomy_params(16);
+        let mut rng = SeedStream::new(3).derive("rel", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 32);
+        let rep = route_randomized(params, &rel, 2.0, 42).unwrap();
+        assert!(!rep.stalled, "stall in the high-probability regime");
+        assert!(rep.beta_measured > 0.0);
+        // Time should be within the advertised O(Gh) regime — allow a
+        // generous constant for the engine's acquisition serialization.
+        assert!(
+            rep.time.get() <= 40 * params.g * 32,
+            "time {:?} vs Gh {}",
+            rep.time,
+            params.g * 32
+        );
+    }
+
+    #[test]
+    fn empty_relation_is_free() {
+        let params = roomy_params(8);
+        let rel = HRelation::new(8);
+        let rep = route_randomized(params, &rel, 2.0, 1).unwrap();
+        assert_eq!(rep.time, Steps::ZERO);
+    }
+
+    #[test]
+    fn permutation_routes_quickly() {
+        let params = roomy_params(32);
+        let mut rng = SeedStream::new(4).derive("rel", 0);
+        let rel = HRelation::random_permutation(&mut rng, 32);
+        let rep = route_randomized(params, &rel, 2.0, 7).unwrap();
+        assert!(!rep.stalled);
+        assert_eq!(rep.batches, theorem3_batches(&params, 1, 2.0));
+    }
+
+    #[test]
+    fn hot_spot_completes_even_if_it_stalls() {
+        // A hot spot with tiny capacity: stalls likely, but the Stalling
+        // Rule still bounds completion by O(Gh^2).
+        let params = LogpParams::new(8, 4, 1, 2).unwrap(); // capacity 2
+        let rel = HRelation::hot_spot(8, bvl_model::ProcId(0), 7, 3);
+        let h = rel.degree() as u64;
+        let rep = route_randomized(params, &rel, 2.0, 9).unwrap();
+        assert!(
+            rep.time.get() <= 4 * params.g * h * h + 8 * params.l,
+            "time {:?} vs Gh^2 {}",
+            rep.time,
+            params.g * h * h
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = roomy_params(16);
+        let mut rng = SeedStream::new(5).derive("rel", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 8);
+        let a = route_randomized(params, &rel, 2.0, 11).unwrap();
+        let b = route_randomized(params, &rel, 2.0, 11).unwrap();
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.leftover, b.leftover);
+    }
+}

@@ -1,0 +1,356 @@
+//! The full BSP-on-LogP superstep simulation (§4, Theorem 2).
+//!
+//! Per superstep, the simulation has "the following general structure"
+//! (paper §4): (1) each LogP processor executes the local computation of
+//! its BSP processor, buffering generated messages; (2) it joins a
+//! synchronization activity (CB with Boolean AND) that ends after all have
+//! completed; (3) a LogP routing protocol delivers all messages, which also
+//! signals termination, so no further synchronization precedes the next
+//! superstep. The superstep's simulated time is
+//!
+//! ```text
+//! T_superstep = w + T_synch + T_rout(h)
+//! ```
+//!
+//! realized here as: the CB phase with join times `w_i` (so `T_synch` is
+//! measured from the latest join, per Proposition 2) plus the routing
+//! phase's makespan. The slowdown against a native BSP machine with
+//! `g = G, ℓ = L` is the quantity Theorem 2 bounds by `S(L, G, p, h)`.
+
+use crate::bsp_on_logp::cb::{run_cb, word_combine, TreeShape};
+use crate::bsp_on_logp::phase::route_offline;
+use crate::bsp_on_logp::route_det::{route_deterministic, SortScheme};
+use crate::bsp_on_logp::route_rand::route_randomized;
+use bvl_bsp::{BspParams, BspProcess, Status, SuperstepCtx};
+use bvl_logp::LogpParams;
+use bvl_model::{Envelope, HRelation, ModelError, MsgId, Payload, ProcId, Steps};
+
+/// How the communication phase routes each superstep's h-relation.
+#[derive(Clone, Copy, Debug)]
+pub enum RoutingStrategy {
+    /// Theorem 2's deterministic sorting-based protocol.
+    Deterministic(SortScheme),
+    /// Theorem 3's randomized batching protocol (`h` is taken from the
+    /// relation, i.e. assumed known in advance, as the theorem requires).
+    Randomized {
+        /// Batch head-room factor (see `slowdown::theorem3_batches`).
+        slack: f64,
+    },
+    /// Off-line optimal routing (`2o + G(h−1) + L`) — the input-independent
+    /// baseline of §4.2.
+    Offline,
+}
+
+/// Options for the superstep simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem2Config {
+    /// Routing strategy.
+    pub strategy: RoutingStrategy,
+    /// Master seed.
+    pub seed: u64,
+    /// Superstep budget.
+    pub max_supersteps: u64,
+}
+
+impl Default for Theorem2Config {
+    fn default() -> Self {
+        Theorem2Config {
+            strategy: RoutingStrategy::Deterministic(SortScheme::Auto),
+            seed: 0,
+            max_supersteps: 100_000,
+        }
+    }
+}
+
+/// Timing breakdown of one simulated superstep.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperstepBreakdown {
+    /// Maximum local work.
+    pub w: u64,
+    /// Degree of the routed relation.
+    pub h: u64,
+    /// Synchronization time (from the latest join).
+    pub t_synch: Steps,
+    /// Routing time.
+    pub t_rout: Steps,
+    /// Total simulated LogP time for the superstep.
+    pub total: Steps,
+    /// What a native BSP machine with `g = G, ℓ = L` charges.
+    pub native: Steps,
+}
+
+/// Outcome of a full BSP-on-LogP run.
+pub struct Theorem2Report<P> {
+    /// Per-superstep breakdowns.
+    pub supersteps: Vec<SuperstepBreakdown>,
+    /// Total simulated LogP time.
+    pub total: Steps,
+    /// Total native-BSP reference cost.
+    pub native_total: Steps,
+    /// Guest programs in their final states.
+    pub programs: Vec<P>,
+}
+
+impl<P> Theorem2Report<P> {
+    /// Measured overall slowdown vs the native `g = G, ℓ = L` BSP machine.
+    pub fn slowdown(&self) -> f64 {
+        self.total.get() as f64 / self.native_total.get().max(1) as f64
+    }
+}
+
+/// Run a BSP program (one [`BspProcess`] per processor) on a LogP machine.
+pub fn simulate_bsp_on_logp<P: BspProcess>(
+    logp: LogpParams,
+    mut programs: Vec<P>,
+    config: Theorem2Config,
+) -> Result<Theorem2Report<P>, ModelError> {
+    let p = logp.p;
+    assert_eq!(programs.len(), p, "need exactly p programs");
+    let native = BspParams::new(p, logp.g, logp.l).expect("valid params");
+
+    let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); p];
+    let mut halted = vec![false; p];
+    let mut supersteps: Vec<SuperstepBreakdown> = Vec::new();
+    let mut total = Steps::ZERO;
+    let mut native_total = Steps::ZERO;
+    let mut next_msg_id = 0u64;
+    let mut index = 0u64;
+
+    while halted.iter().any(|&h| !h) {
+        if index >= config.max_supersteps {
+            return Err(ModelError::Timeout {
+                budget: config.max_supersteps,
+            });
+        }
+        // --- Phase 1: local computation (guest BSP bodies). -------------
+        let mut works = vec![0u64; p];
+        let mut rel = HRelation::new(p);
+        for i in 0..p {
+            if halted[i] {
+                continue;
+            }
+            let mut inbox = std::mem::take(&mut inboxes[i]);
+            let mut ctx = SuperstepCtx::new(ProcId::from(i), p, index, &mut inbox);
+            let status = programs[i].superstep(&mut ctx);
+            let (w, outbox, _read) = ctx.finish();
+            works[i] = w;
+            for (dst, payload) in outbox {
+                rel.push(ProcId::from(i), dst, payload);
+            }
+            if status == Status::Halt {
+                halted[i] = true;
+            }
+        }
+        let w_max = works.iter().copied().max().unwrap_or(0);
+        let h = rel.degree() as u64;
+
+        // --- Phase 2: synchronization (CB-AND, joins at w_i). ------------
+        let joins: Vec<Steps> = works.iter().map(|&w| Steps(w)).collect();
+        let cb = run_cb(
+            logp,
+            TreeShape::Heap,
+            vec![Payload::word(0, 1); p],
+            word_combine(|a, b| a & b),
+            &joins,
+            config.seed.wrapping_add(index * 17 + 1),
+        )?;
+        debug_assert!(cb.results.iter().all(|r| r.expect_word() == 1));
+        let t_synch = cb.t_cb;
+
+        // --- Phase 3: routing. -------------------------------------------
+        let seed = config.seed.wrapping_add(index * 17 + 2);
+        let t_rout = if rel.is_empty() {
+            Steps::ZERO
+        } else {
+            match config.strategy {
+                RoutingStrategy::Deterministic(scheme) => {
+                    route_deterministic(logp, &rel, scheme, seed)?.total
+                }
+                RoutingStrategy::Randomized { slack } => route_randomized(logp, &rel, slack, seed)?.time,
+                RoutingStrategy::Offline => route_offline(logp, &rel, seed)?.0,
+            }
+        };
+
+        // Deliver to guest inboxes in the BSP machine's canonical order
+        // (sender id, then submission order at the sender).
+        for d in rel.into_demands() {
+            let env = Envelope {
+                id: MsgId(next_msg_id),
+                src: d.src,
+                dst: d.dst,
+                payload: d.payload,
+                submitted: total,
+                accepted: total,
+                delivered: total,
+            };
+            next_msg_id += 1;
+            inboxes[env.dst.index()].push(env);
+        }
+
+        let step_total = cb.makespan + t_rout;
+        let native_cost = native.superstep_cost(w_max, h);
+        supersteps.push(SuperstepBreakdown {
+            w: w_max,
+            h,
+            t_synch,
+            t_rout,
+            total: step_total,
+            native: native_cost,
+        });
+        total += step_total;
+        native_total += native_cost;
+        index += 1;
+    }
+
+    Ok(Theorem2Report {
+        supersteps,
+        total,
+        native_total,
+        programs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_bsp::{BspMachine, FnProcess};
+
+    /// The gather workload from the BSP crate's tests: everyone sends its id
+    /// to P0, which sums in the next superstep.
+    fn gather(p: usize) -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |state, ctx| match ctx.superstep_index() {
+                    0 => {
+                        ctx.send(ProcId(0), Payload::word(0, ctx.me().0 as i64));
+                        Status::Continue
+                    }
+                    _ => {
+                        if ctx.me().0 == 0 {
+                            while let Some(m) = ctx.recv() {
+                                *state += m.payload.expect_word();
+                            }
+                        }
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn ring(p: usize, rounds: u64) -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |acc, ctx| {
+                    let p = ctx.p();
+                    if ctx.superstep_index() > 0 {
+                        *acc += ctx.recv().unwrap().payload.expect_word();
+                    }
+                    if ctx.superstep_index() < rounds {
+                        let right = ProcId(((ctx.me().0 as usize + 1) % p) as u32);
+                        ctx.send(right, Payload::word(0, ctx.me().0 as i64));
+                        ctx.charge(3);
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gather_results_match_native_bsp() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        // Native run.
+        let bsp = BspParams::new(8, 2, 8).unwrap();
+        let mut native = BspMachine::new(bsp, gather(8));
+        native.run(10).unwrap();
+        let want = *native.process(0).state();
+
+        for strategy in [
+            RoutingStrategy::Deterministic(SortScheme::Network),
+            RoutingStrategy::Randomized { slack: 2.0 },
+            RoutingStrategy::Offline,
+        ] {
+            let rep = simulate_bsp_on_logp(
+                logp,
+                gather(8),
+                Theorem2Config {
+                    strategy,
+                    ..Theorem2Config::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(*rep.programs[0].state(), want, "{strategy:?}");
+            assert_eq!(rep.supersteps.len(), 2);
+            assert_eq!(rep.supersteps[0].h, 8);
+        }
+    }
+
+    #[test]
+    fn ring_multi_superstep_equivalence() {
+        let logp = LogpParams::new(16, 16, 1, 4).unwrap();
+        let bsp = BspParams::new(16, 4, 16).unwrap();
+        let mut native = BspMachine::new(bsp, ring(16, 5));
+        native.run(10).unwrap();
+        let rep = simulate_bsp_on_logp(logp, ring(16, 5), Theorem2Config::default()).unwrap();
+        for i in 0..16 {
+            assert_eq!(rep.programs[i].state(), native.process(i).state());
+        }
+        assert_eq!(rep.supersteps.len(), 6);
+    }
+
+    #[test]
+    fn superstep_accounting_adds_up() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        let rep = simulate_bsp_on_logp(logp, ring(8, 2), Theorem2Config::default()).unwrap();
+        let sum: Steps = rep.supersteps.iter().map(|s| s.total).sum();
+        assert_eq!(sum, rep.total);
+        let native: Steps = rep.supersteps.iter().map(|s| s.native).sum();
+        assert_eq!(native, rep.native_total);
+        assert!(rep.slowdown() >= 1.0, "slowdown {}", rep.slowdown());
+    }
+
+    #[test]
+    fn offline_strategy_is_fastest() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        let det = simulate_bsp_on_logp(
+            logp,
+            ring(8, 3),
+            Theorem2Config {
+                strategy: RoutingStrategy::Deterministic(SortScheme::Network),
+                ..Theorem2Config::default()
+            },
+        )
+        .unwrap();
+        let off = simulate_bsp_on_logp(
+            logp,
+            ring(8, 3),
+            Theorem2Config {
+                strategy: RoutingStrategy::Offline,
+                ..Theorem2Config::default()
+            },
+        )
+        .unwrap();
+        assert!(off.total < det.total, "offline {:?} det {:?}", off.total, det.total);
+    }
+
+    #[test]
+    fn pure_compute_costs_only_sync() {
+        let logp = LogpParams::new(4, 8, 1, 2).unwrap();
+        let procs: Vec<FnProcess<()>> = (0..4)
+            .map(|_| {
+                FnProcess::new((), |_, ctx| {
+                    ctx.charge(10);
+                    Status::Halt
+                })
+            })
+            .collect();
+        let rep = simulate_bsp_on_logp(logp, procs, Theorem2Config::default()).unwrap();
+        assert_eq!(rep.supersteps.len(), 1);
+        assert_eq!(rep.supersteps[0].w, 10);
+        assert_eq!(rep.supersteps[0].t_rout, Steps::ZERO);
+        assert!(rep.supersteps[0].t_synch > Steps::ZERO);
+    }
+}

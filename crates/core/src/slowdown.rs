@@ -1,0 +1,169 @@
+//! The paper's analytic slowdown expressions, used by the experiment
+//! binaries to print measured-vs-predicted columns.
+
+use bvl_logp::LogpParams;
+
+/// Theorem 1's slowdown bound for simulating stall-free LogP on BSP:
+/// `O(1 + g/G + ℓ/L)` (constant when `g = Θ(G)`, `ℓ = Θ(L)`).
+pub fn theorem1_bound(g: u64, l: u64, big_g: u64, big_l: u64) -> f64 {
+    1.0 + g as f64 / big_g as f64 + l as f64 / big_l as f64
+}
+
+/// The sequential sorting time `Tseq-sort(r)` of §4.2 for `r` keys in the
+/// range `[0, p]`: `r · min{log r, ⌈log p / log r⌉}` via Radixsort.
+pub fn t_seq_sort(r: u64, p: u64) -> u64 {
+    if r <= 1 {
+        return r;
+    }
+    let log_r = (r as f64).log2().ceil().max(1.0);
+    let log_p = (p.max(2) as f64).log2().ceil();
+    let radix = (log_p / log_r).ceil().max(1.0);
+    (r as f64 * log_r.min(radix)) as u64
+}
+
+/// The synchronization term of Proposition 2:
+/// `T_synch = Θ(L · log p / log(1 + ⌈L/G⌉))`.
+pub fn t_synch_bound(params: &LogpParams) -> f64 {
+    params.cb_bound()
+}
+
+/// Theorem 2's slowdown factor `S(L, G, p, h)`:
+///
+/// ```text
+/// S = L log p / ((Gh + L) log(1 + ⌈L/G⌉))
+///     + min{ log p, (log p / (h log(h+1)))² · Tseq-sort(h) / (Gh + L) }
+/// ```
+///
+/// (The paper's expression; the `25^{log* ph − log* h}` Cubesort factor is
+/// constant in the large-`h` regime and omitted, as in the paper.)
+/// `S = O(log p)` always; `S = O(1)` for `h = Ω(p^ε + L log p)`.
+pub fn theorem2_s(params: &LogpParams, h: u64) -> f64 {
+    let p = params.p as f64;
+    if p <= 1.0 {
+        return 1.0;
+    }
+    let log_p = p.log2();
+    let gh_l = (params.g * h + params.l) as f64;
+    let sync_term = (params.l as f64) * log_p / (gh_l * (1.0 + params.capacity() as f64).log2());
+    let sort_small = log_p; // AKS-route: O(log p)
+    let h_f = h.max(1) as f64;
+    let sort_large =
+        (log_p / (h_f * (h_f + 1.0).log2().max(1.0))).powi(2) * t_seq_sort(h, params.p as u64) as f64
+            / gh_l;
+    sync_term + sort_small.min(sort_large)
+}
+
+/// Theorem 2's total superstep bound: `O(w + (Gh + L) · S)`.
+pub fn theorem2_superstep_bound(params: &LogpParams, w: u64, h: u64) -> f64 {
+    w as f64 + (params.g * h + params.l) as f64 * theorem2_s(params, h)
+}
+
+/// Theorem 3's constant: `β = 4e^{2(c₂+3)/c₁}` where `⌈L/G⌉ ≥ c₁ log p` and
+/// the failure probability is `p^{−c₂}`.
+pub fn theorem3_beta(c1: f64, c2: f64) -> f64 {
+    4.0 * (2.0 * (c2 + 3.0) / c1).exp()
+}
+
+/// Theorem 3's batch count `R = (1 + β)·h/⌈L/G⌉` (protocol Step 1). The
+/// paper sets `1 + β = e^{2(c₂+3)/c₁}` to make the Chernoff bound close;
+/// that constant is a worst-case artifact (it explodes for small
+/// `c₁ = ⌈L/G⌉/log p`), so the runnable protocol takes the slack factor
+/// directly — `2.0` keeps the expected per-round load at half capacity,
+/// which the experiments show already drives the stall probability to
+/// (un)measurably small values. Use [`theorem3_slack`] to evaluate the
+/// paper's analytic choice.
+pub fn theorem3_batches(params: &LogpParams, h: u64, slack: f64) -> u64 {
+    assert!(slack >= 1.0);
+    let cap = params.capacity() as f64;
+    ((slack * h as f64 / cap).ceil() as u64).max(1)
+}
+
+/// The paper's analytic slack `1 + β' = e^{2(c₂+3)/c₁}` with
+/// `c₁ = ⌈L/G⌉ / log p` (meaningful only when `c₁` is bounded below).
+pub fn theorem3_slack(params: &LogpParams, c2: f64) -> f64 {
+    let cap = params.capacity() as f64;
+    let log_p = (params.p.max(2) as f64).log2();
+    let c1 = (cap / log_p).max(f64::MIN_POSITIVE);
+    (2.0 * (c2 + 3.0) / c1).exp()
+}
+
+/// Worst-case time for an h-relation under stalling (§4.3): `O(Gh²)`.
+pub fn stalling_worst_case(params: &LogpParams, h: u64) -> u64 {
+    params.g * h * h
+}
+
+/// The §3 bound for simulating *stalling* LogP programs on BSP with
+/// sort/prefix preprocessing: `O(((ℓ + g)/G) · log p)` per §3.
+pub fn stalling_simulation_bound(g: u64, l: u64, big_g: u64, p: usize) -> f64 {
+    ((l + g) as f64 / big_g as f64) * (p.max(2) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: usize, l: u64, g: u64) -> LogpParams {
+        LogpParams::new(p, l, 1, g).unwrap()
+    }
+
+    #[test]
+    fn theorem1_constant_when_matched() {
+        assert_eq!(theorem1_bound(4, 32, 4, 32), 3.0);
+        assert!(theorem1_bound(8, 32, 4, 32) > 3.0);
+    }
+
+    #[test]
+    fn t_seq_sort_regimes() {
+        // Small r: log r dominates the min.
+        assert_eq!(t_seq_sort(4, 1 << 20), 8); // 4 * min(2, 10)
+        // r = p^(1/2): radix term kicks in: min(log r, 2) = 2.
+        let r = 1 << 10;
+        assert_eq!(t_seq_sort(r, 1 << 20), r * 2);
+        assert_eq!(t_seq_sort(1, 100), 1);
+        assert_eq!(t_seq_sort(0, 100), 0);
+    }
+
+    #[test]
+    fn s_is_at_most_log_p_plus_sync() {
+        let pr = params(1024, 64, 4);
+        for h in [1u64, 4, 16, 64, 256, 1024, 4096] {
+            let s = theorem2_s(&pr, h);
+            assert!(s > 0.0);
+            assert!(s <= 2.0 * (1024f64).log2() + 1.0, "S({h}) = {s}");
+        }
+    }
+
+    #[test]
+    fn s_shrinks_for_large_h() {
+        let pr = params(1024, 64, 4);
+        let small = theorem2_s(&pr, 2);
+        let large = theorem2_s(&pr, 1 << 20);
+        assert!(large < small / 2.0, "small {small}, large {large}");
+        assert!(large < 2.0, "S must become O(1): {large}");
+    }
+
+    #[test]
+    fn beta_decreases_with_capacity_headroom() {
+        assert!(theorem3_beta(4.0, 1.0) < theorem3_beta(1.0, 1.0));
+        // c1 = 2(c2+3) makes the exponent 1.
+        let b = theorem3_beta(8.0, 1.0);
+        assert!((b - 4.0 * 1f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batches_scale_with_h_over_capacity() {
+        let pr = params(256, 64, 2); // capacity 32
+        let r1 = theorem3_batches(&pr, 64, 2.0);
+        let r2 = theorem3_batches(&pr, 128, 2.0);
+        assert_eq!(r1, 4);
+        assert_eq!(r2, 8);
+        assert!(theorem3_slack(&pr, 1.0) > 1.0);
+    }
+
+    #[test]
+    fn stalling_bounds() {
+        let pr = params(16, 8, 2);
+        assert_eq!(stalling_worst_case(&pr, 10), 200);
+        assert!(stalling_simulation_bound(2, 8, 2, 16) > 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Stalling studies (§2.2 discussion, §3 extension, §4.3 worst case).
+//!
+//! Three quantitative claims about the stalling regime are exercised here:
+//!
+//! 1. **Hot-spot throughput** (§2.2): under the Stalling Rule "the delivery
+//!    rate at the hot spot is the highest possible given the bandwidth
+//!    limitation (one message every `G` steps)", so concentrating traffic
+//!    can be *efficient* despite the stalled senders' lost cycles —
+//!    [`hot_spot_study`] measures it.
+//! 2. **Simulating stalling programs on BSP** (§3): the Theorem 1
+//!    simulation extended naively to stalling cycles loses the
+//!    `h ≤ ⌈L/G⌉` superstep bound; [`stalling_on_bsp`] measures the
+//!    resulting cost against the native stalling makespan, alongside the
+//!    paper's improved `O(((ℓ+g)/G) log p)` preprocessing bound.
+//! 3. **Worst case `O(Gh²)`** (§4.3): even when the randomized protocol's
+//!    Chernoff bound fails, total stall per processor is bounded because a
+//!    hot spot drains one message per `G`; [`gh_squared_check`] verifies
+//!    measured times stay under the bound.
+
+use crate::logp_on_bsp::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_bsp::BspParams;
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{HRelation, ModelError, Payload, ProcId, Steps};
+
+/// Measurements from one native hot-spot run.
+#[derive(Clone, Debug)]
+pub struct HotSpotReport {
+    /// Completion time.
+    pub makespan: Steps,
+    /// Total messages delivered to the target.
+    pub delivered: u64,
+    /// Stall episodes across all senders.
+    pub stall_episodes: u64,
+    /// Total stalled time across all senders.
+    pub total_stall: Steps,
+    /// Delivered messages per step over the drain window — the §2.2 claim
+    /// is that this approaches `1/G`.
+    pub drain_rate: f64,
+    /// Mean end-to-end message latency (grows under stalling).
+    pub mean_latency: f64,
+}
+
+/// Run `senders` processors each sending `k` messages to processor 0 and
+/// report throughput/stall metrics.
+pub fn hot_spot_study(
+    params: LogpParams,
+    senders: usize,
+    k: usize,
+    seed: u64,
+) -> Result<HotSpotReport, ModelError> {
+    let p = params.p;
+    assert!(senders < p);
+    let total_msgs = (senders * k) as u64;
+    let mut programs = vec![Script::new(vec![Op::Recv; senders * k])];
+    programs.extend((1..p).map(|i| {
+        if i <= senders {
+            Script::new((0..k).map(|q| Op::Send {
+                dst: ProcId(0),
+                payload: Payload::word(q as u32, i as i64),
+            }))
+        } else {
+            Script::idle()
+        }
+    }));
+    let config = LogpConfig {
+        seed,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, programs);
+    let report = machine.run()?;
+    Ok(HotSpotReport {
+        makespan: report.makespan,
+        delivered: report.delivered,
+        stall_episodes: report.stall_episodes,
+        total_stall: report.total_stall,
+        drain_rate: total_msgs as f64 / report.makespan.get().max(1) as f64,
+        mean_latency: report.latency.mean(),
+    })
+}
+
+/// Result of hosting a *stalling* LogP program on BSP (§3).
+#[derive(Clone, Debug)]
+pub struct StallingOnBspReport {
+    /// Native LogP makespan (stalling permitted).
+    pub native: Steps,
+    /// Hosted BSP cost under the naive cycle-by-cycle extension.
+    pub hosted: Steps,
+    /// Measured slowdown.
+    pub slowdown: f64,
+    /// The paper's improved preprocessing bound `O(((ℓ+g)/G) log p)` per
+    /// cycle, for comparison.
+    pub improved_bound_per_cycle: f64,
+}
+
+/// Host a stalling hot-spot program on BSP with the naive Theorem 1
+/// extension (stall-freedom verification off) and compare costs.
+pub fn stalling_on_bsp(
+    logp: LogpParams,
+    bsp: BspParams,
+    senders: usize,
+    k: usize,
+    seed: u64,
+) -> Result<StallingOnBspReport, ModelError> {
+    let p = logp.p;
+    let build = || {
+        let mut programs = vec![Script::new(vec![Op::Recv; senders * k])];
+        programs.extend((1..p).map(|i| {
+            if i <= senders {
+                Script::new((0..k).map(|q| Op::Send {
+                    dst: ProcId(0),
+                    payload: Payload::word(q as u32, i as i64),
+                }))
+            } else {
+                Script::idle()
+            }
+        }));
+        programs
+    };
+    let mut native = LogpMachine::with_config(
+        logp,
+        LogpConfig {
+            seed,
+            ..LogpConfig::default()
+        },
+        build(),
+    );
+    let native_time = native.run()?.makespan;
+
+    let rep = simulate_logp_on_bsp(
+        logp,
+        bsp,
+        build(),
+        Theorem1Config {
+            verify_stall_free: false,
+            ..Theorem1Config::default()
+        },
+    )?;
+    let hosted = rep.bsp.cost;
+    Ok(StallingOnBspReport {
+        native: native_time,
+        hosted,
+        slowdown: hosted.get() as f64 / native_time.get().max(1) as f64,
+        improved_bound_per_cycle: crate::slowdown::stalling_simulation_bound(
+            bsp.g, bsp.l, logp.g, p,
+        ),
+    })
+}
+
+/// Verify the §4.3 worst case: route a hot-spot h-relation by brute force
+/// (everyone fires immediately, stalling permitted); completion must stay
+/// within `c · Gh² + O(L)`.
+pub fn gh_squared_check(
+    params: LogpParams,
+    rel: &HRelation,
+    seed: u64,
+) -> Result<(Steps, u64), ModelError> {
+    let p = params.p;
+    assert_eq!(rel.p(), p);
+    let in_deg = rel.in_degrees();
+    let mut sends: Vec<Vec<(ProcId, Payload)>> = vec![Vec::new(); p];
+    for d in rel.demands() {
+        sends[d.src.index()].push((d.dst, d.payload.clone()));
+    }
+    let scripts: Vec<Script> = (0..p)
+        .map(|i| {
+            let mut ops: Vec<Op> = sends[i]
+                .iter()
+                .map(|(dst, payload)| Op::Send {
+                    dst: *dst,
+                    payload: payload.clone(),
+                })
+                .collect();
+            ops.extend(std::iter::repeat(Op::Recv).take(in_deg[i]));
+            Script::new(ops)
+        })
+        .collect();
+    let mut machine = LogpMachine::with_config(
+        params,
+        LogpConfig {
+            seed,
+            ..LogpConfig::default()
+        },
+        scripts,
+    );
+    let report = machine.run()?;
+    let h = rel.degree() as u64;
+    Ok((report.makespan, params.g * h * h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_spot_drains_at_gap_rate() {
+        // 6 senders x 4 messages to P0 with capacity 2: heavy stalling, but
+        // the drain rate stays within a factor ~2 of 1/G.
+        let params = LogpParams::new(8, 4, 1, 2).unwrap();
+        let rep = hot_spot_study(params, 6, 4, 1).unwrap();
+        assert_eq!(rep.delivered, 24);
+        assert!(rep.stall_episodes > 0, "hot spot must stall");
+        let gap_rate = 1.0 / params.g as f64;
+        assert!(
+            rep.drain_rate > 0.4 * gap_rate,
+            "drain rate {} far below 1/G = {}",
+            rep.drain_rate,
+            gap_rate
+        );
+        assert!(rep.drain_rate <= gap_rate * 1.01);
+    }
+
+    #[test]
+    fn latency_grows_under_stalling() {
+        let params = LogpParams::new(8, 4, 1, 2).unwrap();
+        let light = hot_spot_study(params, 2, 1, 1).unwrap();
+        let heavy = hot_spot_study(params, 6, 4, 1).unwrap();
+        assert!(heavy.mean_latency > light.mean_latency);
+    }
+
+    #[test]
+    fn hosted_stalling_pays_more_than_stall_free_bound() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        let bsp = BspParams::new(8, 2, 8).unwrap();
+        let rep = stalling_on_bsp(logp, bsp, 7, 4, 2).unwrap();
+        assert!(rep.slowdown > 0.0);
+        assert!(rep.hosted > rep.native, "hosting cannot be free");
+    }
+
+    #[test]
+    fn gh_squared_bound_holds_on_hot_spots() {
+        let params = LogpParams::new(8, 4, 1, 2).unwrap();
+        for (senders, k) in [(4usize, 2usize), (7, 3), (7, 6)] {
+            let rel = HRelation::hot_spot(8, ProcId(0), senders, k);
+            let (time, bound) = gh_squared_check(params, &rel, 3).unwrap();
+            assert!(
+                time.get() <= 2 * bound + 4 * params.l,
+                "senders={senders} k={k}: {time:?} vs Gh^2 = {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Run reports and per-processor statistics.
+
+use bvl_model::stats::Accumulator;
+use bvl_model::Steps;
+
+/// Per-processor execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ProcStats {
+    /// CPU time spent on local operations and message overheads.
+    pub busy: Steps,
+    /// Total time spent stalling (submission → acceptance windows).
+    pub stalled: Steps,
+    /// Number of distinct stall episodes.
+    pub stall_episodes: u64,
+    /// Time at which the processor halted (`Steps::MAX` if it never did).
+    pub halt_time: Steps,
+    /// Peak occupancy of the input buffer (delivered, unacquired messages) —
+    /// the quantity the §2.2 `G ≤ L` argument is about.
+    pub max_buffer: usize,
+    /// Messages this processor submitted.
+    pub sent: u64,
+    /// Messages this processor acquired.
+    pub acquired: u64,
+}
+
+/// Outcome of a completed LogP run.
+#[derive(Clone, Debug)]
+pub struct LogpReport {
+    /// Time at which the machine quiesced (last event processed).
+    pub makespan: Steps,
+    /// Total messages delivered to input buffers.
+    pub delivered: u64,
+    /// Total stall episodes across all processors.
+    pub stall_episodes: u64,
+    /// Total stalled time across all processors.
+    pub total_stall: Steps,
+    /// End-to-end message latency (submission → delivery) summary.
+    pub latency: Accumulator,
+    /// Per-processor statistics.
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl LogpReport {
+    /// True iff no processor ever stalled — the execution was stall-free.
+    pub fn stall_free(&self) -> bool {
+        self.stall_episodes == 0
+    }
+
+    /// Peak input-buffer occupancy across all processors.
+    pub fn max_buffer(&self) -> usize {
+        self.per_proc.iter().map(|s| s.max_buffer).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_free_reflects_episodes() {
+        let r = LogpReport {
+            makespan: Steps(10),
+            delivered: 1,
+            stall_episodes: 0,
+            total_stall: Steps::ZERO,
+            latency: Accumulator::new(),
+            per_proc: vec![ProcStats::default()],
+        };
+        assert!(r.stall_free());
+    }
+
+    #[test]
+    fn max_buffer_over_procs() {
+        let mut a = ProcStats::default();
+        a.max_buffer = 3;
+        let mut b = ProcStats::default();
+        b.max_buffer = 7;
+        let r = LogpReport {
+            makespan: Steps(1),
+            delivered: 0,
+            stall_episodes: 0,
+            total_stall: Steps::ZERO,
+            latency: Accumulator::new(),
+            per_proc: vec![a, b],
+        };
+        assert_eq!(r.max_buffer(), 7);
+    }
+}

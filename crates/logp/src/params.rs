@@ -1,0 +1,146 @@
+//! LogP machine parameters.
+
+use bvl_model::{ModelError, Steps};
+
+/// The LogP parameter quadruple `(p, L, o, G)` of §2.2.
+///
+/// * `o` — overhead: CPU time to prepare a message for submission, and to
+///   acquire a buffered incoming message.
+/// * `G` — gap: at least `G` steps must elapse between consecutive
+///   submissions, and between consecutive acquisitions, by the same
+///   processor (`1/G` is the per-processor injection/reception rate).
+/// * `L` — latency bound: a message is delivered at most `L` steps after its
+///   acceptance by the medium.
+/// * capacity constraint: at most `⌈L/G⌉` messages may be in transit towards
+///   any single destination.
+///
+/// The paper argues for `max{2, o} ≤ G ≤ L` (§2.2); [`LogpParams::new`]
+/// enforces it. The anomaly experiments (E-ANOM) deliberately violate it via
+/// [`LogpParams::new_unchecked`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogpParams {
+    /// Number of processors.
+    pub p: usize,
+    /// Latency bound `L`.
+    pub l: u64,
+    /// Overhead `o`.
+    pub o: u64,
+    /// Gap `G`.
+    pub g: u64,
+}
+
+impl LogpParams {
+    /// Validated constructor enforcing `p ≥ 1`, `L ≥ 1` and the paper's
+    /// constraint `max{2, o} ≤ G ≤ L`.
+    pub fn new(p: usize, l: u64, o: u64, g: u64) -> Result<LogpParams, ModelError> {
+        if p == 0 {
+            return Err(ModelError::InvalidParams("p must be >= 1".into()));
+        }
+        if l == 0 {
+            return Err(ModelError::InvalidParams("L must be >= 1".into()));
+        }
+        if g < 2.max(o) {
+            return Err(ModelError::InvalidParams(format!(
+                "G = {g} violates G >= max{{2, o}} = {} (paper §2.2)",
+                2.max(o)
+            )));
+        }
+        if g > l {
+            return Err(ModelError::InvalidParams(format!(
+                "G = {g} violates G <= L = {l} (paper §2.2: bounded buffers)"
+            )));
+        }
+        Ok(LogpParams { p, l, o, g })
+    }
+
+    /// Unvalidated constructor for the §2.2 anomaly studies (`G = 1`,
+    /// `G > L`). Production code should use [`LogpParams::new`].
+    pub fn new_unchecked(p: usize, l: u64, o: u64, g: u64) -> LogpParams {
+        assert!(p >= 1 && l >= 1 && g >= 1, "p, L, G must be positive");
+        LogpParams { p, l, o, g }
+    }
+
+    /// The capacity constraint `⌈L/G⌉`: the maximum number of messages that
+    /// may simultaneously be in transit towards one destination.
+    pub fn capacity(&self) -> u64 {
+        self.l.div_ceil(self.g)
+    }
+
+    /// `L` as [`Steps`].
+    pub fn latency(&self) -> Steps {
+        Steps(self.l)
+    }
+
+    /// Time to route an h-relation with `h ≤ ⌈L/G⌉` by the simple-minded
+    /// schedule of §4.2: `2o + G(h−1) + L`.
+    pub fn small_relation_time(&self, h: u64) -> Steps {
+        if h == 0 {
+            return Steps::ZERO;
+        }
+        Steps(2 * self.o + self.g * (h - 1) + self.l)
+    }
+
+    /// The paper's CB running-time bound (§4.1):
+    /// `3(L + o) · log p / log(1 + ⌈L/G⌉)`.
+    pub fn cb_bound(&self) -> f64 {
+        if self.p <= 1 {
+            return 0.0;
+        }
+        let lp = (self.p as f64).ln();
+        let denom = (1.0 + self.capacity() as f64).ln();
+        3.0 * (self.l + self.o) as f64 * lp / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_and_capacity() {
+        let p = LogpParams::new(8, 16, 2, 4).unwrap();
+        assert_eq!(p.capacity(), 4);
+        let p = LogpParams::new(8, 17, 2, 4).unwrap();
+        assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    fn constraint_g_at_least_two() {
+        assert!(LogpParams::new(4, 8, 0, 1).is_err());
+        assert!(LogpParams::new(4, 8, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn constraint_g_at_least_o() {
+        assert!(LogpParams::new(4, 8, 5, 4).is_err());
+        assert!(LogpParams::new(4, 8, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn constraint_g_at_most_l() {
+        assert!(LogpParams::new(4, 3, 1, 4).is_err());
+        assert!(LogpParams::new(4, 4, 1, 4).is_ok());
+    }
+
+    #[test]
+    fn unchecked_allows_anomalies() {
+        let p = LogpParams::new_unchecked(4, 8, 1, 1); // G = 1
+        assert_eq!(p.capacity(), 8);
+        let p = LogpParams::new_unchecked(4, 2, 1, 5); // G > L
+        assert_eq!(p.capacity(), 1);
+    }
+
+    #[test]
+    fn small_relation_time_formula() {
+        let p = LogpParams::new(4, 8, 1, 2).unwrap();
+        assert_eq!(p.small_relation_time(4), Steps(2 + 2 * 3 + 8));
+        assert_eq!(p.small_relation_time(0), Steps::ZERO);
+    }
+
+    #[test]
+    fn cb_bound_monotone_in_p() {
+        let a = LogpParams::new(8, 16, 2, 4).unwrap();
+        let b = LogpParams::new(64, 16, 2, 4).unwrap();
+        assert!(b.cb_bound() > a.cb_bound());
+    }
+}

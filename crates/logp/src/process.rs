@@ -1,0 +1,219 @@
+//! The LogP programming interface.
+
+use crate::params::LogpParams;
+use bvl_model::{Envelope, Payload, ProcId, Steps};
+use std::collections::VecDeque;
+
+/// One operation an operational processor may perform (§2.2: "execute an
+/// operation on locally held data, receive a message, submit a message").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Perform `n` local operations (occupies the CPU `n` steps; `0` is a
+    /// free re-poll).
+    Compute(u64),
+    /// Prepare (overhead `o`) and submit a message. The machine enforces the
+    /// submission gap and applies the Stalling Rule; the processor stalls
+    /// between submission and acceptance.
+    Send {
+        /// Destination processor.
+        dst: ProcId,
+        /// Message body.
+        payload: Payload,
+    },
+    /// Acquire one buffered incoming message (overhead `o`, acquisition gap
+    /// enforced). Blocks (idle) until a message is buffered; the message is
+    /// handed to [`LogpProcess::on_recv`] when the acquisition completes.
+    Recv,
+    /// Stay idle until the given absolute time (a scheduling convenience for
+    /// protocols with timed slots, e.g. the binary-tree CB of §4.1).
+    WaitUntil(Steps),
+    /// This processor is done.
+    Halt,
+}
+
+impl Op {
+    /// Idle for `n` steps from now — sugar for [`Op::WaitUntil`] relative to
+    /// the view's current time.
+    pub fn wait(view: &ProcView, n: u64) -> Op {
+        Op::WaitUntil(view.now + Steps(n))
+    }
+}
+
+/// What a processor can observe when deciding its next operation.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcView {
+    /// This processor's id.
+    pub me: ProcId,
+    /// Machine size.
+    pub p: usize,
+    /// Current local time (all clocks run at the same speed, §2).
+    pub now: Steps,
+    /// Number of delivered-but-unacquired messages in this processor's
+    /// input buffer.
+    pub buffered: usize,
+    /// The machine parameters.
+    pub params: LogpParams,
+}
+
+/// A per-processor LogP program, expressed as a pull-based state machine.
+///
+/// The engine calls [`next_op`](LogpProcess::next_op) whenever the processor
+/// is operational and idle, and [`on_recv`](LogpProcess::on_recv) when an
+/// [`Op::Recv`] completes (after the `o`-step acquisition).
+pub trait LogpProcess: Send {
+    /// Decide the next operation.
+    fn next_op(&mut self, view: &ProcView) -> Op;
+    /// Called when a message acquisition completes.
+    fn on_recv(&mut self, msg: Envelope) {
+        let _ = msg;
+    }
+}
+
+impl LogpProcess for Box<dyn LogpProcess> {
+    fn next_op(&mut self, view: &ProcView) -> Op {
+        (**self).next_op(view)
+    }
+    fn on_recv(&mut self, msg: Envelope) {
+        (**self).on_recv(msg);
+    }
+}
+
+/// A scripted process: executes a fixed queue of operations, then halts.
+/// Received messages are collected for later inspection. The workhorse of
+/// tests and of the phase-by-phase cross-simulation drivers.
+#[derive(Clone)]
+pub struct Script {
+    ops: VecDeque<Op>,
+    received: Vec<Envelope>,
+}
+
+impl Script {
+    /// Build from an operation list (a trailing `Halt` is implied).
+    pub fn new(ops: impl IntoIterator<Item = Op>) -> Script {
+        Script {
+            ops: ops.into_iter().collect(),
+            received: Vec::new(),
+        }
+    }
+
+    /// An immediately-halting process.
+    pub fn idle() -> Script {
+        Script::new([])
+    }
+
+    /// Messages received so far, in acquisition order.
+    pub fn received(&self) -> &[Envelope] {
+        &self.received
+    }
+
+    /// Consume into the received messages.
+    pub fn into_received(self) -> Vec<Envelope> {
+        self.received
+    }
+}
+
+impl LogpProcess for Script {
+    fn next_op(&mut self, _view: &ProcView) -> Op {
+        self.ops.pop_front().unwrap_or(Op::Halt)
+    }
+    fn on_recv(&mut self, msg: Envelope) {
+        self.received.push(msg);
+    }
+}
+
+/// A process built from a state value and a closure — the SPMD convenience
+/// mirror of `bvl_bsp::FnProcess`.
+pub struct FnLogpProcess<S> {
+    state: S,
+    next: Box<dyn FnMut(&mut S, &ProcView) -> Op + Send>,
+    recv: Box<dyn FnMut(&mut S, Envelope) + Send>,
+}
+
+impl<S: Send> FnLogpProcess<S> {
+    /// Build from `next_op` and `on_recv` closures.
+    pub fn new(
+        state: S,
+        next: impl FnMut(&mut S, &ProcView) -> Op + Send + 'static,
+        recv: impl FnMut(&mut S, Envelope) + Send + 'static,
+    ) -> FnLogpProcess<S> {
+        FnLogpProcess {
+            state,
+            next: Box::new(next),
+            recv: Box::new(recv),
+        }
+    }
+
+    /// The process state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Consume into the state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+impl<S: Send> LogpProcess for FnLogpProcess<S> {
+    fn next_op(&mut self, view: &ProcView) -> Op {
+        (self.next)(&mut self.state, view)
+    }
+    fn on_recv(&mut self, msg: Envelope) {
+        (self.recv)(&mut self.state, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_view() -> ProcView {
+        ProcView {
+            me: ProcId(0),
+            p: 2,
+            now: Steps(5),
+            buffered: 0,
+            params: LogpParams::new(2, 4, 1, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn script_plays_ops_then_halts() {
+        let mut s = Script::new([Op::Compute(3), Op::Recv]);
+        let v = dummy_view();
+        assert_eq!(s.next_op(&v), Op::Compute(3));
+        assert_eq!(s.next_op(&v), Op::Recv);
+        assert_eq!(s.next_op(&v), Op::Halt);
+        assert_eq!(s.next_op(&v), Op::Halt);
+    }
+
+    #[test]
+    fn script_collects_received() {
+        let mut s = Script::idle();
+        s.on_recv(Envelope::new(ProcId(1), ProcId(0), Payload::word(0, 7)));
+        assert_eq!(s.received().len(), 1);
+        assert_eq!(s.into_received()[0].payload.expect_word(), 7);
+    }
+
+    #[test]
+    fn wait_is_relative_to_now() {
+        let v = dummy_view();
+        assert_eq!(Op::wait(&v, 10), Op::WaitUntil(Steps(15)));
+    }
+
+    #[test]
+    fn fn_process_delegates() {
+        let mut p = FnLogpProcess::new(
+            0u32,
+            |s, _v| {
+                *s += 1;
+                Op::Halt
+            },
+            |s, _m| *s += 100,
+        );
+        let v = dummy_view();
+        assert_eq!(p.next_op(&v), Op::Halt);
+        p.on_recv(Envelope::new(ProcId(1), ProcId(0), Payload::tagged(0)));
+        assert_eq!(*p.state(), 101);
+    }
+}

@@ -1,0 +1,439 @@
+//! A literal per-time-step reference engine.
+//!
+//! The production engine ([`crate::machine::LogpMachine`]) is event-driven
+//! for speed. This module re-implements the §2.2 semantics the slowest,
+//! most obviously-correct way possible — one `t += 1` loop with the
+//! deliver → accept → act phases spelled out — and serves as a differential
+//! oracle: on stall-free executions the two engines must agree *exactly*
+//! (makespan, per-processor halt times, per-message timestamps); under
+//! stalling, where the Stalling Rule leaves the acceptance order
+//! unspecified and the engines may pick different admissible schedules,
+//! both must still deliver the same message multiset and produce traces the
+//! validator accepts.
+//!
+//! Supported policies: FIFO acceptance, `AtLatencyBound`/`Eager` delivery
+//! (the deterministic subset — randomized policies would require replaying
+//! the production engine's RNG call order, which would defeat the point of
+//! an independent implementation).
+
+use crate::metrics::{LogpReport, ProcStats};
+use crate::params::LogpParams;
+use crate::policy::{DeliveryPolicy, LogpConfig};
+use crate::process::{LogpProcess, Op, ProcView};
+use bvl_model::stats::Accumulator;
+use bvl_model::{Envelope, ModelError, MsgId, ProcId, Steps};
+use std::collections::{BTreeMap, VecDeque};
+
+enum State {
+    /// Ready to decide an operation.
+    Idle,
+    /// Occupied through the given instant; the effect fires then.
+    Busy(Steps, Effect),
+    /// Blocked on an empty input buffer.
+    WaitingRecv,
+    /// Submitted, awaiting acceptance.
+    Stalling,
+    Halted,
+}
+
+enum Effect {
+    None,
+    Submit(Envelope),
+    Acquire(Envelope),
+}
+
+struct Proc<P> {
+    program: P,
+    state: State,
+    last_submit: Option<Steps>,
+    last_acquire: Option<Steps>,
+    buffer: VecDeque<Envelope>,
+    stats: ProcStats,
+    stall_since: Steps,
+}
+
+/// Run the programs under the stepper. Only deterministic policies are
+/// supported (see module docs).
+pub fn run_reference<P: LogpProcess>(
+    params: LogpParams,
+    config: LogpConfig,
+    programs: Vec<P>,
+) -> Result<LogpReport, ModelError> {
+    assert_eq!(programs.len(), params.p);
+    assert!(
+        matches!(config.delivery, DeliveryPolicy::AtLatencyBound | DeliveryPolicy::Eager),
+        "reference engine supports deterministic delivery policies only"
+    );
+    let p = params.p;
+    let (l, o, g) = (params.l, params.o, params.g);
+    let capacity = params.capacity();
+
+    let mut procs: Vec<Proc<P>> = programs
+        .into_iter()
+        .map(|program| Proc {
+            program,
+            state: State::Idle,
+            last_submit: None,
+            last_acquire: None,
+            buffer: VecDeque::new(),
+            stats: ProcStats {
+                halt_time: Steps::MAX,
+                ..ProcStats::default()
+            },
+        stall_since: Steps::ZERO,
+        })
+        .collect();
+    let mut pending: Vec<VecDeque<Envelope>> = vec![VecDeque::new(); p];
+    let mut in_transit = vec![0u64; p];
+    let mut deliveries: BTreeMap<Steps, Vec<Envelope>> = BTreeMap::new();
+    let mut next_msg = 0u64;
+    let mut delivered = 0u64;
+    let mut latency = Accumulator::new();
+    let mut makespan = Steps::ZERO;
+
+    let mut t = Steps::ZERO;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > config.max_events {
+            return Err(ModelError::Timeout {
+                budget: config.max_events,
+            });
+        }
+
+        // Phase 1: deliveries due now.
+        if let Some(batch) = deliveries.remove(&t) {
+            for mut env in batch {
+                env.delivered = t;
+                let dst = env.dst.index();
+                in_transit[dst] -= 1;
+                delivered += 1;
+                latency.push(env.latency().get() as f64);
+                makespan = makespan.max(t);
+                procs[dst].buffer.push_back(env);
+                let occ = procs[dst].buffer.len();
+                procs[dst].stats.max_buffer = procs[dst].stats.max_buffer.max(occ);
+            }
+        }
+
+        // Phases 1.5–3 iterate to a fixed point within the instant: with
+        // o = 0 a send decided at t submits at t, whose acceptance can in
+        // turn free the sender to decide another zero-latency operation.
+        let mut instant_guard = 0;
+        loop {
+        instant_guard += 1;
+        if instant_guard > 10_000 {
+            return Err(ModelError::Internal("instant livelock".into()));
+        }
+        let mut fired = false;
+        // Phase 1.5: effects of operations completing now (in processor
+        // order — submissions enter the pending queues here).
+        for i in 0..p {
+            let due = matches!(&procs[i].state, State::Busy(until, _) if *until == t);
+            if !due {
+                continue;
+            }
+            fired = true;
+            let State::Busy(_, effect) = std::mem::replace(&mut procs[i].state, State::Idle)
+            else {
+                unreachable!()
+            };
+            match effect {
+                Effect::None => {}
+                Effect::Acquire(env) => {
+                    procs[i].stats.acquired += 1;
+                    makespan = makespan.max(t);
+                    procs[i].program.on_recv(env);
+                }
+                Effect::Submit(mut env) => {
+                    env.submitted = t;
+                    procs[i].stats.sent += 1;
+                    pending[env.dst.index()].push_back(env);
+                    procs[i].state = State::Stalling; // resolved below if a slot is free
+                    procs[i].stall_since = t;
+                }
+            }
+        }
+
+        // Phase 2: the Stalling Rule, FIFO per destination.
+        for dst in 0..p {
+            while in_transit[dst] < capacity && !pending[dst].is_empty() {
+                let mut env = pending[dst].pop_front().expect("non-empty");
+                env.accepted = t;
+                in_transit[dst] += 1;
+                let delay = match config.delivery {
+                    DeliveryPolicy::AtLatencyBound => l,
+                    _ => 1,
+                };
+                let src = env.src.index();
+                deliveries.entry(t + Steps(delay)).or_default().push(env);
+                // The sender becomes operational this instant.
+                if matches!(procs[src].state, State::Stalling) {
+                    let stalled_for = t - procs[src].stall_since;
+                    if stalled_for > Steps::ZERO {
+                        procs[src].stats.stalled += stalled_for;
+                        procs[src].stats.stall_episodes += 1;
+                        if config.forbid_stalling {
+                            return Err(ModelError::StallDetected {
+                                proc: ProcId::from(src),
+                                at: procs[src].stall_since.get(),
+                            });
+                        }
+                    }
+                    procs[src].state = State::Idle;
+                }
+            }
+        }
+
+        // Phase 3: operational, idle processors act (possibly several
+        // zero-duration decisions per step).
+        let mut acted = false;
+        for i in 0..p {
+            // Wake a blocked receiver if something is buffered.
+            if matches!(procs[i].state, State::WaitingRecv) && !procs[i].buffer.is_empty() {
+                procs[i].state = State::Idle;
+                start_acquire(&mut procs[i], t, o, g);
+                acted = true;
+                continue;
+            }
+            if matches!(procs[i].state, State::Idle) {
+                acted = true;
+            }
+            let mut guard = 0;
+            while matches!(procs[i].state, State::Idle) {
+                guard += 1;
+                if guard > 10_000 {
+                    return Err(ModelError::Internal(format!(
+                        "processor {i} livelocked on zero-duration operations"
+                    )));
+                }
+                let view = ProcView {
+                    me: ProcId::from(i),
+                    p,
+                    now: t,
+                    buffered: procs[i].buffer.len(),
+                    params,
+                };
+                match procs[i].program.next_op(&view) {
+                    Op::Halt => {
+                        procs[i].state = State::Halted;
+                        procs[i].stats.halt_time = t;
+                        makespan = makespan.max(t);
+                    }
+                    Op::Compute(0) => {}
+                    Op::Compute(n) => {
+                        procs[i].stats.busy += Steps(n);
+                        procs[i].state = State::Busy(t + Steps(n), Effect::None);
+                    }
+                    Op::WaitUntil(until) => {
+                        if until > t {
+                            procs[i].state = State::Busy(until, Effect::None);
+                        }
+                    }
+                    Op::Recv => {
+                        if procs[i].buffer.is_empty() {
+                            procs[i].state = State::WaitingRecv;
+                        } else {
+                            start_acquire(&mut procs[i], t, o, g);
+                        }
+                    }
+                    Op::Send { dst, payload } => {
+                        if dst.index() >= p {
+                            return Err(ModelError::BadDestination { dst, p });
+                        }
+                        let min_gap = procs[i]
+                            .last_submit
+                            .map(|s| s + Steps(g))
+                            .unwrap_or(Steps::ZERO);
+                        let t_sub = (t + Steps(o)).max(min_gap);
+                        procs[i].last_submit = Some(t_sub);
+                        procs[i].stats.busy += Steps(o);
+                        let env = Envelope {
+                            id: MsgId(next_msg),
+                            src: ProcId::from(i),
+                            dst,
+                            payload,
+                            submitted: t_sub,
+                            accepted: t_sub,
+                            delivered: t_sub,
+                        };
+                        next_msg += 1;
+                        procs[i].state = State::Busy(t_sub, Effect::Submit(env));
+                    }
+                }
+            }
+        }
+
+        if !fired && !acted {
+            break;
+        }
+        } // intra-instant fixed point
+
+        // Termination / next instant.
+        let all_halted = procs.iter().all(|pr| matches!(pr.state, State::Halted));
+        if all_halted && deliveries.is_empty() {
+            break;
+        }
+        let any_progressable = procs.iter().any(|pr| {
+            matches!(pr.state, State::Busy(..) | State::Stalling)
+        }) || !deliveries.is_empty();
+        if !any_progressable {
+            let waiting: Vec<ProcId> = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, pr)| !matches!(pr.state, State::Halted))
+                .map(|(i, _)| ProcId::from(i))
+                .collect();
+            return Err(ModelError::Deadlock { waiting });
+        }
+        // Jump to the next interesting instant (deliveries or busy-until).
+        let mut next = Steps::MAX;
+        if let Some((&d, _)) = deliveries.iter().next() {
+            next = next.min(d);
+        }
+        for pr in &procs {
+            if let State::Busy(until, _) = pr.state {
+                next = next.min(until);
+            }
+        }
+        debug_assert!(next > t && next != Steps::MAX);
+        t = next;
+    }
+
+    let mut report = LogpReport {
+        makespan,
+        delivered,
+        stall_episodes: 0,
+        total_stall: Steps::ZERO,
+        latency,
+        per_proc: Vec::with_capacity(p),
+    };
+    for pr in procs {
+        report.stall_episodes += pr.stats.stall_episodes;
+        report.total_stall += pr.stats.stalled;
+        report.per_proc.push(pr.stats);
+    }
+    Ok(report)
+}
+
+fn start_acquire<P: LogpProcess>(proc_: &mut Proc<P>, t: Steps, o: u64, g: u64) {
+    let env = proc_.buffer.pop_front().expect("buffer non-empty");
+    let min_gap = proc_
+        .last_acquire
+        .map(|a| a + Steps(g))
+        .unwrap_or(Steps::ZERO);
+    let t_acq = (t + Steps(o)).max(min_gap);
+    proc_.last_acquire = Some(t_acq);
+    proc_.stats.busy += Steps(o);
+    proc_.state = State::Busy(t_acq, Effect::Acquire(env));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::LogpMachine;
+    use crate::process::Script;
+    use bvl_model::Payload;
+
+    fn send(dst: u32, w: i64) -> Op {
+        Op::Send {
+            dst: ProcId(dst),
+            payload: Payload::word(0, w),
+        }
+    }
+
+    fn both(params: LogpParams, build: impl Fn() -> Vec<Script>) -> (LogpReport, LogpReport) {
+        let config = LogpConfig::default();
+        let mut ev = LogpMachine::with_config(params, config, build());
+        let ev_rep = ev.run().unwrap();
+        let ref_rep = run_reference(params, config, build()).unwrap();
+        (ev_rep, ref_rep)
+    }
+
+    #[test]
+    fn agrees_on_single_message() {
+        let params = LogpParams::new(2, 4, 1, 2).unwrap();
+        let (a, b) = both(params, || {
+            vec![Script::new([send(1, 42)]), Script::new([Op::Recv])]
+        });
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+    }
+
+    #[test]
+    fn agrees_on_ring_workload() {
+        let params = LogpParams::new(8, 8, 1, 2).unwrap();
+        let build = || -> Vec<Script> {
+            (0..8)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for r in 0..4 {
+                        ops.push(send(((i + 1) % 8) as u32, (i * 10 + r) as i64));
+                        ops.push(Op::Recv);
+                    }
+                    Script::new(ops)
+                })
+                .collect()
+        };
+        let (a, b) = both(params, build);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.delivered, b.delivered);
+        for (x, y) in a.per_proc.iter().zip(&b.per_proc) {
+            assert_eq!(x.halt_time, y.halt_time);
+            assert_eq!(x.sent, y.sent);
+            assert_eq!(x.acquired, y.acquired);
+        }
+    }
+
+    #[test]
+    fn agrees_on_hot_spot_under_fifo() {
+        // The canonical stalling scenario from the machine tests: both
+        // engines resolve FIFO acceptance identically here because all
+        // submissions happen at one instant in processor order.
+        let params = LogpParams::new(5, 4, 1, 2).unwrap();
+        let build = || -> Vec<Script> {
+            let mut v = vec![Script::new(vec![Op::Recv; 4])];
+            v.extend((1..5).map(|i| Script::new([send(0, i as i64)])));
+            v
+        };
+        let (a, b) = both(params, build);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.stall_episodes, b.stall_episodes);
+        assert_eq!(a.total_stall, b.total_stall);
+    }
+
+    #[test]
+    fn agrees_under_eager_delivery() {
+        let params = LogpParams::new(4, 8, 2, 3).unwrap();
+        let config = LogpConfig {
+            delivery: DeliveryPolicy::Eager,
+            ..LogpConfig::default()
+        };
+        let build = || -> Vec<Script> {
+            (0..4)
+                .map(|i| {
+                    Script::new([
+                        Op::Compute(3),
+                        send(((i + 1) % 4) as u32, i as i64),
+                        Op::Recv,
+                    ])
+                })
+                .collect()
+        };
+        let mut ev = LogpMachine::with_config(params, config, build());
+        let a = ev.run().unwrap();
+        let b = run_reference(params, config, build()).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+    }
+
+    #[test]
+    fn detects_deadlock_like_the_event_engine() {
+        let params = LogpParams::new(2, 4, 1, 2).unwrap();
+        let config = LogpConfig::default();
+        let programs = vec![Script::new([Op::Recv]), Script::idle()];
+        let err = run_reference(params, config, programs);
+        assert!(matches!(err, Err(ModelError::Deadlock { .. })));
+    }
+}

@@ -1,0 +1,342 @@
+//! Semantic validation of execution traces.
+//!
+//! Rather than maintaining a second (per-time-step) engine, the workspace
+//! checks the event-driven engine against the *model definition itself*:
+//! given a recorded [`Trace`], [`validate`] re-derives every rule of §2.2
+//! and reports violations:
+//!
+//! 1. acceptance never precedes submission;
+//! 2. every message is delivered within `(0, L]` steps of acceptance;
+//! 3. consecutive submissions by one processor are ≥ `G` apart, and so are
+//!    consecutive acquisitions;
+//! 4. at no instant are more than `⌈L/G⌉` messages in transit towards one
+//!    destination;
+//! 5. the Stalling Rule: a submission waits only while the destination's
+//!    capacity is saturated — at every instant of a stall window the
+//!    destination has exactly `⌈L/G⌉` messages in transit.
+//!
+//! Property tests drive random programs through the engine with tracing on
+//! and assert `validate(...)` returns no violations under every policy.
+
+use crate::params::LogpParams;
+use bvl_model::trace::{Event, Trace};
+use bvl_model::{MsgId, Steps};
+use std::collections::BTreeMap;
+
+/// Per-message lifecycle assembled from a trace.
+#[derive(Clone, Debug, Default)]
+struct MsgLife {
+    submitted: Option<Steps>,
+    accepted: Option<Steps>,
+    delivered: Option<Steps>,
+    dst: Option<usize>,
+    src: Option<usize>,
+}
+
+/// Validate a trace against the LogP rules. Returns the list of violations
+/// (empty = the execution was admissible).
+pub fn validate(params: &LogpParams, trace: &Trace) -> Vec<String> {
+    let mut violations = Vec::new();
+    let capacity = params.capacity();
+
+    let mut msgs: BTreeMap<MsgId, MsgLife> = BTreeMap::new();
+    let mut submits_by_proc: BTreeMap<usize, Vec<Steps>> = BTreeMap::new();
+    let mut acquires_by_proc: BTreeMap<usize, Vec<Steps>> = BTreeMap::new();
+
+    for ev in trace.events() {
+        match *ev {
+            Event::Submit { at, proc, msg, dst } => {
+                let life = msgs.entry(msg).or_default();
+                life.submitted = Some(at);
+                life.dst = Some(dst.index());
+                life.src = Some(proc.index());
+                submits_by_proc.entry(proc.index()).or_default().push(at);
+            }
+            Event::Accept { at, msg } => {
+                msgs.entry(msg).or_default().accepted = Some(at);
+            }
+            Event::Deliver { at, msg, .. } => {
+                msgs.entry(msg).or_default().delivered = Some(at);
+            }
+            Event::Acquire { at, proc, .. } => {
+                acquires_by_proc.entry(proc.index()).or_default().push(at);
+            }
+            _ => {}
+        }
+    }
+
+    // Rules 1 & 2: per-message timing.
+    for (id, life) in &msgs {
+        let (Some(sub), Some(acc)) = (life.submitted, life.accepted) else {
+            violations.push(format!("{id:?}: incomplete lifecycle (no submit/accept)"));
+            continue;
+        };
+        if acc < sub {
+            violations.push(format!("{id:?}: accepted {acc:?} before submitted {sub:?}"));
+        }
+        match life.delivered {
+            None => violations.push(format!("{id:?}: accepted but never delivered")),
+            Some(del) => {
+                if del <= acc {
+                    violations.push(format!("{id:?}: delivered {del:?} not after accept {acc:?}"));
+                }
+                if del > acc + Steps(params.l) {
+                    violations.push(format!(
+                        "{id:?}: delivered {del:?} more than L={} after accept {acc:?}",
+                        params.l
+                    ));
+                }
+            }
+        }
+    }
+
+    // Rule 3: gaps.
+    for (proc, times) in &submits_by_proc {
+        let mut ts = times.clone();
+        ts.sort();
+        for w in ts.windows(2) {
+            if w[1] - w[0] < Steps(params.g) {
+                violations.push(format!(
+                    "P{proc}: submissions at {:?} and {:?} closer than G={}",
+                    w[0], w[1], params.g
+                ));
+            }
+        }
+    }
+    for (proc, times) in &acquires_by_proc {
+        let mut ts = times.clone();
+        ts.sort();
+        for w in ts.windows(2) {
+            if w[1] - w[0] < Steps(params.g) {
+                violations.push(format!(
+                    "P{proc}: acquisitions at {:?} and {:?} closer than G={}",
+                    w[0], w[1], params.g
+                ));
+            }
+        }
+    }
+
+    // Rules 4 & 5: per-destination in-transit counts.
+    // Build, per destination, the ±1 event list: +1 at accept, −1 at deliver.
+    let mut per_dst: BTreeMap<usize, Vec<(Steps, i64)>> = BTreeMap::new();
+    for life in msgs.values() {
+        let (Some(acc), Some(del), Some(dst)) = (life.accepted, life.delivered, life.dst) else {
+            continue;
+        };
+        let e = per_dst.entry(dst).or_default();
+        e.push((acc, 1));
+        e.push((del, -1));
+    }
+    // Piecewise-constant count c(t) per destination: during [t, t+1) a
+    // message is in transit iff accept <= t < deliver, so at each instant
+    // deliveries (−1) apply before acceptances (+1)... both orderings give
+    // the same post-instant count; we need the settled count after all
+    // events at an instant.
+    let mut count_intervals: BTreeMap<usize, Vec<(Steps, Steps, u64)>> = BTreeMap::new();
+    for (dst, mut evs) in per_dst {
+        evs.sort();
+        let mut intervals = Vec::new();
+        let mut count: i64 = 0;
+        let mut i = 0;
+        while i < evs.len() {
+            let t = evs[i].0;
+            while i < evs.len() && evs[i].0 == t {
+                count += evs[i].1;
+                i += 1;
+            }
+            let next = if i < evs.len() { evs[i].0 } else { t + Steps(1) };
+            if count < 0 {
+                violations.push(format!("dst P{dst}: negative in-transit count at {t:?}"));
+            }
+            if count as u64 > capacity {
+                violations.push(format!(
+                    "dst P{dst}: {count} in transit during [{t:?}, {next:?}), capacity {capacity}"
+                ));
+            }
+            intervals.push((t, next, count.max(0) as u64));
+        }
+        count_intervals.insert(dst, intervals);
+    }
+
+    // Rule 5: stall windows only under saturation.
+    for (id, life) in &msgs {
+        let (Some(sub), Some(acc), Some(dst)) = (life.submitted, life.accepted, life.dst) else {
+            continue;
+        };
+        if acc == sub {
+            continue;
+        }
+        let intervals = count_intervals.get(&dst).cloned().unwrap_or_default();
+        // Every instant u in [sub, acc) must see a saturated destination.
+        let mut u = sub;
+        while u < acc {
+            // Find the interval containing u (intervals cover all instants
+            // where the count is nonzero; gaps mean count 0).
+            let c = intervals
+                .iter()
+                .find(|&&(s, e, _)| s <= u && u < e)
+                .map(|&(_, _, c)| c)
+                .unwrap_or(0);
+            if c < capacity {
+                violations.push(format!(
+                    "{id:?}: stalled at {u:?} while dst P{dst} had only {c}/{capacity} in transit"
+                ));
+                break;
+            }
+            // Jump to the end of the current interval (counts are constant
+            // inside it).
+            let next = intervals
+                .iter()
+                .find(|&&(s, e, _)| s <= u && u < e)
+                .map(|&(_, e, _)| e)
+                .unwrap_or(acc);
+            u = next.max(u + Steps(1));
+        }
+    }
+
+    violations
+}
+
+/// Panic with a readable report if the trace violates the model rules.
+pub fn assert_valid(params: &LogpParams, trace: &Trace) {
+    let v = validate(params, trace);
+    assert!(
+        v.is_empty(),
+        "LogP trace violates model rules:\n  {}",
+        v.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::ProcId;
+
+    fn params() -> LogpParams {
+        LogpParams::new(4, 8, 1, 4).unwrap() // capacity 2
+    }
+
+    fn submit(t: u64, proc: u32, msg: u64, dst: u32) -> Event {
+        Event::Submit {
+            at: Steps(t),
+            proc: ProcId(proc),
+            msg: MsgId(msg),
+            dst: ProcId(dst),
+        }
+    }
+
+    fn accept(t: u64, msg: u64) -> Event {
+        Event::Accept {
+            at: Steps(t),
+            msg: MsgId(msg),
+        }
+    }
+
+    fn deliver(t: u64, msg: u64, dst: u32) -> Event {
+        Event::Deliver {
+            at: Steps(t),
+            msg: MsgId(msg),
+            dst: ProcId(dst),
+        }
+    }
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        let mut t = Trace::enabled();
+        for e in events {
+            t.record(e);
+        }
+        t
+    }
+
+    #[test]
+    fn clean_single_message_passes() {
+        let t = trace_of(vec![submit(1, 0, 0, 1), accept(1, 0), deliver(9, 0, 1)]);
+        assert!(validate(&params(), &t).is_empty());
+    }
+
+    #[test]
+    fn late_delivery_flagged() {
+        let t = trace_of(vec![submit(1, 0, 0, 1), accept(1, 0), deliver(10, 0, 1)]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("more than L")));
+    }
+
+    #[test]
+    fn same_instant_delivery_flagged() {
+        let t = trace_of(vec![submit(1, 0, 0, 1), accept(1, 0), deliver(1, 0, 1)]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("not after accept")));
+    }
+
+    #[test]
+    fn submission_gap_violation_flagged() {
+        let t = trace_of(vec![
+            submit(1, 0, 0, 1),
+            accept(1, 0),
+            deliver(5, 0, 1),
+            submit(3, 0, 1, 2), // only 2 apart, G = 4
+            accept(3, 1),
+            deliver(7, 1, 2),
+        ]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("closer than G")));
+    }
+
+    #[test]
+    fn capacity_violation_flagged() {
+        // Three messages in transit to P1 at once; capacity is 2.
+        let t = trace_of(vec![
+            submit(1, 0, 0, 1),
+            accept(1, 0),
+            submit(1, 2, 1, 1),
+            accept(1, 1),
+            submit(1, 3, 2, 1),
+            accept(1, 2),
+            deliver(9, 0, 1),
+            deliver(9, 1, 1),
+            deliver(9, 2, 1),
+        ]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("capacity")));
+    }
+
+    #[test]
+    fn unjustified_stall_flagged() {
+        // Message 1 stalls from 1 to 5 but nothing is in transit to P1.
+        let t = trace_of(vec![submit(1, 0, 1, 1), accept(5, 1), deliver(9, 1, 1)]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("stalled at")));
+    }
+
+    #[test]
+    fn justified_stall_passes() {
+        // Capacity 2 saturated during [1, 5): two accepted messages in
+        // transit until their deliveries at 5; message 2 stalls 1 → 5.
+        let t = trace_of(vec![
+            submit(1, 0, 0, 1),
+            accept(1, 0),
+            submit(1, 2, 1, 1),
+            accept(1, 1),
+            submit(1, 3, 2, 1),
+            accept(5, 2),
+            deliver(5, 0, 1),
+            deliver(5, 1, 1),
+            deliver(9, 2, 1),
+        ]);
+        assert!(validate(&params(), &t).is_empty());
+    }
+
+    #[test]
+    fn acceptance_before_submission_flagged() {
+        let t = trace_of(vec![submit(5, 0, 0, 1), accept(3, 0), deliver(9, 0, 1)]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("before submitted")));
+    }
+
+    #[test]
+    fn undelivered_message_flagged() {
+        let t = trace_of(vec![submit(1, 0, 0, 1), accept(1, 0)]);
+        let v = validate(&params(), &t);
+        assert!(v.iter().any(|s| s.contains("never delivered")));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types shared across the workspace.
+
+use crate::ids::ProcId;
+use core::fmt;
+
+/// Errors raised by machine construction and program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A machine parameter violates its validity constraints (the message
+    /// explains which constraint; e.g. LogP requires `max{2, o} <= G <= L`).
+    InvalidParams(String),
+    /// A program addressed a processor outside `0..p`.
+    BadDestination {
+        /// Offending destination.
+        dst: ProcId,
+        /// Machine size.
+        p: usize,
+    },
+    /// The machine ran past its step/superstep budget without all processors
+    /// halting — almost always a deadlocked guest program.
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// Execution quiesced with non-halted processors blocked forever
+    /// (e.g. receiving a message nobody will send).
+    Deadlock {
+        /// The blocked processors.
+        waiting: Vec<ProcId>,
+    },
+    /// A program that was required to be stall-free stalled.
+    StallDetected {
+        /// Processor that stalled.
+        proc: ProcId,
+        /// Time at which the stall began.
+        at: u64,
+    },
+    /// Internal invariant violation (a bug in an engine, not in a guest).
+    Internal(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            ModelError::BadDestination { dst, p } => {
+                write!(f, "message destination {dst:?} out of range for p={p}")
+            }
+            ModelError::Timeout { budget } => {
+                write!(f, "execution exceeded budget of {budget} steps/supersteps")
+            }
+            ModelError::Deadlock { waiting } => {
+                write!(f, "deadlock: processors {waiting:?} blocked forever")
+            }
+            ModelError::StallDetected { proc, at } => {
+                write!(f, "stall detected at processor {proc:?}, time {at}")
+            }
+            ModelError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::BadDestination {
+            dst: ProcId(9),
+            p: 4,
+        };
+        assert!(e.to_string().contains("P9"));
+        assert!(e.to_string().contains("p=4"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::Timeout { budget: 10 });
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,364 @@
+//! h-relations.
+//!
+//! An *h-relation* is a set of messages in which every processor is the
+//! source of at most `h` and the destination of at most `h` messages — the
+//! communication pattern both models price (BSP: `g·h` per superstep; LogP:
+//! the object Theorems 2 and 3 route). This module defines the pattern, its
+//! degree, and the generators used by the paper's experiments:
+//!
+//! * random relations of prescribed degree,
+//! * partial/full permutations (1-relations),
+//! * hot-spot patterns (the stalling studies of §2.2 and §3),
+//! * broadcast and all-to-all patterns (workload kernels).
+
+use crate::ids::ProcId;
+use crate::msg::{Payload, Word};
+use crate::rngutil;
+use rand::RngCore;
+
+/// One directed communication demand: `src` must deliver `payload` to `dst`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Demand {
+    /// Source processor.
+    pub src: ProcId,
+    /// Destination processor.
+    pub dst: ProcId,
+    /// Message body.
+    pub payload: Payload,
+}
+
+/// A multiset of communication demands over a `p`-processor machine.
+#[derive(Clone, Debug, Default)]
+pub struct HRelation {
+    p: usize,
+    demands: Vec<Demand>,
+}
+
+impl HRelation {
+    /// An empty relation over `p` processors.
+    pub fn new(p: usize) -> HRelation {
+        HRelation { p, demands: Vec::new() }
+    }
+
+    /// Build from an explicit demand list, validating destinations.
+    ///
+    /// # Panics
+    /// If any endpoint is outside `0..p`.
+    pub fn from_demands(p: usize, demands: Vec<Demand>) -> HRelation {
+        for d in &demands {
+            assert!(d.src.index() < p, "source {:?} out of range p={p}", d.src);
+            assert!(d.dst.index() < p, "dest {:?} out of range p={p}", d.dst);
+        }
+        HRelation { p, demands }
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The demands.
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Consume into the demand list.
+    pub fn into_demands(self) -> Vec<Demand> {
+        self.demands
+    }
+
+    /// Total number of messages.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// True when there are no messages.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Add one demand.
+    pub fn push(&mut self, src: ProcId, dst: ProcId, payload: Payload) {
+        assert!(src.index() < self.p && dst.index() < self.p);
+        self.demands.push(Demand { src, dst, payload });
+    }
+
+    /// Out-degree (messages sent) per processor.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.p];
+        for m in &self.demands {
+            d[m.src.index()] += 1;
+        }
+        d
+    }
+
+    /// In-degree (messages received) per processor.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.p];
+        for m in &self.demands {
+            d[m.dst.index()] += 1;
+        }
+        d
+    }
+
+    /// `r`: maximum number of messages sent by any processor.
+    pub fn max_out_degree(&self) -> usize {
+        self.out_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// `s`: maximum number of messages received by any processor.
+    pub fn max_in_degree(&self) -> usize {
+        self.in_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// The degree `h = max{r, s}` (paper §2.1 / §4.2).
+    pub fn degree(&self) -> usize {
+        self.max_out_degree().max(self.max_in_degree())
+    }
+
+    /// A canonical sort key view `(dst, src, tag)` — used by tests to compare
+    /// delivered message sets against the intended relation.
+    pub fn canonical(&self) -> Vec<(u32, u32, u32, Vec<Word>)> {
+        let mut v: Vec<_> = self
+            .demands
+            .iter()
+            .map(|d| (d.dst.0, d.src.0, d.payload.tag, d.payload.data.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Generators
+    // ------------------------------------------------------------------
+
+    /// A (full) permutation relation: processor `i` sends one message to
+    /// `perm[i]`. A 1-relation.
+    pub fn permutation(perm: &[usize]) -> HRelation {
+        let p = perm.len();
+        let mut rel = HRelation::new(p);
+        for (i, &d) in perm.iter().enumerate() {
+            rel.push(
+                ProcId::from(i),
+                ProcId::from(d),
+                Payload::word(0, i as Word),
+            );
+        }
+        rel
+    }
+
+    /// A uniformly random permutation relation.
+    pub fn random_permutation<R: RngCore>(rng: &mut R, p: usize) -> HRelation {
+        HRelation::permutation(&rngutil::random_permutation(rng, p))
+    }
+
+    /// An exact random `h`-relation: every processor sends exactly `h`
+    /// messages and receives exactly `h` messages (the union of `h`
+    /// independent random permutations). This is the worst case assumed in
+    /// the Theorem 3 analysis ("each processor is source/destination of
+    /// exactly h messages").
+    pub fn random_exact<R: RngCore>(rng: &mut R, p: usize, h: usize) -> HRelation {
+        let mut rel = HRelation::new(p);
+        for round in 0..h {
+            let perm = rngutil::random_permutation(rng, p);
+            for (i, &d) in perm.iter().enumerate() {
+                rel.push(
+                    ProcId::from(i),
+                    ProcId::from(d),
+                    Payload::word(round as u32, i as Word),
+                );
+            }
+        }
+        rel
+    }
+
+    /// A random relation with uniformly chosen destinations: every processor
+    /// sends `msgs_per_proc` messages to independent uniform destinations.
+    /// In-degree concentrates around `msgs_per_proc` but has tails — the
+    /// natural "unknown h" workload for the deterministic protocol.
+    pub fn random_uniform<R: RngCore>(rng: &mut R, p: usize, msgs_per_proc: usize) -> HRelation {
+        let mut rel = HRelation::new(p);
+        for i in 0..p {
+            for k in 0..msgs_per_proc {
+                let d = rngutil::uniform_below(rng, p);
+                rel.push(
+                    ProcId::from(i),
+                    ProcId::from(d),
+                    Payload::word(k as u32, i as Word),
+                );
+            }
+        }
+        rel
+    }
+
+    /// A hot-spot pattern: `senders` distinct processors (chosen from the
+    /// non-target ids in order) each send `k` messages to a single `target`.
+    /// This is the pattern that triggers the Stalling Rule (§2.2).
+    pub fn hot_spot(p: usize, target: ProcId, senders: usize, k: usize) -> HRelation {
+        assert!(target.index() < p);
+        assert!(senders < p, "need at least one non-sender (the target)");
+        let mut rel = HRelation::new(p);
+        let mut chosen = 0usize;
+        for i in 0..p {
+            if i == target.index() {
+                continue;
+            }
+            if chosen == senders {
+                break;
+            }
+            for j in 0..k {
+                rel.push(ProcId::from(i), target, Payload::word(j as u32, i as Word));
+            }
+            chosen += 1;
+        }
+        rel
+    }
+
+    /// Broadcast pattern: `root` sends one message to every other processor —
+    /// a `(p-1)`-relation concentrated at the root.
+    pub fn broadcast(p: usize, root: ProcId) -> HRelation {
+        let mut rel = HRelation::new(p);
+        for i in 0..p {
+            if i != root.index() {
+                rel.push(root, ProcId::from(i), Payload::word(0, i as Word));
+            }
+        }
+        rel
+    }
+
+    /// The bit-reversal permutation on `p = 2^k` processors — the classic
+    /// adversarial input for dimension-order routing on meshes (Ω(√p·√p)
+    /// congestion at the bisection), used by the routing ablations.
+    pub fn bit_reversal(p: usize) -> HRelation {
+        assert!(p.is_power_of_two() && p >= 2);
+        let k = p.trailing_zeros();
+        let perm: Vec<usize> = (0..p)
+            .map(|i| (i as u64).reverse_bits() as usize >> (64 - k))
+            .collect();
+        HRelation::permutation(&perm)
+    }
+
+    /// The matrix-transpose permutation on `p = m²` processors
+    /// (`(i, j) → (j, i)` on the `m × m` grid) — another classic greedy
+    /// worst case.
+    pub fn transpose(m: usize) -> HRelation {
+        let p = m * m;
+        let perm: Vec<usize> = (0..p).map(|v| (v % m) * m + v / m).collect();
+        HRelation::permutation(&perm)
+    }
+
+    /// Total exchange (all-to-all): every processor sends one message to
+    /// every other processor — a `(p-1)`-relation.
+    pub fn all_to_all(p: usize) -> HRelation {
+        let mut rel = HRelation::new(p);
+        for i in 0..p {
+            for j in 0..p {
+                if i != j {
+                    rel.push(
+                        ProcId::from(i),
+                        ProcId::from(j),
+                        Payload::word(0, (i * p + j) as Word),
+                    );
+                }
+            }
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngutil::SeedStream;
+
+    #[test]
+    fn degree_of_permutation_is_one() {
+        let rel = HRelation::permutation(&[1, 2, 3, 0]);
+        assert_eq!(rel.degree(), 1);
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn random_exact_has_exact_degree() {
+        let mut rng = SeedStream::new(1).derive("t", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 5);
+        assert_eq!(rel.out_degrees(), vec![5; 16]);
+        assert_eq!(rel.in_degrees(), vec![5; 16]);
+        assert_eq!(rel.degree(), 5);
+    }
+
+    #[test]
+    fn random_uniform_respects_out_degree() {
+        let mut rng = SeedStream::new(2).derive("t", 0);
+        let rel = HRelation::random_uniform(&mut rng, 8, 3);
+        assert_eq!(rel.out_degrees(), vec![3; 8]);
+        assert!(rel.degree() >= 3);
+    }
+
+    #[test]
+    fn hot_spot_degree() {
+        let rel = HRelation::hot_spot(8, ProcId(3), 5, 4);
+        assert_eq!(rel.max_in_degree(), 20);
+        assert_eq!(rel.max_out_degree(), 4);
+        assert_eq!(rel.in_degrees()[3], 20);
+        assert_eq!(rel.out_degrees()[3], 0);
+    }
+
+    #[test]
+    fn broadcast_counts() {
+        let rel = HRelation::broadcast(6, ProcId(2));
+        assert_eq!(rel.len(), 5);
+        assert_eq!(rel.max_out_degree(), 5);
+        assert_eq!(rel.max_in_degree(), 1);
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let rel = HRelation::all_to_all(5);
+        assert_eq!(rel.len(), 20);
+        assert_eq!(rel.degree(), 4);
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution_permutation() {
+        let rel = HRelation::bit_reversal(16);
+        assert_eq!(rel.degree(), 1);
+        // Applying the map twice is the identity.
+        for d in rel.demands() {
+            let back = HRelation::bit_reversal(16)
+                .demands()
+                .iter()
+                .find(|e| e.src == d.dst)
+                .unwrap()
+                .dst;
+            assert_eq!(back, d.src);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let rel = HRelation::transpose(4);
+        assert_eq!(rel.degree(), 1);
+        let d = &rel.demands()[1]; // (0,1) -> (1,0)
+        assert_eq!(d.src, ProcId(1));
+        assert_eq!(d.dst, ProcId(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_out_of_range() {
+        let mut rel = HRelation::new(4);
+        rel.push(ProcId(0), ProcId(4), Payload::tagged(0));
+    }
+
+    #[test]
+    fn canonical_is_order_independent() {
+        let mut a = HRelation::new(3);
+        a.push(ProcId(0), ProcId(1), Payload::word(0, 5));
+        a.push(ProcId(2), ProcId(1), Payload::word(0, 6));
+        let mut b = HRelation::new(3);
+        b.push(ProcId(2), ProcId(1), Payload::word(0, 6));
+        b.push(ProcId(0), ProcId(1), Payload::word(0, 5));
+        assert_eq!(a.canonical(), b.canonical());
+    }
+}

@@ -1,0 +1,72 @@
+//! Processor and message identifiers.
+
+use core::fmt;
+
+/// Identifier of one of the `p` serial processors (`0..p`, paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over the processors of a `p`-processor machine.
+    pub fn all(p: usize) -> impl Iterator<Item = ProcId> + Clone {
+        (0..p as u32).map(ProcId)
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        ProcId(u32::try_from(v).expect("processor index exceeds u32"))
+    }
+}
+
+/// Globally unique message identifier, assigned at submission time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_roundtrip() {
+        let p = ProcId::from(17usize);
+        assert_eq!(p.index(), 17);
+        assert_eq!(format!("{p:?}"), "P17");
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<ProcId> = ProcId::all(4).collect();
+        assert_eq!(ids, vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]);
+    }
+
+    #[test]
+    fn msg_id_ordering() {
+        assert!(MsgId(1) < MsgId(2));
+    }
+}

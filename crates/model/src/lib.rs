@@ -1,0 +1,44 @@
+//! # bvl-model — shared substrate for the BSP-vs-LogP reproduction
+//!
+//! This crate holds everything both machine models (and the network
+//! substrate) agree on:
+//!
+//! * [`time::Steps`] — the discrete time unit. Both BSP and LogP normalize
+//!   the time unit to "one local operation" (paper, §2.1), so a single
+//!   integer clock is shared by every engine in the workspace.
+//! * [`ids`] — processor and message identifiers.
+//! * [`msg`] — message payloads and envelopes. The models treat messages as
+//!   constant-size units; payloads carry a small vector of words purely as a
+//!   programming convenience and never affect cost accounting.
+//! * [`hrelation`] — h-relations (the communication pattern both models are
+//!   built around), generators for the workloads used throughout the paper
+//!   (permutations, random relations, hot spots, broadcast/all-to-all), and
+//!   degree computation.
+//! * [`decompose`] — the constructive side of Hall's theorem (paper §4.2):
+//!   decomposition of an arbitrary h-relation into 1-relations via Euler
+//!   splits of the bipartite multigraph, used by off-line routing and the
+//!   network substrate.
+//! * [`stats`] — accumulators and the least-squares fit used to extract
+//!   `(gamma, delta)` from measured routing times (Table 1 harness).
+//! * [`rngutil`] — seedable, splittable, reproducible RNG streams
+//!   (ChaCha-based; see DESIGN.md dependency policy).
+//! * [`trace`] — lightweight event tracing shared by the engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod error;
+pub mod hrelation;
+pub mod ids;
+pub mod msg;
+pub mod rngutil;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use error::ModelError;
+pub use hrelation::HRelation;
+pub use ids::{MsgId, ProcId};
+pub use msg::{Envelope, Payload, Word};
+pub use time::Steps;

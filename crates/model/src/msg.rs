@@ -1,0 +1,140 @@
+//! Messages.
+//!
+//! Both models are defined over constant-size messages: an h-relation counts
+//! *messages*, and the LogP capacity constraint counts *messages* in transit.
+//! [`Payload`] therefore carries a short vector of [`Word`]s purely as a
+//! programming convenience (tagging, carrying a key plus a rank, ...); cost
+//! accounting in every engine is strictly per message, never per word.
+
+use crate::ids::{MsgId, ProcId};
+use crate::time::Steps;
+use core::fmt;
+
+/// The machine word carried by messages. Signed so that algorithm payloads
+/// (keys, partial sums) need no conversion gymnastics.
+pub type Word = i64;
+
+/// A constant-size message body: a small tag plus up to a few words of data.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload {
+    /// Program-defined discriminant (protocol phase, message kind, ...).
+    pub tag: u32,
+    /// Program-defined data words.
+    pub data: Vec<Word>,
+}
+
+impl Payload {
+    /// An empty payload with a tag only.
+    pub fn tagged(tag: u32) -> Payload {
+        Payload { tag, data: Vec::new() }
+    }
+
+    /// A payload carrying a single word.
+    pub fn word(tag: u32, w: Word) -> Payload {
+        Payload { tag, data: vec![w] }
+    }
+
+    /// A payload carrying a slice of words.
+    pub fn words(tag: u32, ws: &[Word]) -> Payload {
+        Payload { tag, data: ws.to_vec() }
+    }
+
+    /// First data word, if any.
+    pub fn first(&self) -> Option<Word> {
+        self.data.first().copied()
+    }
+
+    /// First data word, panicking with a useful message if absent.
+    pub fn expect_word(&self) -> Word {
+        self.first().expect("payload carries no data word")
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}{:?}", self.tag, self.data)
+    }
+}
+
+impl From<Word> for Payload {
+    fn from(w: Word) -> Self {
+        Payload::word(0, w)
+    }
+}
+
+/// A message together with its routing metadata and, once it has travelled
+/// through an engine, its timing history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Unique id (assigned by the engine at submission).
+    pub id: MsgId,
+    /// Sending processor.
+    pub src: ProcId,
+    /// Destination processor.
+    pub dst: ProcId,
+    /// Body.
+    pub payload: Payload,
+    /// Time the sender finished preparing the message (LogP: submission;
+    /// BSP: insertion into the output pool).
+    pub submitted: Steps,
+    /// Time the communication medium accepted it (LogP only; equals
+    /// `submitted` for stall-free executions on BSP).
+    pub accepted: Steps,
+    /// Time it was placed in the destination's input buffer/pool.
+    pub delivered: Steps,
+}
+
+impl Envelope {
+    /// A fresh envelope with zeroed timing, as built by guest programs.
+    pub fn new(src: ProcId, dst: ProcId, payload: Payload) -> Envelope {
+        Envelope {
+            id: MsgId(0),
+            src,
+            dst,
+            payload,
+            submitted: Steps::ZERO,
+            accepted: Steps::ZERO,
+            delivered: Steps::ZERO,
+        }
+    }
+
+    /// End-to-end latency experienced by this message (delivery − submission).
+    pub fn latency(&self) -> Steps {
+        self.delivered.saturating_sub(self.submitted)
+    }
+
+    /// Time spent waiting for acceptance — nonzero only under stalling.
+    pub fn stall_time(&self) -> Steps {
+        self.accepted.saturating_sub(self.submitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_constructors() {
+        assert_eq!(Payload::tagged(3).tag, 3);
+        assert_eq!(Payload::word(1, 42).expect_word(), 42);
+        assert_eq!(Payload::words(2, &[1, 2, 3]).data, vec![1, 2, 3]);
+        let p: Payload = 7.into();
+        assert_eq!(p.first(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data word")]
+    fn expect_word_panics_when_empty() {
+        Payload::tagged(0).expect_word();
+    }
+
+    #[test]
+    fn envelope_latency_and_stall() {
+        let mut e = Envelope::new(ProcId(0), ProcId(1), Payload::tagged(0));
+        e.submitted = Steps(10);
+        e.accepted = Steps(14);
+        e.delivered = Steps(25);
+        assert_eq!(e.latency(), Steps(15));
+        assert_eq!(e.stall_time(), Steps(4));
+    }
+}

@@ -1,0 +1,158 @@
+//! Reproducible randomness.
+//!
+//! Every randomized component in the workspace (random h-relations, the
+//! Theorem 3 batching protocol, randomized delivery/acceptance policies,
+//! Valiant routing) draws from a [`SeedStream`]: a master seed deterministically
+//! split into independent per-component, per-processor streams. Runs are
+//! replayable from a printed master seed on any platform because ChaCha's
+//! output is specified bit-exactly (unlike `rand::rngs::StdRng`, which is
+//! allowed to change between crate versions).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic, splittable source of RNG streams.
+#[derive(Clone, Debug)]
+pub struct SeedStream {
+    master: u64,
+}
+
+impl SeedStream {
+    /// Create from a master seed.
+    pub fn new(master: u64) -> SeedStream {
+        SeedStream { master }
+    }
+
+    /// Derive the RNG for a named component and lane (e.g. a processor id).
+    ///
+    /// Distinct `(domain, lane)` pairs yield independent streams; the same
+    /// pair always yields the same stream.
+    pub fn derive(&self, domain: &str, lane: u64) -> ChaCha8Rng {
+        // SplitMix64-style mixing of (master, hash(domain), lane) into a
+        // 256-bit seed. Collisions across domains would need a 64-bit hash
+        // collision on short ASCII names — acceptable for simulation seeding.
+        let dh = fnv1a(domain.as_bytes());
+        let mut seed = [0u8; 32];
+        let mut x = self
+            .master
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(dh)
+            .wrapping_add(lane.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        for chunk in seed.chunks_mut(8) {
+            x = splitmix64(&mut x);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+
+    /// The master seed (for logging/replaying).
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Draw a uniform `usize` in `[0, n)` — a small convenience wrapper that keeps
+/// callers free of `rand` trait imports.
+pub fn uniform_below<R: RngCore>(rng: &mut R, n: usize) -> usize {
+    assert!(n > 0, "uniform_below(0)");
+    rng.gen_range(0..n)
+}
+
+/// Fisher–Yates shuffle (deterministic given the RNG state).
+pub fn shuffle<R: RngCore, T>(rng: &mut R, xs: &mut [T]) {
+    if xs.is_empty() {
+        return;
+    }
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// A uniform random permutation of `0..n`.
+pub fn random_permutation<R: RngCore>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let s = SeedStream::new(42);
+        let mut a = s.derive("x", 3);
+        let mut b = s.derive("x", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_lanes_differ() {
+        let s = SeedStream::new(42);
+        let mut a = s.derive("x", 0);
+        let mut b = s.derive("x", 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_domains_differ() {
+        let s = SeedStream::new(42);
+        let mut a = s.derive("alpha", 0);
+        let mut b = s.derive("beta", 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let s = SeedStream::new(7);
+        let mut rng = s.derive("perm", 0);
+        let perm = random_permutation(&mut rng, 100);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_empty_and_singleton() {
+        let s = SeedStream::new(7);
+        let mut rng = s.derive("s", 0);
+        let mut e: [u8; 0] = [];
+        shuffle(&mut rng, &mut e);
+        let mut one = [42];
+        shuffle(&mut rng, &mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn uniform_below_in_range() {
+        let s = SeedStream::new(9);
+        let mut rng = s.derive("u", 0);
+        for _ in 0..1000 {
+            assert!(uniform_below(&mut rng, 17) < 17);
+        }
+    }
+}

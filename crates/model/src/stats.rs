@@ -1,0 +1,190 @@
+//! Statistics helpers for the experiment harnesses.
+//!
+//! The Table 1 harness extracts a topology's bandwidth parameter `gamma(p)`
+//! and latency parameter `delta(p)` by fitting measured routing times to
+//! `T(h) = gamma * h + delta` ([`linear_fit`]); the theorem experiments use
+//! [`Accumulator`] summaries and [`geometric_mean`] of slowdown ratios.
+
+/// Online summary of a stream of `f64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Accumulator {
+        Accumulator {
+            n: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.n as f64 - m * m).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Least-squares fit of `y = slope * x + intercept`.
+///
+/// Returns `(slope, intercept, r_squared)`. Requires at least two distinct
+/// `x` values; degenerate inputs yield a zero slope through the mean.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        let y = points.first().map_or(0.0, |&(_, y)| y);
+        return (0.0, y, 1.0);
+    }
+    let sx: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|&(x, _)| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return (0.0, my, 1.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = points.iter().map(|&(_, y)| (y - my) * (y - my)).sum();
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (slope, intercept, r2)
+}
+
+/// Geometric mean of strictly positive values (0 if any value is ≤ 0 or the
+/// slice is empty) — the standard summary for slowdown ratios.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Exact p-quantile by sorting a copy (`q` in `[0, 1]`, nearest-rank).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let idx = ((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_summary() {
+        let mut a = Accumulator::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+        assert!((a.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let (m, b, r2) = linear_fit(&pts);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b - 7.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_handles_noise() {
+        let pts = vec![(1.0, 2.1), (2.0, 3.9), (3.0, 6.2), (4.0, 7.8)];
+        let (m, _, r2) = linear_fit(&pts);
+        assert!((m - 1.94).abs() < 0.1);
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert_eq!(linear_fit(&[]), (0.0, 0.0, 1.0));
+        assert_eq!(linear_fit(&[(1.0, 5.0)]), (0.0, 5.0, 1.0));
+        let (m, b, _) = linear_fit(&[(2.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(m, 0.0);
+        assert_eq!(b, 6.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+}

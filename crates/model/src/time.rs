@@ -1,0 +1,199 @@
+//! Discrete time.
+//!
+//! Both models measure time in units of one local operation (paper §2.1:
+//! "The time unit is chosen to be the duration of a local operation"). All
+//! engines in the workspace share this `u64` step counter.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A number of machine steps (model time units).
+///
+/// Arithmetic is checked in debug builds and saturating would mask bugs, so
+/// plain `+`/`-` panic on overflow/underflow exactly like `u64` does; the
+/// explicit [`Steps::saturating_sub`] is available where clamping is the
+/// intended semantics (e.g. "time remaining").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Steps(pub u64);
+
+impl Steps {
+    /// Zero steps.
+    pub const ZERO: Steps = Steps(0);
+    /// One step.
+    pub const ONE: Steps = Steps(1);
+    /// The largest representable time; used as "never" by the engines.
+    pub const MAX: Steps = Steps(u64::MAX);
+
+    /// The raw step count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// `max(self - rhs, 0)`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Steps) -> Steps {
+        Steps(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Steps) -> Option<Steps> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Steps(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Steps) -> Steps {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Steps) -> Steps {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Ceiling division, e.g. `ceil(L / G)` for the LogP capacity constraint.
+    #[inline]
+    pub const fn div_ceil(self, rhs: Steps) -> u64 {
+        self.0.div_ceil(rhs.0)
+    }
+
+    /// Round `self` up to the next multiple of `m` (m > 0).
+    #[inline]
+    pub const fn round_up_to(self, m: u64) -> Steps {
+        Steps(self.0.div_ceil(m) * m)
+    }
+}
+
+impl fmt::Debug for Steps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}st", self.0)
+    }
+}
+
+impl fmt::Display for Steps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Steps {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Steps(v)
+    }
+}
+
+impl Add for Steps {
+    type Output = Steps;
+    #[inline]
+    fn add(self, rhs: Steps) -> Steps {
+        Steps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Steps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Steps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Steps {
+    type Output = Steps;
+    #[inline]
+    fn sub(self, rhs: Steps) -> Steps {
+        Steps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Steps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Steps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Steps {
+    type Output = Steps;
+    #[inline]
+    fn mul(self, rhs: u64) -> Steps {
+        Steps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Steps {
+    type Output = Steps;
+    #[inline]
+    fn div(self, rhs: u64) -> Steps {
+        Steps(self.0 / rhs)
+    }
+}
+
+impl Sum for Steps {
+    fn sum<I: Iterator<Item = Steps>>(iter: I) -> Steps {
+        iter.fold(Steps::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Steps(3) + Steps(4), Steps(7));
+        assert_eq!(Steps(7) - Steps(4), Steps(3));
+        assert_eq!(Steps(3) * 4, Steps(12));
+        assert_eq!(Steps(13) / 4, Steps(3));
+        assert_eq!(Steps(13).div_ceil(Steps(4)), 4);
+        assert_eq!(Steps(12).div_ceil(Steps(4)), 3);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Steps(3).saturating_sub(Steps(5)), Steps::ZERO);
+        assert_eq!(Steps(5).saturating_sub(Steps(3)), Steps(2));
+    }
+
+    #[test]
+    fn round_up_to_multiples() {
+        assert_eq!(Steps(0).round_up_to(5), Steps(0));
+        assert_eq!(Steps(1).round_up_to(5), Steps(5));
+        assert_eq!(Steps(5).round_up_to(5), Steps(5));
+        assert_eq!(Steps(6).round_up_to(5), Steps(10));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Steps(2) < Steps(3));
+        assert_eq!(Steps(2).max(Steps(3)), Steps(3));
+        assert_eq!(Steps(2).min(Steps(3)), Steps(2));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Steps = (1..=4u64).map(Steps).sum();
+        assert_eq!(total, Steps(10));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Steps::MAX.checked_add(Steps::ONE), None);
+        assert_eq!(Steps(1).checked_add(Steps(2)), Some(Steps(3)));
+    }
+}

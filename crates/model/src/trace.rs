@@ -1,0 +1,191 @@
+//! Lightweight execution tracing.
+//!
+//! Engines emit [`Event`]s into a [`Trace`]; tests and the experiment
+//! binaries use traces to assert fine-grained model semantics (gap spacing,
+//! delivery deadlines, stall windows) without coupling to engine internals.
+//! Tracing is off by default and costs one branch per event when disabled.
+
+use crate::ids::{MsgId, ProcId};
+use crate::time::Steps;
+
+/// One machine-level event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A processor finished preparing a message and handed it to the medium.
+    Submit {
+        /// Time of submission.
+        at: Steps,
+        /// Sending processor.
+        proc: ProcId,
+        /// Message id.
+        msg: MsgId,
+        /// Destination.
+        dst: ProcId,
+    },
+    /// The medium accepted a submitted message (LogP Stalling Rule).
+    Accept {
+        /// Time of acceptance.
+        at: Steps,
+        /// Message id.
+        msg: MsgId,
+    },
+    /// A message was placed in the destination's input buffer/pool.
+    Deliver {
+        /// Time of delivery.
+        at: Steps,
+        /// Message id.
+        msg: MsgId,
+        /// Destination processor.
+        dst: ProcId,
+    },
+    /// A processor acquired a buffered message (paid the receive overhead).
+    Acquire {
+        /// Time the acquisition completed.
+        at: Steps,
+        /// Acquiring processor.
+        proc: ProcId,
+        /// Message id.
+        msg: MsgId,
+    },
+    /// A processor entered the stalling state.
+    StallBegin {
+        /// Time the stall began.
+        at: Steps,
+        /// Stalling processor.
+        proc: ProcId,
+    },
+    /// A stalling processor became operational again.
+    StallEnd {
+        /// Time the stall ended.
+        at: Steps,
+        /// Processor that resumed.
+        proc: ProcId,
+    },
+    /// A BSP superstep completed.
+    Superstep {
+        /// Superstep index.
+        index: u64,
+        /// Maximum local work in the superstep.
+        w: u64,
+        /// Degree of the routed relation.
+        h: u64,
+        /// Superstep cost `w + g*h + l`.
+        cost: Steps,
+    },
+}
+
+impl Event {
+    /// The timestamp carried by the event.
+    pub fn at(&self) -> Steps {
+        match *self {
+            Event::Submit { at, .. }
+            | Event::Accept { at, .. }
+            | Event::Deliver { at, .. }
+            | Event::Acquire { at, .. }
+            | Event::StallBegin { at, .. }
+            | Event::StallEnd { at, .. } => at,
+            Event::Superstep { cost, .. } => cost,
+        }
+    }
+}
+
+/// An append-only event log with an on/off switch.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn enabled() -> Trace {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A no-op trace (the default).
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, ev: Event) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterate over events matching a predicate.
+    pub fn filter<'a, F: Fn(&Event) -> bool + 'a>(
+        &'a self,
+        f: F,
+    ) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| f(e))
+    }
+
+    /// Drop all recorded events, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(Event::Accept {
+            at: Steps(1),
+            msg: MsgId(0),
+        });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(Event::Accept {
+            at: Steps(1),
+            msg: MsgId(0),
+        });
+        t.record(Event::Deliver {
+            at: Steps(5),
+            msg: MsgId(0),
+            dst: ProcId(2),
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].at(), Steps(5));
+    }
+
+    #[test]
+    fn filter_selects_matching() {
+        let mut t = Trace::enabled();
+        for i in 0..4u64 {
+            t.record(Event::Accept {
+                at: Steps(i),
+                msg: MsgId(i),
+            });
+        }
+        t.record(Event::StallBegin {
+            at: Steps(9),
+            proc: ProcId(1),
+        });
+        let stalls: Vec<_> = t.filter(|e| matches!(e, Event::StallBegin { .. })).collect();
+        assert_eq!(stalls.len(), 1);
+    }
+}

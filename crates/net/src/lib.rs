@@ -1,0 +1,45 @@
+//! # bvl-net — point-to-point network substrates (Table 1)
+//!
+//! Section 5 of *BSP vs LogP* grounds the model comparison on real(istic)
+//! hardware: machines modeled as point-to-point processor networks, where
+//! the best attainable BSP parameters `(g*, ℓ*)` and LogP parameters
+//! `(G*, L*)` are both `Θ(γ(p))` / `Θ(δ(p))` for a bandwidth factor `γ` and
+//! diameter `δ` given by Table 1.
+//!
+//! This crate implements every topology in that table —
+//! [`array::Array`] (d-dimensional meshes), [`hypercube::Hypercube`]
+//! (multi- and single-port via [`router::PortMode`]),
+//! [`butterfly::Butterfly`], [`ccc::Ccc`], [`shuffle::ShuffleExchange`] and
+//! [`mot::MeshOfTrees`] (the pruned-butterfly row) — plus:
+//!
+//! * a synchronous store-and-forward packet [`router`] with pluggable port
+//!   modes, queue disciplines, and [`valiant`] two-phase randomized paths;
+//! * a [`measure`] harness that routes random h-relations and fits
+//!   `T(h) = γ̂·h + δ̂`, regenerating Table 1's shape empirically;
+//! * the analytic [`table1`] formulas for measured-vs-predicted reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod butterfly;
+pub mod ccc;
+pub mod hypercube;
+pub mod measure;
+pub mod mot;
+pub mod router;
+pub mod shuffle;
+pub mod table1;
+pub mod topology;
+pub mod valiant;
+
+pub use array::Array;
+pub use butterfly::Butterfly;
+pub use ccc::Ccc;
+pub use hypercube::Hypercube;
+pub use measure::{measure_parameters, MeasuredParams};
+pub use mot::MeshOfTrees;
+pub use router::{route_relation, PathStrategy, PortMode, QueueDiscipline, RouteOutcome, RouterConfig};
+pub use shuffle::ShuffleExchange;
+pub use table1::Family;
+pub use topology::{check_route, Topology};

@@ -1,0 +1,128 @@
+//! Measuring a network's bandwidth and latency parameters.
+//!
+//! Section 5: "for many prominent interconnections, algorithms are known
+//! that route h-relations, for arbitrary h, in optimal time
+//! `Θ(γ(p)·h + δ(p))`". This harness measures that line empirically: route
+//! random exact h-relations for a sweep of `h`, average completion times,
+//! and fit `T(h) = γ̂·h + δ̂` by least squares. `γ̂` estimates the bandwidth
+//! parameter (BSP `g*`, LogP `G*`) and `δ̂` the latency term (`ℓ*`, `L*`) up
+//! to the constants Table 1 suppresses.
+
+use crate::router::{route_relation, RouterConfig};
+use crate::topology::Topology;
+use bvl_model::rngutil::SeedStream;
+use bvl_model::stats::linear_fit;
+use bvl_model::HRelation;
+
+/// The fitted `(γ, δ)` of one topology.
+#[derive(Clone, Debug)]
+pub struct MeasuredParams {
+    /// Topology name.
+    pub name: String,
+    /// Number of processors the relation was measured over.
+    pub p: usize,
+    /// Fitted bandwidth parameter (slope of `T` vs `h`).
+    pub gamma: f64,
+    /// Fitted latency term (intercept).
+    pub delta: f64,
+    /// Goodness of fit.
+    pub r2: f64,
+    /// The topology's analytic diameter bound, for comparison with `δ̂`.
+    pub diameter_bound: usize,
+    /// Raw `(h, mean completion time)` samples.
+    pub samples: Vec<(usize, f64)>,
+}
+
+/// Route random exact `h`-relations for each `h` in `hs` (`trials` each) and
+/// fit the `γ·h + δ` line.
+pub fn measure_parameters<T: Topology + ?Sized>(
+    topo: &T,
+    hs: &[usize],
+    trials: usize,
+    seed: u64,
+    config: RouterConfig,
+) -> MeasuredParams {
+    assert!(!hs.is_empty() && trials > 0);
+    let p = topo.num_processors();
+    let seeds = SeedStream::new(seed);
+    let mut samples = Vec::with_capacity(hs.len());
+    for (i, &h) in hs.iter().enumerate() {
+        let mut total = 0.0;
+        for t in 0..trials {
+            let mut rng = seeds.derive("measure-rel", (i * trials + t) as u64);
+            let rel = HRelation::random_exact(&mut rng, p, h);
+            let out = route_relation(topo, &rel, config).expect("routing diverged");
+            total += out.time as f64;
+        }
+        samples.push((h, total / trials as f64));
+    }
+    let pts: Vec<(f64, f64)> = samples.iter().map(|&(h, t)| (h as f64, t)).collect();
+    let (gamma, delta, r2) = linear_fit(&pts);
+    MeasuredParams {
+        name: topo.name(),
+        p,
+        gamma,
+        delta,
+        r2,
+        diameter_bound: topo.diameter_bound(),
+        samples,
+    }
+}
+
+/// Measure the completion time of a single relation kind as a function of a
+/// generator closure — used by the experiment binaries for barrier-style
+/// (1-relation) measurements.
+pub fn mean_completion_time<T: Topology + ?Sized>(
+    topo: &T,
+    trials: usize,
+    seed: u64,
+    config: RouterConfig,
+    mut gen: impl FnMut(&mut rand_chacha::ChaCha8Rng, usize) -> HRelation,
+) -> f64 {
+    let p = topo.num_processors();
+    let seeds = SeedStream::new(seed);
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = seeds.derive("measure-one", t as u64);
+        let rel = gen(&mut rng, p);
+        let out = route_relation(topo, &rel, config).expect("routing diverged");
+        total += out.time as f64;
+    }
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use crate::hypercube::Hypercube;
+
+    #[test]
+    fn fit_is_positive_and_reasonable_on_chain() {
+        let topo = Array::chain(16);
+        let m = measure_parameters(&topo, &[1, 2, 4, 8], 3, 42, RouterConfig::default());
+        assert!(m.gamma > 0.0, "gamma {}", m.gamma);
+        assert!(m.r2 > 0.8, "r2 {}", m.r2);
+        assert_eq!(m.samples.len(), 4);
+    }
+
+    #[test]
+    fn hypercube_multiport_gamma_is_small() {
+        // Table 1: multi-port hypercube has gamma = Theta(1). With p = 32
+        // the fitted slope must be far below the single-port log p regime.
+        let topo = Hypercube::new(5);
+        let m = measure_parameters(&topo, &[2, 4, 8, 16], 3, 1, RouterConfig::default());
+        assert!(m.gamma < 3.0, "gamma {}", m.gamma);
+    }
+
+    #[test]
+    fn mean_completion_of_permutations() {
+        let topo = Hypercube::new(4);
+        let t = mean_completion_time(&topo, 4, 3, RouterConfig::default(), |rng, p| {
+            HRelation::random_permutation(rng, p)
+        });
+        // A permutation on a 16-node hypercube completes within a few
+        // diameters under greedy multi-port routing.
+        assert!(t >= 1.0 && t <= 16.0, "t = {t}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Synchronous store-and-forward packet routing.
+//!
+//! The router is the operational meaning of "route an h-relation on this
+//! network": packets follow their topology-provided (or Valiant) paths, one
+//! packet per directed link per step (multi-port) or one send and one
+//! receive per *node* per step (single-port — the discipline that separates
+//! Table 1's two hypercube rows). Queues are unbounded FIFO per output port,
+//! optionally prioritized farthest-to-go first.
+
+use crate::topology::Topology;
+use crate::valiant::valiant_path;
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{HRelation, ModelError};
+use std::collections::HashMap;
+
+/// Port discipline per step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortMode {
+    /// A node may send one packet on *every* outgoing link and receive on
+    /// every incoming link simultaneously.
+    Multi,
+    /// A node may send at most one packet and receive at most one packet
+    /// per step, across all its links.
+    Single,
+}
+
+/// Which queued packet crosses a link first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// Oldest first.
+    Fifo,
+    /// Most remaining hops first (the classic farthest-first heuristic).
+    FarthestFirst,
+}
+
+/// How packet paths are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathStrategy {
+    /// The topology's deterministic oblivious route.
+    Greedy,
+    /// Valiant's two-phase randomized routing: greedy to a uniformly random
+    /// intermediate node, then greedy to the destination.
+    Valiant,
+}
+
+/// Router options.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Port discipline.
+    pub mode: PortMode,
+    /// Queue service order.
+    pub discipline: QueueDiscipline,
+    /// Path selection.
+    pub paths: PathStrategy,
+    /// RNG seed (Valiant interm. nodes, single-port tie-breaking).
+    pub seed: u64,
+    /// Step budget before declaring the routing stuck.
+    pub max_steps: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            mode: PortMode::Multi,
+            discipline: QueueDiscipline::Fifo,
+            paths: PathStrategy::Greedy,
+            seed: 0,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// Outcome of routing one relation.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteOutcome {
+    /// Steps until the last packet was delivered.
+    pub time: u64,
+    /// Packets delivered (always the relation size on success).
+    pub delivered: usize,
+    /// Peak total queued packets at any single node.
+    pub max_queue: usize,
+    /// Total link traversals.
+    pub total_hops: u64,
+}
+
+struct Pkt {
+    path: Vec<usize>,
+    hop: usize,
+}
+
+impl Pkt {
+    fn remaining(&self) -> usize {
+        self.path.len() - 1 - self.hop
+    }
+    fn cur(&self) -> usize {
+        self.path[self.hop]
+    }
+    fn next(&self) -> usize {
+        self.path[self.hop + 1]
+    }
+}
+
+/// Route all demands of `rel` (processor-indexed) on `topo` and report the
+/// completion time.
+pub fn route_relation<T: Topology + ?Sized>(
+    topo: &T,
+    rel: &HRelation,
+    config: RouterConfig,
+) -> Result<RouteOutcome, ModelError> {
+    assert!(
+        rel.p() <= topo.num_processors(),
+        "relation over {} processors on a {}-processor network",
+        rel.p(),
+        topo.num_processors()
+    );
+    let mut rng = SeedStream::new(config.seed).derive("router", 0);
+
+    // Build packets.
+    let mut packets: Vec<Pkt> = Vec::with_capacity(rel.len());
+    let mut delivered = 0usize;
+    for d in rel.demands() {
+        let (src, dst) = (d.src.index(), d.dst.index());
+        let path = match config.paths {
+            PathStrategy::Greedy => topo.route(src, dst),
+            PathStrategy::Valiant => valiant_path(topo, src, dst, &mut rng),
+        };
+        if path.len() <= 1 {
+            delivered += 1; // src == dst: no network traversal needed
+        } else {
+            packets.push(Pkt { path, hop: 0 });
+        }
+    }
+
+    // Adjacency and per-port queues.
+    let n = topo.nodes();
+    let adj: Vec<Vec<usize>> = (0..n).map(|v| topo.neighbors(v)).collect();
+    let mut port_of: HashMap<(usize, usize), usize> = HashMap::new();
+    for (v, ns) in adj.iter().enumerate() {
+        for (q, &w) in ns.iter().enumerate() {
+            port_of.insert((v, w), q);
+        }
+    }
+    let mut queues: Vec<Vec<Vec<usize>>> = (0..n).map(|v| vec![Vec::new(); adj[v].len()]).collect();
+    let enqueue = |queues: &mut Vec<Vec<Vec<usize>>>,
+                   port_of: &HashMap<(usize, usize), usize>,
+                   packets: &[Pkt],
+                   id: usize| {
+        let p = &packets[id];
+        let q = *port_of
+            .get(&(p.cur(), p.next()))
+            .unwrap_or_else(|| panic!("route hop {} -> {} is not an edge", p.cur(), p.next()));
+        queues[p.cur()][q].push(id);
+    };
+    for id in 0..packets.len() {
+        enqueue(&mut queues, &port_of, &packets, id);
+    }
+
+    let pick = |queue: &[usize], packets: &[Pkt]| -> usize {
+        match config.discipline {
+            QueueDiscipline::Fifo => 0,
+            QueueDiscipline::FarthestFirst => queue
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &id)| packets[id].remaining())
+                .map(|(i, _)| i)
+                .expect("non-empty queue"),
+        }
+    };
+
+    let total = packets.len() + delivered;
+    let mut time = 0u64;
+    let mut max_queue = 0usize;
+    let mut total_hops = 0u64;
+    let mut rr: Vec<usize> = vec![0; n]; // single-port round-robin pointers
+
+    while delivered < total {
+        if time >= config.max_steps {
+            return Err(ModelError::Timeout {
+                budget: config.max_steps,
+            });
+        }
+        for v in 0..n {
+            let occupancy: usize = queues[v].iter().map(|q| q.len()).sum();
+            max_queue = max_queue.max(occupancy);
+        }
+
+        // Select moves based on the state at the start of the step.
+        let mut moves: Vec<usize> = Vec::new();
+        match config.mode {
+            PortMode::Multi => {
+                for v in 0..n {
+                    for q in 0..queues[v].len() {
+                        if !queues[v][q].is_empty() {
+                            let i = pick(&queues[v][q], &packets);
+                            moves.push(queues[v][q].remove(i));
+                        }
+                    }
+                }
+            }
+            PortMode::Single => {
+                // Each node proposes one send (round-robin over busy ports);
+                // each node accepts one receive (lowest sender id wins).
+                let mut proposals: Vec<(usize, usize, usize)> = Vec::new(); // (v, q, pkt)
+                for v in 0..n {
+                    let nports = queues[v].len();
+                    if nports == 0 {
+                        continue;
+                    }
+                    for off in 0..nports {
+                        let q = (rr[v] + off) % nports;
+                        if !queues[v][q].is_empty() {
+                            let i = pick(&queues[v][q], &packets);
+                            proposals.push((v, q, queues[v][q][i]));
+                            rr[v] = (q + 1) % nports;
+                            break;
+                        }
+                    }
+                }
+                let mut recv_taken = vec![false; n];
+                for (v, q, pkt) in proposals {
+                    let dst = packets[pkt].next();
+                    if !recv_taken[dst] {
+                        recv_taken[dst] = true;
+                        let pos = queues[v][q].iter().position(|&x| x == pkt).expect("queued");
+                        queues[v][q].remove(pos);
+                        moves.push(pkt);
+                    }
+                }
+            }
+        }
+
+        // Apply moves simultaneously.
+        time += 1;
+        for id in moves {
+            packets[id].hop += 1;
+            total_hops += 1;
+            if packets[id].remaining() == 0 {
+                delivered += 1;
+            } else {
+                enqueue(&mut queues, &port_of, &packets, id);
+            }
+        }
+    }
+
+    Ok(RouteOutcome {
+        time,
+        delivered,
+        max_queue,
+        total_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use crate::hypercube::Hypercube;
+    use bvl_model::rngutil::SeedStream;
+    use bvl_model::{Payload, ProcId};
+
+    #[test]
+    fn single_packet_takes_path_length_steps() {
+        let topo = Array::chain(8);
+        let mut rel = HRelation::new(8);
+        rel.push(ProcId(1), ProcId(6), Payload::tagged(0));
+        let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        assert_eq!(out.time, 5);
+        assert_eq!(out.delivered, 1);
+        assert_eq!(out.total_hops, 5);
+    }
+
+    #[test]
+    fn self_messages_cost_nothing() {
+        let topo = Array::chain(4);
+        let mut rel = HRelation::new(4);
+        rel.push(ProcId(2), ProcId(2), Payload::tagged(0));
+        let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        assert_eq!(out.time, 0);
+        assert_eq!(out.delivered, 1);
+    }
+
+    #[test]
+    fn chain_contention_serializes() {
+        // Nodes 0..4 all send to node 4 along a chain: the link 3->4 is the
+        // bottleneck and must carry 4 packets on consecutive steps.
+        let topo = Array::chain(5);
+        let mut rel = HRelation::new(5);
+        for i in 0..4 {
+            rel.push(ProcId(i), ProcId(4), Payload::tagged(0));
+        }
+        let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        // Packet from 0 needs 4 hops but queues behind others: last arrival
+        // cannot beat max(distance, arrival order at bottleneck).
+        assert!(out.time >= 4);
+        assert_eq!(out.delivered, 4);
+    }
+
+    #[test]
+    fn multiport_parallelizes_disjoint_traffic() {
+        let topo = Hypercube::new(3);
+        // A perfect matching along dimension 0: all 8 packets in 1 step.
+        let mut rel = HRelation::new(8);
+        for v in 0..8usize {
+            rel.push(ProcId::from(v), ProcId::from(v ^ 1), Payload::tagged(0));
+        }
+        let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        assert_eq!(out.time, 1);
+    }
+
+    #[test]
+    fn single_port_serializes_fanout() {
+        let topo = Hypercube::new(3);
+        // Node 0 sends to all 3 of its neighbors: multi-port 1 step,
+        // single-port 3 steps.
+        let mut rel = HRelation::new(8);
+        for b in 0..3 {
+            rel.push(ProcId(0), ProcId(1 << b), Payload::tagged(0));
+        }
+        let multi = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        let single = route_relation(
+            &topo,
+            &rel,
+            RouterConfig {
+                mode: PortMode::Single,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(multi.time, 1);
+        assert_eq!(single.time, 3);
+    }
+
+    #[test]
+    fn single_port_respects_receive_limit() {
+        let topo = Hypercube::new(3);
+        // All 3 neighbors of node 7 send to it: 3 steps to drain receives.
+        let mut rel = HRelation::new(8);
+        for b in 0..3 {
+            rel.push(ProcId(7 ^ (1 << b)), ProcId(7), Payload::tagged(0));
+        }
+        let single = route_relation(
+            &topo,
+            &rel,
+            RouterConfig {
+                mode: PortMode::Single,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(single.time, 3);
+    }
+
+    #[test]
+    fn random_relation_fully_delivered_under_all_configs() {
+        let topo = Hypercube::new(4);
+        let mut rng = SeedStream::new(5).derive("t", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 4);
+        for mode in [PortMode::Multi, PortMode::Single] {
+            for disc in [QueueDiscipline::Fifo, QueueDiscipline::FarthestFirst] {
+                for paths in [PathStrategy::Greedy, PathStrategy::Valiant] {
+                    let out = route_relation(
+                        &topo,
+                        &rel,
+                        RouterConfig {
+                            mode,
+                            discipline: disc,
+                            paths,
+                            seed: 9,
+                            ..RouterConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(out.delivered, rel.len(), "{mode:?}/{disc:?}/{paths:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Hypercube::new(4);
+        let mut rng = SeedStream::new(6).derive("t", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 3);
+        let cfg = RouterConfig {
+            paths: PathStrategy::Valiant,
+            seed: 11,
+            ..RouterConfig::default()
+        };
+        let a = route_relation(&topo, &rel, cfg).unwrap();
+        let b = route_relation(&topo, &rel, cfg).unwrap();
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.total_hops, b.total_hops);
+    }
+}

@@ -1,0 +1,109 @@
+//! The analytic side of Table 1.
+//!
+//! | Topology                         | γ(p)    | δ(p)    |
+//! |----------------------------------|---------|---------|
+//! | d-dim array (d = O(1))           | p^(1/d) | p^(1/d) |
+//! | Hypercube (multi-port)           | 1       | log p   |
+//! | Hypercube (single-port)          | log p   | log p   |
+//! | Butterfly, CCC, Shuffle-Exchange | log p   | log p   |
+//! | Pruned Butterfly / Mesh-of-Trees | √p      | log p   |
+//!
+//! [`Family::gamma`] / [`Family::delta`] evaluate these (up to the constant
+//! factors the paper's asymptotic analysis suppresses), so the measurement
+//! harness can print measured-vs-predicted columns per topology.
+
+/// A Table 1 topology family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// d-dimensional array with constant `d`.
+    ArrayD(u32),
+    /// Hypercube, all `log p` ports usable per step.
+    HypercubeMulti,
+    /// Hypercube, one send + one receive per node per step.
+    HypercubeSingle,
+    /// Butterfly network.
+    Butterfly,
+    /// Cube-connected cycles.
+    Ccc,
+    /// Shuffle-exchange network.
+    ShuffleExchange,
+    /// Pruned butterfly / mesh-of-trees.
+    MeshOfTrees,
+}
+
+impl Family {
+    /// Table 1's bandwidth parameter `γ(p)` (unnormalized).
+    pub fn gamma(&self, p: f64) -> f64 {
+        match *self {
+            Family::ArrayD(d) => p.powf(1.0 / d as f64),
+            Family::HypercubeMulti => 1.0,
+            Family::HypercubeSingle | Family::Butterfly | Family::Ccc | Family::ShuffleExchange => {
+                p.log2()
+            }
+            Family::MeshOfTrees => p.sqrt(),
+        }
+    }
+
+    /// Table 1's latency/diameter parameter `δ(p)` (unnormalized).
+    pub fn delta(&self, p: f64) -> f64 {
+        match *self {
+            Family::ArrayD(d) => p.powf(1.0 / d as f64),
+            _ => p.log2(),
+        }
+    }
+
+    /// Row label as printed by the experiment binaries.
+    pub fn label(&self) -> String {
+        match *self {
+            Family::ArrayD(d) => format!("{d}-dim array"),
+            Family::HypercubeMulti => "hypercube (multi-port)".into(),
+            Family::HypercubeSingle => "hypercube (single-port)".into(),
+            Family::Butterfly => "butterfly".into(),
+            Family::Ccc => "CCC".into(),
+            Family::ShuffleExchange => "shuffle-exchange".into(),
+            Family::MeshOfTrees => "mesh-of-trees".into(),
+        }
+    }
+
+    /// Observation 1 (§5): the best attainable LogP parameters on these
+    /// networks satisfy `G* = Θ(g*)` and `L* = Θ(ℓ* + g*)`. Given measured
+    /// BSP-side `(g, ℓ)` return the predicted LogP-side `(G, L)`.
+    pub fn predicted_logp(g_star: f64, l_star: f64) -> (f64, f64) {
+        (g_star, l_star + g_star)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_scalings() {
+        assert!((Family::ArrayD(2).gamma(256.0) - 16.0).abs() < 1e-9);
+        assert!((Family::ArrayD(3).gamma(512.0) - 8.0).abs() < 1e-6);
+        assert_eq!(Family::ArrayD(2).gamma(256.0), Family::ArrayD(2).delta(256.0));
+    }
+
+    #[test]
+    fn hypercube_rows_differ_only_in_gamma() {
+        let p = 1024.0;
+        assert_eq!(Family::HypercubeMulti.gamma(p), 1.0);
+        assert_eq!(Family::HypercubeSingle.gamma(p), 10.0);
+        assert_eq!(
+            Family::HypercubeMulti.delta(p),
+            Family::HypercubeSingle.delta(p)
+        );
+    }
+
+    #[test]
+    fn mesh_of_trees_bandwidth_is_sqrt() {
+        assert_eq!(Family::MeshOfTrees.gamma(4096.0), 64.0);
+        assert_eq!(Family::MeshOfTrees.delta(4096.0), 12.0);
+    }
+
+    #[test]
+    fn observation1_composition() {
+        let (g, l) = Family::predicted_logp(3.0, 10.0);
+        assert_eq!((g, l), (3.0, 13.0));
+    }
+}

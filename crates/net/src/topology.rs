@@ -1,0 +1,149 @@
+//! The topology abstraction.
+//!
+//! Section 5 grounds both models on "machines that can be accurately modeled
+//! by suitable networks of processors with local memory". A [`Topology`]
+//! describes such a network: its nodes, which nodes host processors (some
+//! topologies, like the mesh-of-trees, have switch-only internal nodes), its
+//! adjacency, and a deterministic oblivious route between any two nodes.
+//!
+//! Routes are materialized as full node paths. This keeps every topology's
+//! routing logic in one obvious place, lets the store-and-forward router in
+//! [`crate::router`] stay topology-agnostic, and makes Valiant's two-phase
+//! randomized routing ([`crate::valiant`]) a one-line composition.
+
+/// A point-to-point interconnection network.
+pub trait Topology: Send + Sync {
+    /// Human-readable name including size, e.g. `"hypercube(p=64)"`.
+    fn name(&self) -> String;
+
+    /// Total number of network nodes (processors + switches).
+    fn nodes(&self) -> usize;
+
+    /// Number of processor-hosting nodes. **Contract:** processors occupy
+    /// node ids `0..num_processors()`; any higher ids are switch-only nodes
+    /// (they forward packets but neither source nor sink them). Demands
+    /// between processors `i` and `j` route between nodes `i` and `j`.
+    fn num_processors(&self) -> usize;
+
+    /// Neighbors of a node.
+    fn neighbors(&self, v: usize) -> Vec<usize>;
+
+    /// An upper bound on the length of any greedy route — an analytic
+    /// stand-in for the network diameter `δ(p)` of Table 1.
+    fn diameter_bound(&self) -> usize;
+
+    /// The deterministic oblivious path from `src` to `dst`, inclusive of
+    /// both endpoints (`[src]` when `src == dst`). Every consecutive pair
+    /// must be adjacent.
+    fn route(&self, src: usize, dst: usize) -> Vec<usize>;
+}
+
+/// Check that `path` is a valid route on `topo` from `src` to `dst`:
+/// endpoints match and consecutive nodes are adjacent. Returns a description
+/// of the first violation.
+pub fn check_route<T: Topology + ?Sized>(
+    topo: &T,
+    src: usize,
+    dst: usize,
+    path: &[usize],
+) -> Result<(), String> {
+    if path.first() != Some(&src) {
+        return Err(format!("path does not start at {src}: {path:?}"));
+    }
+    if path.last() != Some(&dst) {
+        return Err(format!("path does not end at {dst}: {path:?}"));
+    }
+    for w in path.windows(2) {
+        if w[0] == w[1] {
+            return Err(format!("self-loop hop {w:?}"));
+        }
+        if !topo.neighbors(w[0]).contains(&w[1]) {
+            return Err(format!("{} -> {} is not an edge", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verify route validity and the diameter bound over all (or a
+/// sample of) processor pairs — shared by every topology's test module.
+#[cfg(test)]
+pub(crate) fn verify_topology<T: Topology>(topo: &T, sample_stride: usize) {
+    let np = topo.num_processors();
+    assert!(np >= 1 && np <= topo.nodes());
+    // Adjacency must be symmetric.
+    for v in 0..topo.nodes() {
+        for w in topo.neighbors(v) {
+            assert!(
+                topo.neighbors(w).contains(&v),
+                "{} in neighbors({v}) but not vice versa",
+                w
+            );
+        }
+    }
+    for a in (0..np).step_by(sample_stride.max(1)) {
+        for b in (0..np).step_by(sample_stride.max(1)) {
+            let path = topo.route(a, b);
+            check_route(topo, a, b, &path)
+                .unwrap_or_else(|e| panic!("route {a}->{b} on {}: {e}", topo.name()));
+            assert!(
+                path.len() - 1 <= topo.diameter_bound(),
+                "route {a}->{b} length {} exceeds bound {} on {}",
+                path.len() - 1,
+                topo.diameter_bound(),
+                topo.name()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node ring, hand-rolled, to test the helpers themselves.
+    struct Ring;
+
+    impl Topology for Ring {
+        fn name(&self) -> String {
+            "ring(4)".into()
+        }
+        fn nodes(&self) -> usize {
+            4
+        }
+        fn num_processors(&self) -> usize {
+            4
+        }
+        fn neighbors(&self, v: usize) -> Vec<usize> {
+            vec![(v + 1) % 4, (v + 3) % 4]
+        }
+        fn diameter_bound(&self) -> usize {
+            2
+        }
+        fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+            let mut path = vec![src];
+            let mut cur = src;
+            while cur != dst {
+                // Clockwise distance vs counter-clockwise.
+                let cw = (dst + 4 - cur) % 4;
+                cur = if cw <= 2 { (cur + 1) % 4 } else { (cur + 3) % 4 };
+                path.push(cur);
+            }
+            path
+        }
+    }
+
+    #[test]
+    fn ring_passes_verification() {
+        verify_topology(&Ring, 1);
+    }
+
+    #[test]
+    fn check_route_catches_bad_paths() {
+        assert!(check_route(&Ring, 0, 2, &[0, 1, 2]).is_ok());
+        assert!(check_route(&Ring, 0, 2, &[0, 2]).is_err()); // not an edge
+        assert!(check_route(&Ring, 0, 2, &[1, 2]).is_err()); // wrong start
+        assert!(check_route(&Ring, 0, 2, &[0, 1]).is_err()); // wrong end
+        assert!(check_route(&Ring, 0, 0, &[0, 0]).is_err()); // self-loop
+        assert!(check_route(&Ring, 0, 0, &[0]).is_ok());
+    }
+}

@@ -1,0 +1,75 @@
+//! Valiant's two-phase randomized routing.
+//!
+//! Oblivious greedy routing has adversarial worst cases (e.g. bit-reversal
+//! on meshes); routing via a uniformly random intermediate node turns any
+//! permutation into two random relations, which is how hypercube-like
+//! networks achieve the `Θ(γ(p)·h + δ(p))` bounds Table 1 cites \[32\].
+
+use crate::topology::Topology;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Greedy route `src → w → dst` through a uniformly random `w`.
+pub fn valiant_path<T: Topology + ?Sized>(
+    topo: &T,
+    src: usize,
+    dst: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<usize> {
+    if src == dst {
+        return vec![src];
+    }
+    // Intermediates are processor nodes (ids 0..num_processors): on
+    // topologies with switch-only nodes, greedy routes are only defined
+    // between processors.
+    let w = rng.gen_range(0..topo.num_processors());
+    let mut path = topo.route(src, w);
+    let second = topo.route(w, dst);
+    path.extend(second.into_iter().skip(1));
+    // Splicing two greedy paths can create an immediate backtrack at the
+    // junction; collapse consecutive duplicates defensively.
+    path.dedup();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::Hypercube;
+    use crate::mot::MeshOfTrees;
+    use crate::topology::{check_route, Topology};
+    use bvl_model::rngutil::SeedStream;
+
+    #[test]
+    fn valiant_paths_are_valid_routes() {
+        let topo = Hypercube::new(4);
+        let mut rng = SeedStream::new(1).derive("v", 0);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let p = valiant_path(&topo, src, dst, &mut rng);
+                check_route(&topo, src, dst, &p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_degenerate_same_node() {
+        let topo = Hypercube::new(3);
+        let mut rng = SeedStream::new(2).derive("v", 0);
+        assert_eq!(valiant_path(&topo, 5, 5, &mut rng), vec![5]);
+    }
+
+    #[test]
+    fn valiant_respects_switch_only_topologies() {
+        // On a mesh-of-trees the random intermediate may be a switch; the
+        // composed path must still be edge-valid.
+        let topo = MeshOfTrees::new(4);
+        let mut rng = SeedStream::new(3).derive("v", 0);
+        for a in (0..topo.num_processors()).step_by(3) {
+            for b in (a % 2..topo.num_processors()).step_by(5) {
+                let p = valiant_path(&topo, a, b, &mut rng);
+                check_route(&topo, a, b, &p).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Broadcast strategy tuning on both models — the bread-and-butter use of a
+//! bridging model: predict which algorithm wins from the machine parameters
+//! alone, then check by running.
+//!
+//! ```sh
+//! cargo run --release --example broadcast_tuning
+//! ```
+
+use bsp_vs_logp::algos::bsp::bcast::{broadcast, predicted_cost, BcastStrategy};
+use bsp_vs_logp::algos::logp::bcast::{direct_broadcast, optimal_broadcast};
+use bsp_vs_logp::bsp::BspParams;
+use bsp_vs_logp::logp::LogpParams;
+
+fn main() {
+    println!("--- BSP: direct (1 superstep, h = p-1) vs doubling (log p supersteps, h = 1)\n");
+    println!(
+        "{:>4} {:>4} {:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+        "p", "g", "l", "direct pred", "direct run", "dbl pred", "dbl run", "winner"
+    );
+    for (p, g, l) in [
+        (64usize, 1u64, 4u64),   // cheap bandwidth, cheap sync
+        (64, 1, 400),            // expensive barrier -> direct wins
+        (64, 40, 4),             // expensive bandwidth -> doubling wins
+        (256, 4, 64),
+    ] {
+        let params = BspParams::new(p, g, l).unwrap();
+        let (_, dir) = broadcast(params, 1, BcastStrategy::Direct).unwrap();
+        let (_, dbl) = broadcast(params, 1, BcastStrategy::Doubling).unwrap();
+        let winner = if dir.cost < dbl.cost { "direct" } else { "doubling" };
+        println!(
+            "{:>4} {:>4} {:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+            p,
+            g,
+            l,
+            predicted_cost(&params, BcastStrategy::Direct),
+            dir.cost.get(),
+            predicted_cost(&params, BcastStrategy::Doubling),
+            dbl.cost.get(),
+            winner
+        );
+    }
+
+    println!("\n--- LogP: root-sends-all vs the Karp et al. optimal schedule\n");
+    println!(
+        "{:>4} {:>4} {:>3} {:>3} | {:>10} {:>12} {:>11}",
+        "p", "L", "o", "G", "direct", "optimal", "speedup"
+    );
+    for (p, l, o, g) in [
+        (16usize, 8u64, 1u64, 2u64),
+        (64, 8, 1, 2),
+        (64, 32, 2, 4),
+        (256, 16, 1, 2),
+    ] {
+        let params = LogpParams::new(p, l, o, g).unwrap();
+        let dir = direct_broadcast(params, 1, 1).unwrap();
+        let opt = optimal_broadcast(params, 1, 1).unwrap();
+        assert!(opt.complete);
+        println!(
+            "{:>4} {:>4} {:>3} {:>3} | {:>10} {:>12} {:>11.2}",
+            p,
+            l,
+            o,
+            g,
+            dir.get(),
+            opt.makespan.get(),
+            dir.get() as f64 / opt.makespan.get() as f64
+        );
+    }
+    println!("\n(the LogP optimal schedule's measured makespan equals its offline");
+    println!(" prediction exactly — see bvl-algos tests — a nice check that the");
+    println!(" machine implements the model the algorithm was designed for)");
+}

@@ -1,0 +1,80 @@
+//! A tour of the algorithm kernels on both machines, with their model costs
+//! side by side — the "algorithm design guided by asymptotic analysis" use
+//! case the paper's comparison is ultimately about.
+//!
+//! ```sh
+//! cargo run --release --example kernels_tour
+//! ```
+
+use bsp_vs_logp::algos::bsp::prefix::prefix_sums;
+use bsp_vs_logp::algos::bsp::radix::radix_sort;
+use bsp_vs_logp::algos::bsp::reduce::reduce;
+use bsp_vs_logp::algos::logp::alltoall::all_to_all;
+use bsp_vs_logp::algos::logp::reduce::tree_reduce;
+use bsp_vs_logp::algos::logp::scan::scan;
+use bsp_vs_logp::bsp::BspParams;
+use bsp_vs_logp::logp::LogpParams;
+use bsp_vs_logp::model::rngutil::SeedStream;
+use bsp_vs_logp::model::Word;
+use rand::Rng;
+
+const P: usize = 32;
+
+fn main() {
+    // Matched machines: g = G = 2, l = L = 16, o = 1.
+    let bsp = BspParams::new(P, 2, 16).unwrap();
+    let logp = LogpParams::new(P, 16, 1, 2).unwrap();
+    let values: Vec<Word> = (0..P as Word).map(|i| i * 7 % 23).collect();
+
+    println!("machines: BSP(p={P}, g=2, l=16) vs LogP(p={P}, L=16, o=1, G=2, cap={})\n", logp.capacity());
+    println!("{:<26} {:>14} {:>14}", "kernel", "BSP cost", "LogP makespan");
+
+    // Reduction.
+    let (bsp_sum, bsp_rep) = reduce(bsp, &values, |a, b| a + b).unwrap();
+    let (logp_sum, logp_t) = tree_reduce(logp, &values, |a, b| a + b, 1).unwrap();
+    assert_eq!(bsp_sum, logp_sum);
+    println!("{:<26} {:>14} {:>14}", "reduce (+)", bsp_rep.cost.get(), logp_t.get());
+
+    // Prefix sums.
+    let (bsp_pfx, bsp_rep) = prefix_sums(bsp, &values).unwrap();
+    let (logp_pfx, logp_t) = scan(logp, &values, |a, b| a + b, 2).unwrap();
+    assert_eq!(bsp_pfx, logp_pfx);
+    println!("{:<26} {:>14} {:>14}", "prefix sums", bsp_rep.cost.get(), logp_t.get());
+
+    // All-to-all (LogP) vs the BSP superstep that prices the same relation.
+    let data: Vec<Vec<Word>> = (0..P).map(|i| (0..P).map(|j| (i + j) as Word).collect()).collect();
+    let (_, logp_t) = all_to_all(logp, &data, 3).unwrap();
+    let bsp_cost = bsp.superstep_cost(P as u64 - 1, P as u64 - 1);
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "all-to-all (p-1 relation)",
+        bsp_cost.get(),
+        logp_t.get()
+    );
+
+    // Radix sort (BSP-only here; the LogP counting hazard is exp_radix's
+    // story).
+    let mut rng = SeedStream::new(4).derive("keys", 0);
+    let keys: Vec<Vec<Word>> = (0..P)
+        .map(|_| (0..32).map(|_| rng.gen_range(0..1 << 12)).collect())
+        .collect();
+    let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+    want.sort_unstable();
+    let (blocks, rep) = radix_sort(bsp, keys, 3).unwrap();
+    let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+    assert_eq!(got, want);
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "radix sort (1024 keys)",
+        rep.cost.get(),
+        "-"
+    );
+
+    println!("\nnotes:");
+    println!("- tree kernels on LogP beat their BSP twins here because every BSP");
+    println!("  superstep pays the full barrier l while LogP pipelines within the");
+    println!("  tree — the flip side of BSP's simpler reasoning;");
+    println!("- the all-to-all comparison is the bandwidth-bound regime where both");
+    println!("  models charge ~G·h = g·h and the abstractions converge, as the");
+    println!("  paper's equivalence results predict.");
+}

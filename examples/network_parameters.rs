@@ -1,0 +1,61 @@
+//! Measure a network's `(γ, δ)` and derive the BSP/LogP parameters it
+//! supports — the §5 workflow as a tool.
+//!
+//! ```sh
+//! cargo run --release --example network_parameters -- hypercube 6
+//! cargo run --release --example network_parameters -- mesh 8
+//! cargo run --release --example network_parameters -- mot 8
+//! cargo run --release --example network_parameters -- butterfly 4
+//! ```
+
+use bsp_vs_logp::net::{
+    measure_parameters, Array, Butterfly, Ccc, Hypercube, MeshOfTrees, RouterConfig,
+    ShuffleExchange, Topology,
+};
+
+fn build(kind: &str, size: usize) -> Box<dyn Topology> {
+    match kind {
+        "hypercube" => Box::new(Hypercube::new(size as u32)),
+        "mesh" => Box::new(Array::mesh2d(size)),
+        "mesh3d" => Box::new(Array::new(&[size, size, size])),
+        "chain" => Box::new(Array::chain(size)),
+        "butterfly" => Box::new(Butterfly::new(size as u32)),
+        "ccc" => Box::new(Ccc::new(size as u32)),
+        "shuffle" => Box::new(ShuffleExchange::new(size as u32)),
+        "mot" => Box::new(MeshOfTrees::new(size)),
+        other => panic!("unknown topology {other:?} (try: hypercube, mesh, mesh3d, chain, butterfly, ccc, shuffle, mot)"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind = args.next().unwrap_or_else(|| "hypercube".into());
+    let size: usize = args
+        .next()
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(6);
+
+    let topo = build(&kind, size);
+    println!("measuring {} ({} nodes, {} processors)...", topo.name(), topo.nodes(), topo.num_processors());
+
+    let m = measure_parameters(
+        topo.as_ref(),
+        &[1, 2, 4, 8, 16],
+        3,
+        42,
+        RouterConfig::default(),
+    );
+    println!();
+    println!("fit T(h) = γ·h + δ over random exact h-relations:");
+    for (h, t) in &m.samples {
+        println!("  h = {h:>3}: mean completion {t:.1} steps");
+    }
+    println!();
+    println!("  γ̂ = {:.2}   δ̂ = {:.2}   (R² = {:.3}; diameter bound {})", m.gamma, m.delta, m.r2, m.diameter_bound);
+    println!();
+    let g = m.gamma.max(1.0).round() as u64;
+    let l = m.delta.max(1.0).round() as u64;
+    println!("=> this network supports BSP with   g* ≈ {g}, ℓ* ≈ {l}");
+    println!("=> and stall-free LogP with         G* ≈ {g}, L* ≈ {} (Observation 1: L* = Θ(ℓ* + g*))", l + g);
+    println!("   capacity constraint ⌈L/G⌉ ≈ {}", (l + g).div_ceil(g));
+}

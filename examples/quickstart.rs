@@ -1,0 +1,104 @@
+//! Quickstart: build both machines, run a kernel on each, then run the
+//! paper's cross-simulations in both directions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bsp_vs_logp::core::{simulate_bsp_on_logp, simulate_logp_on_bsp, Theorem1Config, Theorem2Config};
+use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
+use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bsp_vs_logp::model::{Payload, ProcId};
+
+const P: usize = 16;
+
+/// A BSP workload: every processor sends its id to its right neighbour for
+/// four rounds and accumulates what it receives.
+fn bsp_ring() -> Vec<FnProcess<i64>> {
+    (0..P)
+        .map(|_| {
+            FnProcess::new(0i64, |acc, ctx| {
+                if ctx.superstep_index() > 0 {
+                    *acc += ctx.recv().unwrap().payload.expect_word();
+                }
+                if ctx.superstep_index() < 4 {
+                    let right = ProcId(((ctx.me().0 as usize + 1) % ctx.p()) as u32);
+                    ctx.send(right, Payload::word(0, ctx.me().0 as i64));
+                    Status::Continue
+                } else {
+                    Status::Halt
+                }
+            })
+        })
+        .collect()
+}
+
+/// The same communication pattern written natively for LogP.
+fn logp_ring() -> Vec<Script> {
+    (0..P)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..4 {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % P) as u32),
+                    payload: Payload::word(r, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn main() {
+    // Matched parameters: g = G = 4, l = L = 16 (o = 1).
+    let bsp_params = BspParams::new(P, 4, 16).unwrap();
+    let logp_params = LogpParams::new(P, 16, 1, 4).unwrap();
+
+    // --- Native BSP run -------------------------------------------------
+    let mut bsp_machine = BspMachine::new(bsp_params, bsp_ring());
+    let bsp_report = bsp_machine.run(16).unwrap();
+    println!("native BSP   : {} supersteps, cost {} (w + g*h + l summed)",
+        bsp_report.supersteps, bsp_report.cost);
+
+    // --- Native LogP run --------------------------------------------------
+    let mut logp_machine =
+        LogpMachine::with_config(logp_params, LogpConfig::stall_free(), logp_ring());
+    let logp_report = logp_machine.run().unwrap();
+    println!("native LogP  : makespan {} steps, {} messages, stall-free = {}",
+        logp_report.makespan, logp_report.delivered, logp_report.stall_free());
+
+    // --- LogP program hosted on BSP (Theorem 1) ---------------------------
+    let t1 = simulate_logp_on_bsp(logp_params, bsp_params, logp_ring(), Theorem1Config::default())
+        .unwrap();
+    println!(
+        "LogP on BSP  : hosted cost {}, slowdown {:.2} (Theorem 1 bound 1 + g/G + l/L = 3)",
+        t1.bsp.cost,
+        t1.bsp.cost.get() as f64 / logp_report.makespan.get() as f64
+    );
+
+    // --- BSP program hosted on LogP (Theorem 2) ---------------------------
+    let t2 = simulate_bsp_on_logp(logp_params, bsp_ring(), Theorem2Config::default()).unwrap();
+    println!(
+        "BSP on LogP  : simulated time {}, native reference {}, slowdown {:.2}",
+        t2.total,
+        t2.native_total,
+        t2.slowdown()
+    );
+    for (i, s) in t2.supersteps.iter().enumerate() {
+        println!(
+            "  superstep {i}: w={} h={} t_synch={} t_rout={} total={}",
+            s.w, s.h, s.t_synch, s.t_rout, s.total
+        );
+    }
+
+    // Results agree across all four executions.
+    let native: Vec<i64> = bsp_machine
+        .into_processes()
+        .iter()
+        .map(|p| *p.state())
+        .collect();
+    let hosted: Vec<i64> = t2.programs.iter().map(|p| *p.state()).collect();
+    assert_eq!(native, hosted, "cross-simulation preserves results");
+    println!("\nresults identical across native and cross-simulated runs ✓");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the "Raw outputs" appendix of EXPERIMENTS.md from the exp-*
+# binaries. Run from the repository root.
+set -euo pipefail
+out=$(mktemp)
+for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation; do
+  echo "### Output: exp_$b" >> "$out"
+  echo '```' >> "$out"
+  cargo run -q --release -p bvl-bench --bin "exp_$b" >> "$out"
+  echo '```' >> "$out"
+  echo >> "$out"
+done
+# Replace everything after the appendix marker.
+marker='(`scripts/regen_experiments.sh` regenerates this file).'
+python3 - "$out" <<'PY'
+import sys, pathlib
+appendix = pathlib.Path(sys.argv[1]).read_text()
+p = pathlib.Path("EXPERIMENTS.md")
+text = p.read_text()
+marker = "(`scripts/regen_experiments.sh` regenerates this file)."
+head = text.split(marker)[0] + marker + "\n\n"
+p.write_text(head + appendix)
+PY
+echo "EXPERIMENTS.md appendix regenerated."

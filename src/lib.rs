@@ -1,0 +1,26 @@
+//! # bsp-vs-logp — an executable reproduction of *BSP vs LogP* (SPAA'96)
+//!
+//! Bilardi, Herley, Pietracaprina, Pucci and Spirakis compared the two
+//! dominant bandwidth-latency models of parallel computation by *simulating
+//! each on the other* and by grounding both on point-to-point networks.
+//! This workspace turns every quantitative claim of that paper into running
+//! Rust:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`bvl_model`] | time, messages, h-relations, Hall/Euler decomposition, stats |
+//! | [`bvl_bsp`] | superstep-accurate BSP machine (`w + g·h + ℓ`) |
+//! | [`bvl_logp`] | cycle-accurate LogP machine with the formalized Stalling Rule |
+//! | [`bvl_net`] | Table 1's topologies + store-and-forward router + (γ, δ) fits |
+//! | [`bvl_core`] | the cross-simulations: Theorems 1–3, CB, routing protocols |
+//! | [`bvl_algos`] | BSP & LogP algorithm workloads |
+//!
+//! Start with `examples/quickstart.rs`; the experiment regenerators live in
+//! `crates/bench/src/bin/exp_*.rs` and their outputs in `EXPERIMENTS.md`.
+
+pub use bvl_algos as algos;
+pub use bvl_bsp as bsp;
+pub use bvl_core as core;
+pub use bvl_logp as logp;
+pub use bvl_model as model;
+pub use bvl_net as net;

@@ -1,0 +1,174 @@
+//! Cross-model output equivalence: the defining property of the paper's
+//! simulations is that a guest program computes the *same input-output map*
+//! on the host as it does natively. These tests run real workloads through
+//! every direction and strategy and compare results bit-for-bit.
+
+use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
+use bsp_vs_logp::core::{
+    simulate_bsp_on_logp, simulate_logp_on_bsp, RoutingStrategy, SortScheme, Theorem1Config,
+    Theorem2Config,
+};
+use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bsp_vs_logp::model::{Payload, ProcId, Word};
+
+/// BSP workload: distributed histogram-style exchange with data-dependent
+/// destinations (superstep 2's relation depends on superstep 1's data).
+fn bsp_workload(p: usize) -> Vec<FnProcess<Vec<Word>>> {
+    (0..p)
+        .map(|i| {
+            let seedv = (i * 37 % 19) as Word;
+            FnProcess::new(Vec::new(), move |state, ctx| {
+                let p = ctx.p();
+                let me = ctx.me().index();
+                match ctx.superstep_index() {
+                    0 => {
+                        // Send a value to a data-derived destination.
+                        let dst = ((seedv as usize) * 7 + me) % p;
+                        ctx.send(ProcId::from(dst), Payload::word(0, seedv + me as Word));
+                        Status::Continue
+                    }
+                    1 => {
+                        // Forward everything received to (me + received) % p.
+                        let mut sum = 0;
+                        while let Some(m) = ctx.recv() {
+                            sum += m.payload.expect_word();
+                        }
+                        let dst = (me + sum.unsigned_abs() as usize) % p;
+                        ctx.send(ProcId::from(dst), Payload::word(1, sum));
+                        Status::Continue
+                    }
+                    _ => {
+                        while let Some(m) = ctx.recv() {
+                            state.push(m.payload.expect_word());
+                        }
+                        state.sort_unstable();
+                        Status::Halt
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+fn native_bsp_result(p: usize, g: u64, l: u64) -> Vec<Vec<Word>> {
+    let params = BspParams::new(p, g, l).unwrap();
+    let mut m = BspMachine::new(params, bsp_workload(p));
+    m.run(16).unwrap();
+    m.into_processes().into_iter().map(|pr| pr.into_state()).collect()
+}
+
+#[test]
+fn bsp_on_logp_preserves_results_under_every_strategy() {
+    let p = 16;
+    let logp = LogpParams::new(p, 16, 1, 2).unwrap();
+    let want = native_bsp_result(p, logp.g, logp.l);
+    for strategy in [
+        RoutingStrategy::Offline,
+        RoutingStrategy::Randomized { slack: 2.0 },
+        RoutingStrategy::Deterministic(SortScheme::Network),
+    ] {
+        let rep = simulate_bsp_on_logp(
+            logp,
+            bsp_workload(p),
+            Theorem2Config {
+                strategy,
+                ..Theorem2Config::default()
+            },
+        )
+        .unwrap();
+        let got: Vec<Vec<Word>> = rep.programs.iter().map(|pr| pr.state().clone()).collect();
+        assert_eq!(got, want, "{strategy:?}");
+    }
+}
+
+#[test]
+fn bsp_results_are_parameter_independent_everywhere() {
+    // §2.1: same BSP program, same results, any (g, l) — including when the
+    // "machine" is a simulated one on top of LogP.
+    let a = native_bsp_result(16, 1, 1);
+    let b = native_bsp_result(16, 50, 999);
+    assert_eq!(a, b);
+    let logp = LogpParams::new(16, 64, 2, 4).unwrap();
+    let rep = simulate_bsp_on_logp(logp, bsp_workload(16), Theorem2Config::default()).unwrap();
+    let hosted: Vec<Vec<Word>> = rep.programs.iter().map(|pr| pr.state().clone()).collect();
+    assert_eq!(hosted, a);
+}
+
+/// LogP workload: two-hop forwarding chain with payload arithmetic.
+fn logp_workload(p: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            Script::new([
+                Op::Compute(3),
+                Op::Send {
+                    dst: ProcId(((i + 3) % p) as u32),
+                    payload: Payload::word(0, (i * i) as Word),
+                },
+                Op::Recv,
+                Op::Send {
+                    dst: ProcId(((i + p - 1) % p) as u32),
+                    payload: Payload::word(1, i as Word),
+                },
+                Op::Recv,
+            ])
+        })
+        .collect()
+}
+
+#[test]
+fn logp_on_bsp_preserves_received_multisets() {
+    let p = 12;
+    let logp = LogpParams::new(p, 12, 1, 3).unwrap();
+    let bsp = BspParams::new(p, 3, 12).unwrap();
+
+    let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), logp_workload(p));
+    native.run().unwrap();
+    let mut native_msgs: Vec<Vec<(u32, Word)>> = native
+        .into_programs()
+        .into_iter()
+        .map(|s| {
+            let mut v: Vec<(u32, Word)> = s
+                .into_received()
+                .iter()
+                .map(|e| (e.payload.tag, e.payload.expect_word()))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+
+    let rep =
+        simulate_logp_on_bsp(logp, bsp, logp_workload(p), Theorem1Config::default()).unwrap();
+    let mut hosted_msgs: Vec<Vec<(u32, Word)>> = rep
+        .programs
+        .into_iter()
+        .map(|s| {
+            let mut v: Vec<(u32, Word)> = s
+                .into_received()
+                .iter()
+                .map(|e| (e.payload.tag, e.payload.expect_word()))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    native_msgs.iter_mut().for_each(|v| v.sort());
+    hosted_msgs.iter_mut().for_each(|v| v.sort());
+    assert_eq!(native_msgs, hosted_msgs);
+}
+
+#[test]
+fn round_trip_bsp_to_logp_to_bsp() {
+    // Run a BSP program hosted on LogP, then host that LogP machine's ring
+    // workload back on BSP — both directions in one test, checking the two
+    // engines compose without interference.
+    let p = 8;
+    let logp = LogpParams::new(p, 8, 1, 2).unwrap();
+    let bsp = BspParams::new(p, 2, 8).unwrap();
+
+    let t2 = simulate_bsp_on_logp(logp, bsp_workload(p), Theorem2Config::default()).unwrap();
+    assert!(t2.slowdown() >= 1.0);
+
+    let t1 = simulate_logp_on_bsp(logp, bsp, logp_workload(p), Theorem1Config::default()).unwrap();
+    assert!(t1.bsp.cost.get() > 0);
+}

@@ -1,0 +1,154 @@
+//! Property tests over the cross-simulations and algorithm kernels:
+//! hosted executions must agree with native ones on arbitrary (valid)
+//! inputs, and every sorting kernel must actually sort.
+
+use bsp_vs_logp::algos::bsp::radix::{radix_sort, DIGIT_BITS};
+use bsp_vs_logp::algos::bsp::sort::sample_sort;
+use bsp_vs_logp::algos::logp::scan::scan;
+use bsp_vs_logp::bsp::BspParams;
+use bsp_vs_logp::core::{
+    simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, Theorem1Config,
+};
+use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bsp_vs_logp::model::{Payload, ProcId, Word};
+use proptest::prelude::*;
+
+/// Random multi-round permutation workload: in round `r`, every processor
+/// sends one message along a permutation and receives one. Stall-free for
+/// capacity ≥ 2 (at most two rounds' messages can overlap at a receiver).
+fn permutation_workload(p: usize, perms: &[Vec<usize>]) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for (r, perm) in perms.iter().enumerate() {
+                ops.push(Op::Send {
+                    dst: ProcId(perm[i] as u32),
+                    payload: Payload::word(r as u32, (i * 1000 + r) as Word),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn received_words(scripts: Vec<Script>) -> Vec<Vec<(u32, Word)>> {
+    scripts
+        .into_iter()
+        .map(|s| {
+            let mut v: Vec<(u32, Word)> = s
+                .into_received()
+                .iter()
+                .map(|e| (e.payload.tag, e.payload.expect_word()))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+fn perm_strategy(p: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(Just(()).prop_perturb(move |_, mut rng| {
+        let mut v: Vec<usize> = (0..p).collect();
+        for i in (1..p).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        v
+    }), rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1 hosting preserves the received-message multiset for
+    /// arbitrary permutation workloads, for both the 1:1 and the clustered
+    /// (work-preserving) hosts.
+    #[test]
+    fn hosted_logp_matches_native(
+        perms in perm_strategy(8, 3),
+        l in 4u64..20,
+        g in 2u64..5,
+    ) {
+        prop_assume!(g <= l && l.div_ceil(g) >= 2);
+        let p = 8;
+        let logp = LogpParams::new(p, l, 1, g).unwrap();
+        let mut native = LogpMachine::with_config(
+            logp,
+            LogpConfig::stall_free(),
+            permutation_workload(p, &perms),
+        );
+        prop_assume!(native.run().is_ok()); // skip (rare) stalling schedules
+        let want = received_words(native.into_programs());
+
+        let bsp = BspParams::new(p, g, l).unwrap();
+        let rep = simulate_logp_on_bsp(
+            logp,
+            bsp,
+            permutation_workload(p, &perms),
+            Theorem1Config::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&received_words(rep.programs), &want);
+
+        let bsp2 = BspParams::new(p / 2, g, l).unwrap();
+        let rep = simulate_logp_on_bsp_clustered(
+            logp,
+            bsp2,
+            2,
+            permutation_workload(p, &perms),
+            100_000,
+        )
+        .unwrap();
+        prop_assert_eq!(&received_words(rep.programs), &want);
+    }
+
+    /// Sample sort sorts arbitrary key distributions.
+    #[test]
+    fn sample_sort_sorts(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 0..30), 4),
+    ) {
+        let p = keys.len();
+        let params = BspParams::new(p, 2, 16).unwrap();
+        let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+        want.sort_unstable();
+        let (blocks, _) = sample_sort(params, keys).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Radix sort sorts arbitrary bounded non-negative keys.
+    #[test]
+    fn radix_sort_sorts(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(0i64..4096, 0..25), 8),
+        g in 1u64..4,
+    ) {
+        let p = keys.len();
+        let passes = 12u32.div_ceil(DIGIT_BITS);
+        let params = BspParams::new(p, g, 8).unwrap();
+        let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+        want.sort_unstable();
+        let (blocks, _) = radix_sort(params, keys, passes).unwrap();
+        let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// LogP scan equals the sequential prefix for arbitrary inputs and
+    /// machine shapes.
+    #[test]
+    fn logp_scan_matches_prefix(
+        values in proptest::collection::vec(-50i64..50, 1..20),
+        g in 2u64..6,
+        extra_l in 0u64..12,
+    ) {
+        let p = values.len();
+        let l = g + extra_l;
+        let params = LogpParams::new(p, l, 1, g).unwrap();
+        let (got, _) = scan(params, &values, |a, b| a + b, 7).unwrap();
+        let mut acc = 0;
+        let want: Vec<Word> = values.iter().map(|&v| { acc += v; acc }).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based invariants across crates.
+//!
+//! The LogP engine is validated against the model's own rules (the §2.2
+//! trace validator) under randomized programs, parameters and policies; the
+//! decompositions, routers and CB are checked against their defining
+//! properties on arbitrary inputs.
+
+use bsp_vs_logp::core::{route_offline, run_cb, word_combine, TreeShape};
+use bsp_vs_logp::logp::validate::validate;
+use bsp_vs_logp::logp::{AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bsp_vs_logp::model::decompose::{euler_split, koenig_color};
+use bsp_vs_logp::model::{HRelation, Payload, ProcId, Steps};
+use proptest::prelude::*;
+
+/// Strategy: a small LogP machine plus a random (deadlock-free) workload:
+/// every processor sends `k` messages to random destinations, then receives
+/// exactly what is addressed to it.
+fn machine_inputs() -> impl Strategy<Value = (usize, u64, u64, u64, Vec<Vec<usize>>)> {
+    (2usize..8, 1u64..12, 0u64..3, proptest::collection::vec(0usize..64, 0..6))
+        .prop_flat_map(|(p, l_raw, o, dsts_raw)| {
+            // Derive valid parameters: G in [max(2,o), L], L >= G.
+            let g_min = 2u64.max(o);
+            (Just(p), Just(o), g_min..=(g_min + l_raw), Just(dsts_raw))
+        })
+        .prop_map(|(p, o, g, dsts_raw)| {
+            let l = g + (dsts_raw.len() as u64 % 7); // L >= G
+            let dsts: Vec<Vec<usize>> = (0..p)
+                .map(|i| dsts_raw.iter().map(|&d| (d + i) % p).collect())
+                .collect();
+            (p, l, o, g, dsts)
+        })
+}
+
+fn build_scripts(p: usize, dsts: &[Vec<usize>]) -> Vec<Script> {
+    let mut indeg = vec![0usize; p];
+    for row in dsts {
+        for &d in row {
+            indeg[d] += 1;
+        }
+    }
+    (0..p)
+        .map(|i| {
+            let mut ops: Vec<Op> = dsts[i]
+                .iter()
+                .map(|&d| Op::Send {
+                    dst: ProcId::from(d),
+                    payload: Payload::word(0, i as i64),
+                })
+                .collect();
+            ops.extend(std::iter::repeat(Op::Recv).take(indeg[i]));
+            Script::new(ops)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every execution the engine produces is admissible under the §2.2
+    /// rules, for every policy combination.
+    #[test]
+    fn logp_engine_always_produces_admissible_traces(
+        (p, l, o, g, dsts) in machine_inputs(),
+        order in prop_oneof![Just(AcceptOrder::Fifo), Just(AcceptOrder::Lifo), Just(AcceptOrder::Random)],
+        delivery in prop_oneof![Just(DeliveryPolicy::AtLatencyBound), Just(DeliveryPolicy::Eager), Just(DeliveryPolicy::Uniform)],
+        seed in 0u64..1000,
+    ) {
+        let params = LogpParams::new(p, l, o, g).unwrap();
+        let config = LogpConfig { accept_order: order, delivery, trace: true, seed, ..LogpConfig::default() };
+        let mut m = LogpMachine::with_config(params, config, build_scripts(p, &dsts));
+        let report = m.run().unwrap();
+        let violations = validate(m.params(), m.trace());
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        let total: usize = dsts.iter().map(|d| d.len()).sum();
+        prop_assert_eq!(report.delivered as usize, total);
+    }
+
+    /// Both decompositions partition arbitrary relations into 1-relations,
+    /// and König uses exactly h rounds.
+    #[test]
+    fn decompositions_are_valid_partitions(
+        p in 2usize..12,
+        pairs in proptest::collection::vec((0usize..64, 0usize..64), 1..60),
+    ) {
+        let mut rel = HRelation::new(p);
+        for (s, d) in pairs {
+            rel.push(ProcId::from(s % p), ProcId::from(d % p), Payload::tagged(0));
+        }
+        let e = euler_split(&rel);
+        prop_assert!(e.validate(&rel).is_ok(), "{:?}", e.validate(&rel));
+        let k = koenig_color(&rel);
+        prop_assert!(k.validate(&rel).is_ok());
+        prop_assert!(k.num_rounds() <= rel.degree());
+        prop_assert!(e.num_rounds() <= rel.degree().next_power_of_two());
+    }
+
+    /// Off-line routing delivers arbitrary relations exactly, stall-free.
+    #[test]
+    fn route_offline_delivers_everything(
+        p_exp in 1u32..4,
+        h in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let p = 1usize << p_exp;
+        let params = LogpParams::new(p, 8, 1, 2).unwrap();
+        let mut rng = bsp_vs_logp::model::rngutil::SeedStream::new(seed).derive("rel", 0);
+        let rel = HRelation::random_uniform(&mut rng, p, h);
+        let (t, received) = route_offline(params, &rel, seed).unwrap();
+        let delivered: usize = received.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(delivered, rel.len());
+        prop_assert!(t.get() > 0 || rel.is_empty());
+    }
+
+    /// CB computes the fold of an arbitrary associative-commutative op over
+    /// arbitrary values for arbitrary valid parameters.
+    #[test]
+    fn cb_computes_the_fold(
+        p in 1usize..24,
+        g_sel in 0usize..3,
+        values in proptest::collection::vec(-100i64..100, 24),
+    ) {
+        let (l, o, g) = [(8u64, 1u64, 2u64), (8, 1, 8), (6, 2, 3)][g_sel];
+        let params = LogpParams::new(p, l, o, g).unwrap();
+        let vals: Vec<Payload> = values[..p].iter().map(|&v| Payload::word(0, v)).collect();
+        let joins = vec![Steps::ZERO; p];
+        let rep = run_cb(params, TreeShape::Heap, vals, word_combine(|a, b| a.max(b)), &joins, 1).unwrap();
+        let want = values[..p].iter().copied().max().unwrap();
+        prop_assert!(rep.results.iter().all(|r| r.expect_word() == want));
+    }
+
+    /// Ordered range-tree CB folds non-commutatively in processor order.
+    #[test]
+    fn range_cb_preserves_order(p in 1usize..20, seed in 0u64..100) {
+        let params = LogpParams::new(p, 8, 1, 2).unwrap();
+        let vals: Vec<Payload> = (0..p).map(|i| Payload::word(0, ((i as u64 * 7 + seed) % 100) as i64)).collect();
+        let concat: bsp_vs_logp::core::Combine = std::sync::Arc::new(|a: &Payload, b: &Payload| {
+            let mut d = a.data.clone();
+            d.extend_from_slice(&b.data);
+            Payload { tag: 0, data: d }
+        });
+        let joins = vec![Steps::ZERO; p];
+        let rep = run_cb(params, TreeShape::Range, vals.clone(), concat, &joins, 2).unwrap();
+        let want: Vec<i64> = vals.iter().map(|v| v.expect_word()).collect();
+        prop_assert!(rep.results.iter().all(|r| r.data == want));
+    }
+}
+
+mod differential {
+    use super::*;
+    use bsp_vs_logp::logp::reference::run_reference;
+    use bsp_vs_logp::logp::LogpMachine;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The event-driven engine and the literal per-step reference engine
+        /// agree exactly under deterministic policies: same makespan, same
+        /// delivered count, same per-processor halt times and stall totals
+        /// (FIFO acceptance resolves identically when submissions enter the
+        /// queues in the same order, which these generated workloads — all
+        /// first submissions at one instant, causal thereafter — guarantee).
+        #[test]
+        fn event_engine_matches_reference_stepper(
+            (p, l, o, g, dsts) in machine_inputs(),
+            eager in proptest::bool::ANY,
+        ) {
+            let params = LogpParams::new(p, l, o, g).unwrap();
+            let config = LogpConfig {
+                delivery: if eager { DeliveryPolicy::Eager } else { DeliveryPolicy::AtLatencyBound },
+                ..LogpConfig::default()
+            };
+            let mut ev = LogpMachine::with_config(params, config, build_scripts(p, &dsts));
+            let a = ev.run().unwrap();
+            let b = run_reference(params, config, build_scripts(p, &dsts)).unwrap();
+            prop_assert_eq!(a.delivered, b.delivered);
+            prop_assert_eq!(a.makespan, b.makespan, "stalls: {} vs {}", a.stall_episodes, b.stall_episodes);
+            prop_assert_eq!(a.stall_episodes, b.stall_episodes);
+            prop_assert_eq!(a.total_stall, b.total_stall);
+            for (x, y) in a.per_proc.iter().zip(&b.per_proc) {
+                prop_assert_eq!(x.halt_time, y.halt_time);
+                prop_assert_eq!(x.sent, y.sent);
+                prop_assert_eq!(x.acquired, y.acquired);
+                prop_assert_eq!(x.max_buffer, y.max_buffer);
+            }
+        }
+    }
+}

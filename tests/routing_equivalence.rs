@@ -1,0 +1,108 @@
+//! Routing equivalence: every router (deterministic, randomized, off-line;
+//! every network topology, port mode and path strategy) must deliver the
+//! same message multiset for the same relation.
+
+use bsp_vs_logp::core::{route_deterministic, route_offline, route_randomized, SortScheme};
+use bsp_vs_logp::logp::LogpParams;
+use bsp_vs_logp::model::rngutil::SeedStream;
+use bsp_vs_logp::model::HRelation;
+use bsp_vs_logp::net::{
+    route_relation, Array, Butterfly, Ccc, Hypercube, MeshOfTrees, PathStrategy, PortMode,
+    RouterConfig, ShuffleExchange, Topology,
+};
+
+#[test]
+fn logp_routers_agree_on_delivery() {
+    // route_deterministic and route_randomized internally verify delivery
+    // against the relation; this exercises them on the same inputs so a
+    // divergence in either trips its internal check.
+    let params = LogpParams::new(16, 32, 1, 2).unwrap();
+    let seeds = SeedStream::new(99);
+    for h in [1usize, 3, 6] {
+        let mut rng = seeds.derive("rel", h as u64);
+        let rel = HRelation::random_uniform(&mut rng, 16, h);
+        let det = route_deterministic(params, &rel, SortScheme::Network, 1).unwrap();
+        let rnd = route_randomized(params, &rel, 2.0, 1).unwrap();
+        let (off_t, received) = route_offline(params, &rel, 1).unwrap();
+        let off_count: usize = received.iter().map(|r| r.len()).sum();
+        assert_eq!(off_count, rel.len());
+        // Off-line (full knowledge) is never slower than the on-line
+        // deterministic protocol.
+        assert!(off_t <= det.total, "offline {off_t:?} vs det {:?}", det.total);
+        assert!(rnd.time.get() > 0);
+    }
+}
+
+#[test]
+fn every_topology_delivers_random_relations() {
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(Array::chain(16)),
+        Box::new(Array::mesh2d(6)),
+        Box::new(Array::new(&[3, 3, 3])),
+        Box::new(Hypercube::new(5)),
+        Box::new(Butterfly::new(3)),
+        Box::new(Ccc::new(3)),
+        Box::new(ShuffleExchange::new(5)),
+        Box::new(MeshOfTrees::new(4)),
+    ];
+    let seeds = SeedStream::new(123);
+    for topo in &topos {
+        let p = topo.num_processors();
+        let mut rng = seeds.derive("rel", p as u64);
+        let rel = HRelation::random_exact(&mut rng, p, 3);
+        for mode in [PortMode::Multi, PortMode::Single] {
+            for paths in [PathStrategy::Greedy, PathStrategy::Valiant] {
+                let out = route_relation(
+                    topo.as_ref(),
+                    &rel,
+                    RouterConfig {
+                        mode,
+                        paths,
+                        seed: 7,
+                        ..RouterConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    out.delivered,
+                    rel.len(),
+                    "{} {mode:?} {paths:?}",
+                    topo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_port_is_never_faster_than_multi_port() {
+    let topo = Hypercube::new(6);
+    let seeds = SeedStream::new(5);
+    for h in [2usize, 8] {
+        let mut rng = seeds.derive("rel", h as u64);
+        let rel = HRelation::random_exact(&mut rng, 64, h);
+        let multi = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+        let single = route_relation(
+            &topo,
+            &rel,
+            RouterConfig {
+                mode: PortMode::Single,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(single.time >= multi.time, "h={h}");
+    }
+}
+
+#[test]
+fn hot_spot_relations_route_on_networks() {
+    // The adversarial pattern for greedy routing: heavy in-degree.
+    let topo = Array::mesh2d(8);
+    let rel = HRelation::hot_spot(64, bsp_vs_logp::model::ProcId(0), 63, 2);
+    let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+    assert_eq!(out.delivered, rel.len());
+    // Receiver-bound: at least one step per message into node 0 across its
+    // two links.
+    assert!(out.time >= (rel.len() / 2) as u64);
+}

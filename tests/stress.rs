@@ -1,0 +1,84 @@
+//! Medium-scale smoke tests: the engines at sizes closer to the experiment
+//! binaries', kept debug-build friendly.
+
+use bsp_vs_logp::algos::bsp::radix::radix_sort;
+use bsp_vs_logp::algos::logp::alltoall::all_to_all;
+use bsp_vs_logp::algos::logp::bcast::optimal_broadcast;
+use bsp_vs_logp::bsp::BspParams;
+use bsp_vs_logp::core::{route_deterministic, SortScheme};
+use bsp_vs_logp::logp::LogpParams;
+use bsp_vs_logp::model::rngutil::SeedStream;
+use bsp_vs_logp::model::{HRelation, Word};
+use bsp_vs_logp::net::{route_relation, Hypercube, MeshOfTrees, RouterConfig};
+
+#[test]
+fn logp_all_to_all_p96() {
+    let p = 96;
+    let params = LogpParams::new(p, 24, 2, 3).unwrap();
+    let data: Vec<Vec<Word>> = (0..p)
+        .map(|i| (0..p).map(|j| (i * p + j) as Word).collect())
+        .collect();
+    let (out, t) = all_to_all(params, &data, 1).unwrap();
+    for j in 0..p {
+        for i in 0..p {
+            assert_eq!(out[j][i], (i * p + j) as Word);
+        }
+    }
+    // Near the off-line optimal 2o + G(p-2) + L.
+    let optimal = 2 * params.o + params.g * (p as u64 - 2) + params.l;
+    assert!(t.get() <= 3 * optimal, "{t:?} vs {optimal}");
+}
+
+#[test]
+fn logp_broadcast_p512_matches_schedule() {
+    let params = LogpParams::new(512, 16, 1, 4).unwrap();
+    let rep = optimal_broadcast(params, 7, 3).unwrap();
+    assert!(rep.complete);
+    assert_eq!(rep.makespan, rep.predicted);
+}
+
+#[test]
+fn bsp_radix_sort_p32_n2048() {
+    let p = 32;
+    let mut rng = SeedStream::new(99).derive("keys", 0);
+    use rand::Rng;
+    let keys: Vec<Vec<Word>> = (0..p)
+        .map(|_| (0..64).map(|_| rng.gen_range(0..1 << 16)).collect())
+        .collect();
+    let mut want: Vec<Word> = keys.iter().flatten().copied().collect();
+    want.sort_unstable();
+    let params = BspParams::new(p, 2, 32).unwrap();
+    let (blocks, report) = radix_sort(params, keys, 4).unwrap();
+    let got: Vec<Word> = blocks.iter().flatten().copied().collect();
+    assert_eq!(got, want);
+    assert_eq!(report.supersteps, 12);
+}
+
+#[test]
+fn deterministic_router_p32() {
+    let params = LogpParams::new(32, 16, 1, 2).unwrap();
+    let mut rng = SeedStream::new(5).derive("rel", 0);
+    let rel = HRelation::random_exact(&mut rng, 32, 6);
+    let rep = route_deterministic(params, &rel, SortScheme::Network, 9).unwrap();
+    assert_eq!(rep.h, 6);
+    assert!(rep.total.get() > 0);
+}
+
+#[test]
+fn network_router_scales_to_1024_node_hypercube() {
+    let topo = Hypercube::new(10);
+    let mut rng = SeedStream::new(6).derive("rel", 0);
+    let rel = HRelation::random_exact(&mut rng, 1024, 2);
+    let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+    assert_eq!(out.delivered, 2048);
+    assert!(out.time <= 40, "time {}", out.time);
+}
+
+#[test]
+fn mesh_of_trees_p1024() {
+    let topo = MeshOfTrees::new(32);
+    let mut rng = SeedStream::new(7).derive("rel", 0);
+    let rel = HRelation::random_exact(&mut rng, 1024, 1);
+    let out = route_relation(&topo, &rel, RouterConfig::default()).unwrap();
+    assert_eq!(out.delivered, rel.len());
+}
