@@ -54,8 +54,8 @@ pub fn histogram(
                         _ => {
                             let mut sums = std::collections::BTreeMap::new();
                             while let Some(m) = ctx.recv() {
-                                let b = m.payload.data[0] as usize;
-                                let c = m.payload.data[1] as u64;
+                                let b = m.payload.data()[0] as usize;
+                                let c = m.payload.data()[1] as u64;
                                 *sums.entry(b).or_insert(0u64) += c;
                                 ctx.charge(1);
                             }

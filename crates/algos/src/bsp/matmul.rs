@@ -66,7 +66,7 @@ pub fn matmul(params: BspParams, a: &Matrix, b: &Matrix) -> Result<(Matrix, RunR
     let p = params.p;
     let n = a.n;
     assert_eq!(b.n, n);
-    assert!(n % p == 0, "p must divide n");
+    assert!(n.is_multiple_of(p), "p must divide n");
     let bs = n / p; // block side
 
     // Column block j of B, flattened column-block-major: rows 0..n of
@@ -111,7 +111,7 @@ pub fn matmul(params: BspParams, a: &Matrix, b: &Matrix) -> Result<(Matrix, RunR
                         // Receive the visiting block shipped last superstep.
                         st.incoming.clear();
                         while let Some(m) = ctx.recv() {
-                            st.incoming.extend_from_slice(&m.payload.data);
+                            st.incoming.extend_from_slice(m.payload.data());
                         }
                         st.b_cols = std::mem::take(&mut st.incoming);
                         st.b_owner = (st.b_owner + 1) % p;

@@ -55,18 +55,18 @@ impl BspProcess for RadixProc {
                 // contribute in id order (stability across processors).
                 let mut hists: Vec<Vec<Word>> = vec![Vec::new(); p];
                 while let Some(m) = ctx.recv() {
-                    hists[m.src.index()] = m.payload.data.clone();
+                    hists[m.src.index()] = m.payload.data().to_vec();
                 }
                 ctx.charge((p * RADIX) as u64);
                 let bucket_total = |b: usize| -> u64 {
                     hists.iter().map(|h| h.get(b).copied().unwrap_or(0) as u64).sum()
                 };
-                let mut bucket_start = vec![0u64; RADIX + 1];
+                let mut bucket_start = [0u64; RADIX + 1];
                 for b in 0..RADIX {
                     bucket_start[b + 1] = bucket_start[b] + bucket_total(b);
                 }
                 // Global rank of my first key of bucket b.
-                let mut my_rank = vec![0u64; RADIX];
+                let mut my_rank = [0u64; RADIX];
                 for b in 0..RADIX {
                     let before_me: u64 = (0..me)
                         .map(|j| hists[j].get(b).copied().unwrap_or(0) as u64)
@@ -91,7 +91,7 @@ impl BspProcess for RadixProc {
                 // Collect and order by global rank.
                 let mut got: Vec<(Word, Word)> = Vec::new();
                 while let Some(m) = ctx.recv() {
-                    got.push((m.payload.data[0], m.payload.data[1]));
+                    got.push((m.payload.data()[0], m.payload.data()[1]));
                 }
                 got.sort_unstable();
                 ctx.charge(got.len() as u64);

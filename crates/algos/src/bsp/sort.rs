@@ -100,7 +100,7 @@ pub fn sample_sort(
                             // Partition by splitters; route buckets.
                             let m = ctx.recv().expect("splitters");
                             debug_assert_eq!(m.payload.tag, TAG_SPLIT);
-                            st.splitters = m.payload.data.clone();
+                            st.splitters = m.payload.data().to_vec();
                             for &key in &st.mine {
                                 let owner = st.splitters.partition_point(|&s| s < key);
                                 ctx.send(ProcId::from(owner), Payload::word(TAG_KEY, key));

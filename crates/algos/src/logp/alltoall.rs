@@ -35,7 +35,7 @@ pub fn all_to_all(
                     payload: Payload::words(0, &[me as Word, data[me][dst]]),
                 });
             }
-            ops.extend(std::iter::repeat(Op::Recv).take(p - 1));
+            ops.extend(std::iter::repeat_n(Op::Recv, p - 1));
             Script::new(ops)
         })
         .collect();
@@ -51,8 +51,8 @@ pub fn all_to_all(
     for (j, script) in machine.into_programs().into_iter().enumerate() {
         out[j][j] = data[j][j]; // the self entry never travels
         for e in script.into_received() {
-            let src = e.payload.data[0] as usize;
-            out[j][src] = e.payload.data[1];
+            let src = e.payload.data()[0] as usize;
+            out[j][src] = e.payload.data()[1];
         }
     }
     Ok((out, report.makespan))
@@ -70,9 +70,9 @@ mod tests {
                 .map(|i| (0..p).map(|j| (i * 100 + j) as Word).collect())
                 .collect();
             let (out, _) = all_to_all(params, &data, 1).unwrap();
-            for j in 0..p {
-                for i in 0..p {
-                    assert_eq!(out[j][i], (i * 100 + j) as Word, "p={p} i={i} j={j}");
+            for (j, row) in out.iter().enumerate() {
+                for (i, &w) in row.iter().enumerate() {
+                    assert_eq!(w, (i * 100 + j) as Word, "p={p} i={i} j={j}");
                 }
             }
         }

@@ -36,12 +36,12 @@ pub fn broadcast_schedule(params: &LogpParams) -> BroadcastSchedule {
     // Heap of (next submission time, proc).
     let mut heap: BinaryHeap<Reverse<(Steps, usize)>> = BinaryHeap::new();
     heap.push(Reverse((Steps(o), 0))); // root's first submission at o
-    for next in 1..p {
+    for (next, slot) in inform.iter_mut().enumerate().skip(1) {
         let Reverse((sub, sender)) = heap.pop().expect("informed senders exist");
         targets[sender].push(ProcId::from(next));
         // Receiver acquires at sub + L + o and submits its first at + o.
         let informed_at = sub + Steps(l + o);
-        inform[next] = informed_at;
+        *slot = informed_at;
         heap.push(Reverse((sub + Steps(g), sender)));
         heap.push(Reverse((informed_at + Steps(o), next)));
     }
@@ -180,7 +180,7 @@ mod tests {
     fn schedule_informs_everyone_once() {
         let params = LogpParams::new(16, 8, 1, 2).unwrap();
         let s = broadcast_schedule(&params);
-        let mut count = vec![0usize; 16];
+        let mut count = [0usize; 16];
         for t in s.targets.iter().flatten() {
             count[t.index()] += 1;
         }

@@ -99,7 +99,7 @@ fn run_phase(
                 });
             }
             if i < digits {
-                ops.extend(std::iter::repeat(Op::Recv).take(senders_to[i].len()));
+                ops.extend(std::iter::repeat_n(Op::Recv, senders_to[i].len()));
             }
             Script::new(ops)
         })
@@ -114,8 +114,8 @@ fn run_phase(
     let mut counts = vec![0u64; digits];
     for (owner, script) in machine.into_programs().into_iter().enumerate().take(digits) {
         for e in script.into_received() {
-            debug_assert_eq!(e.payload.data[0] as usize, owner);
-            counts[owner] += e.payload.data[1] as u64;
+            debug_assert_eq!(e.payload.data()[0] as usize, owner);
+            counts[owner] += e.payload.data()[1] as u64;
         }
     }
     Ok(CountPhaseReport {

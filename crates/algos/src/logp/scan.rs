@@ -19,7 +19,7 @@ struct ScanPlan {
     parent: Option<u32>,
 }
 
-fn build_plans(p: usize, k: usize, plans: &mut Vec<ScanPlan>, lo: usize, hi: usize) {
+fn build_plans(k: usize, plans: &mut Vec<ScanPlan>, lo: usize, hi: usize) {
     let n = hi - lo;
     if n <= 1 {
         return;
@@ -29,7 +29,7 @@ fn build_plans(p: usize, k: usize, plans: &mut Vec<ScanPlan>, lo: usize, hi: usi
     let mut idx = 0;
     while s < hi {
         let e = (s + part).min(hi);
-        build_plans(p, k, plans, s, e);
+        build_plans(k, plans, s, e);
         if idx > 0 {
             plans[s].parent = Some(lo as u32);
             plans[lo].gather_from.push(s as u32);
@@ -165,7 +165,7 @@ pub fn scan(
     assert_eq!(values.len(), p);
     let k = 2usize.max(params.capacity() as usize);
     let mut plans = vec![ScanPlan::default(); p];
-    build_plans(p, k, &mut plans, 0, p);
+    build_plans(k, &mut plans, 0, p);
     let procs: Vec<ScanProc> = plans
         .into_iter()
         .zip(values)

@@ -1,0 +1,110 @@
+//! Micro-benchmarks for the two engine hot paths this repo optimizes:
+//! the event timeline (bucket/calendar queue vs binary heap) and message
+//! payloads (inline word store vs heap spill).
+//!
+//! The `timeline` group drives `bvl_logp::Timeline` directly with a
+//! synthetic near-horizon event stream (the pattern the LogP engine
+//! produces: deliveries within `L`, submissions within `max(o, G)`), plus a
+//! whole-machine run under each `TimelineKind`. The `payload` group measures
+//! construct+clone+read round-trips below and above `INLINE_WORDS`.
+
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script, Timeline, TimelineKind};
+use bvl_model::{Payload, ProcId, Steps, INLINE_WORDS};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Push/pop churn mimicking the engine: each popped event schedules a
+/// successor a bounded distance ahead (span 16, like `max(L, G, o)`), with
+/// an occasional far-future event exercising the overflow path.
+fn churn(kind: TimelineKind, events: u64) -> u64 {
+    let mut tl: Timeline<u64> = Timeline::new(kind, 16);
+    for i in 0..32u64 {
+        tl.push(Steps(i % 16), (i % 3) as u8, i);
+    }
+    let mut acc = 0u64;
+    let mut processed = 0u64;
+    while let Some((at, phase, v)) = tl.pop() {
+        acc = acc.wrapping_add(v).wrapping_add(at.0);
+        processed += 1;
+        if processed >= events {
+            continue; // drain without refilling
+        }
+        let ahead = 1 + (v % 16);
+        tl.push(Steps(at.0 + ahead), phase, v.wrapping_mul(31).wrapping_add(7));
+        if v % 257 == 0 {
+            tl.push(Steps(at.0 + 10_000), 2, v); // beyond any horizon
+        }
+    }
+    acc
+}
+
+fn hot_spot_scripts(p: usize, k: usize) -> Vec<Script> {
+    let mut v = vec![Script::new(vec![Op::Recv; (p - 1) * k])];
+    v.extend((1..p).map(|i| {
+        Script::new((0..k).map(move |q| Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(q as u32, i as i64),
+        }))
+    }));
+    v
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for (name, kind) in [
+        ("churn_bucket", TimelineKind::Bucket),
+        ("churn_heap", TimelineKind::BinaryHeap),
+    ] {
+        group.bench_function(BenchmarkId::new(name, 100_000u64), |b| {
+            b.iter(|| churn(kind, 100_000));
+        });
+    }
+
+    for (name, kind) in [
+        ("machine_hot_spot_bucket", TimelineKind::Bucket),
+        ("machine_hot_spot_heap", TimelineKind::BinaryHeap),
+    ] {
+        group.bench_function(BenchmarkId::new(name, 64usize), |b| {
+            let params = LogpParams::new(64, 8, 1, 2).unwrap();
+            let config = LogpConfig {
+                timeline: kind,
+                ..LogpConfig::default()
+            };
+            b.iter(|| {
+                let mut m =
+                    LogpMachine::with_config(params, config, hot_spot_scripts(64, 4));
+                m.run().unwrap().total_stall
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payload");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let inline = vec![7i64; INLINE_WORDS]; // widest inline payload
+    let spill = vec![7i64; INLINE_WORDS * 2]; // forced heap spill
+    for (name, words) in [("inline", &inline), ("spill", &spill)] {
+        group.bench_function(BenchmarkId::new(name, words.len()), |b| {
+            b.iter(|| {
+                let p = Payload::words(3, black_box(words));
+                let q = p.clone();
+                q.data().iter().sum::<i64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeline, bench_payload);
+criterion_main!(benches);

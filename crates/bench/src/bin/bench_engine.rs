@@ -1,0 +1,246 @@
+//! Engine performance snapshot → `BENCH_engine.json`.
+//!
+//! Measures the hot paths this repo's perf work targets and writes one
+//! machine-readable JSON file at the repository root so the perf trajectory
+//! is tracked across PRs:
+//!
+//! * **timeline** — whole-machine LogP runs under `TimelineKind::BinaryHeap`
+//!   (the pre-overhaul engine, kept selectable exactly for this comparison)
+//!   vs `TimelineKind::Bucket` (the calendar queue). "before/after" on the
+//!   same binary, same workloads.
+//! * **payload** — construct+clone+read round-trips for an inline payload vs
+//!   a spilled one. The spill path is the old representation (every payload
+//!   heap-allocated a `Vec`), so this is the message-layer before/after.
+//! * **sweep** — the `exp_table1`-style topology measurement job set run
+//!   through the sweep harness at 1 thread and at the host's parallelism.
+//!
+//! Wall-clock numbers are environment-dependent; the JSON records the host
+//! parallelism next to them. Run via `scripts/regen_experiments.sh` or:
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin bench_engine
+//! ```
+//!
+//! If `CRITERION_JSONL` points at a `CRITERION_MINI_JSON` output file (the
+//! `event_queue` micro-bench writes one), its measurements are embedded
+//! under `"criterion"`.
+
+use bvl_bench::sweep::sweep;
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script, TimelineKind};
+use bvl_model::{Payload, ProcId, INLINE_WORDS};
+use bvl_net::{measure_parameters, Hypercube, MeshOfTrees, RouterConfig, Topology};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn ring_scripts(p: usize, rounds: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..rounds {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % p) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn hot_spot_scripts(p: usize, k: usize) -> Vec<Script> {
+    let mut v = vec![Script::new(vec![Op::Recv; (p - 1) * k])];
+    v.extend((1..p).map(|i| {
+        Script::new((0..k).map(move |q| Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(q as u32, i as i64),
+        }))
+    }));
+    v
+}
+
+fn alltoall_scripts(p: usize) -> Vec<Script> {
+    (0..p)
+        .map(|me| {
+            let mut ops = Vec::new();
+            for t in 0..p - 1 {
+                ops.push(Op::Send {
+                    dst: ProcId(((me + 1 + t) % p) as u32),
+                    payload: Payload::word(0, me as i64),
+                });
+            }
+            ops.extend(std::iter::repeat_n(Op::Recv, p - 1));
+            Script::new(ops)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn run_machine(kind: TimelineKind, scripts: Vec<Script>, p: usize) -> u64 {
+    let params = LogpParams::new(p, 16, 1, 2).unwrap();
+    let config = LogpConfig {
+        timeline: kind,
+        ..LogpConfig::default()
+    };
+    let mut m = LogpMachine::with_config(params, config, scripts);
+    m.run().unwrap().makespan.get()
+}
+
+type ScriptBuilder = Box<dyn Fn() -> Vec<Script>>;
+
+fn timeline_section(out: &mut Vec<String>) {
+    let cases: Vec<(&str, usize, ScriptBuilder)> = vec![
+        ("ring_x32", 64, Box::new(|| ring_scripts(64, 32))),
+        ("hot_spot_stalling", 64, Box::new(|| hot_spot_scripts(64, 16))),
+        ("all_to_all", 64, Box::new(|| alltoall_scripts(64))),
+    ];
+    for (name, p, build) in cases {
+        // Equal work both sides; 10 machine runs per timing rep.
+        let heap_ms = time_ms(5, || {
+            for _ in 0..10 {
+                black_box(run_machine(TimelineKind::BinaryHeap, build(), p));
+            }
+        });
+        let bucket_ms = time_ms(5, || {
+            for _ in 0..10 {
+                black_box(run_machine(TimelineKind::Bucket, build(), p));
+            }
+        });
+        eprintln!(
+            "timeline/{name}: heap {heap_ms:.2} ms, bucket {bucket_ms:.2} ms, speedup {:.2}x",
+            heap_ms / bucket_ms
+        );
+        out.push(format!(
+            "    {{\"workload\": \"{name}\", \"p\": {p}, \"heap_ms\": {heap_ms:.3}, \
+             \"bucket_ms\": {bucket_ms:.3}, \"speedup\": {:.3}}}",
+            heap_ms / bucket_ms
+        ));
+    }
+}
+
+fn payload_section(out: &mut Vec<String>) {
+    let inline = vec![7i64; INLINE_WORDS];
+    let spill = vec![7i64; INLINE_WORDS * 2];
+    let iters = 2_000_000u64;
+    let bench = |words: &[i64]| -> f64 {
+        let ms = time_ms(5, || {
+            let mut acc = 0i64;
+            for _ in 0..iters {
+                let p = Payload::words(3, black_box(words));
+                let q = p.clone();
+                acc = acc.wrapping_add(q.data().iter().sum::<i64>());
+            }
+            black_box(acc);
+        });
+        ms * 1e6 / iters as f64 // ns per construct+clone+read
+    };
+    let inline_ns = bench(&inline);
+    let spill_ns = bench(&spill);
+    eprintln!(
+        "payload: inline {inline_ns:.1} ns/op, spill {spill_ns:.1} ns/op, ratio {:.2}x",
+        spill_ns / inline_ns
+    );
+    out.push(format!(
+        "    {{\"case\": \"inline_{INLINE_WORDS}w\", \"ns_per_op\": {inline_ns:.1}}}"
+    ));
+    out.push(format!(
+        "    {{\"case\": \"spill_{}w\", \"ns_per_op\": {spill_ns:.1}, \
+         \"note\": \"spill = pre-overhaul always-Vec representation\"}}",
+        INLINE_WORDS * 2
+    ));
+}
+
+fn sweep_jobs() -> Vec<(&'static str, u32)> {
+    vec![
+        ("hypercube", 6),
+        ("hypercube", 7),
+        ("mesh_of_trees", 6),
+        ("mesh_of_trees", 8),
+        ("hypercube", 6),
+        ("hypercube", 7),
+        ("mesh_of_trees", 6),
+        ("mesh_of_trees", 8),
+    ]
+}
+
+fn run_sweep() -> f64 {
+    let rep = sweep("bench-engine", 11, sweep_jobs(), |(kind, k), _job| {
+        let topo: Box<dyn Topology> = match kind {
+            "hypercube" => Box::new(Hypercube::new(k)),
+            _ => Box::new(MeshOfTrees::new(1usize << (k / 2))),
+        };
+        let m = measure_parameters(&*topo, &[1, 2, 4, 8], 2, 5, RouterConfig::default());
+        m.gamma
+    });
+    rep.elapsed.as_secs_f64() * 1e3
+}
+
+fn sweep_section() -> String {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let t1_ms = time_ms(3, || {
+        black_box(run_sweep());
+    });
+    std::env::set_var("RAYON_NUM_THREADS", host.to_string());
+    let tn_ms = time_ms(3, || {
+        black_box(run_sweep());
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let speedup = t1_ms / tn_ms;
+    eprintln!(
+        "sweep: {} jobs, 1 thread {t1_ms:.1} ms, {host} threads {tn_ms:.1} ms, speedup {speedup:.2}x",
+        sweep_jobs().len()
+    );
+    format!(
+        "  \"sweep\": {{\"jobs\": {}, \"threads_1_ms\": {t1_ms:.3}, \"threads_n_ms\": {tn_ms:.3}, \
+         \"threads_n\": {host}, \"speedup\": {speedup:.3}, \"efficiency\": {:.3}}}",
+        sweep_jobs().len(),
+        speedup / host as f64
+    )
+}
+
+fn criterion_section() -> Option<String> {
+    let path = std::env::var("CRITERION_JSONL").ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "  \"criterion\": [\n    {}\n  ]",
+        lines.join(",\n    ")
+    ))
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut timeline = Vec::new();
+    timeline_section(&mut timeline);
+    let mut payload = Vec::new();
+    payload_section(&mut payload);
+    let sweep_json = sweep_section();
+
+    let mut sections = vec![
+        format!("  \"host_cpus\": {host}"),
+        format!("  \"timeline\": [\n{}\n  ]", timeline.join(",\n")),
+        format!("  \"payload\": [\n{}\n  ]", payload.join(",\n")),
+        sweep_json,
+    ];
+    if let Some(crit) = criterion_section() {
+        sections.push(crit);
+    }
+    let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_engine.json");
+}

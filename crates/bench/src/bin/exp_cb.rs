@@ -81,8 +81,7 @@ fn main() {
         let tree = cb_time(params, 3);
         // Flat: everyone sends to P0; P0 folds and sends the result back.
         let mut programs = vec![Script::new(
-            std::iter::repeat(Op::Recv)
-                .take(p - 1)
+            std::iter::repeat_n(Op::Recv, p - 1)
                 .chain((1..p).map(|j| Op::Send {
                     dst: ProcId(j as u32),
                     payload: Payload::word(0, 1),

@@ -6,24 +6,58 @@
 //! The second half evaluates Observation 1: the best attainable LogP
 //! parameters track the BSP ones (`G* = Θ(g*)`, `L* = Θ(ℓ* + g*)`), shown
 //! by measuring the 1-relation (ℓ-like) and saturation (g-like) regimes.
+//!
+//! Measuring one topology is a self-contained job (its own router, its own
+//! seed), so each table fans its rows out through the [`bvl_bench::sweep`]
+//! harness — this binary is the repo's heaviest, and its per-topology
+//! measurements parallelize near-linearly.
 
+use bvl_bench::sweep::sweep;
 use bvl_bench::{banner, f2, print_table};
 use bvl_net::{
-    measure_parameters, Array, Butterfly, Ccc, Family, Hypercube, MeshOfTrees, PortMode,
-    RouterConfig, ShuffleExchange, Topology,
+    measure_parameters, Array, Butterfly, Ccc, Family, Hypercube, MeasuredParams, MeshOfTrees,
+    PortMode, RouterConfig, ShuffleExchange, Topology,
 };
 
-fn measure_row(
-    topo: &dyn Topology,
-    family: Family,
-    mode: PortMode,
-    hs: &[usize],
-) -> Vec<String> {
+/// Table 1 topologies, constructed per job (a `dyn Topology` is not `Send`,
+/// so jobs carry this tag and build the network on the worker thread).
+#[derive(Clone, Copy)]
+enum Net {
+    Array2d(usize),
+    Array3d(usize),
+    Hypercube(u32),
+    Butterfly(u32),
+    Ccc(u32),
+    ShuffleExchange(u32),
+    MeshOfTrees(usize),
+}
+
+impl Net {
+    fn build(self) -> Box<dyn Topology> {
+        match self {
+            Net::Array2d(side) => Box::new(Array::mesh2d(side)),
+            Net::Array3d(side) => Box::new(Array::new(&[side, side, side])),
+            Net::Hypercube(k) => Box::new(Hypercube::new(k)),
+            Net::Butterfly(k) => Box::new(Butterfly::new(k)),
+            Net::Ccc(k) => Box::new(Ccc::new(k)),
+            Net::ShuffleExchange(k) => Box::new(ShuffleExchange::new(k)),
+            Net::MeshOfTrees(side) => Box::new(MeshOfTrees::new(side)),
+        }
+    }
+}
+
+const HS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn measure(net: Net, mode: PortMode, seed: u64) -> MeasuredParams {
     let config = RouterConfig {
         mode,
         ..RouterConfig::default()
     };
-    let m = measure_parameters(topo, hs, 3, 42, config);
+    measure_parameters(&*net.build(), &HS, 3, seed, config)
+}
+
+fn measure_row(net: Net, family: Family, mode: PortMode) -> Vec<String> {
+    let m = measure(net, mode, 42);
     let p = m.p as f64;
     let pred_g = family.gamma(p);
     let pred_d = family.delta(p);
@@ -47,80 +81,62 @@ fn main() {
     println!(" the meas/pred ratio should be roughly constant within a family)");
     println!();
 
-    let hs = [1usize, 2, 4, 8, 16];
-    let mut rows = Vec::new();
-
-    let a2 = Array::mesh2d(16); // p = 256
-    rows.push(measure_row(&a2, Family::ArrayD(2), PortMode::Multi, &hs));
-    let a3 = Array::new(&[6, 6, 6]); // p = 216
-    rows.push(measure_row(&a3, Family::ArrayD(3), PortMode::Multi, &hs));
-    let hc = Hypercube::new(8); // p = 256
-    rows.push(measure_row(&hc, Family::HypercubeMulti, PortMode::Multi, &hs));
-    rows.push(measure_row(&hc, Family::HypercubeSingle, PortMode::Single, &hs));
-    let bf = Butterfly::new(5); // p = 192
-    rows.push(measure_row(&bf, Family::Butterfly, PortMode::Multi, &hs));
-    let cc = Ccc::new(5); // p = 160
-    rows.push(measure_row(&cc, Family::Ccc, PortMode::Multi, &hs));
-    let se = ShuffleExchange::new(8); // p = 256
-    rows.push(measure_row(&se, Family::ShuffleExchange, PortMode::Multi, &hs));
-    let mt = MeshOfTrees::new(16); // p = 256
-    rows.push(measure_row(&mt, Family::MeshOfTrees, PortMode::Multi, &hs));
-
+    let table1: Vec<(Net, Family, PortMode)> = vec![
+        (Net::Array2d(16), Family::ArrayD(2), PortMode::Multi), // p = 256
+        (Net::Array3d(6), Family::ArrayD(3), PortMode::Multi),  // p = 216
+        (Net::Hypercube(8), Family::HypercubeMulti, PortMode::Multi), // p = 256
+        (Net::Hypercube(8), Family::HypercubeSingle, PortMode::Single),
+        (Net::Butterfly(5), Family::Butterfly, PortMode::Multi), // p = 192
+        (Net::Ccc(5), Family::Ccc, PortMode::Multi),             // p = 160
+        (Net::ShuffleExchange(8), Family::ShuffleExchange, PortMode::Multi), // p = 256
+        (Net::MeshOfTrees(16), Family::MeshOfTrees, PortMode::Multi), // p = 256
+    ];
+    let rep = sweep("table1", 42, table1, |(net, family, mode), _job| {
+        measure_row(net, family, mode)
+    });
+    eprintln!("[sweep] table1: {}", rep.summary());
     print_table(
         &[
             "topology", "p", "γ̂", "γ pred", "γ ratio", "δ̂", "δ pred", "δ ratio", "R²",
         ],
-        &rows,
+        &rep.results,
     );
 
     banner("Scaling check: gamma ratio stays bounded as p grows (hypercube vs mesh-of-trees)");
-    let mut rows = Vec::new();
-    for k in [4u32, 6, 8] {
-        let hc = Hypercube::new(k);
-        let m = measure_parameters(&hc, &hs, 3, 7, RouterConfig::default());
-        rows.push(vec![
-            "hypercube (multi)".into(),
+    let scaling: Vec<(Net, Family, &str)> = vec![
+        (Net::Hypercube(4), Family::HypercubeMulti, "hypercube (multi)"),
+        (Net::Hypercube(6), Family::HypercubeMulti, "hypercube (multi)"),
+        (Net::Hypercube(8), Family::HypercubeMulti, "hypercube (multi)"),
+        (Net::MeshOfTrees(4), Family::MeshOfTrees, "mesh-of-trees"),
+        (Net::MeshOfTrees(8), Family::MeshOfTrees, "mesh-of-trees"),
+        (Net::MeshOfTrees(16), Family::MeshOfTrees, "mesh-of-trees"),
+    ];
+    let rep = sweep("table1-scaling", 7, scaling, |(net, family, label), _job| {
+        let m = measure(net, PortMode::Multi, 7);
+        vec![
+            label.into(),
             format!("{}", m.p),
             f2(m.gamma),
-            f2(Family::HypercubeMulti.gamma(m.p as f64)),
+            f2(family.gamma(m.p as f64)),
             f2(m.delta),
-            f2(Family::HypercubeMulti.delta(m.p as f64)),
-        ]);
-    }
-    for side in [4usize, 8, 16] {
-        let mt = MeshOfTrees::new(side);
-        let m = measure_parameters(&mt, &hs, 3, 7, RouterConfig::default());
-        rows.push(vec![
-            "mesh-of-trees".into(),
-            format!("{}", m.p),
-            f2(m.gamma),
-            f2(Family::MeshOfTrees.gamma(m.p as f64)),
-            f2(m.delta),
-            f2(Family::MeshOfTrees.delta(m.p as f64)),
-        ]);
-    }
-    print_table(&["topology", "p", "γ̂", "γ pred", "δ̂", "δ pred"], &rows);
+            f2(family.delta(m.p as f64)),
+        ]
+    });
+    eprintln!("[sweep] table1-scaling: {}", rep.summary());
+    print_table(&["topology", "p", "γ̂", "γ pred", "δ̂", "δ pred"], &rep.results);
 
     banner("Observation 1: best-attainable LogP vs BSP parameters on the same network");
     println!("(g* ~ fitted slope, l* ~ fitted intercept; predicted G* = Θ(g*),");
     println!(" L* = Θ(l* + g*); LogP side measured by restricting to relations of");
     println!(" degree <= capacity — the stall-free LogP operating regime)");
     println!();
-    let mut rows = Vec::new();
-    for (name, m) in [
-        (
-            "hypercube(256)",
-            measure_parameters(&hc, &hs, 3, 9, RouterConfig::default()),
-        ),
-        (
-            "2d-array(256)",
-            measure_parameters(&a2, &hs, 3, 9, RouterConfig::default()),
-        ),
-        (
-            "mesh-of-trees(256)",
-            measure_parameters(&mt, &hs, 3, 9, RouterConfig::default()),
-        ),
-    ] {
+    let obs1: Vec<(Net, &str)> = vec![
+        (Net::Hypercube(8), "hypercube(256)"),
+        (Net::Array2d(16), "2d-array(256)"),
+        (Net::MeshOfTrees(16), "mesh-of-trees(256)"),
+    ];
+    let rep = sweep("table1-obs1", 9, obs1, |(net, name), _job| {
+        let m = measure(net, PortMode::Multi, 9);
         // LogP-side: fit over the small-h prefix only (h <= capacity-ish).
         let small: Vec<(f64, f64)> = m
             .samples
@@ -130,7 +146,7 @@ fn main() {
             .collect();
         let (g_logp, l_logp, _) = bvl_model::stats::linear_fit(&small);
         let (pred_g, pred_l) = Family::predicted_logp(m.gamma, m.delta);
-        rows.push(vec![
+        vec![
             name.into(),
             f2(m.gamma),
             f2(m.delta),
@@ -138,10 +154,11 @@ fn main() {
             f2(pred_g),
             f2(l_logp),
             f2(pred_l),
-        ]);
-    }
+        ]
+    });
+    eprintln!("[sweep] table1-obs1: {}", rep.summary());
     print_table(
         &["network", "g*", "l*", "G* meas", "G* pred", "L* meas", "L* pred"],
-        &rows,
+        &rep.results,
     );
 }

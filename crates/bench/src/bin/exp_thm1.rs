@@ -6,7 +6,12 @@
 //! LogP `(G, L)`. The measured slowdown column should track (within engine
 //! constants) the `1 + g/G + ℓ/L` bound, and be flat along the matched
 //! diagonal — the paper's "substantial equivalence" claim.
+//!
+//! Each (workload, machine, scaling) case is independent, so the rows are
+//! produced through the [`bvl_bench::sweep`] harness — one job per row,
+//! collected in table order.
 
+use bvl_bench::sweep::sweep;
 use bvl_bench::{banner, f2, print_table};
 use bvl_bsp::BspParams;
 use bvl_core::slowdown::theorem1_bound;
@@ -14,54 +19,80 @@ use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
 
-fn ring_workload(p: usize, rounds: usize) -> Vec<Script> {
-    (0..p)
-        .map(|i| {
-            let mut ops = Vec::new();
-            for r in 0..rounds {
-                ops.push(Op::Send {
-                    dst: ProcId(((i + 1) % p) as u32),
-                    payload: Payload::word(r as u32, i as i64),
-                });
-                ops.push(Op::Recv);
-            }
-            Script::new(ops)
-        })
-        .collect()
+/// A workload family, instantiable any number of times (the native and the
+/// hosted run each need a fresh copy of the scripts).
+#[derive(Clone, Copy)]
+enum Workload {
+    Ring { p: usize, rounds: usize },
+    AllToAll { p: usize },
 }
 
-fn alltoall_workload(p: usize) -> Vec<Script> {
-    (0..p)
-        .map(|me| {
-            let mut ops = Vec::new();
-            for t in 0..p - 1 {
-                ops.push(Op::Send {
-                    dst: ProcId(((me + 1 + t) % p) as u32),
-                    payload: Payload::word(0, me as i64),
-                });
-            }
-            ops.extend(std::iter::repeat(Op::Recv).take(p - 1));
-            Script::new(ops)
-        })
-        .collect()
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Ring { .. } => "ring x8",
+            Workload::AllToAll { .. } => "all-to-all",
+        }
+    }
+
+    fn build(self) -> Vec<Script> {
+        match self {
+            Workload::Ring { p, rounds } => (0..p)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for r in 0..rounds {
+                        ops.push(Op::Send {
+                            dst: ProcId(((i + 1) % p) as u32),
+                            payload: Payload::word(r as u32, i as i64),
+                        });
+                        ops.push(Op::Recv);
+                    }
+                    Script::new(ops)
+                })
+                .collect(),
+            Workload::AllToAll { p } => (0..p)
+                .map(|me| {
+                    let mut ops = Vec::new();
+                    for t in 0..p - 1 {
+                        ops.push(Op::Send {
+                            dst: ProcId(((me + 1 + t) % p) as u32),
+                            payload: Payload::word(0, me as i64),
+                        });
+                    }
+                    ops.extend(std::iter::repeat_n(Op::Recv, p - 1));
+                    Script::new(ops)
+                })
+                .collect(),
+        }
+    }
 }
 
-fn run_case(
-    name: &str,
+/// One table row: a workload on a LogP machine hosted by a BSP machine with
+/// `(g, ℓ) = (factor_g · G, factor_l · L)`.
+#[derive(Clone, Copy)]
+struct Case {
     logp: LogpParams,
     factor_g: u64,
     factor_l: u64,
-    build: &dyn Fn() -> Vec<Script>,
-) -> Vec<String> {
-    let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), build());
+    workload: Workload,
+}
+
+fn run_case(case: Case) -> Vec<String> {
+    let Case {
+        logp,
+        factor_g,
+        factor_l,
+        workload,
+    } = case;
+    let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), workload.build());
     let native_time = native.run().expect("native run").makespan;
     let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
-    let rep = simulate_logp_on_bsp(logp, bsp, build(), Theorem1Config::default())
+    let rep = simulate_logp_on_bsp(logp, bsp, workload.build(), Theorem1Config::default())
         .expect("hosted run");
     let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
     let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
     vec![
-        name.into(),
+        workload.name().into(),
         format!("{}", logp.p),
         format!("{}x/{}x", factor_g, factor_l),
         format!("{}", native_time.get()),
@@ -75,30 +106,48 @@ fn run_case(
 fn main() {
     banner("Theorem 1: slowdown of stall-free LogP hosted on BSP");
     let logp = LogpParams::new(16, 16, 1, 4).unwrap();
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for (fg, fl) in [(1u64, 1u64), (2, 1), (1, 2), (2, 2), (4, 4)] {
-        rows.push(run_case("ring x8", logp, fg, fl, &|| ring_workload(16, 8)));
+        cases.push(Case {
+            logp,
+            factor_g: fg,
+            factor_l: fl,
+            workload: Workload::Ring { p: 16, rounds: 8 },
+        });
     }
     for (fg, fl) in [(1u64, 1u64), (2, 2)] {
-        rows.push(run_case("all-to-all", logp, fg, fl, &|| alltoall_workload(16)));
+        cases.push(Case {
+            logp,
+            factor_g: fg,
+            factor_l: fl,
+            workload: Workload::AllToAll { p: 16 },
+        });
     }
+    let rep = sweep("thm1-scalings", 1996, cases, |case, _job| run_case(case));
+    eprintln!("[sweep] thm1-scalings: {}", rep.summary());
     print_table(
         &[
             "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
         ],
-        &rows,
+        &rep.results,
     );
 
     banner("Matched parameters across machine sizes (slowdown should stay flat)");
-    let mut rows = Vec::new();
-    for p in [4usize, 8, 16, 32, 64] {
-        let logp = LogpParams::new(p, 16, 1, 4).unwrap();
-        rows.push(run_case("ring x8", logp, 1, 1, &|| ring_workload(p, 8)));
-    }
+    let cases: Vec<Case> = [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .map(|p| Case {
+            logp: LogpParams::new(p, 16, 1, 4).unwrap(),
+            factor_g: 1,
+            factor_l: 1,
+            workload: Workload::Ring { p, rounds: 8 },
+        })
+        .collect();
+    let rep = sweep("thm1-sizes", 1996, cases, |case, _job| run_case(case));
+    eprintln!("[sweep] thm1-sizes: {}", rep.summary());
     print_table(
         &[
             "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
         ],
-        &rows,
+        &rep.results,
     );
 }

@@ -6,7 +6,13 @@
 //! the native BSP cost `w + G·h + L`. The paper predicts the quotient is
 //! `O(log p)` for small h and flattens towards `O(1)` as `h` grows — the
 //! crossover the `S` column exhibits.
+//!
+//! Every `(p, h)` cell is routed independently, so the tables are produced
+//! through the [`bvl_bench::sweep`] harness; each job's random h-relation
+//! comes from its own `(domain, index)`-derived RNG stream, which keeps the
+//! tables byte-identical at any `RAYON_NUM_THREADS`.
 
+use bvl_bench::sweep::sweep;
 use bvl_bench::{banner, f2, print_table};
 use bvl_bsp::{FnProcess, Status};
 use bvl_core::slowdown::theorem2_s;
@@ -14,42 +20,43 @@ use bvl_core::{
     route_deterministic, simulate_bsp_on_logp, RoutingStrategy, SortScheme, Theorem2Config,
 };
 use bvl_logp::LogpParams;
-use bvl_model::rngutil::SeedStream;
 use bvl_model::{HRelation, Payload, ProcId};
 
 fn main() {
     banner("Theorem 2: deterministic h-relation routing, phase breakdown");
-    let seeds = SeedStream::new(2024);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for p in [16usize, 64] {
-        let params = LogpParams::new(p, 16, 1, 2).unwrap();
         for h in [1usize, 2, 4, 8, 16, 32] {
-            let mut rng = seeds.derive("rel", (p * 1000 + h) as u64);
-            let rel = HRelation::random_exact(&mut rng, p, h);
-            let rep = route_deterministic(params, &rel, SortScheme::Network, 7)
-                .expect("routing succeeds");
-            let native = (params.g * h as u64 + params.l) as f64;
-            let s_meas = rep.total.get() as f64 / native;
-            let s_pred = theorem2_s(&params, h as u64);
-            rows.push(vec![
-                format!("{p}"),
-                format!("{h}"),
-                format!("{}", rep.t_r.get()),
-                format!("{}", rep.t_sort.get()),
-                format!("{}", rep.t_s.get()),
-                format!("{}", rep.t_cycles.get()),
-                format!("{}", rep.total.get()),
-                f2(native),
-                f2(s_meas),
-                f2(s_pred),
-            ]);
+            cells.push((p, h));
         }
     }
+    let rep = sweep("thm2-cells", 2024, cells, |(p, h), mut job| {
+        let params = LogpParams::new(p, 16, 1, 2).unwrap();
+        let rel = HRelation::random_exact(&mut job.rng, p, h);
+        let rep = route_deterministic(params, &rel, SortScheme::Network, 7)
+            .expect("routing succeeds");
+        let native = (params.g * h as u64 + params.l) as f64;
+        let s_meas = rep.total.get() as f64 / native;
+        let s_pred = theorem2_s(&params, h as u64);
+        vec![
+            format!("{p}"),
+            format!("{h}"),
+            format!("{}", rep.t_r.get()),
+            format!("{}", rep.t_sort.get()),
+            format!("{}", rep.t_s.get()),
+            format!("{}", rep.t_cycles.get()),
+            format!("{}", rep.total.get()),
+            f2(native),
+            f2(s_meas),
+            f2(s_pred),
+        ]
+    });
+    eprintln!("[sweep] thm2-cells: {}", rep.summary());
     print_table(
         &[
             "p", "h", "t_r", "t_sort", "t_s", "t_cycles", "total", "Gh+L", "S meas", "S pred",
         ],
-        &rows,
+        &rep.results,
     );
     println!();
     println!("(S meas uses the Batcher network — an extra log p vs the AKS bound —");
@@ -57,12 +64,13 @@ fn main() {
     println!(" downward trend in h, the paper's crossover, is the result.)");
 
     banner("Large-h regime: Columnsort (Cubesort role) makes the sort constant-round");
-    let mut rows = Vec::new();
     let p = 8usize;
     let params = LogpParams::new(p, 16, 1, 2).unwrap();
-    for h in [98usize, 128, 256] {
-        let mut rng = seeds.derive("big", h as u64);
-        let rel = HRelation::random_exact(&mut rng, p, h);
+    // One job per h; both schemes route the *same* relation, so they stay in
+    // a single job sharing one RNG stream.
+    let rep = sweep("thm2-big", 2024, vec![98usize, 128, 256], move |h, mut job| {
+        let rel = HRelation::random_exact(&mut job.rng, p, h);
+        let mut rows = Vec::new();
         for scheme in [SortScheme::Network, SortScheme::Columnsort] {
             let rep = route_deterministic(params, &rel, scheme, 9).expect("routing succeeds");
             let native = (params.g * h as u64 + params.l) as f64;
@@ -75,7 +83,10 @@ fn main() {
                 f2(rep.total.get() as f64 / native),
             ]);
         }
-    }
+        rows
+    });
+    eprintln!("[sweep] thm2-big: {}", rep.summary());
+    let rows: Vec<Vec<String>> = rep.results.into_iter().flatten().collect();
     print_table(
         &["h", "scheme", "comm rounds", "t_sort", "total", "S meas"],
         &rows,
@@ -84,7 +95,7 @@ fn main() {
     banner("Full superstep simulation: one BSP workload under each routing strategy");
     let p = 16usize;
     let logp = LogpParams::new(p, 16, 1, 2).unwrap();
-    let make = || -> Vec<FnProcess<i64>> {
+    let make = move || -> Vec<FnProcess<i64>> {
         (0..p)
             .map(|_| {
                 FnProcess::new(0i64, move |acc, ctx| {
@@ -111,38 +122,44 @@ fn main() {
             })
             .collect()
     };
-    let mut rows = Vec::new();
-    for (name, strategy) in [
+    let strategies = vec![
         ("offline", RoutingStrategy::Offline),
         ("randomized", RoutingStrategy::Randomized { slack: 2.0 }),
         ("deterministic", RoutingStrategy::Deterministic(SortScheme::Network)),
-    ] {
-        let rep = simulate_bsp_on_logp(
-            logp,
-            make(),
-            Theorem2Config {
-                strategy,
-                ..Theorem2Config::default()
-            },
-        )
-        .expect("superstep simulation");
-        let s0 = &rep.supersteps[0];
-        rows.push(vec![
-            name.into(),
-            format!("{}", rep.supersteps.len()),
-            format!("{}", s0.h),
-            format!("{}", s0.t_synch.get()),
-            format!("{}", s0.t_rout.get()),
-            format!("{}", rep.total.get()),
-            format!("{}", rep.native_total.get()),
-            f2(rep.slowdown()),
-        ]);
-    }
+    ];
+    let rep = sweep(
+        "thm2-strategies",
+        2024,
+        strategies,
+        move |(name, strategy), _job| {
+            let rep = simulate_bsp_on_logp(
+                logp,
+                make(),
+                Theorem2Config {
+                    strategy,
+                    ..Theorem2Config::default()
+                },
+            )
+            .expect("superstep simulation");
+            let s0 = &rep.supersteps[0];
+            vec![
+                name.into(),
+                format!("{}", rep.supersteps.len()),
+                format!("{}", s0.h),
+                format!("{}", s0.t_synch.get()),
+                format!("{}", s0.t_rout.get()),
+                format!("{}", rep.total.get()),
+                format!("{}", rep.native_total.get()),
+                f2(rep.slowdown()),
+            ]
+        },
+    );
+    eprintln!("[sweep] thm2-strategies: {}", rep.summary());
     print_table(
         &[
             "strategy", "supersteps", "h(0)", "t_synch(0)", "t_rout(0)", "total", "native",
             "slowdown",
         ],
-        &rows,
+        &rep.results,
     );
 }

@@ -6,23 +6,25 @@
 //! ... improves upon TAKS by a factor O(log p)." With Batcher standing in
 //! for AKS the network side carries an extra log p, so the crossover moves
 //! left but keeps its shape: constant-round Columnsort wins for large r.
+//!
+//! Each r is routed independently (all three schemes against the same
+//! h-relation), so the rows fan out through the [`bvl_bench::sweep`]
+//! harness with per-job RNG streams.
 
+use bvl_bench::sweep::sweep;
 use bvl_bench::{banner, f2, print_table};
 use bvl_core::bsp_on_logp::sortnet::{aks_cost_formula, bitonic_cost_formula};
 use bvl_core::{route_deterministic, SortScheme};
 use bvl_logp::LogpParams;
-use bvl_model::rngutil::SeedStream;
 use bvl_model::HRelation;
 
 fn main() {
     banner("Sorting-phase cost vs r (p = 8, L = 16, o = 1, G = 2)");
     let p = 8usize;
     let params = LogpParams::new(p, 16, 1, 2).unwrap();
-    let seeds = SeedStream::new(77);
-    let mut rows = Vec::new();
-    for h in [2usize, 8, 32, 98, 196, 392] {
-        let mut rng = seeds.derive("rel", h as u64);
-        let rel = HRelation::random_exact(&mut rng, p, h);
+    let hs = vec![2usize, 8, 32, 98, 196, 392];
+    let rep = sweep("xover", 77, hs, move |h, mut job| {
+        let rel = HRelation::random_exact(&mut job.rng, p, h);
         let net = route_deterministic(params, &rel, SortScheme::Network, 3).expect("net");
         let oe = route_deterministic(params, &rel, SortScheme::NetworkOddEven, 3).expect("oe");
         let cs_valid = h >= 2 * (p - 1) * (p - 1);
@@ -31,7 +33,7 @@ fn main() {
         } else {
             None
         };
-        rows.push(vec![
+        vec![
             format!("{h}"),
             format!("{}", net.t_sort.get()),
             format!("{}", oe.t_sort.get()),
@@ -43,8 +45,9 @@ fn main() {
             cs.as_ref()
                 .map(|c| f2(net.t_sort.get() as f64 / c.t_sort.get() as f64))
                 .unwrap_or_else(|| "-".into()),
-        ]);
-    }
+        ]
+    });
+    eprintln!("[sweep] xover: {}", rep.summary());
     print_table(
         &[
             "r=h",
@@ -55,7 +58,7 @@ fn main() {
             "AKS formula",
             "net/cs",
         ],
-        &rows,
+        &rep.results,
     );
     println!();
     println!("(crossover: once Columnsort is valid (r >= 2(p-1)^2 = 98 here) its");

@@ -27,6 +27,9 @@ pub struct BspMachine<P: BspProcess> {
     config: BspConfig,
     procs: Vec<P>,
     inboxes: Vec<Vec<Envelope>>,
+    // Recycled across supersteps: refilled by the local phase, drained by
+    // the communication phase, allocation reused.
+    outboxes: Vec<Vec<(ProcId, Payload)>>,
     halted: Vec<bool>,
     ledger: CostLedger,
     trace: Trace,
@@ -53,6 +56,7 @@ impl<P: BspProcess> BspMachine<P> {
             config,
             procs,
             inboxes: vec![Vec::new(); p],
+            outboxes: vec![Vec::new(); p],
             halted: vec![false; p],
             ledger: CostLedger::new(),
             trace: if config.trace {
@@ -126,16 +130,15 @@ impl<P: BspProcess> BspMachine<P> {
         let outcomes = crate::parallel::local_phase(
             &mut self.procs,
             &mut self.inboxes,
+            &mut self.outboxes,
             &self.halted,
             self.superstep,
             self.config.retain_unread,
             self.threads,
         );
-        let mut outboxes: Vec<Vec<(ProcId, Payload)>> = Vec::with_capacity(p);
         for (i, outcome) in outcomes.into_iter().enumerate() {
             w_max = w_max.max(outcome.w);
-            sent[i] = outcome.outbox.len() as u64;
-            outboxes.push(outcome.outbox);
+            sent[i] = self.outboxes[i].len() as u64;
             if outcome.halt {
                 self.halted[i] = true;
             }
@@ -143,8 +146,8 @@ impl<P: BspProcess> BspMachine<P> {
 
         // Communication phase: deterministic delivery order (sender id, then
         // submission order at the sender).
-        for (i, outbox) in outboxes.into_iter().enumerate() {
-            for (dst, payload) in outbox {
+        for i in 0..p {
+            for (dst, payload) in self.outboxes[i].drain(..) {
                 recvd[dst.index()] += 1;
                 let id = MsgId(self.next_msg_id);
                 self.next_msg_id += 1;
@@ -251,7 +254,7 @@ mod tests {
         // input pool is not charged as local work (h already priced it).
         assert_eq!(report.records[1].h, 0);
         assert_eq!(report.records[1].w, 0);
-        assert_eq!(report.cost, Steps((1 + 2 * 8 + 16) + (0 + 0 + 16)));
+        assert_eq!(report.cost, Steps((1 + 2 * 8 + 16) + 16));
     }
 
     #[test]

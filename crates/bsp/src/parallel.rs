@@ -14,53 +14,53 @@
 use crate::process::{BspProcess, Status, SuperstepCtx};
 use bvl_model::{Envelope, Payload, ProcId};
 
-/// Result of one process's local phase.
+/// Result of one process's local phase. Sent messages are left in the
+/// processor's recycled outbox buffer rather than carried here.
 pub(crate) struct LocalOutcome {
     pub w: u64,
-    pub outbox: Vec<(ProcId, Payload)>,
     pub halt: bool,
 }
 
 impl LocalOutcome {
     fn idle() -> LocalOutcome {
-        LocalOutcome {
-            w: 0,
-            outbox: Vec::new(),
-            halt: true,
-        }
+        LocalOutcome { w: 0, halt: true }
     }
 }
 
 /// Run the local phase of one process against its inbox, honouring the
-/// `retain_unread` pool semantics.
+/// `retain_unread` pool semantics. The process's sends accumulate into
+/// `outbox` (passed empty, returned filled) so its allocation is reused
+/// across supersteps.
 fn run_one<P: BspProcess>(
     proc: &mut P,
     inbox: &mut Vec<Envelope>,
+    outbox: &mut Vec<(ProcId, Payload)>,
     superstep: u64,
     p: usize,
     me: usize,
     retain_unread: bool,
 ) -> LocalOutcome {
-    let mut pool = std::mem::take(inbox);
-    let mut ctx = SuperstepCtx::new(ProcId::from(me), p, superstep, &mut pool);
+    let buf = std::mem::take(outbox);
+    let mut ctx = SuperstepCtx::with_outbox(ProcId::from(me), p, superstep, inbox, buf);
     let status = proc.superstep(&mut ctx);
-    let (w, outbox, read) = ctx.finish();
-    if retain_unread {
-        pool.drain(..read);
-        *inbox = pool;
+    let (w, sent, _read) = ctx.finish();
+    *outbox = sent;
+    if !retain_unread {
+        inbox.clear();
     }
     LocalOutcome {
         w,
-        outbox,
         halt: status == Status::Halt,
     }
 }
 
 /// Execute the local phase for all non-halted processes, sequentially or on
-/// `threads` OS threads. Outcomes are indexed by processor id either way.
+/// `threads` OS threads. Outcomes are indexed by processor id either way;
+/// processor `i`'s sends land in `outboxes[i]`.
 pub(crate) fn local_phase<P: BspProcess>(
     procs: &mut [P],
     inboxes: &mut [Vec<Envelope>],
+    outboxes: &mut [Vec<(ProcId, Payload)>],
     halted: &[bool],
     superstep: u64,
     retain_unread: bool,
@@ -73,7 +73,15 @@ pub(crate) fn local_phase<P: BspProcess>(
                 if halted[i] {
                     LocalOutcome::idle()
                 } else {
-                    run_one(&mut procs[i], &mut inboxes[i], superstep, p, i, retain_unread)
+                    run_one(
+                        &mut procs[i],
+                        &mut inboxes[i],
+                        &mut outboxes[i],
+                        superstep,
+                        p,
+                        i,
+                        retain_unread,
+                    )
                 }
             })
             .collect();
@@ -81,25 +89,27 @@ pub(crate) fn local_phase<P: BspProcess>(
 
     let chunk = p.div_ceil(threads.min(p));
     let mut results: Vec<Vec<LocalOutcome>> = Vec::with_capacity(p.div_ceil(chunk));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
-        for (ci, ((pc, ic), hc)) in procs
+        for (ci, (((pc, ic), oc), hc)) in procs
             .chunks_mut(chunk)
             .zip(inboxes.chunks_mut(chunk))
+            .zip(outboxes.chunks_mut(chunk))
             .zip(halted.chunks(chunk))
             .enumerate()
         {
             let base = ci * chunk;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 pc.iter_mut()
                     .zip(ic.iter_mut())
+                    .zip(oc.iter_mut())
                     .zip(hc.iter())
                     .enumerate()
-                    .map(|(k, ((proc, inbox), &is_halted))| {
+                    .map(|(k, (((proc, inbox), outbox), &is_halted))| {
                         if is_halted {
                             LocalOutcome::idle()
                         } else {
-                            run_one(proc, inbox, superstep, p, base + k, retain_unread)
+                            run_one(proc, inbox, outbox, superstep, p, base + k, retain_unread)
                         }
                     })
                     .collect::<Vec<_>>()
@@ -108,8 +118,7 @@ pub(crate) fn local_phase<P: BspProcess>(
         for h in handles {
             results.push(h.join().expect("BSP worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 

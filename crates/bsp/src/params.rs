@@ -44,7 +44,7 @@ impl BspParams {
 }
 
 /// Execution options orthogonal to the model parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BspConfig {
     /// Keep unread inbox messages across supersteps instead of discarding
     /// them at the communication phase. `false` is the paper-faithful
@@ -53,15 +53,6 @@ pub struct BspConfig {
     pub retain_unread: bool,
     /// Record machine events into the trace.
     pub trace: bool,
-}
-
-impl Default for BspConfig {
-    fn default() -> Self {
-        BspConfig {
-            retain_unread: false,
-            trace: false,
-        }
-    }
 }
 
 #[cfg(test)]

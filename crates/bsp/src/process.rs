@@ -31,13 +31,19 @@ impl BspProcess for Box<dyn BspProcess> {
 }
 
 /// The view a process has of the machine during its local computation phase.
+///
+/// The context takes the input pool out of `inbox` and hands envelopes to
+/// the program **by move** — no per-message clone. [`SuperstepCtx::finish`]
+/// puts the unread remainder back into `inbox` (the caller decides whether
+/// to keep or discard it, per the machine's pool semantics).
 #[derive(Debug)]
 pub struct SuperstepCtx<'a> {
     me: ProcId,
     p: usize,
     superstep: u64,
-    inbox: &'a mut Vec<Envelope>,
-    cursor: usize,
+    slot: &'a mut Vec<Envelope>,
+    pool: std::vec::IntoIter<Envelope>,
+    read: usize,
     outbox: Vec<(ProcId, Payload)>,
     work: u64,
 }
@@ -52,13 +58,29 @@ impl<'a> SuperstepCtx<'a> {
         superstep: u64,
         inbox: &'a mut Vec<Envelope>,
     ) -> SuperstepCtx<'a> {
+        Self::with_outbox(me, p, superstep, inbox, Vec::new())
+    }
+
+    /// Like [`SuperstepCtx::new`], but sends accumulate into a recycled
+    /// (empty, possibly pre-allocated) buffer — the engine's steady state
+    /// allocates no outbox storage after warm-up.
+    pub fn with_outbox(
+        me: ProcId,
+        p: usize,
+        superstep: u64,
+        inbox: &'a mut Vec<Envelope>,
+        outbox: Vec<(ProcId, Payload)>,
+    ) -> SuperstepCtx<'a> {
+        debug_assert!(outbox.is_empty(), "recycled outbox must be empty");
+        let pool = std::mem::take(inbox).into_iter();
         SuperstepCtx {
             me,
             p,
             superstep,
-            inbox,
-            cursor: 0,
-            outbox: Vec::new(),
+            slot: inbox,
+            pool,
+            read: 0,
+            outbox,
             work: 0,
         }
     }
@@ -80,27 +102,24 @@ impl<'a> SuperstepCtx<'a> {
 
     /// Number of messages still unread in the input pool.
     pub fn inbox_len(&self) -> usize {
-        self.inbox.len() - self.cursor
+        self.pool.len()
     }
 
     /// Extract the next message from the input pool (messages arrive sorted
     /// by sender id, then by submission order at the sender — a fixed,
     /// deterministic order).
     pub fn recv(&mut self) -> Option<Envelope> {
-        if self.cursor < self.inbox.len() {
-            let e = self.inbox[self.cursor].clone();
-            self.cursor += 1;
-            Some(e)
-        } else {
-            None
+        let e = self.pool.next();
+        if e.is_some() {
+            self.read += 1;
         }
+        e
     }
 
     /// Extract all remaining messages from the input pool.
     pub fn recv_all(&mut self) -> Vec<Envelope> {
-        let out = self.inbox[self.cursor..].to_vec();
-        self.cursor = self.inbox.len();
-        out
+        self.read += self.pool.len();
+        self.pool.by_ref().collect()
     }
 
     /// Insert a message into the output pool; it is routed during this
@@ -124,10 +143,13 @@ impl<'a> SuperstepCtx<'a> {
         self.work += w;
     }
 
-    /// Tear down into `(work, outbox, number of messages read)`. Public for
-    /// the same external drivers as [`SuperstepCtx::new`].
+    /// Tear down into `(work, outbox, number of messages read)`, restoring
+    /// the unread remainder of the input pool into the `inbox` the context
+    /// was built over. Public for the same external drivers as
+    /// [`SuperstepCtx::new`].
     pub fn finish(self) -> (u64, Vec<(ProcId, Payload)>, usize) {
-        (self.work, self.outbox, self.cursor)
+        *self.slot = self.pool.collect();
+        (self.work, self.outbox, self.read)
     }
 }
 

@@ -2,6 +2,9 @@
 
 use crate::process::{BspProcess, Status, SuperstepCtx};
 
+/// Boxed superstep closure of a [`FnProcess`].
+type StepFn<S> = Box<dyn FnMut(&mut S, &mut SuperstepCtx<'_>) -> Status + Send>;
+
 /// A [`BspProcess`] built from a state value and a superstep closure — the
 /// idiomatic way to write SPMD programs without naming a struct per kernel.
 ///
@@ -28,7 +31,7 @@ use crate::process::{BspProcess, Status, SuperstepCtx};
 /// ```
 pub struct FnProcess<S> {
     state: S,
-    f: Box<dyn FnMut(&mut S, &mut SuperstepCtx<'_>) -> Status + Send>,
+    f: StepFn<S>,
 }
 
 impl<S: Send> FnProcess<S> {

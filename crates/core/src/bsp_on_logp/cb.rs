@@ -65,18 +65,18 @@ pub fn build_plans(p: usize, k: usize, shape: TreeShape, timed_slots: bool) -> V
     let mut plans = vec![CbPlan::default(); p];
     match shape {
         TreeShape::Heap => {
-            for i in 0..p {
+            for (i, plan) in plans.iter_mut().enumerate() {
                 let children: Vec<u32> = (1..=k)
                     .map(|c| k * i + c)
                     .filter(|&c| c < p)
                     .map(|c| c as u32)
                     .collect();
-                plans[i].gather_from = children.clone();
-                plans[i].scatter_to = children;
+                plan.gather_from = children.clone();
+                plan.scatter_to = children;
                 if i > 0 {
-                    plans[i].send_up_to = Some(((i - 1) / k) as u32);
+                    plan.send_up_to = Some(((i - 1) / k) as u32);
                     if timed_slots {
-                        plans[i].slot_offset = Some(((i - 1) % k) as u64 % 2);
+                        plan.slot_offset = Some(((i - 1) % k) as u64 % 2);
                     }
                 }
             }
@@ -358,7 +358,7 @@ mod tests {
         assert_eq!(plans[3].gather_from, vec![]);
         assert_eq!(plans[1].gather_from, vec![4, 5, 6]);
         // Every non-root appears exactly once as someone's child.
-        let mut seen = vec![0usize; 10];
+        let mut seen = [0usize; 10];
         for pl in &plans {
             for &c in &pl.gather_from {
                 seen[c as usize] += 1;
@@ -461,14 +461,14 @@ mod tests {
         let params = LogpParams::new(11, 8, 1, 2).unwrap();
         let values: Vec<Payload> = (0..11).map(|i| Payload::word(0, i as i64)).collect();
         let concat: Combine = Arc::new(|a: &Payload, b: &Payload| {
-            let mut data = a.data.clone();
-            data.extend_from_slice(&b.data);
-            Payload { tag: 0, data }
+            let mut data = a.data().to_vec();
+            data.extend_from_slice(b.data());
+            Payload::from_vec(0, data)
         });
         let rep = run_cb(params, TreeShape::Range, values, concat, &steps0(11), 4).unwrap();
         let expect: Vec<i64> = (0..11).collect();
         for r in &rep.results {
-            assert_eq!(r.data, expect, "fold must preserve processor order");
+            assert_eq!(r.data(), expect, "fold must preserve processor order");
         }
     }
 
@@ -528,20 +528,20 @@ mod capacity_one_range_tests {
         assert_eq!(params.capacity(), 1);
         let values: Vec<Payload> = (0..13).map(|i| Payload::word(0, i as i64)).collect();
         let concat: Combine = Arc::new(|a: &Payload, b: &Payload| {
-            let mut d = a.data.clone();
-            d.extend_from_slice(&b.data);
-            Payload { tag: 0, data: d }
+            let mut d = a.data().to_vec();
+            d.extend_from_slice(b.data());
+            Payload::from_vec(0, d)
         });
         let rep = run_cb(
             params,
             TreeShape::Range,
             values,
             concat,
-            &vec![Steps::ZERO; 13],
+            &[Steps::ZERO; 13],
             8,
         )
         .unwrap();
         let expect: Vec<i64> = (0..13).collect();
-        assert!(rep.results.iter().all(|r| r.data == expect));
+        assert!(rep.results.iter().all(|r| r.data() == expect));
     }
 }

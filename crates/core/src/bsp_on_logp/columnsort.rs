@@ -15,9 +15,9 @@
 //! sorted column-major at the end. Steps (Leighton 1985):
 //!
 //! 1. sort columns; 2. "transpose" (entry at column-major position `x`
-//! moves to row-major position `x`); 3. sort columns; 4. untranspose;
-//! 5. sort columns; 6. shift down by `r/2` into `p+1` virtual columns;
-//! 7. sort columns; 8. unshift.
+//!    moves to row-major position `x`); 3. sort columns; 4. untranspose;
+//!    5. sort columns; 6. shift down by `r/2` into `p+1` virtual columns;
+//!    7. sort columns; 8. unshift.
 //!
 //! The virtual column `p` (bottom half of column `p−1` plus `+∞` padding)
 //! stays resident on processor `p−1` and is already sorted after step 5, so
@@ -32,7 +32,7 @@ use bvl_model::{HRelation, ModelError, ProcId, Steps};
 /// Does Columnsort's validity condition hold for block length `r` on `p`
 /// processors?
 pub fn columnsort_valid(p: usize, r: usize) -> bool {
-    r % 2 == 0 && p >= 2 && r >= 2 * (p - 1) * (p - 1)
+    r.is_multiple_of(2) && p >= 2 && r >= 2 * (p - 1) * (p - 1)
 }
 
 /// Redistribute records according to `target(col, idx) -> new_col`, routing
@@ -161,7 +161,7 @@ pub fn columnsort(
         // stay order: indices 0..half = top half, half..r = bottom half
         // (virtual column), then received entries (bottom of column p-2).
         let mut own: Vec<Record> = keep.drain(..r.min(keep.len())).collect();
-        let received_part: Vec<Record> = keep.drain(..).collect();
+        let received_part: Vec<Record> = std::mem::take(keep);
         let bottom: Vec<Record> = own.split_off(half);
         virt = bottom;
         let mut col = own;

@@ -84,7 +84,7 @@ pub fn route_offline(
                 ops.push(Op::WaitUntil(Steps(round * params.g)));
                 ops.push(Op::Send { dst, payload });
             }
-            ops.extend(std::iter::repeat(Op::Recv).take(recv_count[i]));
+            ops.extend(std::iter::repeat_n(Op::Recv, recv_count[i]));
             Script::new(ops)
         })
         .collect();
@@ -101,7 +101,7 @@ pub fn verify_delivery(rel: &HRelation, received: &[Vec<Envelope>]) -> Result<()
             if e.dst.index() != dst {
                 return Err(format!("message for {:?} acquired at P{dst}", e.dst));
             }
-            got.push((e.dst.0, e.src.0, e.payload.tag, e.payload.data.clone()));
+            got.push((e.dst.0, e.src.0, e.payload.tag, e.payload.data().to_vec()));
         }
     }
     got.sort();

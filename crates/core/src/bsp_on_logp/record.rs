@@ -51,26 +51,24 @@ impl Record {
         data.push(self.uid as Word);
         data.push(self.tag as Word);
         data.extend_from_slice(&self.data);
-        Payload { tag: RECORD_TAG, data }
+        Payload::from_vec(RECORD_TAG, data)
     }
 
     /// Decode from a payload produced by [`Record::to_payload`].
     pub fn from_payload(p: &Payload) -> Record {
         assert_eq!(p.tag, RECORD_TAG, "not a record payload");
+        let d = p.data();
         Record {
-            dest: p.data[0] as u32,
-            uid: p.data[1] as u64,
-            tag: p.data[2] as u32,
-            data: p.data[3..].to_vec(),
+            dest: d[0] as u32,
+            uid: d[1] as u64,
+            tag: d[2] as u32,
+            data: d[3..].to_vec(),
         }
     }
 
     /// The original message payload this record carries.
     pub fn original_payload(&self) -> Payload {
-        Payload {
-            tag: self.tag,
-            data: self.data.clone(),
-        }
+        Payload::words(self.tag, &self.data)
     }
 }
 
@@ -104,7 +102,7 @@ mod tests {
         let back = Record::from_payload(&r.to_payload());
         assert_eq!(r, back);
         assert_eq!(back.original_payload().tag, 7);
-        assert_eq!(back.original_payload().data, vec![10, -20, 30]);
+        assert_eq!(back.original_payload().data(), &[10, -20, 30]);
     }
 
     #[test]

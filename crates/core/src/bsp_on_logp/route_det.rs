@@ -80,10 +80,7 @@ pub struct RouteDetReport {
 /// The ordered segmented max-count aggregate for Step 3 (see `seg_combine`).
 /// Encoding: `[empty, pref_dest, pref_cnt, suf_dest, suf_cnt, best]`.
 fn seg_payload(empty: bool, pd: i64, pc: i64, sd: i64, sc: i64, best: i64) -> Payload {
-    Payload {
-        tag: 1,
-        data: vec![i64::from(empty), pd, pc, sd, sc, best],
-    }
+    Payload::words(1, &[i64::from(empty), pd, pc, sd, sc, best])
 }
 
 /// Local aggregate of one sorted block (dummies excluded). `best` counts the
@@ -126,10 +123,9 @@ fn seg_local(block: &[Record], p: usize) -> Payload {
 /// Associative (non-commutative) combiner over `seg_payload` aggregates.
 fn seg_combine() -> Combine {
     Arc::new(|a: &Payload, b: &Payload| {
-        let (ae, apd, apc, asd, asc, ab) =
-            (a.data[0] != 0, a.data[1], a.data[2], a.data[3], a.data[4], a.data[5]);
-        let (be, bpd, bpc, bsd, bsc, bb) =
-            (b.data[0] != 0, b.data[1], b.data[2], b.data[3], b.data[4], b.data[5]);
+        let (ad, bd) = (a.data(), b.data());
+        let (ae, apd, apc, asd, asc, ab) = (ad[0] != 0, ad[1], ad[2], ad[3], ad[4], ad[5]);
+        let (be, bpd, bpc, bsd, bsc, bb) = (bd[0] != 0, bd[1], bd[2], bd[3], bd[4], bd[5]);
         if ae {
             return b.clone();
         }
@@ -155,10 +151,10 @@ fn seg_combine() -> Combine {
 /// Final `s` from the root aggregate (`best` already dominates the boundary
 /// runs by construction).
 fn seg_finish(agg: &Payload) -> u64 {
-    if agg.data[0] != 0 {
+    if agg.data()[0] != 0 {
         return 0;
     }
-    agg.data[5].max(0) as u64
+    agg.data()[5].max(0) as u64
 }
 
 /// Step 2 (network scheme): run the merge-split Batcher network; each round
@@ -181,9 +177,9 @@ fn sort_network(
         // Block exchange: every matched pair swaps full blocks.
         let mut rel = HRelation::new(p);
         for &(lo, hi, _) in round {
-            for q in 0..r {
-                rel.push(ProcId::from(lo), ProcId::from(hi), blocks[lo][q].to_payload());
-                rel.push(ProcId::from(hi), ProcId::from(lo), blocks[hi][q].to_payload());
+            for (down, up) in blocks[lo][..r].iter().zip(&blocks[hi][..r]) {
+                rel.push(ProcId::from(lo), ProcId::from(hi), down.to_payload());
+                rel.push(ProcId::from(hi), ProcId::from(lo), up.to_payload());
             }
         }
         let (t, received) = route_offline(params, &rel, seed.wrapping_add(round_idx as u64))?;
@@ -274,7 +270,7 @@ pub fn route_deterministic(
             dest: d.dst.0,
             uid: uid as u64,
             tag: d.payload.tag,
-            data: d.payload.data.clone(),
+            data: d.payload.data().to_vec(),
         });
     }
     for block in &mut blocks {
@@ -354,7 +350,7 @@ pub fn route_deterministic(
                 payload: rc.to_payload(),
             });
         }
-        scripts[j].extend(std::iter::repeat(Op::Recv).take(in_deg[j]));
+        scripts[j].extend(std::iter::repeat_n(Op::Recv, in_deg[j]));
     }
     let scripts: Vec<Script> = scripts.into_iter().map(Script::new).collect();
     let (t_cycles, received) = run_scripts(params, scripts, true, seed.wrapping_add(4000))?;
@@ -401,14 +397,14 @@ fn verify_routing(rel: &HRelation, received: &[Vec<bvl_model::Envelope>]) -> Res
             if e.dst.index() != dst {
                 return Err(format!("message for {:?} acquired at P{dst}", e.dst));
             }
-            got.push((e.dst.0, e.payload.tag, e.payload.data.clone()));
+            got.push((e.dst.0, e.payload.tag, e.payload.data().to_vec()));
         }
     }
     got.sort();
     let mut want: Vec<(u32, u32, Vec<i64>)> = rel
         .demands()
         .iter()
-        .map(|d| (d.dst.0, d.payload.tag, d.payload.data.clone()))
+        .map(|d| (d.dst.0, d.payload.tag, d.payload.data().to_vec()))
         .collect();
     want.sort();
     if got != want {
@@ -442,7 +438,7 @@ mod tests {
         ];
         let agg = seg_local(&block, 8);
         // pref = (1, 2), suf = (3, 3), best run = 3 (the run of dest 3).
-        assert_eq!(agg.data, vec![0, 1, 2, 3, 3, 3]);
+        assert_eq!(agg.data(), &[0, 1, 2, 3, 3, 3]);
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn route_randomized(
                     });
                 }
             }
-            ops.extend(std::iter::repeat(Op::Recv).take(in_deg[j]));
+            ops.extend(std::iter::repeat_n(Op::Recv, in_deg[j]));
             Script::new(ops)
         })
         .collect();

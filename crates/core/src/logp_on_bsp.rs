@@ -124,7 +124,7 @@ impl<P: LogpProcess> GuestCore<P> {
         //    falls inside this cycle.
         let mut busy = 0u64;
         let mut sent = 0u64;
-        while let Some(&(t_sub, dst, _)) = self.outgoing.front().as_deref() {
+        while let Some(&(t_sub, dst, _)) = self.outgoing.front() {
             if t_sub >= cycle_end {
                 break;
             }
@@ -295,13 +295,15 @@ impl<P: LogpProcess> BspProcess for ClusterProc<P> {
         let mut per_guest: Vec<Vec<Envelope>> = vec![Vec::new(); self.cores.len()];
         for e in ctx.recv_all() {
             debug_assert_eq!(e.payload.tag, CLUSTER_TAG);
-            let vsrc = e.payload.data[0] as u32;
-            let vdst = e.payload.data[1] as usize;
+            let d = e.payload.data();
+            let vsrc = d[0] as u32;
+            let vdst = d[1] as usize;
             debug_assert!(self.guest_ids().contains(&vdst));
-            let mut inner = Envelope::new(ProcId(vsrc), ProcId(vdst as u32), Payload {
-                tag: e.payload.data[2] as u32,
-                data: e.payload.data[3..].to_vec(),
-            });
+            let mut inner = Envelope::new(
+                ProcId(vsrc),
+                ProcId(vdst as u32),
+                Payload::words(d[2] as u32, &d[3..]),
+            );
             inner.id = e.id;
             per_guest[vdst - self.base].push(inner);
         }
@@ -315,12 +317,12 @@ impl<P: LogpProcess> BspProcess for ClusterProc<P> {
             let (busy, sent) =
                 core.run_cycle(vme, cycle_start, cycle_end, arrivals, &mut |vdst, payload| {
                     let host = ProcId::from(vdst.index() / cluster);
-                    let mut data = Vec::with_capacity(3 + payload.data.len());
+                    let mut data = Vec::with_capacity(3 + payload.data().len());
                     data.push((self.base + k) as i64);
                     data.push(vdst.index() as i64);
                     data.push(payload.tag as i64);
-                    data.extend_from_slice(&payload.data);
-                    outbound.push((host, Payload { tag: CLUSTER_TAG, data }));
+                    data.extend_from_slice(payload.data());
+                    outbound.push((host, Payload::from_vec(CLUSTER_TAG, data)));
                 });
             total_busy += busy;
             total_sent += sent;
@@ -372,7 +374,7 @@ pub fn simulate_logp_on_bsp_clustered<P: LogpProcess>(
     max_supersteps: u64,
 ) -> Result<WorkPreservingReport<P>, ModelError> {
     let p = logp.p;
-    assert!(cluster >= 1 && p % cluster == 0, "cluster must divide p");
+    assert!(cluster >= 1 && p.is_multiple_of(cluster), "cluster must divide p");
     assert_eq!(bsp.p, p / cluster, "host machine size must be p / cluster");
     assert_eq!(programs.len(), p);
 

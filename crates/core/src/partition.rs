@@ -96,7 +96,7 @@ where
     FB: FnMut(usize) -> Vec<PB>,
 {
     let p = params.p;
-    assert!(p % 2 == 0 && p >= 4);
+    assert!(p.is_multiple_of(2) && p >= 4);
     let half = p / 2;
     let half_params = LogpParams::new_unchecked(half, params.l, params.o, params.g);
 
@@ -240,7 +240,7 @@ where
     FB: FnMut(usize) -> Vec<PB>,
 {
     let p = params.p;
-    assert!(p % 2 == 0 && p >= 4);
+    assert!(p.is_multiple_of(2) && p >= 4);
     let half = p / 2;
     let half_params = BspParams::new(half, params.g, params.l).expect("valid");
 

@@ -170,7 +170,7 @@ pub fn gh_squared_check(
                     payload: payload.clone(),
                 })
                 .collect();
-            ops.extend(std::iter::repeat(Op::Recv).take(in_deg[i]));
+            ops.extend(std::iter::repeat_n(Op::Recv, in_deg[i]));
             Script::new(ops)
         })
         .collect();

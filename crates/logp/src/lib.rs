@@ -30,6 +30,7 @@ pub mod params;
 pub mod policy;
 pub mod process;
 pub mod reference;
+pub mod timeline;
 pub mod validate;
 
 pub use machine::LogpMachine;
@@ -37,3 +38,4 @@ pub use metrics::{LogpReport, ProcStats};
 pub use params::LogpParams;
 pub use policy::{AcceptOrder, DeliveryPolicy, LogpConfig};
 pub use process::{FnLogpProcess, LogpProcess, Op, ProcView, Script};
+pub use timeline::{Timeline, TimelineKind};

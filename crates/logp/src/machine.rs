@@ -28,44 +28,23 @@ use crate::metrics::{LogpReport, ProcStats};
 use crate::params::LogpParams;
 use crate::policy::{AcceptOrder, LogpConfig};
 use crate::process::{LogpProcess, Op, ProcView};
+use crate::timeline::Timeline;
 use bvl_model::rngutil::SeedStream;
 use bvl_model::stats::Accumulator;
 use bvl_model::trace::{Event, Trace};
 use bvl_model::{Envelope, ModelError, MsgId, ProcId, Steps};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 const PHASE_DELIVER: u8 = 0;
 const PHASE_SUBMIT: u8 = 1;
 const PHASE_READY: u8 = 2;
 
-#[derive(PartialEq, Eq)]
-struct Ev {
-    at: Steps,
-    phase: u8,
-    seq: u64,
-    kind: EvKind,
-}
-
-#[derive(PartialEq, Eq)]
 enum EvKind {
     Deliver { env: Envelope },
     Submit { proc: usize, env: Envelope },
     Ready { proc: usize, acquired: Option<Envelope> },
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.phase, self.seq).cmp(&(other.at, other.phase, other.seq))
-    }
-}
-
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 struct ProcState {
@@ -107,8 +86,7 @@ pub struct LogpMachine<P: LogpProcess> {
     procs: Vec<ProcState>,
     pending: Vec<VecDeque<Envelope>>, // per destination: submitted, unaccepted
     in_transit: Vec<u64>,             // per destination: accepted, undelivered
-    heap: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    timeline: Timeline<EvKind>,
     next_msg_id: u64,
     now: Steps,
     makespan: Steps,
@@ -140,8 +118,10 @@ impl<P: LogpProcess> LogpMachine<P> {
             procs: (0..p).map(|_| ProcState::new()).collect(),
             pending: vec![VecDeque::new(); p],
             in_transit: vec![0; p],
-            heap: BinaryHeap::new(),
-            seq: 0,
+            timeline: Timeline::new(
+                config.timeline,
+                params.l.max(params.o).max(params.g),
+            ),
             next_msg_id: 0,
             now: Steps::ZERO,
             makespan: Steps::ZERO,
@@ -179,9 +159,7 @@ impl<P: LogpProcess> LogpMachine<P> {
     }
 
     fn push(&mut self, at: Steps, phase: u8, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Ev { at, phase, seq, kind }));
+        self.timeline.push(at, phase, kind);
     }
 
     /// Run to quiescence and return the report.
@@ -200,17 +178,17 @@ impl<P: LogpProcess> LogpMachine<P> {
             );
         }
 
-        while let Some(Reverse(ev)) = self.heap.pop() {
+        while let Some((at, _phase, kind)) = self.timeline.pop() {
             self.events_processed += 1;
             if self.events_processed > self.config.max_events {
                 return Err(ModelError::Timeout {
                     budget: self.config.max_events,
                 });
             }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            self.makespan = self.makespan.max(ev.at);
-            match ev.kind {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.makespan = self.makespan.max(at);
+            match kind {
                 EvKind::Deliver { env } => self.on_deliver(env)?,
                 EvKind::Submit { proc, env } => self.on_submit(proc, env)?,
                 EvKind::Ready { proc, acquired } => {
@@ -240,18 +218,20 @@ impl<P: LogpProcess> LogpMachine<P> {
             return Err(ModelError::Deadlock { waiting });
         }
 
+        // `run` is single-shot (the `started` flag), so the accumulated
+        // metrics can be moved into the report instead of cloned.
         let mut report = LogpReport {
             makespan: self.makespan,
             delivered: self.delivered,
             stall_episodes: 0,
             total_stall: Steps::ZERO,
-            latency: self.latency.clone(),
+            latency: std::mem::take(&mut self.latency),
             per_proc: Vec::with_capacity(self.params.p),
         };
-        for s in &self.procs {
+        for s in &mut self.procs {
             report.stall_episodes += s.stats.stall_episodes;
             report.total_stall += s.stats.stalled;
-            report.per_proc.push(s.stats.clone());
+            report.per_proc.push(std::mem::take(&mut s.stats));
         }
         Ok(report)
     }

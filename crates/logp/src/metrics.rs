@@ -71,10 +71,14 @@ mod tests {
 
     #[test]
     fn max_buffer_over_procs() {
-        let mut a = ProcStats::default();
-        a.max_buffer = 3;
-        let mut b = ProcStats::default();
-        b.max_buffer = 7;
+        let a = ProcStats {
+            max_buffer: 3,
+            ..ProcStats::default()
+        };
+        let b = ProcStats {
+            max_buffer: 7,
+            ..ProcStats::default()
+        };
         let r = LogpReport {
             makespan: Steps(1),
             delivered: 0,

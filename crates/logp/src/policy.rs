@@ -10,6 +10,7 @@
 //! required input-output map under all admissible executions" — can be
 //! tested against several adversaries.
 
+use crate::timeline::TimelineKind;
 use bvl_model::Steps;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -67,6 +68,10 @@ pub struct LogpConfig {
     pub max_events: u64,
     /// Seed for the policy RNG (delivery delays, random acceptance order).
     pub seed: u64,
+    /// Event-timeline implementation. `Bucket` (the default) and
+    /// `BinaryHeap` produce bit-identical traces; the heap is kept for
+    /// differential tests and benchmarks.
+    pub timeline: TimelineKind,
 }
 
 impl Default for LogpConfig {
@@ -78,6 +83,7 @@ impl Default for LogpConfig {
             trace: false,
             max_events: 200_000_000,
             seed: 0,
+            timeline: TimelineKind::default(),
         }
     }
 }

@@ -121,12 +121,17 @@ impl LogpProcess for Script {
     }
 }
 
+/// Boxed `next_op` closure of a [`FnLogpProcess`].
+type NextFn<S> = Box<dyn FnMut(&mut S, &ProcView) -> Op + Send>;
+/// Boxed `on_recv` closure of a [`FnLogpProcess`].
+type RecvFn<S> = Box<dyn FnMut(&mut S, Envelope) + Send>;
+
 /// A process built from a state value and a closure — the SPMD convenience
 /// mirror of `bvl_bsp::FnProcess`.
 pub struct FnLogpProcess<S> {
     state: S,
-    next: Box<dyn FnMut(&mut S, &ProcView) -> Op + Send>,
-    recv: Box<dyn FnMut(&mut S, Envelope) + Send>,
+    next: NextFn<S>,
+    recv: RecvFn<S>,
 }
 
 impl<S: Send> FnLogpProcess<S> {

@@ -128,29 +128,29 @@ pub fn run_reference<P: LogpProcess>(
         let mut fired = false;
         // Phase 1.5: effects of operations completing now (in processor
         // order — submissions enter the pending queues here).
-        for i in 0..p {
-            let due = matches!(&procs[i].state, State::Busy(until, _) if *until == t);
+        for proc in procs.iter_mut() {
+            let due = matches!(&proc.state, State::Busy(until, _) if *until == t);
             if !due {
                 continue;
             }
             fired = true;
-            let State::Busy(_, effect) = std::mem::replace(&mut procs[i].state, State::Idle)
+            let State::Busy(_, effect) = std::mem::replace(&mut proc.state, State::Idle)
             else {
                 unreachable!()
             };
             match effect {
                 Effect::None => {}
                 Effect::Acquire(env) => {
-                    procs[i].stats.acquired += 1;
+                    proc.stats.acquired += 1;
                     makespan = makespan.max(t);
-                    procs[i].program.on_recv(env);
+                    proc.program.on_recv(env);
                 }
                 Effect::Submit(mut env) => {
                     env.submitted = t;
-                    procs[i].stats.sent += 1;
+                    proc.stats.sent += 1;
                     pending[env.dst.index()].push_back(env);
-                    procs[i].state = State::Stalling; // resolved below if a slot is free
-                    procs[i].stall_since = t;
+                    proc.state = State::Stalling; // resolved below if a slot is free
+                    proc.stall_since = t;
                 }
             }
         }
@@ -188,19 +188,19 @@ pub fn run_reference<P: LogpProcess>(
         // Phase 3: operational, idle processors act (possibly several
         // zero-duration decisions per step).
         let mut acted = false;
-        for i in 0..p {
+        for (i, proc) in procs.iter_mut().enumerate() {
             // Wake a blocked receiver if something is buffered.
-            if matches!(procs[i].state, State::WaitingRecv) && !procs[i].buffer.is_empty() {
-                procs[i].state = State::Idle;
-                start_acquire(&mut procs[i], t, o, g);
+            if matches!(proc.state, State::WaitingRecv) && !proc.buffer.is_empty() {
+                proc.state = State::Idle;
+                start_acquire(proc, t, o, g);
                 acted = true;
                 continue;
             }
-            if matches!(procs[i].state, State::Idle) {
+            if matches!(proc.state, State::Idle) {
                 acted = true;
             }
             let mut guard = 0;
-            while matches!(procs[i].state, State::Idle) {
+            while matches!(proc.state, State::Idle) {
                 guard += 1;
                 if guard > 10_000 {
                     return Err(ModelError::Internal(format!(
@@ -211,43 +211,43 @@ pub fn run_reference<P: LogpProcess>(
                     me: ProcId::from(i),
                     p,
                     now: t,
-                    buffered: procs[i].buffer.len(),
+                    buffered: proc.buffer.len(),
                     params,
                 };
-                match procs[i].program.next_op(&view) {
+                match proc.program.next_op(&view) {
                     Op::Halt => {
-                        procs[i].state = State::Halted;
-                        procs[i].stats.halt_time = t;
+                        proc.state = State::Halted;
+                        proc.stats.halt_time = t;
                         makespan = makespan.max(t);
                     }
                     Op::Compute(0) => {}
                     Op::Compute(n) => {
-                        procs[i].stats.busy += Steps(n);
-                        procs[i].state = State::Busy(t + Steps(n), Effect::None);
+                        proc.stats.busy += Steps(n);
+                        proc.state = State::Busy(t + Steps(n), Effect::None);
                     }
                     Op::WaitUntil(until) => {
                         if until > t {
-                            procs[i].state = State::Busy(until, Effect::None);
+                            proc.state = State::Busy(until, Effect::None);
                         }
                     }
                     Op::Recv => {
-                        if procs[i].buffer.is_empty() {
-                            procs[i].state = State::WaitingRecv;
+                        if proc.buffer.is_empty() {
+                            proc.state = State::WaitingRecv;
                         } else {
-                            start_acquire(&mut procs[i], t, o, g);
+                            start_acquire(proc, t, o, g);
                         }
                     }
                     Op::Send { dst, payload } => {
                         if dst.index() >= p {
                             return Err(ModelError::BadDestination { dst, p });
                         }
-                        let min_gap = procs[i]
+                        let min_gap = proc
                             .last_submit
                             .map(|s| s + Steps(g))
                             .unwrap_or(Steps::ZERO);
                         let t_sub = (t + Steps(o)).max(min_gap);
-                        procs[i].last_submit = Some(t_sub);
-                        procs[i].stats.busy += Steps(o);
+                        proc.last_submit = Some(t_sub);
+                        proc.stats.busy += Steps(o);
                         let env = Envelope {
                             id: MsgId(next_msg),
                             src: ProcId::from(i),
@@ -258,7 +258,7 @@ pub fn run_reference<P: LogpProcess>(
                             delivered: t_sub,
                         };
                         next_msg += 1;
-                        procs[i].state = State::Busy(t_sub, Effect::Submit(env));
+                        proc.state = State::Busy(t_sub, Effect::Submit(env));
                     }
                 }
             }

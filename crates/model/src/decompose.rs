@@ -111,13 +111,13 @@ pub fn euler_split(rel: &HRelation) -> Decomposition {
     // Greedy pairing of deficiencies. Total left deficiency equals total
     // right deficiency because both sides sum to p*target - |E|.
     let mut ri = 0usize;
-    for li in 0..p {
-        while ldef[li] > 0 {
+    for (li, ld) in ldef.iter_mut().enumerate() {
+        while *ld > 0 {
             while ri < p && rdef[ri] == 0 {
                 ri += 1;
             }
             debug_assert!(ri < p, "deficiency mismatch");
-            let take = ldef[li].min(rdef[ri]);
+            let take = (*ld).min(rdef[ri]);
             for _ in 0..take {
                 edges.push(Edge {
                     left: li,
@@ -125,7 +125,7 @@ pub fn euler_split(rel: &HRelation) -> Decomposition {
                     demand: DUMMY,
                 });
             }
-            ldef[li] -= take;
+            *ld -= take;
             rdef[ri] -= take;
         }
     }

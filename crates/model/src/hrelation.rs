@@ -122,7 +122,7 @@ impl HRelation {
         let mut v: Vec<_> = self
             .demands
             .iter()
-            .map(|d| (d.dst.0, d.src.0, d.payload.tag, d.payload.data.clone()))
+            .map(|d| (d.dst.0, d.src.0, d.payload.tag, d.payload.data().to_vec()))
             .collect();
         v.sort();
         v

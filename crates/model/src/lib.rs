@@ -40,5 +40,5 @@ pub mod trace;
 pub use error::ModelError;
 pub use hrelation::HRelation;
 pub use ids::{MsgId, ProcId};
-pub use msg::{Envelope, Payload, Word};
+pub use msg::{Envelope, Payload, Word, INLINE_WORDS};
 pub use time::Steps;

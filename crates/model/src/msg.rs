@@ -2,46 +2,121 @@
 //!
 //! Both models are defined over constant-size messages: an h-relation counts
 //! *messages*, and the LogP capacity constraint counts *messages* in transit.
-//! [`Payload`] therefore carries a short vector of [`Word`]s purely as a
-//! programming convenience (tagging, carrying a key plus a rank, ...); cost
-//! accounting in every engine is strictly per message, never per word.
+//! [`Payload`] therefore carries a few [`Word`]s purely as a programming
+//! convenience (tagging, carrying a key plus a rank, ...); cost accounting
+//! in every engine is strictly per message, never per word.
+//!
+//! Because the simulators move millions of messages, [`Payload`] stores up
+//! to [`INLINE_WORDS`] words inline — no heap allocation on the hot path —
+//! and spills to a `Vec` only for the rare longer body (block transfers in
+//! dense matmul, splitter broadcasts). The representation is canonical
+//! (bodies of at most `INLINE_WORDS` words are always inline), which keeps
+//! equality and hashing representation-independent.
 
 use crate::ids::{MsgId, ProcId};
 use crate::time::Steps;
 use core::fmt;
+use core::hash::{Hash, Hasher};
 
 /// The machine word carried by messages. Signed so that algorithm payloads
 /// (keys, partial sums) need no conversion gymnastics.
 pub type Word = i64;
 
+/// Longest message body stored without heap allocation. Six words covers
+/// every fixed-format protocol message in the repo (segmented-scan cells
+/// are the widest at six).
+pub const INLINE_WORDS: usize = 6;
+
+#[derive(Clone)]
+enum Repr {
+    /// `words[..len]` is the body; the tail is kept zeroed.
+    Inline { len: u8, words: [Word; INLINE_WORDS] },
+    /// Body longer than `INLINE_WORDS` (canonical: never used for short
+    /// bodies).
+    Spill(Vec<Word>),
+}
+
 /// A constant-size message body: a small tag plus up to a few words of data.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct Payload {
     /// Program-defined discriminant (protocol phase, message kind, ...).
     pub tag: u32,
-    /// Program-defined data words.
-    pub data: Vec<Word>,
+    repr: Repr,
 }
 
 impl Payload {
     /// An empty payload with a tag only.
     pub fn tagged(tag: u32) -> Payload {
-        Payload { tag, data: Vec::new() }
+        Payload {
+            tag,
+            repr: Repr::Inline {
+                len: 0,
+                words: [0; INLINE_WORDS],
+            },
+        }
     }
 
     /// A payload carrying a single word.
     pub fn word(tag: u32, w: Word) -> Payload {
-        Payload { tag, data: vec![w] }
+        let mut words = [0; INLINE_WORDS];
+        words[0] = w;
+        Payload {
+            tag,
+            repr: Repr::Inline { len: 1, words },
+        }
     }
 
     /// A payload carrying a slice of words.
     pub fn words(tag: u32, ws: &[Word]) -> Payload {
-        Payload { tag, data: ws.to_vec() }
+        if ws.len() <= INLINE_WORDS {
+            let mut words = [0; INLINE_WORDS];
+            words[..ws.len()].copy_from_slice(ws);
+            Payload {
+                tag,
+                repr: Repr::Inline {
+                    len: ws.len() as u8,
+                    words,
+                },
+            }
+        } else {
+            Payload {
+                tag,
+                repr: Repr::Spill(ws.to_vec()),
+            }
+        }
+    }
+
+    /// A payload taking ownership of an already-built body. Short bodies
+    /// are copied inline (dropping the allocation); long ones keep the
+    /// `Vec` without copying.
+    pub fn from_vec(tag: u32, ws: Vec<Word>) -> Payload {
+        if ws.len() <= INLINE_WORDS {
+            Payload::words(tag, &ws)
+        } else {
+            Payload {
+                tag,
+                repr: Repr::Spill(ws),
+            }
+        }
+    }
+
+    /// The body words.
+    #[inline]
+    pub fn data(&self) -> &[Word] {
+        match &self.repr {
+            Repr::Inline { len, words } => &words[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Whether the body lives inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// First data word, if any.
     pub fn first(&self) -> Option<Word> {
-        self.data.first().copied()
+        self.data().first().copied()
     }
 
     /// First data word, panicking with a useful message if absent.
@@ -50,9 +125,29 @@ impl Payload {
     }
 }
 
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::tagged(0)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && self.data() == other.data()
+    }
+}
+impl Eq for Payload {}
+
+impl Hash for Payload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag.hash(state);
+        self.data().hash(state);
+    }
+}
+
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{}{:?}", self.tag, self.data)
+        write!(f, "#{}{:?}", self.tag, self.data())
     }
 }
 
@@ -117,9 +212,41 @@ mod tests {
     fn payload_constructors() {
         assert_eq!(Payload::tagged(3).tag, 3);
         assert_eq!(Payload::word(1, 42).expect_word(), 42);
-        assert_eq!(Payload::words(2, &[1, 2, 3]).data, vec![1, 2, 3]);
+        assert_eq!(Payload::words(2, &[1, 2, 3]).data(), &[1, 2, 3]);
         let p: Payload = 7.into();
         assert_eq!(p.first(), Some(7));
+    }
+
+    #[test]
+    fn payload_inline_vs_spill_round_trip() {
+        let short = Payload::words(1, &[1, 2, 3, 4, 5, 6]);
+        assert!(short.is_inline());
+        let long = Payload::words(1, &[1, 2, 3, 4, 5, 6, 7]);
+        assert!(!long.is_inline());
+        assert_eq!(long.data(), &[1, 2, 3, 4, 5, 6, 7]);
+        // from_vec canonicalizes short bodies back to inline.
+        let v = Payload::from_vec(9, vec![4, 5]);
+        assert!(v.is_inline());
+        assert_eq!(v.data(), &[4, 5]);
+        let w = Payload::from_vec(9, vec![0; INLINE_WORDS + 1]);
+        assert!(!w.is_inline());
+    }
+
+    #[test]
+    fn payload_eq_and_hash_ignore_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Payload::words(7, &[1, 2]);
+        let b = Payload::from_vec(7, vec![1, 2]);
+        assert_eq!(a, b);
+        let hash = |p: &Payload| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_ne!(Payload::word(0, 1), Payload::word(1, 1));
+        assert_ne!(Payload::word(0, 1), Payload::tagged(0));
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct Butterfly {
 impl Butterfly {
     /// Build a `k`-dimensional butterfly (`k ≥ 1`).
     pub fn new(k: u32) -> Butterfly {
-        assert!(k >= 1 && k <= 24, "k in [1, 24]");
+        assert!((1..=24).contains(&k), "k in [1, 24]");
         Butterfly { k }
     }
 

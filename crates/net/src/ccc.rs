@@ -18,7 +18,7 @@ pub struct Ccc {
 impl Ccc {
     /// Build a `k`-dimensional CCC (`k ≥ 3` so cycle edges are distinct).
     pub fn new(k: u32) -> Ccc {
-        assert!(k >= 3 && k <= 24, "k in [3, 24]");
+        assert!((3..=24).contains(&k), "k in [3, 24]");
         Ccc { k }
     }
 

@@ -14,7 +14,7 @@ pub struct Hypercube {
 impl Hypercube {
     /// Build a `2^k`-node hypercube.
     pub fn new(k: u32) -> Hypercube {
-        assert!(k >= 1 && k <= 30, "k in [1, 30]");
+        assert!((1..=30).contains(&k), "k in [1, 30]");
         Hypercube { k }
     }
 

@@ -123,6 +123,6 @@ mod tests {
         });
         // A permutation on a 16-node hypercube completes within a few
         // diameters under greedy multi-port routing.
-        assert!(t >= 1.0 && t <= 16.0, "t = {t}");
+        assert!((1.0..=16.0).contains(&t), "t = {t}");
     }
 }

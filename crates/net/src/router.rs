@@ -179,8 +179,8 @@ pub fn route_relation<T: Topology + ?Sized>(
                 budget: config.max_steps,
             });
         }
-        for v in 0..n {
-            let occupancy: usize = queues[v].iter().map(|q| q.len()).sum();
+        for node in &queues {
+            let occupancy: usize = node.iter().map(|q| q.len()).sum();
             max_queue = max_queue.max(occupancy);
         }
 
@@ -188,11 +188,11 @@ pub fn route_relation<T: Topology + ?Sized>(
         let mut moves: Vec<usize> = Vec::new();
         match config.mode {
             PortMode::Multi => {
-                for v in 0..n {
-                    for q in 0..queues[v].len() {
-                        if !queues[v][q].is_empty() {
-                            let i = pick(&queues[v][q], &packets);
-                            moves.push(queues[v][q].remove(i));
+                for node in queues.iter_mut() {
+                    for port in node.iter_mut() {
+                        if !port.is_empty() {
+                            let i = pick(port, &packets);
+                            moves.push(port.remove(i));
                         }
                     }
                 }

@@ -16,7 +16,7 @@ pub struct ShuffleExchange {
 impl ShuffleExchange {
     /// Build a `2^k`-node shuffle-exchange network (`k ≥ 2`).
     pub fn new(k: u32) -> ShuffleExchange {
-        assert!(k >= 2 && k <= 26, "k in [2, 26]");
+        assert!((2..=26).contains(&k), "k in [2, 26]");
         ShuffleExchange { k }
     }
 

@@ -53,7 +53,7 @@ fn sort_procs(keys: &[Vec<Word>]) -> Vec<FnProcess<(Vec<Word>, Vec<Word>)>> {
                         Status::Continue
                     }
                     2 => {
-                        let splitters = ctx.recv().expect("splitters").payload.data;
+                        let splitters = ctx.recv().expect("splitters").payload.data().to_vec();
                         for &key in mine.iter() {
                             let owner = splitters.partition_point(|&s| s < key);
                             ctx.send(ProcId::from(owner), Payload::word(3, key));

@@ -22,3 +22,12 @@ head = text.split(marker)[0] + marker + "\n\n"
 p.write_text(head + appendix)
 PY
 echo "EXPERIMENTS.md appendix regenerated."
+
+# Engine perf snapshot: the event-queue/payload micro-bench feeds its
+# measurements into the machine-readable BENCH_engine.json next to the
+# whole-machine and sweep-level numbers (wall-clock — not diffed above).
+mini=$(mktemp)
+CRITERION_MINI_JSON="$mini" cargo bench -q -p bvl-bench --bench event_queue >/dev/null
+CRITERION_JSONL="$mini" cargo run -q --release -p bvl-bench --bin bench_engine >/dev/null
+rm -f "$mini"
+echo "BENCH_engine.json regenerated."

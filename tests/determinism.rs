@@ -3,7 +3,9 @@
 
 use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
 use bsp_vs_logp::core::{route_deterministic, route_randomized, SortScheme};
-use bsp_vs_logp::logp::{AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bsp_vs_logp::logp::{
+    AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, Op, Script, TimelineKind,
+};
 use bsp_vs_logp::model::rngutil::SeedStream;
 use bsp_vs_logp::model::{HRelation, Payload, ProcId};
 use bsp_vs_logp::net::{measure_parameters, Hypercube, RouterConfig};
@@ -27,7 +29,7 @@ fn traffic(p: usize, k: usize) -> Vec<Script> {
                     payload: Payload::word(0, i as i64),
                 })
                 .collect();
-            ops.extend(std::iter::repeat(Op::Recv).take(indeg[i]));
+            ops.extend(std::iter::repeat_n(Op::Recv, indeg[i]));
             Script::new(ops)
         })
         .collect()
@@ -88,6 +90,89 @@ fn bsp_parallel_threads_do_not_change_anything() {
     }
     for r in &results[1..] {
         assert_eq!(r, &results[0]);
+    }
+}
+
+/// A stalling-heavy workload: every other processor floods processor 0 far
+/// past its `⌈L/G⌉` capacity (exercising the Stalling Rule's queueing on the
+/// timeline), interleaved with far-future `WaitUntil`/`Compute` ops that only
+/// the bucket queue's overflow path can carry.
+fn stalling_hot_spot(p: usize, k: usize) -> Vec<Script> {
+    let mut v = vec![Script::new(
+        std::iter::repeat_n(Op::Recv, (p - 1) * k)
+            .chain([Op::Halt])
+            .collect::<Vec<_>>(),
+    )];
+    v.extend((1..p).map(|i| {
+        let mut ops = Vec::new();
+        for q in 0..k {
+            if q == k / 2 {
+                // Beyond any `max(L, G, o)` horizon: forces the overflow heap.
+                ops.push(Op::Compute(200));
+            }
+            ops.push(Op::Send {
+                dst: ProcId(0),
+                payload: Payload::word(q as u32, i as i64),
+            });
+        }
+        Script::new(ops)
+    }));
+    v
+}
+
+#[test]
+fn bucket_timeline_trace_is_byte_identical_to_heap() {
+    let params = LogpParams::new(12, 12, 1, 3).unwrap();
+    let run = |kind: TimelineKind| {
+        let config = LogpConfig {
+            timeline: kind,
+            trace: true,
+            ..LogpConfig::default()
+        };
+        let mut m = LogpMachine::with_config(params, config, stalling_hot_spot(12, 8));
+        let rep = m.run().unwrap();
+        assert!(rep.stall_episodes > 0, "workload must actually stall");
+        (
+            format!("{:?}", m.trace().events()).into_bytes(),
+            rep.makespan,
+            rep.total_stall,
+            rep.delivered,
+        )
+    };
+    let heap = run(TimelineKind::BinaryHeap);
+    let bucket = run(TimelineKind::Bucket);
+    assert_eq!(
+        heap.0, bucket.0,
+        "bucket timeline must replay the heap's event order byte for byte"
+    );
+    assert_eq!((heap.1, heap.2, heap.3), (bucket.1, bucket.2, bucket.3));
+}
+
+#[test]
+fn bucket_timeline_matches_heap_under_randomized_policies() {
+    // Random acceptance order + uniform delivery delays route every event
+    // through the policy RNG; the trace stays identical because the timeline
+    // kind only changes the queue's *implementation*, not the event order.
+    let params = LogpParams::new(12, 12, 1, 3).unwrap();
+    for seed in 0..4u64 {
+        let run = |kind: TimelineKind| {
+            let config = LogpConfig {
+                timeline: kind,
+                trace: true,
+                accept_order: AcceptOrder::Random,
+                delivery: DeliveryPolicy::Uniform,
+                seed,
+                ..LogpConfig::default()
+            };
+            let mut m = LogpMachine::with_config(params, config, traffic(12, 4));
+            m.run().unwrap();
+            format!("{:?}", m.trace().events())
+        };
+        assert_eq!(
+            run(TimelineKind::BinaryHeap),
+            run(TimelineKind::Bucket),
+            "trace divergence at policy seed {seed}"
+        );
     }
 }
 

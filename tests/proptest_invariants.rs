@@ -47,7 +47,7 @@ fn build_scripts(p: usize, dsts: &[Vec<usize>]) -> Vec<Script> {
                     payload: Payload::word(0, i as i64),
                 })
                 .collect();
-            ops.extend(std::iter::repeat(Op::Recv).take(indeg[i]));
+            ops.extend(std::iter::repeat_n(Op::Recv, indeg[i]));
             Script::new(ops)
         })
         .collect()
@@ -134,14 +134,14 @@ proptest! {
         let params = LogpParams::new(p, 8, 1, 2).unwrap();
         let vals: Vec<Payload> = (0..p).map(|i| Payload::word(0, ((i as u64 * 7 + seed) % 100) as i64)).collect();
         let concat: bsp_vs_logp::core::Combine = std::sync::Arc::new(|a: &Payload, b: &Payload| {
-            let mut d = a.data.clone();
-            d.extend_from_slice(&b.data);
-            Payload { tag: 0, data: d }
+            let mut d = a.data().to_vec();
+            d.extend_from_slice(b.data());
+            Payload::from_vec(0, d)
         });
         let joins = vec![Steps::ZERO; p];
         let rep = run_cb(params, TreeShape::Range, vals.clone(), concat, &joins, 2).unwrap();
         let want: Vec<i64> = vals.iter().map(|v| v.expect_word()).collect();
-        prop_assert!(rep.results.iter().all(|r| r.data == want));
+        prop_assert!(rep.results.iter().all(|r| r.data() == want));
     }
 }
 

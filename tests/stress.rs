@@ -19,9 +19,9 @@ fn logp_all_to_all_p96() {
         .map(|i| (0..p).map(|j| (i * p + j) as Word).collect())
         .collect();
     let (out, t) = all_to_all(params, &data, 1).unwrap();
-    for j in 0..p {
-        for i in 0..p {
-            assert_eq!(out[j][i], (i * p + j) as Word);
+    for (j, row) in out.iter().enumerate() {
+        for (i, &w) in row.iter().enumerate() {
+            assert_eq!(w, (i * p + j) as Word);
         }
     }
     // Near the off-line optimal 2o + G(p-2) + L.

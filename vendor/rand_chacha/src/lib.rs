@@ -1,0 +1,172 @@
+//! Offline stand-in for `rand_chacha`: a faithful ChaCha8 keystream RNG.
+//!
+//! The block function is the original DJB ChaCha construction (constants
+//! `"expand 32-byte k"`, 64-bit block counter, 64-bit zero nonce) reduced to
+//! 8 rounds. Output is a bit-exact function of the 256-bit seed on every
+//! platform, which is the property `bvl_model::rngutil::SeedStream` relies
+//! on for replayable experiments. The word-emission order (sequential `u32`
+//! words of each 64-byte block) differs from the upstream crate's SIMD
+//! buffering, so streams are internally consistent but not interchangeable
+//! with upstream `rand_chacha` streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+impl core::fmt::Debug for ChaCha8Rng {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ChaCha8Rng")
+            .field("counter", &self.counter)
+            .field("idx", &self.idx)
+            .finish_non_exhaustive()
+    }
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [0; 16];
+        s[..4].copy_from_slice(&SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        // s[14], s[15]: zero nonce.
+        let input = s;
+        for _ in 0..4 {
+            // One double round: 4 column rounds + 4 diagonal rounds.
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = s;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// The current 64-byte block index.
+    pub fn get_word_pos(&self) -> u128 {
+        u128::from(self.counter.wrapping_sub(1)) * 16 + self.idx as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::from_seed([8; 32]);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn blocks_differ_and_stream_continues() {
+        let mut rng = ChaCha8Rng::from_seed([1; 32]);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn seed_from_u64_is_stable() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::from_seed([3; 32]);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.get_word_pos(), b.get_word_pos());
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::from_seed([9; 32]);
+        let mut b = ChaCha8Rng::from_seed([9; 32]);
+        let mut bytes = [0u8; 8];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+        assert_eq!(&bytes[4..], &w1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `rayon`: data-parallel `map`/`collect` over owned
+//! vectors, built on `std::thread::scope`.
+//!
+//! The build environment has no crates.io access, so the sweep harness in
+//! `bvl-bench` links this shim instead of the real crate. The API mirrors
+//! rayon's parallel-iterator vocabulary (`into_par_iter().map(f).collect()`)
+//! so that swapping the real rayon back in is a workspace-manifest change,
+//! not a code change. Scheduling is a shared work queue drained by
+//! `current_num_threads()` workers; results are written back by index, so
+//! collection order always equals input order regardless of interleaving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: a finite ordered sequence whose per-item work may
+/// execute on any worker thread.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Execute the pipeline, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collect the results, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Apply `f` to every element in parallel (for side effects).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f).run();
+    }
+}
+
+/// Collection from a parallel iterator (order-preserving).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection by draining the iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map(self.base.run(), &self.f)
+    }
+}
+
+fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop_front();
+                match next {
+                    Some((i, item)) => {
+                        *slots[i].lock().expect("slot poisoned") = Some(f(item));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("worker completed every dequeued item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(e.is_empty());
+        let s: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(s, vec![8]);
+    }
+
+    #[test]
+    fn chained_maps() {
+        let ys: Vec<String> = (0..64)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|x| x * x)
+            .map(|x| format!("{x}"))
+            .collect();
+        assert_eq!(ys[8], "64");
+        assert_eq!(ys.len(), 64);
+    }
+
+    #[test]
+    fn threads_at_least_one() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
