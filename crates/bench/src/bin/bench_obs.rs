@@ -1,0 +1,203 @@
+//! Observability overhead proof → `BENCH_obs.json`.
+//!
+//! The instrumentation contract is "one branch when disabled": every obs
+//! site in the engines and the cross-simulation runners first checks
+//! `Registry::is_enabled()` (a single `Option` discriminant test) and does
+//! nothing else when it fails. This binary measures that claim on three
+//! workloads, each in three modes:
+//!
+//! * **baseline** — the public non-obs entry point (no registry handed to
+//!   the engine; its internal registry stays in the disabled state).
+//! * **off** — the `_obs` entry point / `set_registry` with an explicitly
+//!   disabled [`Registry`]. Identical fast path to baseline, so any gap
+//!   between the two columns is measurement noise; the acceptance gate
+//!   (`off ≤ baseline · 1.02`) bounds instrumented-but-disabled cost.
+//! * **on** — an enabled registry: counters, histograms, and spans all
+//!   recorded. This column prices what `--trace-out` actually costs.
+//!
+//! Wall-clock numbers are environment-dependent; best-of-5 timing of
+//! multi-run batches keeps the jitter below the 2% gate on an idle host.
+//! Run via `scripts/regen_experiments.sh` or:
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin bench_obs
+//! ```
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, Status};
+use bvl_core::{simulate_bsp_on_logp, simulate_bsp_on_logp_obs, RoutingStrategy, Theorem2Config};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId};
+use bvl_obs::Registry;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn ring_scripts(p: usize, rounds: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..rounds {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % p) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+/// LogP engine: 64-processor ring, 32 rounds, measured at the machine level.
+fn logp_case(registry: Option<Registry>) -> f64 {
+    let params = LogpParams::new(64, 16, 1, 2).unwrap();
+    time_ms(5, || {
+        for _ in 0..20 {
+            let mut m = LogpMachine::with_config(
+                params,
+                LogpConfig::default(),
+                ring_scripts(64, 32),
+            );
+            if let Some(reg) = &registry {
+                m.set_registry(reg.clone());
+            }
+            black_box(m.run().unwrap().makespan);
+        }
+    })
+}
+
+fn bsp_procs(p: usize) -> Vec<FnProcess<i64>> {
+    (0..p)
+        .map(|_| {
+            FnProcess::new(0i64, move |acc, ctx| {
+                let p = ctx.p();
+                while let Some(m) = ctx.recv() {
+                    *acc += m.payload.expect_word();
+                }
+                if ctx.superstep_index() < 16 {
+                    ctx.charge(8);
+                    let me = ctx.me().index();
+                    ctx.send(ProcId::from((me * 7 + 3) % p), Payload::word(0, 1));
+                    Status::Continue
+                } else {
+                    Status::Halt
+                }
+            })
+        })
+        .collect()
+}
+
+/// BSP engine: 64 processors, 16 supersteps, measured at the machine level.
+fn bsp_case(registry: Option<Registry>) -> f64 {
+    let params = BspParams::new(64, 2, 16).unwrap();
+    time_ms(5, || {
+        for _ in 0..50 {
+            let mut m = BspMachine::new(params, bsp_procs(64));
+            if let Some(reg) = &registry {
+                m.set_registry(reg.clone());
+            }
+            black_box(m.run(64).unwrap().cost);
+        }
+    })
+}
+
+/// Theorem 2 runner: full BSP-on-LogP superstep simulation (offline router),
+/// the path that carries the densest span instrumentation.
+fn thm2_case(registry: Option<Registry>) -> f64 {
+    let logp = LogpParams::new(16, 16, 1, 2).unwrap();
+    let make = || -> Vec<FnProcess<i64>> {
+        (0..16)
+            .map(|_| {
+                FnProcess::new(0i64, move |acc, ctx| {
+                    let p = ctx.p();
+                    while let Some(m) = ctx.recv() {
+                        *acc += m.payload.expect_word();
+                    }
+                    if ctx.superstep_index() < 4 {
+                        ctx.charge(12);
+                        let me = ctx.me().index();
+                        for k in 1..=2usize {
+                            ctx.send(
+                                ProcId::from((me * 3 + k * 5) % p),
+                                Payload::word(k as u32, 1),
+                            );
+                        }
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    };
+    let config = Theorem2Config {
+        strategy: RoutingStrategy::Offline,
+        ..Theorem2Config::default()
+    };
+    time_ms(5, || {
+        for _ in 0..20 {
+            let total = match &registry {
+                None => simulate_bsp_on_logp(logp, make(), config).unwrap().total,
+                Some(reg) => {
+                    simulate_bsp_on_logp_obs(logp, make(), config, reg).unwrap().total
+                }
+            };
+            black_box(total);
+        }
+    })
+}
+
+type Case = fn(Option<Registry>) -> f64;
+
+fn main() {
+    let cases: Vec<(&str, usize, Case)> = vec![
+        ("logp_ring_p64_x32", 64, logp_case),
+        ("bsp_shift_p64_x16", 64, bsp_case),
+        ("thm2_offline_p16_x4", 16, thm2_case),
+    ];
+    let mut rows = Vec::new();
+    let mut worst_off = f64::NEG_INFINITY;
+    for (name, procs, run) in cases {
+        // Warm-up evens out allocator and cache state before the three
+        // timed modes.
+        run(None);
+        let baseline = run(None);
+        let off = run(Some(Registry::disabled()));
+        let on = run(Some(Registry::enabled(procs)));
+        let off_pct = (off / baseline - 1.0) * 100.0;
+        let on_pct = (on / baseline - 1.0) * 100.0;
+        worst_off = worst_off.max(off_pct);
+        eprintln!(
+            "{name}: baseline {baseline:.2} ms, off {off:.2} ms ({off_pct:+.2}%), \
+             on {on:.2} ms ({on_pct:+.2}%)"
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"{name}\", \"baseline_ms\": {baseline:.3}, \
+             \"off_ms\": {off:.3}, \"on_ms\": {on:.3}, \
+             \"off_overhead_pct\": {off_pct:.2}, \"on_overhead_pct\": {on_pct:.2}}}"
+        ));
+    }
+    let pass = worst_off <= 2.0;
+    let json = format!(
+        "{{\n  \"cases\": [\n{}\n  ],\n  \"acceptance\": {{\"off_overhead_limit_pct\": 2.0, \
+         \"off_overhead_worst_pct\": {worst_off:.2}, \"pass\": {pass}}}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_obs.json (disabled-registry overhead gate: {})",
+        if pass { "PASS" } else { "FAIL" });
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -11,12 +11,13 @@
 //! 2. **Queue discipline** (FIFO vs farthest-first) on loaded relations.
 //! 3. **Torus vs mesh** wraparound: the factor-2 diameter/bandwidth gain.
 
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_model::rngutil::SeedStream;
-use bvl_model::HRelation;
+use bvl_model::{HRelation, Steps};
 use bvl_net::{
     route_relation, Array, PathStrategy, QueueDiscipline, RouterConfig, Topology,
 };
+use bvl_obs::{Registry, Span, SpanKind};
 
 fn main() {
     banner("Valiant vs greedy on adversarial permutations (2-dim mesh, p = 256)");
@@ -31,7 +32,12 @@ fn main() {
             HRelation::random_permutation(&mut rng, 256)
         }),
     ];
-    for (name, rel) in &cases {
+    // Each (permutation, strategy) run becomes one synthesized Routing span
+    // on a shared clock, for `--trace-out` and the summary line.
+    let registry = Registry::enabled(256);
+    let mut clock = Steps::ZERO;
+    let mut bitrev = (0u64, 0usize);
+    for (case, (name, rel)) in cases.iter().enumerate() {
         let greedy = route_relation(&mesh, rel, RouterConfig::default()).unwrap();
         let valiant = route_relation(
             &mesh,
@@ -43,6 +49,15 @@ fn main() {
             },
         )
         .unwrap();
+        for (k, time) in [greedy.time, valiant.time].into_iter().enumerate() {
+            let end = clock + Steps(time);
+            registry
+                .span(Span::new(SpanKind::Routing, clock, end).at_index((2 * case + k) as u64));
+            clock = end;
+        }
+        if case == 0 {
+            bitrev = (greedy.time, greedy.max_queue);
+        }
         rows.push(vec![
             (*name).into(),
             format!("{}", greedy.time),
@@ -115,4 +130,15 @@ fn main() {
     println!();
     println!("(wraparound buys roughly the expected ~2x on both diameter- and");
     println!(" bandwidth-limited regimes)");
+
+    obs::summary(
+        "exp_ablation",
+        &[
+            ("cell", "bit_reversal_greedy_p256".into()),
+            ("makespan", bitrev.0.to_string()),
+            ("max_queue", bitrev.1.to_string()),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

@@ -7,8 +7,11 @@
 //!   capacity constraint yet grows the receiver's input buffer without
 //!   bound; the control row (`G = L`) stays flat.
 
-use bvl_bench::{banner, print_table};
+use bvl_bench::{banner, obs, print_table};
 use bvl_core::anomalies::{gap_exceeds_latency_anomaly, gap_one_anomaly};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId};
+use bvl_obs::Registry;
 
 fn main() {
     banner("G = 1 anomaly: L senders -> one destination, simultaneously");
@@ -36,8 +39,10 @@ fn main() {
 
     banner("G > L anomaly: receiver buffer growth under the paper's periodic schedule");
     let mut rows = Vec::new();
+    let mut worst_buffer = 0usize;
     for n in [10u64, 20, 40, 80] {
         let rep = gap_exceeds_latency_anomaly(2, 6, n, 1).expect("runs");
+        worst_buffer = worst_buffer.max(rep.peak_buffer);
         rows.push(vec![
             "G=6 > L=2".into(),
             format!("{n}"),
@@ -54,4 +59,40 @@ fn main() {
     println!("(peak buffer grows ~ n/2: unbounded buffers, hence the G <= L rule;");
     println!(" with G <= L the same schedule keeps the buffer constant — verified");
     println!(" in the anomalies test suite)");
+
+    // Flagged cell: the G = 1 burst (L senders -> P0) re-run directly with a
+    // traced, registry-fed machine so `--trace-out` shows the simultaneous
+    // deliveries the anomaly is about.
+    let l = 16u64;
+    // G = 1 is exactly what §2.2 rules out, so it needs the unchecked
+    // constructor — same as the anomaly harness itself.
+    let params = LogpParams::new_unchecked(l as usize + 1, l, 1, 1);
+    let mut scripts = vec![Script::new(vec![Op::Recv; l as usize])];
+    scripts.extend((1..=l).map(|i| {
+        Script::new([Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(0, i as i64),
+        }])
+    }));
+    let config = LogpConfig {
+        forbid_stalling: false,
+        trace: true,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, scripts);
+    let registry = Registry::enabled(params.p);
+    machine.set_registry(registry.clone());
+    let rep = machine.run().expect("burst completes");
+    obs::summary(
+        "exp_anomalies",
+        &[
+            ("cell", "gap1_burst_L16".into()),
+            ("makespan", rep.makespan.get().to_string()),
+            ("stall_episodes", rep.stall_episodes.to_string()),
+            ("delivered", rep.delivered.to_string()),
+            ("burst_max_buffer", rep.max_buffer().to_string()),
+            ("periodic_peak_buffer", worst_buffer.to_string()),
+        ],
+    );
+    obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

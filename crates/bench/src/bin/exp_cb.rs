@@ -7,10 +7,11 @@
 //! Θ shape — and Proposition 1 says no stall-free algorithm beats it by
 //! more than a constant.
 
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_core::{run_cb, word_combine, TreeShape};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId, Steps};
+use bvl_obs::{Registry, Span, SpanKind};
 
 fn cb_time(params: LogpParams, seed: u64) -> Steps {
     let values = vec![Payload::word(0, 1); params.p];
@@ -107,4 +108,33 @@ fn main() {
         ]);
     }
     print_table(&["p", "tree T_CB", "flat T", "flat/tree"], &rows);
+
+    // Flagged cell: one CB at (p=128, L=16, G=2), its combine/broadcast
+    // halves exported as spans (all joins at 0, so the phase boundary is
+    // `t_combine` on the absolute clock).
+    let params = LogpParams::new(128, 16, 1, 2).unwrap();
+    let rep = run_cb(
+        params,
+        TreeShape::Heap,
+        vec![Payload::word(0, 1); params.p],
+        word_combine(|a, b| a & b),
+        &vec![Steps::ZERO; params.p],
+        1,
+    )
+    .expect("CB is stall-free");
+    let registry = Registry::enabled(params.p);
+    registry.span(Span::new(SpanKind::CbCombine, Steps::ZERO, rep.t_combine));
+    registry.span(Span::new(SpanKind::CbBroadcast, rep.t_combine, rep.t_cb));
+    obs::summary(
+        "exp_cb",
+        &[
+            ("cell", "cb_p128_L16_G2".into()),
+            ("makespan", rep.makespan.get().to_string()),
+            ("t_cb", rep.t_cb.get().to_string()),
+            ("t_combine", rep.t_combine.get().to_string()),
+            ("t_broadcast", rep.t_broadcast.get().to_string()),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

@@ -1,11 +1,12 @@
 //! E-PART: §6 partitionability — LogP tenants on disjoint processors do not
 //! interfere; BSP tenants share every barrier.
 
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::{BspParams, FnProcess, Status};
 use bvl_core::partition::{bsp_coschedule, logp_coschedule};
-use bvl_logp::{LogpParams, Op, Script};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
+use bvl_obs::Registry;
 
 fn logp_tenant(rounds: u64, compute: u64) -> impl FnMut(usize) -> Vec<Script> {
     move |p: usize| {
@@ -52,6 +53,7 @@ fn main() {
     banner("LogP: two tenants on disjoint halves of one machine (p = 16)");
     let logp = LogpParams::new(16, 8, 1, 2).unwrap();
     let mut rows = Vec::new();
+    let mut logp_max_interf = 0.0f64;
     for (name_a, ra, ca, name_b, rb, cb) in [
         ("light (1 round)", 1u64, 0u64, "heavy (8 rounds + compute)", 8u64, 400u64),
         ("light", 1, 0, "light", 1, 0),
@@ -59,6 +61,7 @@ fn main() {
     ] {
         let rep = logp_coschedule(logp, logp_tenant(ra, ca), logp_tenant(rb, cb), 1).unwrap();
         let (ia, ib) = rep.interference();
+        logp_max_interf = logp_max_interf.max(ia).max(ib);
         rows.push(vec![
             format!("{name_a} + {name_b}"),
             format!("{}", rep.solo_a.get()),
@@ -80,6 +83,7 @@ fn main() {
     banner("BSP: the same tenant pairings through one global barrier");
     let bsp = BspParams::new(16, 2, 16).unwrap();
     let mut rows = Vec::new();
+    let mut bsp_max_interf = 0.0f64;
     for (name_a, ra, ca, name_b, rb, cb) in [
         ("light (1 round)", 1u64, 0u64, "heavy (8 rounds + compute)", 8u64, 400u64),
         ("light", 1, 0, "light", 1, 0),
@@ -87,6 +91,7 @@ fn main() {
     ] {
         let rep = bsp_coschedule(bsp, bsp_tenant(ra, ca), bsp_tenant(rb, cb)).unwrap();
         let (ia, ib) = rep.interference();
+        bsp_max_interf = bsp_max_interf.max(ia).max(ib);
         rows.push(vec![
             format!("{name_a} + {name_b}"),
             format!("{}", rep.solo_a.get()),
@@ -104,4 +109,27 @@ fn main() {
     println!();
     println!("(the light tenant pays for every heavy superstep it shares a barrier");
     println!(" with — the global-synchronization drawback §2.1/§6 describe)");
+
+    // Flagged cell: the heavy LogP tenant solo on the full machine, traced
+    // and registry-fed, so `--trace-out` shows one tenant's event stream.
+    let scripts = logp_tenant(8, 400)(16);
+    let config = LogpConfig {
+        trace: true,
+        ..LogpConfig::stall_free()
+    };
+    let mut machine = LogpMachine::with_config(logp, config, scripts);
+    let registry = Registry::enabled(16);
+    machine.set_registry(registry.clone());
+    let rep = machine.run().expect("tenant completes");
+    obs::summary(
+        "exp_partition",
+        &[
+            ("cell", "logp_heavy_tenant_p16".into()),
+            ("makespan", rep.makespan.get().to_string()),
+            ("delivered", rep.delivered.to_string()),
+            ("logp_max_interference", f2(logp_max_interf)),
+            ("bsp_max_interference", f2(bsp_max_interf)),
+        ],
+    );
+    obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

@@ -3,10 +3,11 @@
 //! BSP superstep that prices it predictably either way.
 
 use bvl_algos::logp::radix::{naive_count_phase, reference_counts, staggered_count_phase};
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::BspParams;
 use bvl_logp::LogpParams;
-use bvl_model::Word;
+use bvl_model::{Steps, Word};
+use bvl_obs::{Registry, Span, SpanKind};
 
 fn main() {
     let p = 16usize;
@@ -28,15 +29,28 @@ fn main() {
 
     banner("Counting phase on LogP: naive vs capacity-respecting schedule");
     let mut rows = Vec::new();
-    for (name, keys) in [
+    // One synthesized span per skew level (naive schedule, back to back on a
+    // shared clock) plus the hot-spot stall count, for `--trace-out` and the
+    // summary line.
+    let registry = Registry::enabled(p);
+    let mut clock = Steps::ZERO;
+    let mut hot_spot = (Steps::ZERO, 0u64);
+    for (level, (name, keys)) in [
         ("16 digits (balanced)", balanced.clone()),
         ("8 digits", skew(8)),
         ("4 digits", skew(4)),
         ("1 digit (hot spot)", skew(1)),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let naive = naive_count_phase(params, &keys, digits, 1).unwrap();
         let stag = staggered_count_phase(params, &keys, digits, 1).unwrap();
         assert_eq!(naive.counts, reference_counts(&keys, digits));
+        let end = clock + naive.makespan;
+        registry.span(Span::new(SpanKind::Routing, clock, end).at_index(level as u64));
+        clock = end;
+        hot_spot = (naive.makespan, naive.stall_episodes);
         rows.push(vec![
             name.into(),
             format!("{}", naive.makespan.get()),
@@ -81,4 +95,16 @@ fn main() {
     println!();
     println!("(on BSP the programmer never sees the capacity constraint: any");
     println!(" h-relation is legal and priced by the same two parameters)");
+
+    obs::summary(
+        "exp_radix",
+        &[
+            ("cell", "naive_hot_spot".into()),
+            ("makespan", hot_spot.0.get().to_string()),
+            ("stall_episodes", hot_spot.1.to_string()),
+            ("skew_levels", "4".into()),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

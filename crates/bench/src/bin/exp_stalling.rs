@@ -7,10 +7,12 @@
 //! loses the per-cycle `h ≤ ⌈L/G⌉` bound; measured slowdown vs the
 //! improved `O(((ℓ+g)/G)·log p)` preprocessing bound of §3.
 
-use bvl_bench::{banner, f2, f3, print_table};
+use bvl_bench::{banner, f2, f3, obs, print_table};
 use bvl_bsp::BspParams;
 use bvl_core::stalling::{hot_spot_study, stalling_on_bsp};
-use bvl_logp::LogpParams;
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId};
+use bvl_obs::Registry;
 
 fn main() {
     banner("Hot-spot throughput under the Stalling Rule (target drain vs 1/G)");
@@ -56,4 +58,38 @@ fn main() {
         &["p", "native (stalling)", "hosted BSP", "slowdown", "§3 bound/cycle"],
         &rows,
     );
+
+    // Flagged cell: the 15x8 hot spot re-run with an enabled registry and an
+    // event trace, so `--trace-out` exports the full stalling picture
+    // (deliveries as instants, stall windows as spans).
+    let params = LogpParams::new(16, 8, 1, 2).unwrap();
+    let mut scripts = vec![Script::new(vec![Op::Recv; 15 * 8])];
+    scripts.extend((1..16).map(|i| {
+        Script::new((0..8).map(move |q| Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(q as u32, i as i64),
+        }))
+    }));
+    let config = LogpConfig {
+        forbid_stalling: false,
+        trace: true,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, scripts);
+    let registry = Registry::enabled(16);
+    machine.set_registry(registry.clone());
+    let rep = machine.run().expect("hot spot completes");
+    obs::summary(
+        "exp_stalling",
+        &[
+            ("cell", "hot_spot_15x8".into()),
+            ("makespan", rep.makespan.get().to_string()),
+            ("stall_episodes", rep.stall_episodes.to_string()),
+            ("stall_steps", rep.total_stall.get().to_string()),
+            ("max_buffer", rep.max_buffer().to_string()),
+            ("delivered", rep.delivered.to_string()),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

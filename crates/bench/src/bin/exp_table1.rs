@@ -13,11 +13,13 @@
 //! measurements parallelize near-linearly.
 
 use bvl_bench::sweep::sweep;
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
+use bvl_model::Steps;
 use bvl_net::{
     measure_parameters, Array, Butterfly, Ccc, Family, Hypercube, MeasuredParams, MeshOfTrees,
     PortMode, RouterConfig, ShuffleExchange, Topology,
 };
+use bvl_obs::{Registry, Span, SpanKind};
 
 /// Table 1 topologies, constructed per job (a `dyn Topology` is not `Send`,
 /// so jobs carry this tag and build the network on the worker thread).
@@ -161,4 +163,28 @@ fn main() {
         &["network", "g*", "l*", "G* meas", "G* pred", "L* meas", "L* pred"],
         &rep.results,
     );
+
+    // Flagged cell: a small hypercube measurement whose per-h routing times
+    // are exported as back-to-back Routing spans (the raw samples behind the
+    // gamma/delta fit).
+    let m = measure(Net::Hypercube(6), PortMode::Multi, 11);
+    let registry = Registry::enabled(m.p);
+    let mut clock = Steps::ZERO;
+    for &(h, t) in &m.samples {
+        let end = clock + Steps(t.round() as u64);
+        registry.span(Span::new(SpanKind::Routing, clock, end).at_index(h as u64));
+        clock = end;
+    }
+    obs::summary(
+        "exp_table1",
+        &[
+            ("cell", "hypercube_k6".into()),
+            ("p", m.p.to_string()),
+            ("gamma", f2(m.gamma)),
+            ("delta", f2(m.delta)),
+            ("r2", f2(m.r2)),
+            ("samples", m.samples.len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

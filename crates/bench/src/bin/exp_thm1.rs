@@ -11,13 +11,14 @@
 //! produced through the [`bvl_bench::sweep`] harness — one job per row,
 //! collected in table order.
 
-use bvl_bench::sweep::sweep;
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::sweep::{sweep, sweep_captured};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::BspParams;
 use bvl_core::slowdown::theorem1_bound;
-use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_core::{simulate_logp_on_bsp_obs, Theorem1Config};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
+use bvl_obs::{CostReport, Counter, Registry};
 
 /// A workload family, instantiable any number of times (the native and the
 /// hosted run each need a fresh copy of the scripts).
@@ -77,7 +78,7 @@ struct Case {
     workload: Workload,
 }
 
-fn run_case(case: Case) -> Vec<String> {
+fn run_case(case: Case, registry: &Registry) -> (Vec<String>, Option<CostReport>) {
     let Case {
         logp,
         factor_g,
@@ -87,11 +88,15 @@ fn run_case(case: Case) -> Vec<String> {
     let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), workload.build());
     let native_time = native.run().expect("native run").makespan;
     let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
-    let rep = simulate_logp_on_bsp(logp, bsp, workload.build(), Theorem1Config::default())
-        .expect("hosted run");
+    let rep =
+        simulate_logp_on_bsp_obs(logp, bsp, workload.build(), Theorem1Config::default(), registry)
+            .expect("hosted run");
     let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
     let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
-    vec![
+    let attributed = registry
+        .is_enabled()
+        .then(|| rep.attribution(&bsp, format!("thm1 {} {factor_g}x/{factor_l}x", workload.name())));
+    let row = vec![
         workload.name().into(),
         format!("{}", logp.p),
         format!("{}x/{}x", factor_g, factor_l),
@@ -100,7 +105,8 @@ fn run_case(case: Case) -> Vec<String> {
         f2(slowdown),
         f2(bound),
         f2(slowdown / bound),
-    ]
+    ];
+    (row, attributed)
 }
 
 fn main() {
@@ -123,13 +129,25 @@ fn main() {
             workload: Workload::AllToAll { p: 16 },
         });
     }
-    let rep = sweep("thm1-scalings", 1996, cases, |case, _job| run_case(case));
+    // Cell 0 (ring, matched 1x/1x parameters) is the flagged cell: it runs
+    // with an enabled registry, feeding the cost-attribution summary and the
+    // optional `--trace-out` export; every other cell pays nothing.
+    let (rep, registry) = sweep_captured("thm1-scalings", 1996, cases, Some(0), logp.p, |case, _job, registry| run_case(case, registry));
     eprintln!("[sweep] thm1-scalings: {}", rep.summary());
+    let mut flagged: Option<CostReport> = None;
+    let rows: Vec<Vec<String>> = rep
+        .results
+        .into_iter()
+        .map(|(row, att)| {
+            flagged = att.or(flagged.take());
+            row
+        })
+        .collect();
     print_table(
         &[
             "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
         ],
-        &rep.results,
+        &rows,
     );
 
     banner("Matched parameters across machine sizes (slowdown should stay flat)");
@@ -142,7 +160,9 @@ fn main() {
             workload: Workload::Ring { p, rounds: 8 },
         })
         .collect();
-    let rep = sweep("thm1-sizes", 1996, cases, |case, _job| run_case(case));
+    let rep = sweep("thm1-sizes", 1996, cases, |case, _job| {
+        run_case(case, &Registry::disabled()).0
+    });
     eprintln!("[sweep] thm1-sizes: {}", rep.summary());
     print_table(
         &[
@@ -150,4 +170,23 @@ fn main() {
         ],
         &rep.results,
     );
+
+    let att = flagged.expect("flagged cell produced an attribution");
+    obs::summary(
+        "exp_thm1",
+        &[
+            ("cell", "ring_x8_1x/1x".into()),
+            ("makespan", att.makespan.get().to_string()),
+            ("work", att.work.get().to_string()),
+            ("comm", att.comm.get().to_string()),
+            ("sync", att.sync.get().to_string()),
+            ("residual_frac", format!("{:.4}", att.residual_frac())),
+            (
+                "stall_episodes",
+                registry.counter(Counter::StallEpisodes).to_string(),
+            ),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

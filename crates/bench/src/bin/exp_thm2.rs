@@ -12,15 +12,17 @@
 //! comes from its own `(domain, index)`-derived RNG stream, which keeps the
 //! tables byte-identical at any `RAYON_NUM_THREADS`.
 
-use bvl_bench::sweep::sweep;
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::sweep::{sweep, sweep_captured};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::{FnProcess, Status};
 use bvl_core::slowdown::theorem2_s;
 use bvl_core::{
-    route_deterministic, simulate_bsp_on_logp, RoutingStrategy, SortScheme, Theorem2Config,
+    route_deterministic, route_deterministic_obs, simulate_bsp_on_logp_obs, RoutingStrategy,
+    SortScheme, Theorem2Config,
 };
 use bvl_logp::LogpParams;
-use bvl_model::{HRelation, Payload, ProcId};
+use bvl_model::{HRelation, Payload, ProcId, Steps};
+use bvl_obs::CostReport;
 
 fn main() {
     banner("Theorem 2: deterministic h-relation routing, phase breakdown");
@@ -30,27 +32,31 @@ fn main() {
             cells.push((p, h));
         }
     }
-    let rep = sweep("thm2-cells", 2024, cells, |(p, h), mut job| {
-        let params = LogpParams::new(p, 16, 1, 2).unwrap();
-        let rel = HRelation::random_exact(&mut job.rng, p, h);
-        let rep = route_deterministic(params, &rel, SortScheme::Network, 7)
-            .expect("routing succeeds");
-        let native = (params.g * h as u64 + params.l) as f64;
-        let s_meas = rep.total.get() as f64 / native;
-        let s_pred = theorem2_s(&params, h as u64);
-        vec![
-            format!("{p}"),
-            format!("{h}"),
-            format!("{}", rep.t_r.get()),
-            format!("{}", rep.t_sort.get()),
-            format!("{}", rep.t_s.get()),
-            format!("{}", rep.t_cycles.get()),
-            format!("{}", rep.total.get()),
-            f2(native),
-            f2(s_meas),
-            f2(s_pred),
-        ]
-    });
+    // The (p=16, h=8) cell (index 3) is flagged: its routing phases are
+    // captured as spans for the summary line and `--trace-out`.
+    let (rep, cell_registry) =
+        sweep_captured("thm2-cells", 2024, cells, Some(3), 16, |(p, h), mut job, registry| {
+            let params = LogpParams::new(p, 16, 1, 2).unwrap();
+            let rel = HRelation::random_exact(&mut job.rng, p, h);
+            let rep =
+                route_deterministic_obs(params, &rel, SortScheme::Network, 7, registry, Steps::ZERO)
+                    .expect("routing succeeds");
+            let native = (params.g * h as u64 + params.l) as f64;
+            let s_meas = rep.total.get() as f64 / native;
+            let s_pred = theorem2_s(&params, h as u64);
+            vec![
+                format!("{p}"),
+                format!("{h}"),
+                format!("{}", rep.t_r.get()),
+                format!("{}", rep.t_sort.get()),
+                format!("{}", rep.t_s.get()),
+                format!("{}", rep.t_cycles.get()),
+                format!("{}", rep.total.get()),
+                f2(native),
+                f2(s_meas),
+                f2(s_pred),
+            ]
+        });
     eprintln!("[sweep] thm2-cells: {}", rep.summary());
     print_table(
         &[
@@ -127,23 +133,32 @@ fn main() {
         ("randomized", RoutingStrategy::Randomized { slack: 2.0 }),
         ("deterministic", RoutingStrategy::Deterministic(SortScheme::Network)),
     ];
-    let rep = sweep(
+    // The deterministic strategy (index 2) is the flagged cell of this
+    // sweep: its full superstep decomposition is captured as spans and its
+    // measured phases are mapped onto the Theorem 2 cost terms.
+    let (rep, strat_registry) = sweep_captured(
         "thm2-strategies",
         2024,
         strategies,
-        move |(name, strategy), _job| {
-            let rep = simulate_bsp_on_logp(
+        Some(2),
+        p,
+        move |(name, strategy), _job, registry| {
+            let rep = simulate_bsp_on_logp_obs(
                 logp,
                 make(),
                 Theorem2Config {
                     strategy,
                     ..Theorem2Config::default()
                 },
+                registry,
             )
             .expect("superstep simulation");
+            let att = registry
+                .is_enabled()
+                .then(|| rep.attribution(&logp, format!("thm2 {name}")));
             let s0 = &rep.supersteps[0];
-            vec![
-                name.into(),
+            let row = vec![
+                name.to_string(),
                 format!("{}", rep.supersteps.len()),
                 format!("{}", s0.h),
                 format!("{}", s0.t_synch.get()),
@@ -151,15 +166,44 @@ fn main() {
                 format!("{}", rep.total.get()),
                 format!("{}", rep.native_total.get()),
                 f2(rep.slowdown()),
-            ]
+            ];
+            (row, att)
         },
     );
     eprintln!("[sweep] thm2-strategies: {}", rep.summary());
+    let mut flagged: Option<CostReport> = None;
+    let rows: Vec<Vec<String>> = rep
+        .results
+        .into_iter()
+        .map(|(row, att)| {
+            flagged = att.or(flagged.take());
+            row
+        })
+        .collect();
     print_table(
         &[
             "strategy", "supersteps", "h(0)", "t_synch(0)", "t_rout(0)", "total", "native",
             "slowdown",
         ],
-        &rep.results,
+        &rows,
     );
+
+    let att = flagged.expect("flagged strategy produced an attribution");
+    obs::summary(
+        "exp_thm2",
+        &[
+            ("cell", "deterministic_p16".into()),
+            ("makespan", att.makespan.get().to_string()),
+            ("work", att.work.get().to_string()),
+            ("comm", att.comm.get().to_string()),
+            ("sync", att.sync.get().to_string()),
+            ("other", att.other.get().to_string()),
+            ("residual_frac", format!("{:.4}", att.residual_frac())),
+            ("cell_spans", cell_registry.spans().len().to_string()),
+            ("spans", strat_registry.spans().len().to_string()),
+        ],
+    );
+    // `--trace-out` exports the flagged full-superstep run (the richest
+    // span set: supersteps, CB split, sort rounds, routing cycles).
+    obs::write_spans_if_requested(&strat_registry);
 }

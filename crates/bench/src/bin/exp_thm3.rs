@@ -5,12 +5,13 @@
 //! frequency over many seeded trials (the theorem's failure event), and
 //! (c) the worst-case `O(Gh²)` backstop on adversarial hot-spot relations.
 
-use bvl_bench::{banner, f2, f3, print_table};
-use bvl_core::route_randomized;
+use bvl_bench::{banner, f2, f3, obs, print_table};
 use bvl_core::slowdown::{stalling_worst_case, theorem3_slack};
+use bvl_core::{route_randomized, route_randomized_obs};
 use bvl_logp::LogpParams;
 use bvl_model::rngutil::SeedStream;
-use bvl_model::{HRelation, ProcId};
+use bvl_model::{HRelation, ProcId, Steps};
+use bvl_obs::Registry;
 
 fn main() {
     banner("Theorem 3: randomized routing, beta = time/(G·h) and stall frequency");
@@ -70,4 +71,26 @@ fn main() {
         &["hot spot", "h", "time", "G·h²", "time/Gh²", "stall episodes"],
         &rows,
     );
+
+    // Flagged cell: one randomized route at (p=16, h=32) re-run with an
+    // enabled registry so its batch rounds feed the summary line and the
+    // optional `--trace-out` export.
+    let params = LogpParams::new(16, 64, 1, 2).unwrap();
+    let mut rng = SeedStream::new(31).derive("flagged", 0);
+    let rel = HRelation::random_exact(&mut rng, 16, 32);
+    let registry = Registry::enabled(16);
+    let rep = route_randomized_obs(params, &rel, 2.0, 7, &registry, Steps::ZERO).expect("routes");
+    obs::summary(
+        "exp_thm3",
+        &[
+            ("cell", "rand_p16_h32".into()),
+            ("makespan", rep.time.get().to_string()),
+            ("batches", rep.batches.to_string()),
+            ("leftover", rep.leftover.to_string()),
+            ("stall_episodes", rep.stall_episodes.to_string()),
+            ("beta", f2(rep.beta_measured)),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

@@ -12,11 +12,13 @@
 //! harness with per-job RNG streams.
 
 use bvl_bench::sweep::sweep;
-use bvl_bench::{banner, f2, print_table};
+use bvl_bench::{banner, f2, obs, print_table};
 use bvl_core::bsp_on_logp::sortnet::{aks_cost_formula, bitonic_cost_formula};
-use bvl_core::{route_deterministic, SortScheme};
+use bvl_core::{route_deterministic, route_deterministic_obs, SortScheme};
 use bvl_logp::LogpParams;
-use bvl_model::HRelation;
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{HRelation, Steps};
+use bvl_obs::Registry;
 
 fn main() {
     banner("Sorting-phase cost vs r (p = 8, L = 16, o = 1, G = 2)");
@@ -65,4 +67,32 @@ fn main() {
     println!(" constant-round sort beats the log^2 p-round network, and the ratio");
     println!(" grows with r — the paper's large-r O(log p) separation, shifted by");
     println!(" the Batcher-for-AKS substitution)");
+
+    // Flagged cell: one Columnsort route at the largest r, captured so
+    // `--trace-out` shows the constant number of ColumnsortRound spans next
+    // to the routing cycles.
+    let h = 392usize;
+    let mut rng = SeedStream::new(77).derive("flagged", 0);
+    let rel = HRelation::random_exact(&mut rng, p, h);
+    let registry = Registry::enabled(p);
+    let rep = route_deterministic_obs(
+        params,
+        &rel,
+        SortScheme::Columnsort,
+        3,
+        &registry,
+        Steps::ZERO,
+    )
+    .expect("columnsort routes");
+    obs::summary(
+        "exp_xover",
+        &[
+            ("cell", format!("columnsort_p{p}_h{h}")),
+            ("makespan", rep.total.get().to_string()),
+            ("t_sort", rep.t_sort.get().to_string()),
+            ("sort_rounds", rep.sort_rounds.to_string()),
+            ("spans", registry.spans().len().to_string()),
+        ],
+    );
+    obs::write_spans_if_requested(&registry);
 }

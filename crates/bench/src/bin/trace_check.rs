@@ -1,0 +1,79 @@
+//! `trace_check <file.jsonl> [...more files]` — validate exported traces.
+//!
+//! Reads each compact-JSONL trace produced by `--trace-out`, rebuilds the
+//! event `Trace`, and runs it through the model's well-formedness validator
+//! (`bvl_model::validate_wellformed`) plus span sanity checks
+//! (`start ≤ end`, known kinds — already enforced by the parser). Exits
+//! non-zero on the first invalid file, printing every violation, so CI can
+//! gate on the artifacts the experiment binaries emit.
+
+use bvl_model::{validate_wellformed, Steps, Trace};
+use bvl_obs::export::parse_jsonl;
+use bvl_obs::Span;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<(usize, usize), Vec<String>> {
+    let text = std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read: {e}")])?;
+    let (events, spans) = parse_jsonl(&text).map_err(|e| vec![e])?;
+
+    let mut problems = Vec::new();
+    let mut trace = Trace::enabled();
+    for ev in &events {
+        trace.record(ev.clone());
+    }
+    problems.extend(validate_wellformed(&trace));
+
+    let span_problems = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s): &(usize, &Span)| s.start > s.end)
+        .map(|(i, s)| {
+            format!(
+                "span {i} ({:?}): start {} after end {}",
+                s.kind, s.start, s.end
+            )
+        });
+    problems.extend(span_problems);
+    if events.is_empty() && spans.is_empty() {
+        problems.push("file holds no events and no spans".to_string());
+    }
+    if let Some(max_end) = spans.iter().map(|s| s.end).max() {
+        if max_end == Steps::ZERO && spans.len() > 1 {
+            problems.push("all spans end at step 0".to_string());
+        }
+    }
+
+    if problems.is_empty() {
+        Ok((events.len(), spans.len()))
+    } else {
+        Err(problems)
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check <trace.jsonl> [...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match check(path) {
+            Ok((events, spans)) => {
+                println!("{path}: OK ({events} events, {spans} spans)");
+            }
+            Err(problems) => {
+                failed = true;
+                eprintln!("{path}: INVALID");
+                for p in problems {
+                    eprintln!("  - {p}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -104,6 +104,40 @@ pub mod sweep {
         }
     }
 
+    /// [`sweep`] with per-cell observability capture. The job at index
+    /// `flagged` (when `Some`) receives a [`bvl_obs::Registry`] enabled for
+    /// `procs` processors; every other job gets a disabled registry, so the
+    /// sweep pays the instrumentation cost on exactly one cell. Returns the
+    /// report plus the flagged cell's registry (disabled when nothing was
+    /// flagged), ready for [`bvl_obs::export::write_trace_file`].
+    pub fn sweep_captured<C, R, F>(
+        domain: &str,
+        master: u64,
+        configs: Vec<C>,
+        flagged: Option<usize>,
+        procs: usize,
+        f: F,
+    ) -> (SweepReport<R>, bvl_obs::Registry)
+    where
+        C: Send,
+        R: Send,
+        F: Fn(C, Job, &bvl_obs::Registry) -> R + Sync,
+    {
+        let captured = match flagged {
+            Some(_) => bvl_obs::Registry::enabled(procs),
+            None => bvl_obs::Registry::disabled(),
+        };
+        let report = sweep(domain, master, configs, |config, job| {
+            let registry = if Some(job.index) == flagged {
+                captured.clone()
+            } else {
+                bvl_obs::Registry::disabled()
+            };
+            f(config, job, &registry)
+        });
+        (report, captured)
+    }
+
     /// Run `f` over every configuration in parallel; results come back in
     /// input order. `domain` names the experiment (it salts each job's RNG
     /// stream, so two sweeps with the same master seed stay independent).
@@ -133,6 +167,54 @@ pub mod sweep {
             threads,
             elapsed: t0.elapsed(),
         }
+    }
+}
+
+pub mod obs {
+    //! Shared observability wiring for the `exp_*` binaries.
+    //!
+    //! Every experiment binary prints one machine-greppable `SUMMARY` line
+    //! (consumed by `scripts/regen_experiments.sh`) and honors the shared
+    //! `--trace-out <path>` flag by exporting the flagged cell's spans via
+    //! [`bvl_obs::export::write_trace_file`].
+
+    use bvl_model::Trace;
+    use bvl_obs::{Registry, Span};
+
+    /// Print the one-line experiment summary: `SUMMARY <name> k=v k=v ...`.
+    /// Keys should be stable identifiers (`makespan`, `stall_episodes`,
+    /// `max_buffer`, ...), values pre-formatted.
+    pub fn summary(experiment: &str, fields: &[(&str, String)]) {
+        let body: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("SUMMARY {experiment} {}", body.join(" "));
+    }
+
+    /// If `--trace-out <path>` was passed to this process, write `trace` +
+    /// `spans` there (format chosen by extension: `.jsonl` → compact JSONL,
+    /// anything else → Chrome `trace_event` JSON). Exits non-zero on I/O
+    /// failure so scripted runs fail loudly.
+    pub fn write_trace_if_requested(trace: &Trace, spans: &[Span]) {
+        let Some(path) = bvl_obs::cli::trace_out() else {
+            return;
+        };
+        match bvl_obs::export::write_trace_file(&path, trace, spans) {
+            Ok(()) => eprintln!(
+                "trace-out: {} events + {} spans -> {}",
+                trace.events().len(),
+                spans.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("trace-out: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// [`write_trace_if_requested`] for registry-only captures (the virtual
+    /// clocks of the cross-simulations have spans but no event trace).
+    pub fn write_spans_if_requested(registry: &Registry) {
+        write_trace_if_requested(&Trace::disabled(), &registry.spans());
     }
 }
 
@@ -174,6 +256,30 @@ mod tests {
         assert_eq!(a, b);
         // Distinct lanes produce distinct streams.
         assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn sweep_captured_enables_exactly_the_flagged_cell() {
+        use super::sweep::sweep_captured;
+        let (rep, reg) =
+            sweep_captured("cap", 1, (0..8usize).collect(), Some(3), 4, |c, job, registry| {
+                assert_eq!(registry.is_enabled(), job.index == 3);
+                if registry.is_enabled() {
+                    registry.span(bvl_obs::Span::new(
+                        bvl_obs::SpanKind::LocalWork,
+                        bvl_model::Steps(0),
+                        bvl_model::Steps(1),
+                    ));
+                }
+                c
+            });
+        assert_eq!(rep.results, (0..8).collect::<Vec<_>>());
+        assert_eq!(reg.spans().len(), 1);
+
+        let (_, unflagged) = sweep_captured("cap", 1, vec![0u8; 4], None, 4, |_, _, registry| {
+            assert!(!registry.is_enabled());
+        });
+        assert!(!unflagged.is_enabled());
     }
 
     #[test]

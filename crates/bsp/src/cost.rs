@@ -2,6 +2,7 @@
 
 use crate::params::BspParams;
 use bvl_model::Steps;
+use bvl_obs::CostReport;
 
 /// The cost-relevant summary of one executed superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +68,23 @@ impl CostLedger {
     /// Sum of `h` terms — total per-superstep relation degrees.
     pub fn total_h(&self) -> u64 {
         self.records.iter().map(|r| r.h).sum()
+    }
+
+    /// Attribute the ledger total onto the native BSP cost terms:
+    /// `work = Σ w`, `comm = Σ g·h`, `sync = supersteps · ℓ`. The ledger
+    /// charges exactly `w + g·h + ℓ` per superstep, so the residual of the
+    /// returned report is exactly zero — this is the ground truth the
+    /// cross-simulation attributions are compared against.
+    pub fn attribution(&self, params: &BspParams, label: &str) -> CostReport {
+        CostReport {
+            label: label.to_string(),
+            makespan: self.total(),
+            work: Steps(self.total_work()),
+            comm: Steps(params.g * self.total_h()),
+            sync: Steps(params.l * self.supersteps()),
+            stall: Steps::ZERO,
+            other: Steps::ZERO,
+        }
     }
 }
 

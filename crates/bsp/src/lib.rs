@@ -38,10 +38,12 @@ pub mod machine;
 pub mod parallel;
 pub mod params;
 pub mod process;
+pub mod report;
 pub mod spmd;
 
 pub use cost::{CostLedger, SuperstepRecord};
 pub use machine::{BspMachine, RunReport};
 pub use params::{BspConfig, BspParams};
+pub use report::{BspProcStats, BspReport, SuperstepProfile};
 pub use process::{BspProcess, Status, SuperstepCtx};
 pub use spmd::FnProcess;

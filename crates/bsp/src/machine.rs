@@ -3,8 +3,10 @@
 use crate::cost::{CostLedger, SuperstepRecord};
 use crate::params::{BspConfig, BspParams};
 use crate::process::BspProcess;
+use crate::report::{BspReport, SuperstepProfile};
 use bvl_model::trace::{Event, Trace};
 use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
+use bvl_obs::{Counter, Hist, Registry, Span, SpanKind};
 
 /// Outcome of a completed run.
 #[derive(Clone, Debug)]
@@ -15,6 +17,8 @@ pub struct RunReport {
     pub cost: Steps,
     /// Per-superstep records.
     pub records: Vec<SuperstepRecord>,
+    /// Per-processor (and optionally per-superstep) statistics.
+    pub stats: BspReport,
 }
 
 /// A BSP machine holding `p` processes of type `P`.
@@ -33,6 +37,8 @@ pub struct BspMachine<P: BspProcess> {
     halted: Vec<bool>,
     ledger: CostLedger,
     trace: Trace,
+    stats: BspReport,
+    registry: Registry,
     superstep: u64,
     next_msg_id: u64,
     threads: usize,
@@ -64,6 +70,8 @@ impl<P: BspProcess> BspMachine<P> {
             } else {
                 Trace::disabled()
             },
+            stats: BspReport::new(p),
+            registry: Registry::disabled(),
             superstep: 0,
             next_msg_id: 0,
             threads: 1,
@@ -89,6 +97,19 @@ impl<P: BspProcess> BspMachine<P> {
     /// The event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attach an observability registry; subsequent supersteps feed it with
+    /// per-processor counters, barrier-wait histograms, and phase spans on
+    /// the ledger clock. Overhead is one branch per superstep when the
+    /// handle is disabled.
+    pub fn set_registry(&mut self, registry: Registry) {
+        self.registry = registry;
+    }
+
+    /// Per-processor statistics accumulated so far.
+    pub fn stats(&self) -> &BspReport {
+        &self.stats
     }
 
     /// Immutable access to a process (e.g. to read final state).
@@ -121,8 +142,10 @@ impl<P: BspProcess> BspMachine<P> {
         }
         let p = self.params.p;
         let mut w_max = 0u64;
+        let mut w_of = vec![0u64; p];
         let mut sent = vec![0u64; p];
         let mut recvd = vec![0u64; p];
+        let t0 = self.ledger.total();
 
         // Local computation phase (sequential or multithreaded; identical
         // outcomes either way). Unread pool contents of non-retaining
@@ -138,6 +161,7 @@ impl<P: BspProcess> BspMachine<P> {
         );
         for (i, outcome) in outcomes.into_iter().enumerate() {
             w_max = w_max.max(outcome.w);
+            w_of[i] = outcome.w;
             sent[i] = self.outboxes[i].len() as u64;
             if outcome.halt {
                 self.halted[i] = true;
@@ -184,8 +208,65 @@ impl<P: BspProcess> BspMachine<P> {
             h: rec.h,
             cost: rec.cost,
         });
+        for i in 0..p {
+            let st = &mut self.stats.per_proc[i];
+            st.local_ops += w_of[i];
+            st.sent += sent[i];
+            st.received += recvd[i];
+            st.barrier_wait += Steps(w_max - w_of[i]);
+        }
+        if self.config.profile {
+            self.stats.profile.push(SuperstepProfile {
+                index: rec.index,
+                w: w_of.clone(),
+                sent: sent.clone(),
+                received: recvd.clone(),
+            });
+        }
+        if self.registry.is_enabled() {
+            self.observe_superstep(&rec, t0, w_max, &w_of, &sent, &recvd);
+        }
         self.superstep += 1;
         Some(rec)
+    }
+
+    /// Feed the registry for one completed superstep (only called when the
+    /// registry is enabled). Spans are placed on the ledger clock: local
+    /// work at `[t0, t0+w_i]`, barrier wait up to `t0+w_max`, routing for
+    /// `g·h` after the slowest worker, the whole superstep over its cost.
+    fn observe_superstep(
+        &self,
+        rec: &SuperstepRecord,
+        t0: Steps,
+        w_max: u64,
+        w_of: &[u64],
+        sent: &[u64],
+        recvd: &[u64],
+    ) {
+        for (i, &w_i) in w_of.iter().enumerate() {
+            let proc = ProcId::from(i);
+            self.registry.add(proc, Counter::LocalOps, w_i);
+            self.registry.add(proc, Counter::Submitted, sent[i]);
+            self.registry.add(proc, Counter::Delivered, recvd[i]);
+            self.registry.observe(Hist::BarrierWait, w_max - w_i);
+            self.registry
+                .span(Span::new(SpanKind::LocalWork, t0, t0 + Steps(w_i)).on(proc));
+            if w_i < w_max {
+                self.registry.span(
+                    Span::new(SpanKind::BarrierWait, t0 + Steps(w_i), t0 + Steps(w_max)).on(proc),
+                );
+            }
+        }
+        let comm_start = t0 + Steps(w_max);
+        if rec.h > 0 {
+            self.registry.span(
+                Span::new(SpanKind::Routing, comm_start, comm_start + Steps(self.params.g * rec.h))
+                    .at_index(rec.index),
+            );
+        }
+        self.registry
+            .span(Span::new(SpanKind::Superstep, t0, t0 + rec.cost).at_index(rec.index));
+        self.registry.observe(Hist::SuperstepCost, rec.cost.get());
     }
 
     /// Run until every process halts, or fail with [`ModelError::Timeout`]
@@ -205,6 +286,7 @@ impl<P: BspProcess> BspMachine<P> {
             supersteps: self.ledger.supersteps(),
             cost: self.ledger.total(),
             records: self.ledger.records().to_vec(),
+            stats: self.stats.clone(),
         })
     }
 }
@@ -443,6 +525,92 @@ mod trace_tests {
         m.preload(ProcId(0), Payload::word(0, 77));
         m.run(2).unwrap();
         assert_eq!(*m.process(0).state(), 77);
+    }
+
+    #[test]
+    fn stats_and_registry_track_supersteps() {
+        use bvl_obs::{Counter, Hist, Registry, SpanKind};
+        let params = BspParams::new(4, 2, 8).unwrap();
+        let config = BspConfig {
+            profile: true,
+            ..BspConfig::default()
+        };
+        // P1..P3 each send one message to P0 and charge their id as work.
+        let procs: Vec<FnProcess<()>> = (0..4)
+            .map(|_| {
+                FnProcess::new((), move |_, ctx| {
+                    if ctx.superstep_index() == 0 {
+                        ctx.charge(ctx.me().0 as u64);
+                        if ctx.me().0 != 0 {
+                            ctx.send(ProcId(0), Payload::tagged(0));
+                        }
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::with_config(params, config, procs);
+        let reg = Registry::enabled(4);
+        m.set_registry(reg.clone());
+        let report = m.run(4).unwrap();
+
+        // Superstep 0: a send charges one local op, so w = [0,2,3,4]
+        // (charge(id) + 1 for the send) → w_max 4; sent = [0,1,1,1]; h = 3.
+        let st = &report.stats.per_proc;
+        assert_eq!(st[3].local_ops, 4);
+        assert_eq!(st[0].barrier_wait, Steps(4), "P0 waits out w_max");
+        assert_eq!(st[0].received, 3);
+        assert_eq!(st[2].sent, 1);
+        assert_eq!(report.stats.total_sent(), 3);
+        assert_eq!(report.stats.busiest(), Some(ProcId(3)));
+        assert_eq!(report.stats.profile.len(), 2);
+        assert_eq!(report.stats.profile[0].h(), 3);
+
+        // Registry saw the same totals, and spans landed on the ledger clock.
+        assert_eq!(reg.counter(Counter::LocalOps), 9);
+        assert_eq!(reg.counter(Counter::Submitted), 3);
+        assert_eq!(reg.counter(Counter::Delivered), 3);
+        assert_eq!(reg.histogram(Hist::SuperstepCost).count, 2);
+        let spans = reg.spans();
+        let supersteps: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Superstep)
+            .collect();
+        assert_eq!(supersteps.len(), 2);
+        assert_eq!(supersteps[0].start, Steps::ZERO);
+        assert_eq!(supersteps[0].end, Steps(4 + 2 * 3 + 8));
+        assert_eq!(supersteps[1].start, supersteps[0].end);
+        assert!(spans.iter().any(|s| s.kind == SpanKind::BarrierWait));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Routing));
+    }
+
+    #[test]
+    fn attribution_residual_is_zero() {
+        // Same shape as `gather_machine` in the sibling module: every
+        // processor sends its id to P0, which sums in superstep 1.
+        let params = BspParams::new(8, 2, 16).unwrap();
+        let procs: Vec<FnProcess<()>> = (0..8)
+            .map(|_| {
+                FnProcess::new((), move |_, ctx| {
+                    if ctx.superstep_index() == 0 {
+                        ctx.send(ProcId(0), Payload::word(0, ctx.me().0 as i64));
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect();
+        let mut m = BspMachine::new(params, procs);
+        m.run(10).unwrap();
+        let rep = m.ledger().attribution(m.params(), "gather");
+        assert_eq!(rep.makespan, m.ledger().total());
+        assert_eq!(rep.residual(), 0);
+        assert_eq!(rep.work, Steps(1));
+        assert_eq!(rep.comm, Steps(2 * 8));
+        assert_eq!(rep.sync, Steps(2 * 16));
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct BspConfig {
     pub retain_unread: bool,
     /// Record machine events into the trace.
     pub trace: bool,
+    /// Collect the full per-superstep, per-processor profile in
+    /// [`crate::report::BspReport`] (grows with `p × supersteps`; the
+    /// whole-run per-processor aggregates are always collected).
+    pub profile: bool,
 }
 
 #[cfg(test)]

@@ -1,0 +1,118 @@
+//! Per-processor and per-superstep run statistics.
+//!
+//! Symmetric to `bvl_logp`'s `LogpReport`: where the LogP engine reports
+//! busy/stall/buffer occupancy per processor, the BSP engine reports local
+//! operations, messages sent/received, and barrier wait — the time a
+//! processor idles at the end-of-superstep barrier while the slowest peer
+//! (`w_max`) finishes. Aggregates are always collected (they cost one
+//! `p`-sized pass per superstep); the full per-superstep profile is opt-in
+//! via `BspConfig::profile` because it grows with `p × supersteps`.
+
+use bvl_model::{ProcId, Steps};
+
+/// Whole-run totals for one processor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BspProcStats {
+    /// Local operations executed across all supersteps.
+    pub local_ops: u64,
+    /// Messages this processor sent.
+    pub sent: u64,
+    /// Messages delivered to this processor.
+    pub received: u64,
+    /// Total time spent waiting at barriers (`Σ (w_max - w_i)` over
+    /// supersteps; a halted processor waits out the whole `w_max`).
+    pub barrier_wait: Steps,
+}
+
+/// One superstep's per-processor profile (opt-in via `BspConfig::profile`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepProfile {
+    /// Superstep index.
+    pub index: u64,
+    /// Local work per processor.
+    pub w: Vec<u64>,
+    /// Messages sent per processor.
+    pub sent: Vec<u64>,
+    /// Messages received per processor.
+    pub received: Vec<u64>,
+}
+
+impl SuperstepProfile {
+    /// The superstep's `h`: max over processors of messages sent or received.
+    pub fn h(&self) -> u64 {
+        self.sent
+            .iter()
+            .zip(self.received.iter())
+            .map(|(&s, &r)| s.max(r))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-processor (and optionally per-superstep) statistics of a BSP run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BspReport {
+    /// Whole-run totals, indexed by processor.
+    pub per_proc: Vec<BspProcStats>,
+    /// Per-superstep profiles; empty unless `BspConfig::profile` was set.
+    pub profile: Vec<SuperstepProfile>,
+}
+
+impl BspReport {
+    /// An empty report sized for `p` processors.
+    pub fn new(p: usize) -> BspReport {
+        BspReport {
+            per_proc: vec![BspProcStats::default(); p],
+            profile: Vec::new(),
+        }
+    }
+
+    /// Total barrier wait summed over all processors.
+    pub fn total_barrier_wait(&self) -> Steps {
+        self.per_proc.iter().map(|s| s.barrier_wait).sum()
+    }
+
+    /// Total messages sent (equals total received).
+    pub fn total_sent(&self) -> u64 {
+        self.per_proc.iter().map(|s| s.sent).sum()
+    }
+
+    /// The processor with the largest whole-run local-operation count.
+    pub fn busiest(&self) -> Option<ProcId> {
+        self.per_proc
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.local_ops)
+            .map(|(i, _)| ProcId::from(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_busiest() {
+        let mut r = BspReport::new(3);
+        r.per_proc[0].local_ops = 5;
+        r.per_proc[0].sent = 2;
+        r.per_proc[1].local_ops = 9;
+        r.per_proc[1].barrier_wait = Steps(4);
+        r.per_proc[2].sent = 1;
+        r.per_proc[2].barrier_wait = Steps(6);
+        assert_eq!(r.total_barrier_wait(), Steps(10));
+        assert_eq!(r.total_sent(), 3);
+        assert_eq!(r.busiest(), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn profile_degree() {
+        let prof = SuperstepProfile {
+            index: 0,
+            w: vec![1, 2],
+            sent: vec![3, 0],
+            received: vec![1, 2],
+        };
+        assert_eq!(prof.h(), 3);
+    }
+}

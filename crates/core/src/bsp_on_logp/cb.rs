@@ -136,6 +136,9 @@ pub struct CbProcess {
     received: Vec<Envelope>,
     acc: Option<Payload>,
     result: Option<Payload>,
+    /// When the *root* first held the fully combined value (the
+    /// combine/broadcast split point); `None` on non-root processors.
+    combined_at: Option<Steps>,
     phase: Phase,
     l: u64,
 }
@@ -159,6 +162,7 @@ impl CbProcess {
             received: Vec::new(),
             acc: None,
             result: None,
+            combined_at: None,
             phase: Phase::Join,
             l,
         }
@@ -237,6 +241,7 @@ impl LogpProcess for CbProcess {
                         }
                         None => {
                             self.result = Some(acc);
+                            self.combined_at = Some(view.now);
                             self.phase = Phase::Scatter(0);
                         }
                     }
@@ -281,6 +286,12 @@ pub struct CbReport {
     pub t_cb: Steps,
     /// Absolute machine makespan.
     pub makespan: Steps,
+    /// The ascent: latest join until the root holds the combined value
+    /// (measured on the `t_cb` clock, i.e. from the latest join).
+    pub t_combine: Steps,
+    /// The descent: root's combined value until the last processor has the
+    /// result (`t_cb = t_combine + t_broadcast`).
+    pub t_broadcast: Steps,
     /// The result payload as seen by every processor.
     pub results: Vec<Payload>,
 }
@@ -322,14 +333,21 @@ pub fn run_cb(
     let mut machine = LogpMachine::with_config(params, config, procs);
     let report = machine.run()?;
     let last_join = join_times.iter().copied().max().unwrap_or(Steps::ZERO);
-    let results: Vec<Payload> = machine
-        .into_programs()
+    let programs = machine.into_programs();
+    // The root (processor 0 in both tree shapes) stamps the moment it holds
+    // the fully combined value; everything after is the broadcast descent.
+    let combined_at = programs[0].combined_at.unwrap_or(report.makespan);
+    let results: Vec<Payload> = programs
         .into_iter()
         .map(|p| p.result().cloned().expect("CB completed"))
         .collect();
+    let t_cb = report.makespan.saturating_sub(last_join);
+    let t_combine = combined_at.saturating_sub(last_join).min(t_cb);
     Ok(CbReport {
-        t_cb: report.makespan.saturating_sub(last_join),
+        t_cb,
         makespan: report.makespan,
+        t_combine,
+        t_broadcast: t_cb.saturating_sub(t_combine),
         results,
     })
 }
@@ -469,6 +487,29 @@ mod tests {
         let expect: Vec<i64> = (0..11).collect();
         for r in &rep.results {
             assert_eq!(r.data(), expect, "fold must preserve processor order");
+        }
+    }
+
+    #[test]
+    fn combine_broadcast_split_partitions_t_cb() {
+        for p in [1usize, 2, 8, 32] {
+            let params = LogpParams::new(p, 8, 1, 2).unwrap();
+            let values = vec![Payload::word(0, 1); p];
+            let rep = run_cb(
+                params,
+                TreeShape::Heap,
+                values,
+                word_combine(|a, b| a & b),
+                &steps0(p),
+                7,
+            )
+            .unwrap();
+            assert_eq!(rep.t_combine + rep.t_broadcast, rep.t_cb, "p={p}");
+            if p > 1 {
+                // A real tree must spend time on both ascent and descent.
+                assert!(rep.t_combine > Steps::ZERO, "p={p}");
+                assert!(rep.t_broadcast > Steps::ZERO, "p={p}");
+            }
         }
     }
 

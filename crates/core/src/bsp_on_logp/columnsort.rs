@@ -28,6 +28,7 @@ use crate::bsp_on_logp::record::Record;
 use crate::slowdown::t_seq_sort;
 use bvl_logp::LogpParams;
 use bvl_model::{HRelation, ModelError, ProcId, Steps};
+use bvl_obs::{Registry, Span, SpanKind};
 
 /// Does Columnsort's validity condition hold for block length `r` on `p`
 /// processors?
@@ -75,8 +76,21 @@ fn redistribute(
 /// of the large-r scheme.
 pub fn columnsort(
     params: LogpParams,
+    blocks: Vec<Vec<Record>>,
+    seed: u64,
+) -> Result<(Steps, usize, Vec<Vec<Record>>), ModelError> {
+    columnsort_obs(params, blocks, seed, &Registry::disabled(), Steps::ZERO)
+}
+
+/// [`columnsort`] with observability: each of the four sort+redistribute
+/// rounds is emitted as a [`SpanKind::ColumnsortRound`] span into
+/// `registry`, offset by `base` on the caller's virtual clock.
+pub fn columnsort_obs(
+    params: LogpParams,
     mut blocks: Vec<Vec<Record>>,
     seed: u64,
+    registry: &Registry,
+    base: Steps,
 ) -> Result<(Steps, usize, Vec<Vec<Record>>), ModelError> {
     let p = params.p;
     assert_eq!(blocks.len(), p);
@@ -104,6 +118,8 @@ pub fn columnsort(
         (j * r + i) % p
     })?;
     time += t2;
+    registry.span(Span::new(SpanKind::ColumnsortRound, base, base + time).at_index(0));
+    let mut round_mark = time;
 
     // Step 3: sort columns.
     sort_cols(&mut blocks2);
@@ -117,6 +133,8 @@ pub fn columnsort(
         (i * p + j) / r
     })?;
     time += t4;
+    registry.span(Span::new(SpanKind::ColumnsortRound, base + round_mark, base + time).at_index(1));
+    round_mark = time;
 
     // Step 5: sort columns.
     sort_cols(&mut blocks4);
@@ -134,6 +152,8 @@ pub fn columnsort(
         }
     })?;
     time += t6;
+    registry.span(Span::new(SpanKind::ColumnsortRound, base + round_mark, base + time).at_index(2));
+    round_mark = time;
 
     // Step 7: sort the shifted columns. Processor p-1 holds its shifted
     // column plus the (already sorted) virtual column; sort only the former:
@@ -189,6 +209,7 @@ pub fn columnsort(
     // merge finishes the column. Charge one more linear pass.
     sort_cols(&mut result);
     time += Steps(r as u64);
+    registry.span(Span::new(SpanKind::ColumnsortRound, base + round_mark, base + time).at_index(3));
 
     debug_assert!(result.iter().all(|b| b.len() == r));
     debug_assert!({

@@ -27,13 +27,14 @@
 //! equation (2)).
 
 use crate::bsp_on_logp::cb::{run_cb, word_combine, Combine, TreeShape};
-use crate::bsp_on_logp::columnsort::columnsort;
+use crate::bsp_on_logp::columnsort::columnsort_obs;
 use crate::bsp_on_logp::phase::{route_offline, run_scripts};
 use crate::bsp_on_logp::record::Record;
 use crate::bsp_on_logp::sortnet::{bitonic_stages, merge_split, odd_even_merge_stages};
 use crate::slowdown::t_seq_sort;
 use bvl_logp::{LogpParams, Op, Script};
 use bvl_model::{HRelation, ModelError, Payload, ProcId, Steps};
+use bvl_obs::{Registry, Span, SpanKind};
 use std::sync::Arc;
 
 /// Which §4.2 sorting scheme Step 2 uses.
@@ -164,6 +165,8 @@ fn sort_network(
     mut blocks: Vec<Vec<Record>>,
     seed: u64,
     odd_even: bool,
+    registry: &Registry,
+    base: Steps,
 ) -> Result<(Steps, usize, Vec<Vec<Record>>), ModelError> {
     let p = params.p;
     let r = blocks[0].len();
@@ -174,6 +177,7 @@ fn sort_network(
     };
     let mut time = Steps::ZERO;
     for (round_idx, round) in rounds.iter().enumerate() {
+        let round_start = time;
         // Block exchange: every matched pair swaps full blocks.
         let mut rel = HRelation::new(p);
         for &(lo, hi, _) in round {
@@ -207,6 +211,10 @@ fn sort_network(
                 blocks[hi] = mn;
             }
         }
+        registry.span(
+            Span::new(SpanKind::SortRound, base + round_start, base + time)
+                .at_index(round_idx as u64),
+        );
     }
     Ok((time, rounds.len(), blocks))
 }
@@ -223,6 +231,23 @@ pub fn route_deterministic(
     rel: &HRelation,
     scheme: SortScheme,
     seed: u64,
+) -> Result<RouteDetReport, ModelError> {
+    route_deterministic_obs(params, rel, scheme, seed, &Registry::disabled(), Steps::ZERO)
+}
+
+/// [`route_deterministic`] with observability: sorting rounds and the
+/// pipelined cycle phase are emitted as [`SpanKind::SortRound`] /
+/// [`SpanKind::ColumnsortRound`] / [`SpanKind::RouteCycles`] spans into
+/// `registry`, offset by `base` (the caller's virtual-clock position of the
+/// routing phase). With a disabled registry this is exactly
+/// `route_deterministic`.
+pub fn route_deterministic_obs(
+    params: LogpParams,
+    rel: &HRelation,
+    scheme: SortScheme,
+    seed: u64,
+    registry: &Registry,
+    base: Steps,
 ) -> Result<RouteDetReport, ModelError> {
     let p = params.p;
     assert_eq!(rel.p(), p);
@@ -291,14 +316,17 @@ pub fn route_deterministic(
         SortScheme::Columnsort => true,
         SortScheme::Auto => p >= 2 && r_pad >= 2 * (p - 1) * (p - 1),
     };
+    let sort_base = base + t_r + local_sort;
     let (t_net, sort_rounds, blocks) = if use_columnsort {
-        columnsort(params, blocks, seed.wrapping_add(1000))?
+        columnsort_obs(params, blocks, seed.wrapping_add(1000), registry, sort_base)?
     } else {
         sort_network(
             params,
             blocks,
             seed.wrapping_add(2000),
             scheme == SortScheme::NetworkOddEven,
+            registry,
+            sort_base,
         )?
     };
     let t_sort = local_sort + t_net;
@@ -374,6 +402,11 @@ pub fn route_deterministic(
     verify_routing(rel, &unpacked).map_err(ModelError::Internal)?;
 
     let total = t_r + t_sort + t_s + t_cycles;
+    registry.span(Span::new(
+        SpanKind::RouteCycles,
+        base + t_r + t_sort + t_s,
+        base + total,
+    ));
     Ok(RouteDetReport {
         total,
         t_r,

@@ -21,6 +21,7 @@ use crate::slowdown::theorem3_batches;
 use bvl_logp::{LogpParams, Op, Script};
 use bvl_model::rngutil::SeedStream;
 use bvl_model::{HRelation, ModelError, Steps};
+use bvl_obs::{Registry, Span, SpanKind};
 use rand::Rng;
 
 /// Outcome of one randomized routing run.
@@ -50,6 +51,21 @@ pub fn route_randomized(
     rel: &HRelation,
     slack: f64,
     seed: u64,
+) -> Result<RouteRandReport, ModelError> {
+    route_randomized_obs(params, rel, slack, seed, &Registry::disabled(), Steps::ZERO)
+}
+
+/// [`route_randomized`] with observability: each non-empty batch round is
+/// emitted as a [`SpanKind::RouteBatch`] span (the cleanup step, when
+/// present, gets index `R`), offset by `base` on the caller's virtual
+/// clock. With a disabled registry this is exactly `route_randomized`.
+pub fn route_randomized_obs(
+    params: LogpParams,
+    rel: &HRelation,
+    slack: f64,
+    seed: u64,
+    registry: &Registry,
+    base: Steps,
 ) -> Result<RouteRandReport, ModelError> {
     let p = params.p;
     assert_eq!(rel.p(), p);
@@ -135,6 +151,27 @@ pub fn route_randomized(
         .map(|s| s.into_received())
         .collect();
     verify_delivery(rel, &received).map_err(ModelError::Internal)?;
+
+    if registry.is_enabled() {
+        // One span per batch round that carried any traffic, nominal round
+        // windows; the cleanup step spans from the end of the R rounds to
+        // the measured finish.
+        for b in 0..r_batches as usize {
+            if assign.iter().any(|per_proc| !per_proc[b].is_empty()) {
+                let start = Steps(b as u64 * round_len);
+                let end = Steps((b as u64 + 1) * round_len).min(report.makespan);
+                registry
+                    .span(Span::new(SpanKind::RouteBatch, base + start, base + end).at_index(b as u64));
+            }
+        }
+        if leftover > 0 {
+            let start = Steps(r_batches * round_len).min(report.makespan);
+            registry.span(
+                Span::new(SpanKind::RouteBatch, base + start, base + report.makespan)
+                    .at_index(r_batches),
+            );
+        }
+    }
 
     Ok(RouteRandReport {
         time: report.makespan,

@@ -19,11 +19,12 @@
 
 use crate::bsp_on_logp::cb::{run_cb, word_combine, TreeShape};
 use crate::bsp_on_logp::phase::route_offline;
-use crate::bsp_on_logp::route_det::{route_deterministic, SortScheme};
-use crate::bsp_on_logp::route_rand::route_randomized;
+use crate::bsp_on_logp::route_det::{route_deterministic_obs, SortScheme};
+use crate::bsp_on_logp::route_rand::route_randomized_obs;
 use bvl_bsp::{BspParams, BspProcess, Status, SuperstepCtx};
 use bvl_logp::LogpParams;
 use bvl_model::{Envelope, HRelation, ModelError, MsgId, Payload, ProcId, Steps};
+use bvl_obs::{CostReport, Counter, Hist, Registry, Span, SpanKind};
 
 /// How the communication phase routes each superstep's h-relation.
 #[derive(Clone, Copy, Debug)]
@@ -96,13 +97,63 @@ impl<P> Theorem2Report<P> {
     pub fn slowdown(&self) -> f64 {
         self.total.get() as f64 / self.native_total.get().max(1) as f64
     }
+
+    /// Attribute the simulated makespan onto Theorem 2's cost terms:
+    /// `work = Σ w`, `comm = Σ min(T_rout, G·h)` (the native `Gh` charge),
+    /// `sync = Σ T_synch` (the `L·S` term realized by CB), and
+    /// `other = Σ (T_rout − G·h)⁺` (routing overhead beyond the native
+    /// charge — the protocol-dependent part of `S(L, G, p, h)`). Because
+    /// each superstep's total is exactly `w + T_synch + T_rout`, the
+    /// residual is zero by construction; a nonzero residual means the
+    /// engine's accounting broke.
+    pub fn attribution(&self, logp: &LogpParams, label: impl Into<String>) -> CostReport {
+        let mut work = Steps::ZERO;
+        let mut comm = Steps::ZERO;
+        let mut sync = Steps::ZERO;
+        let mut other = Steps::ZERO;
+        for s in &self.supersteps {
+            let gh = Steps(logp.g * s.h);
+            work += Steps(s.w);
+            comm += s.t_rout.min(gh);
+            sync += s.t_synch;
+            other += s.t_rout.saturating_sub(gh);
+        }
+        CostReport {
+            label: label.into(),
+            makespan: self.total,
+            work,
+            comm,
+            sync,
+            stall: Steps::ZERO,
+            other,
+        }
+    }
 }
 
 /// Run a BSP program (one [`BspProcess`] per processor) on a LogP machine.
 pub fn simulate_bsp_on_logp<P: BspProcess>(
     logp: LogpParams,
+    programs: Vec<P>,
+    config: Theorem2Config,
+) -> Result<Theorem2Report<P>, ModelError> {
+    simulate_bsp_on_logp_obs(logp, programs, config, &Registry::disabled())
+}
+
+/// [`simulate_bsp_on_logp`] with observability. The simulation keeps a
+/// virtual clock (the cumulative simulated LogP time) and emits, per
+/// superstep: per-processor [`SpanKind::LocalWork`] and
+/// [`SpanKind::BarrierWait`] spans, the CB barrier split into
+/// [`SpanKind::CbCombine`] / [`SpanKind::CbBroadcast`], a
+/// [`SpanKind::Routing`] span (with the router's own round/cycle/batch
+/// sub-spans inside it), and an enclosing [`SpanKind::Superstep`] span —
+/// plus `Submitted`/`Delivered`/`LocalOps` counters and `BarrierWait`/
+/// `SuperstepCost` histograms. With a disabled registry the run is
+/// identical to `simulate_bsp_on_logp`.
+pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
+    logp: LogpParams,
     mut programs: Vec<P>,
     config: Theorem2Config,
+    registry: &Registry,
 ) -> Result<Theorem2Report<P>, ModelError> {
     let p = logp.p;
     assert_eq!(programs.len(), p, "need exactly p programs");
@@ -143,6 +194,33 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
         }
         let w_max = works.iter().copied().max().unwrap_or(0);
         let h = rel.degree() as u64;
+        let base = total; // virtual-clock position of this superstep
+
+        if registry.is_enabled() {
+            for (i, &w) in works.iter().enumerate() {
+                let proc = ProcId::from(i);
+                registry.add(proc, Counter::LocalOps, w);
+                if w > 0 {
+                    registry.span(
+                        Span::new(SpanKind::LocalWork, base, base + Steps(w))
+                            .on(proc)
+                            .at_index(index),
+                    );
+                }
+                registry.observe(Hist::BarrierWait, w_max - w);
+                if w < w_max {
+                    registry.span(
+                        Span::new(SpanKind::BarrierWait, base + Steps(w), base + Steps(w_max))
+                            .on(proc)
+                            .at_index(index),
+                    );
+                }
+            }
+            for d in rel.demands() {
+                registry.add(d.src, Counter::Submitted, 1);
+                registry.add(d.dst, Counter::Delivered, 1);
+            }
+        }
 
         // --- Phase 2: synchronization (CB-AND, joins at w_i). ------------
         let joins: Vec<Steps> = works.iter().map(|&w| Steps(w)).collect();
@@ -156,20 +234,37 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
         )?;
         debug_assert!(cb.results.iter().all(|r| r.expect_word() == 1));
         let t_synch = cb.t_cb;
+        if registry.is_enabled() {
+            // CB joins at w_i, so on the virtual clock the barrier occupies
+            // [base + w_max, base + cb.makespan], split at the root's
+            // combine-complete instant.
+            let combine_end = base + Steps(w_max) + cb.t_combine;
+            registry.span(
+                Span::new(SpanKind::CbCombine, base + Steps(w_max), combine_end).at_index(index),
+            );
+            registry
+                .span(Span::new(SpanKind::CbBroadcast, combine_end, base + cb.makespan).at_index(index));
+        }
 
         // --- Phase 3: routing. -------------------------------------------
         let seed = config.seed.wrapping_add(index * 17 + 2);
+        let rout_base = base + cb.makespan;
         let t_rout = if rel.is_empty() {
             Steps::ZERO
         } else {
             match config.strategy {
                 RoutingStrategy::Deterministic(scheme) => {
-                    route_deterministic(logp, &rel, scheme, seed)?.total
+                    route_deterministic_obs(logp, &rel, scheme, seed, registry, rout_base)?.total
                 }
-                RoutingStrategy::Randomized { slack } => route_randomized(logp, &rel, slack, seed)?.time,
+                RoutingStrategy::Randomized { slack } => {
+                    route_randomized_obs(logp, &rel, slack, seed, registry, rout_base)?.time
+                }
                 RoutingStrategy::Offline => route_offline(logp, &rel, seed)?.0,
             }
         };
+        if registry.is_enabled() && t_rout > Steps::ZERO {
+            registry.span(Span::new(SpanKind::Routing, rout_base, rout_base + t_rout).at_index(index));
+        }
 
         // Deliver to guest inboxes in the BSP machine's canonical order
         // (sender id, then submission order at the sender).
@@ -188,6 +283,10 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
         }
 
         let step_total = cb.makespan + t_rout;
+        if registry.is_enabled() {
+            registry.span(Span::new(SpanKind::Superstep, base, base + step_total).at_index(index));
+            registry.observe(Hist::SuperstepCost, step_total.get());
+        }
         let native_cost = native.superstep_cost(w_max, h);
         supersteps.push(SuperstepBreakdown {
             w: w_max,
@@ -334,6 +433,88 @@ mod tests {
         )
         .unwrap();
         assert!(off.total < det.total, "offline {:?} det {:?}", off.total, det.total);
+    }
+
+    #[test]
+    fn obs_run_emits_spans_and_zero_residual_attribution() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        let reg = Registry::enabled(8);
+        let rep =
+            simulate_bsp_on_logp_obs(logp, ring(8, 3), Theorem2Config::default(), &reg).unwrap();
+        let spans = reg.spans();
+
+        // One Superstep span per superstep, tiling the virtual timeline.
+        let mut clock = Steps::ZERO;
+        let supersteps: Vec<_> =
+            spans.iter().filter(|s| s.kind == SpanKind::Superstep).collect();
+        assert_eq!(supersteps.len(), rep.supersteps.len());
+        for (i, s) in supersteps.iter().enumerate() {
+            assert_eq!(s.start, clock, "superstep {i} not contiguous");
+            assert_eq!(s.index, Some(i as u64));
+            clock = s.end;
+        }
+        assert_eq!(clock, rep.total);
+        // Every span fits inside the run and is well-ordered.
+        assert!(spans.iter().all(|s| s.start <= s.end && s.end <= rep.total));
+        // The full phase vocabulary of the deterministic pipeline showed up.
+        // (No BarrierWait here: the ring is perfectly balanced, so no
+        // processor ever waits — checked separately with a skewed load.)
+        for kind in [
+            SpanKind::LocalWork,
+            SpanKind::CbCombine,
+            SpanKind::CbBroadcast,
+            SpanKind::SortRound,
+            SpanKind::RouteCycles,
+            SpanKind::Routing,
+        ] {
+            assert!(spans.iter().any(|s| s.kind == kind), "missing {kind:?}");
+        }
+        assert!(!spans.iter().any(|s| s.kind == SpanKind::BarrierWait));
+
+        // A skewed workload (processor i charges 3i) does produce barrier
+        // waits, one span per processor slower-than-slowest.
+        let skew: Vec<FnProcess<()>> = (0..8)
+            .map(|_| {
+                FnProcess::new((), |_, ctx| {
+                    ctx.charge(ctx.me().0 as u64 * 3);
+                    Status::Halt
+                })
+            })
+            .collect();
+        let reg2 = Registry::enabled(8);
+        simulate_bsp_on_logp_obs(logp, skew, Theorem2Config::default(), &reg2).unwrap();
+        let waits: Vec<_> =
+            reg2.spans().iter().filter(|s| s.kind == SpanKind::BarrierWait).cloned().collect();
+        assert_eq!(waits.len(), 7, "all but the slowest processor wait");
+        // Σ (w_max - w_i) = Σ_{i<8} (21 - 3i) = 84.
+        assert_eq!(reg2.histogram(Hist::BarrierWait).sum, 84);
+        // Conservation: submitted == delivered, and the ring sends 8
+        // messages in each of its 5 sending supersteps.
+        assert_eq!(reg.counter(Counter::Submitted), reg.counter(Counter::Delivered));
+        assert_eq!(reg.counter(Counter::Submitted), 8 * 3);
+        assert_eq!(reg.histogram(Hist::SuperstepCost).count, rep.supersteps.len() as u64);
+
+        // Attribution explains the makespan exactly.
+        let cost = rep.attribution(&logp, "ring p=8");
+        assert_eq!(cost.makespan, rep.total);
+        assert_eq!(cost.residual(), 0, "{cost}");
+        assert!(cost.work > Steps::ZERO && cost.sync > Steps::ZERO && cost.comm > Steps::ZERO);
+    }
+
+    #[test]
+    fn observation_never_perturbs_the_run() {
+        let logp = LogpParams::new(8, 64, 1, 2).unwrap(); // roomy capacity
+        let config = Theorem2Config {
+            strategy: RoutingStrategy::Randomized { slack: 2.0 },
+            ..Theorem2Config::default()
+        };
+        let plain = simulate_bsp_on_logp(logp, ring(8, 2), config).unwrap();
+        let reg = Registry::enabled(8);
+        let observed = simulate_bsp_on_logp_obs(logp, ring(8, 2), config, &reg).unwrap();
+        assert_eq!(plain.total, observed.total);
+        assert_eq!(plain.native_total, observed.native_total);
+        assert!(reg.spans().iter().any(|s| s.kind == SpanKind::RouteBatch));
+        assert_eq!(observed.attribution(&logp, "rand").residual(), 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use bvl_bsp::{BspMachine, BspParams, BspProcess, RunReport, Status, SuperstepCtx};
 use bvl_logp::{LogpParams, LogpProcess, Op, ProcView};
 use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
+use bvl_obs::Registry;
 use std::collections::VecDeque;
 
 /// Options for the Theorem 1 simulation.
@@ -428,6 +429,24 @@ impl<P: LogpProcess> Theorem1Report<P> {
         let guest = self.guest_makespan().get().max(1);
         self.bsp.cost.get() as f64 / guest as f64
     }
+
+    /// Attribute the host cost onto Theorem 1's terms: `work` is the cycle
+    /// emulation (the `1` term), `comm` the superstep routing (`g/G`), and
+    /// `sync` the barriers (`ℓ/L`). Residual is zero by the BSP cost
+    /// identity `cost = Σ (w + g·h + ℓ)`.
+    pub fn attribution(&self, bsp: &BspParams, label: impl Into<String>) -> bvl_obs::CostReport {
+        let work: u64 = self.bsp.records.iter().map(|r| r.w).sum();
+        let comm: u64 = self.bsp.records.iter().map(|r| bsp.g * r.h).sum();
+        bvl_obs::CostReport {
+            label: label.into(),
+            makespan: self.bsp.cost,
+            work: Steps(work),
+            comm: Steps(comm),
+            sync: Steps(bsp.l * self.bsp.supersteps),
+            stall: Steps::ZERO,
+            other: Steps::ZERO,
+        }
+    }
 }
 
 /// Run a LogP program (one `LogpProcess` per processor) on a BSP host and
@@ -438,12 +457,27 @@ pub fn simulate_logp_on_bsp<P: LogpProcess>(
     programs: Vec<P>,
     config: Theorem1Config,
 ) -> Result<Theorem1Report<P>, ModelError> {
+    simulate_logp_on_bsp_obs(logp, bsp, programs, config, &Registry::disabled())
+}
+
+/// [`simulate_logp_on_bsp`] with observability: the registry is attached to
+/// the host BSP machine, which feeds it per-superstep local-work, barrier
+/// and routing spans plus counters on the host's ledger clock. With a
+/// disabled registry this is exactly `simulate_logp_on_bsp`.
+pub fn simulate_logp_on_bsp_obs<P: LogpProcess>(
+    logp: LogpParams,
+    bsp: BspParams,
+    programs: Vec<P>,
+    config: Theorem1Config,
+    registry: &Registry,
+) -> Result<Theorem1Report<P>, ModelError> {
     assert_eq!(logp.p, bsp.p, "models must agree on p");
     let guests: Vec<GuestProc<P>> = programs
         .into_iter()
         .map(|prog| GuestProc::new(prog, logp))
         .collect();
     let mut machine = BspMachine::new(bsp, guests);
+    machine.set_registry(registry.clone());
     let report = machine.run(config.max_supersteps)?;
 
     if config.verify_stall_free {
@@ -564,6 +598,33 @@ mod tests {
         let received = &rep.programs[1].received()[0];
         assert_eq!(received.payload.expect_word(), 9);
         assert!(received.delivered >= Steps(6), "delivered {:?}", received.delivered);
+    }
+
+    #[test]
+    fn obs_host_feeds_registry_and_attribution_is_exact() {
+        let logp = LogpParams::new(8, 8, 1, 2).unwrap();
+        let bsp = BspParams::new(8, 2, 8).unwrap();
+        let reg = Registry::enabled(8);
+        let rep = simulate_logp_on_bsp_obs(
+            logp,
+            bsp,
+            ring_programs(8),
+            Theorem1Config::default(),
+            &reg,
+        )
+        .unwrap();
+        // The host machine emitted one Superstep span per superstep.
+        let spans = reg.spans();
+        let count = spans
+            .iter()
+            .filter(|s| s.kind == bvl_obs::SpanKind::Superstep)
+            .count() as u64;
+        assert_eq!(count, rep.bsp.supersteps);
+        // Every send the guests made was observed at the host level.
+        assert_eq!(reg.counter(bvl_obs::Counter::Submitted), 8);
+        let cost = rep.attribution(&bsp, "thm1 ring");
+        assert_eq!(cost.makespan, rep.bsp.cost);
+        assert_eq!(cost.residual(), 0, "{cost}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use bvl_model::rngutil::SeedStream;
 use bvl_model::stats::Accumulator;
 use bvl_model::trace::{Event, Trace};
 use bvl_model::{Envelope, ModelError, MsgId, ProcId, Steps};
+use bvl_obs::{Counter, Hist, Registry, Span, SpanKind};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
@@ -93,6 +94,7 @@ pub struct LogpMachine<P: LogpProcess> {
     delivered: u64,
     latency: Accumulator,
     trace: Trace,
+    registry: Registry,
     rng: ChaCha8Rng,
     events_processed: u64,
     started: bool,
@@ -132,10 +134,20 @@ impl<P: LogpProcess> LogpMachine<P> {
             } else {
                 Trace::disabled()
             },
+            registry: Registry::disabled(),
             rng: SeedStream::new(config.seed).derive("logp-machine", 0),
             events_processed: 0,
             started: false,
         }
+    }
+
+    /// Attach an observability registry; the engine feeds it with per-event
+    /// counters (submissions, deliveries, acquisitions, stalls), latency and
+    /// stall-duration histograms, and one [`SpanKind::Stall`] span per stall
+    /// window. Overhead is one branch per instrumentation site when the
+    /// handle is disabled.
+    pub fn set_registry(&mut self, registry: Registry) {
+        self.registry = registry;
     }
 
     /// The machine parameters.
@@ -199,6 +211,7 @@ impl<P: LogpProcess> LogpMachine<P> {
                             msg: env.id,
                         });
                         self.procs[proc].stats.acquired += 1;
+                        self.registry.add(ProcId::from(proc), Counter::Acquired, 1);
                         self.programs[proc].on_recv(env);
                     }
                     self.poll(proc)?;
@@ -242,6 +255,8 @@ impl<P: LogpProcess> LogpMachine<P> {
         self.in_transit[dst] -= 1;
         self.delivered += 1;
         self.latency.push(env.latency().get() as f64);
+        self.registry.add(env.dst, Counter::Delivered, 1);
+        self.registry.observe(Hist::DeliveryLatency, env.latency().get());
         self.trace.record(Event::Deliver {
             at: self.now,
             msg: env.id,
@@ -269,6 +284,7 @@ impl<P: LogpProcess> LogpMachine<P> {
             dst: env.dst,
         });
         self.procs[proc].stats.sent += 1;
+        self.registry.add(ProcId::from(proc), Counter::Submitted, 1);
         self.procs[proc].pending_submit = true;
         self.pending[dst].push_back(env);
         self.try_accept(dst)?;
@@ -284,6 +300,7 @@ impl<P: LogpProcess> LogpMachine<P> {
             st.stalling = true;
             st.stall_since = self.now;
             st.stats.stall_episodes += 1;
+            self.registry.add(ProcId::from(proc), Counter::StallEpisodes, 1);
             self.trace.record(Event::StallBegin {
                 at: self.now,
                 proc: ProcId::from(proc),
@@ -315,6 +332,15 @@ impl<P: LogpProcess> LogpMachine<P> {
             if st.stalling {
                 st.stalling = false;
                 st.stats.stalled += self.now - st.stall_since;
+                if self.registry.is_enabled() {
+                    let window = self.now - st.stall_since;
+                    self.registry.add(ProcId::from(src), Counter::StallSteps, window.get());
+                    self.registry.observe(Hist::StallDuration, window.get());
+                    self.registry.span(
+                        Span::new(SpanKind::Stall, st.stall_since, self.now)
+                            .on(ProcId::from(src)),
+                    );
+                }
                 self.trace.record(Event::StallEnd {
                     at: self.now,
                     proc: ProcId::from(src),
@@ -394,6 +420,7 @@ impl<P: LogpProcess> LogpMachine<P> {
                 }
                 Op::Compute(n) => {
                     self.procs[proc].stats.busy += Steps(n);
+                    self.registry.add(ProcId::from(proc), Counter::LocalOps, n);
                     self.push(
                         self.now + Steps(n),
                         PHASE_READY,
@@ -715,6 +742,45 @@ mod stats_tests {
         assert_eq!(rep.per_proc[1].busy, Steps(1));
         // Halt times recorded.
         assert!(rep.per_proc.iter().all(|s| s.halt_time < Steps::MAX));
+    }
+
+    #[test]
+    fn registry_observes_traffic_and_stalls() {
+        use bvl_obs::{Counter, Hist, Registry, SpanKind};
+        // The §2.2 hot-spot: capacity 2, four senders to one target; two
+        // senders stall for 4 steps each (see `hot_spot_stalls_...` above).
+        let params = LogpParams::new(5, 4, 1, 2).unwrap();
+        let mut programs = vec![Script::new(vec![Op::Recv; 4])];
+        programs.extend((1..5).map(|i| {
+            Script::new([Op::Send {
+                dst: ProcId(0),
+                payload: Payload::word(0, i as i64),
+            }])
+        }));
+        let mut m = LogpMachine::new(params, programs);
+        let reg = Registry::enabled(5);
+        m.set_registry(reg.clone());
+        let rep = m.run().unwrap();
+        assert_eq!(reg.counter(Counter::Submitted), 4);
+        assert_eq!(reg.counter(Counter::Delivered), 4);
+        assert_eq!(reg.counter(Counter::Acquired), 4);
+        assert_eq!(reg.counter(Counter::StallEpisodes), 2);
+        assert_eq!(reg.counter(Counter::StallSteps), 8);
+        assert_eq!(reg.histogram(Hist::DeliveryLatency).count, 4);
+        let stall_spans: Vec<_> = reg
+            .spans()
+            .into_iter()
+            .filter(|s| s.kind == SpanKind::Stall)
+            .collect();
+        assert_eq!(stall_spans.len(), 2);
+        assert_eq!(stall_spans[0].duration(), Steps(4));
+        // The registry's view agrees with the report's.
+        assert_eq!(rep.total_stall, Steps(8));
+        // Processor-time attribution: residual is zero by construction.
+        let cost = rep.attribution("hot-spot");
+        assert_eq!(cost.residual(), 0);
+        assert_eq!(cost.stall, Steps(8));
+        assert_eq!(cost.makespan, Steps(5 * rep.makespan.get()));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use bvl_model::stats::Accumulator;
 use bvl_model::Steps;
+use bvl_obs::CostReport;
 
 /// Per-processor execution statistics.
 #[derive(Clone, Debug, Default)]
@@ -49,6 +50,28 @@ impl LogpReport {
     /// Peak input-buffer occupancy across all processors.
     pub fn max_buffer(&self) -> usize {
         self.per_proc.iter().map(|s| s.max_buffer).max().unwrap_or(0)
+    }
+
+    /// Attribute the run over *processor-time*: a `p`-processor run of
+    /// makespan `T` has `p·T` processor-steps, each of which was busy
+    /// (`work`), stalled (`stall`), or idle (`other` — waiting on the
+    /// medium or on peers). The residual is zero by construction; the
+    /// interesting signal is the split itself, e.g. stall fraction under a
+    /// hot-spot workload.
+    pub fn attribution(&self, label: &str) -> CostReport {
+        let p = self.per_proc.len() as u64;
+        let busy: Steps = self.per_proc.iter().map(|s| s.busy).sum();
+        let stalled: Steps = self.per_proc.iter().map(|s| s.stalled).sum();
+        let total = Steps(p * self.makespan.get());
+        CostReport {
+            label: label.to_string(),
+            makespan: total,
+            work: busy,
+            comm: Steps::ZERO,
+            sync: Steps::ZERO,
+            stall: stalled,
+            other: total.saturating_sub(busy + stalled),
+        }
     }
 }
 

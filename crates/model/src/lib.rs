@@ -42,3 +42,4 @@ pub use hrelation::HRelation;
 pub use ids::{MsgId, ProcId};
 pub use msg::{Envelope, Payload, Word, INLINE_WORDS};
 pub use time::Steps;
+pub use trace::{assert_wellformed, validate_wellformed, Event, Trace};

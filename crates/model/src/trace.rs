@@ -142,6 +142,137 @@ impl Trace {
     }
 }
 
+/// Check the structural well-formedness of a trace, independent of any
+/// model parameters.
+///
+/// Rules (violations are returned as human-readable strings, empty = OK):
+///
+/// * every [`MsgId`] progresses strictly through
+///   Submit → Accept → Deliver → Acquire — no stage repeated, skipped, or
+///   out of order (later stages may simply be absent, e.g. a message never
+///   acquired);
+/// * the stage times of each message are non-decreasing;
+/// * a message is delivered to, and acquired by, the destination it was
+///   submitted for;
+/// * per processor, `StallBegin`/`StallEnd` strictly alternate starting
+///   with `StallBegin`, with `StallEnd.at ≥ StallBegin.at`, and every
+///   window is closed by the end of the trace.
+///
+/// This is the *syntax* of a trace; parameter-dependent semantics (gap
+/// spacing, delivery deadlines, capacity) live in `bvl_logp::validate`.
+pub fn validate_wellformed(trace: &Trace) -> Vec<String> {
+    use std::collections::HashMap;
+
+    // Lifecycle stage reached so far: 0 Submit, 1 Accept, 2 Deliver, 3 Acquire.
+    struct MsgState {
+        stage: u8,
+        at: Steps,
+        dst: ProcId,
+    }
+    let mut msgs: HashMap<MsgId, MsgState> = HashMap::new();
+    let mut stalled: HashMap<ProcId, Steps> = HashMap::new();
+    let mut errs = Vec::new();
+
+    fn advance(
+        msgs: &mut std::collections::HashMap<MsgId, MsgState>,
+        msg: MsgId,
+        stage: u8,
+        name: &str,
+        at: Steps,
+        errs: &mut Vec<String>,
+    ) {
+        match msgs.get_mut(&msg) {
+            None => errs.push(format!("{name} of {msg:?} at {at:?} without prior Submit")),
+            Some(st) => {
+                if st.stage + 1 != stage {
+                    errs.push(format!(
+                        "{name} of {msg:?} at {at:?} out of order (previous stage {})",
+                        ["Submit", "Accept", "Deliver", "Acquire"][st.stage as usize]
+                    ));
+                } else if at < st.at {
+                    errs.push(format!(
+                        "{name} of {msg:?} at {at:?} precedes its previous stage at {:?}",
+                        st.at
+                    ));
+                    st.stage = stage;
+                } else {
+                    st.stage = stage;
+                    st.at = at;
+                }
+            }
+        }
+    }
+
+    for ev in trace.events() {
+        match *ev {
+            Event::Submit { at, msg, dst, .. } => {
+                if msgs
+                    .insert(msg, MsgState { stage: 0, at, dst })
+                    .is_some()
+                {
+                    errs.push(format!("duplicate Submit of {msg:?} at {at:?}"));
+                }
+            }
+            Event::Accept { at, msg } => advance(&mut msgs, msg, 1, "Accept", at, &mut errs),
+            Event::Deliver { at, msg, dst } => {
+                advance(&mut msgs, msg, 2, "Deliver", at, &mut errs);
+                if let Some(st) = msgs.get(&msg) {
+                    if st.dst != dst {
+                        errs.push(format!(
+                            "Deliver of {msg:?} to {dst:?} but it was submitted for {:?}",
+                            st.dst
+                        ));
+                    }
+                }
+            }
+            Event::Acquire { at, proc, msg } => {
+                advance(&mut msgs, msg, 3, "Acquire", at, &mut errs);
+                if let Some(st) = msgs.get(&msg) {
+                    if st.dst != proc {
+                        errs.push(format!(
+                            "Acquire of {msg:?} by {proc:?} but it was submitted for {:?}",
+                            st.dst
+                        ));
+                    }
+                }
+            }
+            Event::StallBegin { at, proc } => {
+                if stalled.insert(proc, at).is_some() {
+                    errs.push(format!("StallBegin for {proc:?} at {at:?} while already stalled"));
+                }
+            }
+            Event::StallEnd { at, proc } => match stalled.remove(&proc) {
+                None => errs.push(format!("StallEnd for {proc:?} at {at:?} without StallBegin")),
+                Some(began) => {
+                    if at < began {
+                        errs.push(format!(
+                            "StallEnd for {proc:?} at {at:?} precedes its StallBegin at {began:?}"
+                        ));
+                    }
+                }
+            },
+            Event::Superstep { .. } => {}
+        }
+    }
+    let mut open: Vec<_> = stalled.into_iter().collect();
+    open.sort_by_key(|&(p, _)| p);
+    for (proc, began) in open {
+        errs.push(format!("stall window for {proc:?} opened at {began:?} never closed"));
+    }
+    errs
+}
+
+/// Panic with a readable report if [`validate_wellformed`] finds violations.
+pub fn assert_wellformed(trace: &Trace) {
+    let errs = validate_wellformed(trace);
+    assert!(
+        errs.is_empty(),
+        "trace is not well-formed ({} violations):\n  {}",
+        errs.len(),
+        errs.join("\n  ")
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +318,124 @@ mod tests {
         });
         let stalls: Vec<_> = t.filter(|e| matches!(e, Event::StallBegin { .. })).collect();
         assert_eq!(stalls.len(), 1);
+    }
+
+    fn full_lifecycle() -> Trace {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(1),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Accept { at: Steps(2), msg: MsgId(0) });
+        t.record(Event::Deliver {
+            at: Steps(6),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Acquire {
+            at: Steps(8),
+            proc: ProcId(1),
+            msg: MsgId(0),
+        });
+        t
+    }
+
+    #[test]
+    fn wellformed_accepts_clean_lifecycle_and_stalls() {
+        let mut t = full_lifecycle();
+        t.record(Event::StallBegin { at: Steps(3), proc: ProcId(0) });
+        t.record(Event::StallEnd { at: Steps(5), proc: ProcId(0) });
+        t.record(Event::StallBegin { at: Steps(7), proc: ProcId(0) });
+        t.record(Event::StallEnd { at: Steps(7), proc: ProcId(0) });
+        assert_eq!(validate_wellformed(&t), Vec::<String>::new());
+        assert_wellformed(&t);
+    }
+
+    #[test]
+    fn wellformed_allows_truncated_lifecycle() {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(1),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Accept { at: Steps(1), msg: MsgId(0) });
+        assert!(validate_wellformed(&t).is_empty());
+    }
+
+    #[test]
+    fn wellformed_rejects_out_of_order_stage() {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(1),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Deliver {
+            at: Steps(3),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        let errs = validate_wellformed(&t);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("out of order"), "{errs:?}");
+    }
+
+    #[test]
+    fn wellformed_rejects_time_regression() {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(5),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Accept { at: Steps(4), msg: MsgId(0) });
+        let errs = validate_wellformed(&t);
+        assert!(errs[0].contains("precedes"), "{errs:?}");
+    }
+
+    #[test]
+    fn wellformed_rejects_wrong_destination() {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(1),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Accept { at: Steps(1), msg: MsgId(0) });
+        t.record(Event::Deliver {
+            at: Steps(4),
+            msg: MsgId(0),
+            dst: ProcId(2),
+        });
+        let errs = validate_wellformed(&t);
+        assert!(errs.iter().any(|e| e.contains("submitted for")), "{errs:?}");
+    }
+
+    #[test]
+    fn wellformed_rejects_orphan_and_unclosed_stalls() {
+        let mut t = Trace::enabled();
+        t.record(Event::StallEnd { at: Steps(2), proc: ProcId(0) });
+        t.record(Event::StallBegin { at: Steps(3), proc: ProcId(1) });
+        let errs = validate_wellformed(&t);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("without StallBegin"));
+        assert!(errs[1].contains("never closed"));
+    }
+
+    #[test]
+    fn wellformed_rejects_double_stall_begin() {
+        let mut t = Trace::enabled();
+        t.record(Event::StallBegin { at: Steps(1), proc: ProcId(0) });
+        t.record(Event::StallBegin { at: Steps(2), proc: ProcId(0) });
+        t.record(Event::StallEnd { at: Steps(3), proc: ProcId(0) });
+        let errs = validate_wellformed(&t);
+        assert!(errs.iter().any(|e| e.contains("already stalled")), "{errs:?}");
     }
 }

@@ -1,0 +1,169 @@
+//! Cost attribution: mapping a measured run onto the paper's cost terms.
+//!
+//! Theorem 2 decomposes a BSP-on-LogP superstep as
+//! `T = w + T_synch + T_rout(h)` against the native `w + g·h + ℓ`; Theorem 1
+//! decomposes LogP-on-BSP slowdown into `1 + g/G + ℓ/L` terms. A
+//! [`CostReport`] is the measured counterpart: the engines account every
+//! simulated step to **work** (`w`), **comm** (the `G·h`/`g·h` bandwidth
+//! term), **sync** (the `L·S(L,G,p,h)`/`ℓ` synchronization term), **stall**
+//! (Stalling Rule windows), or **other** (explicitly attributed idle), and
+//! the difference between the run's makespan and the sum of the parts is the
+//! *residual* — near zero when the accounting explains the run.
+
+use crate::span::{Span, SpanKind};
+use bvl_model::Steps;
+use core::fmt;
+
+/// A run's measured time, decomposed onto paper-level cost terms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// What was measured (e.g. `"thm2 p=16 h=8 det"`).
+    pub label: String,
+    /// The run's end-to-end makespan.
+    pub makespan: Steps,
+    /// Local computation — the `w` term.
+    pub work: Steps,
+    /// Bandwidth — the `G·h` (LogP) or `g·h` (BSP) term.
+    pub comm: Steps,
+    /// Synchronization — the `L·S(L,G,p,h)` (Theorem 2) or `ℓ` (BSP) term.
+    pub sync: Steps,
+    /// Time spent in Stalling Rule windows.
+    pub stall: Steps,
+    /// Explicitly attributed remainder (idle tails, padding rounds).
+    pub other: Steps,
+}
+
+impl CostReport {
+    /// Sum of all attributed components.
+    pub fn attributed(&self) -> Steps {
+        self.work + self.comm + self.sync + self.stall + self.other
+    }
+
+    /// `makespan - attributed`, signed: positive means unexplained time,
+    /// negative means double counting.
+    pub fn residual(&self) -> i64 {
+        let m = self.makespan.get();
+        let a = self.attributed().get();
+        if m >= a {
+            i64::try_from(m - a).unwrap_or(i64::MAX)
+        } else {
+            -i64::try_from(a - m).unwrap_or(i64::MAX)
+        }
+    }
+
+    /// `|residual| / makespan`, or 0.0 for an empty run.
+    pub fn residual_frac(&self) -> f64 {
+        if self.makespan == Steps::ZERO {
+            0.0
+        } else {
+            self.residual().unsigned_abs() as f64 / self.makespan.get() as f64
+        }
+    }
+
+    /// `(name, steps, fraction-of-makespan)` rows for the non-zero
+    /// components, in fixed order.
+    pub fn components(&self) -> Vec<(&'static str, Steps, f64)> {
+        let denom = self.makespan.get().max(1) as f64;
+        [
+            ("work", self.work),
+            ("comm", self.comm),
+            ("sync", self.sync),
+            ("stall", self.stall),
+            ("other", self.other),
+        ]
+        .into_iter()
+        .filter(|&(_, v)| v > Steps::ZERO)
+        .map(|(n, v)| (n, v, v.get() as f64 / denom))
+        .collect()
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cost-attribution [{}]: makespan {}",
+            self.label, self.makespan
+        )?;
+        for (name, v, frac) in self.components() {
+            writeln!(f, "  {name:<6} {v:>12}  ({:5.1}%)", frac * 100.0)?;
+        }
+        write!(
+            f,
+            "  residual {:+} ({:.3}% of makespan)",
+            self.residual(),
+            self.residual_frac() * 100.0
+        )
+    }
+}
+
+/// Total duration per span kind, in [`SpanKind::ALL`] order, skipping kinds
+/// with no spans. Useful for summaries; note that kinds overlap by design
+/// (`Superstep` brackets everything, `Routing` brackets the sort/cycle
+/// spans), so these totals are *per-kind*, not a partition of the run.
+pub fn span_totals(spans: &[Span]) -> Vec<(SpanKind, Steps)> {
+    SpanKind::ALL
+        .into_iter()
+        .filter_map(|k| {
+            let total: Steps = spans
+                .iter()
+                .filter(|s| s.kind == k)
+                .map(|s| s.duration())
+                .sum();
+            (total > Steps::ZERO || spans.iter().any(|s| s.kind == k)).then_some((k, total))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CostReport {
+        CostReport {
+            label: "test".into(),
+            makespan: Steps(100),
+            work: Steps(40),
+            comm: Steps(30),
+            sync: Steps(20),
+            stall: Steps(5),
+            other: Steps(0),
+        }
+    }
+
+    #[test]
+    fn residual_is_signed() {
+        let r = report();
+        assert_eq!(r.attributed(), Steps(95));
+        assert_eq!(r.residual(), 5);
+        assert!((r.residual_frac() - 0.05).abs() < 1e-12);
+        let mut over = report();
+        over.other = Steps(10);
+        assert_eq!(over.residual(), -5);
+    }
+
+    #[test]
+    fn components_skip_zero_terms() {
+        let r = report();
+        let names: Vec<_> = r.components().iter().map(|c| c.0).collect();
+        assert_eq!(names, vec!["work", "comm", "sync", "stall"]);
+    }
+
+    #[test]
+    fn display_mentions_residual() {
+        let text = report().to_string();
+        assert!(text.contains("residual +5"));
+        assert!(text.contains("work"));
+    }
+
+    #[test]
+    fn span_totals_sum_durations() {
+        let spans = vec![
+            Span::new(SpanKind::CbCombine, Steps(0), Steps(4)),
+            Span::new(SpanKind::CbCombine, Steps(10), Steps(12)),
+            Span::new(SpanKind::Stall, Steps(2), Steps(2)),
+        ];
+        let totals = span_totals(&spans);
+        assert_eq!(totals, vec![(SpanKind::CbCombine, Steps(6)), (SpanKind::Stall, Steps::ZERO)]);
+    }
+}

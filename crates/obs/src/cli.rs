@@ -1,0 +1,56 @@
+//! The shared `--trace-out <path>` flag.
+//!
+//! Every `exp_*` binary accepts `--trace-out <path>` (or
+//! `--trace-out=<path>`) and, when present, writes the flagged cell's trace
+//! there via [`crate::export::write_trace_file`]. Parsing lives here so the
+//! binaries stay one-liner thin and agree on the syntax.
+
+use std::path::PathBuf;
+
+/// Extract `--trace-out <path>` / `--trace-out=<path>` from an argument
+/// stream. Returns `None` when the flag is absent; a flag with no value is
+/// treated as absent rather than an error (the binaries have no other
+/// flags, so there is nothing to confuse it with).
+pub fn trace_out_from<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace-out" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(v) = arg.strip_prefix("--trace-out=") {
+            if !v.is_empty() {
+                return Some(PathBuf::from(v));
+            }
+        }
+    }
+    None
+}
+
+/// [`trace_out_from`] applied to this process's arguments.
+pub fn trace_out() -> Option<PathBuf> {
+    trace_out_from(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Option<PathBuf> {
+        trace_out_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_both_spellings() {
+        assert_eq!(parse(&["--trace-out", "t.json"]), Some(PathBuf::from("t.json")));
+        assert_eq!(parse(&["--trace-out=t.jsonl"]), Some(PathBuf::from("t.jsonl")));
+        assert_eq!(parse(&["x", "--trace-out", "a", "b"]), Some(PathBuf::from("a")));
+    }
+
+    #[test]
+    fn absent_or_valueless_is_none() {
+        assert_eq!(parse(&[]), None);
+        assert_eq!(parse(&["--other"]), None);
+        assert_eq!(parse(&["--trace-out"]), None);
+        assert_eq!(parse(&["--trace-out="]), None);
+    }
+}

@@ -1,0 +1,413 @@
+//! Trace export: Chrome/Perfetto `trace_event` JSON and a compact JSONL.
+//!
+//! Two formats, chosen by file extension in [`write_trace_file`]:
+//!
+//! * `.jsonl` — one flat JSON object per line, either
+//!   `{"type":"span","kind":…,"start":…,"end":…}` or
+//!   `{"type":"event","ev":…,"at":…}`. This is the machine-readable format:
+//!   [`parse_jsonl`] reads it back without any external JSON dependency, and
+//!   the `trace_check` binary validates it against the model's trace
+//!   well-formedness rules.
+//! * anything else (conventionally `.json`) — the Chrome `trace_event`
+//!   array format that Perfetto (<https://ui.perfetto.dev>) and
+//!   `chrome://tracing` open directly. One simulated step is exported as
+//!   one microsecond; spans become `ph:"X"` complete events on track
+//!   `tid = proc + 1` (track 0 is the machine-wide track), machine events
+//!   become `ph:"i"` instants.
+//!
+//! All JSON is hand-written: the build environment has no serde, and the
+//! emitted vocabulary is closed (fixed labels, unsigned integers), so
+//! formatting and parsing stay trivial and dependency-free.
+
+use crate::span::{Span, SpanKind};
+use bvl_model::{Event, MsgId, ProcId, Steps, Trace};
+use std::io;
+use std::path::Path;
+
+/// Track id for a span/event: processor `p` maps to `p + 1`, machine-wide
+/// entries to 0.
+fn tid_of(proc: Option<ProcId>) -> u64 {
+    proc.map_or(0, |p| u64::from(p.0) + 1)
+}
+
+fn event_fields(ev: &Event) -> (&'static str, Vec<(&'static str, u64)>) {
+    match *ev {
+        Event::Submit { at, proc, msg, dst } => (
+            "submit",
+            vec![("at", at.get()), ("proc", proc.0.into()), ("msg", msg.0), ("dst", dst.0.into())],
+        ),
+        Event::Accept { at, msg } => ("accept", vec![("at", at.get()), ("msg", msg.0)]),
+        Event::Deliver { at, msg, dst } => (
+            "deliver",
+            vec![("at", at.get()), ("msg", msg.0), ("dst", dst.0.into())],
+        ),
+        Event::Acquire { at, proc, msg } => (
+            "acquire",
+            vec![("at", at.get()), ("proc", proc.0.into()), ("msg", msg.0)],
+        ),
+        Event::StallBegin { at, proc } => {
+            ("stall_begin", vec![("at", at.get()), ("proc", proc.0.into())])
+        }
+        Event::StallEnd { at, proc } => {
+            ("stall_end", vec![("at", at.get()), ("proc", proc.0.into())])
+        }
+        Event::Superstep { index, w, h, cost } => (
+            "superstep",
+            vec![("index", index), ("w", w), ("h", h), ("cost", cost.get())],
+        ),
+    }
+}
+
+/// Render a trace plus spans in the compact JSONL format.
+pub fn jsonl(trace: &Trace, spans: &[Span]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"type\":\"span\",\"kind\":\"{}\",\"start\":{},\"end\":{}",
+            s.kind.as_str(),
+            s.start,
+            s.end
+        ));
+        if let Some(p) = s.proc {
+            out.push_str(&format!(",\"proc\":{p}"));
+        }
+        if let Some(i) = s.index {
+            out.push_str(&format!(",\"index\":{i}"));
+        }
+        out.push_str("}\n");
+    }
+    for ev in trace.events() {
+        let (name, fields) = event_fields(ev);
+        out.push_str(&format!("{{\"type\":\"event\",\"ev\":\"{name}\""));
+        for (k, v) in fields {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Render a trace plus spans as Chrome `trace_event` JSON.
+pub fn chrome_trace_json(trace: &Trace, spans: &[Span]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(spans.len() + trace.events().len() + 8);
+    // Name the tracks so Perfetto shows "machine" / "P0" / "P1" / ….
+    let mut max_tid = 0u64;
+    for s in spans {
+        max_tid = max_tid.max(tid_of(s.proc));
+    }
+    for ev in trace.events() {
+        let (_, fields) = event_fields(ev);
+        for (k, v) in fields {
+            if k == "proc" {
+                max_tid = max_tid.max(v + 1);
+            }
+        }
+    }
+    for tid in 0..=max_tid {
+        let label = if tid == 0 {
+            "machine".to_string()
+        } else {
+            format!("P{}", tid - 1)
+        };
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    for s in spans {
+        let mut args = String::new();
+        if let Some(i) = s.index {
+            args = format!(",\"args\":{{\"index\":{i}}}");
+        }
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{}{args}}}",
+            s.kind.as_str(),
+            s.start,
+            s.duration(),
+            tid_of(s.proc)
+        ));
+    }
+    for ev in trace.events() {
+        let (name, fields) = event_fields(ev);
+        let at = ev.at().get();
+        let tid = fields
+            .iter()
+            .find(|&&(k, _)| k == "proc" || k == "dst")
+            .map_or(0, |&(_, v)| v + 1);
+        let args: Vec<String> = fields
+            .iter()
+            .filter(|&&(k, _)| k != "at")
+            .map(|&(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        entries.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{at},\
+             \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{{}}}}}",
+            args.join(",")
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Write `trace` + `spans` to `path`: `.jsonl` selects the compact line
+/// format, anything else the Chrome `trace_event` JSON.
+pub fn write_trace_file(path: &Path, trace: &Trace, spans: &[Span]) -> io::Result<()> {
+    let text = if path.extension().is_some_and(|e| e == "jsonl") {
+        jsonl(trace, spans)
+    } else {
+        chrome_trace_json(trace, spans)
+    };
+    std::fs::write(path, text)
+}
+
+/// A scalar in the closed JSONL vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Scalar {
+    Str(String),
+    Num(u64),
+}
+
+/// Parse one flat JSONL object: `{"key":value,…}` with unescaped string or
+/// unsigned-integer values — exactly the subset [`jsonl`] emits.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not an object: {line}"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let key_body = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected key at: {rest}"))?;
+        let kend = key_body.find('"').ok_or("unterminated key")?;
+        let key = &key_body[..kend];
+        rest = key_body[kend + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key}"))?
+            .trim_start();
+        let value;
+        if let Some(body) = rest.strip_prefix('"') {
+            let vend = body.find('"').ok_or("unterminated string value")?;
+            value = Scalar::Str(body[..vend].to_string());
+            rest = &body[vend + 1..];
+        } else {
+            let vend = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if vend == 0 {
+                return Err(format!("expected value at: {rest}"));
+            }
+            value = Scalar::Num(
+                rest[..vend]
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad number: {e}"))?,
+            );
+            rest = &rest[vend..];
+        }
+        fields.push((key.to_string(), value));
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' at: {rest}"));
+        }
+    }
+    Ok(fields)
+}
+
+fn get_num(fields: &[(String, Scalar)], key: &str) -> Result<u64, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Scalar::Num(n) => Some(*n),
+            Scalar::Str(_) => None,
+        })
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn get_opt_num(fields: &[(String, Scalar)], key: &str) -> Option<u64> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        Scalar::Num(n) => Some(*n),
+        Scalar::Str(_) => None,
+    })
+}
+
+fn get_str<'a>(fields: &'a [(String, Scalar)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Scalar::Str(s) => Some(s.as_str()),
+            Scalar::Num(_) => None,
+        })
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn proc_of(n: u64) -> Result<ProcId, String> {
+    u32::try_from(n).map(ProcId).map_err(|_| format!("proc id {n} exceeds u32"))
+}
+
+/// Parse text produced by [`jsonl`] back into events and spans.
+///
+/// Returns the machine events (in file order) and the spans. Errors carry
+/// the 1-based line number of the offending line.
+pub fn parse_jsonl(text: &str) -> Result<(Vec<Event>, Vec<Span>), String> {
+    let mut events = Vec::new();
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let res = (|| -> Result<(), String> {
+            let fields = parse_flat_object(line)?;
+            match get_str(&fields, "type")? {
+                "span" => {
+                    let kind = get_str(&fields, "kind")?;
+                    let kind = SpanKind::from_str_label(kind)
+                        .ok_or_else(|| format!("unknown span kind '{kind}'"))?;
+                    spans.push(Span {
+                        kind,
+                        start: Steps(get_num(&fields, "start")?),
+                        end: Steps(get_num(&fields, "end")?),
+                        proc: get_opt_num(&fields, "proc").map(proc_of).transpose()?,
+                        index: get_opt_num(&fields, "index"),
+                    });
+                }
+                "event" => {
+                    let at = || get_num(&fields, "at").map(Steps);
+                    let msg = || get_num(&fields, "msg").map(MsgId);
+                    let proc = || get_num(&fields, "proc").and_then(proc_of);
+                    let dst = || get_num(&fields, "dst").and_then(proc_of);
+                    let ev = match get_str(&fields, "ev")? {
+                        "submit" => Event::Submit {
+                            at: at()?,
+                            proc: proc()?,
+                            msg: msg()?,
+                            dst: dst()?,
+                        },
+                        "accept" => Event::Accept { at: at()?, msg: msg()? },
+                        "deliver" => Event::Deliver {
+                            at: at()?,
+                            msg: msg()?,
+                            dst: dst()?,
+                        },
+                        "acquire" => Event::Acquire {
+                            at: at()?,
+                            proc: proc()?,
+                            msg: msg()?,
+                        },
+                        "stall_begin" => Event::StallBegin { at: at()?, proc: proc()? },
+                        "stall_end" => Event::StallEnd { at: at()?, proc: proc()? },
+                        "superstep" => Event::Superstep {
+                            index: get_num(&fields, "index")?,
+                            w: get_num(&fields, "w")?,
+                            h: get_num(&fields, "h")?,
+                            cost: Steps(get_num(&fields, "cost")?),
+                        },
+                        other => return Err(format!("unknown event kind '{other}'")),
+                    };
+                    events.push(ev);
+                }
+                other => return Err(format!("unknown record type '{other}'")),
+            }
+            Ok(())
+        })();
+        res.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    Ok((events, spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Trace, Vec<Span>) {
+        let mut t = Trace::enabled();
+        t.record(Event::Submit {
+            at: Steps(2),
+            proc: ProcId(0),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Accept { at: Steps(2), msg: MsgId(0) });
+        t.record(Event::Deliver {
+            at: Steps(7),
+            msg: MsgId(0),
+            dst: ProcId(1),
+        });
+        t.record(Event::Acquire {
+            at: Steps(9),
+            proc: ProcId(1),
+            msg: MsgId(0),
+        });
+        t.record(Event::StallBegin { at: Steps(4), proc: ProcId(2) });
+        t.record(Event::StallEnd { at: Steps(6), proc: ProcId(2) });
+        t.record(Event::Superstep {
+            index: 0,
+            w: 4,
+            h: 1,
+            cost: Steps(12),
+        });
+        let spans = vec![
+            Span::new(SpanKind::CbCombine, Steps(0), Steps(5)).at_index(0),
+            Span::new(SpanKind::Stall, Steps(4), Steps(6)).on(ProcId(2)),
+        ];
+        (t, spans)
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let (trace, spans) = sample();
+        let text = jsonl(&trace, &spans);
+        let (events, parsed_spans) = parse_jsonl(&text).expect("parse");
+        assert_eq!(events, trace.events());
+        assert_eq!(parsed_spans, spans);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_jsonl("{\"type\":\"span\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_jsonl("{\"type\":\"event\",\"ev\":\"submit\",\"at\":1}\n").unwrap_err();
+        assert!(err.contains("missing numeric field"), "{err}");
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_named() {
+        let (trace, spans) = sample();
+        let text = chrome_trace_json(&trace, &spans);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"name\":\"cb_combine\""));
+        assert!(text.contains("\"name\":\"P2\""));
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn write_selects_format_by_extension() {
+        let (trace, spans) = sample();
+        let dir = std::env::temp_dir();
+        let jl = dir.join("bvl_obs_test_trace.jsonl");
+        let cj = dir.join("bvl_obs_test_trace.json");
+        write_trace_file(&jl, &trace, &spans).unwrap();
+        write_trace_file(&cj, &trace, &spans).unwrap();
+        let jl_text = std::fs::read_to_string(&jl).unwrap();
+        let cj_text = std::fs::read_to_string(&cj).unwrap();
+        assert!(jl_text.starts_with("{\"type\":\"span\""));
+        assert!(cj_text.starts_with("{\"traceEvents\""));
+        let _ = std::fs::remove_file(jl);
+        let _ = std::fs::remove_file(cj);
+    }
+}

@@ -1,0 +1,415 @@
+//! The span/metrics registry.
+//!
+//! A [`Registry`] is a cheap cloneable handle that engines thread through
+//! their hot paths. Disabled (the default) it is a `None` — every
+//! instrumentation site compiles to a single branch on that option and
+//! touches no memory. Enabled, it holds:
+//!
+//! * **per-processor counters** — a flat `p × N` array of `AtomicU64`s,
+//!   lock-free, indexed by [`Counter`];
+//! * **fixed-bucket histograms** — power-of-two latency buckets plus count
+//!   and sum, also plain atomics, indexed by [`Hist`];
+//! * **a span log** — an append-only `Vec<Span>` behind a mutex. Spans are
+//!   emitted by the single driver thread of a run, so the lock is
+//!   uncontended; counters and histograms stay lock-free so parallel sweep
+//!   cells can share a registry if they choose to.
+//!
+//! All writes saturate rather than panic: observability must never abort a
+//! run it is observing.
+
+use crate::span::Span;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bvl_model::ProcId;
+
+/// Per-processor counter slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Messages submitted to the medium.
+    Submitted,
+    /// Messages delivered into an input buffer.
+    Delivered,
+    /// Messages acquired by the receiving processor.
+    Acquired,
+    /// Stall windows entered (LogP Stalling Rule).
+    StallEpisodes,
+    /// Total steps spent stalled.
+    StallSteps,
+    /// Local operations executed.
+    LocalOps,
+}
+
+impl Counter {
+    /// Every counter, for iteration in reports.
+    pub const ALL: [Counter; 6] = [
+        Counter::Submitted,
+        Counter::Delivered,
+        Counter::Acquired,
+        Counter::StallEpisodes,
+        Counter::StallSteps,
+        Counter::LocalOps,
+    ];
+
+    /// Stable snake_case label.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Counter::Submitted => "submitted",
+            Counter::Delivered => "delivered",
+            Counter::Acquired => "acquired",
+            Counter::StallEpisodes => "stall_episodes",
+            Counter::StallSteps => "stall_steps",
+            Counter::LocalOps => "local_ops",
+        }
+    }
+
+    const COUNT: usize = Counter::ALL.len();
+
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            Counter::Submitted => 0,
+            Counter::Delivered => 1,
+            Counter::Acquired => 2,
+            Counter::StallEpisodes => 3,
+            Counter::StallSteps => 4,
+            Counter::LocalOps => 5,
+        }
+    }
+}
+
+/// Histogram slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hist {
+    /// Submit-to-deliver latency of each message, in steps.
+    DeliveryLatency,
+    /// Length of each stall window, in steps.
+    StallDuration,
+    /// Per-processor barrier wait (`w_max - w_i`) per superstep.
+    BarrierWait,
+    /// Total cost of each superstep.
+    SuperstepCost,
+}
+
+impl Hist {
+    /// Every histogram, for iteration in reports.
+    pub const ALL: [Hist; 4] = [
+        Hist::DeliveryLatency,
+        Hist::StallDuration,
+        Hist::BarrierWait,
+        Hist::SuperstepCost,
+    ];
+
+    /// Stable snake_case label.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Hist::DeliveryLatency => "delivery_latency",
+            Hist::StallDuration => "stall_duration",
+            Hist::BarrierWait => "barrier_wait",
+            Hist::SuperstepCost => "superstep_cost",
+        }
+    }
+
+    const COUNT: usize = Hist::ALL.len();
+
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            Hist::DeliveryLatency => 0,
+            Hist::StallDuration => 1,
+            Hist::BarrierWait => 2,
+            Hist::SuperstepCost => 3,
+        }
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` holds values whose bit length
+/// is `i` (bucket 0 holds the value 0), so bucket upper bounds are
+/// `0, 1, 3, 7, …, u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `i`.
+#[inline]
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+struct HistCells {
+    buckets: Vec<AtomicU64>, // HIST_BUCKETS entries
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCells {
+    fn new() -> HistCells {
+        HistCells {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Read-only snapshot of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` per non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` when the histogram is empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b)
+    }
+}
+
+struct Inner {
+    procs: usize,
+    counters: Vec<AtomicU64>, // procs * Counter::COUNT, proc-major
+    hists: Vec<HistCells>,    // Hist::COUNT entries
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Inner {
+    fn new(procs: usize) -> Inner {
+        let procs = procs.max(1);
+        Inner {
+            procs,
+            counters: (0..procs * Counter::COUNT).map(|_| AtomicU64::new(0)).collect(),
+            hists: (0..Hist::COUNT).map(|_| HistCells::new()).collect(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Cheap cloneable handle to the metrics store; see the module docs.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Registry(disabled)"),
+            Some(i) => write!(f, "Registry(procs={}, spans={})", i.procs, self.spans().len()),
+        }
+    }
+}
+
+impl Registry {
+    /// The no-op registry (the default). Every recording call is a single
+    /// branch and returns immediately.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// A recording registry sized for a `procs`-processor machine.
+    pub fn enabled(procs: usize) -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::new(procs))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of processor slots (0 when disabled).
+    pub fn procs(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.procs)
+    }
+
+    /// Add `n` to a per-processor counter. Out-of-range processors are
+    /// folded onto the last slot rather than panicking.
+    #[inline]
+    pub fn add(&self, proc: ProcId, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            let p = (proc.index()).min(inner.procs - 1);
+            inner.counters[p * Counter::COUNT + c.slot()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        if let Some(inner) = &self.inner {
+            let cells = &inner.hists[h.slot()];
+            cells.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            // Saturating accumulate: a wrapped sum would silently corrupt
+            // attribution, a panic would abort the observed run.
+            let mut cur = cells.sum.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_add(value);
+                match cells
+                    .sum
+                    .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Append a span to the log.
+    #[inline]
+    pub fn span(&self, span: Span) {
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().expect("span log poisoned").push(span);
+        }
+    }
+
+    /// Total of a counter across all processors.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            (0..inner.procs)
+                .map(|p| inner.counters[p * Counter::COUNT + c.slot()].load(Ordering::Relaxed))
+                .fold(0u64, u64::saturating_add)
+        })
+    }
+
+    /// A counter's value for one processor.
+    pub fn counter_for(&self, proc: ProcId, c: Counter) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            let p = proc.index().min(inner.procs - 1);
+            inner.counters[p * Counter::COUNT + c.slot()].load(Ordering::Relaxed)
+        })
+    }
+
+    /// Snapshot of one histogram (empty when disabled).
+    pub fn histogram(&self, h: Hist) -> HistSnapshot {
+        let Some(inner) = &self.inner else {
+            return HistSnapshot::default();
+        };
+        let cells = &inner.hists[h.slot()];
+        let buckets = cells
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_bound(i), n))
+            })
+            .collect();
+        HistSnapshot {
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Copy of the span log, in emission order (empty when disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.spans.lock().expect("span log poisoned").clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+    use bvl_model::Steps;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = Registry::disabled();
+        r.add(ProcId(0), Counter::Submitted, 5);
+        r.observe(Hist::DeliveryLatency, 9);
+        r.span(Span::new(SpanKind::Stall, Steps(0), Steps(1)));
+        assert!(!r.is_enabled());
+        assert_eq!(r.counter(Counter::Submitted), 0);
+        assert_eq!(r.histogram(Hist::DeliveryLatency).count, 0);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_per_proc() {
+        let r = Registry::enabled(4);
+        r.add(ProcId(1), Counter::Delivered, 3);
+        r.add(ProcId(1), Counter::Delivered, 2);
+        r.add(ProcId(3), Counter::Delivered, 1);
+        // Out-of-range folds onto the last slot instead of panicking.
+        r.add(ProcId(99), Counter::Delivered, 1);
+        assert_eq!(r.counter_for(ProcId(1), Counter::Delivered), 5);
+        assert_eq!(r.counter_for(ProcId(3), Counter::Delivered), 2);
+        assert_eq!(r.counter(Counter::Delivered), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let r = Registry::enabled(1);
+        for v in [0u64, 1, 1, 2, 7, 8] {
+            r.observe(Hist::StallDuration, v);
+        }
+        let h = r.histogram(Hist::StallDuration);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 19);
+        // Buckets: 0 -> bound 0 (1), 1 -> bound 1 (2), 2 -> bound 3 (1),
+        // 7 -> bound 7 (1), 8 -> bound 15 (1).
+        assert_eq!(h.buckets, vec![(0, 1), (1, 2), (3, 1), (7, 1), (15, 1)]);
+        assert_eq!(h.quantile_bound(0.5), Some(1));
+        assert_eq!(h.quantile_bound(1.0), Some(15));
+        assert!((h.mean() - 19.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_kept_in_order_and_shared_by_clones() {
+        let r = Registry::enabled(2);
+        let r2 = r.clone();
+        r.span(Span::new(SpanKind::CbCombine, Steps(0), Steps(4)));
+        r2.span(Span::new(SpanKind::CbBroadcast, Steps(4), Steps(8)));
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::CbCombine);
+        assert_eq!(spans[1].kind, SpanKind::CbBroadcast);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+}

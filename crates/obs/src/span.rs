@@ -1,0 +1,158 @@
+//! Structured spans: named, timestamped phases of a simulated run.
+//!
+//! A [`Span`] is a half-open interval `[start, end)` of model time tagged
+//! with a [`SpanKind`] drawn from a closed taxonomy that mirrors the paper's
+//! cost decomposition: local work (`w`), CB combine/broadcast (the two
+//! halves of `T_synch`), sort rounds and routing cycles (`T_rout`), barrier
+//! waits, and stall windows. Keeping the taxonomy closed — an enum, not free
+//! strings — lets the cost-attribution report fold spans onto Theorem 1/2
+//! terms without string matching, and keeps recording allocation-free.
+
+use bvl_model::{ProcId, Steps};
+
+/// The closed span taxonomy.
+///
+/// Each variant maps onto a term of the paper's cost accounting; the
+/// mapping used by cost attribution is documented per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Pure local computation (the `w` term of a superstep).
+    LocalWork,
+    /// Combine half of a CB barrier: leaf values travel up the tree
+    /// (contributes to `T_synch`, Proposition 1).
+    CbCombine,
+    /// Broadcast half of a CB barrier: the combined value travels back
+    /// down (the other half of `T_synch`).
+    CbBroadcast,
+    /// One round of the AKS/odd-even sorting network used by the
+    /// deterministic router (part of `T_rout`, Theorem 2).
+    SortRound,
+    /// One of Columnsort's eight passes (four local sorts interleaved with
+    /// four fixed permutations; part of `T_rout` for large `h`).
+    ColumnsortRound,
+    /// The pipelined `h` delivery cycles of the deterministic router
+    /// (the `Gh`-dominated tail of `T_rout`).
+    RouteCycles,
+    /// One batch of the randomized router (Theorem 3 machinery).
+    RouteBatch,
+    /// An entire routing phase as seen by the superstep driver
+    /// (`T_rout(h)` in one piece, when finer spans are unavailable).
+    Routing,
+    /// Time a BSP processor idles at the barrier waiting for the slowest
+    /// peer (`w_max - w_i`).
+    BarrierWait,
+    /// A LogP stall window (Stalling Rule engaged).
+    Stall,
+    /// A whole superstep, bracketing all of the above.
+    Superstep,
+}
+
+impl SpanKind {
+    /// Every variant, for iteration in reports and exporters.
+    pub const ALL: [SpanKind; 11] = [
+        SpanKind::LocalWork,
+        SpanKind::CbCombine,
+        SpanKind::CbBroadcast,
+        SpanKind::SortRound,
+        SpanKind::ColumnsortRound,
+        SpanKind::RouteCycles,
+        SpanKind::RouteBatch,
+        SpanKind::Routing,
+        SpanKind::BarrierWait,
+        SpanKind::Stall,
+        SpanKind::Superstep,
+    ];
+
+    /// Stable snake_case label used in both export formats.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::LocalWork => "local_work",
+            SpanKind::CbCombine => "cb_combine",
+            SpanKind::CbBroadcast => "cb_broadcast",
+            SpanKind::SortRound => "sort_round",
+            SpanKind::ColumnsortRound => "columnsort_round",
+            SpanKind::RouteCycles => "route_cycles",
+            SpanKind::RouteBatch => "route_batch",
+            SpanKind::Routing => "routing",
+            SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Stall => "stall",
+            SpanKind::Superstep => "superstep",
+        }
+    }
+
+    /// Parse a label produced by [`SpanKind::as_str`].
+    pub fn from_str_label(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+/// One recorded phase: `[start, end)` in model steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase of the cost decomposition this interval belongs to.
+    pub kind: SpanKind,
+    /// Start of the interval (inclusive), on the run's global clock.
+    pub start: Steps,
+    /// End of the interval (exclusive).
+    pub end: Steps,
+    /// The processor the phase ran on, if it is per-processor
+    /// (`None` for machine-wide phases such as a whole superstep).
+    pub proc: Option<ProcId>,
+    /// Phase ordinal — superstep index, sort-round number, batch number —
+    /// when the phase is one of a sequence.
+    pub index: Option<u64>,
+}
+
+impl Span {
+    /// A machine-wide span with no processor or ordinal.
+    pub fn new(kind: SpanKind, start: Steps, end: Steps) -> Span {
+        Span {
+            kind,
+            start,
+            end,
+            proc: None,
+            index: None,
+        }
+    }
+
+    /// Attach a processor id.
+    pub fn on(mut self, proc: ProcId) -> Span {
+        self.proc = Some(proc);
+        self
+    }
+
+    /// Attach a sequence ordinal.
+    pub fn at_index(mut self, index: u64) -> Span {
+        self.index = Some(index);
+        self
+    }
+
+    /// The span's length in steps (`end - start`, clamped at zero).
+    pub fn duration(&self) -> Steps {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for k in SpanKind::ALL {
+            assert_eq!(SpanKind::from_str_label(k.as_str()), Some(k));
+        }
+        assert_eq!(SpanKind::from_str_label("nonsense"), None);
+    }
+
+    #[test]
+    fn builder_and_duration() {
+        let s = Span::new(SpanKind::CbCombine, Steps(3), Steps(9))
+            .on(ProcId(2))
+            .at_index(4);
+        assert_eq!(s.duration(), Steps(6));
+        assert_eq!(s.proc, Some(ProcId(2)));
+        assert_eq!(s.index, Some(4));
+        assert_eq!(Span::new(SpanKind::Stall, Steps(5), Steps(5)).duration(), Steps::ZERO);
+    }
+}

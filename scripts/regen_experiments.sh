@@ -3,13 +3,28 @@
 # binaries. Run from the repository root.
 set -euo pipefail
 out=$(mktemp)
+one=$(mktemp)
 for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation; do
   echo "### Output: exp_$b" >> "$out"
   echo '```' >> "$out"
-  cargo run -q --release -p bvl-bench --bin "exp_$b" >> "$out"
+  # Fail loudly: a non-zero exit from any experiment aborts the whole
+  # regeneration (set -e), with the culprit named.
+  if ! cargo run -q --release -p bvl-bench --bin "exp_$b" > "$one"; then
+    echo "FATAL: exp_$b exited non-zero" >&2
+    exit 1
+  fi
+  cat "$one" >> "$out"
+  # Every experiment ends with one machine-greppable summary line
+  # (makespan, stall episodes, max buffer, attribution residual, ...);
+  # surface it on the console and fail if it is missing.
+  if ! grep '^SUMMARY' "$one"; then
+    echo "FATAL: exp_$b printed no SUMMARY line" >&2
+    exit 1
+  fi
   echo '```' >> "$out"
   echo >> "$out"
 done
+rm -f "$one"
 # Replace everything after the appendix marker.
 marker='(`scripts/regen_experiments.sh` regenerates this file).'
 python3 - "$out" <<'PY'
@@ -31,3 +46,9 @@ CRITERION_MINI_JSON="$mini" cargo bench -q -p bvl-bench --bench event_queue >/de
 CRITERION_JSONL="$mini" cargo run -q --release -p bvl-bench --bin bench_engine >/dev/null
 rm -f "$mini"
 echo "BENCH_engine.json regenerated."
+
+# Observability overhead gate: baseline vs disabled-registry vs enabled,
+# written to BENCH_obs.json; exits non-zero if the disabled column costs
+# more than 2% over baseline.
+cargo run -q --release -p bvl-bench --bin bench_obs >/dev/null
+echo "BENCH_obs.json regenerated."

@@ -24,3 +24,4 @@ pub use bvl_core as core;
 pub use bvl_logp as logp;
 pub use bvl_model as model;
 pub use bvl_net as net;
+pub use bvl_obs as obs;

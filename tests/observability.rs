@@ -1,0 +1,207 @@
+//! Observability integration tests: cost attribution against closed-form
+//! Theorem 1/2 accounting, trace-export round-trips, and disabled-registry
+//! inertness.
+//!
+//! The attribution contract (DESIGN.md §8): every simulated step of a run
+//! lands in exactly one bucket — `work`, `comm`, `sync`, `stall`, `other` —
+//! so the residual against the measured makespan is zero, and the `comm`
+//! bucket is exactly the theorem's `G·h` (resp. `g·h`) term whenever the
+//! measured routing time covers it.
+
+use bvl_bsp::{BspMachine, BspParams, FnProcess, Status};
+use bvl_core::{
+    simulate_bsp_on_logp, simulate_bsp_on_logp_obs, simulate_logp_on_bsp_obs, RoutingStrategy,
+    SortScheme, Theorem1Config, Theorem2Config,
+};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{Payload, ProcId, Steps};
+use bvl_obs::export::{jsonl, parse_jsonl};
+use bvl_obs::{Counter, Registry};
+
+/// A hand-built workload with known accounting: in superstep 0 every
+/// processor charges `10` local operations and sends one word to each of its
+/// two right neighbours (each `send` charges one more op), so `w = 12` and
+/// the relation is an exact 2-relation; superstep 1 drains and halts.
+fn two_relation_procs(p: usize) -> Vec<FnProcess<i64>> {
+    (0..p)
+        .map(|_| {
+            FnProcess::new(0i64, move |acc, ctx| {
+                let p = ctx.p();
+                while let Some(m) = ctx.recv() {
+                    *acc += m.payload.expect_word();
+                }
+                if ctx.superstep_index() == 0 {
+                    ctx.charge(10);
+                    let me = ctx.me().index();
+                    for k in 1..=2usize {
+                        ctx.send(ProcId::from((me + k) % p), Payload::word(k as u32, 1));
+                    }
+                    Status::Continue
+                } else {
+                    Status::Halt
+                }
+            })
+        })
+        .collect()
+}
+
+/// Satellite check: native BSP attribution of the hand-built superstep
+/// equals the closed-form `w + g·h + ℓ` split term by term.
+#[test]
+fn bsp_native_attribution_matches_closed_form() {
+    let params = BspParams::new(4, 3, 7).unwrap();
+    let mut machine = BspMachine::new(params, two_relation_procs(4));
+    let report = machine.run(10).unwrap();
+    assert_eq!(report.supersteps, 2, "active superstep + halt superstep");
+
+    let att = machine.ledger().attribution(&params, "hand-built 2-relation");
+    // Superstep 0: w = 10 + 2 sends = 12, h = 2. Superstep 1: w = 0, h = 0.
+    assert_eq!(att.work, Steps(12), "w term");
+    assert_eq!(att.comm, Steps(3 * 2), "g·h term");
+    assert_eq!(att.sync, Steps(7 * 2), "ℓ·S term");
+    assert_eq!(att.makespan, Steps(12 + 6 + 7 + 7));
+    assert_eq!(att.makespan, report.cost);
+    assert_eq!(att.residual(), 0);
+}
+
+/// Tentpole check: the Theorem 2 runner's measured phases map onto the
+/// theorem's terms with zero residual, and the `comm` bucket is exactly
+/// `G·h` for the known 2-relation (the routing phase covers it).
+#[test]
+fn theorem2_attribution_matches_closed_form_terms() {
+    let logp = LogpParams::new(8, 16, 1, 2).unwrap();
+    let registry = Registry::enabled(8);
+    let rep = simulate_bsp_on_logp_obs(
+        logp,
+        two_relation_procs(8),
+        Theorem2Config {
+            strategy: RoutingStrategy::Offline,
+            ..Theorem2Config::default()
+        },
+        &registry,
+    )
+    .unwrap();
+
+    let s0 = &rep.supersteps[0];
+    assert_eq!(s0.w, 12, "known local work");
+    assert_eq!(s0.h, 2, "known relation degree");
+    // Closed-form native cost of the superstep: w + G·h + L.
+    assert_eq!(s0.native, Steps(12 + 2 * 2 + 16));
+    let gh = Steps(logp.g * s0.h);
+    assert!(s0.t_rout >= gh, "offline routing covers the G·h term");
+
+    let att = rep.attribution(&logp, "hand-built 2-relation");
+    assert_eq!(att.residual(), 0, "attribution is exact: {att}");
+    assert!(att.residual_frac() < 0.01);
+    assert_eq!(att.makespan, rep.total);
+    // Both supersteps' w; only superstep 0 routes, contributing exactly G·h
+    // to comm (the surplus of t_rout lands in `other`).
+    assert_eq!(att.work, Steps(12));
+    assert_eq!(att.comm, gh);
+    let t_synch: Steps = rep.supersteps.iter().map(|s| s.t_synch).sum();
+    assert_eq!(att.sync, t_synch);
+    let t_rout: Steps = rep.supersteps.iter().map(|s| s.t_rout).sum();
+    assert_eq!(att.other, t_rout.saturating_sub(gh));
+}
+
+/// The Theorem 1 host-side attribution is exact BSP accounting: the sync
+/// bucket is `ℓ·S` on the nose and the residual is zero — the "< 1% on the
+/// exp_thm1 cells" acceptance is met with margin.
+#[test]
+fn theorem1_attribution_is_exact() {
+    let logp = LogpParams::new(8, 16, 1, 4).unwrap();
+    let bsp = BspParams::new(8, logp.g, logp.l).unwrap();
+    let scripts: Vec<Script> = (0..8)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..4 {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % 8) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect();
+    let registry = Registry::enabled(8);
+    let rep =
+        simulate_logp_on_bsp_obs(logp, bsp, scripts, Theorem1Config::default(), &registry).unwrap();
+
+    let att = rep.attribution(&bsp, "thm1 ring");
+    assert_eq!(att.residual(), 0, "attribution is exact: {att}");
+    assert!(att.residual_frac() < 0.01);
+    assert_eq!(att.sync, Steps(bsp.l * rep.bsp.supersteps), "ℓ·S term");
+    assert_eq!(att.makespan, rep.bsp.cost);
+    assert!(att.work > Steps::ZERO && att.comm > Steps::ZERO);
+}
+
+/// The deterministic exp_thm2 cell (sorting-based router) also attributes
+/// with zero residual — the acceptance gate across routing strategies.
+#[test]
+fn deterministic_cell_attribution_is_exact() {
+    let logp = LogpParams::new(16, 16, 1, 2).unwrap();
+    let registry = Registry::enabled(16);
+    let rep = simulate_bsp_on_logp_obs(
+        logp,
+        two_relation_procs(16),
+        Theorem2Config {
+            strategy: RoutingStrategy::Deterministic(SortScheme::Network),
+            ..Theorem2Config::default()
+        },
+        &registry,
+    )
+    .unwrap();
+    let att = rep.attribution(&logp, "thm2 deterministic cell");
+    assert_eq!(att.residual(), 0);
+    assert!(att.residual_frac() < 0.01);
+    assert!(!registry.spans().is_empty());
+}
+
+/// JSONL export round-trips: a traced stalling run serializes to the
+/// compact format and parses back to the same events and spans.
+#[test]
+fn jsonl_round_trip_preserves_events_and_spans() {
+    let params = LogpParams::new(4, 4, 1, 2).unwrap();
+    let mut scripts = vec![Script::new(vec![Op::Recv; 9])];
+    scripts.extend((1..4).map(|i| {
+        Script::new((0..3).map(move |q| Op::Send {
+            dst: ProcId(0),
+            payload: Payload::word(q as u32, i as i64),
+        }))
+    }));
+    let config = LogpConfig {
+        forbid_stalling: false,
+        trace: true,
+        ..LogpConfig::default()
+    };
+    let mut machine = LogpMachine::with_config(params, config, scripts);
+    let registry = Registry::enabled(4);
+    machine.set_registry(registry.clone());
+    machine.run().unwrap();
+
+    let spans = registry.spans();
+    let text = jsonl(machine.trace(), &spans);
+    let (events, parsed_spans) = parse_jsonl(&text).expect("round-trip parses");
+    assert_eq!(events.len(), machine.trace().events().len());
+    assert_eq!(parsed_spans, spans);
+}
+
+/// A disabled registry changes nothing: the obs entry point with
+/// `Registry::disabled()` produces the identical run, and the registry
+/// observes nothing.
+#[test]
+fn disabled_registry_is_inert() {
+    let logp = LogpParams::new(8, 16, 1, 2).unwrap();
+    let config = Theorem2Config {
+        strategy: RoutingStrategy::Offline,
+        ..Theorem2Config::default()
+    };
+    let plain = simulate_bsp_on_logp(logp, two_relation_procs(8), config).unwrap();
+    let disabled = Registry::disabled();
+    let obs = simulate_bsp_on_logp_obs(logp, two_relation_procs(8), config, &disabled).unwrap();
+    assert_eq!(plain.total, obs.total);
+    assert_eq!(plain.native_total, obs.native_total);
+    assert!(disabled.spans().is_empty());
+    assert_eq!(disabled.counter(Counter::Submitted), 0);
+}

@@ -71,6 +71,10 @@ proptest! {
         let report = m.run().unwrap();
         let violations = validate(m.params(), m.trace());
         prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        // Structural well-formedness (lifecycle ordering, stall nesting) is
+        // parameter-independent and must hold for every trace too.
+        let shape = bsp_vs_logp::model::validate_wellformed(m.trace());
+        prop_assert!(shape.is_empty(), "well-formedness: {shape:?}");
         let total: usize = dsts.iter().map(|d| d.len()).sum();
         prop_assert_eq!(report.delivered as usize, total);
     }
