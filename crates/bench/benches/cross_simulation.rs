@@ -5,6 +5,7 @@ use bvl_core::{
     route_deterministic, route_offline, route_randomized, simulate_logp_on_bsp, SortScheme,
     Theorem1Config,
 };
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpParams, Op, Script};
 use bvl_model::rngutil::SeedStream;
 use bvl_model::{HRelation, Payload, ProcId};
@@ -23,11 +24,13 @@ fn bench_cross(c: &mut Criterion) {
     let rel = HRelation::random_exact(&mut rng, 16, 8);
 
     group.bench_function("route_deterministic/p16_h8", |b| {
-        b.iter(|| route_deterministic(params, &rel, SortScheme::Network, 1).unwrap().total);
+        let opts = RunOptions::new().seed(1);
+        b.iter(|| route_deterministic(params, &rel, SortScheme::Network, &opts).unwrap().total);
     });
     group.bench_function("route_randomized/p16_h8", |b| {
         let roomy = LogpParams::new(16, 64, 1, 2).unwrap();
-        b.iter(|| route_randomized(roomy, &rel, 2.0, 1).unwrap().time);
+        let opts = RunOptions::new().seed(1);
+        b.iter(|| route_randomized(roomy, &rel, 2.0, &opts).unwrap().time);
     });
     group.bench_function("route_offline/p16_h8", |b| {
         b.iter(|| route_offline(params, &rel, 1).unwrap().0);
@@ -52,7 +55,7 @@ fn bench_cross(c: &mut Criterion) {
                 .collect()
         };
         b.iter(|| {
-            simulate_logp_on_bsp(logp, bsp, build(), Theorem1Config::default())
+            simulate_logp_on_bsp(logp, bsp, build(), Theorem1Config::default(), &RunOptions::new())
                 .unwrap()
                 .bsp
                 .cost

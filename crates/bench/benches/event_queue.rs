@@ -8,6 +8,7 @@
 //! whole-machine run under each `TimelineKind`. The `payload` group measures
 //! construct+clone+read round-trips below and above `INLINE_WORDS`.
 
+use bvl_exec::Phase;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script, Timeline, TimelineKind};
 use bvl_model::{Payload, ProcId, Steps, INLINE_WORDS};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -19,7 +20,7 @@ use std::time::Duration;
 fn churn(kind: TimelineKind, events: u64) -> u64 {
     let mut tl: Timeline<u64> = Timeline::new(kind, 16);
     for i in 0..32u64 {
-        tl.push(Steps(i % 16), (i % 3) as u8, i);
+        tl.push(Steps(i % 16), Phase::from_u8((i % 3) as u8), i);
     }
     let mut acc = 0u64;
     let mut processed = 0u64;
@@ -32,7 +33,7 @@ fn churn(kind: TimelineKind, events: u64) -> u64 {
         let ahead = 1 + (v % 16);
         tl.push(Steps(at.0 + ahead), phase, v.wrapping_mul(31).wrapping_add(7));
         if v % 257 == 0 {
-            tl.push(Steps(at.0 + 10_000), 2, v); // beyond any horizon
+            tl.push(Steps(at.0 + 10_000), Phase::Ready, v); // beyond any horizon
         }
     }
     acc

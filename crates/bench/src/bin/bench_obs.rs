@@ -6,9 +6,9 @@
 //! nothing else when it fails. This binary measures that claim on three
 //! workloads, each in three modes:
 //!
-//! * **baseline** — the public non-obs entry point (no registry handed to
-//!   the engine; its internal registry stays in the disabled state).
-//! * **off** — the `_obs` entry point / `set_registry` with an explicitly
+//! * **baseline** — default [`RunOptions`]: no registry handed to the
+//!   engine; its internal registry stays in the disabled state.
+//! * **off** — `instrument` / `RunOptions::registry` with an explicitly
 //!   disabled [`Registry`]. Identical fast path to baseline, so any gap
 //!   between the two columns is measurement noise; the acceptance gate
 //!   (`off ≤ baseline · 1.02`) bounds instrumented-but-disabled cost.
@@ -24,7 +24,8 @@
 //! ```
 
 use bvl_bsp::{BspMachine, BspParams, FnProcess, Status};
-use bvl_core::{simulate_bsp_on_logp, simulate_bsp_on_logp_obs, RoutingStrategy, Theorem2Config};
+use bvl_core::{simulate_bsp_on_logp, RoutingStrategy, Theorem2Config};
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
 use bvl_obs::Registry;
@@ -69,7 +70,7 @@ fn logp_case(registry: Option<Registry>) -> f64 {
                 ring_scripts(64, 32),
             );
             if let Some(reg) = &registry {
-                m.set_registry(reg.clone());
+                m.instrument(&RunOptions::new().registry(reg));
             }
             black_box(m.run().unwrap().makespan);
         }
@@ -104,7 +105,7 @@ fn bsp_case(registry: Option<Registry>) -> f64 {
         for _ in 0..50 {
             let mut m = BspMachine::new(params, bsp_procs(64));
             if let Some(reg) = &registry {
-                m.set_registry(reg.clone());
+                m.instrument(&RunOptions::new().registry(reg));
             }
             black_box(m.run(64).unwrap().cost);
         }
@@ -142,16 +143,14 @@ fn thm2_case(registry: Option<Registry>) -> f64 {
     };
     let config = Theorem2Config {
         strategy: RoutingStrategy::Offline,
-        ..Theorem2Config::default()
     };
     time_ms(5, || {
         for _ in 0..20 {
-            let total = match &registry {
-                None => simulate_bsp_on_logp(logp, make(), config).unwrap().total,
-                Some(reg) => {
-                    simulate_bsp_on_logp_obs(logp, make(), config, reg).unwrap().total
-                }
+            let opts = match &registry {
+                None => RunOptions::new(),
+                Some(reg) => RunOptions::new().registry(reg),
             };
+            let total = simulate_bsp_on_logp(logp, make(), config, &opts).unwrap().total;
             black_box(total);
         }
     })

@@ -11,6 +11,7 @@ use bvl_bench::{banner, obs, print_table};
 use bvl_core::anomalies::{gap_exceeds_latency_anomaly, gap_one_anomaly};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
+use bvl_exec::RunOptions;
 use bvl_obs::Registry;
 
 fn main() {
@@ -81,7 +82,7 @@ fn main() {
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
     let registry = Registry::enabled(params.p);
-    machine.set_registry(registry.clone());
+    machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("burst completes");
     obs::summary(
         "exp_anomalies",

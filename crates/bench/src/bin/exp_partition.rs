@@ -6,6 +6,7 @@ use bvl_bsp::{BspParams, FnProcess, Status};
 use bvl_core::partition::{bsp_coschedule, logp_coschedule};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
+use bvl_exec::RunOptions;
 use bvl_obs::Registry;
 
 fn logp_tenant(rounds: u64, compute: u64) -> impl FnMut(usize) -> Vec<Script> {
@@ -119,7 +120,7 @@ fn main() {
     };
     let mut machine = LogpMachine::with_config(logp, config, scripts);
     let registry = Registry::enabled(16);
-    machine.set_registry(registry.clone());
+    machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("tenant completes");
     obs::summary(
         "exp_partition",

@@ -1,0 +1,145 @@
+//! E-STACK: composable simulation stacks grounded on Table 1 networks.
+//!
+//! The paper's program is a tower: LogP and BSP are abstractions of a
+//! point-to-point network whose parameters (`γ`, `δ` per Table 1) are
+//! *measured*, and Theorems 1–3 relate the two abstractions to each other.
+//! This experiment runs the full tower on one guest workload per topology:
+//!
+//! 1. **Measure** the topology's `(γ̂, δ̂)` by routing random h-relations
+//!    (§5), then round them into a valid LogP quadruple `(p, L̂, 1, Ĝ)`.
+//! 2. **Abstract run** — the guest over the pure latency-`L̂` medium
+//!    (`Stacked<LogpSpec, PolicyMedium>`): the LogP model's account.
+//! 3. **Grounded run** — the *same* guest over the network-backed medium
+//!    (`Stacked<LogpSpec, NetMedium>`): per-link store-and-forward
+//!    contention on the real topology. The ratio `grounded/abstract` is how
+//!    faithfully LogP(`Ĝ`, `L̂`) abstracts this network for this traffic.
+//! 4. **Hosted run** — the guest simulated on a BSP(`g=Ĝ`, `ℓ=L̂`) machine
+//!    (Theorem 1). The measured slowdown is compared against the theorem's
+//!    `1 + g/Ĝ + ℓ/L̂` bound evaluated at the measured parameters.
+//!
+//! One `SUMMARY` line per topology. Run via `scripts/regen_experiments.sh`
+//! or:
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin exp_stack
+//! ```
+
+use bvl_bench::obs;
+use bvl_bsp::BspParams;
+use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_exec::{RunOptions, RunStack};
+use bvl_logp::{DeliveryPolicy, LogpParams, LogpSpec, Op, PolicyMedium, Script};
+use bvl_model::{Payload, ProcId};
+use bvl_net::{measure_parameters, Butterfly, Hypercube, NetMedium, RouterConfig, Topology};
+use bvl_obs::Registry;
+
+const ROUNDS: usize = 8;
+const SEED: u64 = 1996;
+
+/// The guest workload: a `ROUNDS`-round neighbour ring — each processor
+/// sends one word right and receives one word from the left per round.
+/// An exact 1-relation per round, stall-free for any capacity ≥ 1.
+fn ring(p: usize) -> Vec<Script> {
+    (0..p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for r in 0..ROUNDS {
+                ops.push(Op::Send {
+                    dst: ProcId(((i + 1) % p) as u32),
+                    payload: Payload::word(r as u32, i as i64),
+                });
+                ops.push(Op::Recv);
+            }
+            Script::new(ops)
+        })
+        .collect()
+}
+
+fn run_topology<T: Topology + Clone + Send + 'static>(topo: T) {
+    // 1. Measure γ̂ (slope) and δ̂ (intercept) and round into valid LogP
+    //    parameters: the paper's constraint max{2, o} ≤ G ≤ L.
+    let measured = measure_parameters(&topo, &[1, 2, 4, 8], 3, SEED, RouterConfig::default());
+    let p = measured.p;
+    let g_hat = (measured.gamma.round() as u64).max(2);
+    let l_hat = (measured.delta.round() as u64).max(g_hat);
+    let params = LogpParams::new(p, l_hat, 1, g_hat).expect("measured params valid");
+
+    let opts = RunOptions::new().seed(SEED);
+
+    // 2. The abstract LogP account of the workload.
+    let abstract_run = LogpSpec::new(params, ring(p))
+        .over(PolicyMedium::new(params, DeliveryPolicy::AtLatencyBound))
+        .run_stack(&opts)
+        .expect("abstract stack completes");
+    let t_abstract = abstract_run.report.makespan;
+
+    // 3. The same guest grounded on the network, with an enabled registry
+    //    so `--trace-out` can capture the stacked run's span stream.
+    let registry = Registry::enabled(p);
+    let grounded_run = LogpSpec::new(params, ring(p))
+        .over(NetMedium::new(topo.clone(), params.capacity()))
+        .run_stack(&opts.clone().registry(&registry))
+        .expect("grounded stack completes");
+    let t_grounded = grounded_run.report.makespan;
+    assert_eq!(
+        grounded_run.report.delivered, abstract_run.report.delivered,
+        "both transports deliver the full workload"
+    );
+
+    // 4. Theorem 1: host the guest on BSP(g = Ĝ, ℓ = L̂) — the BSP machine
+    //    grounded on the same measured network — and compare the slowdown
+    //    against 1 + g/G + ℓ/L at the measured values. The registry rides
+    //    along so `--trace-out` exports the host's superstep spans (the
+    //    stall-free LogP runs contribute no spans of their own).
+    let bsp = BspParams::new(p, g_hat, l_hat).expect("measured BSP params valid");
+    let hosted = simulate_logp_on_bsp(
+        params,
+        bsp,
+        ring(p),
+        Theorem1Config::default(),
+        &opts.clone().registry(&registry),
+    )
+    .expect("Theorem 1 simulation completes");
+    let slowdown = hosted.bsp.cost.get() as f64 / t_abstract.get() as f64;
+    let bound = 1.0 + bsp.g as f64 / params.g as f64 + bsp.l as f64 / params.l as f64;
+    // Theorem 1's bound suppresses a small constant (the host superstep is
+    // ⌈L/2⌉ guest cycles; acquisition serialization adds a factor ≤ 2).
+    let within = slowdown <= 2.0 * bound;
+
+    obs::summary(
+        "exp_stack",
+        &[
+            ("topology", measured.name.clone()),
+            ("p", p.to_string()),
+            ("gamma", format!("{:.2}", measured.gamma)),
+            ("delta", format!("{:.2}", measured.delta)),
+            ("r2", format!("{:.3}", measured.r2)),
+            ("G", g_hat.to_string()),
+            ("L", l_hat.to_string()),
+            ("t_abstract", t_abstract.get().to_string()),
+            ("t_grounded", t_grounded.get().to_string()),
+            (
+                "grounding_ratio",
+                format!("{:.2}", t_grounded.get() as f64 / t_abstract.get() as f64),
+            ),
+            ("t_hosted_bsp", hosted.bsp.cost.get().to_string()),
+            ("thm1_slowdown", format!("{slowdown:.2}")),
+            ("thm1_bound", format!("{bound:.2}")),
+            ("within_2x_bound", within.to_string()),
+        ],
+    );
+    assert!(
+        within,
+        "{}: Theorem 1 slowdown {slowdown:.2} exceeds 2x bound {bound:.2}",
+        measured.name
+    );
+    obs::write_spans_if_requested(&registry);
+}
+
+fn main() {
+    println!("E-STACK: LogP guest over measured Table 1 networks (abstract vs grounded vs Theorem 1)");
+    // Two Table 1 rows with equal processor counts (p = 32): the multi-port
+    // hypercube (γ = Θ(1), δ = Θ(log p)) and the butterfly (γ = δ = Θ(log p)).
+    run_topology(Hypercube::new(5));
+    run_topology(Butterfly::new(3));
+}

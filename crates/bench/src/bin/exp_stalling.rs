@@ -12,6 +12,7 @@ use bvl_bsp::BspParams;
 use bvl_core::stalling::{hot_spot_study, stalling_on_bsp};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
+use bvl_exec::RunOptions;
 use bvl_obs::Registry;
 
 fn main() {
@@ -77,7 +78,7 @@ fn main() {
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
     let registry = Registry::enabled(16);
-    machine.set_registry(registry.clone());
+    machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("hot spot completes");
     obs::summary(
         "exp_stalling",

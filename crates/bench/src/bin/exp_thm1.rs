@@ -15,10 +15,11 @@ use bvl_bench::sweep::{sweep, sweep_captured};
 use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::BspParams;
 use bvl_core::slowdown::theorem1_bound;
-use bvl_core::{simulate_logp_on_bsp_obs, Theorem1Config};
+use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
-use bvl_obs::{CostReport, Counter, Registry};
+use bvl_obs::{CostReport, Counter};
 
 /// A workload family, instantiable any number of times (the native and the
 /// hosted run each need a fresh copy of the scripts).
@@ -78,7 +79,7 @@ struct Case {
     workload: Workload,
 }
 
-fn run_case(case: Case, registry: &Registry) -> (Vec<String>, Option<CostReport>) {
+fn run_case(case: Case, opts: &RunOptions) -> (Vec<String>, Option<CostReport>) {
     let Case {
         logp,
         factor_g,
@@ -88,12 +89,12 @@ fn run_case(case: Case, registry: &Registry) -> (Vec<String>, Option<CostReport>
     let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), workload.build());
     let native_time = native.run().expect("native run").makespan;
     let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
-    let rep =
-        simulate_logp_on_bsp_obs(logp, bsp, workload.build(), Theorem1Config::default(), registry)
-            .expect("hosted run");
+    let rep = simulate_logp_on_bsp(logp, bsp, workload.build(), Theorem1Config::default(), opts)
+        .expect("hosted run");
     let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
     let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
-    let attributed = registry
+    let attributed = opts
+        .registry
         .is_enabled()
         .then(|| rep.attribution(&bsp, format!("thm1 {} {factor_g}x/{factor_l}x", workload.name())));
     let row = vec![
@@ -132,7 +133,10 @@ fn main() {
     // Cell 0 (ring, matched 1x/1x parameters) is the flagged cell: it runs
     // with an enabled registry, feeding the cost-attribution summary and the
     // optional `--trace-out` export; every other cell pays nothing.
-    let (rep, registry) = sweep_captured("thm1-scalings", 1996, cases, Some(0), logp.p, |case, _job, registry| run_case(case, registry));
+    let (rep, registry) =
+        sweep_captured("thm1-scalings", 1996, cases, Some(0), logp.p, |case, job| {
+            run_case(case, &job.opts)
+        });
     eprintln!("[sweep] thm1-scalings: {}", rep.summary());
     let mut flagged: Option<CostReport> = None;
     let rows: Vec<Vec<String>> = rep
@@ -160,9 +164,7 @@ fn main() {
             workload: Workload::Ring { p, rounds: 8 },
         })
         .collect();
-    let rep = sweep("thm1-sizes", 1996, cases, |case, _job| {
-        run_case(case, &Registry::disabled()).0
-    });
+    let rep = sweep("thm1-sizes", 1996, cases, |case, job| run_case(case, &job.opts).0);
     eprintln!("[sweep] thm1-sizes: {}", rep.summary());
     print_table(
         &[

@@ -17,11 +17,10 @@ use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::{FnProcess, Status};
 use bvl_core::slowdown::theorem2_s;
 use bvl_core::{
-    route_deterministic, route_deterministic_obs, simulate_bsp_on_logp_obs, RoutingStrategy,
-    SortScheme, Theorem2Config,
+    route_deterministic, simulate_bsp_on_logp, RoutingStrategy, SortScheme, Theorem2Config,
 };
 use bvl_logp::LogpParams;
-use bvl_model::{HRelation, Payload, ProcId, Steps};
+use bvl_model::{HRelation, Payload, ProcId};
 use bvl_obs::CostReport;
 
 fn main() {
@@ -35,12 +34,11 @@ fn main() {
     // The (p=16, h=8) cell (index 3) is flagged: its routing phases are
     // captured as spans for the summary line and `--trace-out`.
     let (rep, cell_registry) =
-        sweep_captured("thm2-cells", 2024, cells, Some(3), 16, |(p, h), mut job, registry| {
+        sweep_captured("thm2-cells", 2024, cells, Some(3), 16, |(p, h), mut job| {
             let params = LogpParams::new(p, 16, 1, 2).unwrap();
             let rel = HRelation::random_exact(&mut job.rng, p, h);
-            let rep =
-                route_deterministic_obs(params, &rel, SortScheme::Network, 7, registry, Steps::ZERO)
-                    .expect("routing succeeds");
+            let rep = route_deterministic(params, &rel, SortScheme::Network, &job.opts.seed(7))
+                .expect("routing succeeds");
             let native = (params.g * h as u64 + params.l) as f64;
             let s_meas = rep.total.get() as f64 / native;
             let s_pred = theorem2_s(&params, h as u64);
@@ -77,8 +75,9 @@ fn main() {
     let rep = sweep("thm2-big", 2024, vec![98usize, 128, 256], move |h, mut job| {
         let rel = HRelation::random_exact(&mut job.rng, p, h);
         let mut rows = Vec::new();
+        let opts = job.opts.seed(9);
         for scheme in [SortScheme::Network, SortScheme::Columnsort] {
-            let rep = route_deterministic(params, &rel, scheme, 9).expect("routing succeeds");
+            let rep = route_deterministic(params, &rel, scheme, &opts).expect("routing succeeds");
             let native = (params.g * h as u64 + params.l) as f64;
             rows.push(vec![
                 format!("{h}"),
@@ -142,18 +141,12 @@ fn main() {
         strategies,
         Some(2),
         p,
-        move |(name, strategy), _job, registry| {
-            let rep = simulate_bsp_on_logp_obs(
-                logp,
-                make(),
-                Theorem2Config {
-                    strategy,
-                    ..Theorem2Config::default()
-                },
-                registry,
-            )
-            .expect("superstep simulation");
-            let att = registry
+        move |(name, strategy), job| {
+            let rep = simulate_bsp_on_logp(logp, make(), Theorem2Config { strategy }, &job.opts)
+                .expect("superstep simulation");
+            let att = job
+                .opts
+                .registry
                 .is_enabled()
                 .then(|| rep.attribution(&logp, format!("thm2 {name}")));
             let s0 = &rep.supersteps[0];

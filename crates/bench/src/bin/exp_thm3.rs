@@ -7,10 +7,11 @@
 
 use bvl_bench::{banner, f2, f3, obs, print_table};
 use bvl_core::slowdown::{stalling_worst_case, theorem3_slack};
-use bvl_core::{route_randomized, route_randomized_obs};
+use bvl_core::route_randomized;
+use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::rngutil::SeedStream;
-use bvl_model::{HRelation, ProcId, Steps};
+use bvl_model::{HRelation, ProcId};
 use bvl_obs::Registry;
 
 fn main() {
@@ -27,7 +28,8 @@ fn main() {
             for t in 0..trials {
                 let mut rng = seeds.derive("rel", (p * 100_000 + h * 100 + t) as u64);
                 let rel = HRelation::random_exact(&mut rng, p, h);
-                let rep = route_randomized(params, &rel, 2.0, t as u64).expect("routes");
+                let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(t as u64))
+                    .expect("routes");
                 if rep.stalled {
                     stalls += 1;
                 }
@@ -57,7 +59,7 @@ fn main() {
     for (senders, k) in [(8usize, 2usize), (15, 2), (15, 4), (15, 8)] {
         let rel = HRelation::hot_spot(16, ProcId(0), senders, k);
         let h = rel.degree() as u64;
-        let rep = route_randomized(params, &rel, 2.0, 5).expect("routes");
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(5)).expect("routes");
         rows.push(vec![
             format!("{senders}x{k}"),
             format!("{h}"),
@@ -79,7 +81,8 @@ fn main() {
     let mut rng = SeedStream::new(31).derive("flagged", 0);
     let rel = HRelation::random_exact(&mut rng, 16, 32);
     let registry = Registry::enabled(16);
-    let rep = route_randomized_obs(params, &rel, 2.0, 7, &registry, Steps::ZERO).expect("routes");
+    let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(7).registry(&registry))
+        .expect("routes");
     obs::summary(
         "exp_thm3",
         &[

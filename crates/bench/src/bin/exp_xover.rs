@@ -14,10 +14,11 @@
 use bvl_bench::sweep::sweep;
 use bvl_bench::{banner, f2, obs, print_table};
 use bvl_core::bsp_on_logp::sortnet::{aks_cost_formula, bitonic_cost_formula};
-use bvl_core::{route_deterministic, route_deterministic_obs, SortScheme};
+use bvl_core::{route_deterministic, SortScheme};
+use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::rngutil::SeedStream;
-use bvl_model::{HRelation, Steps};
+use bvl_model::HRelation;
 use bvl_obs::Registry;
 
 fn main() {
@@ -27,11 +28,12 @@ fn main() {
     let hs = vec![2usize, 8, 32, 98, 196, 392];
     let rep = sweep("xover", 77, hs, move |h, mut job| {
         let rel = HRelation::random_exact(&mut job.rng, p, h);
-        let net = route_deterministic(params, &rel, SortScheme::Network, 3).expect("net");
-        let oe = route_deterministic(params, &rel, SortScheme::NetworkOddEven, 3).expect("oe");
+        let opts = job.opts.seed(3);
+        let net = route_deterministic(params, &rel, SortScheme::Network, &opts).expect("net");
+        let oe = route_deterministic(params, &rel, SortScheme::NetworkOddEven, &opts).expect("oe");
         let cs_valid = h >= 2 * (p - 1) * (p - 1);
         let cs = if cs_valid {
-            Some(route_deterministic(params, &rel, SortScheme::Columnsort, 3).expect("cs"))
+            Some(route_deterministic(params, &rel, SortScheme::Columnsort, &opts).expect("cs"))
         } else {
             None
         };
@@ -75,13 +77,11 @@ fn main() {
     let mut rng = SeedStream::new(77).derive("flagged", 0);
     let rel = HRelation::random_exact(&mut rng, p, h);
     let registry = Registry::enabled(p);
-    let rep = route_deterministic_obs(
+    let rep = route_deterministic(
         params,
         &rel,
         SortScheme::Columnsort,
-        3,
-        &registry,
-        Steps::ZERO,
+        &RunOptions::new().seed(3).registry(&registry),
     )
     .expect("columnsort routes");
     obs::summary(

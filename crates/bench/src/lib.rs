@@ -67,6 +67,7 @@ pub mod sweep {
     //! > same `(domain, master seed, configuration list)` ⇒ same results,
     //! > regardless of `RAYON_NUM_THREADS`.
 
+    use bvl_exec::RunOptions;
     use bvl_model::rngutil::SeedStream;
     use rand_chacha::ChaCha8Rng;
     use rayon::prelude::*;
@@ -78,6 +79,11 @@ pub mod sweep {
         pub index: usize,
         /// Private RNG stream for this job, derived from `(domain, index)`.
         pub rng: ChaCha8Rng,
+        /// Ready-made run options for this job: a disabled registry in the
+        /// common case; [`sweep_captured`] hands the flagged job an enabled
+        /// one. Bodies thread this straight into the unified run entry
+        /// points (optionally after `.seed(..)` / `.budget(..)`).
+        pub opts: RunOptions,
     }
 
     /// Results of a sweep, in input order, plus execution metadata.
@@ -105,11 +111,12 @@ pub mod sweep {
     }
 
     /// [`sweep`] with per-cell observability capture. The job at index
-    /// `flagged` (when `Some`) receives a [`bvl_obs::Registry`] enabled for
-    /// `procs` processors; every other job gets a disabled registry, so the
-    /// sweep pays the instrumentation cost on exactly one cell. Returns the
-    /// report plus the flagged cell's registry (disabled when nothing was
-    /// flagged), ready for [`bvl_obs::export::write_trace_file`].
+    /// `flagged` (when `Some`) receives [`Job::opts`] carrying a
+    /// [`bvl_obs::Registry`] enabled for `procs` processors; every other
+    /// job's options keep a disabled registry, so the sweep pays the
+    /// instrumentation cost on exactly one cell. Returns the report plus the
+    /// flagged cell's registry (disabled when nothing was flagged), ready
+    /// for [`bvl_obs::export::write_trace_file`].
     pub fn sweep_captured<C, R, F>(
         domain: &str,
         master: u64,
@@ -121,19 +128,17 @@ pub mod sweep {
     where
         C: Send,
         R: Send,
-        F: Fn(C, Job, &bvl_obs::Registry) -> R + Sync,
+        F: Fn(C, Job) -> R + Sync,
     {
         let captured = match flagged {
             Some(_) => bvl_obs::Registry::enabled(procs),
             None => bvl_obs::Registry::disabled(),
         };
-        let report = sweep(domain, master, configs, |config, job| {
-            let registry = if Some(job.index) == flagged {
-                captured.clone()
-            } else {
-                bvl_obs::Registry::disabled()
-            };
-            f(config, job, &registry)
+        let report = sweep(domain, master, configs, |config, mut job| {
+            if Some(job.index) == flagged {
+                job.opts = job.opts.registry(&captured);
+            }
+            f(config, job)
         });
         (report, captured)
     }
@@ -158,7 +163,7 @@ pub mod sweep {
             .into_par_iter()
             .map(|(index, config)| {
                 let rng = seeds.derive(domain, index as u64);
-                f(config, Job { index, rng })
+                f(config, Job { index, rng, opts: RunOptions::new() })
             })
             .collect();
         SweepReport {
@@ -262,10 +267,10 @@ mod tests {
     fn sweep_captured_enables_exactly_the_flagged_cell() {
         use super::sweep::sweep_captured;
         let (rep, reg) =
-            sweep_captured("cap", 1, (0..8usize).collect(), Some(3), 4, |c, job, registry| {
-                assert_eq!(registry.is_enabled(), job.index == 3);
-                if registry.is_enabled() {
-                    registry.span(bvl_obs::Span::new(
+            sweep_captured("cap", 1, (0..8usize).collect(), Some(3), 4, |c, job| {
+                assert_eq!(job.opts.registry.is_enabled(), job.index == 3);
+                if job.opts.registry.is_enabled() {
+                    job.opts.registry.span(bvl_obs::Span::new(
                         bvl_obs::SpanKind::LocalWork,
                         bvl_model::Steps(0),
                         bvl_model::Steps(1),
@@ -276,8 +281,8 @@ mod tests {
         assert_eq!(rep.results, (0..8).collect::<Vec<_>>());
         assert_eq!(reg.spans().len(), 1);
 
-        let (_, unflagged) = sweep_captured("cap", 1, vec![0u8; 4], None, 4, |_, _, registry| {
-            assert!(!registry.is_enabled());
+        let (_, unflagged) = sweep_captured("cap", 1, vec![0u8; 4], None, 4, |_, job| {
+            assert!(!job.opts.registry.is_enabled());
         });
         assert!(!unflagged.is_enabled());
     }

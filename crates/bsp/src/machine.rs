@@ -4,9 +4,10 @@ use crate::cost::{CostLedger, SuperstepRecord};
 use crate::params::{BspConfig, BspParams};
 use crate::process::BspProcess;
 use crate::report::{BspReport, SuperstepProfile};
+use bvl_exec::{drive, Executor, Instruments, RunOptions, RunOutcome};
 use bvl_model::trace::{Event, Trace};
-use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
-use bvl_obs::{Counter, Hist, Registry, Span, SpanKind};
+use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps};
+use bvl_obs::{Counter, Hist, Span, SpanKind};
 
 /// Outcome of a completed run.
 #[derive(Clone, Debug)]
@@ -36,11 +37,9 @@ pub struct BspMachine<P: BspProcess> {
     outboxes: Vec<Vec<(ProcId, Payload)>>,
     halted: Vec<bool>,
     ledger: CostLedger,
-    trace: Trace,
     stats: BspReport,
-    registry: Registry,
+    instruments: Instruments,
     superstep: u64,
-    next_msg_id: u64,
     threads: usize,
 }
 
@@ -65,15 +64,9 @@ impl<P: BspProcess> BspMachine<P> {
             outboxes: vec![Vec::new(); p],
             halted: vec![false; p],
             ledger: CostLedger::new(),
-            trace: if config.trace {
-                Trace::enabled()
-            } else {
-                Trace::disabled()
-            },
             stats: BspReport::new(p),
-            registry: Registry::disabled(),
+            instruments: Instruments::new(config.trace),
             superstep: 0,
-            next_msg_id: 0,
             threads: 1,
         }
     }
@@ -96,15 +89,16 @@ impl<P: BspProcess> BspMachine<P> {
 
     /// The event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.instruments.trace
     }
 
-    /// Attach an observability registry; subsequent supersteps feed it with
-    /// per-processor counters, barrier-wait histograms, and phase spans on
-    /// the ledger clock. Overhead is one branch per superstep when the
-    /// handle is disabled.
-    pub fn set_registry(&mut self, registry: Registry) {
-        self.registry = registry;
+    /// Apply shared [`RunOptions`]: attach the observability registry
+    /// (per-processor counters, barrier-wait histograms, phase spans on
+    /// the ledger clock — one branch per superstep when disabled), upgrade
+    /// tracing, and set the local-phase worker-thread count.
+    pub fn instrument(&mut self, opts: &RunOptions) {
+        self.instruments.apply(opts);
+        self.threads = opts.threads.max(1);
     }
 
     /// Per-processor statistics accumulated so far.
@@ -173,8 +167,7 @@ impl<P: BspProcess> BspMachine<P> {
         for i in 0..p {
             for (dst, payload) in self.outboxes[i].drain(..) {
                 recvd[dst.index()] += 1;
-                let id = MsgId(self.next_msg_id);
-                self.next_msg_id += 1;
+                let id = self.instruments.alloc_msg_id();
                 let now = self.ledger.total();
                 let env = Envelope {
                     id,
@@ -185,7 +178,7 @@ impl<P: BspProcess> BspMachine<P> {
                     accepted: now,
                     delivered: now,
                 };
-                self.trace.record(Event::Submit {
+                self.instruments.trace.record(Event::Submit {
                     at: now,
                     proc: ProcId::from(i),
                     msg: id,
@@ -202,7 +195,7 @@ impl<P: BspProcess> BspMachine<P> {
             .max()
             .unwrap_or(0);
         let rec = self.ledger.charge(&self.params, w_max, h);
-        self.trace.record(Event::Superstep {
+        self.instruments.trace.record(Event::Superstep {
             index: rec.index,
             w: rec.w,
             h: rec.h,
@@ -223,7 +216,7 @@ impl<P: BspProcess> BspMachine<P> {
                 received: recvd.clone(),
             });
         }
-        if self.registry.is_enabled() {
+        if self.instruments.registry.is_enabled() {
             self.observe_superstep(&rec, t0, w_max, &w_of, &sent, &recvd);
         }
         self.superstep += 1;
@@ -243,51 +236,62 @@ impl<P: BspProcess> BspMachine<P> {
         sent: &[u64],
         recvd: &[u64],
     ) {
+        let registry = &self.instruments.registry;
         for (i, &w_i) in w_of.iter().enumerate() {
             let proc = ProcId::from(i);
-            self.registry.add(proc, Counter::LocalOps, w_i);
-            self.registry.add(proc, Counter::Submitted, sent[i]);
-            self.registry.add(proc, Counter::Delivered, recvd[i]);
-            self.registry.observe(Hist::BarrierWait, w_max - w_i);
-            self.registry
-                .span(Span::new(SpanKind::LocalWork, t0, t0 + Steps(w_i)).on(proc));
+            registry.add(proc, Counter::LocalOps, w_i);
+            registry.add(proc, Counter::Submitted, sent[i]);
+            registry.add(proc, Counter::Delivered, recvd[i]);
+            registry.observe(Hist::BarrierWait, w_max - w_i);
+            registry.span(Span::new(SpanKind::LocalWork, t0, t0 + Steps(w_i)).on(proc));
             if w_i < w_max {
-                self.registry.span(
+                registry.span(
                     Span::new(SpanKind::BarrierWait, t0 + Steps(w_i), t0 + Steps(w_max)).on(proc),
                 );
             }
         }
         let comm_start = t0 + Steps(w_max);
         if rec.h > 0 {
-            self.registry.span(
+            registry.span(
                 Span::new(SpanKind::Routing, comm_start, comm_start + Steps(self.params.g * rec.h))
                     .at_index(rec.index),
             );
         }
-        self.registry
-            .span(Span::new(SpanKind::Superstep, t0, t0 + rec.cost).at_index(rec.index));
-        self.registry.observe(Hist::SuperstepCost, rec.cost.get());
+        registry.span(Span::new(SpanKind::Superstep, t0, t0 + rec.cost).at_index(rec.index));
+        registry.observe(Hist::SuperstepCost, rec.cost.get());
     }
 
     /// Run until every process halts, or fail with [`ModelError::Timeout`]
-    /// after `max_supersteps`.
+    /// after `max_supersteps`. Equivalent to [`bvl_exec::drive`] with a
+    /// superstep budget, followed by assembling the [`RunReport`].
     pub fn run(&mut self, max_supersteps: u64) -> Result<RunReport, ModelError> {
-        let mut executed = 0u64;
-        while !self.all_halted() {
-            if executed >= max_supersteps {
-                return Err(ModelError::Timeout {
-                    budget: max_supersteps,
-                });
-            }
-            self.step();
-            executed += 1;
-        }
+        drive(self, max_supersteps)?;
         Ok(RunReport {
             supersteps: self.ledger.supersteps(),
             cost: self.ledger.total(),
             records: self.ledger.records().to_vec(),
             stats: self.stats.clone(),
         })
+    }
+}
+
+impl<P: BspProcess> Executor for BspMachine<P> {
+    /// Execute one superstep; `Ok(false)` once every process has halted.
+    fn step(&mut self) -> Result<bool, ModelError> {
+        Ok(BspMachine::step(self).is_some())
+    }
+
+    fn halted(&self) -> bool {
+        self.all_halted()
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            makespan: self.ledger.total(),
+            delivered: self.stats.per_proc.iter().map(|s| s.received).sum(),
+            work: self.ledger.supersteps(),
+            halted: self.all_halted(),
+        }
     }
 }
 
@@ -553,7 +557,7 @@ mod trace_tests {
             .collect();
         let mut m = BspMachine::with_config(params, config, procs);
         let reg = Registry::enabled(4);
-        m.set_registry(reg.clone());
+        m.instrument(&RunOptions::new().registry(&reg));
         let report = m.run(4).unwrap();
 
         // Superstep 0: a send charges one local op, so w = [0,2,3,4]

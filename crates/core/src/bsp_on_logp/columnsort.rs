@@ -74,18 +74,12 @@ fn redistribute(
 /// Time = 4 local sorts (`t_seq_sort`) + 4 off-line-routed redistributions,
 /// i.e. `O(Tseq-sort(r) + Gr + L)` — constant rounds, as the paper requires
 /// of the large-r scheme.
+///
+/// Each of the four sort+redistribute rounds is emitted as a
+/// [`SpanKind::ColumnsortRound`] span into `registry`, offset by `base` on
+/// the caller's virtual clock (pass `Registry::disabled()` and `Steps::ZERO`
+/// when observability is not wanted).
 pub fn columnsort(
-    params: LogpParams,
-    blocks: Vec<Vec<Record>>,
-    seed: u64,
-) -> Result<(Steps, usize, Vec<Vec<Record>>), ModelError> {
-    columnsort_obs(params, blocks, seed, &Registry::disabled(), Steps::ZERO)
-}
-
-/// [`columnsort`] with observability: each of the four sort+redistribute
-/// rounds is emitted as a [`SpanKind::ColumnsortRound`] span into
-/// `registry`, offset by `base` on the caller's virtual clock.
-pub fn columnsort_obs(
     params: LogpParams,
     mut blocks: Vec<Vec<Record>>,
     seed: u64,
@@ -266,7 +260,7 @@ mod tests {
         let r = 8;
         let blocks = random_blocks(p, r, 1);
         let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-        let (t, rounds, sorted) = columnsort(params(p), blocks, 10).unwrap();
+        let (t, rounds, sorted) = columnsort(params(p), blocks, 10, &Registry::disabled(), Steps::ZERO).unwrap();
         assert_globally_sorted(&sorted, &mut want);
         assert!(t > Steps::ZERO);
         assert_eq!(rounds, 4);
@@ -279,7 +273,7 @@ mod tests {
         for seed in [2u64, 3, 4] {
             let blocks = random_blocks(p, r, seed);
             let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-            let (_, _, sorted) = columnsort(params(p), blocks, seed * 100).unwrap();
+            let (_, _, sorted) = columnsort(params(p), blocks, seed * 100, &Registry::disabled(), Steps::ZERO).unwrap();
             assert_globally_sorted(&sorted, &mut want);
         }
     }
@@ -290,7 +284,7 @@ mod tests {
         let r = 2 * 49 + 2; // 100
         let blocks = random_blocks(p, r, 5);
         let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-        let (_, _, sorted) = columnsort(params(p), blocks, 500).unwrap();
+        let (_, _, sorted) = columnsort(params(p), blocks, 500, &Registry::disabled(), Steps::ZERO).unwrap();
         assert_globally_sorted(&sorted, &mut want);
     }
 
@@ -320,7 +314,7 @@ mod tests {
         ] {
             let blocks = mk(f);
             let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-            let (_, _, sorted) = columnsort(params(p), blocks, 9).unwrap();
+            let (_, _, sorted) = columnsort(params(p), blocks, 9, &Registry::disabled(), Steps::ZERO).unwrap();
             assert_globally_sorted(&sorted, &mut want);
         }
     }
@@ -330,6 +324,6 @@ mod tests {
     fn rejects_invalid_r() {
         let p = 4;
         let blocks = random_blocks(p, 4, 1);
-        let _ = columnsort(params(p), blocks, 1);
+        let _ = columnsort(params(p), blocks, 1, &Registry::disabled(), Steps::ZERO);
     }
 }

@@ -27,11 +27,12 @@
 //! equation (2)).
 
 use crate::bsp_on_logp::cb::{run_cb, word_combine, Combine, TreeShape};
-use crate::bsp_on_logp::columnsort::columnsort_obs;
+use crate::bsp_on_logp::columnsort::columnsort;
 use crate::bsp_on_logp::phase::{route_offline, run_scripts};
 use crate::bsp_on_logp::record::Record;
 use crate::bsp_on_logp::sortnet::{bitonic_stages, merge_split, odd_even_merge_stages};
 use crate::slowdown::t_seq_sort;
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpParams, Op, Script};
 use bvl_model::{HRelation, ModelError, Payload, ProcId, Steps};
 use bvl_obs::{Registry, Span, SpanKind};
@@ -226,29 +227,22 @@ fn sort_network(
 /// Requires `p = params.p` to be a power of two (the sorting network's
 /// matching structure; experiments use power-of-two machines, as is
 /// conventional).
+///
+/// Observability comes through `opts`: sorting rounds and the pipelined
+/// cycle phase are emitted as [`SpanKind::SortRound`] /
+/// [`SpanKind::ColumnsortRound`] / [`SpanKind::RouteCycles`] spans into
+/// `opts.registry`, offset by `opts.clock_base` (the caller's virtual-clock
+/// position of the routing phase); `opts.seed` drives every randomized
+/// sub-phase.
 pub fn route_deterministic(
     params: LogpParams,
     rel: &HRelation,
     scheme: SortScheme,
-    seed: u64,
+    opts: &RunOptions,
 ) -> Result<RouteDetReport, ModelError> {
-    route_deterministic_obs(params, rel, scheme, seed, &Registry::disabled(), Steps::ZERO)
-}
-
-/// [`route_deterministic`] with observability: sorting rounds and the
-/// pipelined cycle phase are emitted as [`SpanKind::SortRound`] /
-/// [`SpanKind::ColumnsortRound`] / [`SpanKind::RouteCycles`] spans into
-/// `registry`, offset by `base` (the caller's virtual-clock position of the
-/// routing phase). With a disabled registry this is exactly
-/// `route_deterministic`.
-pub fn route_deterministic_obs(
-    params: LogpParams,
-    rel: &HRelation,
-    scheme: SortScheme,
-    seed: u64,
-    registry: &Registry,
-    base: Steps,
-) -> Result<RouteDetReport, ModelError> {
+    let seed = opts.seed;
+    let registry = &opts.registry;
+    let base = opts.clock_base;
     let p = params.p;
     assert_eq!(rel.p(), p);
     assert!(p.is_power_of_two(), "deterministic router needs p = 2^k");
@@ -318,7 +312,7 @@ pub fn route_deterministic_obs(
     };
     let sort_base = base + t_r + local_sort;
     let (t_net, sort_rounds, blocks) = if use_columnsort {
-        columnsort_obs(params, blocks, seed.wrapping_add(1000), registry, sort_base)?
+        columnsort(params, blocks, seed.wrapping_add(1000), registry, sort_base)?
     } else {
         sort_network(
             params,
@@ -459,6 +453,10 @@ mod tests {
         LogpParams::new(p, l, o, g).unwrap()
     }
 
+    fn seeded(seed: u64) -> RunOptions {
+        RunOptions::new().seed(seed)
+    }
+
     #[test]
     fn seg_local_counts_runs() {
         let block = vec![
@@ -517,7 +515,7 @@ mod tests {
         for (i, h) in [1usize, 2, 4].into_iter().enumerate() {
             let mut rng = s.derive("rel", i as u64);
             let rel = HRelation::random_exact(&mut rng, 8, h);
-            let rep = route_deterministic(pr, &rel, SortScheme::Network, 77).unwrap();
+            let rep = route_deterministic(pr, &rel, SortScheme::Network, &seeded(77)).unwrap();
             assert_eq!(rep.r, h as u64);
             assert_eq!(rep.s, h as u64);
             assert!(rep.total > Steps::ZERO);
@@ -529,8 +527,8 @@ mod tests {
         let pr = params(16, 16, 1, 4);
         let mut rng = SeedStream::new(21).derive("rel", 0);
         let rel = HRelation::random_uniform(&mut rng, 16, 3);
-        let a = route_deterministic(pr, &rel, SortScheme::Network, 90).unwrap();
-        let b = route_deterministic(pr, &rel, SortScheme::NetworkOddEven, 90).unwrap();
+        let a = route_deterministic(pr, &rel, SortScheme::Network, &seeded(90)).unwrap();
+        let b = route_deterministic(pr, &rel, SortScheme::NetworkOddEven, &seeded(90)).unwrap();
         assert_eq!(a.h, b.h);
         // Same depth, fewer exchanges: odd-even never slower in t_sort.
         assert!(b.t_sort <= a.t_sort, "oe {:?} vs bitonic {:?}", b.t_sort, a.t_sort);
@@ -541,7 +539,7 @@ mod tests {
         let pr = params(16, 16, 1, 4);
         let mut rng = SeedStream::new(12).derive("rel", 0);
         let rel = HRelation::random_uniform(&mut rng, 16, 3);
-        let rep = route_deterministic(pr, &rel, SortScheme::Network, 78).unwrap();
+        let rep = route_deterministic(pr, &rel, SortScheme::Network, &seeded(78)).unwrap();
         assert_eq!(rep.r, 3);
         assert_eq!(rep.s as usize, rel.max_in_degree());
         assert_eq!(rep.h, rep.r.max(rep.s));
@@ -551,7 +549,7 @@ mod tests {
     fn routes_hot_spot_relation() {
         let pr = params(8, 8, 1, 2);
         let rel = HRelation::hot_spot(8, ProcId(5), 7, 2);
-        let rep = route_deterministic(pr, &rel, SortScheme::Network, 79).unwrap();
+        let rep = route_deterministic(pr, &rel, SortScheme::Network, &seeded(79)).unwrap();
         assert_eq!(rep.s, 14);
         assert_eq!(rep.r, 2);
         assert_eq!(rep.h, 14);
@@ -561,7 +559,7 @@ mod tests {
     fn broadcast_relation_routes() {
         let pr = params(8, 8, 1, 2);
         let rel = HRelation::broadcast(8, ProcId(0));
-        let rep = route_deterministic(pr, &rel, SortScheme::Network, 80).unwrap();
+        let rep = route_deterministic(pr, &rel, SortScheme::Network, &seeded(80)).unwrap();
         assert_eq!(rep.r, 7);
         assert_eq!(rep.s, 1);
     }
@@ -574,7 +572,7 @@ mod tests {
         for h in [2usize, 8] {
             let mut rng = s.derive("rel", h as u64);
             let rel = HRelation::random_exact(&mut rng, 16, h);
-            let rep = route_deterministic(pr, &rel, SortScheme::Network, 81).unwrap();
+            let rep = route_deterministic(pr, &rel, SortScheme::Network, &seeded(81)).unwrap();
             // Step 4 within a constant of 2o + (G+2)h + L.
             let bound = 2 * pr.o + (pr.g + 2) * h as u64 + pr.l;
             assert!(
@@ -591,7 +589,7 @@ mod tests {
     fn empty_relation_is_free() {
         let pr = params(4, 8, 1, 2);
         let rel = HRelation::new(4);
-        let rep = route_deterministic(pr, &rel, SortScheme::Auto, 82).unwrap();
+        let rep = route_deterministic(pr, &rel, SortScheme::Auto, &seeded(82)).unwrap();
         assert_eq!(rep.total, Steps::ZERO);
     }
 }

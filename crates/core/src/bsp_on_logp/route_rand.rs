@@ -18,10 +18,11 @@
 
 use crate::bsp_on_logp::phase::verify_delivery;
 use crate::slowdown::theorem3_batches;
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpParams, Op, Script};
 use bvl_model::rngutil::SeedStream;
 use bvl_model::{HRelation, ModelError, Steps};
-use bvl_obs::{Registry, Span, SpanKind};
+use bvl_obs::{Span, SpanKind};
 use rand::Rng;
 
 /// Outcome of one randomized routing run.
@@ -46,27 +47,21 @@ pub struct RouteRandReport {
 /// requires) with the randomized batching protocol. `slack` is the batch
 /// head-room factor `1 + β'` (see `slowdown::theorem3_batches`; `2.0` is a
 /// good default).
+///
+/// Observability comes through `opts`: each non-empty batch round is
+/// emitted as a [`SpanKind::RouteBatch`] span (the cleanup step, when
+/// present, gets index `R`) into `opts.registry`, offset by
+/// `opts.clock_base` on the caller's virtual clock; `opts.seed` drives the
+/// batch assignment and the machine run.
 pub fn route_randomized(
     params: LogpParams,
     rel: &HRelation,
     slack: f64,
-    seed: u64,
+    opts: &RunOptions,
 ) -> Result<RouteRandReport, ModelError> {
-    route_randomized_obs(params, rel, slack, seed, &Registry::disabled(), Steps::ZERO)
-}
-
-/// [`route_randomized`] with observability: each non-empty batch round is
-/// emitted as a [`SpanKind::RouteBatch`] span (the cleanup step, when
-/// present, gets index `R`), offset by `base` on the caller's virtual
-/// clock. With a disabled registry this is exactly `route_randomized`.
-pub fn route_randomized_obs(
-    params: LogpParams,
-    rel: &HRelation,
-    slack: f64,
-    seed: u64,
-    registry: &Registry,
-    base: Steps,
-) -> Result<RouteRandReport, ModelError> {
+    let seed = opts.seed;
+    let registry = &opts.registry;
+    let base = opts.clock_base;
     let p = params.p;
     assert_eq!(rel.p(), p);
     let h = rel.degree() as u64;
@@ -201,7 +196,7 @@ mod tests {
         let params = roomy_params(16);
         let mut rng = SeedStream::new(3).derive("rel", 0);
         let rel = HRelation::random_exact(&mut rng, 16, 32);
-        let rep = route_randomized(params, &rel, 2.0, 42).unwrap();
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(42)).unwrap();
         assert!(!rep.stalled, "stall in the high-probability regime");
         assert!(rep.beta_measured > 0.0);
         // Time should be within the advertised O(Gh) regime — allow a
@@ -218,7 +213,7 @@ mod tests {
     fn empty_relation_is_free() {
         let params = roomy_params(8);
         let rel = HRelation::new(8);
-        let rep = route_randomized(params, &rel, 2.0, 1).unwrap();
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(1)).unwrap();
         assert_eq!(rep.time, Steps::ZERO);
     }
 
@@ -227,7 +222,7 @@ mod tests {
         let params = roomy_params(32);
         let mut rng = SeedStream::new(4).derive("rel", 0);
         let rel = HRelation::random_permutation(&mut rng, 32);
-        let rep = route_randomized(params, &rel, 2.0, 7).unwrap();
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(7)).unwrap();
         assert!(!rep.stalled);
         assert_eq!(rep.batches, theorem3_batches(&params, 1, 2.0));
     }
@@ -239,7 +234,7 @@ mod tests {
         let params = LogpParams::new(8, 4, 1, 2).unwrap(); // capacity 2
         let rel = HRelation::hot_spot(8, bvl_model::ProcId(0), 7, 3);
         let h = rel.degree() as u64;
-        let rep = route_randomized(params, &rel, 2.0, 9).unwrap();
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(9)).unwrap();
         assert!(
             rep.time.get() <= 4 * params.g * h * h + 8 * params.l,
             "time {:?} vs Gh^2 {}",
@@ -253,8 +248,8 @@ mod tests {
         let params = roomy_params(16);
         let mut rng = SeedStream::new(5).derive("rel", 0);
         let rel = HRelation::random_exact(&mut rng, 16, 8);
-        let a = route_randomized(params, &rel, 2.0, 11).unwrap();
-        let b = route_randomized(params, &rel, 2.0, 11).unwrap();
+        let a = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(11)).unwrap();
+        let b = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(11)).unwrap();
         assert_eq!(a.time, b.time);
         assert_eq!(a.leftover, b.leftover);
     }

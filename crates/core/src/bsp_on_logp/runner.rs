@@ -19,12 +19,13 @@
 
 use crate::bsp_on_logp::cb::{run_cb, word_combine, TreeShape};
 use crate::bsp_on_logp::phase::route_offline;
-use crate::bsp_on_logp::route_det::{route_deterministic_obs, SortScheme};
-use crate::bsp_on_logp::route_rand::route_randomized_obs;
+use crate::bsp_on_logp::route_det::{route_deterministic, SortScheme};
+use crate::bsp_on_logp::route_rand::route_randomized;
 use bvl_bsp::{BspParams, BspProcess, Status, SuperstepCtx};
+use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::{Envelope, HRelation, ModelError, MsgId, Payload, ProcId, Steps};
-use bvl_obs::{CostReport, Counter, Hist, Registry, Span, SpanKind};
+use bvl_obs::{CostReport, Counter, Hist, Span, SpanKind};
 
 /// How the communication phase routes each superstep's h-relation.
 #[derive(Clone, Copy, Debug)]
@@ -42,26 +43,24 @@ pub enum RoutingStrategy {
     Offline,
 }
 
-/// Options for the superstep simulation.
+/// Options for the superstep simulation. Run-wide knobs (seed, registry,
+/// superstep budget) come from the [`RunOptions`] passed alongside.
 #[derive(Clone, Copy, Debug)]
 pub struct Theorem2Config {
     /// Routing strategy.
     pub strategy: RoutingStrategy,
-    /// Master seed.
-    pub seed: u64,
-    /// Superstep budget.
-    pub max_supersteps: u64,
 }
 
 impl Default for Theorem2Config {
     fn default() -> Self {
         Theorem2Config {
             strategy: RoutingStrategy::Deterministic(SortScheme::Auto),
-            seed: 0,
-            max_supersteps: 100_000,
         }
     }
 }
+
+/// Default superstep budget when `opts.budget` is unset.
+pub const DEFAULT_SUPERSTEP_BUDGET: u64 = 100_000;
 
 /// Timing breakdown of one simulated superstep.
 #[derive(Clone, Copy, Debug)]
@@ -131,30 +130,28 @@ impl<P> Theorem2Report<P> {
 }
 
 /// Run a BSP program (one [`BspProcess`] per processor) on a LogP machine.
+///
+/// The simulation keeps a virtual clock (the cumulative simulated LogP
+/// time) and, when `opts.registry` is enabled, emits per superstep:
+/// per-processor [`SpanKind::LocalWork`] and [`SpanKind::BarrierWait`]
+/// spans, the CB barrier split into [`SpanKind::CbCombine`] /
+/// [`SpanKind::CbBroadcast`], a [`SpanKind::Routing`] span (with the
+/// router's own round/cycle/batch sub-spans inside it), and an enclosing
+/// [`SpanKind::Superstep`] span — plus `Submitted`/`Delivered`/`LocalOps`
+/// counters and `BarrierWait`/`SuperstepCost` histograms. With a disabled
+/// registry the run is observation-free but otherwise identical.
+///
+/// `opts.seed` is the master seed for the CB and routing phases;
+/// `opts.budget` caps the superstep count ([`DEFAULT_SUPERSTEP_BUDGET`]
+/// when unset).
 pub fn simulate_bsp_on_logp<P: BspProcess>(
-    logp: LogpParams,
-    programs: Vec<P>,
-    config: Theorem2Config,
-) -> Result<Theorem2Report<P>, ModelError> {
-    simulate_bsp_on_logp_obs(logp, programs, config, &Registry::disabled())
-}
-
-/// [`simulate_bsp_on_logp`] with observability. The simulation keeps a
-/// virtual clock (the cumulative simulated LogP time) and emits, per
-/// superstep: per-processor [`SpanKind::LocalWork`] and
-/// [`SpanKind::BarrierWait`] spans, the CB barrier split into
-/// [`SpanKind::CbCombine`] / [`SpanKind::CbBroadcast`], a
-/// [`SpanKind::Routing`] span (with the router's own round/cycle/batch
-/// sub-spans inside it), and an enclosing [`SpanKind::Superstep`] span —
-/// plus `Submitted`/`Delivered`/`LocalOps` counters and `BarrierWait`/
-/// `SuperstepCost` histograms. With a disabled registry the run is
-/// identical to `simulate_bsp_on_logp`.
-pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
     logp: LogpParams,
     mut programs: Vec<P>,
     config: Theorem2Config,
-    registry: &Registry,
+    opts: &RunOptions,
 ) -> Result<Theorem2Report<P>, ModelError> {
+    let registry = &opts.registry;
+    let max_supersteps = opts.budget_or(DEFAULT_SUPERSTEP_BUDGET);
     let p = logp.p;
     assert_eq!(programs.len(), p, "need exactly p programs");
     let native = BspParams::new(p, logp.g, logp.l).expect("valid params");
@@ -168,9 +165,9 @@ pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
     let mut index = 0u64;
 
     while halted.iter().any(|&h| !h) {
-        if index >= config.max_supersteps {
+        if index >= max_supersteps {
             return Err(ModelError::Timeout {
-                budget: config.max_supersteps,
+                budget: max_supersteps,
             });
         }
         // --- Phase 1: local computation (guest BSP bodies). -------------
@@ -230,7 +227,7 @@ pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
             vec![Payload::word(0, 1); p],
             word_combine(|a, b| a & b),
             &joins,
-            config.seed.wrapping_add(index * 17 + 1),
+            opts.seed.wrapping_add(index * 17 + 1),
         )?;
         debug_assert!(cb.results.iter().all(|r| r.expect_word() == 1));
         let t_synch = cb.t_cb;
@@ -247,17 +244,18 @@ pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
         }
 
         // --- Phase 3: routing. -------------------------------------------
-        let seed = config.seed.wrapping_add(index * 17 + 2);
+        let seed = opts.seed.wrapping_add(index * 17 + 2);
         let rout_base = base + cb.makespan;
+        let rout_opts = RunOptions::new().seed(seed).registry(registry).at(rout_base);
         let t_rout = if rel.is_empty() {
             Steps::ZERO
         } else {
             match config.strategy {
                 RoutingStrategy::Deterministic(scheme) => {
-                    route_deterministic_obs(logp, &rel, scheme, seed, registry, rout_base)?.total
+                    route_deterministic(logp, &rel, scheme, &rout_opts)?.total
                 }
                 RoutingStrategy::Randomized { slack } => {
-                    route_randomized_obs(logp, &rel, slack, seed, registry, rout_base)?.time
+                    route_randomized(logp, &rel, slack, &rout_opts)?.time
                 }
                 RoutingStrategy::Offline => route_offline(logp, &rel, seed)?.0,
             }
@@ -313,6 +311,7 @@ pub fn simulate_bsp_on_logp_obs<P: BspProcess>(
 mod tests {
     use super::*;
     use bvl_bsp::{BspMachine, FnProcess};
+    use bvl_obs::Registry;
 
     /// The gather workload from the BSP crate's tests: everyone sends its id
     /// to P0, which sums in the next superstep.
@@ -375,10 +374,8 @@ mod tests {
             let rep = simulate_bsp_on_logp(
                 logp,
                 gather(8),
-                Theorem2Config {
-                    strategy,
-                    ..Theorem2Config::default()
-                },
+                Theorem2Config { strategy },
+                &RunOptions::new(),
             )
             .unwrap();
             assert_eq!(*rep.programs[0].state(), want, "{strategy:?}");
@@ -393,7 +390,9 @@ mod tests {
         let bsp = BspParams::new(16, 4, 16).unwrap();
         let mut native = BspMachine::new(bsp, ring(16, 5));
         native.run(10).unwrap();
-        let rep = simulate_bsp_on_logp(logp, ring(16, 5), Theorem2Config::default()).unwrap();
+        let rep =
+            simulate_bsp_on_logp(logp, ring(16, 5), Theorem2Config::default(), &RunOptions::new())
+                .unwrap();
         for i in 0..16 {
             assert_eq!(rep.programs[i].state(), native.process(i).state());
         }
@@ -403,7 +402,9 @@ mod tests {
     #[test]
     fn superstep_accounting_adds_up() {
         let logp = LogpParams::new(8, 8, 1, 2).unwrap();
-        let rep = simulate_bsp_on_logp(logp, ring(8, 2), Theorem2Config::default()).unwrap();
+        let rep =
+            simulate_bsp_on_logp(logp, ring(8, 2), Theorem2Config::default(), &RunOptions::new())
+                .unwrap();
         let sum: Steps = rep.supersteps.iter().map(|s| s.total).sum();
         assert_eq!(sum, rep.total);
         let native: Steps = rep.supersteps.iter().map(|s| s.native).sum();
@@ -419,8 +420,8 @@ mod tests {
             ring(8, 3),
             Theorem2Config {
                 strategy: RoutingStrategy::Deterministic(SortScheme::Network),
-                ..Theorem2Config::default()
             },
+            &RunOptions::new(),
         )
         .unwrap();
         let off = simulate_bsp_on_logp(
@@ -428,8 +429,8 @@ mod tests {
             ring(8, 3),
             Theorem2Config {
                 strategy: RoutingStrategy::Offline,
-                ..Theorem2Config::default()
             },
+            &RunOptions::new(),
         )
         .unwrap();
         assert!(off.total < det.total, "offline {:?} det {:?}", off.total, det.total);
@@ -439,8 +440,13 @@ mod tests {
     fn obs_run_emits_spans_and_zero_residual_attribution() {
         let logp = LogpParams::new(8, 8, 1, 2).unwrap();
         let reg = Registry::enabled(8);
-        let rep =
-            simulate_bsp_on_logp_obs(logp, ring(8, 3), Theorem2Config::default(), &reg).unwrap();
+        let rep = simulate_bsp_on_logp(
+            logp,
+            ring(8, 3),
+            Theorem2Config::default(),
+            &RunOptions::new().registry(&reg),
+        )
+        .unwrap();
         let spans = reg.spans();
 
         // One Superstep span per superstep, tiling the virtual timeline.
@@ -482,7 +488,13 @@ mod tests {
             })
             .collect();
         let reg2 = Registry::enabled(8);
-        simulate_bsp_on_logp_obs(logp, skew, Theorem2Config::default(), &reg2).unwrap();
+        simulate_bsp_on_logp(
+            logp,
+            skew,
+            Theorem2Config::default(),
+            &RunOptions::new().registry(&reg2),
+        )
+        .unwrap();
         let waits: Vec<_> =
             reg2.spans().iter().filter(|s| s.kind == SpanKind::BarrierWait).cloned().collect();
         assert_eq!(waits.len(), 7, "all but the slowest processor wait");
@@ -506,11 +518,12 @@ mod tests {
         let logp = LogpParams::new(8, 64, 1, 2).unwrap(); // roomy capacity
         let config = Theorem2Config {
             strategy: RoutingStrategy::Randomized { slack: 2.0 },
-            ..Theorem2Config::default()
         };
-        let plain = simulate_bsp_on_logp(logp, ring(8, 2), config).unwrap();
+        let plain = simulate_bsp_on_logp(logp, ring(8, 2), config, &RunOptions::new()).unwrap();
         let reg = Registry::enabled(8);
-        let observed = simulate_bsp_on_logp_obs(logp, ring(8, 2), config, &reg).unwrap();
+        let observed =
+            simulate_bsp_on_logp(logp, ring(8, 2), config, &RunOptions::new().registry(&reg))
+                .unwrap();
         assert_eq!(plain.total, observed.total);
         assert_eq!(plain.native_total, observed.native_total);
         assert!(reg.spans().iter().any(|s| s.kind == SpanKind::RouteBatch));
@@ -528,7 +541,9 @@ mod tests {
                 })
             })
             .collect();
-        let rep = simulate_bsp_on_logp(logp, procs, Theorem2Config::default()).unwrap();
+        let rep =
+            simulate_bsp_on_logp(logp, procs, Theorem2Config::default(), &RunOptions::new())
+                .unwrap();
         assert_eq!(rep.supersteps.len(), 1);
         assert_eq!(rep.supersteps[0].w, 10);
         assert_eq!(rep.supersteps[0].t_rout, Steps::ZERO);

@@ -33,16 +33,14 @@ pub mod stalling;
 
 pub use bsp_on_logp::cb::{run_cb, word_combine, CbReport, Combine, TreeShape};
 pub use bsp_on_logp::phase::route_offline;
-pub use bsp_on_logp::route_det::{
-    route_deterministic, route_deterministic_obs, RouteDetReport, SortScheme,
-};
-pub use bsp_on_logp::route_rand::{route_randomized, route_randomized_obs, RouteRandReport};
+pub use bsp_on_logp::route_det::{route_deterministic, RouteDetReport, SortScheme};
+pub use bsp_on_logp::route_rand::{route_randomized, RouteRandReport};
 pub use bsp_on_logp::runner::{
-    simulate_bsp_on_logp, simulate_bsp_on_logp_obs, RoutingStrategy, SuperstepBreakdown,
-    Theorem2Config, Theorem2Report,
+    simulate_bsp_on_logp, RoutingStrategy, SuperstepBreakdown, Theorem2Config, Theorem2Report,
+    DEFAULT_SUPERSTEP_BUDGET,
 };
 pub use logp_on_bsp::{
-    simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, simulate_logp_on_bsp_obs,
-    Theorem1Config, Theorem1Report, WorkPreservingReport,
+    simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, Theorem1Config, Theorem1Report,
+    WorkPreservingReport, DEFAULT_HOST_BUDGET,
 };
 pub use partition::{bsp_coschedule, logp_coschedule, BspCoscheduleReport, LogpCoscheduleReport};

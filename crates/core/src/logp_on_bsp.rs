@@ -27,29 +27,30 @@
 //!   reports [`ModelError::StallDetected`].
 
 use bvl_bsp::{BspMachine, BspParams, BspProcess, RunReport, Status, SuperstepCtx};
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpParams, LogpProcess, Op, ProcView};
 use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
-use bvl_obs::Registry;
 use std::collections::VecDeque;
 
-/// Options for the Theorem 1 simulation.
+/// Options for the Theorem 1 simulation. Run-wide knobs (registry, host
+/// superstep budget) come from the [`RunOptions`] passed alongside.
 #[derive(Clone, Copy, Debug)]
 pub struct Theorem1Config {
     /// Enforce the stall-free premise (`⌈L/G⌉` submissions per destination
     /// per cycle); violations abort the run. Default on.
     pub verify_stall_free: bool,
-    /// Superstep budget for the host machine.
-    pub max_supersteps: u64,
 }
 
 impl Default for Theorem1Config {
     fn default() -> Self {
         Theorem1Config {
             verify_stall_free: true,
-            max_supersteps: 1_000_000,
         }
     }
 }
+
+/// Default host superstep budget when `opts.budget` is unset.
+pub const DEFAULT_HOST_BUDGET: u64 = 1_000_000;
 
 /// The per-guest emulation state shared by the plain (Theorem 1) and the
 /// clustered (work-preserving, footnote 1) hosts.
@@ -372,7 +373,7 @@ pub fn simulate_logp_on_bsp_clustered<P: LogpProcess>(
     bsp: BspParams,
     cluster: usize,
     programs: Vec<P>,
-    max_supersteps: u64,
+    opts: &RunOptions,
 ) -> Result<WorkPreservingReport<P>, ModelError> {
     let p = logp.p;
     assert!(cluster >= 1 && p.is_multiple_of(cluster), "cluster must divide p");
@@ -392,7 +393,8 @@ pub fn simulate_logp_on_bsp_clustered<P: LogpProcess>(
         });
     }
     let mut machine = BspMachine::new(bsp, hosts);
-    let report = machine.run(max_supersteps)?;
+    machine.instrument(opts);
+    let report = machine.run(opts.budget_or(DEFAULT_HOST_BUDGET))?;
     let mut programs = Vec::with_capacity(p);
     for host in machine.into_processes() {
         programs.extend(host.into_programs());
@@ -451,25 +453,17 @@ impl<P: LogpProcess> Theorem1Report<P> {
 
 /// Run a LogP program (one `LogpProcess` per processor) on a BSP host and
 /// report cost, guest state, and slowdown inputs.
+///
+/// Observability comes through `opts`: `opts.registry` is attached to the
+/// host BSP machine, which feeds it per-superstep local-work, barrier and
+/// routing spans plus counters on the host's ledger clock; `opts.budget`
+/// caps the host superstep count ([`DEFAULT_HOST_BUDGET`] when unset).
 pub fn simulate_logp_on_bsp<P: LogpProcess>(
     logp: LogpParams,
     bsp: BspParams,
     programs: Vec<P>,
     config: Theorem1Config,
-) -> Result<Theorem1Report<P>, ModelError> {
-    simulate_logp_on_bsp_obs(logp, bsp, programs, config, &Registry::disabled())
-}
-
-/// [`simulate_logp_on_bsp`] with observability: the registry is attached to
-/// the host BSP machine, which feeds it per-superstep local-work, barrier
-/// and routing spans plus counters on the host's ledger clock. With a
-/// disabled registry this is exactly `simulate_logp_on_bsp`.
-pub fn simulate_logp_on_bsp_obs<P: LogpProcess>(
-    logp: LogpParams,
-    bsp: BspParams,
-    programs: Vec<P>,
-    config: Theorem1Config,
-    registry: &Registry,
+    opts: &RunOptions,
 ) -> Result<Theorem1Report<P>, ModelError> {
     assert_eq!(logp.p, bsp.p, "models must agree on p");
     let guests: Vec<GuestProc<P>> = programs
@@ -477,8 +471,8 @@ pub fn simulate_logp_on_bsp_obs<P: LogpProcess>(
         .map(|prog| GuestProc::new(prog, logp))
         .collect();
     let mut machine = BspMachine::new(bsp, guests);
-    machine.set_registry(registry.clone());
-    let report = machine.run(config.max_supersteps)?;
+    machine.instrument(opts);
+    let report = machine.run(opts.budget_or(DEFAULT_HOST_BUDGET))?;
 
     if config.verify_stall_free {
         // The proof's premise: per superstep, h <= ceil(L/G) (each cycle
@@ -522,6 +516,7 @@ pub fn guest_envelope(src: ProcId, dst: ProcId, payload: Payload, delivered: Ste
 mod tests {
     use super::*;
     use bvl_logp::{LogpConfig, LogpMachine, Script};
+    use bvl_obs::Registry;
 
     fn send(dst: u32, w: i64) -> Op {
         Op::Send {
@@ -551,8 +546,14 @@ mod tests {
             .map(|s| s.into_received().iter().map(|e| e.payload.expect_word()).collect())
             .collect();
 
-        let rep =
-            simulate_logp_on_bsp(logp, bsp, ring_programs(8), Theorem1Config::default()).unwrap();
+        let rep = simulate_logp_on_bsp(
+            logp,
+            bsp,
+            ring_programs(8),
+            Theorem1Config::default(),
+            &RunOptions::new(),
+        )
+        .unwrap();
         let hosted_received: Vec<Vec<i64>> = rep
             .programs
             .into_iter()
@@ -580,7 +581,9 @@ mod tests {
         let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), programs.clone());
         let native_time = native.run().unwrap().makespan;
 
-        let rep = simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default()).unwrap();
+        let rep =
+            simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default(), &RunOptions::new())
+                .unwrap();
         let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
         // Theorem 1: O(1 + g/G + l/L) = O(3); allow engine constants.
         assert!(slowdown < 12.0, "slowdown {slowdown}");
@@ -594,7 +597,9 @@ mod tests {
         let logp = LogpParams::new(2, 12, 1, 3).unwrap(); // C = 6
         let bsp = BspParams::new(2, 3, 12).unwrap();
         let programs = vec![Script::new([send(1, 9)]), Script::new([Op::Recv])];
-        let rep = simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default()).unwrap();
+        let rep =
+            simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default(), &RunOptions::new())
+                .unwrap();
         let received = &rep.programs[1].received()[0];
         assert_eq!(received.payload.expect_word(), 9);
         assert!(received.delivered >= Steps(6), "delivered {:?}", received.delivered);
@@ -605,12 +610,12 @@ mod tests {
         let logp = LogpParams::new(8, 8, 1, 2).unwrap();
         let bsp = BspParams::new(8, 2, 8).unwrap();
         let reg = Registry::enabled(8);
-        let rep = simulate_logp_on_bsp_obs(
+        let rep = simulate_logp_on_bsp(
             logp,
             bsp,
             ring_programs(8),
             Theorem1Config::default(),
-            &reg,
+            &RunOptions::new().registry(&reg),
         )
         .unwrap();
         // The host machine emitted one Superstep span per superstep.
@@ -635,7 +640,8 @@ mod tests {
         let mut programs = vec![Script::idle()];
         programs.extend((1..8).map(|i| Script::new([send(0, i as i64)])));
         // P0 never receives; it would deadlock on Recv, so just idle it.
-        let err = simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default());
+        let err =
+            simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default(), &RunOptions::new());
         assert!(matches!(err, Err(ModelError::StallDetected { .. })));
     }
 
@@ -647,7 +653,9 @@ mod tests {
             Script::new([Op::Compute(23), send(1, 5)]),
             Script::new([Op::Recv]),
         ];
-        let rep = simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default()).unwrap();
+        let rep =
+            simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default(), &RunOptions::new())
+                .unwrap();
         // Send submits at 23 + o = 24, i.e. cycle 6; receiver gets it after.
         assert_eq!(rep.programs[1].received().len(), 1);
         assert!(rep.guest_times[0] >= Steps(24));
@@ -665,7 +673,9 @@ mod tests {
         let bsp = BspParams::new(4, 8, 16).unwrap();
         let mut programs = vec![Script::new([send(1, 0), send(2, 1), send(3, 2)])];
         programs.extend((0..3).map(|_| Script::new([Op::Recv])));
-        let rep = simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default()).unwrap();
+        let rep =
+            simulate_logp_on_bsp(logp, bsp, programs, Theorem1Config::default(), &RunOptions::new())
+                .unwrap();
         // Guest submissions at 1, 9, 17 -> final guest clock >= 17.
         assert!(rep.guest_times[0] >= Steps(17));
     }
@@ -679,10 +689,8 @@ mod tests {
             logp,
             bsp,
             programs,
-            Theorem1Config {
-                max_supersteps: 50,
-                ..Theorem1Config::default()
-            },
+            Theorem1Config::default(),
+            &RunOptions::new().budget(50),
         );
         assert!(matches!(err, Err(ModelError::Timeout { .. })));
     }
@@ -727,9 +735,14 @@ mod cluster_tests {
 
         for cluster in [1usize, 2, 4, 8] {
             let bsp = BspParams::new(16 / cluster, 4, 16).unwrap();
-            let rep =
-                simulate_logp_on_bsp_clustered(logp, bsp, cluster, ring_programs(16, 4), 10_000)
-                    .unwrap();
+            let rep = simulate_logp_on_bsp_clustered(
+                logp,
+                bsp,
+                cluster,
+                ring_programs(16, 4),
+                &RunOptions::new().budget(10_000),
+            )
+            .unwrap();
             let got: Vec<Vec<i64>> = rep
                 .programs
                 .into_iter()
@@ -748,9 +761,14 @@ mod cluster_tests {
         let mut works = Vec::new();
         for cluster in [1usize, 4, 8] {
             let bsp = BspParams::new(32 / cluster, 4, 64).unwrap(); // pricey barrier
-            let rep =
-                simulate_logp_on_bsp_clustered(logp, bsp, cluster, ring_programs(32, 6), 10_000)
-                    .unwrap();
+            let rep = simulate_logp_on_bsp_clustered(
+                logp,
+                bsp,
+                cluster,
+                ring_programs(32, 6),
+                &RunOptions::new().budget(10_000),
+            )
+            .unwrap();
             works.push(rep.host_work());
         }
         assert!(works[1] < works[0], "work {works:?}");
@@ -761,8 +779,14 @@ mod cluster_tests {
     fn cluster_of_p_runs_on_one_host() {
         let logp = LogpParams::new(8, 8, 1, 2).unwrap();
         let bsp = BspParams::new(1, 2, 8).unwrap();
-        let rep =
-            simulate_logp_on_bsp_clustered(logp, bsp, 8, ring_programs(8, 2), 10_000).unwrap();
+        let rep = simulate_logp_on_bsp_clustered(
+            logp,
+            bsp,
+            8,
+            ring_programs(8, 2),
+            &RunOptions::new().budget(10_000),
+        )
+        .unwrap();
         assert_eq!(rep.hosts, 1);
         assert_eq!(rep.programs.len(), 8);
         // Sequentialized: every guest received its 2 messages.

@@ -18,6 +18,7 @@
 //!    measured times stay under the bound.
 
 use crate::logp_on_bsp::{simulate_logp_on_bsp, Theorem1Config};
+use bvl_exec::RunOptions;
 use bvl_bsp::BspParams;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{HRelation, ModelError, Payload, ProcId, Steps};
@@ -132,8 +133,8 @@ pub fn stalling_on_bsp(
         build(),
         Theorem1Config {
             verify_stall_free: false,
-            ..Theorem1Config::default()
         },
+        &RunOptions::new(),
     )?;
     let hosted = rep.bsp.cost;
     Ok(StallingOnBspReport {

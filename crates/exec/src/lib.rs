@@ -1,0 +1,35 @@
+//! # bvl-exec — the execution substrate
+//!
+//! BSP, LogP, and the §3 networks are *interchangeable layers* related by
+//! constant-factor simulations; this crate defines the contracts that make
+//! the workspace's engines interchangeable in code:
+//!
+//! * [`Executor`] — the run-loop contract (step / halt / uniform
+//!   [`RunOutcome`]), with [`drive`] as the one budget-enforcing loop.
+//! * [`RunOptions`] — the one way to parameterize a run (seed, trace,
+//!   registry, threads, clock base, budget), replacing positional-argument
+//!   growth and forked `*_obs` entry points.
+//! * [`Instruments`] — the per-machine instrumentation bundle (trace,
+//!   registry, message-id allocator), deduplicated out of every engine.
+//! * [`Medium`] — the transport seam between submission and delivery, so a
+//!   LogP machine can run over the abstract latency-`L` channel or over a
+//!   concrete routed topology.
+//! * [`Phase`] — the shared same-instant event ordering
+//!   (deliver < submit < ready).
+//! * [`Stacked`] / [`RunStack`] — guest-over-host composition, the
+//!   paper's theorems as a combinator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod medium;
+mod options;
+mod outcome;
+mod phase;
+mod stacked;
+
+pub use medium::Medium;
+pub use options::{Instruments, RunOptions};
+pub use outcome::{drive, Executor, RunOutcome};
+pub use phase::Phase;
+pub use stacked::{MediumGuest, RunStack, Stacked};

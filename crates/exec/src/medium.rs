@@ -1,0 +1,84 @@
+//! Message-transport abstraction.
+//!
+//! The paper's models differ precisely in what sits between a submitted
+//! message and its delivery: LogP's abstract latency-`L` channel with the
+//! `⌈L/G⌉` capacity constraint, or a concrete §3 network routing over a
+//! topology. A [`Medium`] captures exactly that seam — per-destination
+//! capacity plus a delivery-time function — so the LogP engine can run
+//! over either (the latter is how stacks ground Table 1's measured `g`/`L`
+//! end-to-end).
+
+use bvl_model::{Envelope, ProcId, Steps};
+use rand::RngCore;
+
+/// The transport between submission (accept) and delivery.
+///
+/// Implementations must be deterministic given the `rng` stream: the same
+/// sequence of `delivery_time` calls with identically-seeded RNGs must
+/// return the same times (the workspace determinism contract).
+pub trait Medium {
+    /// How many messages may be in transit towards `dst` at once (the
+    /// Stalling Rule threshold; `⌈L/G⌉` in pure LogP).
+    fn capacity(&self, dst: ProcId) -> u64;
+
+    /// When a message accepted at `now` arrives at `env.dst`.
+    ///
+    /// Must return a time `> now` (delivery is never instantaneous). The
+    /// `rng` is the machine's policy stream — draw from it only as the
+    /// medium's policy requires, since every draw advances the stream.
+    fn delivery_time(&mut self, env: &Envelope, now: Steps, rng: &mut dyn RngCore) -> Steps;
+
+    /// Short human-readable label for reports.
+    fn name(&self) -> &'static str {
+        "medium"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::{MsgId, Payload};
+
+    struct FixedDelay(u64);
+
+    impl Medium for FixedDelay {
+        fn capacity(&self, _dst: ProcId) -> u64 {
+            1
+        }
+
+        fn delivery_time(&mut self, _env: &Envelope, now: Steps, _rng: &mut dyn RngCore) -> Steps {
+            now + Steps(self.0)
+        }
+    }
+
+    #[test]
+    fn medium_is_object_safe() {
+        let mut m: Box<dyn Medium> = Box::new(FixedDelay(4));
+        let env = Envelope {
+            id: MsgId(0),
+            src: ProcId(0),
+            dst: ProcId(1),
+            payload: Payload::word(0, 7),
+            submitted: Steps::ZERO,
+            accepted: Steps::ZERO,
+            delivered: Steps::ZERO,
+        };
+        let mut rng = rand_stub();
+        assert_eq!(m.delivery_time(&env, Steps(3), &mut rng), Steps(7));
+        assert_eq!(m.capacity(ProcId(1)), 1);
+        assert_eq!(m.name(), "medium");
+    }
+
+    fn rand_stub() -> impl RngCore {
+        struct Zero;
+        impl RngCore for Zero {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        Zero
+    }
+}

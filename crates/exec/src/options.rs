@@ -1,0 +1,227 @@
+//! Run configuration and the shared instrumentation bundle.
+//!
+//! [`RunOptions`] is the one way to parameterize a run: every engine and
+//! cross-simulation entry point takes `&RunOptions` instead of growing
+//! positional `seed`/`registry`/`base` arguments or forked `*_obs`
+//! variants. [`Instruments`] is the matching per-machine state — trace,
+//! registry handle, message-id allocator — deduplicated out of the three
+//! engines that used to each hand-roll it.
+
+use bvl_model::{MsgId, Steps, Trace};
+use bvl_obs::Registry;
+
+/// Options shared by every run entry point in the workspace.
+///
+/// Construct with the builder methods; `RunOptions::default()` reproduces
+/// the historical defaults (seed 0, untraced, disabled registry, one
+/// thread, clock at zero, engine-default budget):
+///
+/// ```
+/// use bvl_exec::RunOptions;
+/// use bvl_obs::Registry;
+///
+/// let registry = Registry::enabled(8);
+/// let opts = RunOptions::new().seed(1996).traced().registry(&registry);
+/// assert_eq!(opts.seed, 1996);
+/// assert!(opts.trace && opts.registry.is_enabled());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Master seed for every randomized policy in the run.
+    pub seed: u64,
+    /// Record a full event trace (off by default; hot paths stay clean).
+    pub trace: bool,
+    /// Observability registry; `Registry::disabled()` is inert.
+    pub registry: Registry,
+    /// Worker threads for engines with a parallel local phase (BSP).
+    pub threads: usize,
+    /// Virtual-clock offset: spans and derived times are reported relative
+    /// to this base (used when a run is one phase of a larger simulation).
+    pub clock_base: Steps,
+    /// Step/superstep budget before a [`bvl_model::ModelError::Timeout`];
+    /// `None` means the engine's own default.
+    pub budget: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            seed: 0,
+            trace: false,
+            registry: Registry::disabled(),
+            threads: 1,
+            clock_base: Steps::ZERO,
+            budget: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The default options (see type-level docs).
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Set the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> RunOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable full event tracing.
+    #[must_use]
+    pub fn traced(mut self) -> RunOptions {
+        self.trace = true;
+        self
+    }
+
+    /// Attach a registry handle (cloned; registries are cheap handles).
+    #[must_use]
+    pub fn registry(mut self, registry: &Registry) -> RunOptions {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Set the worker-thread count for parallel local phases.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> RunOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Offset the run's virtual clock (span emission base).
+    #[must_use]
+    pub fn at(mut self, clock_base: Steps) -> RunOptions {
+        self.clock_base = clock_base;
+        self
+    }
+
+    /// Cap the run at `budget` steps/supersteps.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> RunOptions {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The budget to use given an engine default.
+    pub fn budget_or(&self, default: u64) -> u64 {
+        self.budget.unwrap_or(default)
+    }
+}
+
+/// The instrumentation bundle every machine carries: event trace,
+/// observability registry, and the run-unique message-id allocator.
+#[derive(Debug, Default)]
+pub struct Instruments {
+    /// Event trace (disabled unless requested).
+    pub trace: Trace,
+    /// Observability registry handle.
+    pub registry: Registry,
+    next_msg_id: u64,
+}
+
+impl Instruments {
+    /// Fully inert instruments (disabled trace and registry).
+    pub fn disabled() -> Instruments {
+        Instruments::new(false)
+    }
+
+    /// Instruments with a disabled registry and the trace on or off.
+    pub fn new(trace_enabled: bool) -> Instruments {
+        Instruments {
+            trace: if trace_enabled {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            registry: Registry::disabled(),
+            next_msg_id: 0,
+        }
+    }
+
+    /// Instruments matching `opts` (trace enabled iff `opts.trace`).
+    pub fn from_options(opts: &RunOptions) -> Instruments {
+        Instruments {
+            trace: if opts.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            registry: opts.registry.clone(),
+            next_msg_id: 0,
+        }
+    }
+
+    /// Apply `opts` to existing instruments: attach the registry and
+    /// upgrade (never downgrade) the trace.
+    pub fn apply(&mut self, opts: &RunOptions) {
+        self.registry = opts.registry.clone();
+        if opts.trace && !self.trace.is_enabled() {
+            self.trace = Trace::enabled();
+        }
+    }
+
+    /// Allocate the next run-unique message id.
+    #[inline]
+    pub fn alloc_msg_id(&mut self) -> MsgId {
+        let id = MsgId(self.next_msg_id);
+        self.next_msg_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_historical_behaviour() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.seed, 0);
+        assert!(!opts.trace);
+        assert!(!opts.registry.is_enabled());
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.clock_base, Steps::ZERO);
+        assert_eq!(opts.budget_or(123), 123);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let opts = RunOptions::new()
+            .seed(7)
+            .traced()
+            .threads(4)
+            .at(Steps(100))
+            .budget(50);
+        assert_eq!(opts.seed, 7);
+        assert!(opts.trace);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.clock_base, Steps(100));
+        assert_eq!(opts.budget_or(123), 50);
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        assert_eq!(RunOptions::new().threads(0).threads, 1);
+    }
+
+    #[test]
+    fn msg_ids_are_sequential() {
+        let mut ins = Instruments::disabled();
+        assert_eq!(ins.alloc_msg_id(), MsgId(0));
+        assert_eq!(ins.alloc_msg_id(), MsgId(1));
+    }
+
+    #[test]
+    fn from_options_respects_trace_flag() {
+        let ins = Instruments::from_options(&RunOptions::new().traced());
+        assert!(ins.trace.is_enabled());
+        let mut plain = Instruments::from_options(&RunOptions::new());
+        assert!(!plain.trace.is_enabled());
+        let reg = Registry::enabled(2);
+        plain.apply(&RunOptions::new().registry(&reg).traced());
+        assert!(plain.registry.is_enabled());
+        assert!(plain.trace.is_enabled());
+    }
+}

@@ -1,0 +1,79 @@
+//! The shared intra-instant event phases.
+//!
+//! Both the LogP engine's three-phase timeline and the trace validator's
+//! same-instant ordering rely on one convention: at a single time step,
+//! deliveries happen before submissions, and submissions before processor
+//! wake-ups. Encoding the convention once here (rather than as per-crate
+//! `PHASE_*` constants) makes the ordering a workspace-level contract.
+
+/// Ordering of events that share a timestamp, earliest first.
+///
+/// The order is load-bearing: a message delivered at `t` must enter the
+/// destination buffer before capacity is re-examined for submissions at
+/// `t`, and a processor made ready at `t` must observe both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// A message arrives at its destination buffer.
+    Deliver = 0,
+    /// A processor hands a message to the medium.
+    Submit = 1,
+    /// A processor becomes schedulable again.
+    Ready = 2,
+}
+
+impl Phase {
+    /// Number of phases (sizing for phase-indexed queues).
+    pub const COUNT: usize = 3;
+
+    /// Every phase, in execution order.
+    pub const ALL: [Phase; Phase::COUNT] = [Phase::Deliver, Phase::Submit, Phase::Ready];
+
+    /// The wire/index form.
+    #[inline]
+    pub const fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// The index form (for phase-bucketed arrays).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Phase::as_u8`].
+    ///
+    /// # Panics
+    /// Panics on values outside `0..3` — phases never come from untrusted
+    /// input, so an out-of-range value is an engine bug.
+    #[inline]
+    pub const fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Deliver,
+            1 => Phase::Submit,
+            2 => Phase::Ready,
+            _ => panic!("invalid phase"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_orders() {
+        for ph in Phase::ALL {
+            assert_eq!(Phase::from_u8(ph.as_u8()), ph);
+        }
+        assert!(Phase::Deliver < Phase::Submit);
+        assert!(Phase::Submit < Phase::Ready);
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid phase")]
+    fn rejects_out_of_range() {
+        let _ = Phase::from_u8(3);
+    }
+}

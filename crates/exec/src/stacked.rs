@@ -1,0 +1,90 @@
+//! Composable simulation stacks.
+//!
+//! The paper's theorems compose: a LogP program runs on BSP (Theorem 1),
+//! BSP runs on LogP (Theorem 2), and either abstract machine is realized by
+//! a §3 network. [`Stacked`] is that composition made literal — a guest
+//! workload paired with a host substrate — and [`RunStack`] is the single
+//! entry point that executes the pair under shared [`RunOptions`].
+//!
+//! Concrete impls live next to their engines (e.g. `bvl_logp` implements
+//! `RunStack` for `Stacked<LogpSpec<P>, M: Medium>`, running the guest's
+//! LogP semantics over an arbitrary transport medium).
+
+use crate::{Medium, RunOptions};
+use bvl_model::ModelError;
+
+/// A guest workload paired with the host substrate it runs on.
+#[derive(Clone, Debug)]
+pub struct Stacked<G, H> {
+    /// The guest: a machine specification plus its programs.
+    pub guest: G,
+    /// The host: the substrate the guest executes over (a [`crate::Medium`],
+    /// a machine parameterization, ...).
+    pub host: H,
+}
+
+impl<G, H> Stacked<G, H> {
+    /// Pair a guest with a host.
+    pub fn new(guest: G, host: H) -> Stacked<G, H> {
+        Stacked { guest, host }
+    }
+}
+
+/// Execute a (possibly stacked) specification under shared options.
+pub trait RunStack {
+    /// The stack's report type (engine-specific; [`crate::RunOutcome`] is
+    /// always derivable from it).
+    type Report;
+
+    /// Run to completion.
+    fn run_stack(self, opts: &RunOptions) -> Result<Self::Report, ModelError>;
+}
+
+/// A guest specification that can execute over any boxed [`Medium`].
+///
+/// Engines implement this for their spec types (a local impl of a
+/// `bvl_exec` trait for a local type), and the blanket impl below lifts it
+/// to `RunStack` for `Stacked<Guest, Box<dyn Medium + Send>>` — which the
+/// orphan rule would otherwise forbid downstream, since `Stacked` and
+/// `RunStack` are both foreign there.
+pub trait MediumGuest {
+    /// The guest engine's report type.
+    type Report;
+
+    /// Run the guest over `host` under shared options.
+    fn run_over(
+        self,
+        host: Box<dyn Medium + Send>,
+        opts: &RunOptions,
+    ) -> Result<Self::Report, ModelError>;
+}
+
+impl<G: MediumGuest> RunStack for Stacked<G, Box<dyn Medium + Send>> {
+    type Report = G::Report;
+
+    fn run_stack(self, opts: &RunOptions) -> Result<Self::Report, ModelError> {
+        self.guest.run_over(self.host, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Guest(u64);
+    struct Host(u64);
+
+    impl RunStack for Stacked<Guest, Host> {
+        type Report = u64;
+
+        fn run_stack(self, opts: &RunOptions) -> Result<u64, ModelError> {
+            Ok(self.guest.0 + self.host.0 + opts.seed)
+        }
+    }
+
+    #[test]
+    fn stack_runs_with_options() {
+        let stack = Stacked::new(Guest(1), Host(2));
+        assert_eq!(stack.run_stack(&RunOptions::new().seed(4)).unwrap(), 7);
+    }
+}

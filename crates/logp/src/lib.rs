@@ -30,12 +30,14 @@ pub mod params;
 pub mod policy;
 pub mod process;
 pub mod reference;
+pub mod stack;
 pub mod timeline;
 pub mod validate;
 
 pub use machine::LogpMachine;
 pub use metrics::{LogpReport, ProcStats};
 pub use params::LogpParams;
-pub use policy::{AcceptOrder, DeliveryPolicy, LogpConfig};
+pub use policy::{AcceptOrder, DeliveryPolicy, LogpConfig, PolicyMedium};
 pub use process::{FnLogpProcess, LogpProcess, Op, ProcView, Script};
+pub use stack::{LogpSpec, StackReport, StackedLogp};
 pub use timeline::{Timeline, TimelineKind};

@@ -26,21 +26,18 @@
 
 use crate::metrics::{LogpReport, ProcStats};
 use crate::params::LogpParams;
-use crate::policy::{AcceptOrder, LogpConfig};
+use crate::policy::{AcceptOrder, LogpConfig, PolicyMedium};
 use crate::process::{LogpProcess, Op, ProcView};
 use crate::timeline::Timeline;
+use bvl_exec::{drive, Executor, Instruments, Medium, Phase, RunOptions, RunOutcome};
 use bvl_model::rngutil::SeedStream;
 use bvl_model::stats::Accumulator;
 use bvl_model::trace::{Event, Trace};
-use bvl_model::{Envelope, ModelError, MsgId, ProcId, Steps};
-use bvl_obs::{Counter, Hist, Registry, Span, SpanKind};
+use bvl_model::{Envelope, ModelError, ProcId, Steps};
+use bvl_obs::{Counter, Hist, Span, SpanKind};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
-
-const PHASE_DELIVER: u8 = 0;
-const PHASE_SUBMIT: u8 = 1;
-const PHASE_READY: u8 = 2;
 
 enum EvKind {
     Deliver { env: Envelope },
@@ -88,13 +85,12 @@ pub struct LogpMachine<P: LogpProcess> {
     pending: Vec<VecDeque<Envelope>>, // per destination: submitted, unaccepted
     in_transit: Vec<u64>,             // per destination: accepted, undelivered
     timeline: Timeline<EvKind>,
-    next_msg_id: u64,
+    medium: Box<dyn Medium + Send>,
     now: Steps,
     makespan: Steps,
     delivered: u64,
     latency: Accumulator,
-    trace: Trace,
-    registry: Registry,
+    instruments: Instruments,
     rng: ChaCha8Rng,
     events_processed: u64,
     started: bool,
@@ -124,30 +120,39 @@ impl<P: LogpProcess> LogpMachine<P> {
                 config.timeline,
                 params.l.max(params.o).max(params.g),
             ),
-            next_msg_id: 0,
+            medium: Box::new(PolicyMedium::new(params, config.delivery)),
             now: Steps::ZERO,
             makespan: Steps::ZERO,
             delivered: 0,
             latency: Accumulator::new(),
-            trace: if config.trace {
-                Trace::enabled()
-            } else {
-                Trace::disabled()
-            },
-            registry: Registry::disabled(),
+            instruments: Instruments::new(config.trace),
             rng: SeedStream::new(config.seed).derive("logp-machine", 0),
             events_processed: 0,
             started: false,
         }
     }
 
-    /// Attach an observability registry; the engine feeds it with per-event
-    /// counters (submissions, deliveries, acquisitions, stalls), latency and
-    /// stall-duration histograms, and one [`SpanKind::Stall`] span per stall
-    /// window. Overhead is one branch per instrumentation site when the
-    /// handle is disabled.
-    pub fn set_registry(&mut self, registry: Registry) {
-        self.registry = registry;
+    /// Apply shared [`RunOptions`]: attach the observability registry
+    /// (per-event counters, latency/stall histograms, one
+    /// [`SpanKind::Stall`] span per stall window — one branch per site when
+    /// disabled), upgrade tracing, and apply an explicit event budget.
+    /// The policy seed is fixed at construction ([`LogpConfig::seed`]).
+    pub fn instrument(&mut self, opts: &RunOptions) {
+        self.instruments.apply(opts);
+        if let Some(budget) = opts.budget {
+            self.config.max_events = budget;
+        }
+    }
+
+    /// Replace the transport medium (default: [`PolicyMedium`], the pure
+    /// LogP latency-`L` channel). A network-backed medium turns this
+    /// machine into a stacked simulation over a concrete topology.
+    ///
+    /// # Panics
+    /// If the run has already started.
+    pub fn set_medium(&mut self, medium: Box<dyn Medium + Send>) {
+        assert!(!self.started, "set_medium must precede the run");
+        self.medium = medium;
     }
 
     /// The machine parameters.
@@ -157,7 +162,7 @@ impl<P: LogpProcess> LogpMachine<P> {
 
     /// The event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.instruments.trace
     }
 
     /// Immutable access to a program (e.g. to read final state).
@@ -170,54 +175,17 @@ impl<P: LogpProcess> LogpMachine<P> {
         self.programs
     }
 
-    fn push(&mut self, at: Steps, phase: u8, kind: EvKind) {
+    fn push(&mut self, at: Steps, phase: Phase, kind: EvKind) {
         self.timeline.push(at, phase, kind);
     }
 
     /// Run to quiescence and return the report.
+    ///
+    /// Single-shot; equivalent to [`bvl_exec::drive`] under the configured
+    /// event budget followed by deadlock detection.
     pub fn run(&mut self) -> Result<LogpReport, ModelError> {
         assert!(!self.started, "LogpMachine::run may only be called once");
-        self.started = true;
-
-        for i in 0..self.params.p {
-            self.push(
-                Steps::ZERO,
-                PHASE_READY,
-                EvKind::Ready {
-                    proc: i,
-                    acquired: None,
-                },
-            );
-        }
-
-        while let Some((at, _phase, kind)) = self.timeline.pop() {
-            self.events_processed += 1;
-            if self.events_processed > self.config.max_events {
-                return Err(ModelError::Timeout {
-                    budget: self.config.max_events,
-                });
-            }
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.makespan = self.makespan.max(at);
-            match kind {
-                EvKind::Deliver { env } => self.on_deliver(env)?,
-                EvKind::Submit { proc, env } => self.on_submit(proc, env)?,
-                EvKind::Ready { proc, acquired } => {
-                    if let Some(env) = acquired {
-                        self.trace.record(Event::Acquire {
-                            at: self.now,
-                            proc: ProcId::from(proc),
-                            msg: env.id,
-                        });
-                        self.procs[proc].stats.acquired += 1;
-                        self.registry.add(ProcId::from(proc), Counter::Acquired, 1);
-                        self.programs[proc].on_recv(env);
-                    }
-                    self.poll(proc)?;
-                }
-            }
-        }
+        drive(self, self.config.max_events)?;
 
         // Quiesced: detect processors blocked forever.
         let waiting: Vec<ProcId> = self
@@ -255,9 +223,11 @@ impl<P: LogpProcess> LogpMachine<P> {
         self.in_transit[dst] -= 1;
         self.delivered += 1;
         self.latency.push(env.latency().get() as f64);
-        self.registry.add(env.dst, Counter::Delivered, 1);
-        self.registry.observe(Hist::DeliveryLatency, env.latency().get());
-        self.trace.record(Event::Deliver {
+        self.instruments.registry.add(env.dst, Counter::Delivered, 1);
+        self.instruments
+            .registry
+            .observe(Hist::DeliveryLatency, env.latency().get());
+        self.instruments.trace.record(Event::Deliver {
             at: self.now,
             msg: env.id,
             dst: env.dst,
@@ -277,14 +247,16 @@ impl<P: LogpProcess> LogpMachine<P> {
     fn on_submit(&mut self, proc: usize, mut env: Envelope) -> Result<(), ModelError> {
         env.submitted = self.now;
         let dst = env.dst.index();
-        self.trace.record(Event::Submit {
+        self.instruments.trace.record(Event::Submit {
             at: self.now,
             proc: ProcId::from(proc),
             msg: env.id,
             dst: env.dst,
         });
         self.procs[proc].stats.sent += 1;
-        self.registry.add(ProcId::from(proc), Counter::Submitted, 1);
+        self.instruments
+            .registry
+            .add(ProcId::from(proc), Counter::Submitted, 1);
         self.procs[proc].pending_submit = true;
         self.pending[dst].push_back(env);
         self.try_accept(dst)?;
@@ -300,8 +272,10 @@ impl<P: LogpProcess> LogpMachine<P> {
             st.stalling = true;
             st.stall_since = self.now;
             st.stats.stall_episodes += 1;
-            self.registry.add(ProcId::from(proc), Counter::StallEpisodes, 1);
-            self.trace.record(Event::StallBegin {
+            self.instruments
+                .registry
+                .add(ProcId::from(proc), Counter::StallEpisodes, 1);
+            self.instruments.trace.record(Event::StallBegin {
                 at: self.now,
                 proc: ProcId::from(proc),
             });
@@ -312,7 +286,7 @@ impl<P: LogpProcess> LogpMachine<P> {
     /// The Stalling Rule at the current instant for one destination: accept
     /// `min{k, s}` pending messages in policy order.
     fn try_accept(&mut self, dst: usize) -> Result<(), ModelError> {
-        let capacity = self.params.capacity();
+        let capacity = self.medium.capacity(ProcId::from(dst));
         while self.in_transit[dst] < capacity && !self.pending[dst].is_empty() {
             let idx = match self.config.accept_order {
                 AcceptOrder::Fifo => 0,
@@ -322,7 +296,7 @@ impl<P: LogpProcess> LogpMachine<P> {
             let mut env = self.pending[dst].remove(idx).expect("checked non-empty");
             env.accepted = self.now;
             self.in_transit[dst] += 1;
-            self.trace.record(Event::Accept {
+            self.instruments.trace.record(Event::Accept {
                 at: self.now,
                 msg: env.id,
             });
@@ -332,16 +306,18 @@ impl<P: LogpProcess> LogpMachine<P> {
             if st.stalling {
                 st.stalling = false;
                 st.stats.stalled += self.now - st.stall_since;
-                if self.registry.is_enabled() {
+                if self.instruments.registry.is_enabled() {
                     let window = self.now - st.stall_since;
-                    self.registry.add(ProcId::from(src), Counter::StallSteps, window.get());
-                    self.registry.observe(Hist::StallDuration, window.get());
-                    self.registry.span(
+                    self.instruments
+                        .registry
+                        .add(ProcId::from(src), Counter::StallSteps, window.get());
+                    self.instruments.registry.observe(Hist::StallDuration, window.get());
+                    self.instruments.registry.span(
                         Span::new(SpanKind::Stall, st.stall_since, self.now)
                             .on(ProcId::from(src)),
                     );
                 }
-                self.trace.record(Event::StallEnd {
+                self.instruments.trace.record(Event::StallEnd {
                     at: self.now,
                     proc: ProcId::from(src),
                 });
@@ -349,17 +325,14 @@ impl<P: LogpProcess> LogpMachine<P> {
             // Sender resumes at the acceptance instant.
             self.push(
                 self.now,
-                PHASE_READY,
+                Phase::Ready,
                 EvKind::Ready {
                     proc: src,
                     acquired: None,
                 },
             );
-            let deliver_at =
-                self.config
-                    .delivery
-                    .delivery_time(self.now, self.params.l, &mut self.rng);
-            self.push(deliver_at, PHASE_DELIVER, EvKind::Deliver { env });
+            let deliver_at = self.medium.delivery_time(&env, self.now, &mut self.rng);
+            self.push(deliver_at, Phase::Deliver, EvKind::Deliver { env });
         }
         Ok(())
     }
@@ -380,7 +353,7 @@ impl<P: LogpProcess> LogpMachine<P> {
         st.stats.busy += Steps(self.params.o);
         self.push(
             t_acq,
-            PHASE_READY,
+            Phase::Ready,
             EvKind::Ready {
                 proc,
                 acquired: Some(env),
@@ -420,10 +393,12 @@ impl<P: LogpProcess> LogpMachine<P> {
                 }
                 Op::Compute(n) => {
                     self.procs[proc].stats.busy += Steps(n);
-                    self.registry.add(ProcId::from(proc), Counter::LocalOps, n);
+                    self.instruments
+                        .registry
+                        .add(ProcId::from(proc), Counter::LocalOps, n);
                     self.push(
                         self.now + Steps(n),
-                        PHASE_READY,
+                        Phase::Ready,
                         EvKind::Ready {
                             proc,
                             acquired: None,
@@ -435,7 +410,7 @@ impl<P: LogpProcess> LogpMachine<P> {
                     if t > self.now {
                         self.push(
                             t,
-                            PHASE_READY,
+                            Phase::Ready,
                             EvKind::Ready {
                                 proc,
                                 acquired: None,
@@ -466,7 +441,7 @@ impl<P: LogpProcess> LogpMachine<P> {
                     st.last_submit = Some(t_sub);
                     st.stats.busy += Steps(self.params.o);
                     let env = Envelope {
-                        id: MsgId(self.next_msg_id),
+                        id: self.instruments.alloc_msg_id(),
                         src: ProcId::from(proc),
                         dst,
                         payload,
@@ -474,8 +449,7 @@ impl<P: LogpProcess> LogpMachine<P> {
                         accepted: t_sub,
                         delivered: t_sub,
                     };
-                    self.next_msg_id += 1;
-                    self.push(t_sub, PHASE_SUBMIT, EvKind::Submit { proc, env });
+                    self.push(t_sub, Phase::Submit, EvKind::Submit { proc, env });
                     return Ok(());
                 }
                 Op::Recv => {
@@ -487,6 +461,66 @@ impl<P: LogpProcess> LogpMachine<P> {
                     return Ok(());
                 }
             }
+        }
+    }
+}
+
+impl<P: LogpProcess> Executor for LogpMachine<P> {
+    /// Process one timeline event (lazily seeding the initial `Ready`
+    /// events on the first call).
+    fn step(&mut self) -> Result<bool, ModelError> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.params.p {
+                self.push(
+                    Steps::ZERO,
+                    Phase::Ready,
+                    EvKind::Ready {
+                        proc: i,
+                        acquired: None,
+                    },
+                );
+            }
+        }
+        let Some((at, _phase, kind)) = self.timeline.pop() else {
+            return Ok(false);
+        };
+        self.events_processed += 1;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.makespan = self.makespan.max(at);
+        match kind {
+            EvKind::Deliver { env } => self.on_deliver(env)?,
+            EvKind::Submit { proc, env } => self.on_submit(proc, env)?,
+            EvKind::Ready { proc, acquired } => {
+                if let Some(env) = acquired {
+                    self.instruments.trace.record(Event::Acquire {
+                        at: self.now,
+                        proc: ProcId::from(proc),
+                        msg: env.id,
+                    });
+                    self.procs[proc].stats.acquired += 1;
+                    self.instruments
+                        .registry
+                        .add(ProcId::from(proc), Counter::Acquired, 1);
+                    self.programs[proc].on_recv(env);
+                }
+                self.poll(proc)?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn halted(&self) -> bool {
+        self.started && self.timeline.is_empty()
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            makespan: self.makespan,
+            delivered: self.delivered,
+            work: self.events_processed,
+            halted: self.halted(),
         }
     }
 }
@@ -759,7 +793,7 @@ mod stats_tests {
         }));
         let mut m = LogpMachine::new(params, programs);
         let reg = Registry::enabled(5);
-        m.set_registry(reg.clone());
+        m.instrument(&bvl_exec::RunOptions::new().registry(&reg));
         let rep = m.run().unwrap();
         assert_eq!(reg.counter(Counter::Submitted), 4);
         assert_eq!(reg.counter(Counter::Delivered), 4);

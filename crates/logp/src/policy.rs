@@ -10,10 +10,11 @@
 //! required input-output map under all admissible executions" — can be
 //! tested against several adversaries.
 
+use crate::params::LogpParams;
 use crate::timeline::TimelineKind;
-use bvl_model::Steps;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use bvl_exec::Medium;
+use bvl_model::{Envelope, ProcId, Steps};
+use rand::{Rng, RngCore};
 
 /// When an accepted message is delivered, relative to its acceptance time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,13 +30,50 @@ pub enum DeliveryPolicy {
 
 impl DeliveryPolicy {
     /// Pick a delivery time for a message accepted at `accepted`.
-    pub fn delivery_time(self, accepted: Steps, l: u64, rng: &mut ChaCha8Rng) -> Steps {
+    pub fn delivery_time<R: RngCore + ?Sized>(self, accepted: Steps, l: u64, rng: &mut R) -> Steps {
         let delay = match self {
             DeliveryPolicy::AtLatencyBound => l,
             DeliveryPolicy::Eager => 1,
             DeliveryPolicy::Uniform => rng.gen_range(1..=l.max(1)),
         };
         accepted + Steps(delay)
+    }
+}
+
+/// The pure-LogP [`Medium`]: the abstract latency-`L` channel with uniform
+/// per-destination capacity `⌈L/G⌉` and a pluggable [`DeliveryPolicy`].
+/// This is the default medium of every `LogpMachine`; swapping it for a
+/// routed-network medium is what turns the machine into a stacked
+/// simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyMedium {
+    delivery: DeliveryPolicy,
+    l: u64,
+    capacity: u64,
+}
+
+impl PolicyMedium {
+    /// The medium matching `params` and a delivery policy.
+    pub fn new(params: LogpParams, delivery: DeliveryPolicy) -> PolicyMedium {
+        PolicyMedium {
+            delivery,
+            l: params.l,
+            capacity: params.capacity(),
+        }
+    }
+}
+
+impl Medium for PolicyMedium {
+    fn capacity(&self, _dst: ProcId) -> u64 {
+        self.capacity
+    }
+
+    fn delivery_time(&mut self, _env: &Envelope, now: Steps, rng: &mut dyn RngCore) -> Steps {
+        self.delivery.delivery_time(now, self.l, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "logp"
     }
 }
 

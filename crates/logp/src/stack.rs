@@ -1,0 +1,171 @@
+//! The LogP side of the composable simulation stack.
+//!
+//! [`LogpSpec`] names a guest LogP machine — parameters, policies, one
+//! program per processor — without running it. Pairing the spec with any
+//! [`Medium`] via [`Stacked`] and calling [`bvl_exec::RunStack::run_stack`] executes
+//! the guest over that transport: `Stacked<LogpSpec<P>, PolicyMedium>` is
+//! the abstract latency-`L` machine, while `Stacked<LogpSpec<P>,
+//! NetMedium<T>>` (see `bvl_net`) grounds the *same* guest on a concrete
+//! Table 1 topology whose `g`/`L` are measured rather than assumed.
+
+use crate::machine::LogpMachine;
+use crate::metrics::LogpReport;
+use crate::params::LogpParams;
+use crate::policy::LogpConfig;
+use crate::process::LogpProcess;
+use bvl_exec::{Medium, MediumGuest, RunOptions, Stacked};
+use bvl_model::ModelError;
+
+/// A guest LogP machine specification: everything needed to build the
+/// machine except the transport it runs over.
+#[derive(Clone, Debug)]
+pub struct LogpSpec<P: LogpProcess> {
+    /// The `(p, L, o, G)` quadruple the guest believes it runs on.
+    pub params: LogpParams,
+    /// Engine policies (delivery, acceptance order, stalling, budget).
+    pub config: LogpConfig,
+    /// One program per processor.
+    pub programs: Vec<P>,
+}
+
+impl<P: LogpProcess> LogpSpec<P> {
+    /// A spec with default [`LogpConfig`].
+    pub fn new(params: LogpParams, programs: Vec<P>) -> LogpSpec<P> {
+        LogpSpec {
+            params,
+            config: LogpConfig::default(),
+            programs,
+        }
+    }
+
+    /// A spec with explicit engine policies.
+    pub fn with_config(params: LogpParams, config: LogpConfig, programs: Vec<P>) -> LogpSpec<P> {
+        LogpSpec {
+            params,
+            config,
+            programs,
+        }
+    }
+
+    /// Pair this guest with a transport medium, ready for
+    /// [`bvl_exec::RunStack::run_stack`]. The host is boxed so one
+    /// [`MediumGuest`] impl covers every medium.
+    pub fn over<M: Medium + Send + 'static>(self, medium: M) -> StackedLogp<P> {
+        Stacked::new(self, Box::new(medium))
+    }
+}
+
+/// A LogP guest over an arbitrary boxed transport.
+pub type StackedLogp<P> = Stacked<LogpSpec<P>, Box<dyn Medium + Send>>;
+
+/// Report of a stacked LogP run: the engine report plus the final programs
+/// (for output-equivalence checks against a native run).
+#[derive(Debug)]
+pub struct StackReport<P> {
+    /// The guest engine's report (makespan, stalls, latency, per-proc).
+    pub report: LogpReport,
+    /// The programs after the run.
+    pub programs: Vec<P>,
+}
+
+impl<P: LogpProcess> MediumGuest for LogpSpec<P> {
+    type Report = StackReport<P>;
+
+    /// Run the guest over the host medium under shared options.
+    ///
+    /// One seed governs the whole stack: `opts.seed` overrides the spec's
+    /// policy seed, so a stacked run is replayable from the [`RunOptions`]
+    /// alone.
+    fn run_over(
+        self,
+        host: Box<dyn Medium + Send>,
+        opts: &RunOptions,
+    ) -> Result<StackReport<P>, ModelError> {
+        let mut config = self.config;
+        config.seed = opts.seed;
+        let mut machine = LogpMachine::with_config(self.params, config, self.programs);
+        machine.set_medium(host);
+        machine.instrument(opts);
+        let report = machine.run()?;
+        Ok(StackReport {
+            report,
+            programs: machine.into_programs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DeliveryPolicy, PolicyMedium};
+    use crate::process::{Op, Script};
+    use bvl_exec::RunStack;
+    use bvl_model::{Payload, ProcId};
+
+    fn ring(p: usize, rounds: usize) -> Vec<Script> {
+        (0..p)
+            .map(|i| {
+                let mut ops = Vec::new();
+                for r in 0..rounds {
+                    ops.push(Op::Send {
+                        dst: ProcId(((i + 1) % p) as u32),
+                        payload: Payload::word(r as u32, i as i64),
+                    });
+                    ops.push(Op::Recv);
+                }
+                Script::new(ops)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_medium_stack_matches_plain_machine() {
+        let params = LogpParams::new(8, 16, 1, 2).unwrap();
+        let mut plain = LogpMachine::with_config(params, LogpConfig::default(), ring(8, 4));
+        let want = plain.run().unwrap().makespan;
+
+        let stack = LogpSpec::new(params, ring(8, 4))
+            .over(PolicyMedium::new(params, DeliveryPolicy::AtLatencyBound));
+        let got = stack.run_stack(&RunOptions::new()).unwrap();
+        assert_eq!(got.report.makespan, want);
+        assert_eq!(got.programs.len(), 8);
+    }
+
+    #[test]
+    fn seed_comes_from_the_options() {
+        let params = LogpParams::new(4, 8, 1, 2).unwrap();
+        let run = |seed| {
+            LogpSpec::new(params, ring(4, 2))
+                .over(PolicyMedium::new(params, DeliveryPolicy::AtLatencyBound))
+                .run_stack(&RunOptions::new().seed(seed))
+            .unwrap()
+            .report
+            .makespan
+        };
+        assert_eq!(run(3), run(3), "replayable from the options alone");
+    }
+
+    #[test]
+    fn budget_from_options_bounds_the_run() {
+        let params = LogpParams::new(4, 8, 1, 2).unwrap();
+        // Two processors waiting on each other forever: the budget must
+        // convert divergence into a Timeout instead of spinning.
+        let scripts = vec![
+            Script::new(vec![Op::Recv]),
+            Script::new(vec![Op::Recv]),
+            Script::new(Vec::new()),
+            Script::new(Vec::new()),
+        ];
+        let err = match LogpSpec::new(params, scripts)
+            .over(PolicyMedium::new(params, DeliveryPolicy::AtLatencyBound))
+            .run_stack(&RunOptions::new().budget(16))
+        {
+            Ok(_) => panic!("deadlocked stack must not complete"),
+            Err(e) => e,
+        };
+        match err {
+            ModelError::Timeout { .. } | ModelError::Deadlock { .. } => {}
+            other => panic!("expected bounded failure, got {other:?}"),
+        }
+    }
+}

@@ -31,12 +31,13 @@
 //!   event is being processed is still popped first, exactly as a heap
 //!   keyed `(time, phase, seq)` would.
 
+use bvl_exec::Phase;
 use bvl_model::Steps;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Number of event phases per instant (deliver, submit, ready).
-pub const PHASES: usize = 3;
+/// Number of event phases per instant (see [`Phase`]).
+pub const PHASES: usize = Phase::COUNT;
 
 /// Which timeline implementation the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -141,7 +142,7 @@ impl<T> Ring<T> {
         }
     }
 
-    fn pop(&mut self) -> Option<(Steps, u8, T)> {
+    fn pop(&mut self) -> Option<(Steps, Phase, T)> {
         loop {
             if self.ring_len == 0 {
                 // Jump straight to the earliest far-future event.
@@ -154,7 +155,7 @@ impl<T> Ring<T> {
             for (phase, q) in slot.iter_mut().enumerate() {
                 if let Some(payload) = q.pop_front() {
                     self.ring_len -= 1;
-                    return Some((Steps(self.cursor), phase as u8, payload));
+                    return Some((Steps(self.cursor), Phase::from_u8(phase as u8), payload));
                 }
             }
             self.cursor += 1;
@@ -203,16 +204,15 @@ impl<T> Timeline<T> {
 
     /// Queue `payload` at instant `at`, phase `phase`.
     #[inline]
-    pub fn push(&mut self, at: Steps, phase: u8, payload: T) {
-        debug_assert!((phase as usize) < PHASES);
+    pub fn push(&mut self, at: Steps, phase: Phase, payload: T) {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
         match &mut self.imp {
-            Imp::Bucket(ring) => ring.push(at.get(), phase, seq, payload),
+            Imp::Bucket(ring) => ring.push(at.get(), phase.as_u8(), seq, payload),
             Imp::Heap(heap) => heap.push(Reverse(Keyed {
                 at: at.get(),
-                phase,
+                phase: phase.as_u8(),
                 seq,
                 payload,
             })),
@@ -221,7 +221,7 @@ impl<T> Timeline<T> {
 
     /// Remove and return the earliest event.
     #[inline]
-    pub fn pop(&mut self) -> Option<(Steps, u8, T)> {
+    pub fn pop(&mut self) -> Option<(Steps, Phase, T)> {
         if self.len == 0 {
             return None;
         }
@@ -230,7 +230,7 @@ impl<T> Timeline<T> {
             Imp::Bucket(ring) => ring.pop(),
             Imp::Heap(heap) => heap
                 .pop()
-                .map(|Reverse(ev)| (Steps(ev.at), ev.phase, ev.payload)),
+                .map(|Reverse(ev)| (Steps(ev.at), Phase::from_u8(ev.phase), ev.payload)),
         }
     }
 }
@@ -239,7 +239,7 @@ impl<T> Timeline<T> {
 mod tests {
     use super::*;
 
-    fn drain<T>(t: &mut Timeline<T>) -> Vec<(u64, u8, T)> {
+    fn drain<T>(t: &mut Timeline<T>) -> Vec<(u64, Phase, T)> {
         let mut out = Vec::new();
         while let Some((at, ph, v)) = t.pop() {
             out.push((at.get(), ph, v));
@@ -249,7 +249,7 @@ mod tests {
 
     /// Feed both implementations an identical interleaved push/pop schedule
     /// and require identical pop sequences.
-    fn equivalence_on(schedule: &[(u64, u8)], span_hint: u64) {
+    fn equivalence_on(schedule: &[(u64, Phase)], span_hint: u64) {
         let mut bucket = Timeline::new(TimelineKind::Bucket, span_hint);
         let mut heap = Timeline::new(TimelineKind::BinaryHeap, span_hint);
         let mut popped = Vec::new();
@@ -268,8 +268,8 @@ mod tests {
 
     #[test]
     fn matches_heap_on_clustered_times() {
-        let sched: Vec<(u64, u8)> = (0..200)
-            .map(|i: u64| ((i * 7919) % 40, (i % 3) as u8))
+        let sched: Vec<(u64, Phase)> = (0..200)
+            .map(|i: u64| ((i * 7919) % 40, Phase::from_u8((i % 3) as u8)))
             .collect();
         // Interleaved pops force monotone re-push times for this harness,
         // so sort by time first to keep pushes legal.
@@ -281,13 +281,13 @@ mod tests {
     #[test]
     fn far_future_events_go_through_overflow() {
         let mut t = Timeline::new(TimelineKind::Bucket, 4);
-        t.push(Steps(1_000_000), 2, "far");
-        t.push(Steps(3), 0, "near");
-        t.push(Steps(2_000_000), 0, "farther");
+        t.push(Steps(1_000_000), Phase::Ready, "far");
+        t.push(Steps(3), Phase::Deliver, "near");
+        t.push(Steps(2_000_000), Phase::Deliver, "farther");
         assert_eq!(t.len(), 3);
-        assert_eq!(t.pop(), Some((Steps(3), 0, "near")));
-        assert_eq!(t.pop(), Some((Steps(1_000_000), 2, "far")));
-        assert_eq!(t.pop(), Some((Steps(2_000_000), 0, "farther")));
+        assert_eq!(t.pop(), Some((Steps(3), Phase::Deliver, "near")));
+        assert_eq!(t.pop(), Some((Steps(1_000_000), Phase::Ready, "far")));
+        assert_eq!(t.pop(), Some((Steps(2_000_000), Phase::Deliver, "farther")));
         assert_eq!(t.pop(), None);
     }
 
@@ -295,12 +295,12 @@ mod tests {
     fn same_instant_lower_phase_wins_even_if_pushed_later() {
         for kind in [TimelineKind::Bucket, TimelineKind::BinaryHeap] {
             let mut t = Timeline::new(kind, 8);
-            t.push(Steps(5), 2, "ready");
-            t.push(Steps(5), 1, "submit");
-            t.push(Steps(5), 0, "deliver");
-            assert_eq!(t.pop(), Some((Steps(5), 0, "deliver")));
-            assert_eq!(t.pop(), Some((Steps(5), 1, "submit")));
-            assert_eq!(t.pop(), Some((Steps(5), 2, "ready")));
+            t.push(Steps(5), Phase::Ready, "ready");
+            t.push(Steps(5), Phase::Submit, "submit");
+            t.push(Steps(5), Phase::Deliver, "deliver");
+            assert_eq!(t.pop(), Some((Steps(5), Phase::Deliver, "deliver")));
+            assert_eq!(t.pop(), Some((Steps(5), Phase::Submit, "submit")));
+            assert_eq!(t.pop(), Some((Steps(5), Phase::Ready, "ready")));
         }
     }
 
@@ -309,7 +309,7 @@ mod tests {
         for kind in [TimelineKind::Bucket, TimelineKind::BinaryHeap] {
             let mut t = Timeline::new(kind, 8);
             for i in 0..10 {
-                t.push(Steps(1), 1, i);
+                t.push(Steps(1), Phase::Submit, i);
             }
             let order: Vec<i32> = std::iter::from_fn(|| t.pop().map(|(_, _, v)| v)).collect();
             assert_eq!(order, (0..10).collect::<Vec<_>>());
@@ -322,9 +322,9 @@ mod tests {
         // through the overflow heap yet must still come out sorted.
         let mut t = Timeline::new(TimelineKind::Bucket, 2);
         for i in (0..50u64).rev() {
-            t.push(Steps(i * 20), (i % 3) as u8, i);
+            t.push(Steps(i * 20), Phase::from_u8((i % 3) as u8), i);
         }
-        let mut last = (0, 0u8);
+        let mut last = (0, Phase::Deliver);
         let mut n = 0;
         while let Some((at, ph, _)) = t.pop() {
             assert!((at.get(), ph) >= last);
@@ -339,26 +339,26 @@ mod tests {
         // Pop an event at t=10, then push more work at t=10: it must be
         // popped before anything later, in phase-then-FIFO order.
         let mut t = Timeline::new(TimelineKind::Bucket, 8);
-        t.push(Steps(10), 2, "first");
-        t.push(Steps(11), 0, "later");
-        assert_eq!(t.pop(), Some((Steps(10), 2, "first")));
-        t.push(Steps(10), 1, "same-instant-submit");
-        t.push(Steps(10), 2, "same-instant-ready");
-        assert_eq!(t.pop(), Some((Steps(10), 1, "same-instant-submit")));
-        assert_eq!(t.pop(), Some((Steps(10), 2, "same-instant-ready")));
-        assert_eq!(t.pop(), Some((Steps(11), 0, "later")));
+        t.push(Steps(10), Phase::Ready, "first");
+        t.push(Steps(11), Phase::Deliver, "later");
+        assert_eq!(t.pop(), Some((Steps(10), Phase::Ready, "first")));
+        t.push(Steps(10), Phase::Submit, "same-instant-submit");
+        t.push(Steps(10), Phase::Ready, "same-instant-ready");
+        assert_eq!(t.pop(), Some((Steps(10), Phase::Submit, "same-instant-submit")));
+        assert_eq!(t.pop(), Some((Steps(10), Phase::Ready, "same-instant-ready")));
+        assert_eq!(t.pop(), Some((Steps(11), Phase::Deliver, "later")));
     }
 
     #[test]
     fn empty_ring_jumps_to_overflow_min() {
         let mut t = Timeline::new(TimelineKind::Bucket, 2);
-        t.push(Steps(0), 2, 0);
+        t.push(Steps(0), Phase::Ready, 0);
         assert!(t.pop().is_some());
         // Ring empty; next event far beyond the window.
-        t.push(Steps(999_999), 1, 1);
-        t.push(Steps(999_999), 0, 2);
-        assert_eq!(t.pop(), Some((Steps(999_999), 0, 2)));
-        assert_eq!(t.pop(), Some((Steps(999_999), 1, 1)));
+        t.push(Steps(999_999), Phase::Submit, 1);
+        t.push(Steps(999_999), Phase::Deliver, 2);
+        assert_eq!(t.pop(), Some((Steps(999_999), Phase::Deliver, 2)));
+        assert_eq!(t.pop(), Some((Steps(999_999), Phase::Submit, 1)));
         assert!(t.is_empty());
     }
 }

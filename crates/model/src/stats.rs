@@ -78,7 +78,11 @@ impl Accumulator {
 /// Least-squares fit of `y = slope * x + intercept`.
 ///
 /// Returns `(slope, intercept, r_squared)`. Requires at least two distinct
-/// `x` values; degenerate inputs yield a zero slope through the mean.
+/// `x` values; degenerate inputs (empty, a single point, or a vertical
+/// line) yield a zero slope through the mean with `r² = 1`. Non-finite
+/// coordinates are not screened: a NaN or infinite sample propagates into
+/// the fit, as with any least-squares estimator — callers own input
+/// hygiene.
 pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let n = points.len() as f64;
     if points.len() < 2 {
@@ -101,10 +105,14 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     (slope, intercept, r2)
 }
 
-/// Geometric mean of strictly positive values (0 if any value is ≤ 0 or the
-/// slice is empty) — the standard summary for slowdown ratios.
+/// Geometric mean of strictly positive finite values — the standard
+/// summary for slowdown ratios.
+///
+/// Returns 0 for every invalid input: an empty slice, or any value that is
+/// ≤ 0, NaN, or infinite (a NaN would otherwise slip through a `≤ 0` test,
+/// since every comparison with NaN is false, and poison the whole mean).
 pub fn geometric_mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+    if xs.is_empty() || xs.iter().any(|&x| !x.is_finite() || x <= 0.0) {
         return 0.0;
     }
     let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
@@ -112,13 +120,22 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 }
 
 /// Exact p-quantile by sorting a copy (`q` in `[0, 1]`, nearest-rank).
+///
+/// An empty slice yields NaN (there is no sample to report, and NaN is the
+/// one value that never passes a threshold check silently). Samples are
+/// ordered by [`f64::total_cmp`], so NaN samples do not panic or scramble
+/// the sort: they order after `+inf` and surface only at high `q`.
+///
+/// # Panics
+/// If `q` is outside `[0, 1]` (including NaN) — a caller bug, not a data
+/// condition.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q));
+    assert!((0.0..=1.0).contains(&q), "quantile q = {q} outside [0, 1]");
     if xs.is_empty() {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    v.sort_by(f64::total_cmp);
     let idx = ((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
     v[idx]
 }
@@ -186,5 +203,41 @@ mod tests {
         assert_eq!(quantile(&xs, 0.0), 1.0);
         assert_eq!(quantile(&xs, 0.5), 3.0);
         assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        assert!(quantile(&[], 0.5).is_nan(), "empty slice reports NaN");
+        assert_eq!(quantile(&[7.0], 0.0), 7.0);
+        assert_eq!(quantile(&[7.0], 1.0), 7.0);
+        // NaN samples order last under total_cmp instead of panicking.
+        let with_nan = [2.0, f64::NAN, 1.0];
+        assert_eq!(quantile(&with_nan, 0.0), 1.0);
+        assert_eq!(quantile(&with_nan, 0.5), 2.0);
+        assert!(quantile(&with_nan, 1.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_non_finite() {
+        assert_eq!(geometric_mean(&[1.0, f64::NAN]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, f64::INFINITY]), 0.0);
+        assert_eq!(geometric_mean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_accumulator_extremes_are_identities() {
+        // min/max start at the fold identities so any first sample
+        // replaces them; callers checking an empty accumulator see them.
+        let a = Accumulator::new();
+        assert_eq!(a.min(), f64::INFINITY);
+        assert_eq!(a.max(), f64::NEG_INFINITY);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.std_dev(), 0.0);
     }
 }

@@ -12,8 +12,11 @@
 //! [`butterfly::Butterfly`], [`ccc::Ccc`], [`shuffle::ShuffleExchange`] and
 //! [`mot::MeshOfTrees`] (the pruned-butterfly row) — plus:
 //!
-//! * a synchronous store-and-forward packet [`router`] with pluggable port
-//!   modes, queue disciplines, and [`valiant`] two-phase randomized paths;
+//! * a synchronous store-and-forward packet [`router`] (a
+//!   [`bvl_exec::Executor`]) with pluggable port modes, queue disciplines,
+//!   and [`valiant`] two-phase randomized paths;
+//! * a [`medium::NetMedium`] transport that plugs a topology's link-level
+//!   contention under a LogP machine as its `bvl_exec::Medium`;
 //! * a [`measure`] harness that routes random h-relations and fits
 //!   `T(h) = γ̂·h + δ̂`, regenerating Table 1's shape empirically;
 //! * the analytic [`table1`] formulas for measured-vs-predicted reporting.
@@ -26,6 +29,7 @@ pub mod butterfly;
 pub mod ccc;
 pub mod hypercube;
 pub mod measure;
+pub mod medium;
 pub mod mot;
 pub mod router;
 pub mod shuffle;
@@ -38,8 +42,11 @@ pub use butterfly::Butterfly;
 pub use ccc::Ccc;
 pub use hypercube::Hypercube;
 pub use measure::{measure_parameters, MeasuredParams};
+pub use medium::NetMedium;
 pub use mot::MeshOfTrees;
-pub use router::{route_relation, PathStrategy, PortMode, QueueDiscipline, RouteOutcome, RouterConfig};
+pub use router::{
+    route_relation, PathStrategy, PortMode, QueueDiscipline, RouteOutcome, Router, RouterConfig,
+};
 pub use shuffle::ShuffleExchange;
 pub use table1::Family;
 pub use topology::{check_route, Topology};

@@ -1,0 +1,129 @@
+//! A network-backed [`Medium`]: delivery times from store-and-forward
+//! contention on a concrete Table 1 topology.
+//!
+//! Plugging a [`NetMedium`] into a `LogpMachine` (via its `set_medium`
+//! hook) replaces the abstract latency-`L` channel with per-link
+//! store-and-forward scheduling over the topology's oblivious routes: each
+//! directed link carries one packet per step, and a message's delivery
+//! time is the arrival of its last hop given the link-busy times left
+//! behind by earlier messages. This is the transport half of the stacked
+//! simulations: a guest model executing over a host network whose `g`/`L`
+//! are *measured* (Table 1's `Θ(γ)` / `Θ(δ)`), not assumed.
+
+use crate::topology::Topology;
+use bvl_exec::Medium;
+use bvl_model::{Envelope, ProcId, Steps};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Store-and-forward transport over a concrete [`Topology`].
+///
+/// Greedy oblivious routes; one packet per directed link per step; earliest
+/// free slot per hop. Per-destination acceptance capacity is configurable
+/// so a LogP guest keeps its Stalling Rule semantics (capacity `⌈L/G⌉` for
+/// the *measured* L and G).
+pub struct NetMedium<T: Topology> {
+    topo: T,
+    capacity: u64,
+    link_free: HashMap<(usize, usize), u64>,
+}
+
+impl<T: Topology> NetMedium<T> {
+    /// A medium over `topo` with per-destination capacity `capacity`
+    /// (use the guest model's `⌈L/G⌉` to preserve the Stalling Rule).
+    pub fn new(topo: T, capacity: u64) -> NetMedium<T> {
+        NetMedium {
+            topo,
+            capacity: capacity.max(1),
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+}
+
+impl<T: Topology> Medium for NetMedium<T> {
+    fn capacity(&self, _dst: ProcId) -> u64 {
+        self.capacity
+    }
+
+    /// Schedule the message hop by hop along the greedy route: each
+    /// directed link is a unit-rate resource, so the packet departs each
+    /// hop at the later of its own arrival and the link's next free slot.
+    fn delivery_time(&mut self, env: &Envelope, now: Steps, _rng: &mut dyn RngCore) -> Steps {
+        let path = self.topo.route(env.src.index(), env.dst.index());
+        let mut t = now.get();
+        for w in path.windows(2) {
+            let link = (w[0], w[1]);
+            let free = self.link_free.get(&link).copied().unwrap_or(0);
+            let depart = t.max(free);
+            self.link_free.insert(link, depart + 1);
+            t = depart + 1;
+        }
+        // Delivery is strictly after acceptance even for 0-hop routes.
+        Steps(t.max(now.get() + 1))
+    }
+
+    fn name(&self) -> &'static str {
+        "net"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use crate::hypercube::Hypercube;
+    use bvl_model::rngutil::SeedStream;
+    use bvl_model::{Payload, ProcId};
+
+    fn env(src: usize, dst: usize) -> Envelope {
+        Envelope::new(ProcId::from(src), ProcId::from(dst), Payload::tagged(0))
+    }
+
+    #[test]
+    fn uncontended_message_takes_path_length() {
+        let mut m = NetMedium::new(Array::chain(8), 4);
+        let mut rng = SeedStream::new(0).derive("t", 0);
+        let d = m.delivery_time(&env(1, 6), Steps(10), &mut rng);
+        assert_eq!(d, Steps(15), "5 hops from node 1 to node 6");
+    }
+
+    #[test]
+    fn contended_link_serializes() {
+        let mut m = NetMedium::new(Array::chain(3), 4);
+        let mut rng = SeedStream::new(0).derive("t", 0);
+        // Two messages over the same links at the same instant: the second
+        // waits one step at every hop behind the first.
+        let a = m.delivery_time(&env(0, 2), Steps(0), &mut rng);
+        let b = m.delivery_time(&env(0, 2), Steps(0), &mut rng);
+        assert_eq!(a, Steps(2));
+        assert_eq!(b, Steps(3));
+    }
+
+    #[test]
+    fn disjoint_links_do_not_interfere() {
+        let mut m = NetMedium::new(Hypercube::new(3), 4);
+        let mut rng = SeedStream::new(0).derive("t", 0);
+        let a = m.delivery_time(&env(0, 1), Steps(0), &mut rng);
+        let b = m.delivery_time(&env(2, 3), Steps(0), &mut rng);
+        assert_eq!(a, Steps(1));
+        assert_eq!(b, Steps(1));
+    }
+
+    #[test]
+    fn self_message_still_advances_time() {
+        let mut m = NetMedium::new(Array::chain(4), 4);
+        let mut rng = SeedStream::new(0).derive("t", 0);
+        assert_eq!(m.delivery_time(&env(2, 2), Steps(7), &mut rng), Steps(8));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let m = NetMedium::new(Array::chain(4), 0);
+        assert_eq!(Medium::capacity(&m, ProcId(0)), 1);
+    }
+}

@@ -6,11 +6,17 @@
 //! receive per *node* per step (single-port — the discipline that separates
 //! Table 1's two hypercube rows). Queues are unbounded FIFO per output port,
 //! optionally prioritized farthest-to-go first.
+//!
+//! [`Router`] is the stateful engine: it implements
+//! [`bvl_exec::Executor`], so one network step is one [`Executor::step`]
+//! and a whole relation is routed by [`bvl_exec::drive`]. The one-shot
+//! wrapper [`route_relation`] preserves the original convenience API.
 
 use crate::topology::Topology;
 use crate::valiant::valiant_path;
+use bvl_exec::{drive, Executor, RunOutcome};
 use bvl_model::rngutil::SeedStream;
-use bvl_model::{HRelation, ModelError};
+use bvl_model::{HRelation, ModelError, Steps};
 use std::collections::HashMap;
 
 /// Port discipline per step.
@@ -98,101 +104,165 @@ impl Pkt {
     fn next(&self) -> usize {
         self.path[self.hop + 1]
     }
+    fn endpoints(&self) -> (usize, usize) {
+        (self.path[0], *self.path.last().expect("non-empty path"))
+    }
 }
 
-/// Route all demands of `rel` (processor-indexed) on `topo` and report the
-/// completion time.
-pub fn route_relation<T: Topology + ?Sized>(
-    topo: &T,
-    rel: &HRelation,
+/// The stateful routing engine for one h-relation on one topology.
+///
+/// All topology-dependent state (paths, adjacency, port maps) is captured
+/// at construction, so the router owns no borrow of the network. Drive it
+/// with [`Executor::step`] (one synchronous network step per call) or all
+/// the way with [`bvl_exec::drive`]; [`Router::route_outcome`] reads the
+/// classic [`RouteOutcome`] at any point.
+pub struct Router {
     config: RouterConfig,
-) -> Result<RouteOutcome, ModelError> {
-    assert!(
-        rel.p() <= topo.num_processors(),
-        "relation over {} processors on a {}-processor network",
-        rel.p(),
-        topo.num_processors()
-    );
-    let mut rng = SeedStream::new(config.seed).derive("router", 0);
+    packets: Vec<Pkt>,
+    port_of: HashMap<(usize, usize), usize>,
+    queues: Vec<Vec<Vec<usize>>>,
+    rr: Vec<usize>, // single-port round-robin pointers
+    total: usize,
+    delivered: usize,
+    time: u64,
+    max_queue: usize,
+    total_hops: u64,
+    delivered_pairs: Vec<(usize, usize)>,
+    last_moves: Vec<(usize, usize)>,
+}
 
-    // Build packets.
-    let mut packets: Vec<Pkt> = Vec::with_capacity(rel.len());
-    let mut delivered = 0usize;
-    for d in rel.demands() {
-        let (src, dst) = (d.src.index(), d.dst.index());
-        let path = match config.paths {
-            PathStrategy::Greedy => topo.route(src, dst),
-            PathStrategy::Valiant => valiant_path(topo, src, dst, &mut rng),
-        };
-        if path.len() <= 1 {
-            delivered += 1; // src == dst: no network traversal needed
-        } else {
-            packets.push(Pkt { path, hop: 0 });
+impl Router {
+    /// Build a router for `rel` (processor-indexed) on `topo`.
+    ///
+    /// # Panics
+    /// If the relation spans more processors than the network has.
+    pub fn new<T: Topology + ?Sized>(topo: &T, rel: &HRelation, config: RouterConfig) -> Router {
+        assert!(
+            rel.p() <= topo.num_processors(),
+            "relation over {} processors on a {}-processor network",
+            rel.p(),
+            topo.num_processors()
+        );
+        let mut rng = SeedStream::new(config.seed).derive("router", 0);
+
+        // Build packets.
+        let mut packets: Vec<Pkt> = Vec::with_capacity(rel.len());
+        let mut delivered = 0usize;
+        let mut delivered_pairs: Vec<(usize, usize)> = Vec::new();
+        for d in rel.demands() {
+            let (src, dst) = (d.src.index(), d.dst.index());
+            let path = match config.paths {
+                PathStrategy::Greedy => topo.route(src, dst),
+                PathStrategy::Valiant => valiant_path(topo, src, dst, &mut rng),
+            };
+            if path.len() <= 1 {
+                delivered += 1; // src == dst: no network traversal needed
+                delivered_pairs.push((src, dst));
+            } else {
+                packets.push(Pkt { path, hop: 0 });
+            }
+        }
+
+        // Adjacency and per-port queues.
+        let n = topo.nodes();
+        let adj: Vec<Vec<usize>> = (0..n).map(|v| topo.neighbors(v)).collect();
+        let mut port_of: HashMap<(usize, usize), usize> = HashMap::new();
+        for (v, ns) in adj.iter().enumerate() {
+            for (q, &w) in ns.iter().enumerate() {
+                port_of.insert((v, w), q);
+            }
+        }
+        let mut queues: Vec<Vec<Vec<usize>>> =
+            (0..n).map(|v| vec![Vec::new(); adj[v].len()]).collect();
+        for (id, p) in packets.iter().enumerate() {
+            enqueue(&mut queues, &port_of, p, id);
+        }
+
+        let total = packets.len() + delivered;
+        Router {
+            config,
+            packets,
+            port_of,
+            queues,
+            rr: vec![0; n],
+            total,
+            delivered,
+            time: 0,
+            max_queue: 0,
+            total_hops: 0,
+            delivered_pairs,
+            last_moves: Vec::new(),
         }
     }
 
-    // Adjacency and per-port queues.
-    let n = topo.nodes();
-    let adj: Vec<Vec<usize>> = (0..n).map(|v| topo.neighbors(v)).collect();
-    let mut port_of: HashMap<(usize, usize), usize> = HashMap::new();
-    for (v, ns) in adj.iter().enumerate() {
-        for (q, &w) in ns.iter().enumerate() {
-            port_of.insert((v, w), q);
-        }
-    }
-    let mut queues: Vec<Vec<Vec<usize>>> = (0..n).map(|v| vec![Vec::new(); adj[v].len()]).collect();
-    let enqueue = |queues: &mut Vec<Vec<Vec<usize>>>,
-                   port_of: &HashMap<(usize, usize), usize>,
-                   packets: &[Pkt],
-                   id: usize| {
-        let p = &packets[id];
-        let q = *port_of
-            .get(&(p.cur(), p.next()))
-            .unwrap_or_else(|| panic!("route hop {} -> {} is not an edge", p.cur(), p.next()));
-        queues[p.cur()][q].push(id);
-    };
-    for id in 0..packets.len() {
-        enqueue(&mut queues, &port_of, &packets, id);
+    /// The `(src, dst)` processor pairs delivered so far, in delivery order.
+    pub fn delivered_pairs(&self) -> &[(usize, usize)] {
+        &self.delivered_pairs
     }
 
-    let pick = |queue: &[usize], packets: &[Pkt]| -> usize {
-        match config.discipline {
+    /// The `(from, to)` node link traversals performed by the most recent
+    /// step (empty before the first step).
+    pub fn last_moves(&self) -> &[(usize, usize)] {
+        &self.last_moves
+    }
+
+    /// The classic outcome summary for the routing so far.
+    pub fn route_outcome(&self) -> RouteOutcome {
+        RouteOutcome {
+            time: self.time,
+            delivered: self.delivered,
+            max_queue: self.max_queue,
+            total_hops: self.total_hops,
+        }
+    }
+
+    fn pick(&self, queue: &[usize]) -> usize {
+        match self.config.discipline {
             QueueDiscipline::Fifo => 0,
             QueueDiscipline::FarthestFirst => queue
                 .iter()
                 .enumerate()
-                .max_by_key(|&(_, &id)| packets[id].remaining())
+                .max_by_key(|&(_, &id)| self.packets[id].remaining())
                 .map(|(i, _)| i)
                 .expect("non-empty queue"),
         }
-    };
+    }
+}
 
-    let total = packets.len() + delivered;
-    let mut time = 0u64;
-    let mut max_queue = 0usize;
-    let mut total_hops = 0u64;
-    let mut rr: Vec<usize> = vec![0; n]; // single-port round-robin pointers
+fn enqueue(
+    queues: &mut [Vec<Vec<usize>>],
+    port_of: &HashMap<(usize, usize), usize>,
+    p: &Pkt,
+    id: usize,
+) {
+    let q = *port_of
+        .get(&(p.cur(), p.next()))
+        .unwrap_or_else(|| panic!("route hop {} -> {} is not an edge", p.cur(), p.next()));
+    queues[p.cur()][q].push(id);
+}
 
-    while delivered < total {
-        if time >= config.max_steps {
-            return Err(ModelError::Timeout {
-                budget: config.max_steps,
-            });
+impl Executor for Router {
+    /// Advance the network one synchronous step: select at most one packet
+    /// per output port (multi-port) or per node (single-port) from the
+    /// state at the start of the step, then apply all moves simultaneously.
+    fn step(&mut self) -> Result<bool, ModelError> {
+        if self.delivered >= self.total {
+            return Ok(false);
         }
-        for node in &queues {
+        for node in &self.queues {
             let occupancy: usize = node.iter().map(|q| q.len()).sum();
-            max_queue = max_queue.max(occupancy);
+            self.max_queue = self.max_queue.max(occupancy);
         }
 
         // Select moves based on the state at the start of the step.
         let mut moves: Vec<usize> = Vec::new();
-        match config.mode {
+        match self.config.mode {
             PortMode::Multi => {
-                for node in queues.iter_mut() {
-                    for port in node.iter_mut() {
-                        if !port.is_empty() {
-                            let i = pick(port, &packets);
-                            moves.push(port.remove(i));
+                for v in 0..self.queues.len() {
+                    for q in 0..self.queues[v].len() {
+                        if !self.queues[v][q].is_empty() {
+                            let i = self.pick(&self.queues[v][q]);
+                            moves.push(self.queues[v][q].remove(i));
                         }
                     }
                 }
@@ -200,29 +270,33 @@ pub fn route_relation<T: Topology + ?Sized>(
             PortMode::Single => {
                 // Each node proposes one send (round-robin over busy ports);
                 // each node accepts one receive (lowest sender id wins).
+                let n = self.queues.len();
                 let mut proposals: Vec<(usize, usize, usize)> = Vec::new(); // (v, q, pkt)
                 for v in 0..n {
-                    let nports = queues[v].len();
+                    let nports = self.queues[v].len();
                     if nports == 0 {
                         continue;
                     }
                     for off in 0..nports {
-                        let q = (rr[v] + off) % nports;
-                        if !queues[v][q].is_empty() {
-                            let i = pick(&queues[v][q], &packets);
-                            proposals.push((v, q, queues[v][q][i]));
-                            rr[v] = (q + 1) % nports;
+                        let q = (self.rr[v] + off) % nports;
+                        if !self.queues[v][q].is_empty() {
+                            let i = self.pick(&self.queues[v][q]);
+                            proposals.push((v, q, self.queues[v][q][i]));
+                            self.rr[v] = (q + 1) % nports;
                             break;
                         }
                     }
                 }
                 let mut recv_taken = vec![false; n];
                 for (v, q, pkt) in proposals {
-                    let dst = packets[pkt].next();
+                    let dst = self.packets[pkt].next();
                     if !recv_taken[dst] {
                         recv_taken[dst] = true;
-                        let pos = queues[v][q].iter().position(|&x| x == pkt).expect("queued");
-                        queues[v][q].remove(pos);
+                        let pos = self.queues[v][q]
+                            .iter()
+                            .position(|&x| x == pkt)
+                            .expect("queued");
+                        self.queues[v][q].remove(pos);
                         moves.push(pkt);
                     }
                 }
@@ -230,24 +304,49 @@ pub fn route_relation<T: Topology + ?Sized>(
         }
 
         // Apply moves simultaneously.
-        time += 1;
+        self.time += 1;
+        self.last_moves.clear();
         for id in moves {
-            packets[id].hop += 1;
-            total_hops += 1;
-            if packets[id].remaining() == 0 {
-                delivered += 1;
+            self.last_moves
+                .push((self.packets[id].cur(), self.packets[id].next()));
+            self.packets[id].hop += 1;
+            self.total_hops += 1;
+            if self.packets[id].remaining() == 0 {
+                self.delivered += 1;
+                self.delivered_pairs.push(self.packets[id].endpoints());
             } else {
-                enqueue(&mut queues, &port_of, &packets, id);
+                let p = &self.packets[id];
+                enqueue(&mut self.queues, &self.port_of, p, id);
             }
         }
+        Ok(true)
     }
 
-    Ok(RouteOutcome {
-        time,
-        delivered,
-        max_queue,
-        total_hops,
-    })
+    fn halted(&self) -> bool {
+        self.delivered >= self.total
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            makespan: Steps(self.time),
+            delivered: self.delivered as u64,
+            work: self.total_hops,
+            halted: self.halted(),
+        }
+    }
+}
+
+/// Route all demands of `rel` (processor-indexed) on `topo` and report the
+/// completion time. One-shot wrapper: builds a [`Router`] and drives it to
+/// quiescence under `config.max_steps`.
+pub fn route_relation<T: Topology + ?Sized>(
+    topo: &T,
+    rel: &HRelation,
+    config: RouterConfig,
+) -> Result<RouteOutcome, ModelError> {
+    let mut router = Router::new(topo, rel, config);
+    drive(&mut router, config.max_steps)?;
+    Ok(router.route_outcome())
 }
 
 #[cfg(test)]
@@ -390,5 +489,38 @@ mod tests {
         let b = route_relation(&topo, &rel, cfg).unwrap();
         assert_eq!(a.time, b.time);
         assert_eq!(a.total_hops, b.total_hops);
+    }
+
+    #[test]
+    fn stepwise_router_matches_one_shot() {
+        let topo = Hypercube::new(4);
+        let mut rng = SeedStream::new(7).derive("t", 0);
+        let rel = HRelation::random_exact(&mut rng, 16, 3);
+        let cfg = RouterConfig::default();
+        let one_shot = route_relation(&topo, &rel, cfg).unwrap();
+        let mut r = Router::new(&topo, &rel, cfg);
+        let mut steps = 0u64;
+        while r.step().unwrap() {
+            steps += 1;
+            assert!(steps <= cfg.max_steps, "router diverged");
+        }
+        assert!(r.halted());
+        assert_eq!(r.route_outcome().time, one_shot.time);
+        assert_eq!(r.route_outcome().total_hops, one_shot.total_hops);
+        assert_eq!(r.delivered_pairs().len(), rel.len());
+    }
+
+    #[test]
+    fn delivered_pairs_match_relation() {
+        let topo = Array::chain(6);
+        let mut rel = HRelation::new(6);
+        rel.push(ProcId(0), ProcId(5), Payload::tagged(0));
+        rel.push(ProcId(3), ProcId(3), Payload::tagged(0));
+        rel.push(ProcId(4), ProcId(1), Payload::tagged(0));
+        let mut r = Router::new(&topo, &rel, RouterConfig::default());
+        drive(&mut r, 1_000).unwrap();
+        let mut got: Vec<_> = r.delivered_pairs().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 5), (3, 3), (4, 1)]);
     }
 }

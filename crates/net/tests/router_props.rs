@@ -1,0 +1,80 @@
+//! Property tests for the store-and-forward router.
+//!
+//! Two invariants the queue machinery must never bend: the service
+//! discipline may reorder *when* packets move but never *what* gets
+//! delivered, and the single-port discipline (Table 1's weaker hypercube
+//! row) really does limit every node to one send and one receive per step.
+
+use bvl_exec::{drive, Executor};
+use bvl_model::{HRelation, Payload, ProcId};
+use bvl_net::{Hypercube, PortMode, QueueDiscipline, Router, RouterConfig};
+use proptest::prelude::*;
+
+/// Build a permutation h-relation on `p` processors from sort keys.
+fn permutation_relation(keys: &[u64]) -> HRelation {
+    let p = keys.len();
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by_key(|&i| (keys[i], i));
+    let mut rel = HRelation::new(p);
+    for (src, &dst) in order.iter().enumerate() {
+        rel.push(ProcId::from(src), ProcId::from(dst), Payload::tagged(0));
+    }
+    rel
+}
+
+fn dims_and_keys() -> impl Strategy<Value = (u32, Vec<u64>)> {
+    (2u32..=5).prop_flat_map(|dim| {
+        let p = 1usize << dim;
+        (Just(dim), proptest::collection::vec(0u64..1_000_000, p..=p))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fifo and FarthestFirst deliver the identical multiset of
+    /// (src, dst) pairs on any permutation h-relation — disciplines
+    /// reorder service, never delivery membership.
+    #[test]
+    fn disciplines_deliver_identical_multisets((dim, keys) in dims_and_keys()) {
+        let topo = Hypercube::new(dim);
+        let rel = permutation_relation(&keys);
+        let mut delivered = Vec::new();
+        for discipline in [QueueDiscipline::Fifo, QueueDiscipline::FarthestFirst] {
+            let cfg = RouterConfig { discipline, ..RouterConfig::default() };
+            let mut router = Router::new(&topo, &rel, cfg);
+            drive(&mut router, cfg.max_steps).unwrap();
+            let mut pairs: Vec<_> = router.delivered_pairs().to_vec();
+            pairs.sort_unstable();
+            delivered.push(pairs);
+        }
+        prop_assert_eq!(&delivered[0], &delivered[1]);
+        prop_assert_eq!(delivered[0].len(), rel.len());
+    }
+
+    /// Under PortMode::Single, no node ever performs more than one send or
+    /// more than one receive in a single step.
+    #[test]
+    fn single_port_limits_sends_and_receives((dim, keys) in dims_and_keys()) {
+        let topo = Hypercube::new(dim);
+        let p = 1usize << dim;
+        let rel = permutation_relation(&keys);
+        let cfg = RouterConfig { mode: PortMode::Single, ..RouterConfig::default() };
+        let mut router = Router::new(&topo, &rel, cfg);
+        let mut steps = 0u64;
+        while router.step().unwrap() {
+            steps += 1;
+            prop_assert!(steps <= cfg.max_steps, "router diverged");
+            let mut sends = vec![0u32; p];
+            let mut recvs = vec![0u32; p];
+            for &(from, to) in router.last_moves() {
+                sends[from] += 1;
+                recvs[to] += 1;
+            }
+            prop_assert!(sends.iter().all(|&s| s <= 1), "double send in a step");
+            prop_assert!(recvs.iter().all(|&r| r <= 1), "double receive in a step");
+        }
+        prop_assert!(router.halted());
+        prop_assert_eq!(router.delivered_pairs().len(), rel.len());
+    }
+}

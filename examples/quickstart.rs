@@ -6,6 +6,7 @@
 //! ```
 
 use bsp_vs_logp::core::{simulate_bsp_on_logp, simulate_logp_on_bsp, Theorem1Config, Theorem2Config};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
 use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bsp_vs_logp::model::{Payload, ProcId};
@@ -69,8 +70,14 @@ fn main() {
         logp_report.makespan, logp_report.delivered, logp_report.stall_free());
 
     // --- LogP program hosted on BSP (Theorem 1) ---------------------------
-    let t1 = simulate_logp_on_bsp(logp_params, bsp_params, logp_ring(), Theorem1Config::default())
-        .unwrap();
+    let t1 = simulate_logp_on_bsp(
+        logp_params,
+        bsp_params,
+        logp_ring(),
+        Theorem1Config::default(),
+        &RunOptions::new(),
+    )
+    .unwrap();
     println!(
         "LogP on BSP  : hosted cost {}, slowdown {:.2} (Theorem 1 bound 1 + g/G + l/L = 3)",
         t1.bsp.cost,
@@ -78,7 +85,9 @@ fn main() {
     );
 
     // --- BSP program hosted on LogP (Theorem 2) ---------------------------
-    let t2 = simulate_bsp_on_logp(logp_params, bsp_ring(), Theorem2Config::default()).unwrap();
+    let t2 =
+        simulate_bsp_on_logp(logp_params, bsp_ring(), Theorem2Config::default(), &RunOptions::new())
+            .unwrap();
     println!(
         "BSP on LogP  : simulated time {}, native reference {}, slowdown {:.2}",
         t2.total,

@@ -9,6 +9,7 @@
 use bsp_vs_logp::algos::bsp::sort::sample_sort;
 use bsp_vs_logp::bsp::{BspParams, FnProcess, Status};
 use bsp_vs_logp::core::{simulate_bsp_on_logp, RoutingStrategy, SortScheme, Theorem2Config};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::LogpParams;
 use bsp_vs_logp::model::rngutil::SeedStream;
 use bsp_vs_logp::model::{Payload, ProcId, Word};
@@ -108,10 +109,8 @@ fn main() {
         let rep = simulate_bsp_on_logp(
             logp_params,
             sort_procs(&keys),
-            Theorem2Config {
-                strategy,
-                ..Theorem2Config::default()
-            },
+            Theorem2Config { strategy },
+            &RunOptions::new(),
         )
         .unwrap();
         let got: Vec<Word> = rep

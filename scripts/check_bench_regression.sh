@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Engine-performance regression gate against the committed baseline.
+#
+# Re-runs `bench_engine` and compares it to BENCH_engine.json. Absolute
+# wall-clock is environment-dependent (the baseline records its own host),
+# so the gate is on *same-host relative* numbers: the bucket-timeline
+# speedup over the binary-heap timeline per workload, and the inline-vs-
+# spill payload ratio. Each must stay within 5% of the committed value
+# (lower bound only — getting faster is not a regression).
+#
+# The committed BENCH_engine.json is restored afterwards; regenerating the
+# baseline itself is `scripts/regen_experiments.sh`'s job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(mktemp)
+cp BENCH_engine.json "$baseline"
+restore() { cp "$baseline" BENCH_engine.json; rm -f "$baseline"; }
+trap restore EXIT
+
+cargo run -q --release -p bvl-bench --bin bench_engine >/dev/null
+
+python3 - "$baseline" <<'PY'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open("BENCH_engine.json"))
+TOL = 0.95  # current relative speedup must be >= 95% of baseline
+
+fail = False
+base_tl = {row["workload"]: row for row in base["timeline"]}
+for row in cur["timeline"]:
+    b = base_tl.get(row["workload"])
+    if b is None:
+        continue
+    limit = b["speedup"] * TOL
+    ok = row["speedup"] >= limit
+    fail |= not ok
+    print(f'{"PASS" if ok else "FAIL"} timeline/{row["workload"]}: '
+          f'bucket speedup {row["speedup"]:.2f}x vs baseline {b["speedup"]:.2f}x '
+          f'(floor {limit:.2f}x)')
+
+def payload_ratio(doc):
+    ns = {row["case"]: row["ns_per_op"] for row in doc["payload"]}
+    return ns["spill_12w"] / ns["inline_6w"]
+
+b_ratio, c_ratio = payload_ratio(base), payload_ratio(cur)
+limit = b_ratio * TOL
+ok = c_ratio >= limit
+fail |= not ok
+print(f'{"PASS" if ok else "FAIL"} payload: spill/inline ratio {c_ratio:.2f} '
+      f'vs baseline {b_ratio:.2f} (floor {limit:.2f})')
+
+sys.exit(1 if fail else 0)
+PY
+echo "bench_engine regression gate: PASS (committed baseline restored)"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Public-API inventory, diffed in CI against docs/public-api.txt so surface
+# changes must be committed deliberately (and reviewed as such).
+#
+# cargo public-api needs a nightly toolchain and network access, neither of
+# which this environment has, so the inventory is textual: every `pub` item
+# declaration in library source, with file (not line) attribution so that
+# moves within a file don't churn the diff. Noise (a `pub fn` in a private
+# module) is acceptable — the gate is deterministic, and a reviewer reads
+# the diff, not the absolute listing.
+#
+# Usage:
+#   scripts/public_api.sh                      # print inventory
+#   scripts/public_api.sh > docs/public-api.txt   # accept current surface
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+grep -rn --include='*.rs' -E '^[[:space:]]*pub (fn|struct|enum|trait|type|const|static|mod|use)[[:space:](]' \
+    crates/*/src src \
+  | sed -E 's/^([^:]+):[0-9]+:[[:space:]]*/\1: /' \
+  | sed -E 's/[[:space:]]+/ /g; s/ \{.*$//; s/;.*$//; s/ where .*$//' \
+  | LC_ALL=C sort -u

@@ -21,6 +21,7 @@
 pub use bvl_algos as algos;
 pub use bvl_bsp as bsp;
 pub use bvl_core as core;
+pub use bvl_exec as exec;
 pub use bvl_logp as logp;
 pub use bvl_model as model;
 pub use bvl_net as net;

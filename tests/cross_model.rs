@@ -8,6 +8,7 @@ use bsp_vs_logp::core::{
     simulate_bsp_on_logp, simulate_logp_on_bsp, RoutingStrategy, SortScheme, Theorem1Config,
     Theorem2Config,
 };
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bsp_vs_logp::model::{Payload, ProcId, Word};
 
@@ -70,10 +71,8 @@ fn bsp_on_logp_preserves_results_under_every_strategy() {
         let rep = simulate_bsp_on_logp(
             logp,
             bsp_workload(p),
-            Theorem2Config {
-                strategy,
-                ..Theorem2Config::default()
-            },
+            Theorem2Config { strategy },
+            &RunOptions::new(),
         )
         .unwrap();
         let got: Vec<Vec<Word>> = rep.programs.iter().map(|pr| pr.state().clone()).collect();
@@ -89,7 +88,9 @@ fn bsp_results_are_parameter_independent_everywhere() {
     let b = native_bsp_result(16, 50, 999);
     assert_eq!(a, b);
     let logp = LogpParams::new(16, 64, 2, 4).unwrap();
-    let rep = simulate_bsp_on_logp(logp, bsp_workload(16), Theorem2Config::default()).unwrap();
+    let rep =
+        simulate_bsp_on_logp(logp, bsp_workload(16), Theorem2Config::default(), &RunOptions::new())
+            .unwrap();
     let hosted: Vec<Vec<Word>> = rep.programs.iter().map(|pr| pr.state().clone()).collect();
     assert_eq!(hosted, a);
 }
@@ -137,8 +138,14 @@ fn logp_on_bsp_preserves_received_multisets() {
         })
         .collect();
 
-    let rep =
-        simulate_logp_on_bsp(logp, bsp, logp_workload(p), Theorem1Config::default()).unwrap();
+    let rep = simulate_logp_on_bsp(
+        logp,
+        bsp,
+        logp_workload(p),
+        Theorem1Config::default(),
+        &RunOptions::new(),
+    )
+    .unwrap();
     let mut hosted_msgs: Vec<Vec<(u32, Word)>> = rep
         .programs
         .into_iter()
@@ -166,9 +173,13 @@ fn round_trip_bsp_to_logp_to_bsp() {
     let logp = LogpParams::new(p, 8, 1, 2).unwrap();
     let bsp = BspParams::new(p, 2, 8).unwrap();
 
-    let t2 = simulate_bsp_on_logp(logp, bsp_workload(p), Theorem2Config::default()).unwrap();
+    let t2 =
+        simulate_bsp_on_logp(logp, bsp_workload(p), Theorem2Config::default(), &RunOptions::new())
+            .unwrap();
     assert!(t2.slowdown() >= 1.0);
 
-    let t1 = simulate_logp_on_bsp(logp, bsp, logp_workload(p), Theorem1Config::default()).unwrap();
+    let t1 =
+        simulate_logp_on_bsp(logp, bsp, logp_workload(p), Theorem1Config::default(), &RunOptions::new())
+            .unwrap();
     assert!(t1.bsp.cost.get() > 0);
 }

@@ -3,6 +3,7 @@
 
 use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
 use bsp_vs_logp::core::{route_deterministic, route_randomized, SortScheme};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::{
     AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, Op, Script, TimelineKind,
 };
@@ -181,11 +182,12 @@ fn cross_simulation_protocols_are_replayable() {
     let params = LogpParams::new(16, 32, 1, 2).unwrap();
     let mut rng = SeedStream::new(7).derive("rel", 0);
     let rel = HRelation::random_uniform(&mut rng, 16, 4);
-    let a = route_deterministic(params, &rel, SortScheme::Network, 5).unwrap();
-    let b = route_deterministic(params, &rel, SortScheme::Network, 5).unwrap();
+    let opts = RunOptions::new().seed(5);
+    let a = route_deterministic(params, &rel, SortScheme::Network, &opts).unwrap();
+    let b = route_deterministic(params, &rel, SortScheme::Network, &opts).unwrap();
     assert_eq!(a.total, b.total);
-    let a = route_randomized(params, &rel, 2.0, 5).unwrap();
-    let b = route_randomized(params, &rel, 2.0, 5).unwrap();
+    let a = route_randomized(params, &rel, 2.0, &opts).unwrap();
+    let b = route_randomized(params, &rel, 2.0, &opts).unwrap();
     assert_eq!(a.time, b.time);
     assert_eq!(a.leftover, b.leftover);
 }

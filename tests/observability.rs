@@ -10,9 +10,10 @@
 
 use bvl_bsp::{BspMachine, BspParams, FnProcess, Status};
 use bvl_core::{
-    simulate_bsp_on_logp, simulate_bsp_on_logp_obs, simulate_logp_on_bsp_obs, RoutingStrategy,
-    SortScheme, Theorem1Config, Theorem2Config,
+    simulate_bsp_on_logp, simulate_logp_on_bsp, RoutingStrategy, SortScheme, Theorem1Config,
+    Theorem2Config,
 };
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId, Steps};
 use bvl_obs::export::{jsonl, parse_jsonl};
@@ -71,14 +72,13 @@ fn bsp_native_attribution_matches_closed_form() {
 fn theorem2_attribution_matches_closed_form_terms() {
     let logp = LogpParams::new(8, 16, 1, 2).unwrap();
     let registry = Registry::enabled(8);
-    let rep = simulate_bsp_on_logp_obs(
+    let rep = simulate_bsp_on_logp(
         logp,
         two_relation_procs(8),
         Theorem2Config {
             strategy: RoutingStrategy::Offline,
-            ..Theorem2Config::default()
         },
-        &registry,
+        &RunOptions::new().registry(&registry),
     )
     .unwrap();
 
@@ -125,8 +125,14 @@ fn theorem1_attribution_is_exact() {
         })
         .collect();
     let registry = Registry::enabled(8);
-    let rep =
-        simulate_logp_on_bsp_obs(logp, bsp, scripts, Theorem1Config::default(), &registry).unwrap();
+    let rep = simulate_logp_on_bsp(
+        logp,
+        bsp,
+        scripts,
+        Theorem1Config::default(),
+        &RunOptions::new().registry(&registry),
+    )
+    .unwrap();
 
     let att = rep.attribution(&bsp, "thm1 ring");
     assert_eq!(att.residual(), 0, "attribution is exact: {att}");
@@ -142,14 +148,13 @@ fn theorem1_attribution_is_exact() {
 fn deterministic_cell_attribution_is_exact() {
     let logp = LogpParams::new(16, 16, 1, 2).unwrap();
     let registry = Registry::enabled(16);
-    let rep = simulate_bsp_on_logp_obs(
+    let rep = simulate_bsp_on_logp(
         logp,
         two_relation_procs(16),
         Theorem2Config {
             strategy: RoutingStrategy::Deterministic(SortScheme::Network),
-            ..Theorem2Config::default()
         },
-        &registry,
+        &RunOptions::new().registry(&registry),
     )
     .unwrap();
     let att = rep.attribution(&logp, "thm2 deterministic cell");
@@ -177,7 +182,7 @@ fn jsonl_round_trip_preserves_events_and_spans() {
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
     let registry = Registry::enabled(4);
-    machine.set_registry(registry.clone());
+    machine.instrument(&RunOptions::new().registry(&registry));
     machine.run().unwrap();
 
     let spans = registry.spans();
@@ -187,19 +192,25 @@ fn jsonl_round_trip_preserves_events_and_spans() {
     assert_eq!(parsed_spans, spans);
 }
 
-/// A disabled registry changes nothing: the obs entry point with
-/// `Registry::disabled()` produces the identical run, and the registry
-/// observes nothing.
+/// A disabled registry changes nothing: running with an explicitly
+/// disabled `Registry` in the options produces the identical run, and the
+/// registry observes nothing.
 #[test]
 fn disabled_registry_is_inert() {
     let logp = LogpParams::new(8, 16, 1, 2).unwrap();
     let config = Theorem2Config {
         strategy: RoutingStrategy::Offline,
-        ..Theorem2Config::default()
     };
-    let plain = simulate_bsp_on_logp(logp, two_relation_procs(8), config).unwrap();
+    let plain =
+        simulate_bsp_on_logp(logp, two_relation_procs(8), config, &RunOptions::new()).unwrap();
     let disabled = Registry::disabled();
-    let obs = simulate_bsp_on_logp_obs(logp, two_relation_procs(8), config, &disabled).unwrap();
+    let obs = simulate_bsp_on_logp(
+        logp,
+        two_relation_procs(8),
+        config,
+        &RunOptions::new().registry(&disabled),
+    )
+    .unwrap();
     assert_eq!(plain.total, obs.total);
     assert_eq!(plain.native_total, obs.native_total);
     assert!(disabled.spans().is_empty());

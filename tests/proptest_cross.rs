@@ -9,6 +9,7 @@ use bsp_vs_logp::bsp::BspParams;
 use bsp_vs_logp::core::{
     simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, Theorem1Config,
 };
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bsp_vs_logp::model::{Payload, ProcId, Word};
 use proptest::prelude::*;
@@ -87,6 +88,7 @@ proptest! {
             bsp,
             permutation_workload(p, &perms),
             Theorem1Config::default(),
+            &RunOptions::new(),
         )
         .unwrap();
         prop_assert_eq!(&received_words(rep.programs), &want);
@@ -97,7 +99,7 @@ proptest! {
             bsp2,
             2,
             permutation_workload(p, &perms),
-            100_000,
+            &RunOptions::new().budget(100_000),
         )
         .unwrap();
         prop_assert_eq!(&received_words(rep.programs), &want);

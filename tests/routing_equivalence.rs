@@ -3,6 +3,7 @@
 //! same message multiset for the same relation.
 
 use bsp_vs_logp::core::{route_deterministic, route_offline, route_randomized, SortScheme};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::LogpParams;
 use bsp_vs_logp::model::rngutil::SeedStream;
 use bsp_vs_logp::model::HRelation;
@@ -21,8 +22,9 @@ fn logp_routers_agree_on_delivery() {
     for h in [1usize, 3, 6] {
         let mut rng = seeds.derive("rel", h as u64);
         let rel = HRelation::random_uniform(&mut rng, 16, h);
-        let det = route_deterministic(params, &rel, SortScheme::Network, 1).unwrap();
-        let rnd = route_randomized(params, &rel, 2.0, 1).unwrap();
+        let opts = RunOptions::new().seed(1);
+        let det = route_deterministic(params, &rel, SortScheme::Network, &opts).unwrap();
+        let rnd = route_randomized(params, &rel, 2.0, &opts).unwrap();
         let (off_t, received) = route_offline(params, &rel, 1).unwrap();
         let off_count: usize = received.iter().map(|r| r.len()).sum();
         assert_eq!(off_count, rel.len());

@@ -6,6 +6,7 @@ use bsp_vs_logp::algos::logp::alltoall::all_to_all;
 use bsp_vs_logp::algos::logp::bcast::optimal_broadcast;
 use bsp_vs_logp::bsp::BspParams;
 use bsp_vs_logp::core::{route_deterministic, SortScheme};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::LogpParams;
 use bsp_vs_logp::model::rngutil::SeedStream;
 use bsp_vs_logp::model::{HRelation, Word};
@@ -59,7 +60,8 @@ fn deterministic_router_p32() {
     let params = LogpParams::new(32, 16, 1, 2).unwrap();
     let mut rng = SeedStream::new(5).derive("rel", 0);
     let rel = HRelation::random_exact(&mut rng, 32, 6);
-    let rep = route_deterministic(params, &rel, SortScheme::Network, 9).unwrap();
+    let rep =
+        route_deterministic(params, &rel, SortScheme::Network, &RunOptions::new().seed(9)).unwrap();
     assert_eq!(rep.h, 6);
     assert!(rep.total.get() > 0);
 }

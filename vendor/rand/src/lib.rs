@@ -1,6 +1,6 @@
 //! Offline stand-in for the `rand` crate (0.8 API subset).
 //!
-//! This workspace pins all randomness to [`rand_chacha`]'s `ChaCha8Rng`
+//! This workspace pins all randomness to `rand_chacha`'s `ChaCha8Rng`
 //! through `bvl_model::rngutil::SeedStream`, so only a small slice of the
 //! real crate's surface is ever exercised: the three core traits and
 //! integer `gen_range`. The build environment has no network access to
