@@ -33,7 +33,7 @@ fn bench_cross(c: &mut Criterion) {
         b.iter(|| route_randomized(roomy, &rel, 2.0, &opts).unwrap().time);
     });
     group.bench_function("route_offline/p16_h8", |b| {
-        b.iter(|| route_offline(params, &rel, 1).unwrap().0);
+        b.iter(|| route_offline(params, &rel, &RunOptions::new().seed(1)).unwrap().0);
     });
 
     group.bench_function("logp_on_bsp/ring16x8", |b| {

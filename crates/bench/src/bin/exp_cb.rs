@@ -9,6 +9,7 @@
 
 use bvl_bench::{banner, f2, obs, print_table};
 use bvl_core::{run_cb, word_combine, TreeShape};
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId, Steps};
 use bvl_obs::{Registry, Span, SpanKind};
@@ -22,7 +23,7 @@ fn cb_time(params: LogpParams, seed: u64) -> Steps {
         values,
         word_combine(|a, b| a & b),
         &joins,
-        seed,
+        &RunOptions::new().seed(seed),
     )
     .expect("CB is stall-free")
     .t_cb
@@ -119,7 +120,7 @@ fn main() {
         vec![Payload::word(0, 1); params.p],
         word_combine(|a, b| a & b),
         &vec![Steps::ZERO; params.p],
-        1,
+        &RunOptions::new().seed(1),
     )
     .expect("CB is stall-free");
     let registry = Registry::enabled(params.p);

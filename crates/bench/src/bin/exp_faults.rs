@@ -1,0 +1,154 @@
+//! E-FAULT: differential conformance under adversarial media.
+//!
+//! Runs the fault-plan matrix (`bvl_fault::conformance`) over every
+//! simulator and reports per-case timings, retry counts and check
+//! failures. Every failure prints a one-line repro command; the lines are
+//! also written to `fault-repros.txt` so CI can upload them as artifacts.
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin exp_faults              # full grid
+//! cargo run --release -p bvl-bench --bin exp_faults -- --smoke   # CI matrix
+//! cargo run --release -p bvl-bench --bin exp_faults -- \
+//!     --sim route_rand --p 8 --h 4 --seed 3 --plan 'seed=9,jitter=uniform:6'
+//! ```
+//!
+//! The single-case form is exactly what the printed repro lines contain.
+
+use bvl_bench::{banner, obs, print_table};
+use bvl_fault::conformance::{default_plans, run_case};
+use bvl_fault::{Case, Sim};
+
+fn drive(cases: &[Case]) -> (Vec<Vec<String>>, Vec<String>, usize) {
+    let mut rows = Vec::new();
+    let mut repros = Vec::new();
+    let mut checks = 0usize;
+    for case in cases {
+        let rep = run_case(case);
+        checks += rep.checks;
+        rows.push(vec![
+            case.sim.to_string(),
+            format!("{}", case.p),
+            format!("{}", case.h),
+            case.plan.to_string(),
+            format!("{}", rep.clean_time.get()),
+            format!("{}", rep.faulted_time.get()),
+            format!("{}", rep.attempts),
+            if rep.ok() {
+                "ok".into()
+            } else {
+                format!("{} FAILED", rep.failures.len())
+            },
+        ]);
+        for f in &rep.failures {
+            eprintln!("FAIL {f}");
+            if let Some(line) = f.lines().find_map(|l| l.trim().strip_prefix("repro: ")) {
+                repros.push(line.to_string());
+            }
+        }
+    }
+    (rows, repros, checks)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Single-case repro mode: the exact flags the failure lines print.
+    if args.iter().any(|a| a.starts_with("--sim")) {
+        let case = Case::parse_args(&args).unwrap_or_else(|e| {
+            eprintln!("exp_faults: {e}");
+            std::process::exit(2);
+        });
+        banner(&format!("Repro: {} under '{}'", case.sim, case.plan));
+        let rep = run_case(&case);
+        println!(
+            "clean {} / faulted {} steps, {} attempt(s), {} checks",
+            rep.clean_time.get(),
+            rep.faulted_time.get(),
+            rep.attempts,
+            rep.checks
+        );
+        if rep.ok() {
+            println!("conformant");
+            return;
+        }
+        for f in &rep.failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    banner(if smoke {
+        "E-FAULT (smoke): default plans x all simulators at p=8, h=4"
+    } else {
+        "E-FAULT: fault-plan conformance matrix across the simulators"
+    });
+
+    let mut cases = Vec::new();
+    let shapes: &[(usize, usize)] = if smoke {
+        &[(8, 4)]
+    } else {
+        &[(8, 4), (16, 6)]
+    };
+    for (i, plan) in default_plans().into_iter().enumerate() {
+        for &(p, h) in shapes {
+            for sim in Sim::ALL {
+                cases.push(Case {
+                    sim,
+                    p,
+                    h,
+                    seed: 100 + i as u64,
+                    plan: plan.clone(),
+                });
+            }
+        }
+    }
+
+    let (rows, repros, checks) = drive(&cases);
+    print_table(
+        &["sim", "p", "h", "plan", "clean", "faulted", "attempts", "verdict"],
+        &rows,
+    );
+
+    obs::summary(
+        "exp_faults",
+        &[
+            ("cases", cases.len().to_string()),
+            ("checks", checks.to_string()),
+            ("plans", default_plans().len().to_string()),
+            ("failures", repros.len().to_string()),
+        ],
+    );
+
+    if !smoke {
+        let mut json = String::from("{\n  \"experiment\": \"exp_faults\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"sim\": \"{}\", \"p\": {}, \"h\": {}, \"plan\": \"{}\", \
+                 \"clean\": {}, \"faulted\": {}, \"attempts\": {}, \"ok\": {}}}{}\n",
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+                r[5],
+                r[6],
+                r[7] == "ok",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+        eprintln!("wrote BENCH_faults.json");
+    }
+
+    if !repros.is_empty() {
+        std::fs::write("fault-repros.txt", repros.join("\n") + "\n")
+            .expect("write fault-repros.txt");
+        eprintln!(
+            "{} failing case(s); repro commands in fault-repros.txt",
+            repros.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Seed stability of the sweep harness across worker-thread counts.
+//!
+//! The sweep module's contract: same `(domain, master seed, configuration
+//! list)` ⇒ bit-identical results, regardless of `RAYON_NUM_THREADS`.
+//! These tests run the same real workload sweep at 1, 2 and 4 threads and
+//! compare every per-cell result field exactly.
+//!
+//! Kept as a single `#[test]` on purpose: the vendored rayon shim reads
+//! `RAYON_NUM_THREADS` on every pool query, so the test mutates the
+//! process environment — concurrent tests in this binary would race on it.
+
+use bvl_bench::sweep::{sweep, sweep_captured};
+use bvl_core::route_randomized;
+use bvl_exec::RunOptions;
+use bvl_logp::LogpParams;
+use bvl_model::HRelation;
+use rand::RngCore;
+
+/// One sweep over a grid of (p, h) routing cells. Each cell consumes the
+/// job's private RNG (relation draw + an extra digest word) and runs a
+/// real randomized-routing machine, so the result captures both the RNG
+/// stream and the engine schedule.
+fn routing_sweep() -> Vec<(usize, u64, u64, f64, u64)> {
+    let configs: Vec<(usize, usize)> =
+        vec![(4, 2), (4, 5), (8, 3), (8, 6), (16, 2), (16, 8), (8, 12)];
+    let report = sweep("sweep-stability", 77, configs, |(p, h), mut job| {
+        let params = LogpParams::new(p, 16, 1, 2).unwrap();
+        let rel = HRelation::random_exact(&mut job.rng, p, h);
+        let rep = route_randomized(params, &rel, 2.0, &job.opts.clone().seed(job.index as u64))
+            .expect("routes");
+        let digest = job.rng.next_u64();
+        (job.index, rep.time.get(), rep.stall_episodes, rep.beta_measured, digest)
+    });
+    report.results
+}
+
+#[test]
+fn sweep_results_are_identical_across_thread_counts() {
+    let run_at = |threads: &str| {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        routing_sweep()
+    };
+    let t1 = run_at("1");
+    let t2 = run_at("2");
+    let t4 = run_at("4");
+    assert_eq!(t1, t2, "1-thread vs 2-thread sweeps diverged");
+    assert_eq!(t1, t4, "1-thread vs 4-thread sweeps diverged");
+
+    // Results arrive in input order, independent of scheduling.
+    let indices: Vec<usize> = t1.iter().map(|r| r.0).collect();
+    assert_eq!(indices, (0..t1.len()).collect::<Vec<_>>());
+
+    // The captured variant must not disturb determinism either: the
+    // flagged cell's observability capture changes what is *recorded*,
+    // never what is *computed*.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let capture = |flag: Option<usize>| {
+        sweep_captured("sweep-stability-cap", 78, vec![(8usize, 4usize); 4], flag, 8, |(p, h), mut job| {
+            let params = LogpParams::new(p, 16, 1, 2).unwrap();
+            let rel = HRelation::random_exact(&mut job.rng, p, h);
+            let opts: RunOptions = job.opts.clone().seed(job.index as u64);
+            route_randomized(params, &rel, 2.0, &opts).expect("routes").time.get()
+        })
+    };
+    let (plain, _) = capture(None);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let (flagged, registry) = capture(Some(2));
+    assert_eq!(plain.results, flagged.results);
+    assert!(
+        !registry.spans().is_empty(),
+        "the flagged cell must actually record spans"
+    );
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

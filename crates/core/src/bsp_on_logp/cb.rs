@@ -26,6 +26,7 @@
 //! join at different times (`join_at`), and `T_synch` is measured from the
 //! latest join, exactly as Proposition 2 states.
 
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, LogpProcess, Op, ProcView};
 use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps};
 use std::sync::Arc;
@@ -300,13 +301,17 @@ pub struct CbReport {
 /// capacity is 1), executes it on a fresh LogP machine with stalling
 /// *forbidden* (the algorithm must be stall-free by construction), and
 /// returns per-processor results plus timing.
+///
+/// `opts` seeds the machine and carries any fault decorator onto its
+/// medium; under injected faults stall-freedom becomes a measurement, not
+/// an invariant (the adversary may legitimately induce stalls).
 pub fn run_cb(
     params: LogpParams,
     shape: TreeShape,
     values: Vec<Payload>,
     combine: Combine,
     join_times: &[Steps],
-    seed: u64,
+    opts: &RunOptions,
 ) -> Result<CbReport, ModelError> {
     assert_eq!(values.len(), params.p);
     assert_eq!(join_times.len(), params.p);
@@ -318,7 +323,7 @@ pub fn run_cb(
     // capacity-1 case, per §4.1). The range tree bounds per-level fan-in by
     // k-1 <= capacity but can see brief cross-level overlaps at capacity 1;
     // stalling is permitted there (correctness unaffected, bounded delay).
-    let forbid = shape == TreeShape::Heap || params.capacity() > 1;
+    let forbid = (shape == TreeShape::Heap || params.capacity() > 1) && !opts.faulted();
     let procs: Vec<CbProcess> = plans
         .into_iter()
         .zip(values)
@@ -327,10 +332,11 @@ pub fn run_cb(
         .collect();
     let config = LogpConfig {
         forbid_stalling: forbid,
-        seed,
+        seed: opts.seed,
         ..LogpConfig::default()
     };
     let mut machine = LogpMachine::with_config(params, config, procs);
+    machine.instrument(opts);
     let report = machine.run()?;
     let last_join = join_times.iter().copied().max().unwrap_or(Steps::ZERO);
     let programs = machine.into_programs();
@@ -413,7 +419,7 @@ mod tests {
             values,
             word_combine(i64::max),
             &steps0(13),
-            1,
+            &RunOptions::new().seed(1),
         )
         .unwrap();
         for r in &rep.results {
@@ -431,7 +437,7 @@ mod tests {
             values,
             word_combine(|a, b| a & b),
             &steps0(8),
-            1,
+            &RunOptions::new().seed(1),
         )
         .unwrap();
         assert!(rep.results.iter().all(|r| r.expect_word() == 1));
@@ -450,7 +456,7 @@ mod tests {
             values,
             word_combine(i64::max),
             &steps0(16),
-            2,
+            &RunOptions::new().seed(2),
         )
         .unwrap();
         assert!(rep.results.iter().all(|r| r.expect_word() == 15));
@@ -467,7 +473,7 @@ mod tests {
             values,
             word_combine(|a, b| a + b),
             &steps0(32),
-            3,
+            &RunOptions::new().seed(3),
         )
         .unwrap();
         assert!(rep.results.iter().all(|r| r.expect_word() == expect));
@@ -483,7 +489,7 @@ mod tests {
             data.extend_from_slice(b.data());
             Payload::from_vec(0, data)
         });
-        let rep = run_cb(params, TreeShape::Range, values, concat, &steps0(11), 4).unwrap();
+        let rep = run_cb(params, TreeShape::Range, values, concat, &steps0(11), &RunOptions::new().seed(4)).unwrap();
         let expect: Vec<i64> = (0..11).collect();
         for r in &rep.results {
             assert_eq!(r.data(), expect, "fold must preserve processor order");
@@ -501,7 +507,7 @@ mod tests {
                 values,
                 word_combine(|a, b| a & b),
                 &steps0(p),
-                7,
+                &RunOptions::new().seed(7),
             )
             .unwrap();
             assert_eq!(rep.t_combine + rep.t_broadcast, rep.t_cb, "p={p}");
@@ -524,7 +530,7 @@ mod tests {
             values,
             word_combine(|a, b| a & b),
             &joins,
-            5,
+            &RunOptions::new().seed(5),
         )
         .unwrap();
         assert!(rep.makespan >= Steps(70));
@@ -544,7 +550,7 @@ mod tests {
                 values,
                 word_combine(|a, b| a & b),
                 &vec![Steps::ZERO; p],
-                6,
+                &RunOptions::new().seed(6),
             )
             .unwrap();
             let bound = params.cb_bound();
@@ -579,7 +585,7 @@ mod capacity_one_range_tests {
             values,
             concat,
             &[Steps::ZERO; 13],
-            8,
+            &RunOptions::new().seed(8),
         )
         .unwrap();
         let expect: Vec<i64> = (0..13).collect();

@@ -26,6 +26,7 @@
 use crate::bsp_on_logp::phase::route_offline;
 use crate::bsp_on_logp::record::Record;
 use crate::slowdown::t_seq_sort;
+use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::{HRelation, ModelError, ProcId, Steps};
 use bvl_obs::{Registry, Span, SpanKind};
@@ -43,7 +44,7 @@ pub fn columnsort_valid(p: usize, r: usize) -> bool {
 fn redistribute(
     params: LogpParams,
     blocks: Vec<Vec<Record>>,
-    seed: u64,
+    opts: &RunOptions,
     target: impl Fn(usize, usize) -> usize,
 ) -> Result<(Steps, Vec<Vec<Record>>), ModelError> {
     let p = params.p;
@@ -59,7 +60,7 @@ fn redistribute(
             }
         }
     }
-    let (t, received) = route_offline(params, &rel, seed)?;
+    let (t, received) = route_offline(params, &rel, opts)?;
     let mut out = stay;
     for (j, msgs) in received.into_iter().enumerate() {
         out[j].extend(msgs.iter().map(|e| Record::from_payload(&e.payload)));
@@ -82,7 +83,7 @@ fn redistribute(
 pub fn columnsort(
     params: LogpParams,
     mut blocks: Vec<Vec<Record>>,
-    seed: u64,
+    opts: &RunOptions,
     registry: &Registry,
     base: Steps,
 ) -> Result<(Steps, usize, Vec<Vec<Record>>), ModelError> {
@@ -108,7 +109,7 @@ pub fn columnsort(
 
     // Step 2: transpose — column-major position x = j*r + i lands at
     // row-major position x, i.e. column x mod p.
-    let (t2, mut blocks2) = redistribute(params, blocks, seed.wrapping_add(2), |j, i| {
+    let (t2, mut blocks2) = redistribute(params, blocks, &opts.clone().seed(opts.seed.wrapping_add(2)), |j, i| {
         (j * r + i) % p
     })?;
     time += t2;
@@ -123,7 +124,7 @@ pub fn columnsort(
     // column-major, i.e. column x / r. (Row order within a column is
     // irrelevant: step 5 sorts.) Note position within the receiving block
     // after step 3's sort is the row index i.
-    let (t4, mut blocks4) = redistribute(params, blocks2, seed.wrapping_add(4), |j, i| {
+    let (t4, mut blocks4) = redistribute(params, blocks2, &opts.clone().seed(opts.seed.wrapping_add(4)), |j, i| {
         (i * p + j) / r
     })?;
     time += t4;
@@ -138,7 +139,7 @@ pub fn columnsort(
     // column; column p-1's bottom half stays resident as the real part of
     // virtual column p. After step 5, both halves are sorted.
     let half = r / 2;
-    let (t6, mut shifted) = redistribute(params, blocks4, seed.wrapping_add(6), |j, i| {
+    let (t6, mut shifted) = redistribute(params, blocks4, &opts.clone().seed(opts.seed.wrapping_add(6)), |j, i| {
         if i < half || j == p - 1 {
             j
         } else {
@@ -188,7 +189,7 @@ pub fn columnsort(
     // Step 8: unshift — shifted column j's top half returns to column j-1's
     // bottom; its bottom half becomes column j's top. Virtual column p's
     // entries (all real, sorted) become column p-1's bottom half.
-    let (t8, unshifted) = redistribute(params, shifted, seed.wrapping_add(8), |j, i| {
+    let (t8, unshifted) = redistribute(params, shifted, &opts.clone().seed(opts.seed.wrapping_add(8)), |j, i| {
         if i < half && j > 0 {
             j - 1
         } else {
@@ -260,7 +261,7 @@ mod tests {
         let r = 8;
         let blocks = random_blocks(p, r, 1);
         let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-        let (t, rounds, sorted) = columnsort(params(p), blocks, 10, &Registry::disabled(), Steps::ZERO).unwrap();
+        let (t, rounds, sorted) = columnsort(params(p), blocks, &RunOptions::new().seed(10), &Registry::disabled(), Steps::ZERO).unwrap();
         assert_globally_sorted(&sorted, &mut want);
         assert!(t > Steps::ZERO);
         assert_eq!(rounds, 4);
@@ -273,7 +274,7 @@ mod tests {
         for seed in [2u64, 3, 4] {
             let blocks = random_blocks(p, r, seed);
             let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-            let (_, _, sorted) = columnsort(params(p), blocks, seed * 100, &Registry::disabled(), Steps::ZERO).unwrap();
+            let (_, _, sorted) = columnsort(params(p), blocks, &RunOptions::new().seed(seed * 100), &Registry::disabled(), Steps::ZERO).unwrap();
             assert_globally_sorted(&sorted, &mut want);
         }
     }
@@ -284,7 +285,7 @@ mod tests {
         let r = 2 * 49 + 2; // 100
         let blocks = random_blocks(p, r, 5);
         let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-        let (_, _, sorted) = columnsort(params(p), blocks, 500, &Registry::disabled(), Steps::ZERO).unwrap();
+        let (_, _, sorted) = columnsort(params(p), blocks, &RunOptions::new().seed(500), &Registry::disabled(), Steps::ZERO).unwrap();
         assert_globally_sorted(&sorted, &mut want);
     }
 
@@ -314,7 +315,7 @@ mod tests {
         ] {
             let blocks = mk(f);
             let mut want: Vec<(u32, u64)> = blocks.iter().flatten().map(|r| r.key()).collect();
-            let (_, _, sorted) = columnsort(params(p), blocks, 9, &Registry::disabled(), Steps::ZERO).unwrap();
+            let (_, _, sorted) = columnsort(params(p), blocks, &RunOptions::new().seed(9), &Registry::disabled(), Steps::ZERO).unwrap();
             assert_globally_sorted(&sorted, &mut want);
         }
     }
@@ -324,6 +325,6 @@ mod tests {
     fn rejects_invalid_r() {
         let p = 4;
         let blocks = random_blocks(p, 4, 1);
-        let _ = columnsort(params(p), blocks, 1, &Registry::disabled(), Steps::ZERO);
+        let _ = columnsort(params(p), blocks, &RunOptions::new().seed(1), &Registry::disabled(), Steps::ZERO);
     }
 }

@@ -9,24 +9,31 @@
 //! justified by the protocols' own synchronization structure (each phase
 //! ends with all processors knowing it ended).
 
+use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::decompose::koenig_color;
 use bvl_model::{Envelope, HRelation, ModelError, ProcId, Steps};
 
 /// Run one phase: a scripted program per processor. Returns the phase
 /// makespan and, per processor, the envelopes it acquired (in order).
+///
+/// `opts` seeds the machine and carries the fault decorator (if any) onto
+/// its medium. `forbid_stalling` is downgraded to a measurement when the
+/// options inject faults: a stall under an adversarial medium is the
+/// adversary's doing, not a schedule bug.
 pub fn run_scripts(
     params: LogpParams,
     scripts: Vec<Script>,
     forbid_stalling: bool,
-    seed: u64,
+    opts: &RunOptions,
 ) -> Result<(Steps, Vec<Vec<Envelope>>), ModelError> {
     let config = LogpConfig {
-        forbid_stalling,
-        seed,
+        forbid_stalling: forbid_stalling && !opts.faulted(),
+        seed: opts.seed,
         ..LogpConfig::default()
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
+    machine.instrument(opts);
     let report = machine.run()?;
     let received = machine
         .into_programs()
@@ -53,7 +60,7 @@ pub fn run_scripts(
 pub fn route_offline(
     params: LogpParams,
     rel: &HRelation,
-    seed: u64,
+    opts: &RunOptions,
 ) -> Result<(Steps, Vec<Vec<Envelope>>), ModelError> {
     assert_eq!(rel.p(), params.p);
     if rel.is_empty() {
@@ -89,7 +96,7 @@ pub fn route_offline(
         })
         .collect();
 
-    run_scripts(params, scripts, true, seed)
+    run_scripts(params, scripts, true, opts)
 }
 
 /// Check that the delivered envelopes reproduce exactly the intended
@@ -119,6 +126,7 @@ pub fn verify_delivery(rel: &HRelation, received: &[Vec<Envelope>]) -> Result<()
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bvl_exec::RunOptions;
     use bvl_model::rngutil::SeedStream;
     use bvl_model::Payload;
 
@@ -130,7 +138,7 @@ mod tests {
     fn offline_permutation_in_optimal_time() {
         let pr = params(8, 8, 1, 2);
         let rel = HRelation::permutation(&[3, 2, 1, 0, 7, 6, 5, 4]);
-        let (t, received) = route_offline(pr, &rel, 1).unwrap();
+        let (t, received) = route_offline(pr, &rel, &RunOptions::new().seed(1)).unwrap();
         verify_delivery(&rel, &received).unwrap();
         // 1 round: submission at o, delivery at o+L, acquisition at o+L+o.
         assert_eq!(t, Steps(2 * pr.o + pr.l));
@@ -144,7 +152,7 @@ mod tests {
         for h in [2usize, 4, 8] {
             let mut rng = s.derive("rel", h as u64);
             let rel = HRelation::random_exact(&mut rng, 16, h);
-            let (t, received) = route_offline(pr, &rel, 2).unwrap();
+            let (t, received) = route_offline(pr, &rel, &RunOptions::new().seed(2)).unwrap();
             verify_delivery(&rel, &received).unwrap();
             // Within a small constant of 2o + G(h-1) + L (receive-side
             // acquisition serialization can add ~G·h more).
@@ -161,7 +169,7 @@ mod tests {
         // stalling stays forbidden (the schedule is capacity-safe).
         let pr = params(8, 8, 1, 2); // capacity 4
         let rel = HRelation::hot_spot(8, ProcId(0), 4, 3);
-        let (t, received) = route_offline(pr, &rel, 3).unwrap();
+        let (t, received) = route_offline(pr, &rel, &RunOptions::new().seed(3)).unwrap();
         verify_delivery(&rel, &received).unwrap();
         assert!(t.get() >= 12 * pr.g, "12 receives at gap rate");
     }
@@ -170,7 +178,7 @@ mod tests {
     fn offline_empty_relation() {
         let pr = params(4, 8, 1, 2);
         let rel = HRelation::new(4);
-        let (t, received) = route_offline(pr, &rel, 4).unwrap();
+        let (t, received) = route_offline(pr, &rel, &RunOptions::new().seed(4)).unwrap();
         assert_eq!(t, Steps::ZERO);
         assert!(received.iter().all(|r| r.is_empty()));
     }
@@ -192,7 +200,7 @@ mod tests {
             }]),
             Script::new([Op::Recv]),
         ];
-        let (t, received) = run_scripts(pr, scripts, true, 5).unwrap();
+        let (t, received) = run_scripts(pr, scripts, true, &RunOptions::new().seed(5)).unwrap();
         assert_eq!(t, Steps(1 + 8 + 1)); // submit at 1, deliver 9, acquire 10
         assert_eq!(received[1].len(), 1);
     }

@@ -164,7 +164,7 @@ fn seg_finish(agg: &Payload) -> u64 {
 fn sort_network(
     params: LogpParams,
     mut blocks: Vec<Vec<Record>>,
-    seed: u64,
+    opts: &RunOptions,
     odd_even: bool,
     registry: &Registry,
     base: Steps,
@@ -187,7 +187,8 @@ fn sort_network(
                 rel.push(ProcId::from(hi), ProcId::from(lo), up.to_payload());
             }
         }
-        let (t, received) = route_offline(params, &rel, seed.wrapping_add(round_idx as u64))?;
+        let round_opts = opts.clone().seed(opts.seed.wrapping_add(round_idx as u64));
+        let (t, received) = route_offline(params, &rel, &round_opts)?;
         time += t;
         // Local merge-split (all processors in parallel): charge 2r.
         time += Steps(2 * r as u64);
@@ -271,7 +272,7 @@ pub fn route_deterministic(
         values,
         word_combine(i64::max),
         &joins,
-        seed,
+        &opts.subphase(),
     )?;
     let r = cb_r.results[0].expect_word() as u64;
     debug_assert_eq!(r as usize, rel.max_out_degree());
@@ -312,12 +313,18 @@ pub fn route_deterministic(
     };
     let sort_base = base + t_r + local_sort;
     let (t_net, sort_rounds, blocks) = if use_columnsort {
-        columnsort(params, blocks, seed.wrapping_add(1000), registry, sort_base)?
+        columnsort(
+            params,
+            blocks,
+            &opts.subphase().seed(seed.wrapping_add(1000)),
+            registry,
+            sort_base,
+        )?
     } else {
         sort_network(
             params,
             blocks,
-            seed.wrapping_add(2000),
+            &opts.subphase().seed(seed.wrapping_add(2000)),
             scheme == SortScheme::NetworkOddEven,
             registry,
             sort_base,
@@ -344,7 +351,7 @@ pub fn route_deterministic(
         seg_values,
         seg_combine(),
         &joins,
-        seed.wrapping_add(3000),
+        &opts.subphase().seed(seed.wrapping_add(3000)),
     )?;
     let s = seg_finish(&cb_s.results[0]);
     debug_assert_eq!(s as usize, rel.max_in_degree());
@@ -375,7 +382,8 @@ pub fn route_deterministic(
         scripts[j].extend(std::iter::repeat_n(Op::Recv, in_deg[j]));
     }
     let scripts: Vec<Script> = scripts.into_iter().map(Script::new).collect();
-    let (t_cycles, received) = run_scripts(params, scripts, true, seed.wrapping_add(4000))?;
+    let (t_cycles, received) =
+        run_scripts(params, scripts, true, &opts.subphase().seed(seed.wrapping_add(4000)))?;
 
     // Verify the delivery reproduces the relation exactly.
     let unpacked: Vec<Vec<bvl_model::Envelope>> = received

@@ -41,6 +41,12 @@ pub struct RouteRandReport {
     pub stall_episodes: u64,
     /// Measured `time / (G·h)` — the empirical β.
     pub beta_measured: f64,
+    /// Machine runs needed: 1 on a well-behaved medium; more when an
+    /// injected fault wedged an attempt and the protocol retried.
+    pub attempts: u64,
+    /// Backoff time charged between failed attempts (zero when
+    /// `attempts == 1`); already included in `time`.
+    pub backoff: Steps,
 }
 
 /// Route `rel` (degree `h` assumed known to all processors, as Theorem 3
@@ -73,6 +79,8 @@ pub fn route_randomized(
             stalled: false,
             stall_episodes: 0,
             beta_measured: 0.0,
+            attempts: 0,
+            backoff: Steps::ZERO,
         });
     }
     let cap = params.capacity() as usize;
@@ -133,19 +141,60 @@ pub fn route_randomized(
         .collect();
 
     // Stalling permitted: its occurrence is the measured failure event.
-    let config = bvl_logp::LogpConfig {
-        forbid_stalling: false,
-        seed: seed.wrapping_add(1),
-        ..bvl_logp::LogpConfig::default()
+    //
+    // Under an adversarial medium (opts.faulted()) an attempt can wedge
+    // outright — a transient capacity outage or injected delay leaves
+    // receivers blocked past the engine's quiescence point, surfacing as
+    // `Deadlock` or `Timeout`. Theorem 3's protocol is oblivious (batch
+    // assignment is independent of the medium), so the recovery is a full
+    // re-run with a fresh policy seed, charged to the protocol clock with
+    // exponential backoff. Each failed attempt is surfaced as a
+    // [`SpanKind::Stall`] span in `opts.registry`.
+    let max_attempts: u64 = if opts.faulted() { 4 } else { 1 };
+    let mut backoff = Steps::ZERO;
+    let mut outcome = None;
+    let mut attempts = 0;
+    for attempt in 0..max_attempts {
+        attempts = attempt + 1;
+        let config = bvl_logp::LogpConfig {
+            forbid_stalling: false,
+            seed: seed.wrapping_add(1 + attempt.wrapping_mul(0x9E37_79B9)),
+            ..bvl_logp::LogpConfig::default()
+        };
+        let mut machine = bvl_logp::LogpMachine::with_config(params, config, scripts.clone());
+        machine.instrument(opts);
+        match machine.run() {
+            Ok(report) => {
+                let received: Vec<Vec<bvl_model::Envelope>> = machine
+                    .into_programs()
+                    .into_iter()
+                    .map(|s| s.into_received())
+                    .collect();
+                verify_delivery(rel, &received).map_err(ModelError::Internal)?;
+                outcome = Some(report);
+                break;
+            }
+            Err(ModelError::Deadlock { .. } | ModelError::Timeout { .. }) => {
+                // Exponential backoff: double the charged recovery window
+                // each failed attempt (a round's worth at minimum).
+                let penalty = Steps(round_len << attempt);
+                if registry.is_enabled() {
+                    registry.span(
+                        Span::new(SpanKind::Stall, base + backoff, base + backoff + penalty)
+                            .at_index(attempt),
+                    );
+                }
+                backoff += penalty;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let Some(report) = outcome else {
+        return Err(ModelError::Internal(format!(
+            "randomized routing wedged {max_attempts} times under injected faults \
+             (seed {seed}, h {h})"
+        )));
     };
-    let mut machine = bvl_logp::LogpMachine::with_config(params, config, scripts);
-    let report = machine.run()?;
-    let received: Vec<Vec<bvl_model::Envelope>> = machine
-        .into_programs()
-        .into_iter()
-        .map(|s| s.into_received())
-        .collect();
-    verify_delivery(rel, &received).map_err(ModelError::Internal)?;
 
     if registry.is_enabled() {
         // One span per batch round that carried any traffic, nominal round
@@ -168,13 +217,16 @@ pub fn route_randomized(
         }
     }
 
+    let time = report.makespan + backoff;
     Ok(RouteRandReport {
-        time: report.makespan,
+        time,
         batches: r_batches,
         leftover,
         stalled: report.stall_episodes > 0,
         stall_episodes: report.stall_episodes,
-        beta_measured: report.makespan.get() as f64 / (params.g * h) as f64,
+        beta_measured: time.get() as f64 / (params.g * h) as f64,
+        attempts,
+        backoff,
     })
 }
 
@@ -252,5 +304,99 @@ mod tests {
         let b = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(11)).unwrap();
         assert_eq!(a.time, b.time);
         assert_eq!(a.leftover, b.leftover);
+        assert_eq!(a.attempts, 1, "clean media never need a retry");
+        assert_eq!(a.backoff, Steps::ZERO);
+    }
+
+    /// A medium that wedges the first machine run outright (capacity 0,
+    /// no wake hint) exercises the retry path: the protocol must charge
+    /// backoff, re-run with a fresh policy seed, and still deliver the
+    /// exact relation.
+    #[test]
+    fn retries_after_a_wedged_attempt() {
+        use bvl_exec::{Medium, WrapMedium};
+        use bvl_model::{Envelope, ProcId};
+        use rand::RngCore;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        struct Wedged(Box<dyn Medium + Send>);
+        impl Medium for Wedged {
+            fn capacity(&self, _dst: ProcId, _now: Steps) -> u64 {
+                0
+            }
+            fn delivery_time(&mut self, env: &Envelope, now: Steps, rng: &mut dyn RngCore) -> Steps {
+                self.0.delivery_time(env, now, rng)
+            }
+            fn name(&self) -> &'static str {
+                "wedged"
+            }
+        }
+        struct WedgeOnce(AtomicU64);
+        impl WrapMedium for WedgeOnce {
+            fn wrap(&self, inner: Box<dyn Medium + Send>) -> Box<dyn Medium + Send> {
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Box::new(Wedged(inner))
+                } else {
+                    inner
+                }
+            }
+            fn label(&self) -> String {
+                "wedge-once".into()
+            }
+        }
+
+        let params = roomy_params(8);
+        let mut rng = SeedStream::new(6).derive("rel", 0);
+        let rel = HRelation::random_exact(&mut rng, 8, 4);
+        let opts = RunOptions::new()
+            .seed(3)
+            .faults(Arc::new(WedgeOnce(AtomicU64::new(0))));
+        let rep = route_randomized(params, &rel, 2.0, &opts).unwrap();
+        assert_eq!(rep.attempts, 2, "first attempt wedges, second succeeds");
+        assert!(rep.backoff > Steps::ZERO, "backoff must be charged");
+        assert!(rep.time > rep.backoff, "time includes the real run too");
+    }
+
+    /// A permanently wedged medium must fail with the seeded diagnostic,
+    /// not hang.
+    #[test]
+    fn gives_up_after_bounded_attempts() {
+        use bvl_exec::{Medium, WrapMedium};
+        use bvl_model::{Envelope, ProcId};
+        use rand::RngCore;
+        use std::sync::Arc;
+
+        struct Wedged(Box<dyn Medium + Send>);
+        impl Medium for Wedged {
+            fn capacity(&self, _dst: ProcId, _now: Steps) -> u64 {
+                0
+            }
+            fn delivery_time(&mut self, env: &Envelope, now: Steps, rng: &mut dyn RngCore) -> Steps {
+                self.0.delivery_time(env, now, rng)
+            }
+            fn name(&self) -> &'static str {
+                "wedged"
+            }
+        }
+        struct WedgeAlways;
+        impl WrapMedium for WedgeAlways {
+            fn wrap(&self, inner: Box<dyn Medium + Send>) -> Box<dyn Medium + Send> {
+                Box::new(Wedged(inner))
+            }
+            fn label(&self) -> String {
+                "wedge-always".into()
+            }
+        }
+
+        let params = roomy_params(8);
+        let mut rng = SeedStream::new(6).derive("rel", 0);
+        let rel = HRelation::random_exact(&mut rng, 8, 4);
+        let opts = RunOptions::new().seed(3).faults(Arc::new(WedgeAlways));
+        let err = route_randomized(params, &rel, 2.0, &opts).unwrap_err();
+        assert!(
+            matches!(&err, ModelError::Internal(m) if m.contains("wedged")),
+            "expected the give-up diagnostic, got {err:?}"
+        );
     }
 }

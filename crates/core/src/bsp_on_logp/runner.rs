@@ -227,7 +227,7 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
             vec![Payload::word(0, 1); p],
             word_combine(|a, b| a & b),
             &joins,
-            opts.seed.wrapping_add(index * 17 + 1),
+            &opts.subphase().seed(opts.seed.wrapping_add(index * 17 + 1)),
         )?;
         debug_assert!(cb.results.iter().all(|r| r.expect_word() == 1));
         let t_synch = cb.t_cb;
@@ -246,7 +246,7 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
         // --- Phase 3: routing. -------------------------------------------
         let seed = opts.seed.wrapping_add(index * 17 + 2);
         let rout_base = base + cb.makespan;
-        let rout_opts = RunOptions::new().seed(seed).registry(registry).at(rout_base);
+        let rout_opts = opts.subphase().seed(seed).registry(registry).at(rout_base);
         let t_rout = if rel.is_empty() {
             Steps::ZERO
         } else {
@@ -257,7 +257,7 @@ pub fn simulate_bsp_on_logp<P: BspProcess>(
                 RoutingStrategy::Randomized { slack } => {
                     route_randomized(logp, &rel, slack, &rout_opts)?.time
                 }
-                RoutingStrategy::Offline => route_offline(logp, &rel, seed)?.0,
+                RoutingStrategy::Offline => route_offline(logp, &rel, &rout_opts)?.0,
             }
         };
         if registry.is_enabled() && t_rout > Steps::ZERO {

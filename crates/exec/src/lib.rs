@@ -13,7 +13,8 @@
 //!   registry, message-id allocator), deduplicated out of every engine.
 //! * [`Medium`] — the transport seam between submission and delivery, so a
 //!   LogP machine can run over the abstract latency-`L` channel or over a
-//!   concrete routed topology.
+//!   concrete routed topology; [`WrapMedium`] decorates that seam (the
+//!   fault-injection hook, carried by [`RunOptions::fault`]).
 //! * [`Phase`] — the shared same-instant event ordering
 //!   (deliver < submit < ready).
 //! * [`Stacked`] / [`RunStack`] — guest-over-host composition, the
@@ -28,7 +29,7 @@ mod outcome;
 mod phase;
 mod stacked;
 
-pub use medium::Medium;
+pub use medium::{wrap_medium, Medium, WrapMedium};
 pub use options::{Instruments, RunOptions};
 pub use outcome::{drive, Executor, RunOutcome};
 pub use phase::Phase;

@@ -7,8 +7,10 @@
 //! registry handle, message-id allocator — deduplicated out of the three
 //! engines that used to each hand-roll it.
 
+use crate::medium::WrapMedium;
 use bvl_model::{MsgId, Steps, Trace};
 use bvl_obs::Registry;
+use std::sync::Arc;
 
 /// Options shared by every run entry point in the workspace.
 ///
@@ -41,6 +43,11 @@ pub struct RunOptions {
     /// Step/superstep budget before a [`bvl_model::ModelError::Timeout`];
     /// `None` means the engine's own default.
     pub budget: Option<u64>,
+    /// Adversarial medium decorator (deterministic fault injection, see
+    /// `bvl-fault`). When present, every engine with a transport seam wraps
+    /// its medium before running — machines, routers and simulators all
+    /// pick faults up from the one options struct, no API forks.
+    pub fault: Option<Arc<dyn WrapMedium>>,
 }
 
 impl Default for RunOptions {
@@ -52,6 +59,7 @@ impl Default for RunOptions {
             threads: 1,
             clock_base: Steps::ZERO,
             budget: None,
+            fault: None,
         }
     }
 }
@@ -107,6 +115,35 @@ impl RunOptions {
     /// The budget to use given an engine default.
     pub fn budget_or(&self, default: u64) -> u64 {
         self.budget.unwrap_or(default)
+    }
+
+    /// Inject a medium decorator: every engine run under these options
+    /// wraps its transport in `wrap` (adversarial media, fault plans).
+    #[must_use]
+    pub fn faults(mut self, wrap: Arc<dyn WrapMedium>) -> RunOptions {
+        self.fault = Some(wrap);
+        self
+    }
+
+    /// Whether these options carry a fault decorator. Protocols whose
+    /// correctness argument *assumes* a well-behaved medium (e.g. the
+    /// stall-free schedules of §4.2) use this to downgrade
+    /// `forbid_stalling` from an invariant check to a measurement.
+    pub fn faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Options for a sub-phase machine: same seed and fault decorator,
+    /// everything else default. Phase drivers (CB passes, sorting rounds,
+    /// routing cycles) run many short-lived machines whose registries,
+    /// budgets and clock bases are managed by the driver itself — only the
+    /// adversary and the seed propagate down.
+    pub fn subphase(&self) -> RunOptions {
+        RunOptions {
+            seed: self.seed,
+            fault: self.fault.clone(),
+            ..RunOptions::default()
+        }
     }
 }
 
@@ -204,6 +241,29 @@ mod tests {
     #[test]
     fn threads_clamp_to_one() {
         assert_eq!(RunOptions::new().threads(0).threads, 1);
+    }
+
+    #[test]
+    fn fault_decorator_rides_the_options() {
+        use crate::medium::{Medium, WrapMedium};
+        struct Noop;
+        impl WrapMedium for Noop {
+            fn wrap(&self, inner: Box<dyn Medium + Send>) -> Box<dyn Medium + Send> {
+                inner
+            }
+            fn label(&self) -> String {
+                "noop".into()
+            }
+        }
+        let opts = RunOptions::new().seed(5).traced().faults(Arc::new(Noop));
+        assert!(opts.faulted());
+        let sub = opts.subphase();
+        assert_eq!(sub.seed, 5);
+        assert!(sub.faulted(), "the adversary propagates to sub-phases");
+        assert!(!sub.trace, "instrumentation does not");
+        assert!(!RunOptions::new().faulted());
+        // Debug must not choke on the trait object.
+        assert!(format!("{opts:?}").contains("noop"));
     }
 
     #[test]

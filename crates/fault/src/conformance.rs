@@ -1,0 +1,641 @@
+//! Differential conformance: clean vs faulted vs cross-simulated runs.
+//!
+//! A [`Case`] names one simulator, one workload shape `(p, h, seed)` and
+//! one [`FaultPlan`]; [`run_case`] executes the differential legs and
+//! returns every check violation, each carrying the case's one-line
+//! [`Case::repro`] command so a CI failure is reproducible by copy-paste.
+//!
+//! The legs, common to every simulator:
+//!
+//! 1. **Delivery conformance** — the off-line router must deliver the exact
+//!    demand multiset on the clean medium *and* under the plan (faults
+//!    delay, duplicate and throttle but never lose; engine-side
+//!    deduplication collapses at-least-once back to exactly-once).
+//! 2. **Trace conformance** — a traced machine run must satisfy the §2.2
+//!    rules ([`bvl_logp::validate::validate`]) exactly on the clean medium;
+//!    under faults, only violations *attributable to the injected fault
+//!    classes* are waived (see [`waived`]) and structural well-formedness
+//!    ([`bvl_model::validate_wellformed`]) is never waived.
+//! 3. **Monotonicity** — injected faults only ever slow a run down.
+//!
+//! plus one simulator-specific leg: the deterministic router (Theorem 2's
+//! Step 4 machinery), the randomized router (Theorem 3, including its
+//! retry/backoff behaviour under wedging faults), or the LogP-on-BSP host
+//! (Theorem 1 cross-simulation with its slowdown bound).
+//!
+//! Theorem-bound checks use **explicit** slack constants (documented at
+//! their definitions): the paper's bounds are asymptotic, so each check
+//! states the constant it holds the implementation to.
+
+use crate::plan::{Fault, FaultPlan};
+use bvl_core::slowdown::{stalling_worst_case, theorem1_bound};
+use bvl_core::{
+    route_deterministic, route_offline, route_randomized, simulate_logp_on_bsp, SortScheme,
+    Theorem1Config,
+};
+use bvl_exec::RunOptions;
+use bvl_logp::validate::validate;
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::decompose::koenig_color;
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{validate_wellformed, HRelation, ProcId, Steps};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Multiplier on Theorem 3's `O(G·h²)` stalling backstop for the clean
+/// randomized-routing leg: covers the protocol's `2(L+o)` round framing and
+/// per-message overheads the asymptotic bound absorbs.
+pub const SLACK_BACKSTOP: u64 = 4;
+
+/// Multiplier on Theorem 1's `1 + g/G + ℓ/L` slowdown for the hosted leg:
+/// covers cycle rounding (`C = ⌈L/2⌉`) and barrier quantization.
+pub const SLACK_THEOREM1: f64 = 8.0;
+
+/// Budget on faulted-vs-clean slowdown of the off-line delivery leg: a
+/// plan in the conformance matrix must keep the faulted run within this
+/// factor of the clean run. This is a *harness budget*, not a theorem —
+/// deliberately extreme plans (e.g. `degrade=0:1000`) exceed it, which is
+/// exactly how the test suite exercises the failure/repro path end-to-end.
+pub const SLACK_FAULT_BLOWUP: u64 = 64;
+
+/// The three simulators the harness drives differentially.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sim {
+    /// §4.2 deterministic router (`route_deterministic`).
+    RouteDet,
+    /// §4.3 randomized router (`route_randomized`, Theorem 3).
+    RouteRand,
+    /// Theorem 1 host (`simulate_logp_on_bsp`).
+    LogpOnBsp,
+}
+
+impl Sim {
+    /// All simulators, for matrix drivers.
+    pub const ALL: [Sim; 3] = [Sim::RouteDet, Sim::RouteRand, Sim::LogpOnBsp];
+
+    /// CLI-stable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sim::RouteDet => "route_det",
+            Sim::RouteRand => "route_rand",
+            Sim::LogpOnBsp => "logp_on_bsp",
+        }
+    }
+}
+
+impl fmt::Display for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Sim {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Sim, String> {
+        match s {
+            "route_det" => Ok(Sim::RouteDet),
+            "route_rand" => Ok(Sim::RouteRand),
+            "logp_on_bsp" => Ok(Sim::LogpOnBsp),
+            other => Err(format!(
+                "unknown simulator '{other}' (route_det | route_rand | logp_on_bsp)"
+            )),
+        }
+    }
+}
+
+/// One conformance case: simulator × workload × fault plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Case {
+    /// Which simulator to drive.
+    pub sim: Sim,
+    /// Processor count (power of two — `route_det` requires it).
+    pub p: usize,
+    /// Relation degree `h` for the generated exact h-relation.
+    pub h: usize,
+    /// Workload seed: drives the relation draw and the machines' policy
+    /// streams (the fault plan carries its own seed).
+    pub seed: u64,
+    /// The injected faults.
+    pub plan: FaultPlan,
+}
+
+impl Case {
+    /// The one-line repro command printed with every failure. Running it
+    /// re-executes exactly this case (`exp_faults` parses it back via
+    /// [`Case::parse_args`]).
+    pub fn repro(&self) -> String {
+        format!(
+            "cargo run --release -p bvl-bench --bin exp_faults -- \
+             --sim {} --p {} --h {} --seed {} --plan '{}'",
+            self.sim, self.p, self.h, self.seed, self.plan
+        )
+    }
+
+    /// Rebuild a case from a printed [`Case::repro`] line.
+    pub fn from_repro(line: &str) -> Result<Case, String> {
+        let (_, tail) = line
+            .split_once(" -- ")
+            .ok_or("repro line missing ' -- ' separator")?;
+        let args: Vec<String> = tail.split_whitespace().map(str::to_string).collect();
+        Case::parse_args(&args)
+    }
+
+    /// Parse `--sim S --p N --h N --seed N --plan 'LINE'` argument pairs
+    /// (quotes around the plan are optional — plans contain no spaces).
+    pub fn parse_args(args: &[String]) -> Result<Case, String> {
+        let mut sim = None;
+        let mut p = None;
+        let mut h = None;
+        let mut seed = None;
+        let mut plan = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let val = it
+                .next()
+                .ok_or_else(|| format!("{flag}: missing value"))?
+                .trim_matches('\'')
+                .trim_matches('"');
+            match flag.as_str() {
+                "--sim" => sim = Some(val.parse::<Sim>()?),
+                "--p" => p = Some(val.parse::<usize>().map_err(|e| format!("--p: {e}"))?),
+                "--h" => h = Some(val.parse::<usize>().map_err(|e| format!("--h: {e}"))?),
+                "--seed" => seed = Some(val.parse::<u64>().map_err(|e| format!("--seed: {e}"))?),
+                "--plan" => plan = Some(val.parse::<FaultPlan>()?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(Case {
+            sim: sim.ok_or("missing --sim")?,
+            p: p.ok_or("missing --p")?,
+            h: h.ok_or("missing --h")?,
+            seed: seed.ok_or("missing --seed")?,
+            plan: plan.ok_or("missing --plan")?,
+        })
+    }
+}
+
+/// Outcome of one case: timings plus every check violation (empty =
+/// conformant). Each violation line embeds the repro command.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// The case that ran.
+    pub case: Case,
+    /// Clean-leg time of the simulator-specific run.
+    pub clean_time: Steps,
+    /// Faulted-leg time of the simulator-specific run.
+    pub faulted_time: Steps,
+    /// Machine attempts on the faulted randomized-routing leg (1 for the
+    /// other simulators).
+    pub attempts: u64,
+    /// Checks evaluated.
+    pub checks: usize,
+    /// Violations, each with the embedded repro line.
+    pub failures: Vec<String>,
+}
+
+impl CaseReport {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Is `violation` attributable to a fault class present in `plan`?
+///
+/// The waiver table is the fault model's contract with the §2.2 validator:
+///
+/// * delay faults (`jitter`, `reorder`, `degrade`) may push deliveries past
+///   the clean `L` bound — "more than L" is theirs;
+/// * `dup` replays a message id, so the second `Deliver` both lands past
+///   `L` and confuses per-id lifecycle accounting ("more than L",
+///   "capacity"); ghost copies also occupy in-transit slots the validator
+///   cannot see (it counts ids, not copies), so senders may stall below
+///   the reconstructed saturation point ("stalled at");
+/// * capacity faults (`burst`, `squeeze`, `degrade`) stall senders below
+///   the *nominal* `⌈L/G⌉` saturation the validator reconstructs —
+///   "stalled at" is theirs.
+///
+/// Everything else — acceptance before submission, sub-`G` gaps, lost
+/// messages, negative in-transit counts — is never waived: no fault in the
+/// model can legitimately produce it, so its appearance under injection is
+/// an engine bug.
+pub fn waived(plan: &FaultPlan, violation: &str) -> bool {
+    plan.faults.iter().any(|f| match f {
+        Fault::Jitter(_) | Fault::Reorder { .. } => violation.contains("more than L"),
+        Fault::Duplicate { .. } => {
+            violation.contains("more than L")
+                || violation.contains("capacity")
+                || violation.contains("stalled at")
+        }
+        Fault::StallBurst { .. } | Fault::CapacitySqueeze { .. } => {
+            violation.contains("stalled at")
+        }
+        Fault::Degrade { .. } => {
+            violation.contains("more than L") || violation.contains("stalled at")
+        }
+    })
+}
+
+/// The capacity-safe scripts `route_offline` runs: König rounds spaced `G`
+/// apart, receives to match. Shared by the trace leg (which needs its own
+/// machine to own the trace) and the hosted leg (which needs `Script`
+/// programs for the BSP guests).
+fn offline_scripts(params: LogpParams, rel: &HRelation) -> Vec<Script> {
+    let decomp = koenig_color(rel);
+    let mut sends: Vec<Vec<(u64, ProcId, bvl_model::Payload)>> = vec![Vec::new(); params.p];
+    let mut recv_count = vec![0usize; params.p];
+    for (round, idxs) in decomp.rounds().iter().enumerate() {
+        for &i in idxs {
+            let d = &rel.demands()[i];
+            sends[d.src.index()].push((round as u64, d.dst, d.payload.clone()));
+            recv_count[d.dst.index()] += 1;
+        }
+    }
+    (0..params.p)
+        .map(|i| {
+            let mut ops = Vec::new();
+            sends[i].sort_by_key(|&(round, dst, _)| (round, dst.0));
+            for (round, dst, payload) in sends[i].drain(..) {
+                ops.push(Op::WaitUntil(Steps(round * params.g)));
+                ops.push(Op::Send { dst, payload });
+            }
+            ops.extend(std::iter::repeat_n(Op::Recv, recv_count[i]));
+            Script::new(ops)
+        })
+        .collect()
+}
+
+/// Exact multiset check with the failure turned into a check name.
+fn check_delivery(
+    rel: &HRelation,
+    received: &[Vec<bvl_model::Envelope>],
+    leg: &str,
+    fails: &mut Vec<String>,
+    case: &Case,
+) {
+    if let Err(e) = bvl_core::bsp_on_logp::phase::verify_delivery(rel, received) {
+        fail(fails, case, leg, &format!("delivered multiset diverged: {e}"));
+    }
+}
+
+fn fail(fails: &mut Vec<String>, case: &Case, check: &str, detail: &str) {
+    fails.push(format!(
+        "[{check}] {detail}\n    repro: {}",
+        case.repro()
+    ));
+}
+
+/// Execute one case: all differential legs plus the simulator-specific
+/// leg. Infallible by design — engine-level errors (a router refusing the
+/// faulted medium, a wedged host) are themselves conformance failures and
+/// land in [`CaseReport::failures`] with the repro line.
+pub fn run_case(case: &Case) -> CaseReport {
+    // L=16, o=1, G=2 → capacity ⌈L/G⌉ = 8: roomy enough that clean legs
+    // are stall-free, tight enough that squeezes and bursts bite.
+    let params = LogpParams::new(case.p, 16, 1, 2).expect("valid conformance params");
+    let mut rng = SeedStream::new(case.seed).derive("conformance-rel", 0);
+    let rel = HRelation::random_exact(&mut rng, case.p, case.h);
+    let h = rel.degree() as u64;
+
+    let clean = RunOptions::new().seed(case.seed);
+    let faulted = RunOptions::new()
+        .seed(case.seed)
+        .faults(Arc::new(case.plan.clone()));
+
+    let mut fails = Vec::new();
+    let mut checks = 0;
+
+    // ---- Leg 1: delivery conformance through the off-line router. ------
+    checks += 1;
+    let clean_offline = match route_offline(params, &rel, &clean) {
+        Ok((t, received)) => {
+            check_delivery(&rel, &received, "offline-clean", &mut fails, case);
+            Some(t)
+        }
+        Err(e) => {
+            fail(&mut fails, case, "offline-clean", &format!("router failed: {e:?}"));
+            None
+        }
+    };
+    checks += 3;
+    match route_offline(params, &rel, &faulted) {
+        Ok((t, received)) => {
+            check_delivery(&rel, &received, "offline-faulted", &mut fails, case);
+            if let Some(tc) = clean_offline {
+                if t < tc {
+                    fail(
+                        &mut fails,
+                        case,
+                        "offline-monotone",
+                        &format!("faults sped the router up: {t:?} < clean {tc:?}"),
+                    );
+                }
+                let budget = SLACK_FAULT_BLOWUP * tc.get().max(1);
+                if t.get() > budget {
+                    fail(
+                        &mut fails,
+                        case,
+                        "offline-blowup",
+                        &format!(
+                            "faulted delivery took {} vs budget {budget} \
+                             ({SLACK_FAULT_BLOWUP}× the clean {})",
+                            t.get(),
+                            tc.get()
+                        ),
+                    );
+                }
+            }
+        }
+        Err(e) => fail(
+            &mut fails,
+            case,
+            "offline-faulted",
+            &format!("router failed under faults: {e:?}"),
+        ),
+    }
+
+    // ---- Leg 2: trace conformance (clean strict, faulted waived). ------
+    /// (§2.2 rule violations, shape violations, per-proc received envelopes).
+    type TraceLegOutcome = (Vec<String>, Vec<String>, Vec<Vec<bvl_model::Envelope>>);
+    let trace_leg = |opts: &RunOptions| -> Result<TraceLegOutcome, String> {
+        let config = LogpConfig {
+            trace: true,
+            forbid_stalling: false,
+            seed: case.seed,
+            ..LogpConfig::default()
+        };
+        let mut m = LogpMachine::with_config(params, config, offline_scripts(params, &rel));
+        m.instrument(opts);
+        m.run().map_err(|e| format!("{e:?}"))?;
+        let rules = validate(m.params(), m.trace());
+        let shape = validate_wellformed(m.trace());
+        let received = m
+            .into_programs()
+            .into_iter()
+            .map(|s| s.into_received())
+            .collect();
+        Ok((rules, shape, received))
+    };
+
+    checks += 2;
+    match trace_leg(&clean.clone().traced()) {
+        Ok((rules, shape, _)) => {
+            if !rules.is_empty() {
+                fail(
+                    &mut fails,
+                    case,
+                    "trace-clean",
+                    &format!("§2.2 violations on a clean medium: {rules:?}"),
+                );
+            }
+            if !shape.is_empty() {
+                fail(
+                    &mut fails,
+                    case,
+                    "trace-clean-shape",
+                    &format!("ill-formed clean trace: {shape:?}"),
+                );
+            }
+        }
+        Err(e) => fail(&mut fails, case, "trace-clean", &format!("machine failed: {e}")),
+    }
+
+    checks += 3;
+    match trace_leg(&faulted.clone().traced()) {
+        Ok((rules, shape, received)) => {
+            let unwaived: Vec<&String> =
+                rules.iter().filter(|v| !waived(&case.plan, v)).collect();
+            if !unwaived.is_empty() {
+                fail(
+                    &mut fails,
+                    case,
+                    "trace-faulted",
+                    &format!("violations not attributable to the plan's faults: {unwaived:?}"),
+                );
+            }
+            if !shape.is_empty() {
+                fail(
+                    &mut fails,
+                    case,
+                    "trace-faulted-shape",
+                    &format!("structural well-formedness is never waived: {shape:?}"),
+                );
+            }
+            check_delivery(&rel, &received, "trace-faulted-delivery", &mut fails, case);
+        }
+        Err(e) => fail(
+            &mut fails,
+            case,
+            "trace-faulted",
+            &format!("machine failed under faults: {e}"),
+        ),
+    }
+
+    // ---- Leg 3: the simulator under test, clean vs faulted. ------------
+    let mut clean_time = Steps::ZERO;
+    let mut faulted_time = Steps::ZERO;
+    let mut attempts = 1;
+    match case.sim {
+        Sim::RouteDet => {
+            checks += 3;
+            let c = route_deterministic(params, &rel, SortScheme::Auto, &clean);
+            let f = route_deterministic(params, &rel, SortScheme::Auto, &faulted);
+            match (c, f) {
+                (Ok(c), Ok(f)) => {
+                    clean_time = c.total;
+                    faulted_time = f.total;
+                    if c.h != h {
+                        fail(
+                            &mut fails,
+                            case,
+                            "det-degree",
+                            &format!("router saw h={} for a degree-{h} relation", c.h),
+                        );
+                    }
+                    if f.total < c.total {
+                        fail(
+                            &mut fails,
+                            case,
+                            "det-monotone",
+                            &format!("faults sped routing up: {:?} < clean {:?}", f.total, c.total),
+                        );
+                    }
+                }
+                (c, f) => fail(
+                    &mut fails,
+                    case,
+                    "det-run",
+                    &format!("clean: {:?}, faulted: {:?}", c.err(), f.err()),
+                ),
+            }
+        }
+        Sim::RouteRand => {
+            checks += 4;
+            let c = route_randomized(params, &rel, 2.0, &clean);
+            let f = route_randomized(params, &rel, 2.0, &faulted);
+            match (c, f) {
+                (Ok(c), Ok(f)) => {
+                    clean_time = c.time;
+                    faulted_time = f.time;
+                    attempts = f.attempts.max(1);
+                    if c.attempts != 1 || c.backoff != Steps::ZERO {
+                        fail(
+                            &mut fails,
+                            case,
+                            "rand-clean-retries",
+                            &format!(
+                                "clean medium needed {} attempts / {:?} backoff",
+                                c.attempts, c.backoff
+                            ),
+                        );
+                    }
+                    // Theorem 3's backstop: even when the Chernoff event
+                    // fails, the Stalling Rule caps routing at O(G·h²).
+                    let backstop = SLACK_BACKSTOP * stalling_worst_case(&params, h);
+                    if c.time.get() > backstop {
+                        fail(
+                            &mut fails,
+                            case,
+                            "rand-backstop",
+                            &format!(
+                                "clean time {} exceeds {SLACK_BACKSTOP}× the O(Gh²) backstop {}",
+                                c.time.get(),
+                                backstop
+                            ),
+                        );
+                    }
+                    if f.time < c.time {
+                        fail(
+                            &mut fails,
+                            case,
+                            "rand-monotone",
+                            &format!("faults sped routing up: {:?} < clean {:?}", f.time, c.time),
+                        );
+                    }
+                }
+                (c, f) => fail(
+                    &mut fails,
+                    case,
+                    "rand-run",
+                    &format!("clean: {:?}, faulted: {:?}", c.err(), f.err()),
+                ),
+            }
+        }
+        Sim::LogpOnBsp => {
+            checks += 3;
+            // A host whose parameters keep Theorem 1's bound small but
+            // nontrivial: 1 + g/G + ℓ/L = 1 + 4/2 + 32/16 = 5.
+            let bsp = bvl_bsp::BspParams::new(case.p, 4, 32).expect("valid host params");
+            match simulate_logp_on_bsp(
+                params,
+                bsp,
+                offline_scripts(params, &rel),
+                Theorem1Config::default(),
+                &clean,
+            ) {
+                Ok(rep) => {
+                    clean_time = rep.guest_makespan();
+                    faulted_time = clean_time;
+                    let received: Vec<Vec<bvl_model::Envelope>> = rep
+                        .programs
+                        .iter()
+                        .map(|s| s.clone().into_received())
+                        .collect();
+                    check_delivery(&rel, &received, "hosted-delivery", &mut fails, case);
+                    let bound = SLACK_THEOREM1 * theorem1_bound(bsp.g, bsp.l, params.g, params.l);
+                    if rep.slowdown() > bound {
+                        fail(
+                            &mut fails,
+                            case,
+                            "hosted-slowdown",
+                            &format!(
+                                "measured slowdown {:.2} exceeds {SLACK_THEOREM1}× Theorem 1's {:.2}",
+                                rep.slowdown(),
+                                theorem1_bound(bsp.g, bsp.l, params.g, params.l)
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(&mut fails, case, "hosted-run", &format!("host failed: {e:?}")),
+            }
+        }
+    }
+
+    CaseReport {
+        case: case.clone(),
+        clean_time,
+        faulted_time,
+        attempts,
+        checks,
+        failures: fails,
+    }
+}
+
+/// The default conformance matrix: the named plans × [`Sim::ALL`].
+///
+/// Plans cover every fault class alone plus one composition; `tests/
+/// conformance.rs` and the `exp_faults --smoke` CI job both run this
+/// matrix, so a plan added here is exercised everywhere.
+pub fn default_plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::new(11).jitter_uniform(6),
+        FaultPlan::new(12).reorder(30),
+        FaultPlan::new(13).duplicate(3),
+        FaultPlan::new(14).stall_burst(64, 8),
+        FaultPlan::new(15).capacity_squeeze(2),
+        FaultPlan::new(16).degrade(8, 2),
+        FaultPlan::new(17).jitter_uniform(4).duplicate(5).capacity_squeeze(3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_names_round_trip() {
+        for sim in Sim::ALL {
+            assert_eq!(sim.as_str().parse::<Sim>().unwrap(), sim);
+        }
+        assert!("bsp_on_logp_typo".parse::<Sim>().is_err());
+    }
+
+    #[test]
+    fn repro_line_round_trips() {
+        let case = Case {
+            sim: Sim::RouteRand,
+            p: 8,
+            h: 4,
+            seed: 3,
+            plan: FaultPlan::new(9).jitter_uniform(6).duplicate(4),
+        };
+        let line = case.repro();
+        assert!(line.starts_with("cargo run --release -p bvl-bench --bin exp_faults -- "));
+        assert_eq!(Case::from_repro(&line).unwrap(), case);
+    }
+
+    #[test]
+    fn waiver_table_is_fault_scoped() {
+        let jitter = FaultPlan::new(1).jitter_uniform(4);
+        assert!(waived(&jitter, "MsgId(3): delivered Steps(40) more than L=16 after accept"));
+        assert!(!waived(&jitter, "MsgId(3): stalled at Steps(4) while dst P1 had only 0/8 in transit"));
+        let squeeze = FaultPlan::new(1).capacity_squeeze(2);
+        assert!(waived(&squeeze, "MsgId(3): stalled at Steps(4) while dst P1 had only 1/8 in transit"));
+        assert!(!waived(&squeeze, "MsgId(3): delivered Steps(40) more than L=16 after accept"));
+        // Never waived, under any plan: lifecycle and gap violations.
+        for plan in default_plans() {
+            assert!(!waived(&plan, "MsgId(3): accepted Steps(2) before submitted Steps(5)"));
+            assert!(!waived(&plan, "P2: submissions at Steps(4) and Steps(5) closer than G=2"));
+            assert!(!waived(&plan, "MsgId(3): accepted but never delivered"));
+        }
+    }
+
+    #[test]
+    fn default_matrix_is_big_enough() {
+        // The acceptance floor: ≥ 5 plans against all three simulators.
+        assert!(default_plans().len() >= 5);
+        assert_eq!(Sim::ALL.len(), 3);
+    }
+}

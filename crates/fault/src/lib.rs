@@ -1,0 +1,25 @@
+//! # bvl-fault — adversarial media and differential conformance
+//!
+//! The paper's theorems assume a well-behaved transport: deliveries within
+//! `L`, capacity exactly `⌈L/G⌉`, no duplication. This crate supplies the
+//! opposite on purpose — a seeded, serializable [`FaultPlan`] interpreted
+//! as a [`bvl_exec::Medium`] decorator — and the [`conformance`] harness
+//! that runs every simulator clean *and* faulted and checks what must still
+//! hold (exact delivery, trace well-formedness, theorem bounds with
+//! explicit slack) versus what a fault class legitimately relaxes.
+//!
+//! Plans are one-line strings (`seed=42,jitter=uniform:8,dup=16`), so every
+//! failure anywhere in the harness prints a single copy-pasteable repro
+//! command; `FaultPlan` implements [`bvl_exec::WrapMedium`], so a plan
+//! plugs into any run via [`bvl_exec::RunOptions::faults`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod medium;
+pub mod plan;
+
+pub use conformance::{run_case, waived, Case, CaseReport, Sim};
+pub use medium::FaultMedium;
+pub use plan::{Dist, Fault, FaultPlan};

@@ -1,0 +1,303 @@
+//! The adversarial medium: a [`FaultPlan`] interpreted over any inner
+//! [`Medium`].
+//!
+//! [`FaultMedium`] keeps its **own** ChaCha stream derived from the plan
+//! seed and forwards the machine's policy RNG to the inner medium
+//! untouched. That split is what makes clean-vs-faulted runs *differential*
+//! evidence: both legs see identical policy draws, so every divergence is
+//! attributable to the injected faults, not to RNG stream displacement.
+//!
+//! [`FaultPlan`] implements [`WrapMedium`], so the whole thing is wired
+//! through [`bvl_exec::RunOptions::faults`] — any machine, router or
+//! simulator in the workspace runs under a plan with no API change.
+
+use crate::plan::{Dist, Fault, FaultPlan};
+use bvl_exec::{Medium, WrapMedium};
+use bvl_model::rngutil::SeedStream;
+use bvl_model::{Envelope, ProcId, Steps};
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+/// A [`Medium`] decorated with the faults of one [`FaultPlan`].
+pub struct FaultMedium {
+    inner: Box<dyn Medium + Send>,
+    plan: FaultPlan,
+    /// The plan's private stream — never the machine's policy stream.
+    rng: ChaCha8Rng,
+    /// Messages scheduled so far (drives `dup=every`).
+    accepted: u64,
+}
+
+impl FaultMedium {
+    /// Decorate `inner` with `plan`.
+    pub fn new(inner: Box<dyn Medium + Send>, plan: FaultPlan) -> FaultMedium {
+        let rng = SeedStream::new(plan.seed).derive("fault-medium", 0);
+        FaultMedium {
+            inner,
+            plan,
+            rng,
+            accepted: 0,
+        }
+    }
+}
+
+impl Medium for FaultMedium {
+    fn capacity(&self, dst: ProcId, now: Steps) -> u64 {
+        let mut cap = self.inner.capacity(dst, now);
+        for f in &self.plan.faults {
+            match *f {
+                Fault::StallBurst { period, len } if now.get() % period < len => return 0,
+                Fault::CapacitySqueeze { max } => cap = cap.min(max),
+                Fault::Degrade { at_step, factor } if now.get() >= at_step => {
+                    cap = (cap / factor).max(1);
+                }
+                _ => {}
+            }
+        }
+        cap
+    }
+
+    fn delivery_time(&mut self, env: &Envelope, now: Steps, rng: &mut dyn RngCore) -> Steps {
+        let base = self.inner.delivery_time(env, now, rng);
+        // Work on the inner delay so Degrade multiplies the real latency,
+        // not an already-jittered one plus `now`.
+        let mut delay = base.get().saturating_sub(now.get()).max(1);
+        for i in 0..self.plan.faults.len() {
+            match self.plan.faults[i] {
+                Fault::Jitter(Dist::Uniform(max)) if max > 0 => {
+                    delay += self.rng.gen_range(0..=max);
+                }
+                Fault::Jitter(Dist::Fixed(n)) => delay += n,
+                // Stretch by up to the base latency: enough for this
+                // message to land after traffic submitted later.
+                Fault::Reorder { pct }
+                    if pct > 0 && self.rng.gen_range(0..100u64) < u64::from(pct) =>
+                {
+                    delay += self.rng.gen_range(1..=delay);
+                }
+                Fault::Degrade { at_step, factor } if now.get() >= at_step => {
+                    delay = delay.saturating_mul(factor);
+                }
+                _ => {}
+            }
+        }
+        now + Steps(delay)
+    }
+
+    fn duplicate_delivery(
+        &mut self,
+        env: &Envelope,
+        scheduled: Steps,
+        now: Steps,
+        rng: &mut dyn RngCore,
+    ) -> Option<Steps> {
+        if let Some(t) = self.inner.duplicate_delivery(env, scheduled, now, rng) {
+            return Some(t);
+        }
+        self.accepted += 1;
+        for f in &self.plan.faults {
+            if let Fault::Duplicate { every } = *f {
+                if self.accepted.is_multiple_of(every) {
+                    // The ghost copy trails the real one by a small lag so
+                    // the two occupy (and release) in-transit slots at
+                    // distinct instants.
+                    let lag = self.rng.gen_range(1..=4u64);
+                    return Some(scheduled + Steps(lag));
+                }
+            }
+        }
+        None
+    }
+
+    fn may_duplicate(&self) -> bool {
+        self.inner.may_duplicate() || self.plan.has(|f| matches!(f, Fault::Duplicate { .. }))
+    }
+
+    fn wake_hint(&mut self, dst: ProcId, now: Steps) -> Option<Steps> {
+        for f in &self.plan.faults {
+            if let Fault::StallBurst { period, len } = *f {
+                let into = now.get() % period;
+                if into < len {
+                    return Some(now + Steps(len - into));
+                }
+            }
+        }
+        self.inner.wake_hint(dst, now)
+    }
+
+    fn name(&self) -> &'static str {
+        "faulted"
+    }
+}
+
+impl WrapMedium for FaultPlan {
+    fn wrap(&self, inner: Box<dyn Medium + Send>) -> Box<dyn Medium + Send> {
+        Box::new(FaultMedium::new(inner, self.clone()))
+    }
+
+    fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_model::{MsgId, Payload};
+
+    /// The pure-LogP stand-in: capacity 4, delivery at `now + 8`.
+    struct Base;
+    impl Medium for Base {
+        fn capacity(&self, _dst: ProcId, _now: Steps) -> u64 {
+            4
+        }
+        fn delivery_time(&mut self, _env: &Envelope, now: Steps, _rng: &mut dyn RngCore) -> Steps {
+            now + Steps(8)
+        }
+        fn name(&self) -> &'static str {
+            "base"
+        }
+    }
+
+    fn env() -> Envelope {
+        Envelope {
+            id: MsgId(0),
+            src: ProcId(0),
+            dst: ProcId(1),
+            payload: Payload::word(0, 1),
+            submitted: Steps::ZERO,
+            accepted: Steps::ZERO,
+            delivered: Steps::ZERO,
+        }
+    }
+
+    fn zero_rng() -> impl RngCore {
+        struct Zero;
+        impl RngCore for Zero {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        Zero
+    }
+
+    fn faulted(plan: FaultPlan) -> FaultMedium {
+        FaultMedium::new(Box::new(Base), plan)
+    }
+
+    #[test]
+    fn identity_plan_is_transparent_in_behaviour() {
+        let mut m = faulted(FaultPlan::new(1));
+        let mut rng = zero_rng();
+        assert_eq!(m.delivery_time(&env(), Steps(10), &mut rng), Steps(18));
+        assert_eq!(m.capacity(ProcId(1), Steps(10)), 4);
+        assert!(!m.may_duplicate());
+        assert_eq!(m.name(), "faulted");
+    }
+
+    #[test]
+    fn fixed_jitter_shifts_delivery() {
+        let mut m = faulted(FaultPlan::new(1).jitter_fixed(5));
+        let mut rng = zero_rng();
+        assert_eq!(m.delivery_time(&env(), Steps(10), &mut rng), Steps(23));
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_range_and_is_seed_deterministic() {
+        let sample = |seed: u64| -> Vec<u64> {
+            let mut m = faulted(FaultPlan::new(seed).jitter_uniform(6));
+            let mut rng = zero_rng();
+            (0..32)
+                .map(|i| m.delivery_time(&env(), Steps(i * 10), &mut rng).get() - i * 10)
+                .collect()
+        };
+        let a = sample(9);
+        assert_eq!(a, sample(9), "same plan seed, same jitter sequence");
+        assert!(a.iter().all(|&d| (8..=14).contains(&d)), "{a:?}");
+        assert_ne!(a, sample(10), "different plan seed, different jitter");
+    }
+
+    #[test]
+    fn burst_zeroes_capacity_and_hints_window_end() {
+        let mut m = faulted(FaultPlan::new(1).stall_burst(50, 10));
+        assert_eq!(m.capacity(ProcId(0), Steps(3)), 0);
+        assert_eq!(m.wake_hint(ProcId(0), Steps(3)), Some(Steps(10)));
+        assert_eq!(m.capacity(ProcId(0), Steps(10)), 4);
+        assert_eq!(m.wake_hint(ProcId(0), Steps(10)), None);
+        assert_eq!(m.capacity(ProcId(0), Steps(57)), 0);
+        assert_eq!(m.wake_hint(ProcId(0), Steps(57)), Some(Steps(60)));
+    }
+
+    #[test]
+    fn squeeze_clamps_but_never_to_zero() {
+        let m = faulted(FaultPlan::new(1).capacity_squeeze(2));
+        assert_eq!(m.capacity(ProcId(0), Steps(0)), 2);
+        let m = faulted(FaultPlan::new(1).capacity_squeeze(100));
+        assert_eq!(m.capacity(ProcId(0), Steps(0)), 4, "only clamps down");
+    }
+
+    #[test]
+    fn degrade_kicks_in_at_step() {
+        let mut m = faulted(FaultPlan::new(1).degrade(100, 3));
+        let mut rng = zero_rng();
+        assert_eq!(m.delivery_time(&env(), Steps(99), &mut rng), Steps(107));
+        assert_eq!(m.delivery_time(&env(), Steps(100), &mut rng), Steps(124));
+        assert_eq!(m.capacity(ProcId(0), Steps(99)), 4);
+        assert_eq!(m.capacity(ProcId(0), Steps(100)), 1);
+    }
+
+    #[test]
+    fn duplicate_every_nth_with_trailing_lag() {
+        let mut m = faulted(FaultPlan::new(1).duplicate(3));
+        assert!(m.may_duplicate());
+        let mut rng = zero_rng();
+        let mut dups = 0;
+        for i in 0..9 {
+            let t = Steps(i * 10);
+            let sched = m.delivery_time(&env(), t, &mut rng);
+            if let Some(extra) = m.duplicate_delivery(&env(), sched, t, &mut rng) {
+                assert!(extra > sched, "copy trails the original");
+                assert!(extra <= sched + Steps(4));
+                dups += 1;
+            }
+        }
+        assert_eq!(dups, 3, "exactly every 3rd message duplicated");
+    }
+
+    #[test]
+    fn machine_policy_stream_is_untouched() {
+        // A counting RNG proves the fault layer never draws from the
+        // machine's stream: the count must match the inner medium's usage
+        // (zero for `Base`) regardless of the plan.
+        struct Counting(u64);
+        impl RngCore for Counting {
+            fn next_u32(&mut self) -> u32 {
+                self.0 += 1;
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 += 1;
+                0
+            }
+        }
+        let mut rng = Counting(0);
+        let mut m = faulted(FaultPlan::new(4).jitter_uniform(9).reorder(50).duplicate(2));
+        for i in 0..8 {
+            let t = Steps(i * 10);
+            let sched = m.delivery_time(&env(), t, &mut rng);
+            let _ = m.duplicate_delivery(&env(), sched, t, &mut rng);
+        }
+        assert_eq!(rng.0, 0, "policy stream drawn {} times by the fault layer", rng.0);
+    }
+
+    #[test]
+    fn wrap_medium_label_is_the_plan_line() {
+        let plan = FaultPlan::new(5).jitter_uniform(2).capacity_squeeze(3);
+        let m = plan.wrap(Box::new(Base));
+        assert_eq!(m.name(), "faulted");
+        assert_eq!(plan.label(), "seed=5,jitter=uniform:2,squeeze=3");
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded, serializable fault plans.
+//!
+//! A [`FaultPlan`] is the *entire* description of an adversarial medium: a
+//! seed plus an ordered list of [`Fault`] decorations. It serializes to one
+//! line and parses back losslessly, so every conformance failure can print a
+//! single copy-pasteable repro command and every CI artifact is a list of
+//! plan lines. Example:
+//!
+//! ```text
+//! seed=42,jitter=uniform:8,reorder=25,dup=16,burst=50x10,squeeze=2,degrade=100:3
+//! ```
+//!
+//! The plan is deliberately *loss-free*: faults delay, reorder, duplicate
+//! and throttle, but never drop. Exactly-once delivery (after engine-side
+//! deduplication) therefore remains an invariant the conformance harness
+//! can check unconditionally — what faults may legitimately change is
+//! *time*, and the harness bounds that separately.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A delay distribution for [`Fault::Jitter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Add a uniform extra delay in `[0, max]` steps.
+    Uniform(u64),
+    /// Add exactly `n` extra steps to every delivery.
+    Fixed(u64),
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dist::Uniform(max) => write!(f, "uniform:{max}"),
+            Dist::Fixed(n) => write!(f, "fixed:{n}"),
+        }
+    }
+}
+
+/// One fault decoration. Faults compose: a plan may carry several, applied
+/// in plan order to every message (delays) or instant (capacities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Extra per-message delivery delay drawn from the plan's own RNG
+    /// stream (the machine's policy stream is never touched).
+    Jitter(Dist),
+    /// With probability `pct`% a message's delay is stretched by up to its
+    /// own base latency — enough to overtake later traffic, so deliveries
+    /// arrive out of submission order.
+    Reorder {
+        /// Probability, in percent (0–100), that a message is delayed past
+        /// its successors.
+        pct: u8,
+    },
+    /// Every `every`-th accepted message is delivered *twice*; the second
+    /// copy occupies an in-transit slot and is deduplicated by the engine
+    /// at the buffer boundary.
+    Duplicate {
+        /// Duplicate one message out of this many (≥ 1).
+        every: u64,
+    },
+    /// Periodic total outage: capacity is 0 during the first `len` steps of
+    /// every `period`-step window. The medium publishes a wake hint at the
+    /// window's end so blocked senders stall instead of wedging.
+    StallBurst {
+        /// Window length in steps (> `len`).
+        period: u64,
+        /// Outage length at the start of each window (≥ 1).
+        len: u64,
+    },
+    /// Clamp per-destination capacity to at most `max` (≥ 1) — the
+    /// Stalling Rule under a meaner network than the parameters promise.
+    CapacitySqueeze {
+        /// Capacity ceiling (≥ 1, so progress is always possible).
+        max: u64,
+    },
+    /// From step `at_step` on, multiply every delivery delay by `factor`
+    /// and divide capacity by it (floor 1): a link that degrades mid-run.
+    Degrade {
+        /// First step at which the degradation applies.
+        at_step: u64,
+        /// Slowdown multiplier (≥ 1).
+        factor: u64,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Jitter(d) => write!(f, "jitter={d}"),
+            Fault::Reorder { pct } => write!(f, "reorder={pct}"),
+            Fault::Duplicate { every } => write!(f, "dup={every}"),
+            Fault::StallBurst { period, len } => write!(f, "burst={period}x{len}"),
+            Fault::CapacitySqueeze { max } => write!(f, "squeeze={max}"),
+            Fault::Degrade { at_step, factor } => write!(f, "degrade={at_step}:{factor}"),
+        }
+    }
+}
+
+/// A seeded adversarial medium description: parse ⇄ print round-trips on
+/// one line (see the module docs for the grammar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the plan's private RNG stream (jitter draws, reorder rolls,
+    /// duplicate offsets). Independent of the machine's policy seed so a
+    /// faulted run stays draw-for-draw comparable with its clean twin.
+    pub seed: u64,
+    /// The fault decorations, applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults yet (decorating with it is the identity in
+    /// behaviour, though the medium still reports itself as faulted).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Add uniform `[0, max]` delivery jitter.
+    pub fn jitter_uniform(mut self, max: u64) -> Self {
+        self.faults.push(Fault::Jitter(Dist::Uniform(max)));
+        self
+    }
+
+    /// Add a fixed `n`-step delivery slowdown.
+    pub fn jitter_fixed(mut self, n: u64) -> Self {
+        self.faults.push(Fault::Jitter(Dist::Fixed(n)));
+        self
+    }
+
+    /// Reorder `pct`% of messages past their successors.
+    pub fn reorder(mut self, pct: u8) -> Self {
+        self.faults.push(Fault::Reorder { pct });
+        self
+    }
+
+    /// Duplicate every `every`-th message.
+    pub fn duplicate(mut self, every: u64) -> Self {
+        self.faults.push(Fault::Duplicate { every });
+        self
+    }
+
+    /// Total outage for `len` steps out of every `period`.
+    pub fn stall_burst(mut self, period: u64, len: u64) -> Self {
+        self.faults.push(Fault::StallBurst { period, len });
+        self
+    }
+
+    /// Clamp capacity to `max`.
+    pub fn capacity_squeeze(mut self, max: u64) -> Self {
+        self.faults.push(Fault::CapacitySqueeze { max });
+        self
+    }
+
+    /// Degrade delays × `factor` (and capacity ÷ `factor`) from `at_step`.
+    pub fn degrade(mut self, at_step: u64, factor: u64) -> Self {
+        self.faults.push(Fault::Degrade { at_step, factor });
+        self
+    }
+
+    /// Does the plan carry a fault of the same kind as `probe`?
+    pub fn has(&self, probe: fn(&Fault) -> bool) -> bool {
+        self.faults.iter().any(probe)
+    }
+
+    /// Check the structural constraints the parser enforces (useful for
+    /// plans built with the builder methods).
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.faults {
+            match *f {
+                Fault::Reorder { pct } if pct > 100 => {
+                    return Err(format!("reorder={pct}: percentage above 100"));
+                }
+                Fault::Duplicate { every: 0 } => {
+                    return Err("dup=0: must duplicate one in ≥1 messages".into());
+                }
+                Fault::StallBurst { period, len } if len == 0 || len >= period => {
+                    return Err(format!("burst={period}x{len}: need 1 ≤ len < period"));
+                }
+                Fault::CapacitySqueeze { max: 0 } => {
+                    return Err("squeeze=0: capacity floor is 1 (progress must stay possible)".into());
+                }
+                Fault::Degrade { factor: 0, .. } => {
+                    return Err("degrade factor must be ≥ 1".into());
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for fault in &self.faults {
+            write!(f, ",{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64(key: &str, s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("{key}: expected an integer, got '{s}'"))
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut seed = None;
+        let mut faults = Vec::new();
+        for item in s.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("'{item}': expected key=value"))?;
+            match key {
+                "seed" => seed = Some(parse_u64("seed", val)?),
+                "jitter" => {
+                    let (dist, n) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("jitter={val}: expected dist:amount"))?;
+                    let n = parse_u64("jitter", n)?;
+                    faults.push(Fault::Jitter(match dist {
+                        "uniform" => Dist::Uniform(n),
+                        "fixed" => Dist::Fixed(n),
+                        other => return Err(format!("jitter: unknown distribution '{other}'")),
+                    }));
+                }
+                "reorder" => {
+                    let pct = parse_u64("reorder", val)?;
+                    if pct > 100 {
+                        return Err(format!("reorder={pct}: percentage above 100"));
+                    }
+                    faults.push(Fault::Reorder { pct: pct as u8 });
+                }
+                "dup" => {
+                    let every = parse_u64("dup", val)?;
+                    if every == 0 {
+                        return Err("dup=0: must duplicate one in ≥1 messages".into());
+                    }
+                    faults.push(Fault::Duplicate { every });
+                }
+                "burst" => {
+                    let (period, len) = val
+                        .split_once('x')
+                        .ok_or_else(|| format!("burst={val}: expected PERIODxLEN"))?;
+                    let (period, len) = (parse_u64("burst", period)?, parse_u64("burst", len)?);
+                    if len == 0 || len >= period {
+                        return Err(format!("burst={period}x{len}: need 1 ≤ len < period"));
+                    }
+                    faults.push(Fault::StallBurst { period, len });
+                }
+                "squeeze" => {
+                    let max = parse_u64("squeeze", val)?;
+                    if max == 0 {
+                        return Err(
+                            "squeeze=0: capacity floor is 1 (progress must stay possible)".into()
+                        );
+                    }
+                    faults.push(Fault::CapacitySqueeze { max });
+                }
+                "degrade" => {
+                    let (at, factor) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("degrade={val}: expected AT:FACTOR"))?;
+                    let (at_step, factor) = (parse_u64("degrade", at)?, parse_u64("degrade", factor)?);
+                    if factor == 0 {
+                        return Err("degrade factor must be ≥ 1".into());
+                    }
+                    faults.push(Fault::Degrade { at_step, factor });
+                }
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        Ok(FaultPlan {
+            seed: seed.ok_or("plan missing 'seed=N'")?,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let plan = FaultPlan::new(42)
+            .jitter_uniform(8)
+            .reorder(25)
+            .duplicate(16)
+            .stall_burst(50, 10)
+            .capacity_squeeze(2)
+            .degrade(100, 3);
+        let line = plan.to_string();
+        assert_eq!(
+            line,
+            "seed=42,jitter=uniform:8,reorder=25,dup=16,burst=50x10,squeeze=2,degrade=100:3"
+        );
+        let parsed: FaultPlan = line.parse().unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_string(), line);
+    }
+
+    #[test]
+    fn fixed_jitter_round_trips() {
+        let plan: FaultPlan = "seed=7,jitter=fixed:3".parse().unwrap();
+        assert_eq!(plan.faults, vec![Fault::Jitter(Dist::Fixed(3))]);
+        assert_eq!(plan.to_string(), "seed=7,jitter=fixed:3");
+    }
+
+    #[test]
+    fn seed_is_required() {
+        assert!("jitter=uniform:8".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        for bad in [
+            "seed=1,reorder=200",
+            "seed=1,dup=0",
+            "seed=1,burst=10x10",
+            "seed=1,burst=10x0",
+            "seed=1,squeeze=0",
+            "seed=1,degrade=5:0",
+            "seed=1,wat=3",
+            "seed=1,jitter=zipf:4",
+            "seed=x",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn builder_validate_mirrors_parser() {
+        assert!(FaultPlan::new(1).stall_burst(10, 10).validate().is_err());
+        assert!(FaultPlan::new(1).capacity_squeeze(0).validate().is_err());
+        assert!(FaultPlan::new(1)
+            .jitter_uniform(4)
+            .duplicate(2)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn has_probes_fault_kinds() {
+        let plan = FaultPlan::new(1).duplicate(4);
+        assert!(plan.has(|f| matches!(f, Fault::Duplicate { .. })));
+        assert!(!plan.has(|f| matches!(f, Fault::Jitter(_))));
+    }
+}

@@ -1,0 +1,124 @@
+//! The differential conformance matrix: every default fault plan against
+//! every simulator, plus the failure/repro path end-to-end.
+//!
+//! These are the PR's acceptance tests: ≥ 5 plans × 3 simulators, every
+//! failure printing a one-line seeded repro command that reproduces it.
+
+use bvl_fault::conformance::{default_plans, run_case};
+use bvl_fault::{Case, FaultPlan, Sim};
+
+fn case(sim: Sim, seed: u64, plan: FaultPlan) -> Case {
+    Case {
+        sim,
+        p: 8,
+        h: 4,
+        seed,
+        plan,
+    }
+}
+
+/// The full matrix must be conformant: faults delay and throttle, but no
+/// simulator loses messages, breaks trace well-formedness, produces
+/// non-attributable §2.2 violations, or escapes its theorem bound.
+#[test]
+fn default_matrix_is_conformant() {
+    let plans = default_plans();
+    assert!(plans.len() >= 5, "acceptance floor: ≥ 5 fault plans");
+    let mut failures = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        for sim in Sim::ALL {
+            let rep = run_case(&case(sim, 100 + i as u64, plan.clone()));
+            assert!(rep.checks >= 8, "matrix cases run the full check set");
+            failures.extend(rep.failures);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "conformance failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Workload diversity: the matrix holds across sizes and degrees, not just
+/// the canonical (p=8, h=4) cell.
+#[test]
+fn matrix_holds_across_workload_shapes() {
+    let plan = FaultPlan::new(21).jitter_uniform(5).capacity_squeeze(3);
+    for (p, h) in [(4usize, 2usize), (8, 6), (16, 3)] {
+        for sim in Sim::ALL {
+            let rep = run_case(&Case {
+                sim,
+                p,
+                h,
+                seed: 7,
+                plan: plan.clone(),
+            });
+            assert!(
+                rep.ok(),
+                "p={p} h={h} {sim}:\n{}",
+                rep.failures.join("\n")
+            );
+        }
+    }
+}
+
+/// Case reports are a pure function of the case line: running the same
+/// case twice gives bit-identical timings and failures.
+#[test]
+fn case_reports_are_deterministic() {
+    let c = case(Sim::RouteRand, 42, default_plans()[0].clone());
+    let a = run_case(&c);
+    let b = run_case(&c);
+    assert_eq!(a.clean_time, b.clean_time);
+    assert_eq!(a.faulted_time, b.faulted_time);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.failures, b.failures);
+}
+
+/// The acceptance criterion end-to-end: an injected failure prints a
+/// one-line repro command, and running that command reproduces the exact
+/// same failure. The `degrade=0:1000` plan deliberately blows the
+/// harness's faulted-slowdown budget (`SLACK_FAULT_BLOWUP`).
+#[test]
+fn injected_failure_reproduces_from_the_printed_command() {
+    let c = case(Sim::RouteRand, 5, FaultPlan::new(6).degrade(0, 1_000));
+    let rep = run_case(&c);
+    assert!(!rep.ok(), "the blowup plan must trip the budget check");
+    assert!(
+        rep.failures.iter().any(|f| f.contains("[offline-blowup]")),
+        "expected the budget check to fire:\n{}",
+        rep.failures.join("\n")
+    );
+
+    // Every failure embeds the repro line…
+    for f in &rep.failures {
+        let line = f
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("repro: "))
+            .unwrap_or_else(|| panic!("failure without a repro line: {f}"));
+        // …and the line parses back to this exact case.
+        assert_eq!(Case::from_repro(line).unwrap(), c);
+    }
+
+    // Re-running from the printed command reproduces the failure verbatim.
+    let line = rep.failures[0]
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("repro: "))
+        .unwrap();
+    let rerun = run_case(&Case::from_repro(line).unwrap());
+    assert_eq!(rerun.failures, rep.failures);
+}
+
+/// The faulted randomized-routing leg reports retry accounting when a
+/// plan wedges an attempt: a long total outage at the start of the run
+/// deadlocks attempt 1, and the protocol's backoff must surface in the
+/// report rather than wedging the harness.
+#[test]
+fn rand_leg_surfaces_retries_under_heavy_bursts() {
+    // 7-step outage out of every 8: capacity is almost always 0, so runs
+    // crawl but wake hints keep them live — the case must stay conformant.
+    let rep = run_case(&case(Sim::RouteRand, 9, FaultPlan::new(3).stall_burst(8, 7)));
+    assert!(rep.ok(), "{}", rep.failures.join("\n"));
+    assert!(rep.attempts >= 1);
+    assert!(rep.faulted_time >= rep.clean_time);
+}

@@ -43,6 +43,11 @@ enum EvKind {
     Deliver { env: Envelope },
     Submit { proc: usize, env: Envelope },
     Ready { proc: usize, acquired: Option<Envelope> },
+    /// Re-poll the Stalling Rule for one destination after a transient
+    /// capacity outage (see [`Medium::wake_hint`]): a time-varying medium
+    /// may block acceptance with nothing in transit, so no Deliver event
+    /// would otherwise re-run `try_accept`.
+    Wake { dst: usize },
 }
 
 struct ProcState {
@@ -89,6 +94,13 @@ pub struct LogpMachine<P: LogpProcess> {
     now: Steps,
     makespan: Steps,
     delivered: u64,
+    duplicates_dropped: u64,
+    // Ids already delivered once; allocated only when the medium may
+    // duplicate (at-least-once transport de-duplicated at the buffer).
+    seen_ids: Option<std::collections::HashSet<u64>>,
+    // Per destination: instant of the latest scheduled Wake re-poll, so a
+    // burst of blocked submissions enqueues one wake-up, not one each.
+    wake_at: Vec<Steps>,
     latency: Accumulator,
     instruments: Instruments,
     rng: ChaCha8Rng,
@@ -124,6 +136,9 @@ impl<P: LogpProcess> LogpMachine<P> {
             now: Steps::ZERO,
             makespan: Steps::ZERO,
             delivered: 0,
+            duplicates_dropped: 0,
+            seen_ids: None,
+            wake_at: vec![Steps::ZERO; p],
             latency: Accumulator::new(),
             instruments: Instruments::new(config.trace),
             rng: SeedStream::new(config.seed).derive("logp-machine", 0),
@@ -135,12 +150,26 @@ impl<P: LogpProcess> LogpMachine<P> {
     /// Apply shared [`RunOptions`]: attach the observability registry
     /// (per-event counters, latency/stall histograms, one
     /// [`SpanKind::Stall`] span per stall window — one branch per site when
-    /// disabled), upgrade tracing, and apply an explicit event budget.
-    /// The policy seed is fixed at construction ([`LogpConfig::seed`]).
+    /// disabled), upgrade tracing, apply an explicit event budget, and
+    /// wrap the transport in the options' fault decorator (if any) — the
+    /// decorator composes over whatever medium is installed, so faults
+    /// apply equally to the abstract channel and to a routed topology set
+    /// via [`LogpMachine::set_medium`]. The policy seed is fixed at
+    /// construction ([`LogpConfig::seed`]).
     pub fn instrument(&mut self, opts: &RunOptions) {
         self.instruments.apply(opts);
         if let Some(budget) = opts.budget {
             self.config.max_events = budget;
+        }
+        if let Some(wrap) = &opts.fault {
+            assert!(!self.started, "faults must be injected before the run");
+            let placeholder: Box<dyn Medium + Send> =
+                Box::new(PolicyMedium::new(self.params, self.config.delivery));
+            let inner = std::mem::replace(&mut self.medium, placeholder);
+            self.medium = wrap.wrap(inner);
+        }
+        if self.medium.may_duplicate() && self.seen_ids.is_none() {
+            self.seen_ids = Some(std::collections::HashSet::new());
         }
     }
 
@@ -153,6 +182,9 @@ impl<P: LogpProcess> LogpMachine<P> {
     pub fn set_medium(&mut self, medium: Box<dyn Medium + Send>) {
         assert!(!self.started, "set_medium must precede the run");
         self.medium = medium;
+        if self.medium.may_duplicate() && self.seen_ids.is_none() {
+            self.seen_ids = Some(std::collections::HashSet::new());
+        }
     }
 
     /// The machine parameters.
@@ -207,6 +239,7 @@ impl<P: LogpProcess> LogpMachine<P> {
             stall_episodes: 0,
             total_stall: Steps::ZERO,
             latency: std::mem::take(&mut self.latency),
+            duplicates_dropped: self.duplicates_dropped,
             per_proc: Vec::with_capacity(self.params.p),
         };
         for s in &mut self.procs {
@@ -221,6 +254,18 @@ impl<P: LogpProcess> LogpMachine<P> {
         let dst = env.dst.index();
         env.delivered = self.now;
         self.in_transit[dst] -= 1;
+        // At-least-once transport collapses to exactly-once at the buffer:
+        // the second copy of a duplicated message frees its in-transit slot
+        // but is dropped before the program can observe it.
+        if let Some(seen) = &mut self.seen_ids {
+            if !seen.insert(env.id.0) {
+                self.duplicates_dropped += 1;
+                self.instruments
+                    .registry
+                    .add(env.dst, Counter::Duplicates, 1);
+                return self.try_accept(dst);
+            }
+        }
         self.delivered += 1;
         self.latency.push(env.latency().get() as f64);
         self.instruments.registry.add(env.dst, Counter::Delivered, 1);
@@ -284,9 +329,12 @@ impl<P: LogpProcess> LogpMachine<P> {
     }
 
     /// The Stalling Rule at the current instant for one destination: accept
-    /// `min{k, s}` pending messages in policy order.
+    /// `min{k, s}` pending messages in policy order. If acceptance stays
+    /// blocked by a transient capacity outage (nothing in transit to free a
+    /// slot later), schedule a [`EvKind::Wake`] re-poll at the medium's
+    /// hint so the run extends stalls instead of wedging.
     fn try_accept(&mut self, dst: usize) -> Result<(), ModelError> {
-        let capacity = self.medium.capacity(ProcId::from(dst));
+        let capacity = self.medium.capacity(ProcId::from(dst), self.now);
         while self.in_transit[dst] < capacity && !self.pending[dst].is_empty() {
             let idx = match self.config.accept_order {
                 AcceptOrder::Fifo => 0,
@@ -331,8 +379,29 @@ impl<P: LogpProcess> LogpMachine<P> {
                     acquired: None,
                 },
             );
-            let deliver_at = self.medium.delivery_time(&env, self.now, &mut self.rng);
+            let deliver_at = self.medium.delivery_time_checked(&env, self.now, &mut self.rng);
+            let dup_at =
+                self.medium
+                    .duplicate_delivery(&env, deliver_at, self.now, &mut self.rng);
+            if let Some(at) = dup_at {
+                debug_assert!(at > self.now, "duplicate copy scheduled in the past");
+                // The extra copy occupies a slot like any accepted message
+                // (that pressure is the adversary's point).
+                self.in_transit[dst] += 1;
+                self.push(at, Phase::Deliver, EvKind::Deliver { env: env.clone() });
+            }
             self.push(deliver_at, Phase::Deliver, EvKind::Deliver { env });
+        }
+        if !self.pending[dst].is_empty() && self.in_transit[dst] == 0 {
+            // Blocked with nothing in flight: only a time-varying medium
+            // can unblock this — ask it when.
+            if let Some(at) = self.medium.wake_hint(ProcId::from(dst), self.now) {
+                debug_assert!(at > self.now, "wake hint must be in the future");
+                if self.wake_at[dst] <= self.now {
+                    self.wake_at[dst] = at;
+                    self.push(at, Phase::Deliver, EvKind::Wake { dst });
+                }
+            }
         }
         Ok(())
     }
@@ -492,6 +561,7 @@ impl<P: LogpProcess> Executor for LogpMachine<P> {
         match kind {
             EvKind::Deliver { env } => self.on_deliver(env)?,
             EvKind::Submit { proc, env } => self.on_submit(proc, env)?,
+            EvKind::Wake { dst } => self.try_accept(dst)?,
             EvKind::Ready { proc, acquired } => {
                 if let Some(env) = acquired {
                     self.instruments.trace.record(Event::Acquire {

@@ -37,6 +37,9 @@ pub struct LogpReport {
     pub total_stall: Steps,
     /// End-to-end message latency (submission → delivery) summary.
     pub latency: Accumulator,
+    /// Duplicate deliveries dropped at input buffers (non-zero only under
+    /// an adversarial medium that replays messages).
+    pub duplicates_dropped: u64,
     /// Per-processor statistics.
     pub per_proc: Vec<ProcStats>,
 }
@@ -87,6 +90,7 @@ mod tests {
             stall_episodes: 0,
             total_stall: Steps::ZERO,
             latency: Accumulator::new(),
+            duplicates_dropped: 0,
             per_proc: vec![ProcStats::default()],
         };
         assert!(r.stall_free());
@@ -108,6 +112,7 @@ mod tests {
             stall_episodes: 0,
             total_stall: Steps::ZERO,
             latency: Accumulator::new(),
+            duplicates_dropped: 0,
             per_proc: vec![a, b],
         };
         assert_eq!(r.max_buffer(), 7);

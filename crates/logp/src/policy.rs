@@ -64,7 +64,7 @@ impl PolicyMedium {
 }
 
 impl Medium for PolicyMedium {
-    fn capacity(&self, _dst: ProcId) -> u64 {
+    fn capacity(&self, _dst: ProcId, _now: Steps) -> u64 {
         self.capacity
     }
 

@@ -306,6 +306,7 @@ pub fn run_reference<P: LogpProcess>(
         stall_episodes: 0,
         total_stall: Steps::ZERO,
         latency,
+        duplicates_dropped: 0,
         per_proc: Vec::with_capacity(p),
     };
     for pr in procs {

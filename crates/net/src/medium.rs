@@ -46,7 +46,7 @@ impl<T: Topology> NetMedium<T> {
 }
 
 impl<T: Topology> Medium for NetMedium<T> {
-    fn capacity(&self, _dst: ProcId) -> u64 {
+    fn capacity(&self, _dst: ProcId, _now: Steps) -> u64 {
         self.capacity
     }
 
@@ -124,6 +124,6 @@ mod tests {
     #[test]
     fn capacity_clamps_to_one() {
         let m = NetMedium::new(Array::chain(4), 0);
-        assert_eq!(Medium::capacity(&m, ProcId(0)), 1);
+        assert_eq!(Medium::capacity(&m, ProcId(0), Steps::ZERO), 1);
     }
 }

@@ -38,17 +38,21 @@ pub enum Counter {
     StallSteps,
     /// Local operations executed.
     LocalOps,
+    /// Duplicate deliveries dropped at the input buffer (adversarial media
+    /// replay a message; the engine deduplicates by message id).
+    Duplicates,
 }
 
 impl Counter {
     /// Every counter, for iteration in reports.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 7] = [
         Counter::Submitted,
         Counter::Delivered,
         Counter::Acquired,
         Counter::StallEpisodes,
         Counter::StallSteps,
         Counter::LocalOps,
+        Counter::Duplicates,
     ];
 
     /// Stable snake_case label.
@@ -60,6 +64,7 @@ impl Counter {
             Counter::StallEpisodes => "stall_episodes",
             Counter::StallSteps => "stall_steps",
             Counter::LocalOps => "local_ops",
+            Counter::Duplicates => "duplicates",
         }
     }
 
@@ -74,6 +79,7 @@ impl Counter {
             Counter::StallEpisodes => 3,
             Counter::StallSteps => 4,
             Counter::LocalOps => 5,
+            Counter::Duplicates => 6,
         }
     }
 }

@@ -4,7 +4,7 @@
 set -euo pipefail
 out=$(mktemp)
 one=$(mktemp)
-for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation stack; do
+for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation stack faults; do
   echo "### Output: exp_$b" >> "$out"
   echo '```' >> "$out"
   # Fail loudly: a non-zero exit from any experiment aborts the whole

@@ -14,6 +14,7 @@
 //! | [`bvl_net`] | Table 1's topologies + store-and-forward router + (γ, δ) fits |
 //! | [`bvl_core`] | the cross-simulations: Theorems 1–3, CB, routing protocols |
 //! | [`bvl_algos`] | BSP & LogP algorithm workloads |
+//! | [`bvl_fault`] | adversarial media (seeded fault plans) + differential conformance |
 //!
 //! Start with `examples/quickstart.rs`; the experiment regenerators live in
 //! `crates/bench/src/bin/exp_*.rs` and their outputs in `EXPERIMENTS.md`.
@@ -22,6 +23,7 @@ pub use bvl_algos as algos;
 pub use bvl_bsp as bsp;
 pub use bvl_core as core;
 pub use bvl_exec as exec;
+pub use bvl_fault as fault;
 pub use bvl_logp as logp;
 pub use bvl_model as model;
 pub use bvl_net as net;

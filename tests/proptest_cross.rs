@@ -6,13 +6,17 @@ use bsp_vs_logp::algos::bsp::radix::{radix_sort, DIGIT_BITS};
 use bsp_vs_logp::algos::bsp::sort::sample_sort;
 use bsp_vs_logp::algos::logp::scan::scan;
 use bsp_vs_logp::bsp::BspParams;
+use bsp_vs_logp::core::slowdown::stalling_worst_case;
 use bsp_vs_logp::core::{
-    simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, Theorem1Config,
+    route_randomized, simulate_logp_on_bsp, simulate_logp_on_bsp_clustered, Theorem1Config,
 };
 use bsp_vs_logp::exec::RunOptions;
+use bsp_vs_logp::fault::FaultPlan;
 use bsp_vs_logp::logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
-use bsp_vs_logp::model::{Payload, ProcId, Word};
+use bsp_vs_logp::model::rngutil::SeedStream;
+use bsp_vs_logp::model::{HRelation, Payload, ProcId, Word};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random multi-round permutation workload: in round `r`, every processor
 /// sends one message along a permutation and receives one. Stall-free for
@@ -135,6 +139,64 @@ proptest! {
         let (blocks, _) = radix_sort(params, keys, passes).unwrap();
         let got: Vec<Word> = blocks.iter().flatten().copied().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The stalling regime (`h > ⌈L/G⌉`): Theorem 3's high-probability
+    /// case cannot apply — capacity is below the relation degree, so the
+    /// Stalling Rule *will* fire — but the §4.3 backstop must hold:
+    /// routing completes (exact delivery is verified inside
+    /// `route_randomized`), in one attempt, within a constant of `O(Gh²)`.
+    #[test]
+    fn randomized_routing_survives_stalling_regime(
+        p_exp in 2u32..4,
+        h_mult in 2u64..5,
+        hot in proptest::bool::ANY,
+        seed in 0u64..300,
+    ) {
+        let p = 1usize << p_exp;
+        let params = LogpParams::new(p, 8, 1, 4).unwrap(); // capacity 2
+        let cap = params.capacity();
+        let rel = if hot {
+            // Everyone hammers P0: the §2.2 stalling pattern.
+            HRelation::hot_spot(p, ProcId(0), p - 1, h_mult as usize)
+        } else {
+            let mut rng = SeedStream::new(seed).derive("stall-rel", 0);
+            HRelation::random_exact(&mut rng, p, (cap * h_mult) as usize)
+        };
+        let h = rel.degree() as u64;
+        prop_assume!(h > cap); // the defining property of the regime
+        let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(seed)).unwrap();
+        prop_assert_eq!(rep.attempts, 1, "clean media never need retries");
+        // Explicit slack 4 on the O(Gh²) backstop (covers round framing
+        // and per-message overheads the asymptotic bound absorbs).
+        let backstop = 4 * stalling_worst_case(&params, h);
+        prop_assert!(
+            rep.time.get() <= backstop,
+            "h={} time={} exceeds 4x backstop {}", h, rep.time.get(), backstop
+        );
+    }
+
+    /// The stalling regime under injected faults: delivery stays exact
+    /// (verified inside the router), and the faulted run is never faster
+    /// than its clean twin.
+    #[test]
+    fn stalling_regime_survives_fault_plans(
+        h_mult in 2u64..4,
+        seed in 0u64..150,
+        jitter in 1u64..8,
+        squeeze in 1u64..3,
+    ) {
+        let p = 8;
+        let params = LogpParams::new(p, 8, 1, 4).unwrap(); // capacity 2
+        let mut rng = SeedStream::new(seed).derive("stall-rel", 1);
+        let rel = HRelation::random_exact(&mut rng, p, (params.capacity() * h_mult) as usize);
+        prop_assume!(rel.degree() as u64 > params.capacity());
+        let clean = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(seed)).unwrap();
+        let plan = FaultPlan::new(seed ^ 0xFA17).jitter_uniform(jitter).capacity_squeeze(squeeze);
+        let opts = RunOptions::new().seed(seed).faults(Arc::new(plan));
+        let faulted = route_randomized(params, &rel, 2.0, &opts).unwrap();
+        prop_assert!(faulted.time >= clean.time, "faults sped routing up");
+        prop_assert!(faulted.attempts >= 1);
     }
 
     /// LogP scan equals the sequential prefix for arbitrary inputs and

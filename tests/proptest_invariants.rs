@@ -6,6 +6,7 @@
 //! properties on arbitrary inputs.
 
 use bsp_vs_logp::core::{route_offline, run_cb, word_combine, TreeShape};
+use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::logp::validate::validate;
 use bsp_vs_logp::logp::{AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bsp_vs_logp::model::decompose::{euler_split, koenig_color};
@@ -109,7 +110,7 @@ proptest! {
         let params = LogpParams::new(p, 8, 1, 2).unwrap();
         let mut rng = bsp_vs_logp::model::rngutil::SeedStream::new(seed).derive("rel", 0);
         let rel = HRelation::random_uniform(&mut rng, p, h);
-        let (t, received) = route_offline(params, &rel, seed).unwrap();
+        let (t, received) = route_offline(params, &rel, &RunOptions::new().seed(seed)).unwrap();
         let delivered: usize = received.iter().map(|r| r.len()).sum();
         prop_assert_eq!(delivered, rel.len());
         prop_assert!(t.get() > 0 || rel.is_empty());
@@ -127,7 +128,7 @@ proptest! {
         let params = LogpParams::new(p, l, o, g).unwrap();
         let vals: Vec<Payload> = values[..p].iter().map(|&v| Payload::word(0, v)).collect();
         let joins = vec![Steps::ZERO; p];
-        let rep = run_cb(params, TreeShape::Heap, vals, word_combine(|a, b| a.max(b)), &joins, 1).unwrap();
+        let rep = run_cb(params, TreeShape::Heap, vals, word_combine(|a, b| a.max(b)), &joins, &RunOptions::new().seed(1)).unwrap();
         let want = values[..p].iter().copied().max().unwrap();
         prop_assert!(rep.results.iter().all(|r| r.expect_word() == want));
     }
@@ -143,7 +144,7 @@ proptest! {
             Payload::from_vec(0, d)
         });
         let joins = vec![Steps::ZERO; p];
-        let rep = run_cb(params, TreeShape::Range, vals.clone(), concat, &joins, 2).unwrap();
+        let rep = run_cb(params, TreeShape::Range, vals.clone(), concat, &joins, &RunOptions::new().seed(2)).unwrap();
         let want: Vec<i64> = vals.iter().map(|v| v.expect_word()).collect();
         prop_assert!(rep.results.iter().all(|r| r.data() == want));
     }

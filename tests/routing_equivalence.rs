@@ -25,7 +25,7 @@ fn logp_routers_agree_on_delivery() {
         let opts = RunOptions::new().seed(1);
         let det = route_deterministic(params, &rel, SortScheme::Network, &opts).unwrap();
         let rnd = route_randomized(params, &rel, 2.0, &opts).unwrap();
-        let (off_t, received) = route_offline(params, &rel, 1).unwrap();
+        let (off_t, received) = route_offline(params, &rel, &RunOptions::new().seed(1)).unwrap();
         let off_count: usize = received.iter().map(|r| r.len()).sum();
         assert_eq!(off_count, rel.len());
         // Off-line (full knowledge) is never slower than the on-line
