@@ -131,14 +131,11 @@ fn main() {
     println!("(wraparound buys roughly the expected ~2x on both diameter- and");
     println!(" bandwidth-limited regimes)");
 
-    obs::summary(
-        "exp_ablation",
-        &[
-            ("cell", "bit_reversal_greedy_p256".into()),
-            ("makespan", bitrev.0.to_string()),
-            ("max_queue", bitrev.1.to_string()),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_ablation")
+        .kv("cell", "bit_reversal_greedy_p256")
+        .kv("makespan", bitrev.0)
+        .kv("max_queue", bitrev.1)
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

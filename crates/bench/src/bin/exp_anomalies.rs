@@ -84,16 +84,13 @@ fn main() {
     let registry = Registry::enabled(params.p);
     machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("burst completes");
-    obs::summary(
-        "exp_anomalies",
-        &[
-            ("cell", "gap1_burst_L16".into()),
-            ("makespan", rep.makespan.get().to_string()),
-            ("stall_episodes", rep.stall_episodes.to_string()),
-            ("delivered", rep.delivered.to_string()),
-            ("burst_max_buffer", rep.max_buffer().to_string()),
-            ("periodic_peak_buffer", worst_buffer.to_string()),
-        ],
-    );
+    obs::Summary::new("exp_anomalies")
+        .kv("cell", "gap1_burst_L16")
+        .kv("makespan", rep.makespan.get())
+        .kv("stall_episodes", rep.stall_episodes)
+        .kv("delivered", rep.delivered)
+        .kv("burst_max_buffer", rep.max_buffer())
+        .kv("periodic_peak_buffer", worst_buffer)
+        .emit();
     obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

@@ -126,16 +126,13 @@ fn main() {
     let registry = Registry::enabled(params.p);
     registry.span(Span::new(SpanKind::CbCombine, Steps::ZERO, rep.t_combine));
     registry.span(Span::new(SpanKind::CbBroadcast, rep.t_combine, rep.t_cb));
-    obs::summary(
-        "exp_cb",
-        &[
-            ("cell", "cb_p128_L16_G2".into()),
-            ("makespan", rep.makespan.get().to_string()),
-            ("t_cb", rep.t_cb.get().to_string()),
-            ("t_combine", rep.t_combine.get().to_string()),
-            ("t_broadcast", rep.t_broadcast.get().to_string()),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_cb")
+        .kv("cell", "cb_p128_L16_G2")
+        .kv("makespan", rep.makespan.get())
+        .kv("t_cb", rep.t_cb.get())
+        .kv("t_combine", rep.t_combine.get())
+        .kv("t_broadcast", rep.t_broadcast.get())
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

@@ -14,40 +14,10 @@
 //!
 //! The single-case form is exactly what the printed repro lines contain.
 
+use bvl_bench::labexp::{self, faults};
 use bvl_bench::{banner, obs, print_table};
 use bvl_fault::conformance::{default_plans, run_case};
-use bvl_fault::{Case, Sim};
-
-fn drive(cases: &[Case]) -> (Vec<Vec<String>>, Vec<String>, usize) {
-    let mut rows = Vec::new();
-    let mut repros = Vec::new();
-    let mut checks = 0usize;
-    for case in cases {
-        let rep = run_case(case);
-        checks += rep.checks;
-        rows.push(vec![
-            case.sim.to_string(),
-            format!("{}", case.p),
-            format!("{}", case.h),
-            case.plan.to_string(),
-            format!("{}", rep.clean_time.get()),
-            format!("{}", rep.faulted_time.get()),
-            format!("{}", rep.attempts),
-            if rep.ok() {
-                "ok".into()
-            } else {
-                format!("{} FAILED", rep.failures.len())
-            },
-        ]);
-        for f in &rep.failures {
-            eprintln!("FAIL {f}");
-            if let Some(line) = f.lines().find_map(|l| l.trim().strip_prefix("repro: ")) {
-                repros.push(line.to_string());
-            }
-        }
-    }
-    (rows, repros, checks)
-}
+use bvl_fault::Case;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,41 +54,28 @@ fn main() {
         "E-FAULT: fault-plan conformance matrix across the simulators"
     });
 
-    let mut cases = Vec::new();
-    let shapes: &[(usize, usize)] = if smoke {
-        &[(8, 4)]
-    } else {
-        &[(8, 4), (16, 6)]
-    };
-    for (i, plan) in default_plans().into_iter().enumerate() {
-        for &(p, h) in shapes {
-            for sim in Sim::ALL {
-                cases.push(Case {
-                    sim,
-                    p,
-                    h,
-                    seed: 100 + i as u64,
-                    plan: plan.clone(),
-                });
-            }
-        }
-    }
-
-    let (rows, repros, checks) = drive(&cases);
+    // The case matrix runs as a lab grid: each cell is one (plan, shape,
+    // simulator) case, keyed by its fault-plan repro line. Uncached by
+    // default; with BVL_LAB_DIR set, a warm store replays verdicts, check
+    // counts and repro lines without re-simulating. Cells also fan out
+    // over rayon either way (the old driver was sequential) — the printed
+    // table keeps matrix order because the grid preserves request order.
+    let lab = labexp::Lab::from_env();
+    let case_count = faults::cases(smoke).len();
+    let rep = lab.run(&faults::grid(smoke), faults::run_cell);
+    eprintln!("[sweep] faults: {}", rep.summary());
+    let (rows, repros, checks) = faults::fold(rep);
     print_table(
         &["sim", "p", "h", "plan", "clean", "faulted", "attempts", "verdict"],
         &rows,
     );
 
-    obs::summary(
-        "exp_faults",
-        &[
-            ("cases", cases.len().to_string()),
-            ("checks", checks.to_string()),
-            ("plans", default_plans().len().to_string()),
-            ("failures", repros.len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_faults")
+        .kv("cases", case_count)
+        .kv("checks", checks)
+        .kv("plans", default_plans().len())
+        .kv("failures", repros.len())
+        .emit();
 
     if !smoke {
         let mut json = String::from("{\n  \"experiment\": \"exp_faults\",\n  \"rows\": [\n");

@@ -122,15 +122,12 @@ fn main() {
     let registry = Registry::enabled(16);
     machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("tenant completes");
-    obs::summary(
-        "exp_partition",
-        &[
-            ("cell", "logp_heavy_tenant_p16".into()),
-            ("makespan", rep.makespan.get().to_string()),
-            ("delivered", rep.delivered.to_string()),
-            ("logp_max_interference", f2(logp_max_interf)),
-            ("bsp_max_interference", f2(bsp_max_interf)),
-        ],
-    );
+    obs::Summary::new("exp_partition")
+        .kv("cell", "logp_heavy_tenant_p16")
+        .kv("makespan", rep.makespan.get())
+        .kv("delivered", rep.delivered)
+        .f2("logp_max_interference", logp_max_interf)
+        .f2("bsp_max_interference", bsp_max_interf)
+        .emit();
     obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

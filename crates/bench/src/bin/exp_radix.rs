@@ -96,15 +96,12 @@ fn main() {
     println!("(on BSP the programmer never sees the capacity constraint: any");
     println!(" h-relation is legal and priced by the same two parameters)");
 
-    obs::summary(
-        "exp_radix",
-        &[
-            ("cell", "naive_hot_spot".into()),
-            ("makespan", hot_spot.0.get().to_string()),
-            ("stall_episodes", hot_spot.1.to_string()),
-            ("skew_levels", "4".into()),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_radix")
+        .kv("cell", "naive_hot_spot")
+        .kv("makespan", hot_spot.0.get())
+        .kv("stall_episodes", hot_spot.1)
+        .kv("skew_levels", 4)
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

@@ -106,28 +106,25 @@ fn run_topology<T: Topology + Clone + Send + 'static>(topo: T) {
     // ⌈L/2⌉ guest cycles; acquisition serialization adds a factor ≤ 2).
     let within = slowdown <= 2.0 * bound;
 
-    obs::summary(
-        "exp_stack",
-        &[
-            ("topology", measured.name.clone()),
-            ("p", p.to_string()),
-            ("gamma", format!("{:.2}", measured.gamma)),
-            ("delta", format!("{:.2}", measured.delta)),
-            ("r2", format!("{:.3}", measured.r2)),
-            ("G", g_hat.to_string()),
-            ("L", l_hat.to_string()),
-            ("t_abstract", t_abstract.get().to_string()),
-            ("t_grounded", t_grounded.get().to_string()),
-            (
-                "grounding_ratio",
-                format!("{:.2}", t_grounded.get() as f64 / t_abstract.get() as f64),
-            ),
-            ("t_hosted_bsp", hosted.bsp.cost.get().to_string()),
-            ("thm1_slowdown", format!("{slowdown:.2}")),
-            ("thm1_bound", format!("{bound:.2}")),
-            ("within_2x_bound", within.to_string()),
-        ],
-    );
+    obs::Summary::new("exp_stack")
+        .kv("topology", &measured.name)
+        .kv("p", p)
+        .f2("gamma", measured.gamma)
+        .f2("delta", measured.delta)
+        .f3("r2", measured.r2)
+        .kv("G", g_hat)
+        .kv("L", l_hat)
+        .kv("t_abstract", t_abstract.get())
+        .kv("t_grounded", t_grounded.get())
+        .f2(
+            "grounding_ratio",
+            t_grounded.get() as f64 / t_abstract.get() as f64,
+        )
+        .kv("t_hosted_bsp", hosted.bsp.cost.get())
+        .f2("thm1_slowdown", slowdown)
+        .f2("thm1_bound", bound)
+        .kv("within_2x_bound", within)
+        .emit();
     assert!(
         within,
         "{}: Theorem 1 slowdown {slowdown:.2} exceeds 2x bound {bound:.2}",

@@ -80,17 +80,14 @@ fn main() {
     let registry = Registry::enabled(16);
     machine.instrument(&RunOptions::new().registry(&registry));
     let rep = machine.run().expect("hot spot completes");
-    obs::summary(
-        "exp_stalling",
-        &[
-            ("cell", "hot_spot_15x8".into()),
-            ("makespan", rep.makespan.get().to_string()),
-            ("stall_episodes", rep.stall_episodes.to_string()),
-            ("stall_steps", rep.total_stall.get().to_string()),
-            ("max_buffer", rep.max_buffer().to_string()),
-            ("delivered", rep.delivered.to_string()),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_stalling")
+        .kv("cell", "hot_spot_15x8")
+        .kv("makespan", rep.makespan.get())
+        .kv("stall_episodes", rep.stall_episodes)
+        .kv("stall_steps", rep.total_stall.get())
+        .kv("max_buffer", rep.max_buffer())
+        .kv("delivered", rep.delivered)
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_trace_if_requested(machine.trace(), &registry.spans());
 }

@@ -7,184 +7,69 @@
 //! parameters track the BSP ones (`G* = Θ(g*)`, `L* = Θ(ℓ* + g*)`), shown
 //! by measuring the 1-relation (ℓ-like) and saturation (g-like) regimes.
 //!
-//! Measuring one topology is a self-contained job (its own router, its own
-//! seed), so each table fans its rows out through the [`bvl_bench::sweep`]
-//! harness — this binary is the repo's heaviest, and its per-topology
-//! measurements parallelize near-linearly.
+//! The grids live in [`bvl_bench::labexp::table1`] and run through the
+//! `bvl-lab` scheduler: uncached by default (identical to the old sweep
+//! path), incremental against the persistent result store when
+//! `BVL_LAB_DIR` is set — this binary is the repo's heaviest, and a warm
+//! store turns a full regeneration into a cache read. Stdout is
+//! bit-identical either way; cache statistics go to stderr.
 
-use bvl_bench::sweep::sweep;
-use bvl_bench::{banner, f2, obs, print_table};
-use bvl_model::Steps;
-use bvl_net::{
-    measure_parameters, Array, Butterfly, Ccc, Family, Hypercube, MeasuredParams, MeshOfTrees,
-    PortMode, RouterConfig, ShuffleExchange, Topology,
-};
-use bvl_obs::{Registry, Span, SpanKind};
-
-/// Table 1 topologies, constructed per job (a `dyn Topology` is not `Send`,
-/// so jobs carry this tag and build the network on the worker thread).
-#[derive(Clone, Copy)]
-enum Net {
-    Array2d(usize),
-    Array3d(usize),
-    Hypercube(u32),
-    Butterfly(u32),
-    Ccc(u32),
-    ShuffleExchange(u32),
-    MeshOfTrees(usize),
-}
-
-impl Net {
-    fn build(self) -> Box<dyn Topology> {
-        match self {
-            Net::Array2d(side) => Box::new(Array::mesh2d(side)),
-            Net::Array3d(side) => Box::new(Array::new(&[side, side, side])),
-            Net::Hypercube(k) => Box::new(Hypercube::new(k)),
-            Net::Butterfly(k) => Box::new(Butterfly::new(k)),
-            Net::Ccc(k) => Box::new(Ccc::new(k)),
-            Net::ShuffleExchange(k) => Box::new(ShuffleExchange::new(k)),
-            Net::MeshOfTrees(side) => Box::new(MeshOfTrees::new(side)),
-        }
-    }
-}
-
-const HS: [usize; 5] = [1, 2, 4, 8, 16];
-
-fn measure(net: Net, mode: PortMode, seed: u64) -> MeasuredParams {
-    let config = RouterConfig {
-        mode,
-        ..RouterConfig::default()
-    };
-    measure_parameters(&*net.build(), &HS, 3, seed, config)
-}
-
-fn measure_row(net: Net, family: Family, mode: PortMode) -> Vec<String> {
-    let m = measure(net, mode, 42);
-    let p = m.p as f64;
-    let pred_g = family.gamma(p);
-    let pred_d = family.delta(p);
-    vec![
-        family.label(),
-        format!("{}", m.p),
-        f2(m.gamma),
-        f2(pred_g),
-        f2(m.gamma / pred_g),
-        f2(m.delta),
-        f2(pred_d),
-        f2(m.delta / pred_d),
-        f2(m.r2),
-    ]
-}
+use bvl_bench::labexp::{self, single_rows, table1};
+use bvl_bench::{banner, obs, print_table};
 
 fn main() {
+    let lab = labexp::Lab::from_env();
+
     banner("Table 1: bandwidth gamma(p) and latency delta(p) per topology");
     println!("(measured = least-squares fit of completion time vs h over random");
     println!(" exact h-relations; predicted = Table 1 asymptotics, unnormalized;");
     println!(" the meas/pred ratio should be roughly constant within a family)");
     println!();
 
-    let table1: Vec<(Net, Family, PortMode)> = vec![
-        (Net::Array2d(16), Family::ArrayD(2), PortMode::Multi), // p = 256
-        (Net::Array3d(6), Family::ArrayD(3), PortMode::Multi),  // p = 216
-        (Net::Hypercube(8), Family::HypercubeMulti, PortMode::Multi), // p = 256
-        (Net::Hypercube(8), Family::HypercubeSingle, PortMode::Single),
-        (Net::Butterfly(5), Family::Butterfly, PortMode::Multi), // p = 192
-        (Net::Ccc(5), Family::Ccc, PortMode::Multi),             // p = 160
-        (Net::ShuffleExchange(8), Family::ShuffleExchange, PortMode::Multi), // p = 256
-        (Net::MeshOfTrees(16), Family::MeshOfTrees, PortMode::Multi), // p = 256
-    ];
-    let rep = sweep("table1", 42, table1, |(net, family, mode), _job| {
-        measure_row(net, family, mode)
-    });
+    let rep = lab.run(&table1::main_grid(), table1::run_cell);
     eprintln!("[sweep] table1: {}", rep.summary());
     print_table(
         &[
             "topology", "p", "γ̂", "γ pred", "γ ratio", "δ̂", "δ pred", "δ ratio", "R²",
         ],
-        &rep.results,
+        &single_rows(rep),
     );
 
     banner("Scaling check: gamma ratio stays bounded as p grows (hypercube vs mesh-of-trees)");
-    let scaling: Vec<(Net, Family, &str)> = vec![
-        (Net::Hypercube(4), Family::HypercubeMulti, "hypercube (multi)"),
-        (Net::Hypercube(6), Family::HypercubeMulti, "hypercube (multi)"),
-        (Net::Hypercube(8), Family::HypercubeMulti, "hypercube (multi)"),
-        (Net::MeshOfTrees(4), Family::MeshOfTrees, "mesh-of-trees"),
-        (Net::MeshOfTrees(8), Family::MeshOfTrees, "mesh-of-trees"),
-        (Net::MeshOfTrees(16), Family::MeshOfTrees, "mesh-of-trees"),
-    ];
-    let rep = sweep("table1-scaling", 7, scaling, |(net, family, label), _job| {
-        let m = measure(net, PortMode::Multi, 7);
-        vec![
-            label.into(),
-            format!("{}", m.p),
-            f2(m.gamma),
-            f2(family.gamma(m.p as f64)),
-            f2(m.delta),
-            f2(family.delta(m.p as f64)),
-        ]
-    });
+    let rep = lab.run(&table1::scaling_grid(), table1::run_cell);
     eprintln!("[sweep] table1-scaling: {}", rep.summary());
-    print_table(&["topology", "p", "γ̂", "γ pred", "δ̂", "δ pred"], &rep.results);
+    print_table(
+        &["topology", "p", "γ̂", "γ pred", "δ̂", "δ pred"],
+        &single_rows(rep),
+    );
 
     banner("Observation 1: best-attainable LogP vs BSP parameters on the same network");
     println!("(g* ~ fitted slope, l* ~ fitted intercept; predicted G* = Θ(g*),");
     println!(" L* = Θ(l* + g*); LogP side measured by restricting to relations of");
     println!(" degree <= capacity — the stall-free LogP operating regime)");
     println!();
-    let obs1: Vec<(Net, &str)> = vec![
-        (Net::Hypercube(8), "hypercube(256)"),
-        (Net::Array2d(16), "2d-array(256)"),
-        (Net::MeshOfTrees(16), "mesh-of-trees(256)"),
-    ];
-    let rep = sweep("table1-obs1", 9, obs1, |(net, name), _job| {
-        let m = measure(net, PortMode::Multi, 9);
-        // LogP-side: fit over the small-h prefix only (h <= capacity-ish).
-        let small: Vec<(f64, f64)> = m
-            .samples
-            .iter()
-            .take(3)
-            .map(|&(h, t)| (h as f64, t))
-            .collect();
-        let (g_logp, l_logp, _) = bvl_model::stats::linear_fit(&small);
-        let (pred_g, pred_l) = Family::predicted_logp(m.gamma, m.delta);
-        vec![
-            name.into(),
-            f2(m.gamma),
-            f2(m.delta),
-            f2(g_logp),
-            f2(pred_g),
-            f2(l_logp),
-            f2(pred_l),
-        ]
-    });
+    let rep = lab.run(&table1::obs1_grid(), table1::run_cell);
     eprintln!("[sweep] table1-obs1: {}", rep.summary());
     print_table(
         &["network", "g*", "l*", "G* meas", "G* pred", "L* meas", "L* pred"],
-        &rep.results,
+        &single_rows(rep),
     );
 
-    // Flagged cell: a small hypercube measurement whose per-h routing times
-    // are exported as back-to-back Routing spans (the raw samples behind the
-    // gamma/delta fit).
-    let m = measure(Net::Hypercube(6), PortMode::Multi, 11);
-    let registry = Registry::enabled(m.p);
-    let mut clock = Steps::ZERO;
-    for &(h, t) in &m.samples {
-        let end = clock + Steps(t.round() as u64);
-        registry.span(Span::new(SpanKind::Routing, clock, end).at_index(h as u64));
-        clock = end;
-    }
-    obs::summary(
-        "exp_table1",
-        &[
-            ("cell", "hypercube_k6".into()),
-            ("p", m.p.to_string()),
-            ("gamma", f2(m.gamma)),
-            ("delta", f2(m.delta)),
-            ("r2", f2(m.r2)),
-            ("samples", m.samples.len().to_string()),
-        ],
-    );
+    // The hypercube-k6 cell: its payload carries the raw (h, T(h)) samples,
+    // so the per-h Routing spans and the SUMMARY line rebuild identically
+    // whether the cell computed live or came back as a cache hit.
+    let rep = lab.run(&table1::k6_grid(), table1::run_cell);
+    eprintln!("[sweep] table1-k6: {}", rep.summary());
+    let rows = &rep.rows[0];
+    let registry = table1::k6_registry(rows);
+    let meta = &rows[0];
+    obs::Summary::new("exp_table1")
+        .kv("cell", &meta[0])
+        .kv("p", &meta[1])
+        .kv("gamma", &meta[2])
+        .kv("delta", &meta[3])
+        .kv("r2", &meta[4])
+        .kv("samples", rows.len() - 1)
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

@@ -7,188 +7,66 @@
 //! constants) the `1 + g/G + ℓ/L` bound, and be flat along the matched
 //! diagonal — the paper's "substantial equivalence" claim.
 //!
-//! Each (workload, machine, scaling) case is independent, so the rows are
-//! produced through the [`bvl_bench::sweep`] harness — one job per row,
-//! collected in table order.
+//! The grids live in [`bvl_bench::labexp::thm1`] and run through the
+//! `bvl-lab` scheduler (cached when `BVL_LAB_DIR` is set). The flagged
+//! attribution cell is *forced*: it recomputes live on every run, because
+//! its enabled registry feeds the cost-attribution SUMMARY and the
+//! optional `--trace-out` export.
 
-use bvl_bench::sweep::{sweep, sweep_captured};
-use bvl_bench::{banner, f2, obs, print_table};
-use bvl_bsp::BspParams;
-use bvl_core::slowdown::theorem1_bound;
-use bvl_core::{simulate_logp_on_bsp, Theorem1Config};
-use bvl_exec::RunOptions;
-use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
-use bvl_model::{Payload, ProcId};
-use bvl_obs::{CostReport, Counter};
-
-/// A workload family, instantiable any number of times (the native and the
-/// hosted run each need a fresh copy of the scripts).
-#[derive(Clone, Copy)]
-enum Workload {
-    Ring { p: usize, rounds: usize },
-    AllToAll { p: usize },
-}
-
-impl Workload {
-    fn name(self) -> &'static str {
-        match self {
-            Workload::Ring { .. } => "ring x8",
-            Workload::AllToAll { .. } => "all-to-all",
-        }
-    }
-
-    fn build(self) -> Vec<Script> {
-        match self {
-            Workload::Ring { p, rounds } => (0..p)
-                .map(|i| {
-                    let mut ops = Vec::new();
-                    for r in 0..rounds {
-                        ops.push(Op::Send {
-                            dst: ProcId(((i + 1) % p) as u32),
-                            payload: Payload::word(r as u32, i as i64),
-                        });
-                        ops.push(Op::Recv);
-                    }
-                    Script::new(ops)
-                })
-                .collect(),
-            Workload::AllToAll { p } => (0..p)
-                .map(|me| {
-                    let mut ops = Vec::new();
-                    for t in 0..p - 1 {
-                        ops.push(Op::Send {
-                            dst: ProcId(((me + 1 + t) % p) as u32),
-                            payload: Payload::word(0, me as i64),
-                        });
-                    }
-                    ops.extend(std::iter::repeat_n(Op::Recv, p - 1));
-                    Script::new(ops)
-                })
-                .collect(),
-        }
-    }
-}
-
-/// One table row: a workload on a LogP machine hosted by a BSP machine with
-/// `(g, ℓ) = (factor_g · G, factor_l · L)`.
-#[derive(Clone, Copy)]
-struct Case {
-    logp: LogpParams,
-    factor_g: u64,
-    factor_l: u64,
-    workload: Workload,
-}
-
-fn run_case(case: Case, opts: &RunOptions) -> (Vec<String>, Option<CostReport>) {
-    let Case {
-        logp,
-        factor_g,
-        factor_l,
-        workload,
-    } = case;
-    let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), workload.build());
-    let native_time = native.run().expect("native run").makespan;
-    let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
-    let rep = simulate_logp_on_bsp(logp, bsp, workload.build(), Theorem1Config::default(), opts)
-        .expect("hosted run");
-    let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
-    let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
-    let attributed = opts
-        .registry
-        .is_enabled()
-        .then(|| rep.attribution(&bsp, format!("thm1 {} {factor_g}x/{factor_l}x", workload.name())));
-    let row = vec![
-        workload.name().into(),
-        format!("{}", logp.p),
-        format!("{}x/{}x", factor_g, factor_l),
-        format!("{}", native_time.get()),
-        format!("{}", rep.bsp.cost.get()),
-        f2(slowdown),
-        f2(bound),
-        f2(slowdown / bound),
-    ];
-    (row, attributed)
-}
+use bvl_bench::labexp::{self, single_rows, thm1};
+use bvl_bench::{banner, obs, print_table};
+use bvl_obs::{CostReport, Counter, Registry};
+use std::sync::Mutex;
 
 fn main() {
+    let lab = labexp::Lab::from_env();
     banner("Theorem 1: slowdown of stall-free LogP hosted on BSP");
-    let logp = LogpParams::new(16, 16, 1, 4).unwrap();
-    let mut cases = Vec::new();
-    for (fg, fl) in [(1u64, 1u64), (2, 1), (1, 2), (2, 2), (4, 4)] {
-        cases.push(Case {
-            logp,
-            factor_g: fg,
-            factor_l: fl,
-            workload: Workload::Ring { p: 16, rounds: 8 },
-        });
-    }
-    for (fg, fl) in [(1u64, 1u64), (2, 2)] {
-        cases.push(Case {
-            logp,
-            factor_g: fg,
-            factor_l: fl,
-            workload: Workload::AllToAll { p: 16 },
-        });
-    }
+
     // Cell 0 (ring, matched 1x/1x parameters) is the flagged cell: it runs
-    // with an enabled registry, feeding the cost-attribution summary and the
-    // optional `--trace-out` export; every other cell pays nothing.
-    let (rep, registry) =
-        sweep_captured("thm1-scalings", 1996, cases, Some(0), logp.p, |case, job| {
-            run_case(case, &job.opts)
-        });
+    // with this enabled registry, feeding the cost-attribution summary and
+    // the optional `--trace-out` export; every other cell pays nothing.
+    let captured = Registry::enabled(thm1::reference_params().p);
+    let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
+    let rep = lab.run(&thm1::scalings_grid(), |cell, job| {
+        let (rows, att) = thm1::run_cell_with(cell, job, cell.force.then_some(&captured));
+        if let Some(a) = att {
+            *flagged.lock().expect("attribution slot") = Some(a);
+        }
+        rows
+    });
     eprintln!("[sweep] thm1-scalings: {}", rep.summary());
-    let mut flagged: Option<CostReport> = None;
-    let rows: Vec<Vec<String>> = rep
-        .results
-        .into_iter()
-        .map(|(row, att)| {
-            flagged = att.or(flagged.take());
-            row
-        })
-        .collect();
     print_table(
         &[
             "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
         ],
-        &rows,
+        &single_rows(rep),
     );
 
     banner("Matched parameters across machine sizes (slowdown should stay flat)");
-    let cases: Vec<Case> = [4usize, 8, 16, 32, 64]
-        .into_iter()
-        .map(|p| Case {
-            logp: LogpParams::new(p, 16, 1, 4).unwrap(),
-            factor_g: 1,
-            factor_l: 1,
-            workload: Workload::Ring { p, rounds: 8 },
-        })
-        .collect();
-    let rep = sweep("thm1-sizes", 1996, cases, |case, job| run_case(case, &job.opts).0);
+    let rep = lab.run(&thm1::sizes_grid(), |cell, job| {
+        thm1::run_cell_with(cell, job, None).0
+    });
     eprintln!("[sweep] thm1-sizes: {}", rep.summary());
     print_table(
         &[
             "workload", "p", "g/G,l/L", "native", "hosted", "slowdown", "1+g/G+l/L", "ratio",
         ],
-        &rep.results,
+        &single_rows(rep),
     );
 
-    let att = flagged.expect("flagged cell produced an attribution");
-    obs::summary(
-        "exp_thm1",
-        &[
-            ("cell", "ring_x8_1x/1x".into()),
-            ("makespan", att.makespan.get().to_string()),
-            ("work", att.work.get().to_string()),
-            ("comm", att.comm.get().to_string()),
-            ("sync", att.sync.get().to_string()),
-            ("residual_frac", format!("{:.4}", att.residual_frac())),
-            (
-                "stall_episodes",
-                registry.counter(Counter::StallEpisodes).to_string(),
-            ),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
-    obs::write_spans_if_requested(&registry);
+    let att = flagged
+        .into_inner()
+        .expect("attribution slot")
+        .expect("flagged cell produced an attribution");
+    obs::Summary::new("exp_thm1")
+        .kv("cell", "ring_x8_1x/1x")
+        .kv("makespan", att.makespan.get())
+        .kv("work", att.work.get())
+        .kv("comm", att.comm.get())
+        .kv("sync", att.sync.get())
+        .f4("residual_frac", att.residual_frac())
+        .kv("stall_episodes", captured.counter(Counter::StallEpisodes))
+        .kv("spans", captured.spans().len())
+        .emit();
+    obs::write_spans_if_requested(&captured);
 }

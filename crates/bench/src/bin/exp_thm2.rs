@@ -7,60 +7,33 @@
 //! `O(log p)` for small h and flattens towards `O(1)` as `h` grows — the
 //! crossover the `S` column exhibits.
 //!
-//! Every `(p, h)` cell is routed independently, so the tables are produced
-//! through the [`bvl_bench::sweep`] harness; each job's random h-relation
-//! comes from its own `(domain, index)`-derived RNG stream, which keeps the
-//! tables byte-identical at any `RAYON_NUM_THREADS`.
+//! The grids live in [`bvl_bench::labexp::thm2`] and run through the
+//! `bvl-lab` scheduler (cached when `BVL_LAB_DIR` is set). The two
+//! span-exporting cells — the `(16, 8)` phase breakdown and the
+//! deterministic strategy — are *forced*: they recompute live so their
+//! registries carry real spans for the SUMMARY line and `--trace-out`.
 
-use bvl_bench::sweep::{sweep, sweep_captured};
-use bvl_bench::{banner, f2, obs, print_table};
-use bvl_bsp::{FnProcess, Status};
-use bvl_core::slowdown::theorem2_s;
-use bvl_core::{
-    route_deterministic, simulate_bsp_on_logp, RoutingStrategy, SortScheme, Theorem2Config,
-};
-use bvl_logp::LogpParams;
-use bvl_model::{HRelation, Payload, ProcId};
-use bvl_obs::CostReport;
+use bvl_bench::labexp::{self, flat_rows, single_rows, thm2};
+use bvl_bench::{banner, obs, print_table};
+use bvl_obs::{CostReport, Registry};
+use std::sync::Mutex;
 
 fn main() {
+    let lab = labexp::Lab::from_env();
+
     banner("Theorem 2: deterministic h-relation routing, phase breakdown");
-    let mut cells = Vec::new();
-    for p in [16usize, 64] {
-        for h in [1usize, 2, 4, 8, 16, 32] {
-            cells.push((p, h));
-        }
-    }
     // The (p=16, h=8) cell (index 3) is flagged: its routing phases are
     // captured as spans for the summary line and `--trace-out`.
-    let (rep, cell_registry) =
-        sweep_captured("thm2-cells", 2024, cells, Some(3), 16, |(p, h), mut job| {
-            let params = LogpParams::new(p, 16, 1, 2).unwrap();
-            let rel = HRelation::random_exact(&mut job.rng, p, h);
-            let rep = route_deterministic(params, &rel, SortScheme::Network, &job.opts.seed(7))
-                .expect("routing succeeds");
-            let native = (params.g * h as u64 + params.l) as f64;
-            let s_meas = rep.total.get() as f64 / native;
-            let s_pred = theorem2_s(&params, h as u64);
-            vec![
-                format!("{p}"),
-                format!("{h}"),
-                format!("{}", rep.t_r.get()),
-                format!("{}", rep.t_sort.get()),
-                format!("{}", rep.t_s.get()),
-                format!("{}", rep.t_cycles.get()),
-                format!("{}", rep.total.get()),
-                f2(native),
-                f2(s_meas),
-                f2(s_pred),
-            ]
-        });
+    let cell_registry = Registry::enabled(thm2::FLAGGED_P);
+    let rep = lab.run(&thm2::cells_grid(), |cell, job| {
+        thm2::run_cell_with(cell, job, cell.force.then_some(&cell_registry)).0
+    });
     eprintln!("[sweep] thm2-cells: {}", rep.summary());
     print_table(
         &[
             "p", "h", "t_r", "t_sort", "t_s", "t_cycles", "total", "Gh+L", "S meas", "S pred",
         ],
-        &rep.results,
+        &single_rows(rep),
     );
     println!();
     println!("(S meas uses the Batcher network — an extra log p vs the AKS bound —");
@@ -68,134 +41,53 @@ fn main() {
     println!(" downward trend in h, the paper's crossover, is the result.)");
 
     banner("Large-h regime: Columnsort (Cubesort role) makes the sort constant-round");
-    let p = 8usize;
-    let params = LogpParams::new(p, 16, 1, 2).unwrap();
-    // One job per h; both schemes route the *same* relation, so they stay in
-    // a single job sharing one RNG stream.
-    let rep = sweep("thm2-big", 2024, vec![98usize, 128, 256], move |h, mut job| {
-        let rel = HRelation::random_exact(&mut job.rng, p, h);
-        let mut rows = Vec::new();
-        let opts = job.opts.seed(9);
-        for scheme in [SortScheme::Network, SortScheme::Columnsort] {
-            let rep = route_deterministic(params, &rel, scheme, &opts).expect("routing succeeds");
-            let native = (params.g * h as u64 + params.l) as f64;
-            rows.push(vec![
-                format!("{h}"),
-                format!("{scheme:?}"),
-                format!("{}", rep.sort_rounds),
-                format!("{}", rep.t_sort.get()),
-                format!("{}", rep.total.get()),
-                f2(rep.total.get() as f64 / native),
-            ]);
-        }
-        rows
+    let rep = lab.run(&thm2::big_grid(), |cell, job| {
+        thm2::run_cell_with(cell, job, None).0
     });
     eprintln!("[sweep] thm2-big: {}", rep.summary());
-    let rows: Vec<Vec<String>> = rep.results.into_iter().flatten().collect();
     print_table(
         &["h", "scheme", "comm rounds", "t_sort", "total", "S meas"],
-        &rows,
+        &flat_rows(rep),
     );
 
     banner("Full superstep simulation: one BSP workload under each routing strategy");
-    let p = 16usize;
-    let logp = LogpParams::new(p, 16, 1, 2).unwrap();
-    let make = move || -> Vec<FnProcess<i64>> {
-        (0..p)
-            .map(|_| {
-                FnProcess::new(0i64, move |acc, ctx| {
-                    let p = ctx.p();
-                    if ctx.superstep_index() > 0 {
-                        while let Some(m) = ctx.recv() {
-                            *acc += m.payload.expect_word();
-                        }
-                    }
-                    if ctx.superstep_index() < 4 {
-                        ctx.charge(20);
-                        let me = ctx.me().index();
-                        for k in 1..=3usize {
-                            ctx.send(
-                                ProcId::from((me * 5 + k * 7) % p),
-                                Payload::word(k as u32, me as i64),
-                            );
-                        }
-                        Status::Continue
-                    } else {
-                        Status::Halt
-                    }
-                })
-            })
-            .collect()
-    };
-    let strategies = vec![
-        ("offline", RoutingStrategy::Offline),
-        ("randomized", RoutingStrategy::Randomized { slack: 2.0 }),
-        ("deterministic", RoutingStrategy::Deterministic(SortScheme::Network)),
-    ];
     // The deterministic strategy (index 2) is the flagged cell of this
     // sweep: its full superstep decomposition is captured as spans and its
     // measured phases are mapped onto the Theorem 2 cost terms.
-    let (rep, strat_registry) = sweep_captured(
-        "thm2-strategies",
-        2024,
-        strategies,
-        Some(2),
-        p,
-        move |(name, strategy), job| {
-            let rep = simulate_bsp_on_logp(logp, make(), Theorem2Config { strategy }, &job.opts)
-                .expect("superstep simulation");
-            let att = job
-                .opts
-                .registry
-                .is_enabled()
-                .then(|| rep.attribution(&logp, format!("thm2 {name}")));
-            let s0 = &rep.supersteps[0];
-            let row = vec![
-                name.to_string(),
-                format!("{}", rep.supersteps.len()),
-                format!("{}", s0.h),
-                format!("{}", s0.t_synch.get()),
-                format!("{}", s0.t_rout.get()),
-                format!("{}", rep.total.get()),
-                format!("{}", rep.native_total.get()),
-                f2(rep.slowdown()),
-            ];
-            (row, att)
-        },
-    );
+    let strat_registry = Registry::enabled(thm2::FLAGGED_P);
+    let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
+    let rep = lab.run(&thm2::strategies_grid(), |cell, job| {
+        let (rows, att) =
+            thm2::run_cell_with(cell, job, cell.force.then_some(&strat_registry));
+        if let Some(a) = att {
+            *flagged.lock().expect("attribution slot") = Some(a);
+        }
+        rows
+    });
     eprintln!("[sweep] thm2-strategies: {}", rep.summary());
-    let mut flagged: Option<CostReport> = None;
-    let rows: Vec<Vec<String>> = rep
-        .results
-        .into_iter()
-        .map(|(row, att)| {
-            flagged = att.or(flagged.take());
-            row
-        })
-        .collect();
     print_table(
         &[
             "strategy", "supersteps", "h(0)", "t_synch(0)", "t_rout(0)", "total", "native",
             "slowdown",
         ],
-        &rows,
+        &single_rows(rep),
     );
 
-    let att = flagged.expect("flagged strategy produced an attribution");
-    obs::summary(
-        "exp_thm2",
-        &[
-            ("cell", "deterministic_p16".into()),
-            ("makespan", att.makespan.get().to_string()),
-            ("work", att.work.get().to_string()),
-            ("comm", att.comm.get().to_string()),
-            ("sync", att.sync.get().to_string()),
-            ("other", att.other.get().to_string()),
-            ("residual_frac", format!("{:.4}", att.residual_frac())),
-            ("cell_spans", cell_registry.spans().len().to_string()),
-            ("spans", strat_registry.spans().len().to_string()),
-        ],
-    );
+    let att = flagged
+        .into_inner()
+        .expect("attribution slot")
+        .expect("flagged strategy produced an attribution");
+    obs::Summary::new("exp_thm2")
+        .kv("cell", "deterministic_p16")
+        .kv("makespan", att.makespan.get())
+        .kv("work", att.work.get())
+        .kv("comm", att.comm.get())
+        .kv("sync", att.sync.get())
+        .kv("other", att.other.get())
+        .f4("residual_frac", att.residual_frac())
+        .kv("cell_spans", cell_registry.spans().len())
+        .kv("spans", strat_registry.spans().len())
+        .emit();
     // `--trace-out` exports the flagged full-superstep run (the richest
     // span set: supersteps, CB split, sort rounds, routing cycles).
     obs::write_spans_if_requested(&strat_registry);

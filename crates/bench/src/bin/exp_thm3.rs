@@ -83,17 +83,14 @@ fn main() {
     let registry = Registry::enabled(16);
     let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().seed(7).registry(&registry))
         .expect("routes");
-    obs::summary(
-        "exp_thm3",
-        &[
-            ("cell", "rand_p16_h32".into()),
-            ("makespan", rep.time.get().to_string()),
-            ("batches", rep.batches.to_string()),
-            ("leftover", rep.leftover.to_string()),
-            ("stall_episodes", rep.stall_episodes.to_string()),
-            ("beta", f2(rep.beta_measured)),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_thm3")
+        .kv("cell", "rand_p16_h32")
+        .kv("makespan", rep.time.get())
+        .kv("batches", rep.batches)
+        .kv("leftover", rep.leftover)
+        .kv("stall_episodes", rep.stall_episodes)
+        .f2("beta", rep.beta_measured)
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

@@ -84,15 +84,12 @@ fn main() {
         &RunOptions::new().seed(3).registry(&registry),
     )
     .expect("columnsort routes");
-    obs::summary(
-        "exp_xover",
-        &[
-            ("cell", format!("columnsort_p{p}_h{h}")),
-            ("makespan", rep.total.get().to_string()),
-            ("t_sort", rep.t_sort.get().to_string()),
-            ("sort_rounds", rep.sort_rounds.to_string()),
-            ("spans", registry.spans().len().to_string()),
-        ],
-    );
+    obs::Summary::new("exp_xover")
+        .kv("cell", format_args!("columnsort_p{p}_h{h}"))
+        .kv("makespan", rep.total.get())
+        .kv("t_sort", rep.t_sort.get())
+        .kv("sort_rounds", rep.sort_rounds)
+        .kv("spans", registry.spans().len())
+        .emit();
     obs::write_spans_if_requested(&registry);
 }

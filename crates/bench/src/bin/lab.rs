@@ -1,0 +1,252 @@
+//! `lab` — the front end of the content-addressed experiment service.
+//!
+//! ```sh
+//! lab run <exp|all> [--smoke]   # run grids through the store (incremental)
+//! lab status                    # store summary: cells, segments, staleness
+//! lab query <exp>               # dump an experiment's cached cells
+//! lab diff                      # is the store current with this binary?
+//! lab gc                        # compact segments, drop stale archives
+//! lab serve [--addr A] [--workers N]   # HTTP JSON endpoint
+//! ```
+//!
+//! Every subcommand takes `--dir <path>`; the default is `$BVL_LAB_DIR`,
+//! falling back to `.lab`. The same directory is what the `exp_*`
+//! binaries read and write when run with `BVL_LAB_DIR` set, so a store
+//! warmed by `lab run` accelerates them and vice versa — the grids (and
+//! therefore the cache keys) are shared via `bvl_bench::labexp`.
+
+use bvl_bench::labexp;
+use bvl_bench::print_table;
+use bvl_lab::{serve, CodeFingerprint, OnStale, Service, Store};
+use bvl_obs::Registry;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lab <run|status|query|diff|gc|serve> [args]\n\
+         \n\
+         lab run <exp|all> [--smoke] [--dir D]   incremental grid run\n\
+         lab status [--dir D]                    store summary\n\
+         lab query <exp> [--dir D]               dump cached cells\n\
+         lab diff [--dir D]                      staleness check (exit 1 if stale)\n\
+         lab gc [--dir D]                        compact the store\n\
+         lab serve [--addr A] [--workers N] [--dir D]\n\
+         \n\
+         experiments: {}",
+        labexp::experiments()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+/// Pull `--flag value` out of the argument list (removing both tokens).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("lab: {flag} needs a value");
+        exit(2);
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    match args.iter().position(|a| a == switch) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn store_dir(args: &mut Vec<String>) -> PathBuf {
+    take_flag(args, "--dir")
+        .or_else(|| std::env::var("BVL_LAB_DIR").ok().filter(|d| !d.is_empty()))
+        .unwrap_or_else(|| ".lab".into())
+        .into()
+}
+
+fn open(dir: &Path, on_stale: OnStale) -> Store {
+    match Store::open(dir, CodeFingerprint::current(), on_stale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lab: cannot open store at {}: {e}", dir.display());
+            exit(2);
+        }
+    }
+}
+
+fn service(store: Store) -> Service {
+    Service::new(store, Registry::enabled(1), labexp::experiments())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+    };
+    args.remove(0);
+
+    match cmd.as_str() {
+        "run" => {
+            let smoke = take_switch(&mut args, "--smoke");
+            let dir = store_dir(&mut args);
+            let Some(exp) = args.first().cloned() else {
+                usage();
+            };
+            let svc = service(open(&dir, OnStale::Invalidate));
+            let names: Vec<String> = if exp == "all" {
+                svc.names().iter().map(|n| n.to_string()).collect()
+            } else {
+                vec![exp]
+            };
+            let mut rows = Vec::new();
+            for name in &names {
+                match svc.run(name, smoke) {
+                    None => {
+                        eprintln!("lab: unknown experiment '{name}'");
+                        exit(2);
+                    }
+                    Some(Err(e)) => {
+                        eprintln!("lab: '{name}' failed: {e}");
+                        exit(2);
+                    }
+                    Some(Ok(rep)) => rows.push(vec![
+                        name.clone(),
+                        rep.rows.len().to_string(),
+                        rep.hits.to_string(),
+                        rep.misses.to_string(),
+                        rep.forced.to_string(),
+                        format!("{:.1}%", 100.0 * rep.hit_rate()),
+                        format!("{:.2}s", rep.elapsed.as_secs_f64()),
+                    ]),
+                }
+            }
+            print_table(
+                &["experiment", "cells", "hits", "misses", "forced", "hit rate", "elapsed"],
+                &rows,
+            );
+        }
+        "status" => {
+            let dir = store_dir(&mut args);
+            let store = open(&dir, OnStale::Keep);
+            println!("store: {}", dir.display());
+            println!("code:  {}", store.code());
+            match store.stale() {
+                Some(writer) => println!("stale: written by {writer}"),
+                None => println!("stale: no"),
+            }
+            let segments = store.segments().unwrap_or_default();
+            let bytes: u64 = segments.iter().map(|(_, b)| b).sum();
+            println!(
+                "cells: {} across {} segment(s), {} bytes, {} torn line(s)",
+                store.len(),
+                segments.len(),
+                bytes,
+                store.torn()
+            );
+            let rows: Vec<Vec<String>> = store
+                .experiments()
+                .into_iter()
+                .map(|(name, cells)| vec![name, cells.to_string()])
+                .collect();
+            if !rows.is_empty() {
+                print_table(&["experiment", "cells"], &rows);
+            }
+        }
+        "query" => {
+            let dir = store_dir(&mut args);
+            let Some(exp) = args.first().cloned() else {
+                usage();
+            };
+            let store = open(&dir, OnStale::Keep);
+            let rows: Vec<Vec<String>> = store
+                .cells_for(&exp)
+                .into_iter()
+                .map(|c| {
+                    vec![
+                        c.domain.clone(),
+                        c.index.to_string(),
+                        c.params.clone(),
+                        c.plan.clone().unwrap_or_else(|| "-".into()),
+                        c.rows.len().to_string(),
+                        c.key[..12].to_string(),
+                    ]
+                })
+                .collect();
+            if rows.is_empty() {
+                println!("no cached cells for '{exp}'");
+            } else {
+                print_table(&["domain", "index", "params", "plan", "rows", "key"], &rows);
+            }
+        }
+        "diff" => {
+            let dir = store_dir(&mut args);
+            let store = open(&dir, OnStale::Keep);
+            match store.stale() {
+                Some(writer) => {
+                    println!(
+                        "stale: store written by code {writer}; running code is {}",
+                        store.code()
+                    );
+                    println!(
+                        "{} cached cell(s) would be invalidated on the next cached run",
+                        store.len()
+                    );
+                    exit(1);
+                }
+                None => {
+                    println!(
+                        "current: store and binary agree on code {} ({} cells)",
+                        store.code(),
+                        store.len()
+                    );
+                }
+            }
+        }
+        "gc" => {
+            let dir = store_dir(&mut args);
+            let mut store = open(&dir, OnStale::Invalidate);
+            match store.gc() {
+                Ok(rep) => println!(
+                    "gc: {} live cell(s) compacted; removed {} segment(s), {} stale archive(s)",
+                    rep.live, rep.removed_segments, rep.removed_archives
+                ),
+                Err(e) => {
+                    eprintln!("lab: gc failed: {e}");
+                    exit(2);
+                }
+            }
+        }
+        "serve" => {
+            let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:8091".into());
+            let workers: usize = take_flag(&mut args, "--workers")
+                .map(|w| w.parse().unwrap_or(4))
+                .unwrap_or(4);
+            let dir = store_dir(&mut args);
+            let svc = Arc::new(service(open(&dir, OnStale::Invalidate)));
+            match serve(&addr, svc, workers) {
+                Ok(server) => {
+                    println!("lab: serving {} with {workers} worker(s)", server.addr());
+                    println!("  GET  /status         store + cache counters");
+                    println!("  GET  /cells?exp=NAME cached cells with payloads");
+                    println!("  POST /run            {{\"exp\":\"NAME\",\"smoke\":true}}");
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lab: cannot bind {addr}: {e}");
+                    exit(2);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,1030 @@
+//! Lab grid definitions shared by the `exp_*` binaries, the `lab` CLI and
+//! the HTTP service.
+//!
+//! Each experiment binary used to own its configuration lists inline; the
+//! `bvl-lab` result store keys cells by `(experiment, domain, index,
+//! params, options, plan)`, so every front end that wants to share the
+//! cache must build **the same grids**. This module is that single
+//! definition: the binaries drive the grids through [`Lab`] (caching is
+//! opt-in via `BVL_LAB_DIR`), while [`experiments`] packages the same
+//! grids behind the [`bvl_lab::Experiment`] trait for `lab run`/`serve`.
+//!
+//! Two invariants carried over from `bvl_bench::sweep`:
+//!
+//! * **Determinism** — cell bodies draw only from [`Job::rng`] (derived
+//!   from `(master, domain, index)`) or from constants, so a cell computes
+//!   identical rows cold, warm, resumed, or at any `RAYON_NUM_THREADS`.
+//! * **Flagged cells stay live** — cells that feed an enabled
+//!   observability registry (cost attribution, span export) are marked
+//!   [`CellSpec::forced`]: they recompute on every run and are never
+//!   stored, because their side effects (spans) are the point.
+
+use crate::f2;
+use bvl_bsp::{BspParams, FnProcess, Status};
+use bvl_core::slowdown::{theorem1_bound, theorem2_s};
+use bvl_core::{
+    route_deterministic, simulate_bsp_on_logp, simulate_logp_on_bsp, RoutingStrategy, SortScheme,
+    Theorem1Config, Theorem2Config,
+};
+use bvl_exec::RunOptions;
+use bvl_lab::{run_grid, CellSpec, CodeFingerprint, Experiment, GridReport, GridSpec, Job, OnStale, Store};
+use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
+use bvl_model::{HRelation, Payload, ProcId};
+use bvl_obs::{CostReport, Registry};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The optional caching context of an experiment binary: a store when
+/// `BVL_LAB_DIR` is set, otherwise a pure pass-through. Both paths go
+/// through [`bvl_lab::run_grid`], so the execution and seeding are
+/// identical — caching changes *when* a cell computes, never *what*.
+pub struct Lab {
+    /// The store, when `BVL_LAB_DIR` selected one.
+    pub store: Option<Mutex<Store>>,
+    /// Cache hit/miss counters and compute-latency histograms.
+    pub registry: Registry,
+}
+
+impl Lab {
+    /// Build from the environment: `BVL_LAB_DIR=<dir>` opts into the
+    /// store (created on first use; a store written by older code is
+    /// archived and recomputed). Unset or empty means uncached.
+    pub fn from_env() -> Lab {
+        let Some(dir) = std::env::var("BVL_LAB_DIR").ok().filter(|d| !d.is_empty()) else {
+            return Lab {
+                store: None,
+                registry: Registry::disabled(),
+            };
+        };
+        match Store::open(Path::new(&dir), CodeFingerprint::current(), OnStale::Invalidate) {
+            Ok(store) => {
+                eprintln!("[lab] store {dir}: {} cached cells", store.len());
+                Lab {
+                    store: Some(Mutex::new(store)),
+                    registry: Registry::enabled(1),
+                }
+            }
+            Err(e) => {
+                eprintln!("[lab] cannot open store at {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Run one grid, cached when a store is attached. I/O failures while
+    /// journaling are fatal (a silently un-journaled cell would defeat
+    /// resume), so the binaries exit rather than continue uncached.
+    pub fn run<F>(&self, grid: &GridSpec, f: F) -> GridReport
+    where
+        F: Fn(&CellSpec, Job) -> Vec<Vec<String>> + Sync,
+    {
+        match run_grid(grid, self.store.as_ref(), &self.registry, f) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("[lab] grid '{}' failed: {e}", grid.exp);
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Flatten a report of single-row cells into table rows (request order).
+pub fn single_rows(rep: GridReport) -> Vec<Vec<String>> {
+    rep.rows
+        .into_iter()
+        .map(|mut cell| {
+            debug_assert_eq!(cell.len(), 1, "cell is not single-row");
+            cell.pop().expect("non-empty cell")
+        })
+        .collect()
+}
+
+/// Flatten a report of multi-row cells into table rows (request order).
+pub fn flat_rows(rep: GridReport) -> Vec<Vec<String>> {
+    rep.rows.into_iter().flatten().collect()
+}
+
+pub mod table1 {
+    //! E-T1 / E-NETEQ grids (Table 1, the scaling check, Observation 1,
+    //! and the span-exporting hypercube-k6 cell).
+
+    use super::*;
+    use bvl_net::{
+        measure_parameters, Array, Butterfly, Ccc, Family, Hypercube, MeasuredParams, MeshOfTrees,
+        PortMode, RouterConfig, ShuffleExchange, Topology,
+    };
+    use bvl_model::Steps;
+    use bvl_obs::{Span, SpanKind};
+
+    /// Table 1 topologies, constructed per cell (a `dyn Topology` is not
+    /// `Send`, so cells carry this tag and build on the worker thread).
+    #[derive(Clone, Copy)]
+    pub enum Net {
+        /// 2-d array (mesh), `side × side`.
+        Array2d(usize),
+        /// 3-d array, `side³`.
+        Array3d(usize),
+        /// Boolean hypercube of dimension `k`.
+        Hypercube(u32),
+        /// Butterfly of dimension `k`.
+        Butterfly(u32),
+        /// Cube-connected cycles of dimension `k`.
+        Ccc(u32),
+        /// Shuffle-exchange of dimension `k`.
+        ShuffleExchange(u32),
+        /// Mesh of trees over a `side × side` grid.
+        MeshOfTrees(usize),
+    }
+
+    impl Net {
+        fn build(self) -> Box<dyn Topology> {
+            match self {
+                Net::Array2d(side) => Box::new(Array::mesh2d(side)),
+                Net::Array3d(side) => Box::new(Array::new(&[side, side, side])),
+                Net::Hypercube(k) => Box::new(Hypercube::new(k)),
+                Net::Butterfly(k) => Box::new(Butterfly::new(k)),
+                Net::Ccc(k) => Box::new(Ccc::new(k)),
+                Net::ShuffleExchange(k) => Box::new(ShuffleExchange::new(k)),
+                Net::MeshOfTrees(side) => Box::new(MeshOfTrees::new(side)),
+            }
+        }
+
+        fn tag(self) -> String {
+            match self {
+                Net::Array2d(s) => format!("array2d({s})"),
+                Net::Array3d(s) => format!("array3d({s})"),
+                Net::Hypercube(k) => format!("hypercube({k})"),
+                Net::Butterfly(k) => format!("butterfly({k})"),
+                Net::Ccc(k) => format!("ccc({k})"),
+                Net::ShuffleExchange(k) => format!("shuffle-exchange({k})"),
+                Net::MeshOfTrees(s) => format!("mesh-of-trees({s})"),
+            }
+        }
+    }
+
+    const HS: [usize; 5] = [1, 2, 4, 8, 16];
+
+    /// Route the h-relation ladder on `net` and fit `T(h) = γ̂·h + δ̂`.
+    pub fn measure(net: Net, mode: PortMode, seed: u64) -> MeasuredParams {
+        let config = RouterConfig {
+            mode,
+            ..RouterConfig::default()
+        };
+        measure_parameters(&*net.build(), &HS, 3, seed, config)
+    }
+
+    fn measure_row(net: Net, family: Family, mode: PortMode) -> Vec<String> {
+        let m = measure(net, mode, 42);
+        let p = m.p as f64;
+        let pred_g = family.gamma(p);
+        let pred_d = family.delta(p);
+        vec![
+            family.label(),
+            format!("{}", m.p),
+            f2(m.gamma),
+            f2(pred_g),
+            f2(m.gamma / pred_g),
+            f2(m.delta),
+            f2(pred_d),
+            f2(m.delta / pred_d),
+            f2(m.r2),
+        ]
+    }
+
+    fn main_configs() -> Vec<(Net, Family, PortMode)> {
+        vec![
+            (Net::Array2d(16), Family::ArrayD(2), PortMode::Multi), // p = 256
+            (Net::Array3d(6), Family::ArrayD(3), PortMode::Multi),  // p = 216
+            (Net::Hypercube(8), Family::HypercubeMulti, PortMode::Multi), // p = 256
+            (Net::Hypercube(8), Family::HypercubeSingle, PortMode::Single),
+            (Net::Butterfly(5), Family::Butterfly, PortMode::Multi), // p = 192
+            (Net::Ccc(5), Family::Ccc, PortMode::Multi),             // p = 160
+            (Net::ShuffleExchange(8), Family::ShuffleExchange, PortMode::Multi), // p = 256
+            (Net::MeshOfTrees(16), Family::MeshOfTrees, PortMode::Multi), // p = 256
+        ]
+    }
+
+    fn scaling_configs() -> Vec<(Net, Family, &'static str)> {
+        vec![
+            (Net::Hypercube(4), Family::HypercubeMulti, "hypercube (multi)"),
+            (Net::Hypercube(6), Family::HypercubeMulti, "hypercube (multi)"),
+            (Net::Hypercube(8), Family::HypercubeMulti, "hypercube (multi)"),
+            (Net::MeshOfTrees(4), Family::MeshOfTrees, "mesh-of-trees"),
+            (Net::MeshOfTrees(8), Family::MeshOfTrees, "mesh-of-trees"),
+            (Net::MeshOfTrees(16), Family::MeshOfTrees, "mesh-of-trees"),
+        ]
+    }
+
+    fn obs1_configs() -> Vec<(Net, &'static str)> {
+        vec![
+            (Net::Hypercube(8), "hypercube(256)"),
+            (Net::Array2d(16), "2d-array(256)"),
+            (Net::MeshOfTrees(16), "mesh-of-trees(256)"),
+        ]
+    }
+
+    /// The Table 1 grid (one cell per topology row).
+    pub fn main_grid() -> GridSpec {
+        let mut g = GridSpec::new("table1", 42);
+        for (i, (net, family, mode)) in main_configs().into_iter().enumerate() {
+            let mode = match mode {
+                PortMode::Multi => "multi",
+                PortMode::Single => "single",
+            };
+            g = g.cell(CellSpec::new(
+                "table1",
+                i,
+                format!("{} {} {mode}", family.label(), net.tag()),
+            ));
+        }
+        g
+    }
+
+    /// The gamma-ratio scaling check (hypercube vs mesh-of-trees ladder).
+    pub fn scaling_grid() -> GridSpec {
+        let mut g = GridSpec::new("table1", 7);
+        for (i, (net, _, label)) in scaling_configs().into_iter().enumerate() {
+            g = g.cell(CellSpec::new(
+                "table1-scaling",
+                i,
+                format!("{label} {}", net.tag()),
+            ));
+        }
+        g
+    }
+
+    /// Observation 1: best-attainable LogP vs BSP on the same network.
+    pub fn obs1_grid() -> GridSpec {
+        let mut g = GridSpec::new("table1", 9);
+        for (i, (_, name)) in obs1_configs().into_iter().enumerate() {
+            g = g.cell(CellSpec::new("table1-obs1", i, name));
+        }
+        g
+    }
+
+    /// The hypercube-k6 cell whose per-h routing samples become spans.
+    /// Cacheable (not forced): the payload carries the raw samples, so the
+    /// span timeline and the SUMMARY line rebuild bit-identically from a
+    /// warm hit via [`k6_registry`].
+    pub fn k6_grid() -> GridSpec {
+        GridSpec::new("table1", 11).cell(CellSpec::new("table1-k6", 0, "hypercube(6) multi"))
+    }
+
+    /// All grids of the `table1` experiment. Smoke keeps the small nets:
+    /// the hypercube(4)/mesh-of-trees(4) scaling cells (their indexes and
+    /// params match the full grid, so smoke and full share cache keys) and
+    /// the k6 cell.
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        if smoke {
+            let mut scaling = scaling_grid();
+            scaling.cells.retain(|c| c.index == 0 || c.index == 3);
+            vec![scaling, k6_grid()]
+        } else {
+            vec![main_grid(), scaling_grid(), obs1_grid(), k6_grid()]
+        }
+    }
+
+    /// Compute one `table1` cell (dispatch on the cell's domain).
+    pub fn run_cell(cell: &CellSpec, _job: Job) -> Vec<Vec<String>> {
+        match cell.domain.as_str() {
+            "table1" => {
+                let (net, family, mode) = main_configs()[cell.index];
+                vec![measure_row(net, family, mode)]
+            }
+            "table1-scaling" => {
+                let (net, family, label) = scaling_configs()[cell.index];
+                let m = measure(net, PortMode::Multi, 7);
+                vec![vec![
+                    label.into(),
+                    format!("{}", m.p),
+                    f2(m.gamma),
+                    f2(family.gamma(m.p as f64)),
+                    f2(m.delta),
+                    f2(family.delta(m.p as f64)),
+                ]]
+            }
+            "table1-obs1" => {
+                let (net, name) = obs1_configs()[cell.index];
+                let m = measure(net, PortMode::Multi, 9);
+                // LogP-side: fit over the small-h prefix only (h <= capacity-ish).
+                let small: Vec<(f64, f64)> = m
+                    .samples
+                    .iter()
+                    .take(3)
+                    .map(|&(h, t)| (h as f64, t))
+                    .collect();
+                let (g_logp, l_logp, _) = bvl_model::stats::linear_fit(&small);
+                let (pred_g, pred_l) = Family::predicted_logp(m.gamma, m.delta);
+                vec![vec![
+                    name.into(),
+                    f2(m.gamma),
+                    f2(m.delta),
+                    f2(g_logp),
+                    f2(pred_g),
+                    f2(l_logp),
+                    f2(pred_l),
+                ]]
+            }
+            "table1-k6" => {
+                let m = measure(Net::Hypercube(6), PortMode::Multi, 11);
+                // Row 0: the fit summary; rows 1..: the raw (h, T(h))
+                // samples, stored at full precision so the span timeline
+                // rebuilds exactly.
+                let mut rows = vec![vec![
+                    "hypercube_k6".to_string(),
+                    m.p.to_string(),
+                    f2(m.gamma),
+                    f2(m.delta),
+                    f2(m.r2),
+                ]];
+                for &(h, t) in &m.samples {
+                    rows.push(vec![h.to_string(), format!("{t}")]);
+                }
+                rows
+            }
+            other => panic!("unknown table1 domain '{other}'"),
+        }
+    }
+
+    /// Rebuild the k6 cell's span timeline from its payload rows:
+    /// back-to-back `Routing` spans, one per (h, T(h)) sample.
+    pub fn k6_registry(rows: &[Vec<String>]) -> Registry {
+        let p: usize = rows[0][1].parse().expect("k6 meta row carries p");
+        let registry = Registry::enabled(p);
+        let mut clock = Steps::ZERO;
+        for sample in &rows[1..] {
+            let h: u64 = sample[0].parse().expect("sample h");
+            let t: f64 = sample[1].parse().expect("sample t");
+            let end = clock + Steps(t.round() as u64);
+            registry.span(Span::new(SpanKind::Routing, clock, end).at_index(h));
+            clock = end;
+        }
+        registry
+    }
+}
+
+pub mod thm1 {
+    //! E-THM1 grids (LogP-on-BSP slowdown across `(g, ℓ)` scalings and
+    //! machine sizes).
+
+    use super::*;
+
+    /// A workload family, instantiable any number of times (the native and
+    /// the hosted run each need a fresh copy of the scripts).
+    #[derive(Clone, Copy)]
+    pub enum Workload {
+        /// `rounds` neighbor rounds on a `p`-cycle.
+        Ring {
+            /// Machine size.
+            p: usize,
+            /// Number of send/recv rounds.
+            rounds: usize,
+        },
+        /// Staggered total exchange on `p` processors.
+        AllToAll {
+            /// Machine size.
+            p: usize,
+        },
+    }
+
+    impl Workload {
+        fn name(self) -> &'static str {
+            match self {
+                Workload::Ring { .. } => "ring x8",
+                Workload::AllToAll { .. } => "all-to-all",
+            }
+        }
+
+        fn build(self) -> Vec<Script> {
+            match self {
+                Workload::Ring { p, rounds } => (0..p)
+                    .map(|i| {
+                        let mut ops = Vec::new();
+                        for r in 0..rounds {
+                            ops.push(Op::Send {
+                                dst: ProcId(((i + 1) % p) as u32),
+                                payload: Payload::word(r as u32, i as i64),
+                            });
+                            ops.push(Op::Recv);
+                        }
+                        Script::new(ops)
+                    })
+                    .collect(),
+                Workload::AllToAll { p } => (0..p)
+                    .map(|me| {
+                        let mut ops = Vec::new();
+                        for t in 0..p - 1 {
+                            ops.push(Op::Send {
+                                dst: ProcId(((me + 1 + t) % p) as u32),
+                                payload: Payload::word(0, me as i64),
+                            });
+                        }
+                        ops.extend(std::iter::repeat_n(Op::Recv, p - 1));
+                        Script::new(ops)
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    /// One table row: a workload on a LogP machine hosted by a BSP machine
+    /// with `(g, ℓ) = (factor_g · G, factor_l · L)`.
+    #[derive(Clone, Copy)]
+    pub struct Case {
+        /// The native LogP machine.
+        pub logp: LogpParams,
+        /// Host `g` as a multiple of the LogP `G`.
+        pub factor_g: u64,
+        /// Host `ℓ` as a multiple of the LogP `L`.
+        pub factor_l: u64,
+        /// The workload.
+        pub workload: Workload,
+    }
+
+    /// Run one case; returns the table row plus the cost attribution when
+    /// the options carry an enabled registry.
+    pub fn run_case(case: Case, opts: &RunOptions) -> (Vec<String>, Option<CostReport>) {
+        let Case {
+            logp,
+            factor_g,
+            factor_l,
+            workload,
+        } = case;
+        let mut native = LogpMachine::with_config(logp, LogpConfig::stall_free(), workload.build());
+        let native_time = native.run().expect("native run").makespan;
+        let bsp = BspParams::new(logp.p, logp.g * factor_g, logp.l * factor_l).unwrap();
+        let rep = simulate_logp_on_bsp(logp, bsp, workload.build(), Theorem1Config::default(), opts)
+            .expect("hosted run");
+        let slowdown = rep.bsp.cost.get() as f64 / native_time.get() as f64;
+        let bound = theorem1_bound(bsp.g, bsp.l, logp.g, logp.l);
+        let attributed = opts.registry.is_enabled().then(|| {
+            rep.attribution(&bsp, format!("thm1 {} {factor_g}x/{factor_l}x", workload.name()))
+        });
+        let row = vec![
+            workload.name().into(),
+            format!("{}", logp.p),
+            format!("{}x/{}x", factor_g, factor_l),
+            format!("{}", native_time.get()),
+            format!("{}", rep.bsp.cost.get()),
+            f2(slowdown),
+            f2(bound),
+            f2(slowdown / bound),
+        ];
+        (row, attributed)
+    }
+
+    /// The reference LogP machine of the scalings table.
+    pub fn reference_params() -> LogpParams {
+        LogpParams::new(16, 16, 1, 4).unwrap()
+    }
+
+    fn scaling_cases() -> Vec<Case> {
+        let logp = reference_params();
+        let mut cases = Vec::new();
+        for (fg, fl) in [(1u64, 1u64), (2, 1), (1, 2), (2, 2), (4, 4)] {
+            cases.push(Case {
+                logp,
+                factor_g: fg,
+                factor_l: fl,
+                workload: Workload::Ring { p: 16, rounds: 8 },
+            });
+        }
+        for (fg, fl) in [(1u64, 1u64), (2, 2)] {
+            cases.push(Case {
+                logp,
+                factor_g: fg,
+                factor_l: fl,
+                workload: Workload::AllToAll { p: 16 },
+            });
+        }
+        cases
+    }
+
+    fn size_cases() -> Vec<Case> {
+        [4usize, 8, 16, 32, 64]
+            .into_iter()
+            .map(|p| Case {
+                logp: LogpParams::new(p, 16, 1, 4).unwrap(),
+                factor_g: 1,
+                factor_l: 1,
+                workload: Workload::Ring { p, rounds: 8 },
+            })
+            .collect()
+    }
+
+    /// The `(g, ℓ)` scalings grid. Cell 0 (ring, matched 1x/1x) is forced:
+    /// it feeds the cost-attribution summary and `--trace-out`, so it runs
+    /// live on every invocation.
+    pub fn scalings_grid() -> GridSpec {
+        let mut g = GridSpec::new("thm1", 1996);
+        for (i, case) in scaling_cases().into_iter().enumerate() {
+            let mut cell = CellSpec::new(
+                "thm1-scalings",
+                i,
+                format!(
+                    "{} {}x/{}x",
+                    case.workload.name(),
+                    case.factor_g,
+                    case.factor_l
+                ),
+            );
+            if i == 0 {
+                cell = cell.forced();
+            }
+            g = g.cell(cell);
+        }
+        g
+    }
+
+    /// Matched parameters across machine sizes.
+    pub fn sizes_grid() -> GridSpec {
+        let mut g = GridSpec::new("thm1", 1996);
+        for (i, case) in size_cases().into_iter().enumerate() {
+            g = g.cell(CellSpec::new(
+                "thm1-sizes",
+                i,
+                format!("ring p={} 1x/1x", case.logp.p),
+            ));
+        }
+        g
+    }
+
+    /// All grids of the `thm1` experiment. Smoke keeps the cheap unforced
+    /// cells (scalings 1–2, sizes 0–1).
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        let mut scalings = scalings_grid();
+        let mut sizes = sizes_grid();
+        if smoke {
+            scalings.cells.retain(|c| !c.force && c.index <= 2);
+            sizes.cells.retain(|c| c.index <= 1);
+        }
+        vec![scalings, sizes]
+    }
+
+    /// Compute one `thm1` cell. `captured` is attached to the options of
+    /// forced cells only (the binary passes its export registry; the
+    /// service passes `None` — forced cells still run live, their rows are
+    /// registry-independent by the determinism contract).
+    pub fn run_cell_with(
+        cell: &CellSpec,
+        mut job: Job,
+        captured: Option<&Registry>,
+    ) -> (Vec<Vec<String>>, Option<CostReport>) {
+        let case = match cell.domain.as_str() {
+            "thm1-scalings" => scaling_cases()[cell.index],
+            "thm1-sizes" => size_cases()[cell.index],
+            other => panic!("unknown thm1 domain '{other}'"),
+        };
+        if cell.force {
+            if let Some(reg) = captured {
+                job.opts = job.opts.registry(reg);
+            }
+        }
+        let (row, att) = run_case(case, &job.opts);
+        (vec![row], att)
+    }
+}
+
+pub mod thm2 {
+    //! E-THM2 grids (deterministic h-relation routing, the large-h sort
+    //! regime, and the full superstep simulation).
+
+    use super::*;
+
+    fn cell_shapes() -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        for p in [16usize, 64] {
+            for h in [1usize, 2, 4, 8, 16, 32] {
+                cells.push((p, h));
+            }
+        }
+        cells
+    }
+
+    const BIG_P: usize = 8;
+    const BIG_HS: [usize; 3] = [98, 128, 256];
+
+    fn strategies() -> Vec<(&'static str, RoutingStrategy)> {
+        vec![
+            ("offline", RoutingStrategy::Offline),
+            ("randomized", RoutingStrategy::Randomized { slack: 2.0 }),
+            (
+                "deterministic",
+                RoutingStrategy::Deterministic(SortScheme::Network),
+            ),
+        ]
+    }
+
+    /// The phase-breakdown grid over `(p, h)`. Cell 3 — `(16, 8)` — is
+    /// forced: its routing phases are captured as spans for the SUMMARY
+    /// line and `--trace-out`.
+    pub fn cells_grid() -> GridSpec {
+        let mut g = GridSpec::new("thm2", 2024);
+        for (i, (p, h)) in cell_shapes().into_iter().enumerate() {
+            let mut cell = CellSpec::new("thm2-cells", i, format!("p={p} h={h}"));
+            if i == 3 {
+                cell = cell.forced();
+            }
+            g = g.cell(cell);
+        }
+        g
+    }
+
+    /// The large-h regime grid (Network vs Columnsort on one relation).
+    pub fn big_grid() -> GridSpec {
+        let mut g = GridSpec::new("thm2", 2024);
+        for (i, h) in BIG_HS.into_iter().enumerate() {
+            g = g.cell(CellSpec::new("thm2-big", i, format!("p={BIG_P} h={h}")));
+        }
+        g
+    }
+
+    /// The full superstep simulation, one cell per routing strategy. The
+    /// deterministic strategy (cell 2) is forced: its superstep
+    /// decomposition is the richest span set the experiment exports.
+    pub fn strategies_grid() -> GridSpec {
+        let mut g = GridSpec::new("thm2", 2024);
+        for (i, (name, _)) in strategies().into_iter().enumerate() {
+            let mut cell = CellSpec::new("thm2-strategies", i, format!("strategy={name}"));
+            if i == 2 {
+                cell = cell.forced();
+            }
+            g = g.cell(cell);
+        }
+        g
+    }
+
+    /// All grids of the `thm2` experiment. Smoke keeps small unforced
+    /// cells: the first three `(16, h)` phase cells, the h=98 sort cell,
+    /// and the offline strategy.
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        let mut cells = cells_grid();
+        let mut big = big_grid();
+        let mut strat = strategies_grid();
+        if smoke {
+            cells.cells.retain(|c| c.index < 3);
+            big.cells.truncate(1);
+            strat.cells.retain(|c| c.index == 0);
+        }
+        vec![cells, big, strat]
+    }
+
+    fn make_superstep_processes(p: usize) -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |acc, ctx| {
+                    let p = ctx.p();
+                    if ctx.superstep_index() > 0 {
+                        while let Some(m) = ctx.recv() {
+                            *acc += m.payload.expect_word();
+                        }
+                    }
+                    if ctx.superstep_index() < 4 {
+                        ctx.charge(20);
+                        let me = ctx.me().index();
+                        for k in 1..=3usize {
+                            ctx.send(
+                                ProcId::from((me * 5 + k * 7) % p),
+                                Payload::word(k as u32, me as i64),
+                            );
+                        }
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Compute one `thm2` cell; same `captured` contract as
+    /// [`thm1::run_cell_with`].
+    pub fn run_cell_with(
+        cell: &CellSpec,
+        mut job: Job,
+        captured: Option<&Registry>,
+    ) -> (Vec<Vec<String>>, Option<CostReport>) {
+        if cell.force {
+            if let Some(reg) = captured {
+                job.opts = job.opts.registry(reg);
+            }
+        }
+        match cell.domain.as_str() {
+            "thm2-cells" => {
+                let (p, h) = cell_shapes()[cell.index];
+                let params = LogpParams::new(p, 16, 1, 2).unwrap();
+                let rel = HRelation::random_exact(&mut job.rng, p, h);
+                let rep =
+                    route_deterministic(params, &rel, SortScheme::Network, &job.opts.seed(7))
+                        .expect("routing succeeds");
+                let native = (params.g * h as u64 + params.l) as f64;
+                let s_meas = rep.total.get() as f64 / native;
+                let s_pred = theorem2_s(&params, h as u64);
+                (
+                    vec![vec![
+                        format!("{p}"),
+                        format!("{h}"),
+                        format!("{}", rep.t_r.get()),
+                        format!("{}", rep.t_sort.get()),
+                        format!("{}", rep.t_s.get()),
+                        format!("{}", rep.t_cycles.get()),
+                        format!("{}", rep.total.get()),
+                        f2(native),
+                        f2(s_meas),
+                        f2(s_pred),
+                    ]],
+                    None,
+                )
+            }
+            "thm2-big" => {
+                let h = BIG_HS[cell.index];
+                let params = LogpParams::new(BIG_P, 16, 1, 2).unwrap();
+                // Both schemes route the *same* relation, so they share one
+                // cell and one RNG stream.
+                let rel = HRelation::random_exact(&mut job.rng, BIG_P, h);
+                let opts = job.opts.seed(9);
+                let mut rows = Vec::new();
+                for scheme in [SortScheme::Network, SortScheme::Columnsort] {
+                    let rep =
+                        route_deterministic(params, &rel, scheme, &opts).expect("routing succeeds");
+                    let native = (params.g * h as u64 + params.l) as f64;
+                    rows.push(vec![
+                        format!("{h}"),
+                        format!("{scheme:?}"),
+                        format!("{}", rep.sort_rounds),
+                        format!("{}", rep.t_sort.get()),
+                        format!("{}", rep.total.get()),
+                        f2(rep.total.get() as f64 / native),
+                    ]);
+                }
+                (rows, None)
+            }
+            "thm2-strategies" => {
+                let p = 16usize;
+                let logp = LogpParams::new(p, 16, 1, 2).unwrap();
+                let (name, strategy) = strategies()[cell.index];
+                let rep = simulate_bsp_on_logp(
+                    logp,
+                    make_superstep_processes(p),
+                    Theorem2Config { strategy },
+                    &job.opts,
+                )
+                .expect("superstep simulation");
+                let att = job
+                    .opts
+                    .registry
+                    .is_enabled()
+                    .then(|| rep.attribution(&logp, format!("thm2 {name}")));
+                let s0 = &rep.supersteps[0];
+                (
+                    vec![vec![
+                        name.to_string(),
+                        format!("{}", rep.supersteps.len()),
+                        format!("{}", s0.h),
+                        format!("{}", s0.t_synch.get()),
+                        format!("{}", s0.t_rout.get()),
+                        format!("{}", rep.total.get()),
+                        format!("{}", rep.native_total.get()),
+                        f2(rep.slowdown()),
+                    ]],
+                    att,
+                )
+            }
+            other => panic!("unknown thm2 domain '{other}'"),
+        }
+    }
+
+    /// Machine size of the forced span-exporting cells (for sizing the
+    /// export registries).
+    pub const FLAGGED_P: usize = 16;
+}
+
+pub mod faults {
+    //! E-FAULT grid (the differential conformance matrix).
+
+    use super::*;
+    use bvl_fault::conformance::{default_plans, run_case};
+    use bvl_fault::{Case, Sim};
+
+    /// The case matrix, in table order (plans × shapes × simulators).
+    pub fn cases(smoke: bool) -> Vec<Case> {
+        let shapes: &[(usize, usize)] = if smoke {
+            &[(8, 4)]
+        } else {
+            &[(8, 4), (16, 6)]
+        };
+        let mut cases = Vec::new();
+        for (i, plan) in default_plans().into_iter().enumerate() {
+            for &(p, h) in shapes {
+                for sim in Sim::ALL {
+                    cases.push(Case {
+                        sim,
+                        p,
+                        h,
+                        seed: 100 + i as u64,
+                        plan: plan.clone(),
+                    });
+                }
+            }
+        }
+        cases
+    }
+
+    /// The conformance grid. The smoke and full matrices are distinct
+    /// domains (their index→case mappings differ), each cell carrying its
+    /// fault-plan line as part of the content address.
+    pub fn grid(smoke: bool) -> GridSpec {
+        let domain = if smoke { "faults-smoke" } else { "faults-full" };
+        let mut g = GridSpec::new("faults", 100);
+        for (i, case) in cases(smoke).into_iter().enumerate() {
+            g = g.cell(
+                CellSpec::new(
+                    domain,
+                    i,
+                    format!("sim={} p={} h={} seed={}", case.sim, case.p, case.h, case.seed),
+                )
+                .plan(case.plan.to_string()),
+            );
+        }
+        g
+    }
+
+    /// Compute one conformance cell. Row 0 is the table row; row 1 is the
+    /// meta row `[checks, repro-line...]` so warm runs reproduce the
+    /// SUMMARY counters, `fault-repros.txt` and the exit code without
+    /// re-running the case.
+    pub fn run_cell(cell: &CellSpec, _job: Job) -> Vec<Vec<String>> {
+        let smoke = cell.domain == "faults-smoke";
+        let case = &cases(smoke)[cell.index];
+        let rep = run_case(case);
+        let row = vec![
+            case.sim.to_string(),
+            format!("{}", case.p),
+            format!("{}", case.h),
+            case.plan.to_string(),
+            format!("{}", rep.clean_time.get()),
+            format!("{}", rep.faulted_time.get()),
+            format!("{}", rep.attempts),
+            if rep.ok() {
+                "ok".into()
+            } else {
+                format!("{} FAILED", rep.failures.len())
+            },
+        ];
+        let mut meta = vec![rep.checks.to_string()];
+        for f in &rep.failures {
+            eprintln!("FAIL {f}");
+            if let Some(line) = f.lines().find_map(|l| l.trim().strip_prefix("repro: ")) {
+                meta.push(line.to_string());
+            }
+        }
+        vec![row, meta]
+    }
+
+    /// Split a conformance report back into `(table rows, repro lines,
+    /// total checks)` — the shape `exp_faults` prints and gates on.
+    pub fn fold(rep: GridReport) -> (Vec<Vec<String>>, Vec<String>, usize) {
+        let mut table = Vec::new();
+        let mut repros = Vec::new();
+        let mut checks = 0usize;
+        for mut cell in rep.rows {
+            let meta = cell.pop().expect("meta row");
+            table.push(cell.pop().expect("table row"));
+            checks += meta[0].parse::<usize>().unwrap_or(0);
+            repros.extend(meta.into_iter().skip(1));
+        }
+        (table, repros, checks)
+    }
+}
+
+struct Table1Exp;
+struct Thm1Exp;
+struct Thm2Exp;
+struct FaultsExp;
+
+impl Experiment for Table1Exp {
+    fn name(&self) -> &str {
+        "table1"
+    }
+    fn grids(&self, smoke: bool) -> Vec<GridSpec> {
+        table1::grids(smoke)
+    }
+    fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        table1::run_cell(cell, job)
+    }
+}
+
+impl Experiment for Thm1Exp {
+    fn name(&self) -> &str {
+        "thm1"
+    }
+    fn grids(&self, smoke: bool) -> Vec<GridSpec> {
+        thm1::grids(smoke)
+    }
+    fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        thm1::run_cell_with(cell, job, None).0
+    }
+}
+
+impl Experiment for Thm2Exp {
+    fn name(&self) -> &str {
+        "thm2"
+    }
+    fn grids(&self, smoke: bool) -> Vec<GridSpec> {
+        thm2::grids(smoke)
+    }
+    fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        thm2::run_cell_with(cell, job, None).0
+    }
+}
+
+impl Experiment for FaultsExp {
+    fn name(&self) -> &str {
+        "faults"
+    }
+    fn grids(&self, smoke: bool) -> Vec<GridSpec> {
+        vec![faults::grid(smoke)]
+    }
+    fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        faults::run_cell(cell, job)
+    }
+}
+
+/// Every experiment the `lab` CLI and HTTP service can run, sharing grid
+/// definitions — and therefore cache keys — with the `exp_*` binaries.
+pub fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Table1Exp),
+        Box::new(Thm1Exp),
+        Box::new(Thm2Exp),
+        Box::new(FaultsExp),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_the_binaries_cell_counts() {
+        let count = |gs: &[GridSpec]| gs.iter().map(|g| g.cells.len()).sum::<usize>();
+        assert_eq!(count(&table1::grids(false)), 8 + 6 + 3 + 1);
+        assert_eq!(count(&thm1::grids(false)), 7 + 5);
+        assert_eq!(count(&thm2::grids(false)), 12 + 3 + 3);
+        assert_eq!(count(&[faults::grid(true)]), 21);
+        assert_eq!(count(&[faults::grid(false)]), 42);
+    }
+
+    #[test]
+    fn smoke_grids_carry_no_forced_cells() {
+        for exp in experiments() {
+            for grid in exp.grids(true) {
+                assert!(
+                    grid.cells.iter().all(|c| !c.force),
+                    "{}: smoke grid has a forced cell",
+                    exp.name()
+                );
+                assert_eq!(grid.exp, exp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_cells_sit_where_the_binaries_flag_them() {
+        let forced = |g: &GridSpec| -> Vec<usize> {
+            g.cells.iter().filter(|c| c.force).map(|c| c.index).collect()
+        };
+        assert_eq!(forced(&thm1::scalings_grid()), vec![0]);
+        assert_eq!(forced(&thm2::cells_grid()), vec![3]);
+        assert_eq!(forced(&thm2::strategies_grid()), vec![2]);
+        assert!(forced(&table1::k6_grid()).is_empty(), "k6 payload caches");
+    }
+
+    #[test]
+    fn fault_cells_carry_their_plan_lines() {
+        let g = faults::grid(true);
+        assert!(g.cells.iter().all(|c| c.plan.is_some()));
+        // Distinct plans produce distinct content addresses even at equal
+        // (domain, index, params) — guaranteed by cell_key, spot-checked
+        // here end to end.
+        let code = CodeFingerprint::from_parts("x", "0");
+        let mut keys: Vec<String> = g.cells.iter().map(|c| g.key_of(&code, c)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), g.cells.len());
+    }
+
+    #[test]
+    fn k6_registry_rebuilds_spans_from_payload() {
+        let rows = vec![
+            vec!["hypercube_k6".into(), "64".into(), "1.00".into(), "2.00".into(), "0.99".into()],
+            vec!["1".into(), "12.5".into()],
+            vec!["2".into(), "20.0".into()],
+        ];
+        let reg = table1::k6_registry(&rows);
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].end.get(), 13); // 12.5 rounds to 13
+        assert_eq!(spans[1].end.get(), 33);
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod labexp;
+
 /// Print a fixed-width table: a header row, a separator, then rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -186,12 +188,59 @@ pub mod obs {
     use bvl_model::Trace;
     use bvl_obs::{Registry, Span};
 
-    /// Print the one-line experiment summary: `SUMMARY <name> k=v k=v ...`.
-    /// Keys should be stable identifiers (`makespan`, `stall_episodes`,
-    /// `max_buffer`, ...), values pre-formatted.
-    pub fn summary(experiment: &str, fields: &[(&str, String)]) {
-        let body: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
-        println!("SUMMARY {experiment} {}", body.join(" "));
+    /// Builder for the one-line experiment summary: `SUMMARY <name> k=v ...`.
+    ///
+    /// Every binary emits exactly one; `scripts/regen_experiments.sh` greps
+    /// the line, so keys must be stable identifiers (`makespan`,
+    /// `stall_episodes`, ...) and fields print in insertion order. The
+    /// typed appenders keep numeric formatting uniform across binaries:
+    /// [`Summary::kv`] for anything `Display` (strings, integers,
+    /// booleans), [`Summary::f2`]/[`Summary::f3`]/[`Summary::f4`] for
+    /// fixed-precision floats.
+    #[must_use = "finish with .emit() to print the SUMMARY line"]
+    pub struct Summary {
+        line: String,
+    }
+
+    impl Summary {
+        /// Start a summary line for `experiment` (the binary name).
+        pub fn new(experiment: &str) -> Summary {
+            Summary {
+                line: format!("SUMMARY {experiment}"),
+            }
+        }
+
+        /// Append `key=value` with the value's `Display` form.
+        pub fn kv(mut self, key: &str, value: impl std::fmt::Display) -> Summary {
+            use std::fmt::Write;
+            write!(self.line, " {key}={value}").expect("write to String");
+            self
+        }
+
+        /// Append a float rendered at two decimal places (`{:.2}`).
+        pub fn f2(self, key: &str, value: f64) -> Summary {
+            self.kv(key, format_args!("{value:.2}"))
+        }
+
+        /// Append a float rendered at three decimal places (`{:.3}`).
+        pub fn f3(self, key: &str, value: f64) -> Summary {
+            self.kv(key, format_args!("{value:.3}"))
+        }
+
+        /// Append a float rendered at four decimal places (`{:.4}`).
+        pub fn f4(self, key: &str, value: f64) -> Summary {
+            self.kv(key, format_args!("{value:.4}"))
+        }
+
+        /// The finished line, without printing it.
+        pub fn line(&self) -> &str {
+            &self.line
+        }
+
+        /// Print the line to stdout.
+        pub fn emit(self) {
+            println!("{}", self.line);
+        }
     }
 
     /// If `--trace-out <path>` was passed to this process, write `trace` +
@@ -292,5 +341,30 @@ mod tests {
         let rep = sweep("empty", 0, Vec::<u8>::new(), |_, _| 0u8);
         assert!(rep.results.is_empty());
         assert!(rep.summary().starts_with("0 jobs"));
+    }
+
+    #[test]
+    fn summary_builder_matches_the_grepped_format() {
+        let s = super::obs::Summary::new("exp_demo")
+            .kv("cell", "ring_x8")
+            .kv("makespan", 1234u64)
+            .kv("ok", true)
+            .f2("beta", 0.456)
+            .f3("r2", 0.98765)
+            .f4("residual_frac", 0.00009);
+        assert_eq!(
+            s.line(),
+            "SUMMARY exp_demo cell=ring_x8 makespan=1234 ok=true \
+             beta=0.46 r2=0.988 residual_frac=0.0001"
+        );
+    }
+
+    #[test]
+    fn summary_fields_print_in_insertion_order() {
+        let s = super::obs::Summary::new("exp_order")
+            .kv("z", 1)
+            .kv("a", 2)
+            .kv("z", 3);
+        assert_eq!(s.line(), "SUMMARY exp_order z=1 a=2 z=3");
     }
 }

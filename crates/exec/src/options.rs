@@ -133,6 +133,29 @@ impl RunOptions {
         self.fault.is_some()
     }
 
+    /// Canonical one-line serialization of every field that can change a
+    /// run's *results*, for content-addressed caching (`bvl-lab`). Two
+    /// options values with equal canonical forms are behaviourally
+    /// interchangeable; fields that only affect observability (the
+    /// registry, whose spans never feed back into the simulation) are
+    /// deliberately excluded, and `threads` is excluded because every
+    /// engine's determinism contract makes results thread-count-invariant.
+    ///
+    /// The format is a stable `k=v` list — append-only by construction
+    /// (new fields must be added at the end with a `-` default so that old
+    /// canonical strings stay valid cache keys until the code fingerprint
+    /// rotates them out).
+    pub fn canonical(&self) -> String {
+        format!(
+            "seed={} trace={} clock_base={} budget={} fault={}",
+            self.seed,
+            self.trace,
+            self.clock_base.get(),
+            self.budget.map_or_else(|| "-".into(), |b| b.to_string()),
+            self.fault.as_ref().map_or_else(|| "-".into(), |f| f.label()),
+        )
+    }
+
     /// Options for a sub-phase machine: same seed and fault decorator,
     /// everything else default. Phase drivers (CB passes, sorting rounds,
     /// routing cycles) run many short-lived machines whose registries,
@@ -264,6 +287,41 @@ mod tests {
         assert!(!RunOptions::new().faulted());
         // Debug must not choke on the trait object.
         assert!(format!("{opts:?}").contains("noop"));
+    }
+
+    #[test]
+    fn canonical_covers_result_affecting_fields_only() {
+        assert_eq!(
+            RunOptions::new().canonical(),
+            "seed=0 trace=false clock_base=0 budget=- fault=-"
+        );
+        let opts = RunOptions::new().seed(7).traced().at(Steps(100)).budget(50);
+        assert_eq!(
+            opts.canonical(),
+            "seed=7 trace=true clock_base=100 budget=50 fault=-"
+        );
+        // The registry is observability-only: attaching one must not move
+        // the cache key.
+        let reg = Registry::enabled(4);
+        assert_eq!(opts.clone().registry(&reg).canonical(), opts.canonical());
+        // Thread count is determinism-invariant by contract.
+        assert_eq!(opts.clone().threads(8).canonical(), opts.canonical());
+    }
+
+    #[test]
+    fn canonical_includes_the_fault_label() {
+        use crate::medium::{Medium, WrapMedium};
+        struct Tagged;
+        impl WrapMedium for Tagged {
+            fn wrap(&self, inner: Box<dyn Medium + Send>) -> Box<dyn Medium + Send> {
+                inner
+            }
+            fn label(&self) -> String {
+                "seed=9,jitter=uniform:6".into()
+            }
+        }
+        let opts = RunOptions::new().faults(Arc::new(Tagged));
+        assert!(opts.canonical().ends_with("fault=seed=9,jitter=uniform:6"));
     }
 
     #[test]

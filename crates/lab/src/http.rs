@@ -1,0 +1,383 @@
+//! The serve front end: a std-only HTTP/1.1 JSON endpoint over the store.
+//!
+//! No async runtime and no HTTP dependency: a [`std::net::TcpListener`]
+//! accept loop feeds a **bounded pool** of worker threads over an
+//! `mpsc` channel, each worker parsing the one-request-per-connection
+//! subset of HTTP/1.1 this service speaks (`Connection: close` on every
+//! response). That is deliberately the smallest thing that serves
+//! concurrent clients correctly; swapping in a real server framework
+//! would change this file only.
+//!
+//! Routes:
+//!
+//! * `GET /status` — store + service counters (cells, segments, staleness,
+//!   cache hits/misses, serve-latency histogram mean).
+//! * `GET /cells?exp=NAME` — every cached cell of one experiment, payload
+//!   rows included.
+//! * `POST /run` — body `{"exp":"NAME","smoke":true}`: run the named
+//!   registered experiment's grid through the store (incremental: cached
+//!   cells are hits) and report the hit/miss split.
+
+use crate::jsonio::{encode_rows, escape, Cursor};
+use crate::scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
+use crate::store::Store;
+use bvl_obs::{Counter, Hist, Registry};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A runnable experiment the service can execute on demand: a named grid
+/// plus the per-cell measurement body. Implementations live next to the
+/// experiment binaries (`bvl_bench::labexp`) so the CLI, the HTTP service
+/// and the `exp_*` bins share one grid definition — and therefore one set
+/// of cache keys.
+pub trait Experiment: Send + Sync {
+    /// Stable experiment name (the store grouping key and URL parameter).
+    fn name(&self) -> &str;
+    /// Build the requested grids (`smoke` selects the reduced CI shape).
+    /// An experiment may span several grids when its sweeps use different
+    /// master seeds; every grid's `exp` should equal [`Experiment::name`].
+    fn grids(&self, smoke: bool) -> Vec<GridSpec>;
+    /// Compute one cell.
+    fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>>;
+}
+
+/// Shared state behind the front end: the store, the service registry and
+/// the registered experiments.
+pub struct Service {
+    /// The persistent result store.
+    pub store: Mutex<Store>,
+    /// Service metrics (cache hits/misses, serve latency).
+    pub registry: Registry,
+    exps: Vec<Box<dyn Experiment>>,
+}
+
+impl Service {
+    /// Bundle a store, a registry and the runnable experiments.
+    pub fn new(store: Store, registry: Registry, exps: Vec<Box<dyn Experiment>>) -> Service {
+        Service {
+            store: Mutex::new(store),
+            registry,
+            exps,
+        }
+    }
+
+    /// Registered experiment names.
+    pub fn names(&self) -> Vec<&str> {
+        self.exps.iter().map(|e| e.name()).collect()
+    }
+
+    /// Look up a registered experiment.
+    pub fn experiment(&self, name: &str) -> Option<&dyn Experiment> {
+        self.exps.iter().find(|e| e.name() == name).map(|e| e.as_ref())
+    }
+
+    /// Run a registered experiment's grids through the store, merging the
+    /// per-grid reports into one.
+    pub fn run(&self, name: &str, smoke: bool) -> Option<io::Result<GridReport>> {
+        let exp = self.experiment(name)?;
+        let mut merged = GridReport::empty();
+        for grid in exp.grids(smoke) {
+            let rep = match run_grid(&grid, Some(&self.store), &self.registry, |cell, job| {
+                exp.run_cell(cell, job)
+            }) {
+                Ok(rep) => rep,
+                Err(e) => return Some(Err(e)),
+            };
+            merged.merge(rep);
+        }
+        Some(Ok(merged))
+    }
+}
+
+/// A running HTTP server; dropping it does **not** stop the threads —
+/// call [`Server::stop`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful with a `:0` listen request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown, unblock the accept loop, and join every thread.
+    /// In-flight requests complete; queued connections are served.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start serving `service` on `addr` (e.g. `"127.0.0.1:0"`) with a bounded
+/// pool of `workers` threads. Accepted connections queue (bounded at
+/// `4 × workers`) until a worker frees up, so a burst of clients larger
+/// than the pool is served, in order, rather than dropped.
+pub fn serve(addr: &str, service: Arc<Service>, workers: usize) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let workers = workers.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(4 * workers);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || loop {
+            let stream = match rx.lock().expect("rx poisoned").recv() {
+                Ok(s) => s,
+                Err(_) => break, // accept loop dropped the sender: shutdown
+            };
+            let t0 = Instant::now();
+            let _ = handle_connection(stream, &service);
+            service
+                .registry
+                .observe(Hist::ServeLatency, t0.elapsed().as_micros() as u64);
+        }));
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // A send only fails when every worker already exited.
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        // Dropping `tx` here wakes the workers out of `recv`.
+    });
+
+    Ok(Server {
+        addr: local,
+        stop,
+        accept,
+        workers: handles,
+    })
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(msg))
+}
+
+fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return respond(&mut stream, "400 Bad Request", &err_body("malformed request line")),
+    };
+
+    // Headers: only Content-Length matters to this service.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let query_param = |name: &str| -> Option<String> {
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.to_string())
+    };
+
+    match (method.as_str(), path) {
+        ("GET", "/status") => respond(&mut stream, "200 OK", &status_body(service)),
+        ("GET", "/cells") => match query_param("exp") {
+            None => respond(&mut stream, "400 Bad Request", &err_body("missing ?exp=")),
+            Some(exp) => respond(&mut stream, "200 OK", &cells_body(service, &exp)),
+        },
+        ("POST", "/run") => {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let body = String::from_utf8_lossy(&body);
+            match parse_run_body(&body) {
+                Err(e) => respond(&mut stream, "400 Bad Request", &err_body(&e)),
+                Ok((exp, smoke)) => match service.run(&exp, smoke) {
+                    None => respond(
+                        &mut stream,
+                        "400 Bad Request",
+                        &err_body(&format!(
+                            "unknown experiment '{exp}' (registered: {})",
+                            service.names().join(", ")
+                        )),
+                    ),
+                    Some(Err(e)) => respond(
+                        &mut stream,
+                        "500 Internal Server Error",
+                        &err_body(&format!("grid failed: {e}")),
+                    ),
+                    Some(Ok(rep)) => respond(
+                        &mut stream,
+                        "200 OK",
+                        &format!(
+                            "{{\"exp\":\"{}\",\"smoke\":{smoke},\"cells\":{},\"hits\":{},\
+                             \"misses\":{},\"forced\":{},\"elapsed_ms\":{}}}",
+                            escape(&exp),
+                            rep.rows.len(),
+                            rep.hits,
+                            rep.misses,
+                            rep.forced,
+                            rep.elapsed.as_millis()
+                        ),
+                    ),
+                },
+            }
+        }
+        ("GET", _) => respond(&mut stream, "404 Not Found", &err_body("no such route")),
+        _ => respond(&mut stream, "405 Method Not Allowed", &err_body("GET or POST only")),
+    }
+}
+
+/// Parse `{"exp":"NAME"}` or `{"exp":"NAME","smoke":BOOL}` (either order).
+fn parse_run_body(body: &str) -> Result<(String, bool), String> {
+    let mut cur = Cursor::new(body);
+    cur.expect(b'{')?;
+    let mut exp = None;
+    let mut smoke = false;
+    loop {
+        let field = cur.string()?;
+        cur.expect(b':')?;
+        match field.as_str() {
+            "exp" => exp = Some(cur.string()?),
+            "smoke" => smoke = cur.boolean()?,
+            other => return Err(format!("unknown field '{other}'")),
+        }
+        if !cur.eat(b',') {
+            break;
+        }
+    }
+    cur.expect(b'}')?;
+    Ok((exp.ok_or("missing \"exp\"")?, smoke))
+}
+
+fn status_body(service: &Service) -> String {
+    let store = service.store.lock().expect("store poisoned");
+    let segments = store.segments().map(|s| s.len()).unwrap_or(0);
+    let exps: Vec<String> = store
+        .experiments()
+        .into_iter()
+        .map(|(name, cells)| format!("{{\"name\":\"{}\",\"cells\":{cells}}}", escape(&name)))
+        .collect();
+    let serve = service.registry.histogram(Hist::ServeLatency);
+    format!(
+        "{{\"code\":\"{}\",\"stale\":{},\"cells\":{},\"segments\":{segments},\"torn\":{},\
+         \"experiments\":[{}],\"registered\":[{}],\"cache_hits\":{},\"cache_misses\":{},\
+         \"serve_mean_us\":{:.0}}}",
+        escape(store.code().as_str()),
+        store
+            .stale()
+            .map_or_else(|| "null".into(), |c| format!("\"{}\"", escape(c))),
+        store.len(),
+        store.torn(),
+        exps.join(","),
+        service
+            .names()
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect::<Vec<_>>()
+            .join(","),
+        service.registry.counter(Counter::CacheHits),
+        service.registry.counter(Counter::CacheMisses),
+        serve.mean(),
+    )
+}
+
+fn cells_body(service: &Service, exp: &str) -> String {
+    let store = service.store.lock().expect("store poisoned");
+    let cells: Vec<String> = store
+        .cells_for(exp)
+        .into_iter()
+        .map(|c| {
+            let plan = c
+                .plan
+                .as_deref()
+                .map_or_else(|| "null".into(), |p| format!("\"{}\"", escape(p)));
+            format!(
+                "{{\"key\":\"{}\",\"domain\":\"{}\",\"index\":{},\"params\":\"{}\",\
+                 \"plan\":{plan},\"payload\":{}}}",
+                escape(&c.key),
+                escape(&c.domain),
+                c.index,
+                escape(&c.params),
+                encode_rows(&c.rows)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"exp\":\"{}\",\"count\":{},\"cells\":[{}]}}",
+        escape(exp),
+        cells.len(),
+        cells.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_body_parses_both_orders_and_rejects_junk() {
+        assert_eq!(
+            parse_run_body("{\"exp\":\"t\",\"smoke\":true}").unwrap(),
+            ("t".into(), true)
+        );
+        assert_eq!(
+            parse_run_body("{\"smoke\":false,\"exp\":\"t\"}").unwrap(),
+            ("t".into(), false)
+        );
+        assert_eq!(parse_run_body("{\"exp\":\"t\"}").unwrap(), ("t".into(), false));
+        assert!(parse_run_body("{\"smoke\":true}").is_err());
+        assert!(parse_run_body("not json").is_err());
+        assert!(parse_run_body("{\"exp\":\"t\",\"extra\":1}").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # bvl-lab — the content-addressed experiment service
+//!
+//! The `exp_*` binaries regenerate deterministic `(simulator × params ×
+//! seed)` grids; before this crate every invocation recomputed the whole
+//! grid. `bvl-lab` turns those grids into a **re-queryable result
+//! database** — the shape in which experimental-methodology papers
+//! (Gerbessiotis–Siniolakis' BSP sorting study, Ezhova's BSF
+//! verification) present exactly this kind of parameter sweep — and the
+//! batching/caching/serving layer the ROADMAP's production north star
+//! needs.
+//!
+//! Three layers, one module each:
+//!
+//! * [`fingerprint`] — stable content addresses: a cell is keyed by the
+//!   canonical run options, the domain point, the fault-plan line, and a
+//!   code fingerprint (public-API inventory + crate version), so results
+//!   survive restarts but never outlive the code that produced them.
+//! * [`store`] — the crash-safe persistent store: append-only JSONL
+//!   segments, in-memory index, atomic compaction, stale-generation
+//!   invalidation.
+//! * [`scheduler`] — the incremental executor: partition a requested grid
+//!   into hits and misses, compute only the misses (rayon, with the same
+//!   per-`(domain, index)` seeding as `bvl_bench::sweep`, so warm and
+//!   cold runs are bit-identical), journal each completion for resume.
+//! * [`http`] — the front end: a std-only HTTP/1.1 JSON endpoint
+//!   (`GET /cells`, `GET /status`, `POST /run`) over a bounded thread
+//!   pool, plus the [`http::Experiment`] registration trait the `lab` CLI
+//!   and the `exp_*` bins share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod http;
+pub mod jsonio;
+pub mod scheduler;
+pub mod store;
+
+pub use fingerprint::{cell_key, CodeFingerprint, Digest};
+pub use http::{serve, Experiment, Server, Service};
+pub use scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
+pub use store::{Cell, GcReport, OnStale, Store};

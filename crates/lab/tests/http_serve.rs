@@ -1,0 +1,142 @@
+//! Front-end integration: the HTTP endpoint under concurrent clients.
+//!
+//! Acceptance floor (ISSUE 5): the endpoint must serve ≥ 8 concurrent
+//! `query` clients correctly. The test registers a synthetic experiment,
+//! warms its grid through `POST /run`, then fires 8 client threads × 4
+//! requests each at `GET /cells` / `GET /status` and checks every
+//! response is complete and consistent.
+
+use bvl_lab::{serve, CellSpec, CodeFingerprint, Experiment, GridSpec, Job, OnStale, Service, Store};
+use bvl_obs::Registry;
+use rand::RngCore;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Square;
+
+impl Experiment for Square {
+    fn name(&self) -> &str {
+        "square"
+    }
+
+    fn grids(&self, smoke: bool) -> Vec<GridSpec> {
+        let n = if smoke { 4 } else { 16 };
+        let mut g = GridSpec::new("square", 7);
+        for i in 0..n {
+            g = g.cell(CellSpec::new("square-cells", i, format!("i={i}")));
+        }
+        vec![g]
+    }
+
+    fn run_cell(&self, cell: &CellSpec, mut job: Job) -> Vec<Vec<String>> {
+        vec![vec![
+            cell.params.clone(),
+            (job.index * job.index).to_string(),
+            job.rng.next_u64().to_string(),
+        ]]
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bvl-lab-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns (status, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lab\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("")
+        .to_string();
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn http_serves_eight_concurrent_query_clients() {
+    let dir = tmpdir("concurrent");
+    let code = CodeFingerprint::from_parts("http-test-api", "0");
+    let store = Store::open(&dir, code, OnStale::Error).unwrap();
+    let service = Arc::new(Service::new(store, Registry::enabled(1), vec![Box::new(Square)]));
+    // 4 workers < 8 clients: the bounded pool must queue, not drop.
+    let server = serve("127.0.0.1:0", Arc::clone(&service), 4).unwrap();
+    let addr = server.addr();
+
+    // Warm the grid over the wire.
+    let (status, body) = request(addr, "POST", "/run", "{\"exp\":\"square\"}");
+    assert_eq!(status, "200", "POST /run failed: {body}");
+    assert!(body.contains("\"hits\":0") && body.contains("\"misses\":16"), "{body}");
+
+    // A second run is incremental: all hits.
+    let (status, body) = request(addr, "POST", "/run", "{\"exp\":\"square\",\"smoke\":false}");
+    assert_eq!(status, "200");
+    assert!(body.contains("\"hits\":16") && body.contains("\"misses\":0"), "{body}");
+
+    // 8 concurrent clients, 4 requests each, mixing /cells and /status.
+    let reference = request(addr, "GET", "/cells?exp=square", "").1;
+    assert!(reference.contains("\"count\":16"), "{reference}");
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    if (client + round) % 2 == 0 {
+                        let (status, body) = request(addr, "GET", "/cells?exp=square", "");
+                        assert_eq!(status, "200", "client {client} round {round}");
+                        assert_eq!(&body, reference, "client {client} saw a different payload");
+                    } else {
+                        let (status, body) = request(addr, "GET", "/status", "");
+                        assert_eq!(status, "200", "client {client} round {round}");
+                        assert!(body.contains("\"cells\":16"), "{body}");
+                        assert!(body.contains("\"stale\":null"), "{body}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Error paths stay well-formed under the same pool.
+    assert_eq!(request(addr, "GET", "/nope", "").0, "404");
+    assert_eq!(request(addr, "GET", "/cells", "").0, "400");
+    assert_eq!(request(addr, "PUT", "/run", "").0, "405");
+    assert_eq!(request(addr, "POST", "/run", "{\"exp\":\"unknown\"}").0, "400");
+    assert_eq!(request(addr, "POST", "/run", "garbage").0, "400");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_then_query_round_trips_payloads() {
+    let dir = tmpdir("roundtrip");
+    let code = CodeFingerprint::from_parts("http-test-api", "0");
+    let store = Store::open(&dir, code, OnStale::Error).unwrap();
+    let service = Arc::new(Service::new(store, Registry::disabled(), vec![Box::new(Square)]));
+    let rep = service.run("square", true).unwrap().unwrap();
+    assert_eq!(rep.rows.len(), 4);
+    let server = serve("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
+    let (status, body) = request(server.addr(), "GET", "/cells?exp=square", "");
+    assert_eq!(status, "200");
+    // Cell 3 of the smoke grid: params i=3, square 9, and its seeded draw.
+    assert!(body.contains("\"params\":\"i=3\""), "{body}");
+    assert!(body.contains(&format!("\"{}\"", rep.rows[3][0][1])), "{body}");
+    assert!(body.contains(&rep.rows[3][0][2]), "{body}");
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -41,11 +41,16 @@ pub enum Counter {
     /// Duplicate deliveries dropped at the input buffer (adversarial media
     /// replay a message; the engine deduplicates by message id).
     Duplicates,
+    /// Result-store cells served from cache (`bvl-lab` scheduler; recorded
+    /// on processor 0 — the service is not a per-processor machine).
+    CacheHits,
+    /// Result-store cells that had to be computed (`bvl-lab` scheduler).
+    CacheMisses,
 }
 
 impl Counter {
     /// Every counter, for iteration in reports.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 9] = [
         Counter::Submitted,
         Counter::Delivered,
         Counter::Acquired,
@@ -53,6 +58,8 @@ impl Counter {
         Counter::StallSteps,
         Counter::LocalOps,
         Counter::Duplicates,
+        Counter::CacheHits,
+        Counter::CacheMisses,
     ];
 
     /// Stable snake_case label.
@@ -65,6 +72,8 @@ impl Counter {
             Counter::StallSteps => "stall_steps",
             Counter::LocalOps => "local_ops",
             Counter::Duplicates => "duplicates",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
         }
     }
 
@@ -80,6 +89,8 @@ impl Counter {
             Counter::StallSteps => 4,
             Counter::LocalOps => 5,
             Counter::Duplicates => 6,
+            Counter::CacheHits => 7,
+            Counter::CacheMisses => 8,
         }
     }
 }
@@ -95,15 +106,23 @@ pub enum Hist {
     BarrierWait,
     /// Total cost of each superstep.
     SuperstepCost,
+    /// Wall-clock microseconds spent computing one result-store cell miss
+    /// (`bvl-lab` scheduler).
+    CellCompute,
+    /// Wall-clock microseconds spent serving one HTTP request (`bvl-lab`
+    /// front end).
+    ServeLatency,
 }
 
 impl Hist {
     /// Every histogram, for iteration in reports.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 6] = [
         Hist::DeliveryLatency,
         Hist::StallDuration,
         Hist::BarrierWait,
         Hist::SuperstepCost,
+        Hist::CellCompute,
+        Hist::ServeLatency,
     ];
 
     /// Stable snake_case label.
@@ -113,6 +132,8 @@ impl Hist {
             Hist::StallDuration => "stall_duration",
             Hist::BarrierWait => "barrier_wait",
             Hist::SuperstepCost => "superstep_cost",
+            Hist::CellCompute => "cell_compute_us",
+            Hist::ServeLatency => "serve_latency_us",
         }
     }
 
@@ -125,6 +146,8 @@ impl Hist {
             Hist::StallDuration => 1,
             Hist::BarrierWait => 2,
             Hist::SuperstepCost => 3,
+            Hist::CellCompute => 4,
+            Hist::ServeLatency => 5,
         }
     }
 }

@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# Engine-performance regression gate against the committed baseline.
+# Bench regression gates against the committed baselines.
 #
-# Re-runs `bench_engine` and compares it to BENCH_engine.json. Absolute
-# wall-clock is environment-dependent (the baseline records its own host),
-# so the gate is on *same-host relative* numbers: the bucket-timeline
-# speedup over the binary-heap timeline per workload, and the inline-vs-
-# spill payload ratio. Each must stay within 5% of the committed value
-# (lower bound only — getting faster is not a regression).
+# Gate 1 re-runs `bench_engine` and compares it to BENCH_engine.json.
+# Absolute wall-clock is environment-dependent (the baseline records its
+# own host), so the gate is on *same-host relative* numbers: the
+# bucket-timeline speedup over the binary-heap timeline per workload, and
+# the inline-vs-spill payload ratio. Each must stay within 5% of the
+# committed value (lower bound only — getting faster is not a regression).
+#
+# Gate 2 re-runs the `exp_faults` conformance matrix and compares it to
+# BENCH_faults.json *exactly*: verdicts, attempts, and clean/faulted step
+# counts are virtual-time quantities, so any drift is a behavior change,
+# not noise. The gate is skipped with a notice when no baseline is
+# committed.
 #
 # The committed BENCH_engine.json is restored afterwards; regenerating the
-# baseline itself is `scripts/regen_experiments.sh`'s job.
+# baselines themselves is `scripts/regen_experiments.sh`'s job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=$(mktemp)
+faults_work=""
 cp BENCH_engine.json "$baseline"
-restore() { cp "$baseline" BENCH_engine.json; rm -f "$baseline"; }
+restore() {
+    cp "$baseline" BENCH_engine.json
+    rm -f "$baseline"
+    if [[ -n "$faults_work" ]]; then rm -rf "$faults_work"; fi
+}
 trap restore EXIT
 
 cargo run -q --release -p bvl-bench --bin bench_engine >/dev/null
@@ -54,3 +65,58 @@ print(f'{"PASS" if ok else "FAIL"} payload: spill/inline ratio {c_ratio:.2f} '
 sys.exit(1 if fail else 0)
 PY
 echo "bench_engine regression gate: PASS (committed baseline restored)"
+
+if [[ ! -f BENCH_faults.json ]]; then
+    echo "notice: no committed BENCH_faults.json baseline; skipping fault-conformance gate"
+    exit 0
+fi
+
+# Run the full matrix in a scratch directory so the committed baseline and
+# any working-tree fault-repros.txt stay untouched. `exp_faults` writes its
+# JSON before exiting non-zero on failing cases, so the exact diff below
+# sees verdict flips either way.
+faults_work=$(mktemp -d)
+repo_root=$PWD
+(cd "$faults_work" && \
+    cargo run -q --release --manifest-path "$repo_root/Cargo.toml" \
+        -p bvl-bench --bin exp_faults >/dev/null 2>&1) || true
+
+python3 - "$faults_work/BENCH_faults.json" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+if not os.path.exists(path):
+    print("FAIL faults: exp_faults produced no BENCH_faults.json")
+    sys.exit(1)
+
+base = json.load(open("BENCH_faults.json"))
+cur = json.load(open(path))
+key = lambda r: (r["sim"], r["p"], r["h"], r["plan"])
+b = {key(r): r for r in base["rows"]}
+c = {key(r): r for r in cur["rows"]}
+
+fail = False
+for k in sorted(b.keys() | c.keys()):
+    name = "{}/p{}/h{}/{}".format(*k)
+    if k not in c:
+        print(f"FAIL faults/{name}: case missing from current run")
+        fail = True
+        continue
+    if k not in b:
+        print(f"FAIL faults/{name}: case absent from baseline")
+        fail = True
+        continue
+    diffs = [
+        f"{f} {b[k][f]} -> {c[k][f]}"
+        for f in ("clean", "faulted", "attempts", "ok")
+        if b[k][f] != c[k][f]
+    ]
+    if diffs:
+        print(f"FAIL faults/{name}: " + ", ".join(diffs))
+        fail = True
+
+if fail:
+    sys.exit(1)
+print(f"PASS faults: {len(b)} cases bit-identical to baseline")
+PY
+echo "exp_faults conformance gate: PASS (exact match)"
