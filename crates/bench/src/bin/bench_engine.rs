@@ -12,7 +12,14 @@
 //!   a spilled one. The spill path is the old representation (every payload
 //!   heap-allocated a `Vec`), so this is the message-layer before/after.
 //! * **sweep** — the `exp_table1`-style topology measurement job set run
-//!   through the sweep harness at 1 thread and at the host's parallelism.
+//!   through the sweep harness on a 1-thread rayon pool and on a pool sized
+//!   to the host. On a single-core host the parallel leg is skipped with a
+//!   notice (a parallel sweep cannot speed up there; pretending to measure
+//!   one reports noise as a slowdown).
+//! * **scaling** — the sharded engine's growth curve: single-shard wall
+//!   time of a fixed-rounds ring versus machine size `p` from 64 to 10⁶ by
+//!   decades, plus shards-vs-speedup rows at `p = 10⁵` (skipped with a
+//!   notice when the host has fewer than two cores).
 //!
 //! Wall-clock numbers are environment-dependent; the JSON records the host
 //! parallelism next to them. Run via `scripts/regen_experiments.sh` or:
@@ -21,12 +28,19 @@
 //! cargo run --release -p bvl-bench --bin bench_engine
 //! ```
 //!
+//! With `--smoke` the binary instead runs each benched workload traced at
+//! shard counts 1/2/4, byte-compares the traces, prints one PASS/FAIL line
+//! per workload, and exits non-zero on any divergence — the CI determinism
+//! gate, cheap enough for every push.
+//!
 //! If `CRITERION_JSONL` points at a `CRITERION_MINI_JSON` output file (the
 //! `event_queue` micro-bench writes one), its measurements are embedded
 //! under `"criterion"`.
 
 use bvl_bench::sweep::sweep;
-use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script, TimelineKind};
+use bvl_logp::{
+    LogpConfig, LogpMachine, LogpParams, LogpProcess, Op, ProcView, Script, TimelineKind,
+};
 use bvl_model::{Payload, ProcId, INLINE_WORDS};
 use bvl_net::{measure_parameters, Hypercube, MeshOfTrees, RouterConfig, Topology};
 use std::hint::black_box;
@@ -185,28 +199,188 @@ fn run_sweep() -> f64 {
     rep.elapsed.as_secs_f64() * 1e3
 }
 
+/// Best-of-3 sweep time on a dedicated rayon pool of `threads` workers.
+/// An explicit pool is the only honest way to vary thread count here:
+/// `RAYON_NUM_THREADS` is read once when the global pool first spins up,
+/// so setting it mid-process silently measures the same pool twice.
+fn sweep_in_pool(threads: usize) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    time_ms(3, || {
+        pool.install(|| {
+            black_box(run_sweep());
+        });
+    })
+}
+
 fn sweep_section() -> String {
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    std::env::set_var("RAYON_NUM_THREADS", "1");
-    let t1_ms = time_ms(3, || {
-        black_box(run_sweep());
-    });
-    std::env::set_var("RAYON_NUM_THREADS", host.to_string());
-    let tn_ms = time_ms(3, || {
-        black_box(run_sweep());
-    });
-    std::env::remove_var("RAYON_NUM_THREADS");
+    let jobs = sweep_jobs().len();
+    let t1_ms = sweep_in_pool(1);
+    if host < 2 {
+        eprintln!(
+            "sweep: {jobs} jobs, 1 thread {t1_ms:.1} ms; single-core host, parallel leg skipped"
+        );
+        return format!(
+            "  \"sweep\": {{\"jobs\": {jobs}, \"threads_1_ms\": {t1_ms:.3}, \"host_cpus\": {host}, \
+             \"skipped\": \"single-core host: a parallel sweep cannot speed up here\"}}"
+        );
+    }
+    let tn_ms = sweep_in_pool(host);
     let speedup = t1_ms / tn_ms;
     eprintln!(
-        "sweep: {} jobs, 1 thread {t1_ms:.1} ms, {host} threads {tn_ms:.1} ms, speedup {speedup:.2}x",
-        sweep_jobs().len()
+        "sweep: {jobs} jobs, 1 thread {t1_ms:.1} ms, {host} threads {tn_ms:.1} ms, speedup {speedup:.2}x"
     );
     format!(
-        "  \"sweep\": {{\"jobs\": {}, \"threads_1_ms\": {t1_ms:.3}, \"threads_n_ms\": {tn_ms:.3}, \
-         \"threads_n\": {host}, \"speedup\": {speedup:.3}, \"efficiency\": {:.3}}}",
-        sweep_jobs().len(),
+        "  \"sweep\": {{\"jobs\": {jobs}, \"threads_1_ms\": {t1_ms:.3}, \"threads_n_ms\": {tn_ms:.3}, \
+         \"threads_n\": {host}, \"host_cpus\": {host}, \"speedup\": {speedup:.3}, \"efficiency\": {:.3}}}",
         speedup / host as f64
     )
+}
+
+/// A ring participant with constant per-processor memory (one word of
+/// state, no op queue), so the scaling curve can reach p = 10⁶ without the
+/// `Script` representation dominating the footprint.
+struct RingProc {
+    next: ProcId,
+    rounds_left: u32,
+    recv_pending: bool,
+}
+
+impl LogpProcess for RingProc {
+    fn next_op(&mut self, _view: &ProcView) -> Op {
+        if self.recv_pending {
+            self.recv_pending = false;
+            return Op::Recv;
+        }
+        if self.rounds_left == 0 {
+            return Op::Halt;
+        }
+        self.rounds_left -= 1;
+        self.recv_pending = true;
+        Op::Send {
+            dst: self.next,
+            payload: Payload::word(0, 0),
+        }
+    }
+}
+
+/// Rounds per processor in the scaling-curve ring; total work is O(p · rounds).
+const SCALING_ROUNDS: u32 = 4;
+
+/// Wall time of one ring run at `p` processors under `shards` shards,
+/// excluding machine construction (the curve tracks engine throughput, not
+/// allocation).
+fn ring_time_ms(p: usize, shards: usize) -> f64 {
+    let params = LogpParams::new(p, 16, 1, 2).unwrap();
+    let config = LogpConfig {
+        shards,
+        ..LogpConfig::default()
+    };
+    let procs = (0..p)
+        .map(|i| RingProc {
+            next: ProcId(((i + 1) % p) as u32),
+            rounds_left: SCALING_ROUNDS,
+            recv_pending: false,
+        })
+        .collect();
+    let mut m = LogpMachine::with_config(params, config, procs);
+    let t0 = Instant::now();
+    black_box(m.run().unwrap().makespan.get());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn scaling_section() -> String {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    for &p in &[64usize, 1_000, 10_000, 100_000, 1_000_000] {
+        // Small machines are fast enough to repeat; the big ones are long
+        // enough that a single run is already stable.
+        let reps = if p <= 10_000 { 3 } else { 1 };
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            best = best.min(ring_time_ms(p, 1));
+        }
+        eprintln!("scaling/ring_x{SCALING_ROUNDS}: p = {p}, {best:.1} ms (1 shard)");
+        rows.push(format!("      {{\"p\": {p}, \"ms\": {best:.3}}}"));
+    }
+    let shard_json = if host >= 2 {
+        let p = 100_000;
+        let base = ring_time_ms(p, 1);
+        let mut srows = vec![format!(
+            "      {{\"shards\": 1, \"ms\": {base:.3}, \"speedup\": 1.0}}"
+        )];
+        for shards in [2usize, 4] {
+            let ms = ring_time_ms(p, shards);
+            eprintln!(
+                "scaling/shards: p = {p}, {shards} shards {ms:.1} ms, speedup {:.2}x",
+                base / ms
+            );
+            srows.push(format!(
+                "      {{\"shards\": {shards}, \"ms\": {ms:.3}, \"speedup\": {:.3}}}",
+                base / ms
+            ));
+        }
+        format!(
+            "\"shard_speedup\": {{\"p\": {p}, \"rows\": [\n{}\n    ]}}",
+            srows.join(",\n")
+        )
+    } else {
+        eprintln!("scaling/shards: single-core host, shard-speedup leg skipped");
+        format!(
+            "\"shard_speedup\": {{\"host_cpus\": {host}, \
+             \"skipped\": \"single-core host: shard speedup is not measurable here\"}}"
+        )
+    };
+    format!(
+        "  \"scaling\": {{\n    \"workload\": \"ring_x{SCALING_ROUNDS}\",\n    \
+         \"single_shard\": [\n{}\n    ],\n    {shard_json}\n  }}",
+        rows.join(",\n")
+    )
+}
+
+/// `--smoke`: the CI determinism gate. Each benched workload runs traced at
+/// shard counts 1, 2, and 4; the traces must be byte-identical.
+fn smoke() -> i32 {
+    let cases: Vec<(&str, usize, ScriptBuilder)> = vec![
+        ("ring_x32", 64, Box::new(|| ring_scripts(64, 32))),
+        ("hot_spot_stalling", 64, Box::new(|| hot_spot_scripts(64, 16))),
+        ("all_to_all", 64, Box::new(|| alltoall_scripts(64))),
+    ];
+    let mut failed = false;
+    for (name, p, build) in cases {
+        let run = |shards: usize| {
+            let params = LogpParams::new(p, 16, 1, 2).unwrap();
+            let config = LogpConfig {
+                shards,
+                ..LogpConfig::traced()
+            };
+            let mut m = LogpMachine::with_config(params, config, build());
+            let report = m.run().unwrap();
+            (report.makespan, format!("{:?}", m.trace().events()))
+        };
+        let (makespan, base) = run(1);
+        let ok = [2usize, 4].iter().all(|&s| {
+            let (mk, trace) = run(s);
+            mk == makespan && trace == base
+        });
+        println!(
+            "smoke/{name}: {}",
+            if ok {
+                "PASS"
+            } else {
+                "FAIL (trace diverged across shard counts 1/2/4)"
+            }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
 }
 
 fn criterion_section() -> Option<String> {
@@ -223,18 +397,23 @@ fn criterion_section() -> Option<String> {
 }
 
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut timeline = Vec::new();
     timeline_section(&mut timeline);
     let mut payload = Vec::new();
     payload_section(&mut payload);
     let sweep_json = sweep_section();
+    let scaling_json = scaling_section();
 
     let mut sections = vec![
         format!("  \"host_cpus\": {host}"),
         format!("  \"timeline\": [\n{}\n  ]", timeline.join(",\n")),
         format!("  \"payload\": [\n{}\n  ]", payload.join(",\n")),
         sweep_json,
+        scaling_json,
     ];
     if let Some(crit) = criterion_section() {
         sections.push(crit);

@@ -82,7 +82,7 @@ fn main() {
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
     let registry = Registry::enabled(params.p);
-    machine.instrument(&RunOptions::new().registry(&registry));
+    machine.instrument(&RunOptions::new().shards(bvl_obs::cli::shards()).registry(&registry));
     let rep = machine.run().expect("burst completes");
     obs::Summary::new("exp_anomalies")
         .kv("cell", "gap1_burst_L16")

@@ -120,7 +120,7 @@ fn main() {
     };
     let mut machine = LogpMachine::with_config(logp, config, scripts);
     let registry = Registry::enabled(16);
-    machine.instrument(&RunOptions::new().registry(&registry));
+    machine.instrument(&RunOptions::new().shards(bvl_obs::cli::shards()).registry(&registry));
     let rep = machine.run().expect("tenant completes");
     obs::Summary::new("exp_partition")
         .kv("cell", "logp_heavy_tenant_p16")

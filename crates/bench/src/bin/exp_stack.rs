@@ -64,7 +64,7 @@ fn run_topology<T: Topology + Clone + Send + 'static>(topo: T) {
     let l_hat = (measured.delta.round() as u64).max(g_hat);
     let params = LogpParams::new(p, l_hat, 1, g_hat).expect("measured params valid");
 
-    let opts = RunOptions::new().seed(SEED);
+    let opts = RunOptions::new().shards(bvl_obs::cli::shards()).seed(SEED);
 
     // 2. The abstract LogP account of the workload.
     let abstract_run = LogpSpec::new(params, ring(p))

@@ -81,7 +81,7 @@ fn main() {
         params,
         &rel,
         SortScheme::Columnsort,
-        &RunOptions::new().seed(3).registry(&registry),
+        &RunOptions::new().shards(bvl_obs::cli::shards()).seed(3).registry(&registry),
     )
     .expect("columnsort routes");
     obs::Summary::new("exp_xover")

@@ -165,7 +165,10 @@ pub mod sweep {
             .into_par_iter()
             .map(|(index, config)| {
                 let rng = seeds.derive(domain, index as u64);
-                f(config, Job { index, rng, opts: RunOptions::new() })
+                // Jobs inherit the process-wide `--shards` flag so sweep
+                // cells run on the sharded engines when requested.
+                let opts = RunOptions::new().shards(bvl_obs::cli::shards());
+                f(config, Job { index, rng, opts })
             })
             .collect();
         SweepReport {

@@ -4,9 +4,9 @@ use crate::cost::{CostLedger, SuperstepRecord};
 use crate::params::{BspConfig, BspParams};
 use crate::process::BspProcess;
 use crate::report::{BspReport, SuperstepProfile};
-use bvl_exec::{drive, Executor, Instruments, RunOptions, RunOutcome};
+use bvl_exec::{drive, Executor, Instruments, RunOptions, RunOutcome, ShardPlan};
 use bvl_model::trace::{Event, Trace};
-use bvl_model::{Envelope, ModelError, Payload, ProcId, Steps};
+use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
 use bvl_obs::{Counter, Hist, Span, SpanKind};
 
 /// Outcome of a completed run.
@@ -41,6 +41,7 @@ pub struct BspMachine<P: BspProcess> {
     instruments: Instruments,
     superstep: u64,
     threads: usize,
+    shards: usize,
 }
 
 impl<P: BspProcess> BspMachine<P> {
@@ -68,6 +69,7 @@ impl<P: BspProcess> BspMachine<P> {
             instruments: Instruments::new(config.trace),
             superstep: 0,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -75,6 +77,14 @@ impl<P: BspProcess> BspMachine<P> {
     /// and costs are identical for every `n`; see [`crate::parallel`].
     pub fn set_threads(&mut self, n: usize) {
         self.threads = n.max(1);
+    }
+
+    /// Fan the communication phase out over `n` destination-partitioned
+    /// worker shards (default 1). Message ids come from prefix sums over
+    /// the outboxes and per-inbox push order is preserved, so results and
+    /// traces are bit-identical for every `n` (DESIGN.md §13).
+    pub fn set_shards(&mut self, n: usize) {
+        self.shards = n.max(1);
     }
 
     /// The machine parameters.
@@ -99,6 +109,7 @@ impl<P: BspProcess> BspMachine<P> {
     pub fn instrument(&mut self, opts: &RunOptions) {
         self.instruments.apply(opts);
         self.threads = opts.threads.max(1);
+        self.shards = self.shards.max(opts.shards);
     }
 
     /// Per-processor statistics accumulated so far.
@@ -163,28 +174,35 @@ impl<P: BspProcess> BspMachine<P> {
         }
 
         // Communication phase: deterministic delivery order (sender id, then
-        // submission order at the sender).
-        for i in 0..p {
-            for (dst, payload) in self.outboxes[i].drain(..) {
-                recvd[dst.index()] += 1;
-                let id = self.instruments.alloc_msg_id();
-                let now = self.ledger.total();
-                let env = Envelope {
-                    id,
-                    src: ProcId::from(i),
-                    dst,
-                    payload,
-                    submitted: now,
-                    accepted: now,
-                    delivered: now,
-                };
-                self.instruments.trace.record(Event::Submit {
-                    at: now,
-                    proc: ProcId::from(i),
-                    msg: id,
-                    dst,
-                });
-                self.inboxes[dst.index()].push(env);
+        // submission order at the sender). With shards > 1 the destinations
+        // are partitioned across worker threads; prefix-summed message ids
+        // and the preserved per-inbox push order keep the outcome
+        // bit-identical to the sequential drain.
+        if self.shards > 1 && p >= 2 {
+            self.comm_phase_sharded(&mut recvd);
+        } else {
+            for i in 0..p {
+                for (dst, payload) in self.outboxes[i].drain(..) {
+                    recvd[dst.index()] += 1;
+                    let id = self.instruments.alloc_msg_id();
+                    let now = self.ledger.total();
+                    let env = Envelope {
+                        id,
+                        src: ProcId::from(i),
+                        dst,
+                        payload,
+                        submitted: now,
+                        accepted: now,
+                        delivered: now,
+                    };
+                    self.instruments.trace.record(Event::Submit {
+                        at: now,
+                        proc: ProcId::from(i),
+                        msg: id,
+                        dst,
+                    });
+                    self.inboxes[dst.index()].push(env);
+                }
             }
         }
 
@@ -221,6 +239,84 @@ impl<P: BspProcess> BspMachine<P> {
         }
         self.superstep += 1;
         Some(rec)
+    }
+
+    /// The destination-partitioned communication phase. Each worker shard
+    /// owns a contiguous block of inboxes, scans every outbox in (sender,
+    /// submission) order and keeps only messages bound for its block, so
+    /// each inbox receives exactly the sequence the sequential drain would
+    /// have pushed. Message ids are precomputed from prefix sums over the
+    /// outbox lengths — the id the sequential `alloc_msg_id` loop would
+    /// have allocated — and Submit events are traced in one sender-order
+    /// pass, so the trace, the ids and the inbox contents are all
+    /// bit-identical at any shard count.
+    fn comm_phase_sharded(&mut self, recvd: &mut [u64]) {
+        let p = self.params.p;
+        let plan = ShardPlan::new(p, self.shards);
+        let now = self.ledger.total();
+        let mut bases = Vec::with_capacity(p);
+        let mut total = 0u64;
+        for ob in &self.outboxes {
+            bases.push(total);
+            total += ob.len() as u64;
+        }
+        let first = self.instruments.alloc_msg_id_block(total).0;
+        if self.instruments.trace.is_enabled() {
+            for (i, ob) in self.outboxes.iter().enumerate() {
+                for (j, &(dst, _)) in ob.iter().enumerate() {
+                    self.instruments.trace.record(Event::Submit {
+                        at: now,
+                        proc: ProcId::from(i),
+                        msg: MsgId(first + bases[i] + j as u64),
+                        dst,
+                    });
+                }
+            }
+        }
+        let outboxes = &self.outboxes;
+        let bases = &bases;
+        let mut inbox_blocks: Vec<&mut [Vec<Envelope>]> = Vec::with_capacity(plan.shards());
+        let mut recvd_blocks: Vec<&mut [u64]> = Vec::with_capacity(plan.shards());
+        let mut inbox_rest: &mut [Vec<Envelope>] = &mut self.inboxes;
+        let mut recvd_rest: &mut [u64] = recvd;
+        for s in 0..plan.shards() {
+            let len = plan.range(s).len();
+            let (ib, it) = inbox_rest.split_at_mut(len);
+            let (rb, rt) = recvd_rest.split_at_mut(len);
+            inbox_blocks.push(ib);
+            recvd_blocks.push(rb);
+            inbox_rest = it;
+            recvd_rest = rt;
+        }
+        std::thread::scope(|scope| {
+            for (s, (inboxes, recvd)) in
+                inbox_blocks.into_iter().zip(recvd_blocks).enumerate()
+            {
+                let range = plan.range(s);
+                scope.spawn(move || {
+                    for (i, ob) in outboxes.iter().enumerate() {
+                        for (j, (dst, payload)) in ob.iter().enumerate() {
+                            let d = dst.index();
+                            if range.contains(&d) {
+                                recvd[d - range.start] += 1;
+                                inboxes[d - range.start].push(Envelope {
+                                    id: MsgId(first + bases[i] + j as u64),
+                                    src: ProcId::from(i),
+                                    dst: *dst,
+                                    payload: payload.clone(),
+                                    submitted: now,
+                                    accepted: now,
+                                    delivered: now,
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for ob in &mut self.outboxes {
+            ob.clear();
+        }
     }
 
     /// Feed the registry for one completed superstep (only called when the
@@ -441,6 +537,60 @@ mod tests {
         assert!(m.step().is_some());
         assert!(m.step().is_none());
         assert!(m.all_halted());
+    }
+
+    #[test]
+    fn sharded_comm_phase_is_bit_identical() {
+        // Dense, uneven traffic: every processor sends to several others,
+        // with message ids and delivery order observable through the trace.
+        let build = |shards: usize| {
+            let params = BspParams::new(12, 2, 8).unwrap();
+            let config = BspConfig {
+                trace: true,
+                ..BspConfig::default()
+            };
+            let procs: Vec<FnProcess<i64>> = (0..12)
+                .map(|_| {
+                    FnProcess::new(0i64, move |acc, ctx| {
+                        let p = ctx.p();
+                        let me = ctx.me().index();
+                        if ctx.superstep_index() > 0 {
+                            while let Some(m) = ctx.recv() {
+                                *acc = acc.wrapping_mul(131) + m.payload.expect_word()
+                                    + m.id.0 as i64;
+                            }
+                        }
+                        if ctx.superstep_index() < 4 {
+                            for q in 0..(me % 4) {
+                                let dst = ProcId::from((me * 5 + q * 3 + 1) % p);
+                                ctx.send(dst, Payload::word(0, (me * 100 + q) as i64));
+                            }
+                            Status::Continue
+                        } else {
+                            Status::Halt
+                        }
+                    })
+                })
+                .collect();
+            let mut m = BspMachine::with_config(params, config, procs);
+            m.set_shards(shards);
+            m
+        };
+        let mut solo = build(1);
+        let rep1 = solo.run(10).unwrap();
+        for shards in [2, 4, 5] {
+            let mut m = build(shards);
+            let rep = m.run(10).unwrap();
+            assert_eq!(rep.cost, rep1.cost);
+            assert_eq!(
+                format!("{:?}", m.trace().events()),
+                format!("{:?}", solo.trace().events()),
+                "trace diverged at {shards} shards"
+            );
+            for i in 0..12 {
+                assert_eq!(m.process(i).state(), solo.process(i).state());
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   fault-injection hook, carried by [`RunOptions::fault`]).
 //! * [`Phase`] — the shared same-instant event ordering
 //!   (deliver < submit < ready).
+//! * [`ShardPlan`] / [`Rendezvous`] — the partition and lock-step barrier
+//!   underneath the sharded big-`p` engines (DESIGN.md §13).
 //! * [`Stacked`] / [`RunStack`] — guest-over-host composition, the
 //!   paper's theorems as a combinator.
 
@@ -27,10 +29,12 @@ mod medium;
 mod options;
 mod outcome;
 mod phase;
+mod shard;
 mod stacked;
 
 pub use medium::{wrap_medium, Medium, WrapMedium};
 pub use options::{Instruments, RunOptions};
 pub use outcome::{drive, Executor, RunOutcome};
 pub use phase::Phase;
+pub use shard::{Rendezvous, ShardPlan};
 pub use stacked::{MediumGuest, RunStack, Stacked};

@@ -106,6 +106,17 @@ pub trait Medium {
     fn name(&self) -> &'static str {
         "medium"
     }
+
+    /// An independent replica of this medium for one shard of a sharded
+    /// engine, or `None` when the medium's behaviour depends on global
+    /// call-order state that cannot be partitioned (a routed network's
+    /// shared link clocks, say). Media whose per-message behaviour is a
+    /// pure function of the envelope, the clock, and the supplied RNG are
+    /// safely replicable; stateful ones return `None` and the engine falls
+    /// back to a single shard rather than silently diverging.
+    fn shard_replica(&self) -> Option<Box<dyn Medium + Send>> {
+        None
+    }
 }
 
 /// A medium decorator: wraps any transport in another (typically
@@ -175,7 +186,8 @@ mod tests {
         assert_eq!(m.delivery_time(&env(), Steps(3), &mut rng), Steps(7));
         assert_eq!(m.capacity(ProcId(1), Steps::ZERO), 1);
         assert_eq!(m.name(), "medium");
-        // Defaults: no duplication, no wake-ups.
+        // Defaults: no duplication, no wake-ups, no shard replicas.
+        assert!(m.shard_replica().is_none());
         assert!(!m.may_duplicate());
         assert!(m
             .duplicate_delivery(&env(), Steps(7), Steps(3), &mut rng)

@@ -37,6 +37,11 @@ pub struct RunOptions {
     pub registry: Registry,
     /// Worker threads for engines with a parallel local phase (BSP).
     pub threads: usize,
+    /// Shards for engines that partition the simulated machine itself
+    /// across worker threads (the big-`p` engines). Like `threads`, shard
+    /// count is determinism-invariant by contract: results and traces are
+    /// bit-identical at any shard count.
+    pub shards: usize,
     /// Virtual-clock offset: spans and derived times are reported relative
     /// to this base (used when a run is one phase of a larger simulation).
     pub clock_base: Steps,
@@ -57,6 +62,7 @@ impl Default for RunOptions {
             trace: false,
             registry: Registry::disabled(),
             threads: 1,
+            shards: 1,
             clock_base: Steps::ZERO,
             budget: None,
             fault: None,
@@ -95,6 +101,14 @@ impl RunOptions {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> RunOptions {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the shard count for engines that partition processor state
+    /// across worker threads.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> RunOptions {
+        self.shards = shards.max(1);
         self
     }
 
@@ -138,8 +152,9 @@ impl RunOptions {
     /// options values with equal canonical forms are behaviourally
     /// interchangeable; fields that only affect observability (the
     /// registry, whose spans never feed back into the simulation) are
-    /// deliberately excluded, and `threads` is excluded because every
-    /// engine's determinism contract makes results thread-count-invariant.
+    /// deliberately excluded, and `threads`/`shards` are excluded because
+    /// every engine's determinism contract makes results invariant under
+    /// both thread count and shard count.
     ///
     /// The format is a stable `k=v` list — append-only by construction
     /// (new fields must be added at the end with a `-` default so that old
@@ -160,11 +175,13 @@ impl RunOptions {
     /// everything else default. Phase drivers (CB passes, sorting rounds,
     /// routing cycles) run many short-lived machines whose registries,
     /// budgets and clock bases are managed by the driver itself — only the
-    /// adversary and the seed propagate down.
+    /// adversary, the seed, and the shard count propagate down (shards are
+    /// result-invariant, so propagating them is pure parallelism).
     pub fn subphase(&self) -> RunOptions {
         RunOptions {
             seed: self.seed,
             fault: self.fault.clone(),
+            shards: self.shards,
             ..RunOptions::default()
         }
     }
@@ -229,6 +246,17 @@ impl Instruments {
         self.next_msg_id += 1;
         id
     }
+
+    /// Reserve `n` consecutive ids at once, returning the first. Engines
+    /// that fan a batch out across worker shards use this with per-item
+    /// prefix sums so every item gets the id a sequential
+    /// [`Instruments::alloc_msg_id`] loop would have handed it.
+    #[inline]
+    pub fn alloc_msg_id_block(&mut self, n: u64) -> MsgId {
+        let id = MsgId(self.next_msg_id);
+        self.next_msg_id += n;
+        id
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +270,7 @@ mod tests {
         assert!(!opts.trace);
         assert!(!opts.registry.is_enabled());
         assert_eq!(opts.threads, 1);
+        assert_eq!(opts.shards, 1);
         assert_eq!(opts.clock_base, Steps::ZERO);
         assert_eq!(opts.budget_or(123), 123);
     }
@@ -264,6 +293,7 @@ mod tests {
     #[test]
     fn threads_clamp_to_one() {
         assert_eq!(RunOptions::new().threads(0).threads, 1);
+        assert_eq!(RunOptions::new().shards(0).shards, 1);
     }
 
     #[test]
@@ -278,11 +308,16 @@ mod tests {
                 "noop".into()
             }
         }
-        let opts = RunOptions::new().seed(5).traced().faults(Arc::new(Noop));
+        let opts = RunOptions::new()
+            .seed(5)
+            .traced()
+            .shards(4)
+            .faults(Arc::new(Noop));
         assert!(opts.faulted());
         let sub = opts.subphase();
         assert_eq!(sub.seed, 5);
         assert!(sub.faulted(), "the adversary propagates to sub-phases");
+        assert_eq!(sub.shards, 4, "shards propagate: pure parallelism");
         assert!(!sub.trace, "instrumentation does not");
         assert!(!RunOptions::new().faulted());
         // Debug must not choke on the trait object.
@@ -304,8 +339,9 @@ mod tests {
         // the cache key.
         let reg = Registry::enabled(4);
         assert_eq!(opts.clone().registry(&reg).canonical(), opts.canonical());
-        // Thread count is determinism-invariant by contract.
+        // Thread and shard counts are determinism-invariant by contract.
         assert_eq!(opts.clone().threads(8).canonical(), opts.canonical());
+        assert_eq!(opts.clone().shards(4).canonical(), opts.canonical());
     }
 
     #[test]

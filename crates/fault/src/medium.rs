@@ -1,11 +1,24 @@
 //! The adversarial medium: a [`FaultPlan`] interpreted over any inner
 //! [`Medium`].
 //!
-//! [`FaultMedium`] keeps its **own** ChaCha stream derived from the plan
-//! seed and forwards the machine's policy RNG to the inner medium
-//! untouched. That split is what makes clean-vs-faulted runs *differential*
-//! evidence: both legs see identical policy draws, so every divergence is
-//! attributable to the injected faults, not to RNG stream displacement.
+//! [`FaultMedium`] draws its randomness from **keyed** ChaCha streams
+//! derived from the plan seed and the identity of the message being
+//! faulted — never from the machine's policy RNG, which is forwarded to
+//! the inner medium untouched. That split is what makes clean-vs-faulted
+//! runs *differential* evidence: both legs see identical policy draws, so
+//! every divergence is attributable to the injected faults, not to RNG
+//! stream displacement.
+//!
+//! Keying by message identity (rather than drawing from one sequential
+//! stream) also makes the fault decisions independent of *call order*:
+//! any shard of a sharded engine computes the same jitter, the same
+//! reorder roll and the same duplicate lag for a given message, so a
+//! faulted run stays bit-identical at any shard count (DESIGN.md §13).
+//! For the same reason the `dup=every` counter is kept **per
+//! destination**: each destination is owned by exactly one shard and its
+//! acceptances happen in one canonical order, so "every n-th message
+//! *to this destination*" is a shard-invariant notion where a global
+//! "every n-th acceptance anywhere" is not.
 //!
 //! [`FaultPlan`] implements [`WrapMedium`], so the whole thing is wired
 //! through [`bvl_exec::RunOptions::faults`] — any machine, router or
@@ -22,22 +35,40 @@ use rand_chacha::ChaCha8Rng;
 pub struct FaultMedium {
     inner: Box<dyn Medium + Send>,
     plan: FaultPlan,
-    /// The plan's private stream — never the machine's policy stream.
-    rng: ChaCha8Rng,
-    /// Messages scheduled so far (drives `dup=every`).
-    accepted: u64,
+    /// Root of the plan's private keyed streams — never the machine's
+    /// policy stream.
+    stream: SeedStream,
+    /// Per-destination acceptance counts (drive `dup=every`), grown on
+    /// demand. Shard replicas start empty: a destination's count only
+    /// ever advances on the shard that owns it.
+    accepted: Vec<u64>,
 }
 
 impl FaultMedium {
     /// Decorate `inner` with `plan`.
     pub fn new(inner: Box<dyn Medium + Send>, plan: FaultPlan) -> FaultMedium {
-        let rng = SeedStream::new(plan.seed).derive("fault-medium", 0);
+        let stream = SeedStream::new(plan.seed);
         FaultMedium {
             inner,
             plan,
-            rng,
-            accepted: 0,
+            stream,
+            accepted: Vec::new(),
         }
+    }
+
+    /// The keyed stream for one faulting decision about one message.
+    ///
+    /// The lane mixes the message id with the decision instant so that
+    /// unit-style callers reusing an id across instants still see fresh
+    /// draws; within a run the pair is unique per decision, and it is the
+    /// same pair on every shard.
+    fn msg_rng(&self, domain: &str, env: &Envelope, now: Steps) -> ChaCha8Rng {
+        let lane = env
+            .id
+            .0
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(now.get());
+        self.stream.derive(domain, lane)
     }
 }
 
@@ -62,18 +93,19 @@ impl Medium for FaultMedium {
         // Work on the inner delay so Degrade multiplies the real latency,
         // not an already-jittered one plus `now`.
         let mut delay = base.get().saturating_sub(now.get()).max(1);
+        let mut draws = self.msg_rng("fault-delay", env, now);
         for i in 0..self.plan.faults.len() {
             match self.plan.faults[i] {
                 Fault::Jitter(Dist::Uniform(max)) if max > 0 => {
-                    delay += self.rng.gen_range(0..=max);
+                    delay += draws.gen_range(0..=max);
                 }
                 Fault::Jitter(Dist::Fixed(n)) => delay += n,
                 // Stretch by up to the base latency: enough for this
                 // message to land after traffic submitted later.
                 Fault::Reorder { pct }
-                    if pct > 0 && self.rng.gen_range(0..100u64) < u64::from(pct) =>
+                    if pct > 0 && draws.gen_range(0..100u64) < u64::from(pct) =>
                 {
-                    delay += self.rng.gen_range(1..=delay);
+                    delay += draws.gen_range(1..=delay);
                 }
                 Fault::Degrade { at_step, factor } if now.get() >= at_step => {
                     delay = delay.saturating_mul(factor);
@@ -94,14 +126,18 @@ impl Medium for FaultMedium {
         if let Some(t) = self.inner.duplicate_delivery(env, scheduled, now, rng) {
             return Some(t);
         }
-        self.accepted += 1;
+        let d = env.dst.index();
+        if d >= self.accepted.len() {
+            self.accepted.resize(d + 1, 0);
+        }
+        self.accepted[d] += 1;
         for f in &self.plan.faults {
             if let Fault::Duplicate { every } = *f {
-                if self.accepted.is_multiple_of(every) {
+                if self.accepted[d].is_multiple_of(every) {
                     // The ghost copy trails the real one by a small lag so
                     // the two occupy (and release) in-transit slots at
                     // distinct instants.
-                    let lag = self.rng.gen_range(1..=4u64);
+                    let lag = self.msg_rng("fault-dup", env, now).gen_range(1..=4u64);
                     return Some(scheduled + Steps(lag));
                 }
             }
@@ -127,6 +163,19 @@ impl Medium for FaultMedium {
 
     fn name(&self) -> &'static str {
         "faulted"
+    }
+
+    fn shard_replica(&self) -> Option<Box<dyn Medium + Send>> {
+        // Replicable exactly when the inner medium is. All fault state is
+        // either keyed by message identity (the streams) or per-destination
+        // (the dup counters), so fresh replicas agree with a solo run.
+        let inner = self.inner.shard_replica()?;
+        Some(Box::new(FaultMedium {
+            inner,
+            plan: self.plan.clone(),
+            stream: self.stream.clone(),
+            accepted: Vec::new(),
+        }))
     }
 }
 
@@ -157,11 +206,18 @@ mod tests {
         fn name(&self) -> &'static str {
             "base"
         }
+        fn shard_replica(&self) -> Option<Box<dyn Medium + Send>> {
+            Some(Box::new(Base))
+        }
     }
 
     fn env() -> Envelope {
+        env_id(0)
+    }
+
+    fn env_id(id: u64) -> Envelope {
         Envelope {
-            id: MsgId(0),
+            id: MsgId(id),
             src: ProcId(0),
             dst: ProcId(1),
             payload: Payload::word(0, 1),
@@ -211,13 +267,34 @@ mod tests {
             let mut m = faulted(FaultPlan::new(seed).jitter_uniform(6));
             let mut rng = zero_rng();
             (0..32)
-                .map(|i| m.delivery_time(&env(), Steps(i * 10), &mut rng).get() - i * 10)
+                .map(|i| m.delivery_time(&env_id(i), Steps(i * 10), &mut rng).get() - i * 10)
                 .collect()
         };
         let a = sample(9);
         assert_eq!(a, sample(9), "same plan seed, same jitter sequence");
         assert!(a.iter().all(|&d| (8..=14).contains(&d)), "{a:?}");
         assert_ne!(a, sample(10), "different plan seed, different jitter");
+    }
+
+    #[test]
+    fn jitter_is_keyed_by_message_not_call_order() {
+        // The draws for a message depend only on (id, instant) — replaying
+        // the same decisions in any order, or on a fresh replica, yields
+        // the same delays. This is the shard-invariance property.
+        let plan = FaultPlan::new(9).jitter_uniform(6).reorder(40);
+        let mut fwd = faulted(plan.clone());
+        let mut rev = faulted(plan);
+        let mut rng = zero_rng();
+        let forward: Vec<Steps> = (0..16)
+            .map(|i| fwd.delivery_time(&env_id(i), Steps(i * 5), &mut rng))
+            .collect();
+        let backward: Vec<Steps> = (0..16)
+            .rev()
+            .map(|i| rev.delivery_time(&env_id(i), Steps(i * 5), &mut rng))
+            .collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
     }
 
     #[test]
@@ -250,21 +327,28 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_every_nth_with_trailing_lag() {
+    fn duplicate_every_nth_per_destination_with_trailing_lag() {
         let mut m = faulted(FaultPlan::new(1).duplicate(3));
         assert!(m.may_duplicate());
         let mut rng = zero_rng();
         let mut dups = 0;
         for i in 0..9 {
             let t = Steps(i * 10);
-            let sched = m.delivery_time(&env(), t, &mut rng);
-            if let Some(extra) = m.duplicate_delivery(&env(), sched, t, &mut rng) {
+            let e = env_id(i);
+            let sched = m.delivery_time(&e, t, &mut rng);
+            if let Some(extra) = m.duplicate_delivery(&e, sched, t, &mut rng) {
                 assert!(extra > sched, "copy trails the original");
                 assert!(extra <= sched + Steps(4));
                 dups += 1;
             }
         }
-        assert_eq!(dups, 3, "exactly every 3rd message duplicated");
+        assert_eq!(dups, 3, "exactly every 3rd message to the destination");
+        // A different destination has its own counter.
+        let mut other = env_id(100);
+        other.dst = ProcId(2);
+        assert!(m.duplicate_delivery(&other, Steps(8), Steps(0), &mut rng).is_none());
+        assert!(m.duplicate_delivery(&other, Steps(8), Steps(0), &mut rng).is_none());
+        assert!(m.duplicate_delivery(&other, Steps(8), Steps(0), &mut rng).is_some());
     }
 
     #[test]
@@ -287,10 +371,31 @@ mod tests {
         let mut m = faulted(FaultPlan::new(4).jitter_uniform(9).reorder(50).duplicate(2));
         for i in 0..8 {
             let t = Steps(i * 10);
-            let sched = m.delivery_time(&env(), t, &mut rng);
-            let _ = m.duplicate_delivery(&env(), sched, t, &mut rng);
+            let e = env_id(i);
+            let sched = m.delivery_time(&e, t, &mut rng);
+            let _ = m.duplicate_delivery(&e, sched, t, &mut rng);
         }
         assert_eq!(rng.0, 0, "policy stream drawn {} times by the fault layer", rng.0);
+    }
+
+    #[test]
+    fn replica_agrees_with_original() {
+        let mut m = faulted(FaultPlan::new(6).jitter_uniform(5).duplicate(2));
+        let mut r = m.shard_replica().expect("Base is replicable");
+        let mut rng = zero_rng();
+        for i in 0..6 {
+            let t = Steps(i * 7);
+            let e = env_id(i);
+            assert_eq!(
+                m.delivery_time(&e, t, &mut rng),
+                r.delivery_time(&e, t, &mut rng)
+            );
+            let sched = Steps(t.get() + 8);
+            assert_eq!(
+                m.duplicate_delivery(&e, sched, t, &mut rng),
+                r.duplicate_delivery(&e, sched, t, &mut rng)
+            );
+        }
     }
 
     #[test]

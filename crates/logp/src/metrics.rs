@@ -5,7 +5,7 @@ use bvl_model::Steps;
 use bvl_obs::CostReport;
 
 /// Per-processor execution statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// CPU time spent on local operations and message overheads.
     pub busy: Steps,

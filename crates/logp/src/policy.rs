@@ -75,6 +75,12 @@ impl Medium for PolicyMedium {
     fn name(&self) -> &'static str {
         "logp"
     }
+
+    fn shard_replica(&self) -> Option<Box<dyn Medium + Send>> {
+        // Stateless apart from `Copy` parameters: every shard can carry its
+        // own copy and the per-destination behaviour is unchanged.
+        Some(Box::new(*self))
+    }
 }
 
 /// The order in which pending (submitted, unaccepted) messages for a
@@ -110,6 +116,10 @@ pub struct LogpConfig {
     /// `BinaryHeap` produce bit-identical traces; the heap is kept for
     /// differential tests and benchmarks.
     pub timeline: TimelineKind,
+    /// Worker shards the simulated machine is partitioned across (see
+    /// DESIGN.md §13). Results and traces are bit-identical at any shard
+    /// count; 1 (the default) runs the whole machine on the calling thread.
+    pub shards: usize,
 }
 
 impl Default for LogpConfig {
@@ -122,6 +132,7 @@ impl Default for LogpConfig {
             max_events: 200_000_000,
             seed: 0,
             timeline: TimelineKind::default(),
+            shards: 1,
         }
     }
 }

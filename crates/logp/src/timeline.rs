@@ -33,6 +33,7 @@
 
 use bvl_exec::Phase;
 use bvl_model::Steps;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -88,6 +89,11 @@ struct Ring<T> {
     cursor: u64,
     /// Events currently stored in slots (the rest are in `overflow`).
     ring_len: usize,
+    /// Lower bound on the earliest occupied in-window instant (`u64::MAX`
+    /// when the ring is empty). Pushes tighten it; [`Ring::next_time`]
+    /// scans forward from it and parks it on what it finds, so repeated
+    /// elections cost amortized `O(1)` instead of a window scan each.
+    earliest: Cell<u64>,
     overflow: BinaryHeap<Reverse<Keyed<T>>>,
 }
 
@@ -103,6 +109,7 @@ impl<T> Ring<T> {
             mask: slots - 1,
             cursor: 0,
             ring_len: 0,
+            earliest: Cell::new(u64::MAX),
             overflow: BinaryHeap::new(),
         }
     }
@@ -118,6 +125,7 @@ impl<T> Ring<T> {
         if at - self.cursor < self.horizon() {
             self.slots[(at & self.mask) as usize][phase as usize].push_back(payload);
             self.ring_len += 1;
+            self.earliest.set(self.earliest.get().min(at));
         } else {
             self.overflow.push(Reverse(Keyed {
                 at,
@@ -139,6 +147,7 @@ impl<T> Ring<T> {
             let Reverse(ev) = self.overflow.pop().expect("peeked");
             self.slots[(ev.at & self.mask) as usize][ev.phase as usize].push_back(ev.payload);
             self.ring_len += 1;
+            self.earliest.set(self.earliest.get().min(ev.at));
         }
     }
 
@@ -161,6 +170,50 @@ impl<T> Ring<T> {
             self.cursor += 1;
             self.drain_overflow();
         }
+    }
+
+    /// Earliest queued instant, without advancing the cursor (the cursor
+    /// must stay put so same-instant pushes remain legal — see
+    /// [`Timeline::next_time`]).
+    fn next_time(&self) -> Option<u64> {
+        if self.ring_len > 0 {
+            let end = self.cursor + self.horizon();
+            // `earliest` is a lower bound (pushes tighten it, pops never
+            // invalidate a lower bound), so starting the scan there and
+            // parking it on the hit keeps repeated peeks near-free.
+            let mut t = self.earliest.get().max(self.cursor);
+            while t < end {
+                if self.slots[(t & self.mask) as usize]
+                    .iter()
+                    .any(|q| !q.is_empty())
+                {
+                    self.earliest.set(t);
+                    return Some(t);
+                }
+                t += 1;
+            }
+            unreachable!("ring_len > 0 but no event at or after `earliest`");
+        }
+        self.earliest.set(u64::MAX);
+        self.overflow.peek().map(|r| r.0.at)
+    }
+
+    fn advance_to(&mut self, at: u64) {
+        debug_assert!(at >= self.cursor, "advance into the past");
+        debug_assert!(
+            self.next_time().is_none_or(|t| t >= at),
+            "advance past a queued event"
+        );
+        self.cursor = at;
+        self.drain_overflow();
+    }
+
+    fn pop_at(&mut self, at: u64, phase: u8) -> Option<T> {
+        debug_assert_eq!(self.cursor, at, "pop_at before advance_to");
+        let slot = &mut self.slots[(at & self.mask) as usize];
+        let payload = slot[phase as usize].pop_front()?;
+        self.ring_len -= 1;
+        Some(payload)
     }
 }
 
@@ -232,6 +285,62 @@ impl<T> Timeline<T> {
                 .pop()
                 .map(|Reverse(ev)| (Steps(ev.at), Phase::from_u8(ev.phase), ev.payload)),
         }
+    }
+
+    /// The earliest queued instant, **without** consuming anything or
+    /// advancing the bucket cursor — so pushes at the returned instant
+    /// remain legal afterwards. The sharded engine uses this to elect the
+    /// next lock-step instant across shards.
+    pub fn next_time(&self) -> Option<Steps> {
+        if self.len == 0 {
+            return None;
+        }
+        match &self.imp {
+            Imp::Bucket(ring) => ring.next_time().map(Steps),
+            Imp::Heap(heap) => heap.peek().map(|r| Steps(r.0.at)),
+        }
+    }
+
+    /// Advance the clock to `at`, which must not skip past any queued
+    /// event (callers advance to [`Timeline::next_time`] or earlier).
+    /// A no-op for the heap; for the bucket ring it moves the cursor and
+    /// drains newly covered overflow events into their slots.
+    pub fn advance_to(&mut self, at: Steps) {
+        if let Imp::Bucket(ring) = &mut self.imp {
+            ring.advance_to(at.get());
+        }
+    }
+
+    /// Remove and return the earliest event at exactly instant `at` with
+    /// exactly phase `phase`, or `None` if there is none. Requires a prior
+    /// [`Timeline::advance_to`]`(at)` (bucket cursor parked at `at`); events
+    /// pushed at `(at, phase)` between calls are picked up in `seq` order,
+    /// exactly like [`Timeline::pop`] would.
+    ///
+    /// For the heap the check is against the *top* — so callers must drain
+    /// phases in ascending order within an instant and never leave a
+    /// lower-phase event queued at `at` when popping a higher phase (the
+    /// sharded engine's sub-phase discipline guarantees this; the bucket
+    /// ring pops per-phase queues directly and has no such sensitivity,
+    /// which is exactly why both impls agree under that discipline).
+    pub fn pop_at(&mut self, at: Steps, phase: Phase) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let popped = match &mut self.imp {
+            Imp::Bucket(ring) => ring.pop_at(at.get(), phase.as_u8()),
+            Imp::Heap(heap) => {
+                let top = heap.peek()?;
+                if top.0.at == at.get() && top.0.phase == phase.as_u8() {
+                    heap.pop().map(|Reverse(ev)| ev.payload)
+                } else {
+                    None
+                }
+            }
+        };
+        popped.inspect(|_| {
+            self.len -= 1;
+        })
     }
 }
 
@@ -347,6 +456,63 @@ mod tests {
         assert_eq!(t.pop(), Some((Steps(10), Phase::Submit, "same-instant-submit")));
         assert_eq!(t.pop(), Some((Steps(10), Phase::Ready, "same-instant-ready")));
         assert_eq!(t.pop(), Some((Steps(11), Phase::Deliver, "later")));
+    }
+
+    #[test]
+    fn next_time_is_non_mutating_and_agrees_across_impls() {
+        for kind in [TimelineKind::Bucket, TimelineKind::BinaryHeap] {
+            let mut t = Timeline::new(kind, 4);
+            assert_eq!(t.next_time(), None);
+            t.push(Steps(7), Phase::Ready, "r");
+            t.push(Steps(500), Phase::Deliver, "overflow");
+            assert_eq!(t.next_time(), Some(Steps(7)));
+            assert_eq!(t.next_time(), Some(Steps(7)), "peek twice is safe");
+            // The cursor did not advance: a push at an earlier instant than
+            // the peeked time must still be legal.
+            t.push(Steps(5), Phase::Submit, "earlier");
+            assert_eq!(t.next_time(), Some(Steps(5)));
+            assert_eq!(t.pop(), Some((Steps(5), Phase::Submit, "earlier")));
+            assert_eq!(t.next_time(), Some(Steps(7)));
+        }
+    }
+
+    #[test]
+    fn pop_at_filters_by_instant_and_phase() {
+        for kind in [TimelineKind::Bucket, TimelineKind::BinaryHeap] {
+            let mut t = Timeline::new(kind, 8);
+            t.push(Steps(3), Phase::Deliver, "d");
+            t.push(Steps(3), Phase::Submit, "s");
+            t.push(Steps(3), Phase::Ready, "r");
+            t.push(Steps(4), Phase::Deliver, "next-instant");
+            t.advance_to(Steps(3));
+            // Exact-phase pops drain the instant one sub-phase at a time.
+            assert_eq!(t.pop_at(Steps(3), Phase::Deliver), Some("d"));
+            assert_eq!(t.pop_at(Steps(3), Phase::Deliver), None);
+            assert_eq!(t.pop_at(Steps(3), Phase::Submit), Some("s"));
+            // Same-instant push during processing is picked up.
+            t.push(Steps(3), Phase::Ready, "r2");
+            assert_eq!(t.pop_at(Steps(3), Phase::Ready), Some("r"));
+            assert_eq!(t.pop_at(Steps(3), Phase::Ready), Some("r2"));
+            // The instant is exhausted; t=4 is untouched.
+            assert_eq!(t.pop_at(Steps(3), Phase::Ready), None);
+            assert_eq!(t.len(), 1);
+            t.advance_to(Steps(4));
+            assert_eq!(t.pop_at(Steps(4), Phase::Deliver), Some("next-instant"));
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn advance_to_drains_overflow_for_pop_at() {
+        // Tiny window (hint 2 -> 8 slots): an event 100 ahead sits in the
+        // overflow heap until advance_to covers its instant.
+        let mut t = Timeline::new(TimelineKind::Bucket, 2);
+        t.push(Steps(100), Phase::Submit, "far");
+        assert_eq!(t.next_time(), Some(Steps(100)));
+        t.advance_to(Steps(100));
+        assert_eq!(t.pop_at(Steps(100), Phase::Submit), Some("far"));
+        assert!(t.is_empty());
+        assert_eq!(t.pop_at(Steps(100), Phase::Submit), None);
     }
 
     #[test]

@@ -68,7 +68,17 @@ impl Payload {
 
     /// A payload carrying a slice of words.
     pub fn words(tag: u32, ws: &[Word]) -> Payload {
-        if ws.len() <= INLINE_WORDS {
+        if let Ok(words) = <[Word; INLINE_WORDS]>::try_from(ws) {
+            // Full-width bodies take a fixed-size copy (one vector load on
+            // the targets that matter) instead of a variable-length memcpy.
+            Payload {
+                tag,
+                repr: Repr::Inline {
+                    len: INLINE_WORDS as u8,
+                    words,
+                },
+            }
+        } else if ws.len() <= INLINE_WORDS {
             let mut words = [0; INLINE_WORDS];
             words[..ws.len()].copy_from_slice(ws);
             Payload {

@@ -73,6 +73,21 @@ impl Accumulator {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Fold another accumulator into this one, as if every sample pushed
+    /// into `other` had been pushed here. For integer-valued samples below
+    /// 2⁵³ (all of the workspace's virtual-time latencies) the sums are
+    /// exact, so the merged summary is independent of both merge order and
+    /// the original partition — the property the sharded engines rely on
+    /// to keep per-shard latency accounting bit-identical to a single
+    /// shard's.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Least-squares fit of `y = slope * x + intercept`.
@@ -155,6 +170,40 @@ mod tests {
         assert!((a.variance() - 1.25).abs() < 1e-12);
         assert_eq!(a.min(), 1.0);
         assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream_for_integer_samples() {
+        let samples: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 19) as f64).collect();
+        let mut whole = Accumulator::new();
+        for &x in &samples {
+            whole.push(x);
+        }
+        // Any partition, merged in any order, reproduces the single stream
+        // bit for bit (integer-valued samples keep the sums exact).
+        for split in [1usize, 5, 16, 31] {
+            let (a, b) = samples.split_at(split);
+            let mut left = Accumulator::new();
+            let mut right = Accumulator::new();
+            a.iter().for_each(|&x| left.push(x));
+            b.iter().for_each(|&x| right.push(x));
+            let mut fwd = left.clone();
+            fwd.merge(&right);
+            let mut rev = right.clone();
+            rev.merge(&left);
+            for m in [&fwd, &rev] {
+                assert_eq!(m.count(), whole.count());
+                assert_eq!(m.mean().to_bits(), whole.mean().to_bits());
+                assert_eq!(m.variance().to_bits(), whole.variance().to_bits());
+                assert_eq!(m.min(), whole.min());
+                assert_eq!(m.max(), whole.max());
+            }
+        }
+        // Merging an empty accumulator is the identity.
+        let mut id = whole.clone();
+        id.merge(&Accumulator::new());
+        assert_eq!(id.mean().to_bits(), whole.mean().to_bits());
+        assert_eq!(id.count(), whole.count());
     }
 
     #[test]

@@ -7,6 +7,11 @@
 # bucket-timeline speedup over the binary-heap timeline per workload, and
 # the inline-vs-spill payload ratio. Each must stay within 5% of the
 # committed value (lower bound only — getting faster is not a regression).
+# The `scaling` block is gated structurally: every baseline `p` row must
+# still be present and complete under 60 s, and the small-`p` rows
+# (p <= 10^4, which are stable) must stay within 3x of baseline — large-`p`
+# wall clock swings 2-4x with host noise, so only completion is gated
+# there.
 #
 # Gate 2 re-runs the `exp_faults` conformance matrix and compares it to
 # BENCH_faults.json *exactly*: verdicts, attempts, and clean/faulted step
@@ -61,6 +66,26 @@ ok = c_ratio >= limit
 fail |= not ok
 print(f'{"PASS" if ok else "FAIL"} payload: spill/inline ratio {c_ratio:.2f} '
       f'vs baseline {b_ratio:.2f} (floor {limit:.2f})')
+
+if "scaling" in base:
+    SMALL_P, SMALL_TOL, BUDGET_MS = 10_000, 3.0, 60_000.0
+    b_rows = {row["p"]: row["ms"] for row in base["scaling"]["single_shard"]}
+    c_rows = {row["p"]: row["ms"] for row in cur.get("scaling", {}).get("single_shard", [])}
+    for p in sorted(b_rows):
+        if p not in c_rows:
+            print(f"FAIL scaling/p={p}: row missing from current run")
+            fail = True
+            continue
+        ms = c_rows[p]
+        if ms > BUDGET_MS:
+            print(f"FAIL scaling/p={p}: {ms:.0f} ms exceeds the {BUDGET_MS:.0f} ms budget")
+            fail = True
+        elif p <= SMALL_P and ms > b_rows[p] * SMALL_TOL:
+            print(f"FAIL scaling/p={p}: {ms:.2f} ms vs baseline {b_rows[p]:.2f} ms "
+                  f"(ceiling {SMALL_TOL:.0f}x)")
+            fail = True
+        else:
+            print(f"PASS scaling/p={p}: {ms:.2f} ms (baseline {b_rows[p]:.2f} ms)")
 
 sys.exit(1 if fail else 0)
 PY

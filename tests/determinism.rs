@@ -48,7 +48,10 @@ fn logp_runs_are_seed_deterministic_under_random_policies() {
         };
         let mut m = LogpMachine::with_config(params, config, traffic(12, 4));
         let r = m.run().unwrap();
-        (r.makespan, r.total_stall, r.delivered)
+        // The latency mean is the most draw-sensitive observable: coarse
+        // aggregates (makespan, stalls) can coincide on a drain-paced,
+        // stall-free workload even when the delivery draws differ.
+        (r.makespan, r.total_stall, r.delivered, r.latency.mean().to_bits())
     };
     assert_eq!(run(42), run(42));
     // And different seeds genuinely explore different schedules.

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -20,14 +21,89 @@ pub mod prelude {
     pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
 }
 
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`], if any. The shim
+    /// has no persistent worker threads, so a "pool" reduces to the number
+    /// of scoped workers `par_map` spawns on the installing thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// Number of worker threads a parallel operation will use.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
     match std::env::var("RAYON_NUM_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
             _ => default_threads(),
         },
         Err(_) => default_threads(),
+    }
+}
+
+/// A fixed-size thread pool, mirroring `rayon::ThreadPool`. The shim keeps
+/// no resident workers; the pool only pins the worker count that parallel
+/// operations inside [`install`](ThreadPool::install) will use.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing any parallel
+    /// operations it performs, restoring the previous setting afterwards.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let out = f();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The number of worker threads this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder for [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+/// Error from [`ThreadPoolBuilder::build`] — never produced by the shim,
+/// kept so call sites match the real crate's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (host-parallelism worker count).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count; `0` means the host default, as in rayon.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: match self.threads {
+                Some(n) if n > 0 => n,
+                _ => default_threads(),
+            },
+        })
     }
 }
 
@@ -193,5 +269,27 @@ mod tests {
     #[test]
     fn threads_at_least_one() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, result) = pool.install(|| {
+            let ys: Vec<u32> = (0..16u32).collect::<Vec<_>>().into_par_iter().map(|x| x + 1).collect();
+            (super::current_num_threads(), ys)
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(result, (1..=16).collect::<Vec<u32>>());
+        // The override does not leak past install().
+        assert_ne!(super::current_num_threads(), 0);
+        let pool1 = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool1.install(|| assert_eq!(super::current_num_threads(), 1));
+    }
+
+    #[test]
+    fn builder_zero_means_host_default() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }
