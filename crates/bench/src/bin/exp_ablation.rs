@@ -17,7 +17,7 @@ use bvl_model::{HRelation, Steps};
 use bvl_net::{
     route_relation, Array, PathStrategy, QueueDiscipline, RouterConfig, Topology,
 };
-use bvl_obs::{Registry, Span, SpanKind};
+use bvl_obs::{Span, SpanKind};
 
 fn main() {
     banner("Valiant vs greedy on adversarial permutations (2-dim mesh, p = 256)");
@@ -34,7 +34,7 @@ fn main() {
     ];
     // Each (permutation, strategy) run becomes one synthesized Routing span
     // on a shared clock, for `--trace-out` and the summary line.
-    let registry = Registry::enabled(256);
+    let registry = obs::capture_registry("exp_ablation", 11, 256);
     let mut clock = Steps::ZERO;
     let mut bitrev = (0u64, 0usize);
     for (case, (name, rel)) in cases.iter().enumerate() {

@@ -12,7 +12,6 @@ use bvl_core::anomalies::{gap_exceeds_latency_anomaly, gap_one_anomaly};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
 use bvl_exec::RunOptions;
-use bvl_obs::Registry;
 
 fn main() {
     banner("G = 1 anomaly: L senders -> one destination, simultaneously");
@@ -81,7 +80,7 @@ fn main() {
         ..LogpConfig::default()
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
-    let registry = Registry::enabled(params.p);
+    let registry = obs::capture_registry("exp_anomalies", 0, params.p);
     machine.instrument(&RunOptions::new().shards(bvl_obs::cli::shards()).registry(&registry));
     let rep = machine.run().expect("burst completes");
     obs::Summary::new("exp_anomalies")
@@ -92,5 +91,5 @@ fn main() {
         .kv("burst_max_buffer", rep.max_buffer())
         .kv("periodic_peak_buffer", worst_buffer)
         .emit();
-    obs::write_trace_if_requested(machine.trace(), &registry.spans());
+    obs::write_trace_if_requested(machine.trace(), &registry);
 }

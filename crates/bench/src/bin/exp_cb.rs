@@ -12,7 +12,7 @@ use bvl_core::{run_cb, word_combine, TreeShape};
 use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId, Steps};
-use bvl_obs::{Registry, Span, SpanKind};
+use bvl_obs::{Span, SpanKind};
 
 fn cb_time(params: LogpParams, seed: u64) -> Steps {
     let values = vec![Payload::word(0, 1); params.p];
@@ -123,7 +123,7 @@ fn main() {
         &RunOptions::new().shards(bvl_obs::cli::shards()).seed(1),
     )
     .expect("CB is stall-free");
-    let registry = Registry::enabled(params.p);
+    let registry = obs::capture_registry("exp_cb", 1, params.p);
     registry.span(Span::new(SpanKind::CbCombine, Steps::ZERO, rep.t_combine));
     registry.span(Span::new(SpanKind::CbBroadcast, rep.t_combine, rep.t_cb));
     obs::Summary::new("exp_cb")

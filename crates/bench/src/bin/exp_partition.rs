@@ -7,7 +7,6 @@ use bvl_core::partition::{bsp_coschedule, logp_coschedule};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
 use bvl_exec::RunOptions;
-use bvl_obs::Registry;
 
 fn logp_tenant(rounds: u64, compute: u64) -> impl FnMut(usize) -> Vec<Script> {
     move |p: usize| {
@@ -119,7 +118,7 @@ fn main() {
         ..LogpConfig::stall_free()
     };
     let mut machine = LogpMachine::with_config(logp, config, scripts);
-    let registry = Registry::enabled(16);
+    let registry = obs::capture_registry("exp_partition", 0, 16);
     machine.instrument(&RunOptions::new().shards(bvl_obs::cli::shards()).registry(&registry));
     let rep = machine.run().expect("tenant completes");
     obs::Summary::new("exp_partition")
@@ -129,5 +128,5 @@ fn main() {
         .f2("logp_max_interference", logp_max_interf)
         .f2("bsp_max_interference", bsp_max_interf)
         .emit();
-    obs::write_trace_if_requested(machine.trace(), &registry.spans());
+    obs::write_trace_if_requested(machine.trace(), &registry);
 }

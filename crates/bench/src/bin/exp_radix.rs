@@ -7,7 +7,7 @@ use bvl_bench::{banner, f2, obs, print_table};
 use bvl_bsp::BspParams;
 use bvl_logp::LogpParams;
 use bvl_model::{Steps, Word};
-use bvl_obs::{Registry, Span, SpanKind};
+use bvl_obs::{Span, SpanKind};
 
 fn main() {
     let p = 16usize;
@@ -32,7 +32,7 @@ fn main() {
     // One synthesized span per skew level (naive schedule, back to back on a
     // shared clock) plus the hot-spot stall count, for `--trace-out` and the
     // summary line.
-    let registry = Registry::enabled(p);
+    let registry = obs::capture_registry("exp_radix", 0, p);
     let mut clock = Steps::ZERO;
     let mut hot_spot = (Steps::ZERO, 0u64);
     for (level, (name, keys)) in [

@@ -31,7 +31,6 @@ use bvl_exec::{RunOptions, RunStack};
 use bvl_logp::{DeliveryPolicy, LogpParams, LogpSpec, Op, PolicyMedium, Script};
 use bvl_model::{Payload, ProcId};
 use bvl_net::{measure_parameters, Butterfly, Hypercube, NetMedium, RouterConfig, Topology};
-use bvl_obs::Registry;
 
 const ROUNDS: usize = 8;
 const SEED: u64 = 1996;
@@ -75,7 +74,7 @@ fn run_topology<T: Topology + Clone + Send + 'static>(topo: T) {
 
     // 3. The same guest grounded on the network, with an enabled registry
     //    so `--trace-out` can capture the stacked run's span stream.
-    let registry = Registry::enabled(p);
+    let registry = obs::capture_registry("exp_stack", 0, p);
     let grounded_run = LogpSpec::new(params, ring(p))
         .over(NetMedium::new(topo.clone(), params.capacity()))
         .run_stack(&opts.clone().registry(&registry))

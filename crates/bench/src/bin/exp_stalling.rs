@@ -13,7 +13,6 @@ use bvl_core::stalling::{hot_spot_study, stalling_on_bsp};
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId};
 use bvl_exec::RunOptions;
-use bvl_obs::Registry;
 
 fn main() {
     banner("Hot-spot throughput under the Stalling Rule (target drain vs 1/G)");
@@ -77,7 +76,7 @@ fn main() {
         ..LogpConfig::default()
     };
     let mut machine = LogpMachine::with_config(params, config, scripts);
-    let registry = Registry::enabled(16);
+    let registry = obs::capture_registry("exp_stalling", 0, 16);
     machine.instrument(&RunOptions::new().shards(bvl_obs::cli::shards()).registry(&registry));
     let rep = machine.run().expect("hot spot completes");
     obs::Summary::new("exp_stalling")
@@ -89,5 +88,5 @@ fn main() {
         .kv("delivered", rep.delivered)
         .kv("spans", registry.spans().len())
         .emit();
-    obs::write_trace_if_requested(machine.trace(), &registry.spans());
+    obs::write_trace_if_requested(machine.trace(), &registry);
 }

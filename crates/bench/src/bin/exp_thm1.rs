@@ -15,7 +15,7 @@
 
 use bvl_bench::labexp::{self, single_rows, thm1};
 use bvl_bench::{banner, obs, print_table};
-use bvl_obs::{CostReport, Counter, Registry};
+use bvl_obs::{CostReport, Counter};
 use std::sync::Mutex;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     // Cell 0 (ring, matched 1x/1x parameters) is the flagged cell: it runs
     // with this enabled registry, feeding the cost-attribution summary and
     // the optional `--trace-out` export; every other cell pays nothing.
-    let captured = Registry::enabled(thm1::reference_params().p);
+    let captured = obs::capture_registry("exp_thm1", 0, thm1::reference_params().p);
     let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
     let rep = lab.run(&thm1::scalings_grid(), |cell, job| {
         let (rows, att) = thm1::run_cell_with(cell, job, cell.force.then_some(&captured));
@@ -54,19 +54,22 @@ fn main() {
         &single_rows(rep),
     );
 
-    let att = flagged
-        .into_inner()
-        .expect("attribution slot")
-        .expect("flagged cell produced an attribution");
-    obs::Summary::new("exp_thm1")
-        .kv("cell", "ring_x8_1x/1x")
-        .kv("makespan", att.makespan.get())
-        .kv("work", att.work.get())
-        .kv("comm", att.comm.get())
-        .kv("sync", att.sync.get())
-        .f4("residual_frac", att.residual_frac())
-        .kv("stall_episodes", captured.counter(Counter::StallEpisodes))
-        .kv("spans", captured.spans().len())
-        .emit();
+    // At `--obs-tier off` the capture registry is disabled, the flagged
+    // cell runs unobserved, and there is no attribution — the SUMMARY line
+    // says so rather than faking zeros.
+    let att = flagged.into_inner().expect("attribution slot");
+    let summary = obs::Summary::new("exp_thm1").kv("cell", "ring_x8_1x/1x");
+    match att {
+        Some(att) => summary
+            .kv("makespan", att.makespan.get())
+            .kv("work", att.work.get())
+            .kv("comm", att.comm.get())
+            .kv("sync", att.sync.get())
+            .f4("residual_frac", att.residual_frac())
+            .kv("stall_episodes", captured.counter(Counter::StallEpisodes))
+            .kv("spans", captured.spans().len())
+            .emit(),
+        None => summary.kv("obs", "off").emit(),
+    }
     obs::write_spans_if_requested(&captured);
 }

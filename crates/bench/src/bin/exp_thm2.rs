@@ -15,7 +15,7 @@
 
 use bvl_bench::labexp::{self, flat_rows, single_rows, thm2};
 use bvl_bench::{banner, obs, print_table};
-use bvl_obs::{CostReport, Registry};
+use bvl_obs::CostReport;
 use std::sync::Mutex;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     banner("Theorem 2: deterministic h-relation routing, phase breakdown");
     // The (p=16, h=8) cell (index 3) is flagged: its routing phases are
     // captured as spans for the summary line and `--trace-out`.
-    let cell_registry = Registry::enabled(thm2::FLAGGED_P);
+    let cell_registry = obs::capture_registry("exp_thm2", 0, thm2::FLAGGED_P);
     let rep = lab.run(&thm2::cells_grid(), |cell, job| {
         thm2::run_cell_with(cell, job, cell.force.then_some(&cell_registry)).0
     });
@@ -54,7 +54,7 @@ fn main() {
     // The deterministic strategy (index 2) is the flagged cell of this
     // sweep: its full superstep decomposition is captured as spans and its
     // measured phases are mapped onto the Theorem 2 cost terms.
-    let strat_registry = Registry::enabled(thm2::FLAGGED_P);
+    let strat_registry = obs::capture_registry("exp_thm2", 1, thm2::FLAGGED_P);
     let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
     let rep = lab.run(&thm2::strategies_grid(), |cell, job| {
         let (rows, att) =
@@ -73,21 +73,24 @@ fn main() {
         &single_rows(rep),
     );
 
-    let att = flagged
-        .into_inner()
-        .expect("attribution slot")
-        .expect("flagged strategy produced an attribution");
-    obs::Summary::new("exp_thm2")
-        .kv("cell", "deterministic_p16")
-        .kv("makespan", att.makespan.get())
-        .kv("work", att.work.get())
-        .kv("comm", att.comm.get())
-        .kv("sync", att.sync.get())
-        .kv("other", att.other.get())
-        .f4("residual_frac", att.residual_frac())
-        .kv("cell_spans", cell_registry.spans().len())
-        .kv("spans", strat_registry.spans().len())
-        .emit();
+    // At `--obs-tier off` the capture registries are disabled and the
+    // flagged strategy runs unobserved — the SUMMARY line says so rather
+    // than faking zeros.
+    let att = flagged.into_inner().expect("attribution slot");
+    let summary = obs::Summary::new("exp_thm2").kv("cell", "deterministic_p16");
+    match att {
+        Some(att) => summary
+            .kv("makespan", att.makespan.get())
+            .kv("work", att.work.get())
+            .kv("comm", att.comm.get())
+            .kv("sync", att.sync.get())
+            .kv("other", att.other.get())
+            .f4("residual_frac", att.residual_frac())
+            .kv("cell_spans", cell_registry.spans().len())
+            .kv("spans", strat_registry.spans().len())
+            .emit(),
+        None => summary.kv("obs", "off").emit(),
+    }
     // `--trace-out` exports the flagged full-superstep run (the richest
     // span set: supersteps, CB split, sort rounds, routing cycles).
     obs::write_spans_if_requested(&strat_registry);

@@ -12,7 +12,6 @@ use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::rngutil::SeedStream;
 use bvl_model::{HRelation, ProcId};
-use bvl_obs::Registry;
 
 fn main() {
     banner("Theorem 3: randomized routing, beta = time/(G·h) and stall frequency");
@@ -80,7 +79,7 @@ fn main() {
     let params = LogpParams::new(16, 64, 1, 2).unwrap();
     let mut rng = SeedStream::new(31).derive("flagged", 0);
     let rel = HRelation::random_exact(&mut rng, 16, 32);
-    let registry = Registry::enabled(16);
+    let registry = obs::capture_registry("exp_thm3", 31, 16);
     let rep = route_randomized(params, &rel, 2.0, &RunOptions::new().shards(bvl_obs::cli::shards()).seed(7).registry(&registry))
         .expect("routes");
     obs::Summary::new("exp_thm3")

@@ -19,7 +19,6 @@ use bvl_exec::RunOptions;
 use bvl_logp::LogpParams;
 use bvl_model::rngutil::SeedStream;
 use bvl_model::HRelation;
-use bvl_obs::Registry;
 
 fn main() {
     banner("Sorting-phase cost vs r (p = 8, L = 16, o = 1, G = 2)");
@@ -76,7 +75,7 @@ fn main() {
     let h = 392usize;
     let mut rng = SeedStream::new(77).derive("flagged", 0);
     let rel = HRelation::random_exact(&mut rng, p, h);
-    let registry = Registry::enabled(p);
+    let registry = obs::capture_registry("exp_xover", 77, p);
     let rep = route_deterministic(
         params,
         &rel,

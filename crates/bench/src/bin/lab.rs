@@ -108,7 +108,7 @@ fn main() {
             };
             let mut rows = Vec::new();
             for name in &names {
-                match svc.run(name, smoke) {
+                match svc.run(name, smoke, Some(bvl_obs::cli::obs_tier())) {
                     None => {
                         eprintln!("lab: unknown experiment '{name}'");
                         exit(2);
@@ -235,8 +235,12 @@ fn main() {
                 Ok(server) => {
                     println!("lab: serving {} with {workers} worker(s)", server.addr());
                     println!("  GET  /status         store + cache counters");
+                    println!("  GET  /metrics        counter snapshot + scheduler hit rate");
                     println!("  GET  /cells?exp=NAME cached cells with payloads");
-                    println!("  POST /run            {{\"exp\":\"NAME\",\"smoke\":true}}");
+                    println!(
+                        "  POST /run            \
+                         {{\"exp\":\"NAME\",\"smoke\":true,\"tier\":\"sampled:8\"}}"
+                    );
                     loop {
                         std::thread::park();
                     }

@@ -6,23 +6,36 @@
 //! (`start ≤ end`, known kinds — already enforced by the parser). Exits
 //! non-zero on the first invalid file, printing every violation, so CI can
 //! gate on the artifacts the experiment binaries emit.
+//!
+//! Traces carry their recording provenance in an optional `obs` meta line
+//! (`{"type":"obs","tier":…,"spans_dropped":…}`). When the meta says the
+//! span log is a sampled subset (or spans were dropped at a full ring),
+//! only *subset-closed* checks run against the spans — properties that
+//! hold for every subset of a valid span log, like `start ≤ end`. Checks
+//! that presume completeness (non-emptiness, whole-log shape heuristics)
+//! are skipped, and the report states the nominal kept fraction and the
+//! drop count instead, so a sampled artifact is never "invalid" merely for
+//! being sampled.
 
 use bvl_model::{validate_wellformed, Steps, Trace};
-use bvl_obs::export::parse_jsonl;
-use bvl_obs::Span;
+use bvl_obs::export::parse_jsonl_full;
+use bvl_obs::{Span, Tier};
 use std::process::ExitCode;
 
-fn check(path: &str) -> Result<(usize, usize), Vec<String>> {
+fn check(path: &str) -> Result<String, Vec<String>> {
     let text = std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read: {e}")])?;
-    let (events, spans) = parse_jsonl(&text).map_err(|e| vec![e])?;
+    let (events, spans, meta) = parse_jsonl_full(&text).map_err(|e| vec![e])?;
 
     let mut problems = Vec::new();
     let mut trace = Trace::enabled();
     for ev in &events {
         trace.record(ev.clone());
     }
+    // Events are never sampled (sampling is a span-plane concept), so the
+    // full well-formedness validator always applies to them.
     problems.extend(validate_wellformed(&trace));
 
+    // Subset-closed span checks: valid for complete and sampled logs alike.
     let span_problems = spans
         .iter()
         .enumerate()
@@ -34,20 +47,47 @@ fn check(path: &str) -> Result<(usize, usize), Vec<String>> {
             )
         });
     problems.extend(span_problems);
-    if events.is_empty() && spans.is_empty() {
-        problems.push("file holds no events and no spans".to_string());
-    }
-    if let Some(max_end) = spans.iter().map(|s| s.end).max() {
-        if max_end == Steps::ZERO && spans.len() > 1 {
-            problems.push("all spans end at step 0".to_string());
+
+    // Completeness-assuming checks: only when nothing was sampled away or
+    // dropped. A trace with an `obs` meta line is self-describing; one
+    // without is treated as complete (the historical format).
+    let subset = match &meta {
+        Some(m) => matches!(m.tier, Tier::Sampled { .. }) || m.spans_dropped > 0,
+        None => false,
+    };
+    if !subset {
+        if events.is_empty() && spans.is_empty() {
+            problems.push("file holds no events and no spans".to_string());
+        }
+        if let Some(max_end) = spans.iter().map(|s| s.end).max() {
+            if max_end == Steps::ZERO && spans.len() > 1 {
+                problems.push("all spans end at step 0".to_string());
+            }
         }
     }
 
-    if problems.is_empty() {
-        Ok((events.len(), spans.len()))
-    } else {
-        Err(problems)
+    if !problems.is_empty() {
+        return Err(problems);
     }
+    let provenance = match &meta {
+        Some(m) => {
+            let fraction = match m.tier {
+                Tier::Sampled { rate } => format!(", ~1/{rate} of spans kept"),
+                _ => String::new(),
+            };
+            format!(
+                "; tier {}{fraction}, {} dropped",
+                m.tier.label(),
+                m.spans_dropped
+            )
+        }
+        None => String::new(),
+    };
+    Ok(format!(
+        "{} events, {} spans{provenance}",
+        events.len(),
+        spans.len()
+    ))
 }
 
 fn main() -> ExitCode {
@@ -59,8 +99,8 @@ fn main() -> ExitCode {
     let mut failed = false;
     for path in &files {
         match check(path) {
-            Ok((events, spans)) => {
-                println!("{path}: OK ({events} events, {spans} spans)");
+            Ok(summary) => {
+                println!("{path}: OK ({summary})");
             }
             Err(problems) => {
                 failed = true;

@@ -347,10 +347,12 @@ pub mod table1 {
     }
 
     /// Rebuild the k6 cell's span timeline from its payload rows:
-    /// back-to-back `Routing` spans, one per (h, T(h)) sample.
+    /// back-to-back `Routing` spans, one per (h, T(h)) sample. The rebuilt
+    /// registry records at the process-wide `--obs-tier`, like any live
+    /// capture.
     pub fn k6_registry(rows: &[Vec<String>]) -> Registry {
         let p: usize = rows[0][1].parse().expect("k6 meta row carries p");
-        let registry = Registry::enabled(p);
+        let registry = crate::obs::capture_registry("exp_table1", 0, p);
         let mut clock = Steps::ZERO;
         for sample in &rows[1..] {
             let h: u64 = sample[0].parse().expect("sample h");

@@ -133,7 +133,15 @@ pub mod sweep {
         F: Fn(C, Job) -> R + Sync,
     {
         let captured = match flagged {
-            Some(_) => bvl_obs::Registry::enabled(procs),
+            // The capture registry runs at the process-wide `--obs-tier`,
+            // keyed by the flagged cell's `(domain, index)` seed lane — so a
+            // sampled capture admits the same spans at any shard or thread
+            // count.
+            Some(index) => bvl_obs::Registry::tiered(
+                procs,
+                bvl_obs::cli::obs_tier(),
+                SeedStream::new(master).lane_key(domain, index as u64),
+            ),
             None => bvl_obs::Registry::disabled(),
         };
         let report = sweep(domain, master, configs, |config, mut job| {
@@ -165,9 +173,12 @@ pub mod sweep {
             .into_par_iter()
             .map(|(index, config)| {
                 let rng = seeds.derive(domain, index as u64);
-                // Jobs inherit the process-wide `--shards` flag so sweep
-                // cells run on the sharded engines when requested.
-                let opts = RunOptions::new().shards(bvl_obs::cli::shards());
+                // Jobs inherit the process-wide `--shards` and `--obs-tier`
+                // flags so sweep cells run on the sharded engines and at the
+                // requested recording depth.
+                let opts = RunOptions::new()
+                    .shards(bvl_obs::cli::shards())
+                    .obs(bvl_obs::cli::obs_tier());
                 f(config, Job { index, rng, opts })
             })
             .collect();
@@ -188,8 +199,23 @@ pub mod obs {
     //! `--trace-out <path>` flag by exporting the flagged cell's spans via
     //! [`bvl_obs::export::write_trace_file`].
 
+    use bvl_model::rngutil::SeedStream;
     use bvl_model::Trace;
-    use bvl_obs::{Registry, Span};
+    use bvl_obs::export::ObsMeta;
+    use bvl_obs::Registry;
+
+    /// The capture registry for an experiment's flagged/export cell:
+    /// `procs` processors recording at the process-wide `--obs-tier`, with
+    /// sampling keyed by lane 0 of the experiment's `(domain, master)` seed
+    /// stream — so a sampled export admits the same spans on every run, at
+    /// any shard or thread count.
+    pub fn capture_registry(domain: &str, master: u64, procs: usize) -> Registry {
+        Registry::tiered(
+            procs,
+            bvl_obs::cli::obs_tier(),
+            SeedStream::new(master).lane_key(domain, 0),
+        )
+    }
 
     /// Builder for the one-line experiment summary: `SUMMARY <name> k=v ...`.
     ///
@@ -247,18 +273,27 @@ pub mod obs {
     }
 
     /// If `--trace-out <path>` was passed to this process, write `trace` +
-    /// `spans` there (format chosen by extension: `.jsonl` → compact JSONL,
-    /// anything else → Chrome `trace_event` JSON). Exits non-zero on I/O
-    /// failure so scripted runs fail loudly.
-    pub fn write_trace_if_requested(trace: &Trace, spans: &[Span]) {
+    /// the registry's spans there (format chosen by extension: `.jsonl` →
+    /// compact JSONL, anything else → Chrome `trace_event` JSON). JSONL
+    /// leads with the registry's recording metadata (tier, spans dropped)
+    /// so `trace_check` can tell a sampled export from a full one. Exits
+    /// non-zero on I/O failure so scripted runs fail loudly.
+    pub fn write_trace_if_requested(trace: &Trace, registry: &Registry) {
         let Some(path) = bvl_obs::cli::trace_out() else {
             return;
         };
-        match bvl_obs::export::write_trace_file(&path, trace, spans) {
+        let spans = registry.spans();
+        let meta = ObsMeta {
+            tier: registry.tier(),
+            spans_dropped: registry.spans_dropped(),
+        };
+        match bvl_obs::export::write_trace_file_with_meta(&path, trace, &spans, Some(&meta)) {
             Ok(()) => eprintln!(
-                "trace-out: {} events + {} spans -> {}",
+                "trace-out: {} events + {} spans ({}, {} dropped) -> {}",
                 trace.events().len(),
                 spans.len(),
+                meta.tier.label(),
+                meta.spans_dropped,
                 path.display()
             ),
             Err(e) => {
@@ -271,7 +306,7 @@ pub mod obs {
     /// [`write_trace_if_requested`] for registry-only captures (the virtual
     /// clocks of the cross-simulations have spans but no event trace).
     pub fn write_spans_if_requested(registry: &Registry) {
-        write_trace_if_requested(&Trace::disabled(), &registry.spans());
+        write_trace_if_requested(&Trace::disabled(), registry);
     }
 }
 

@@ -7,7 +7,7 @@ use crate::report::{BspReport, SuperstepProfile};
 use bvl_exec::{drive, Executor, Instruments, RunOptions, RunOutcome, ShardPlan};
 use bvl_model::trace::{Event, Trace};
 use bvl_model::{Envelope, ModelError, MsgId, Payload, ProcId, Steps};
-use bvl_obs::{Counter, Hist, Span, SpanKind};
+use bvl_obs::{Counter, CounterBlock, Hist, Span, SpanKind};
 
 /// Outcome of a completed run.
 #[derive(Clone, Debug)]
@@ -39,6 +39,13 @@ pub struct BspMachine<P: BspProcess> {
     ledger: CostLedger,
     stats: BspReport,
     instruments: Instruments,
+    // Driver-local counter staging (Some iff the registry records
+    // counters); settled by `Registry::absorb_counters` when the run ends.
+    // Per-processor traffic counters are not staged at all: they are
+    // derived from `stats.per_proc` at the barrier, with `settled` marking
+    // the totals already folded in so repeated runs never double-count.
+    counters: Option<CounterBlock>,
+    settled: Vec<(u64, u64, u64)>, // (local_ops, sent, received)
     superstep: u64,
     threads: usize,
     shards: usize,
@@ -67,6 +74,8 @@ impl<P: BspProcess> BspMachine<P> {
             ledger: CostLedger::new(),
             stats: BspReport::new(p),
             instruments: Instruments::new(config.trace),
+            counters: None,
+            settled: Vec::new(),
             superstep: 0,
             threads: 1,
             shards: 1,
@@ -108,6 +117,17 @@ impl<P: BspProcess> BspMachine<P> {
     /// tracing, and set the local-phase worker-thread count.
     pub fn instrument(&mut self, opts: &RunOptions) {
         self.instruments.apply(opts);
+        // Counters stage in a plain local block on the driver thread and
+        // settle into the shared registry at the end-of-run barrier.
+        self.counters = self.instruments.registry.counter_block();
+        // The settle watermark only exists alongside an active block; at
+        // lower tiers instrumentation must leave the machine's allocation
+        // pattern untouched.
+        self.settled = if self.counters.is_some() {
+            vec![(0, 0, 0); self.params.p]
+        } else {
+            Vec::new()
+        };
         self.threads = opts.threads.max(1);
         self.shards = self.shards.max(opts.shards);
     }
@@ -226,6 +246,13 @@ impl<P: BspProcess> BspMachine<P> {
             st.received += recvd[i];
             st.barrier_wait += Steps(w_max - w_of[i]);
         }
+        // Histograms need the individual observations (unlike the traffic
+        // counters, which the barrier flush derives from the stats totals),
+        // so stage the superstep's barrier waits as one batch while the
+        // values are hot.
+        if let Some(cb) = &mut self.counters {
+            cb.observe_many(Hist::BarrierWait, w_of.iter().map(|&w| w_max - w));
+        }
         if self.config.profile {
             self.stats.profile.push(SuperstepProfile {
                 index: rec.index,
@@ -235,7 +262,7 @@ impl<P: BspProcess> BspMachine<P> {
             });
         }
         if self.instruments.registry.is_enabled() {
-            self.observe_superstep(&rec, t0, w_max, &w_of, &sent, &recvd);
+            self.observe_superstep(&rec, t0, w_max, &w_of);
         }
         self.superstep += 1;
         Some(rec)
@@ -320,48 +347,78 @@ impl<P: BspProcess> BspMachine<P> {
     }
 
     /// Feed the registry for one completed superstep (only called when the
-    /// registry is enabled). Spans are placed on the ledger clock: local
-    /// work at `[t0, t0+w_i]`, barrier wait up to `t0+w_max`, routing for
-    /// `g·h` after the slowest worker, the whole superstep over its cost.
-    fn observe_superstep(
-        &self,
-        rec: &SuperstepRecord,
-        t0: Steps,
-        w_max: u64,
-        w_of: &[u64],
-        sent: &[u64],
-        recvd: &[u64],
-    ) {
+    /// registry is enabled). Counters stage in the driver-local block;
+    /// spans are placed on the ledger clock — local work at `[t0, t0+w_i]`,
+    /// barrier wait up to `t0+w_max`, routing for `g·h` after the slowest
+    /// worker, the whole superstep over its cost — and are not even
+    /// constructed below the `Sampled` tier.
+    fn observe_superstep(&mut self, rec: &SuperstepRecord, t0: Steps, w_max: u64, w_of: &[u64]) {
         let registry = &self.instruments.registry;
-        for (i, &w_i) in w_of.iter().enumerate() {
-            let proc = ProcId::from(i);
-            registry.add(proc, Counter::LocalOps, w_i);
-            registry.add(proc, Counter::Submitted, sent[i]);
-            registry.add(proc, Counter::Delivered, recvd[i]);
-            registry.observe(Hist::BarrierWait, w_max - w_i);
-            registry.span(Span::new(SpanKind::LocalWork, t0, t0 + Steps(w_i)).on(proc));
-            if w_i < w_max {
-                registry.span(
-                    Span::new(SpanKind::BarrierWait, t0 + Steps(w_i), t0 + Steps(w_max)).on(proc),
+        let spans_on = registry.spans_enabled();
+        // Per-processor traffic counters are *not* staged here: the stats
+        // loop in `superstep` already accumulated the same totals (and the
+        // BarrierWait observations), and the barrier flush derives the
+        // counter adds from them.
+        if let Some(cb) = &mut self.counters {
+            cb.observe(Hist::SuperstepCost, rec.cost.get());
+        }
+        // Phase-granular sampling: this engine emits every span of a
+        // superstep at its barrier, so one admission decision (keyed on the
+        // superstep index — shard- and thread-invariant) covers the whole
+        // burst, and a rejected superstep never constructs a span at all.
+        if spans_on && registry.admits_phase(rec.index) {
+            for (i, &w_i) in w_of.iter().enumerate() {
+                let proc = ProcId::from(i);
+                registry.span_admitted(Span::new(SpanKind::LocalWork, t0, t0 + Steps(w_i)).on(proc));
+                if w_i < w_max {
+                    registry.span_admitted(
+                        Span::new(SpanKind::BarrierWait, t0 + Steps(w_i), t0 + Steps(w_max))
+                            .on(proc),
+                    );
+                }
+            }
+            let comm_start = t0 + Steps(w_max);
+            if rec.h > 0 {
+                registry.span_admitted(
+                    Span::new(
+                        SpanKind::Routing,
+                        comm_start,
+                        comm_start + Steps(self.params.g * rec.h),
+                    )
+                    .at_index(rec.index),
                 );
             }
+            registry
+                .span_admitted(Span::new(SpanKind::Superstep, t0, t0 + rec.cost).at_index(rec.index));
+            // The superstep boundary is this engine's phase barrier:
+            // serialize the spans staged in the registry ring in one batch
+            // here, so the per-processor loop above never touches the sink
+            // lock.
+            registry.flush_spans();
         }
-        let comm_start = t0 + Steps(w_max);
-        if rec.h > 0 {
-            registry.span(
-                Span::new(SpanKind::Routing, comm_start, comm_start + Steps(self.params.g * rec.h))
-                    .at_index(rec.index),
-            );
-        }
-        registry.span(Span::new(SpanKind::Superstep, t0, t0 + rec.cost).at_index(rec.index));
-        registry.observe(Hist::SuperstepCost, rec.cost.get());
     }
 
     /// Run until every process halts, or fail with [`ModelError::Timeout`]
     /// after `max_supersteps`. Equivalent to [`bvl_exec::drive`] with a
     /// superstep budget, followed by assembling the [`RunReport`].
     pub fn run(&mut self, max_supersteps: u64) -> Result<RunReport, ModelError> {
-        drive(self, max_supersteps)?;
+        let driven = drive(self, max_supersteps);
+        // End-of-run barrier: settle the staged counters whether the run
+        // completed or timed out — a partial run still has real totals.
+        // Traffic counters come straight from the per-processor stats; the
+        // `settled` watermark keeps a second `run` call from re-adding them.
+        if let Some(cb) = &mut self.counters {
+            for (i, st) in self.stats.per_proc.iter().enumerate() {
+                let proc = ProcId::from(i);
+                let done = &mut self.settled[i];
+                cb.add(proc, Counter::LocalOps, st.local_ops - done.0);
+                cb.add(proc, Counter::Submitted, st.sent - done.1);
+                cb.add(proc, Counter::Delivered, st.received - done.2);
+                *done = (st.local_ops, st.sent, st.received);
+            }
+            self.instruments.registry.absorb_counters(cb);
+        }
+        driven?;
         Ok(RunReport {
             supersteps: self.ledger.supersteps(),
             cost: self.ledger.total(),

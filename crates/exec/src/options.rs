@@ -9,7 +9,7 @@
 
 use crate::medium::WrapMedium;
 use bvl_model::{MsgId, Steps, Trace};
-use bvl_obs::Registry;
+use bvl_obs::{Registry, Tier};
 use std::sync::Arc;
 
 /// Options shared by every run entry point in the workspace.
@@ -35,6 +35,12 @@ pub struct RunOptions {
     pub trace: bool,
     /// Observability registry; `Registry::disabled()` is inert.
     pub registry: Registry,
+    /// Observability tier ceiling for this run: the engines record through
+    /// `registry.at_tier(obs_tier)`, so a run can ask for less than its
+    /// registry was built to record (never more). `Tier::Full` — the
+    /// historical behaviour — by default. Observability-only: excluded
+    /// from [`RunOptions::canonical`] like the registry itself.
+    pub obs_tier: Tier,
     /// Worker threads for engines with a parallel local phase (BSP).
     pub threads: usize,
     /// Shards for engines that partition the simulated machine itself
@@ -61,6 +67,7 @@ impl Default for RunOptions {
             seed: 0,
             trace: false,
             registry: Registry::disabled(),
+            obs_tier: Tier::Full,
             threads: 1,
             shards: 1,
             clock_base: Steps::ZERO,
@@ -94,6 +101,13 @@ impl RunOptions {
     #[must_use]
     pub fn registry(mut self, registry: &Registry) -> RunOptions {
         self.registry = registry.clone();
+        self
+    }
+
+    /// Cap the run's observability at `tier` (see [`RunOptions::obs_tier`]).
+    #[must_use]
+    pub fn obs(mut self, tier: Tier) -> RunOptions {
+        self.obs_tier = tier;
         self
     }
 
@@ -175,13 +189,17 @@ impl RunOptions {
     /// everything else default. Phase drivers (CB passes, sorting rounds,
     /// routing cycles) run many short-lived machines whose registries,
     /// budgets and clock bases are managed by the driver itself — only the
-    /// adversary, the seed, and the shard count propagate down (shards are
-    /// result-invariant, so propagating them is pure parallelism).
+    /// adversary, the seed, the shard count and the observability tier
+    /// propagate down (shards are result-invariant, so propagating them is
+    /// pure parallelism; the tier caps whatever registry the driver
+    /// attaches, so a run observed at `counters` does not re-widen in its
+    /// sub-phases).
     pub fn subphase(&self) -> RunOptions {
         RunOptions {
             seed: self.seed,
             fault: self.fault.clone(),
             shards: self.shards,
+            obs_tier: self.obs_tier,
             ..RunOptions::default()
         }
     }
@@ -217,7 +235,8 @@ impl Instruments {
         }
     }
 
-    /// Instruments matching `opts` (trace enabled iff `opts.trace`).
+    /// Instruments matching `opts`: trace enabled iff `opts.trace`, the
+    /// registry capped at `opts.obs_tier`.
     pub fn from_options(opts: &RunOptions) -> Instruments {
         Instruments {
             trace: if opts.trace {
@@ -225,15 +244,16 @@ impl Instruments {
             } else {
                 Trace::disabled()
             },
-            registry: opts.registry.clone(),
+            registry: opts.registry.at_tier(opts.obs_tier),
             next_msg_id: 0,
         }
     }
 
-    /// Apply `opts` to existing instruments: attach the registry and
-    /// upgrade (never downgrade) the trace.
+    /// Apply `opts` to existing instruments: attach the registry (capped
+    /// at the options' observability tier) and upgrade (never downgrade)
+    /// the trace.
     pub fn apply(&mut self, opts: &RunOptions) {
-        self.registry = opts.registry.clone();
+        self.registry = opts.registry.at_tier(opts.obs_tier);
         if opts.trace && !self.trace.is_enabled() {
             self.trace = Trace::enabled();
         }
@@ -342,6 +362,30 @@ mod tests {
         // Thread and shard counts are determinism-invariant by contract.
         assert_eq!(opts.clone().threads(8).canonical(), opts.canonical());
         assert_eq!(opts.clone().shards(4).canonical(), opts.canonical());
+        // The observability tier is observability-only too: spans never
+        // feed back into the simulation, so the tier must not move keys.
+        assert_eq!(opts.clone().obs(Tier::Off).canonical(), opts.canonical());
+        assert_eq!(
+            opts.clone().obs(Tier::Sampled { rate: 8 }).canonical(),
+            opts.canonical()
+        );
+    }
+
+    #[test]
+    fn instruments_cap_the_registry_at_the_options_tier() {
+        let reg = Registry::enabled(4);
+        let opts = RunOptions::new().registry(&reg).obs(Tier::CountersOnly);
+        let ins = Instruments::from_options(&opts);
+        assert!(ins.registry.is_enabled());
+        assert!(!ins.registry.spans_enabled());
+        // Default tier is Full: the historical behaviour is unchanged.
+        let full = Instruments::from_options(&RunOptions::new().registry(&reg));
+        assert!(full.registry.spans_enabled());
+        // apply() caps the same way, and the tier rides subphases.
+        let mut applied = Instruments::disabled();
+        applied.apply(&opts);
+        assert!(!applied.registry.spans_enabled());
+        assert_eq!(opts.subphase().obs_tier, Tier::CountersOnly);
     }
 
     #[test]

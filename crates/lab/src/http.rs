@@ -12,16 +12,23 @@
 //!
 //! * `GET /status` — store + service counters (cells, segments, staleness,
 //!   cache hits/misses, serve-latency histogram mean).
+//! * `GET /metrics` — the live metrics plane: a full counter snapshot,
+//!   histogram summaries, and the scheduler's cache hit rate, all read
+//!   from the same service registry `/status` reports, so the two
+//!   endpoints always agree.
 //! * `GET /cells?exp=NAME` — every cached cell of one experiment, payload
 //!   rows included.
-//! * `POST /run` — body `{"exp":"NAME","smoke":true}`: run the named
-//!   registered experiment's grid through the store (incremental: cached
-//!   cells are hits) and report the hit/miss split.
+//! * `POST /run` — body `{"exp":"NAME","smoke":true,"tier":"sampled:8"}`
+//!   (`smoke` and `tier` optional): run the named registered experiment's
+//!   grid through the store (incremental: cached cells are hits) at the
+//!   requested observability [`Tier`] and report the hit/miss split. The
+//!   tier never enters the cache key, so dialing recording depth up or
+//!   down cannot fork the store.
 
 use crate::jsonio::{encode_rows, escape, Cursor};
 use crate::scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
 use crate::store::Store;
-use bvl_obs::{Counter, Hist, Registry};
+use bvl_obs::{Counter, Hist, Registry, Tier};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,11 +84,21 @@ impl Service {
     }
 
     /// Run a registered experiment's grids through the store, merging the
-    /// per-grid reports into one.
-    pub fn run(&self, name: &str, smoke: bool) -> Option<io::Result<GridReport>> {
+    /// per-grid reports into one. `tier` (when given) overrides the grids'
+    /// observability tier for this run's live cells; it is excluded from
+    /// cell keys, so cached results are shared across tiers.
+    pub fn run(
+        &self,
+        name: &str,
+        smoke: bool,
+        tier: Option<Tier>,
+    ) -> Option<io::Result<GridReport>> {
         let exp = self.experiment(name)?;
         let mut merged = GridReport::empty();
-        for grid in exp.grids(smoke) {
+        for mut grid in exp.grids(smoke) {
+            if let Some(t) = tier {
+                grid.opts = grid.opts.clone().obs(t);
+            }
             let rep = match run_grid(&grid, Some(&self.store), &self.registry, |cell, job| {
                 exp.run_cell(cell, job)
             }) {
@@ -232,6 +249,7 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
 
     match (method.as_str(), path) {
         ("GET", "/status") => respond(&mut stream, "200 OK", &status_body(service)),
+        ("GET", "/metrics") => respond(&mut stream, "200 OK", &metrics_body(service)),
         ("GET", "/cells") => match query_param("exp") {
             None => respond(&mut stream, "400 Bad Request", &err_body("missing ?exp=")),
             Some(exp) => respond(&mut stream, "200 OK", &cells_body(service, &exp)),
@@ -242,7 +260,7 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
             let body = String::from_utf8_lossy(&body);
             match parse_run_body(&body) {
                 Err(e) => respond(&mut stream, "400 Bad Request", &err_body(&e)),
-                Ok((exp, smoke)) => match service.run(&exp, smoke) {
+                Ok((exp, smoke, tier)) => match service.run(&exp, smoke, tier) {
                     None => respond(
                         &mut stream,
                         "400 Bad Request",
@@ -260,9 +278,10 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
                         &mut stream,
                         "200 OK",
                         &format!(
-                            "{{\"exp\":\"{}\",\"smoke\":{smoke},\"cells\":{},\"hits\":{},\
-                             \"misses\":{},\"forced\":{},\"elapsed_ms\":{}}}",
+                            "{{\"exp\":\"{}\",\"smoke\":{smoke},\"tier\":\"{}\",\"cells\":{},\
+                             \"hits\":{},\"misses\":{},\"forced\":{},\"elapsed_ms\":{}}}",
                             escape(&exp),
+                            tier.unwrap_or_default().label(),
                             rep.rows.len(),
                             rep.hits,
                             rep.misses,
@@ -278,18 +297,26 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
     }
 }
 
-/// Parse `{"exp":"NAME"}` or `{"exp":"NAME","smoke":BOOL}` (either order).
-fn parse_run_body(body: &str) -> Result<(String, bool), String> {
+/// Parse `{"exp":"NAME"}` with optional `"smoke":BOOL` and
+/// `"tier":"off|counters|sampled[:rate]|full"` fields, in any order.
+fn parse_run_body(body: &str) -> Result<(String, bool, Option<Tier>), String> {
     let mut cur = Cursor::new(body);
     cur.expect(b'{')?;
     let mut exp = None;
     let mut smoke = false;
+    let mut tier = None;
     loop {
         let field = cur.string()?;
         cur.expect(b':')?;
         match field.as_str() {
             "exp" => exp = Some(cur.string()?),
             "smoke" => smoke = cur.boolean()?,
+            "tier" => {
+                let label = cur.string()?;
+                tier = Some(
+                    Tier::parse(&label).ok_or_else(|| format!("unknown tier '{label}'"))?,
+                );
+            }
             other => return Err(format!("unknown field '{other}'")),
         }
         if !cur.eat(b',') {
@@ -297,7 +324,7 @@ fn parse_run_body(body: &str) -> Result<(String, bool), String> {
         }
     }
     cur.expect(b'}')?;
-    Ok((exp.ok_or("missing \"exp\"")?, smoke))
+    Ok((exp.ok_or("missing \"exp\"")?, smoke, tier))
 }
 
 fn status_body(service: &Service) -> String {
@@ -329,6 +356,47 @@ fn status_body(service: &Service) -> String {
         service.registry.counter(Counter::CacheHits),
         service.registry.counter(Counter::CacheMisses),
         serve.mean(),
+    )
+}
+
+/// The live metrics plane: every counter, a summary of every histogram,
+/// and the scheduler's cache hit rate — all read from `service.registry`,
+/// the same source `/status` reports, so the two endpoints agree by
+/// construction.
+fn metrics_body(service: &Service) -> String {
+    let reg = &service.registry;
+    let counters: Vec<String> = Counter::ALL
+        .iter()
+        .map(|&c| format!("\"{}\":{}", c.as_str(), reg.counter(c)))
+        .collect();
+    let hists: Vec<String> = Hist::ALL
+        .iter()
+        .map(|&h| {
+            let s = reg.histogram(h);
+            format!(
+                "\"{}\":{{\"count\":{},\"mean\":{:.2}}}",
+                h.as_str(),
+                s.count,
+                s.mean()
+            )
+        })
+        .collect();
+    let hits = reg.counter(Counter::CacheHits);
+    let misses = reg.counter(Counter::CacheMisses);
+    let total = hits + misses;
+    let hit_rate = if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    };
+    format!(
+        "{{\"tier\":\"{}\",\"spans_dropped\":{},\"counters\":{{{}}},\"hists\":{{{}}},\
+         \"scheduler\":{{\"cache_hits\":{hits},\"cache_misses\":{misses},\
+         \"hit_rate\":{hit_rate:.4}}}}}",
+        reg.tier().label(),
+        reg.spans_dropped(),
+        counters.join(","),
+        hists.join(",")
     )
 }
 
@@ -369,15 +437,31 @@ mod tests {
     fn run_body_parses_both_orders_and_rejects_junk() {
         assert_eq!(
             parse_run_body("{\"exp\":\"t\",\"smoke\":true}").unwrap(),
-            ("t".into(), true)
+            ("t".into(), true, None)
         );
         assert_eq!(
             parse_run_body("{\"smoke\":false,\"exp\":\"t\"}").unwrap(),
-            ("t".into(), false)
+            ("t".into(), false, None)
         );
-        assert_eq!(parse_run_body("{\"exp\":\"t\"}").unwrap(), ("t".into(), false));
+        assert_eq!(
+            parse_run_body("{\"exp\":\"t\"}").unwrap(),
+            ("t".into(), false, None)
+        );
         assert!(parse_run_body("{\"smoke\":true}").is_err());
         assert!(parse_run_body("not json").is_err());
         assert!(parse_run_body("{\"exp\":\"t\",\"extra\":1}").is_err());
+    }
+
+    #[test]
+    fn run_body_parses_the_tier_field() {
+        assert_eq!(
+            parse_run_body("{\"exp\":\"t\",\"tier\":\"sampled:4\"}").unwrap(),
+            ("t".into(), false, Some(Tier::Sampled { rate: 4 }))
+        );
+        assert_eq!(
+            parse_run_body("{\"tier\":\"counters\",\"smoke\":true,\"exp\":\"t\"}").unwrap(),
+            ("t".into(), true, Some(Tier::CountersOnly))
+        );
+        assert!(parse_run_body("{\"exp\":\"t\",\"tier\":\"loud\"}").is_err());
     }
 }

@@ -88,6 +88,27 @@ fn http_serves_eight_concurrent_query_clients() {
     assert_eq!(status, "200");
     assert!(body.contains("\"hits\":16") && body.contains("\"misses\":0"), "{body}");
 
+    // The metrics plane reads the same registry /status reports, so the
+    // scheduler counters agree: 16 misses then 16 hits is a 0.5 hit rate.
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, "200");
+    assert!(body.contains("\"cache_hits\":16"), "{body}");
+    assert!(body.contains("\"cache_misses\":16"), "{body}");
+    assert!(body.contains("\"hit_rate\":0.5000"), "{body}");
+    assert!(body.contains("\"tier\":\"full\""), "{body}");
+    assert!(body.contains("\"cell_compute_us\""), "{body}");
+
+    // Per-run tier selection never enters the cache key: a counters-only
+    // re-run is still all hits. Unknown tiers are a client error.
+    let (status, body) =
+        request(addr, "POST", "/run", "{\"exp\":\"square\",\"tier\":\"counters\"}");
+    assert_eq!(status, "200");
+    assert!(body.contains("\"tier\":\"counters\"") && body.contains("\"hits\":16"), "{body}");
+    assert_eq!(
+        request(addr, "POST", "/run", "{\"exp\":\"square\",\"tier\":\"loud\"}").0,
+        "400"
+    );
+
     // 8 concurrent clients, 4 requests each, mixing /cells and /status.
     let reference = request(addr, "GET", "/cells?exp=square", "").1;
     assert!(reference.contains("\"count\":16"), "{reference}");
@@ -128,7 +149,7 @@ fn run_then_query_round_trips_payloads() {
     let code = CodeFingerprint::from_parts("http-test-api", "0");
     let store = Store::open(&dir, code, OnStale::Error).unwrap();
     let service = Arc::new(Service::new(store, Registry::disabled(), vec![Box::new(Square)]));
-    let rep = service.run("square", true).unwrap().unwrap();
+    let rep = service.run("square", true, None).unwrap().unwrap();
     assert_eq!(rep.rows.len(), 4);
     let server = serve("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
     let (status, body) = request(server.addr(), "GET", "/cells?exp=square", "");

@@ -45,6 +45,17 @@ impl SeedStream {
         ChaCha8Rng::from_seed(seed)
     }
 
+    /// A single deterministic `u64` drawn from the `(domain, lane)` stream.
+    ///
+    /// This is the first word of [`SeedStream::derive`]'s output, so it
+    /// inherits the stream independence guarantees. Consumers that need one
+    /// stable key per lane — e.g. the observability sampler, whose
+    /// keep/drop decisions must be identical at any shard or thread
+    /// count — use this instead of carrying a whole RNG.
+    pub fn lane_key(&self, domain: &str, lane: u64) -> u64 {
+        self.derive(domain, lane).next_u64()
+    }
+
     /// The master seed (for logging/replaying).
     pub fn master(&self) -> u64 {
         self.master

@@ -1,11 +1,15 @@
-//! The shared `--trace-out <path>` and `--shards <n>` flags.
+//! The shared `--trace-out <path>`, `--shards <n>` and `--obs-tier <t>`
+//! flags.
 //!
 //! Every `exp_*` binary accepts `--trace-out <path>` (or
 //! `--trace-out=<path>`) and, when present, writes the flagged cell's trace
 //! there via [`crate::export::write_trace_file`]; `--shards <n>` (or
-//! `--shards=<n>`) selects the engine shard count the same way. Parsing
-//! lives here so the binaries stay one-liner thin and agree on the syntax.
+//! `--shards=<n>`) selects the engine shard count the same way; and
+//! `--obs-tier <off|counters|sampled[:rate]|full>` selects the recording
+//! [`Tier`]. Parsing lives here so the binaries stay one-liner thin and
+//! agree on the syntax.
 
+use crate::tier::Tier;
 use std::path::PathBuf;
 
 /// Extract `--trace-out <path>` / `--trace-out=<path>` from an argument
@@ -59,6 +63,33 @@ pub fn shards() -> usize {
     shards_from(std::env::args().skip(1))
 }
 
+/// Extract `--obs-tier <t>` / `--obs-tier=<t>` from an argument stream,
+/// where `<t>` is `off`, `counters`, `sampled`, `sampled:<rate>` or
+/// `full`. Returns [`Tier::Full`] (the historical behaviour) when the
+/// flag is absent, valueless, or unparseable — the tier is an
+/// observability dial, never an error.
+pub fn obs_tier_from<I: IntoIterator<Item = String>>(args: I) -> Tier {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let v = if arg == "--obs-tier" {
+            it.next()
+        } else {
+            arg.strip_prefix("--obs-tier=").map(str::to_string)
+        };
+        if let Some(v) = v {
+            if let Some(t) = Tier::parse(&v) {
+                return t;
+            }
+        }
+    }
+    Tier::Full
+}
+
+/// [`obs_tier_from`] applied to this process's arguments.
+pub fn obs_tier() -> Tier {
+    obs_tier_from(std::env::args().skip(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +130,25 @@ mod tests {
         assert_eq!(parse_shards(&["--shards"]), 1);
         assert_eq!(parse_shards(&["--shards=0"]), 1);
         assert_eq!(parse_shards(&["--shards=lots"]), 1);
+    }
+
+    fn parse_tier(args: &[&str]) -> Tier {
+        obs_tier_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn obs_tier_parses_both_spellings_and_all_tiers() {
+        assert_eq!(parse_tier(&["--obs-tier", "off"]), Tier::Off);
+        assert_eq!(parse_tier(&["--obs-tier=counters"]), Tier::CountersOnly);
+        assert_eq!(parse_tier(&["--obs-tier", "sampled:16"]), Tier::Sampled { rate: 16 });
+        assert_eq!(parse_tier(&["x", "--obs-tier=sampled", "y"]), Tier::Sampled { rate: 8 });
+        assert_eq!(parse_tier(&["--obs-tier", "full"]), Tier::Full);
+    }
+
+    #[test]
+    fn obs_tier_defaults_to_full() {
+        assert_eq!(parse_tier(&[]), Tier::Full);
+        assert_eq!(parse_tier(&["--obs-tier"]), Tier::Full);
+        assert_eq!(parse_tier(&["--obs-tier=everything"]), Tier::Full);
     }
 }

@@ -20,9 +20,23 @@
 //! formatting and parsing stay trivial and dependency-free.
 
 use crate::span::{Span, SpanKind};
+use crate::tier::Tier;
 use bvl_model::{Event, MsgId, ProcId, Steps, Trace};
 use std::io;
 use std::path::Path;
+
+/// Recording metadata attached to an exported trace: the [`Tier`] the
+/// capture ran at and how many spans the rings dropped. Emitted as the
+/// first JSONL line (`{"type":"obs","tier":…,"spans_dropped":…}`) so
+/// validators know whether the span log is the full picture or a sampled,
+/// possibly truncated one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsMeta {
+    /// The tier the capture registry recorded at.
+    pub tier: Tier,
+    /// Spans dropped by full rings during the run (saturating).
+    pub spans_dropped: u64,
+}
 
 /// Track id for a span/event: processor `p` maps to `p + 1`, machine-wide
 /// entries to 0.
@@ -60,7 +74,19 @@ fn event_fields(ev: &Event) -> (&'static str, Vec<(&'static str, u64)>) {
 
 /// Render a trace plus spans in the compact JSONL format.
 pub fn jsonl(trace: &Trace, spans: &[Span]) -> String {
+    jsonl_with_meta(trace, spans, None)
+}
+
+/// [`jsonl`] with an optional leading `{"type":"obs",…}` metadata line.
+pub fn jsonl_with_meta(trace: &Trace, spans: &[Span], meta: Option<&ObsMeta>) -> String {
     let mut out = String::new();
+    if let Some(m) = meta {
+        out.push_str(&format!(
+            "{{\"type\":\"obs\",\"tier\":\"{}\",\"spans_dropped\":{}}}\n",
+            m.tier.label(),
+            m.spans_dropped
+        ));
+    }
     for s in spans {
         out.push_str(&format!(
             "{{\"type\":\"span\",\"kind\":\"{}\",\"start\":{},\"end\":{}",
@@ -155,8 +181,20 @@ pub fn chrome_trace_json(trace: &Trace, spans: &[Span]) -> String {
 /// Write `trace` + `spans` to `path`: `.jsonl` selects the compact line
 /// format, anything else the Chrome `trace_event` JSON.
 pub fn write_trace_file(path: &Path, trace: &Trace, spans: &[Span]) -> io::Result<()> {
+    write_trace_file_with_meta(path, trace, spans, None)
+}
+
+/// [`write_trace_file`] carrying recording metadata. The JSONL format
+/// leads with the `{"type":"obs",…}` line; the Chrome format has no
+/// validator, so the metadata is omitted there.
+pub fn write_trace_file_with_meta(
+    path: &Path,
+    trace: &Trace,
+    spans: &[Span],
+    meta: Option<&ObsMeta>,
+) -> io::Result<()> {
     let text = if path.extension().is_some_and(|e| e == "jsonl") {
-        jsonl(trace, spans)
+        jsonl_with_meta(trace, spans, meta)
     } else {
         chrome_trace_json(trace, spans)
     };
@@ -254,13 +292,26 @@ fn proc_of(n: u64) -> Result<ProcId, String> {
     u32::try_from(n).map(ProcId).map_err(|_| format!("proc id {n} exceeds u32"))
 }
 
-/// Parse text produced by [`jsonl`] back into events and spans.
-///
-/// Returns the machine events (in file order) and the spans. Errors carry
-/// the 1-based line number of the offending line.
+/// Parse text produced by [`jsonl`] back into events and spans, dropping
+/// any recording metadata. See [`parse_jsonl_full`].
 pub fn parse_jsonl(text: &str) -> Result<(Vec<Event>, Vec<Span>), String> {
+    parse_jsonl_full(text).map(|(events, spans, _)| (events, spans))
+}
+
+/// What [`parse_jsonl_full`] recovers from a JSONL trace: the machine
+/// events (in file order), the spans, and the recording metadata when the
+/// file carries an `{"type":"obs",…}` line.
+pub type ParsedTrace = (Vec<Event>, Vec<Span>, Option<ObsMeta>);
+
+/// Parse text produced by [`jsonl_with_meta`] back into events, spans, and
+/// the recording metadata (when the file carries an `{"type":"obs",…}`
+/// line).
+///
+/// Errors carry the 1-based line number of the offending line.
+pub fn parse_jsonl_full(text: &str) -> Result<ParsedTrace, String> {
     let mut events = Vec::new();
     let mut spans = Vec::new();
+    let mut meta = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -315,13 +366,21 @@ pub fn parse_jsonl(text: &str) -> Result<(Vec<Event>, Vec<Span>), String> {
                     };
                     events.push(ev);
                 }
+                "obs" => {
+                    let label = get_str(&fields, "tier")?;
+                    meta = Some(ObsMeta {
+                        tier: Tier::parse(label)
+                            .ok_or_else(|| format!("unknown tier '{label}'"))?,
+                        spans_dropped: get_num(&fields, "spans_dropped")?,
+                    });
+                }
                 other => return Err(format!("unknown record type '{other}'")),
             }
             Ok(())
         })();
         res.map_err(|e| format!("line {}: {e}", lineno + 1))?;
     }
-    Ok((events, spans))
+    Ok((events, spans, meta))
 }
 
 #[cfg(test)]
@@ -369,6 +428,27 @@ mod tests {
         let (events, parsed_spans) = parse_jsonl(&text).expect("parse");
         assert_eq!(events, trace.events());
         assert_eq!(parsed_spans, spans);
+    }
+
+    #[test]
+    fn jsonl_meta_roundtrips() {
+        let (trace, spans) = sample();
+        let meta = ObsMeta {
+            tier: Tier::Sampled { rate: 8 },
+            spans_dropped: 3,
+        };
+        let text = jsonl_with_meta(&trace, &spans, Some(&meta));
+        assert!(text.starts_with(
+            "{\"type\":\"obs\",\"tier\":\"sampled:8\",\"spans_dropped\":3}\n"
+        ));
+        let (events, parsed_spans, parsed_meta) = parse_jsonl_full(&text).expect("parse");
+        assert_eq!(events, trace.events());
+        assert_eq!(parsed_spans, spans);
+        assert_eq!(parsed_meta, Some(meta));
+        // Meta-free text parses with no metadata; the plain parser drops it.
+        let (_, _, none) = parse_jsonl_full(&jsonl(&trace, &spans)).expect("parse");
+        assert_eq!(none, None);
+        assert!(parse_jsonl(&text).is_ok());
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   counters, fixed-bucket latency histograms, and structured [`Span`]s
 //!   drawn from a closed [`SpanKind`] taxonomy (CB combine/broadcast,
 //!   sort rounds, routing cycles, barrier waits, stalls). Disabled, every
-//!   recording call is a single branch.
+//!   recording call is a single branch. Recording depth is a run-time
+//!   [`Tier`] (`Off`/`CountersOnly`/`Sampled`/`Full`); spans stage in
+//!   lock-free SPSC [`SpanRing`]s and serialize in batches at phase
+//!   barriers, so tracing stays on at production cost.
 //! * [`CostReport`] — a run's makespan attributed onto the paper's cost
 //!   terms (`work`, `comm`, `sync`, `stall`) with a signed residual that is
 //!   near zero when the accounting explains the run.
@@ -25,8 +28,14 @@ pub mod attrib;
 pub mod cli;
 pub mod export;
 pub mod registry;
+pub mod ring;
 pub mod span;
+pub mod tier;
 
 pub use attrib::{span_totals, CostReport};
-pub use registry::{Counter, Hist, HistSnapshot, Registry, HIST_BUCKETS};
+pub use registry::{
+    Counter, CounterBlock, Hist, HistSnapshot, Registry, DEFAULT_RING_CAPACITY, HIST_BUCKETS,
+};
+pub use ring::SpanRing;
 pub use span::{Span, SpanKind};
+pub use tier::{Sampler, Tier};

@@ -3,23 +3,36 @@
 //! A [`Registry`] is a cheap cloneable handle that engines thread through
 //! their hot paths. Disabled (the default) it is a `None` — every
 //! instrumentation site compiles to a single branch on that option and
-//! touches no memory. Enabled, it holds:
+//! touches no memory. Enabled, it records at an execution [`Tier`]:
 //!
 //! * **per-processor counters** — a flat `p × N` array of `AtomicU64`s,
-//!   lock-free, indexed by [`Counter`];
+//!   lock-free, indexed by [`Counter`] (`CountersOnly` and up);
 //! * **fixed-bucket histograms** — power-of-two latency buckets plus count
 //!   and sum, also plain atomics, indexed by [`Hist`];
-//! * **a span log** — an append-only `Vec<Span>` behind a mutex. Spans are
-//!   emitted by the single driver thread of a run, so the lock is
-//!   uncontended; counters and histograms stay lock-free so parallel sweep
-//!   cells can share a registry if they choose to.
+//! * **a span plane** — spans admitted by the tier's deterministic
+//!   [`Sampler`] land in a lock-free SPSC [`SpanRing`] and are moved to
+//!   the serialization sink in batches at phase barriers
+//!   ([`Registry::flush_spans`]); sharded engines stage into their own
+//!   per-shard rings and deposit via [`Registry::absorb_spans`]. A full
+//!   ring drops the span and bumps [`Registry::spans_dropped`] — the
+//!   observability plane never blocks the run it is observing.
+//!
+//! The handle carries an *effective* tier at or below the tier the
+//! registry was built with ([`Registry::at_tier`]), so one shared
+//! registry can serve runs that request less observability without any
+//! shared-state mutation. [`Registry::spans`] returns the log in a
+//! canonical content order (start, end, kind, proc, index) — emission
+//! interleaving across shards never shows in the output, which is what
+//! keeps exported traces bit-identical at any shard count.
 //!
 //! All writes saturate rather than panic: observability must never abort a
 //! run it is observing.
 
+use crate::ring::SpanRing;
 use crate::span::Span;
+use crate::tier::{Sampler, Tier};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use bvl_model::ProcId;
 
@@ -157,6 +170,20 @@ impl Hist {
 /// `0, 1, 3, 7, …, u64::MAX`.
 pub const HIST_BUCKETS: usize = 65;
 
+/// Ceiling on the default span staging-ring capacity (power of two).
+/// [`Registry::tiered`] sizes rings as `4·procs` rounded up to a power of
+/// two, clamped to `[256, DEFAULT_RING_CAPACITY]` — comfortably above the
+/// largest per-barrier burst the engines emit at `Full` tier (`2·procs+2`
+/// spans per BSP superstep) without paying a 128 KiB zeroed allocation on
+/// every small-machine run. Anything beyond capacity is dropped, counted,
+/// and reported — never blocked on.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// The procs-scaled default staging capacity (see [`DEFAULT_RING_CAPACITY`]).
+fn default_ring_capacity(procs: usize) -> usize {
+    (4 * procs.max(64)).next_power_of_two().min(DEFAULT_RING_CAPACITY)
+}
+
 #[inline]
 fn bucket_of(value: u64) -> usize {
     (u64::BITS - value.leading_zeros()) as usize
@@ -227,36 +254,190 @@ impl HistSnapshot {
     }
 }
 
-struct Inner {
-    procs: usize,
-    counters: Vec<AtomicU64>, // procs * Counter::COUNT, proc-major
-    hists: Vec<HistCells>,    // Hist::COUNT entries
-    spans: Mutex<Vec<Span>>,
-}
-
-impl Inner {
-    fn new(procs: usize) -> Inner {
-        let procs = procs.max(1);
-        Inner {
-            procs,
-            counters: (0..procs * Counter::COUNT).map(|_| AtomicU64::new(0)).collect(),
-            hists: (0..Hist::COUNT).map(|_| HistCells::new()).collect(),
-            spans: Mutex::new(Vec::new()),
+/// Add `n` to an atomic cell, clamping at `u64::MAX` instead of wrapping.
+fn saturating_fetch_add(cell: &AtomicU64, n: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(n);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
         }
     }
 }
 
+/// Plain (non-atomic) histogram cells inside a [`CounterBlock`]. Inline
+/// arrays: a whole block is one heap allocation (the counter cells), not
+/// one per histogram. No staged `count` — the observation count is the
+/// bucket total, derived once at absorb time instead of maintained per
+/// observation.
+#[derive(Clone, Copy)]
+struct LocalHist {
+    buckets: [u64; HIST_BUCKETS],
+    sum: u64,
+}
+
+impl LocalHist {
+    fn new() -> LocalHist {
+        LocalHist {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+/// Thread-local staging area for counters and histogram observations.
+///
+/// The shared [`Registry`] cells are atomics so every handle can read a
+/// consistent snapshot at any time, but an atomic read-modify-write on the
+/// engines' per-message path is an order of magnitude more expensive than a
+/// plain add. A `CounterBlock` is the counter analogue of the per-shard
+/// [`SpanRing`]: each engine shard (or single driver thread) owns one,
+/// records into plain `u64` cells while it runs, and settles the whole
+/// block into the shared registry with [`Registry::absorb_counters`] at its
+/// phase barrier — one atomic add per *touched* cell per barrier instead of
+/// one per event. Obtain one sized for a registry via
+/// [`Registry::counter_block`].
+///
+/// Recording into a block is infallible and never blocks; adds and sums
+/// saturate exactly like the registry's own cells.
+pub struct CounterBlock {
+    procs: usize,
+    counters: Vec<u64>,              // procs * Counter::COUNT, proc-major
+    hists: [LocalHist; Hist::COUNT], // inline: no per-histogram allocation
+}
+
+impl std::fmt::Debug for CounterBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CounterBlock(procs={})", self.procs)
+    }
+}
+
+impl CounterBlock {
+    /// An empty block sized for a `procs`-processor machine.
+    pub fn new(procs: usize) -> CounterBlock {
+        let procs = procs.max(1);
+        CounterBlock {
+            procs,
+            counters: vec![0; procs * Counter::COUNT],
+            hists: [LocalHist::new(); Hist::COUNT],
+        }
+    }
+
+    /// Stage `n` onto a per-processor counter (saturating). Out-of-range
+    /// processors fold onto the last slot, mirroring [`Registry::add`].
+    #[inline]
+    pub fn add(&mut self, proc: ProcId, c: Counter, n: u64) {
+        let p = proc.index().min(self.procs - 1);
+        let cell = &mut self.counters[p * Counter::COUNT + c.slot()];
+        *cell = cell.saturating_add(n);
+    }
+
+    /// Stage one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, h: Hist, value: u64) {
+        let cells = &mut self.hists[h.slot()];
+        cells.buckets[bucket_of(value)] += 1;
+        cells.sum = cells.sum.saturating_add(value);
+    }
+
+    /// Stage a batch of observations on one histogram. Equivalent to
+    /// calling [`CounterBlock::observe`] per value, but the histogram is
+    /// resolved once and the sum is folded locally with a single
+    /// saturating step at the end — the right shape for engines that
+    /// produce a whole phase's observations at a barrier (the BSP machine
+    /// records every processor's barrier wait per superstep this way).
+    #[inline]
+    pub fn observe_many<I: IntoIterator<Item = u64>>(&mut self, h: Hist, values: I) {
+        let cells = &mut self.hists[h.slot()];
+        // Zero is the overwhelmingly common observation in barrier-wait
+        // style batches (the slowest processor always waits zero, and
+        // uniform supersteps wait zero everywhere), and zeros touch
+        // neither the sum nor any bucket but the first — count them in a
+        // register and land them in one add.
+        let mut zeros = 0u64;
+        let mut sum = 0u128;
+        for v in values {
+            if v == 0 {
+                zeros += 1;
+            } else {
+                cells.buckets[bucket_of(v)] += 1;
+                sum += u128::from(v);
+            }
+        }
+        cells.buckets[0] += zeros;
+        cells.sum = cells.sum.saturating_add(u64::try_from(sum).unwrap_or(u64::MAX));
+    }
+
+    /// Reset every cell to zero (done automatically by
+    /// [`Registry::absorb_counters`]).
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        for h in &mut self.hists {
+            h.buckets = [0; HIST_BUCKETS];
+            h.sum = 0;
+        }
+    }
+}
+
+struct Inner {
+    procs: usize,
+    sampler: Sampler,
+    ring_capacity: usize,
+    counters: Vec<AtomicU64>, // procs * Counter::COUNT, proc-major
+    hists: Vec<HistCells>,    // Hist::COUNT entries
+    // Staging lane for single-driver engines; allocated on first span so
+    // counter-only (and span-free) runs never pay for the slots.
+    ring: OnceLock<SpanRing>,
+    sink: Mutex<Vec<Span>>,    // deferred serialization target
+    extern_dropped: AtomicU64, // drops reported by per-shard rings
+}
+
+impl Inner {
+    fn new(procs: usize, tier: Tier, sample_key: u64, ring_capacity: usize) -> Inner {
+        let procs = procs.max(1);
+        Inner {
+            procs,
+            sampler: Sampler::new(tier, sample_key),
+            ring_capacity: ring_capacity.max(1).next_power_of_two(),
+            counters: (0..procs * Counter::COUNT).map(|_| AtomicU64::new(0)).collect(),
+            hists: (0..Hist::COUNT).map(|_| HistCells::new()).collect(),
+            ring: OnceLock::new(),
+            sink: Mutex::new(Vec::new()),
+            extern_dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn ring(&self) -> &SpanRing {
+        self.ring.get_or_init(|| SpanRing::new(self.ring_capacity))
+    }
+}
+
 /// Cheap cloneable handle to the metrics store; see the module docs.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Registry {
     inner: Option<Arc<Inner>>,
+    /// Effective tier of this handle (≤ the construction tier).
+    tier: Tier,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::disabled()
+    }
 }
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
             None => write!(f, "Registry(disabled)"),
-            Some(i) => write!(f, "Registry(procs={}, spans={})", i.procs, self.spans().len()),
+            Some(i) => write!(
+                f,
+                "Registry(procs={}, tier={}, spans={})",
+                i.procs,
+                self.tier.label(),
+                self.spans().len()
+            ),
         }
     }
 }
@@ -265,20 +446,117 @@ impl Registry {
     /// The no-op registry (the default). Every recording call is a single
     /// branch and returns immediately.
     pub fn disabled() -> Registry {
-        Registry { inner: None }
-    }
-
-    /// A recording registry sized for a `procs`-processor machine.
-    pub fn enabled(procs: usize) -> Registry {
         Registry {
-            inner: Some(Arc::new(Inner::new(procs))),
+            inner: None,
+            tier: Tier::Off,
         }
     }
 
-    /// Whether this handle records anything.
+    /// A recording registry sized for a `procs`-processor machine,
+    /// recording everything ([`Tier::Full`]).
+    pub fn enabled(procs: usize) -> Registry {
+        Registry::tiered(procs, Tier::Full, 0)
+    }
+
+    /// A registry recording at `tier`. `sample_key` keys the deterministic
+    /// span sampler at [`Tier::Sampled`] (derive it from the run's
+    /// `SeedStream` lane via `SeedStream::lane_key` so one cell keeps the
+    /// same subset at any shard or thread count); it is ignored at the
+    /// other tiers.
+    pub fn tiered(procs: usize, tier: Tier, sample_key: u64) -> Registry {
+        Registry::tiered_with_capacity(procs, tier, sample_key, default_ring_capacity(procs))
+    }
+
+    /// [`Registry::tiered`] with an explicit span-ring capacity (rounded
+    /// up to a power of two). Small capacities force overflow — useful for
+    /// testing the drop path; production code uses the default.
+    pub fn tiered_with_capacity(
+        procs: usize,
+        tier: Tier,
+        sample_key: u64,
+        ring_capacity: usize,
+    ) -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::new(procs, tier, sample_key, ring_capacity))),
+            tier,
+        }
+    }
+
+    /// A handle to the same store recording at `min(tier, self.tier)`:
+    /// narrower handles share counters and spans with wider ones, so a
+    /// per-run tier choice never forks the data.
+    #[must_use]
+    pub fn at_tier(&self, tier: Tier) -> Registry {
+        Registry {
+            inner: self.inner.clone(),
+            tier: self.tier.min(tier),
+        }
+    }
+
+    /// This handle's effective tier ([`Tier::Off`] when disabled).
+    pub fn tier(&self) -> Tier {
+        if self.inner.is_some() {
+            self.tier
+        } else {
+            Tier::Off
+        }
+    }
+
+    /// Whether this handle records anything (counters or more).
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() && self.tier.counters_on()
+    }
+
+    /// Whether this handle records spans (i.e. the tier is `Sampled` or
+    /// `Full`). Engines gate span *construction* on this so lower tiers
+    /// pay nothing for the spans they would not keep.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.is_some() && self.tier.spans_on()
+    }
+
+    /// Whether `span` is in this handle's kept subset: always at `Full`,
+    /// a deterministic content-keyed choice at `Sampled`, never below.
+    /// Sharded engines staging spans in their own rings call this before
+    /// pushing, so sampling happens at record time on every path.
+    #[inline]
+    pub fn admits(&self, span: &Span) -> bool {
+        match &self.inner {
+            Some(inner) if self.tier.spans_on() => inner.sampler.admits(span),
+            _ => false,
+        }
+    }
+
+    /// Phase-granular sampling decision (see [`Sampler::admits_phase`]):
+    /// whether the burst of spans anchored to phase `index` is kept.
+    /// Engines that emit all of a phase's spans at one barrier check this
+    /// once and push the admitted burst with [`Registry::span_admitted`],
+    /// skipping the per-span sampler entirely.
+    #[inline]
+    pub fn admits_phase(&self, index: u64) -> bool {
+        match &self.inner {
+            Some(inner) if self.tier.spans_on() => inner.sampler.admits_phase(index),
+            _ => false,
+        }
+    }
+
+    /// Stage a span whose phase was already admitted by
+    /// [`Registry::admits_phase`] — tier-gated but not re-sampled.
+    /// Single-producer discipline, like [`Registry::span`].
+    #[inline]
+    pub fn span_admitted(&self, span: Span) {
+        if let Some(inner) = &self.inner {
+            if self.tier.spans_on() {
+                inner.ring().push(&span);
+            }
+        }
+    }
+
+    /// The configured span-ring capacity (per-shard rings use the same
+    /// size as the registry's own staging lane). 0 when disabled.
+    pub fn ring_capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.ring_capacity)
     }
 
     /// Number of processor slots (0 when disabled).
@@ -290,6 +568,9 @@ impl Registry {
     /// folded onto the last slot rather than panicking.
     #[inline]
     pub fn add(&self, proc: ProcId, c: Counter, n: u64) {
+        if !self.tier.counters_on() {
+            return;
+        }
         if let Some(inner) = &self.inner {
             let p = (proc.index()).min(inner.procs - 1);
             inner.counters[p * Counter::COUNT + c.slot()].fetch_add(n, Ordering::Relaxed);
@@ -299,32 +580,144 @@ impl Registry {
     /// Record one observation into a histogram.
     #[inline]
     pub fn observe(&self, h: Hist, value: u64) {
+        if !self.tier.counters_on() {
+            return;
+        }
         if let Some(inner) = &self.inner {
             let cells = &inner.hists[h.slot()];
             cells.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
             cells.count.fetch_add(1, Ordering::Relaxed);
             // Saturating accumulate: a wrapped sum would silently corrupt
             // attribution, a panic would abort the observed run.
-            let mut cur = cells.sum.load(Ordering::Relaxed);
-            loop {
-                let next = cur.saturating_add(value);
-                match cells
-                    .sum
-                    .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-                {
-                    Ok(_) => break,
-                    Err(seen) => cur = seen,
+            saturating_fetch_add(&cells.sum, value);
+        }
+    }
+
+    /// A fresh [`CounterBlock`] sized for this registry, or `None` when
+    /// this handle records no counters (so the engine hot path can skip
+    /// staging entirely with one `Option` check).
+    pub fn counter_block(&self) -> Option<CounterBlock> {
+        match &self.inner {
+            Some(inner) if self.tier.counters_on() => Some(CounterBlock::new(inner.procs)),
+            _ => None,
+        }
+    }
+
+    /// Phase-barrier hook for counters: fold a staged [`CounterBlock`]
+    /// into the shared cells — one atomic add per touched cell — and clear
+    /// the block for the next phase. Blocks sized for more processors than
+    /// the registry fold their tail onto the last slot, mirroring
+    /// [`Registry::add`].
+    pub fn absorb_counters(&self, block: &mut CounterBlock) {
+        if let Some(inner) = &self.inner {
+            if self.tier.counters_on() {
+                if block.procs == inner.procs {
+                    // Matched layout (the block came from this registry):
+                    // fold cell-for-cell. Per-processor cells are
+                    // single-writer — each processor's counters are only
+                    // ever advanced by the shard that owns it, and absorbs
+                    // happen at barriers on the driver thread — so a
+                    // relaxed read-modify-write pair is enough; readers
+                    // still see atomic snapshots.
+                    for (cell, &v) in inner.counters.iter().zip(&block.counters) {
+                        if v != 0 {
+                            // Same wrapping semantics as `Registry::add`.
+                            let cur = cell.load(Ordering::Relaxed);
+                            cell.store(cur.wrapping_add(v), Ordering::Relaxed);
+                        }
+                    }
+                } else {
+                    for (i, &v) in block.counters.iter().enumerate() {
+                        if v != 0 {
+                            let (p, c) = (i / Counter::COUNT, i % Counter::COUNT);
+                            let p = p.min(inner.procs - 1);
+                            inner.counters[p * Counter::COUNT + c].fetch_add(v, Ordering::Relaxed);
+                        }
+                    }
+                }
+                for (h, local) in block.hists.iter().enumerate() {
+                    let cells = &inner.hists[h];
+                    let mut count = 0u64;
+                    for (b, &n) in local.buckets.iter().enumerate() {
+                        if n != 0 {
+                            count += n;
+                            cells.buckets[b].fetch_add(n, Ordering::Relaxed);
+                        }
+                    }
+                    if count != 0 {
+                        cells.count.fetch_add(count, Ordering::Relaxed);
+                        saturating_fetch_add(&cells.sum, local.sum);
+                    }
+                }
+            }
+        }
+        block.clear();
+    }
+
+    /// Record a span: sampled by the tier, staged in the registry's own
+    /// SPSC ring. Single-producer discipline — this path is for the one
+    /// driver thread of an unsharded run; engine shards stage into their
+    /// own [`SpanRing`]s and deposit with [`Registry::absorb_spans`]. A
+    /// full ring drops the span and counts it; call
+    /// [`Registry::flush_spans`] at phase barriers to keep headroom.
+    #[inline]
+    pub fn span(&self, span: Span) {
+        if let Some(inner) = &self.inner {
+            if self.tier.spans_on() && inner.sampler.admits(&span) {
+                inner.ring().push(&span);
+            }
+        }
+    }
+
+    /// Phase-barrier hook: move the staging ring's contents into the
+    /// serialization sink (one lock acquisition per barrier, amortized
+    /// over every span recorded since the previous one).
+    pub fn flush_spans(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(ring) = inner.ring.get() {
+                if !ring.is_empty() {
+                    let mut sink = inner.sink.lock().expect("span sink poisoned");
+                    ring.drain(&mut sink);
                 }
             }
         }
     }
 
-    /// Append a span to the log.
-    #[inline]
-    pub fn span(&self, span: Span) {
+    /// Deposit a batch drained from a per-shard ring into the sink (the
+    /// batch is emptied). Order across shards does not matter:
+    /// [`Registry::spans`] canonicalizes.
+    pub fn absorb_spans(&self, batch: &mut Vec<Span>) {
         if let Some(inner) = &self.inner {
-            inner.spans.lock().expect("span log poisoned").push(span);
+            if !batch.is_empty() {
+                let mut sink = inner.sink.lock().expect("span sink poisoned");
+                sink.append(batch);
+            }
         }
+        batch.clear();
+    }
+
+    /// Fold drops observed by a per-shard ring into
+    /// [`Registry::spans_dropped`] (saturating).
+    pub fn note_spans_dropped(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            saturating_fetch_add(&inner.extern_dropped, n);
+        }
+    }
+
+    /// Spans dropped because a ring was full (registry staging lane plus
+    /// every per-shard ring that reported in). Zero is the healthy state;
+    /// nonzero means the trace is a prefix-sampled subset and the ring
+    /// capacity (or the tier) should come down.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.ring
+                .get()
+                .map_or(0, SpanRing::dropped)
+                .saturating_add(i.extern_dropped.load(Ordering::Relaxed))
+        })
     }
 
     /// Total of a counter across all processors.
@@ -366,12 +759,35 @@ impl Registry {
         }
     }
 
-    /// Copy of the span log, in emission order (empty when disabled).
+    /// Copy of the span log in canonical content order — `(start, end,
+    /// kind, proc, index)` — which is independent of emission
+    /// interleaving, so two runs that record the same span *set* render
+    /// the same log regardless of shard or thread count. Flushes the
+    /// staging ring first. Empty when disabled.
     pub fn spans(&self) -> Vec<Span> {
-        self.inner
-            .as_ref()
-            .map_or_else(Vec::new, |i| i.spans.lock().expect("span log poisoned").clone())
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        self.flush_spans();
+        let mut spans = inner.sink.lock().expect("span sink poisoned").clone();
+        spans.sort_by_key(span_sort_key);
+        spans
     }
+}
+
+/// The canonical content order used by [`Registry::spans`]. Total on span
+/// content: two spans compare equal only if they are field-for-field
+/// identical, so the sort is deterministic for any emission interleaving.
+fn span_sort_key(s: &Span) -> (u64, u64, u8, bool, u32, bool, u64) {
+    (
+        s.start.get(),
+        s.end.get(),
+        s.kind as u8,
+        s.proc.is_some(),
+        s.proc.map_or(0, |p| p.0),
+        s.index.is_some(),
+        s.index.unwrap_or(0),
+    )
 }
 
 #[cfg(test)]
@@ -387,9 +803,12 @@ mod tests {
         r.observe(Hist::DeliveryLatency, 9);
         r.span(Span::new(SpanKind::Stall, Steps(0), Steps(1)));
         assert!(!r.is_enabled());
+        assert!(!r.spans_enabled());
+        assert_eq!(r.tier(), Tier::Off);
         assert_eq!(r.counter(Counter::Submitted), 0);
         assert_eq!(r.histogram(Hist::DeliveryLatency).count, 0);
         assert!(r.spans().is_empty());
+        assert_eq!(r.spans_dropped(), 0);
     }
 
     #[test]
@@ -432,6 +851,114 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].kind, SpanKind::CbCombine);
         assert_eq!(spans[1].kind, SpanKind::CbBroadcast);
+    }
+
+    #[test]
+    fn span_order_is_canonical_not_emission() {
+        let r = Registry::enabled(2);
+        r.span(Span::new(SpanKind::Stall, Steps(9), Steps(12)).on(ProcId(1)));
+        r.span(Span::new(SpanKind::Stall, Steps(2), Steps(5)).on(ProcId(0)));
+        r.span(Span::new(SpanKind::Stall, Steps(2), Steps(5)).on(ProcId(1)));
+        let spans = r.spans();
+        assert_eq!(spans[0].start, Steps(2));
+        assert_eq!(spans[0].proc, Some(ProcId(0)));
+        assert_eq!(spans[1].proc, Some(ProcId(1)));
+        assert_eq!(spans[2].start, Steps(9));
+        // Reading twice is stable (spans stay in the sink).
+        assert_eq!(r.spans(), spans);
+    }
+
+    #[test]
+    fn counters_only_tier_drops_spans_keeps_counters() {
+        let r = Registry::tiered(2, Tier::CountersOnly, 0);
+        r.add(ProcId(0), Counter::LocalOps, 7);
+        r.observe(Hist::SuperstepCost, 11);
+        r.span(Span::new(SpanKind::Superstep, Steps(0), Steps(11)));
+        assert!(r.is_enabled());
+        assert!(!r.spans_enabled());
+        assert_eq!(r.counter(Counter::LocalOps), 7);
+        assert_eq!(r.histogram(Hist::SuperstepCost).count, 1);
+        assert!(r.spans().is_empty());
+        // Dropped-before-construction spans are not "dropped" overflow.
+        assert_eq!(r.spans_dropped(), 0);
+    }
+
+    #[test]
+    fn off_tier_handle_on_enabled_store_is_inert() {
+        let full = Registry::enabled(2);
+        let off = full.at_tier(Tier::Off);
+        assert!(!off.is_enabled());
+        off.add(ProcId(0), Counter::LocalOps, 5);
+        off.span(Span::new(SpanKind::Superstep, Steps(0), Steps(1)));
+        assert_eq!(full.counter(Counter::LocalOps), 0);
+        assert!(full.spans().is_empty());
+        // The wide handle still records into the shared store.
+        full.add(ProcId(0), Counter::LocalOps, 2);
+        assert_eq!(off.counter(Counter::LocalOps), 2, "reads ignore the tier");
+    }
+
+    #[test]
+    fn at_tier_narrows_never_widens() {
+        let counters = Registry::tiered(1, Tier::CountersOnly, 0);
+        assert_eq!(counters.at_tier(Tier::Full).tier(), Tier::CountersOnly);
+        let sampled = Registry::tiered(1, Tier::Sampled { rate: 8 }, 3);
+        assert_eq!(
+            sampled.at_tier(Tier::Sampled { rate: 32 }).tier(),
+            Tier::Sampled { rate: 32 }
+        );
+        assert_eq!(sampled.at_tier(Tier::Full).tier(), Tier::Sampled { rate: 8 });
+    }
+
+    #[test]
+    fn sampled_tier_keeps_a_deterministic_subset() {
+        let spans: Vec<Span> = (0..512)
+            .map(|i| Span::new(SpanKind::Stall, Steps(i), Steps(i + 2)).on(ProcId((i % 8) as u32)))
+            .collect();
+        let run = |order_rev: bool| {
+            let r = Registry::tiered(8, Tier::Sampled { rate: 4 }, 99);
+            let iter: Box<dyn Iterator<Item = &Span>> = if order_rev {
+                Box::new(spans.iter().rev())
+            } else {
+                Box::new(spans.iter())
+            };
+            for s in iter {
+                r.span(*s);
+            }
+            r.spans()
+        };
+        let fwd = run(false);
+        let rev = run(true);
+        assert_eq!(fwd, rev, "kept subset is emission-order independent");
+        assert!(!fwd.is_empty() && fwd.len() < spans.len());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_instead_of_blocking() {
+        let r = Registry::tiered_with_capacity(1, Tier::Full, 0, 4);
+        for i in 0..10u64 {
+            r.span(Span::new(SpanKind::Stall, Steps(i), Steps(i + 1)));
+        }
+        assert_eq!(r.spans_dropped(), 6);
+        assert_eq!(r.spans().len(), 4);
+        // After a flush the ring has headroom again.
+        r.span(Span::new(SpanKind::Stall, Steps(90), Steps(91)));
+        assert_eq!(r.spans().len(), 5);
+        r.note_spans_dropped(3);
+        assert_eq!(r.spans_dropped(), 9);
+    }
+
+    #[test]
+    fn absorb_spans_deposits_shard_batches() {
+        let r = Registry::enabled(4);
+        let mut batch = vec![
+            Span::new(SpanKind::Stall, Steps(5), Steps(9)).on(ProcId(3)),
+            Span::new(SpanKind::Stall, Steps(1), Steps(2)).on(ProcId(2)),
+        ];
+        r.absorb_spans(&mut batch);
+        assert!(batch.is_empty());
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, Steps(1));
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Lock-free SPSC span ring buffers.
+//!
+//! A [`SpanRing`] is the bounded staging area between a span producer (one
+//! engine shard, or the single driver thread of an unsharded machine) and
+//! the deferred serialization that runs at phase barriers. The contract is
+//! single-producer/single-consumer: one thread calls [`SpanRing::push`],
+//! one thread (possibly the same one, at a barrier) calls
+//! [`SpanRing::drain`]. Under that discipline every operation is wait-free
+//! and the hot path never takes a lock, never allocates, and never blocks:
+//! a full ring *drops* the span and bumps a saturating counter instead.
+//!
+//! Layout: a power-of-two array of fixed-width slots, each slot four
+//! `AtomicU64` words holding an encoded [`Span`] (kind + presence flags +
+//! proc, start, end, index). Word-level atomics keep the structure safe
+//! Rust end to end — the producer publishes a slot with a release store of
+//! the head index, the consumer acquires it before decoding — and the
+//! head/tail indices live on their own cache lines so the producer and
+//! consumer do not false-share.
+
+use crate::span::{Span, SpanKind};
+use bvl_model::{ProcId, Steps};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pad to a cache line so the producer-side and consumer-side indices do
+/// not false-share.
+#[repr(align(64))]
+struct CacheLine(AtomicU64);
+
+/// One encoded span: flags+kind+proc word, start, end, index.
+const SLOT_WORDS: usize = 4;
+
+const FLAG_PROC: u64 = 1 << 8;
+const FLAG_INDEX: u64 = 1 << 9;
+
+#[inline]
+fn encode(span: &Span) -> [u64; SLOT_WORDS] {
+    let mut w0 = span.kind as u64;
+    if let Some(p) = span.proc {
+        w0 |= FLAG_PROC | (u64::from(p.0) << 32);
+    }
+    if span.index.is_some() {
+        w0 |= FLAG_INDEX;
+    }
+    [
+        w0,
+        span.start.get(),
+        span.end.get(),
+        span.index.unwrap_or(0),
+    ]
+}
+
+#[inline]
+fn decode(w: [u64; SLOT_WORDS]) -> Span {
+    let kind = SpanKind::ALL[(w[0] & 0xFF) as usize % SpanKind::ALL.len()];
+    Span {
+        kind,
+        start: Steps(w[1]),
+        end: Steps(w[2]),
+        proc: (w[0] & FLAG_PROC != 0).then(|| ProcId((w[0] >> 32) as u32)),
+        index: (w[0] & FLAG_INDEX != 0).then_some(w[3]),
+    }
+}
+
+/// A fixed-capacity, power-of-two, cache-line-padded SPSC span buffer;
+/// see the module docs.
+pub struct SpanRing {
+    slots: Vec<[AtomicU64; SLOT_WORDS]>,
+    mask: u64,
+    head: CacheLine,    // next sequence number to publish (producer-owned)
+    tail: CacheLine,    // next sequence number to consume (consumer-owned)
+    dropped: AtomicU64, // pushes refused because the ring was full
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SpanRing(capacity={}, len={}, dropped={})",
+            self.capacity(),
+            self.len(),
+            self.dropped()
+        )
+    }
+}
+
+impl SpanRing {
+    /// A ring holding at least `capacity` spans (rounded up to the next
+    /// power of two, minimum 1).
+    pub fn new(capacity: usize) -> SpanRing {
+        let cap = capacity.max(1).next_power_of_two();
+        SpanRing {
+            slots: (0..cap)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            mask: cap as u64 - 1,
+            head: CacheLine(AtomicU64::new(0)),
+            tail: CacheLine(AtomicU64::new(0)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans currently buffered (exact under the SPSC discipline).
+    pub fn len(&self) -> usize {
+        let head = self.head.0.load(Ordering::Acquire);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes refused so far because the ring was full (saturating).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: append `span`, or — when the ring is full — drop it,
+    /// bump the `dropped` counter, and return `false`. Never blocks.
+    #[inline]
+    pub fn push(&self, span: &Span) -> bool {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > self.mask {
+            let d = &self.dropped;
+            let cur = d.load(Ordering::Relaxed);
+            d.store(cur.saturating_add(1), Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[(head & self.mask) as usize];
+        let words = encode(span);
+        for (cell, w) in slot.iter().zip(words) {
+            cell.store(w, Ordering::Relaxed);
+        }
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: move every buffered span into `out`, in push order.
+    /// Returns how many were drained.
+    pub fn drain(&self, out: &mut Vec<Span>) -> usize {
+        let head = self.head.0.load(Ordering::Acquire);
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        let n = head.wrapping_sub(tail) as usize;
+        out.reserve(n);
+        while tail != head {
+            let slot = &self.slots[(tail & self.mask) as usize];
+            let words = std::array::from_fn(|i| slot[i].load(Ordering::Relaxed));
+            out.push(decode(words));
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.0.store(tail, Ordering::Release);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: u64) -> Span {
+        Span::new(SpanKind::Stall, Steps(i), Steps(i + 2))
+            .on(ProcId(i as u32 * 3))
+            .at_index(i * 7)
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_every_shape() {
+        let shapes = [
+            Span::new(SpanKind::Superstep, Steps(0), Steps(9)),
+            Span::new(SpanKind::LocalWork, Steps(3), Steps(5)).on(ProcId(0)),
+            Span::new(SpanKind::Routing, Steps(1), Steps(4)).at_index(0),
+            Span::new(SpanKind::CbCombine, Steps(u64::MAX - 1), Steps(u64::MAX))
+                .on(ProcId(u32::MAX))
+                .at_index(u64::MAX),
+        ];
+        for s in shapes {
+            assert_eq!(decode(encode(&s)), s);
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let ring = SpanRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(&span(i)));
+        }
+        assert_eq!(ring.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(ring.drain(&mut out), 5);
+        assert_eq!(out, (0..5).map(span).collect::<Vec<_>>());
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = SpanRing::new(4);
+        for i in 0..4 {
+            assert!(ring.push(&span(i)));
+        }
+        assert!(!ring.push(&span(4)));
+        assert!(!ring.push(&span(5)));
+        assert_eq!(ring.dropped(), 2);
+        // The first four are intact; post-drain pushes succeed again.
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(ring.push(&span(6)));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpanRing::new(0).capacity(), 1);
+        assert_eq!(SpanRing::new(1).capacity(), 1);
+        assert_eq!(SpanRing::new(3).capacity(), 4);
+        assert_eq!(SpanRing::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let ring = SpanRing::new(4);
+        let mut out = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..3 {
+                assert!(ring.push(&span(round * 3 + i)));
+            }
+            ring.drain(&mut out);
+        }
+        assert_eq!(out.len(), 150);
+        assert!(out.iter().enumerate().all(|(i, s)| s.start == Steps(i as u64)));
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let ring = std::sync::Arc::new(SpanRing::new(64));
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..10_000 {
+                    if ring.push(&span(i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut out = Vec::new();
+        while !producer.is_finished() {
+            ring.drain(&mut out);
+        }
+        ring.drain(&mut out);
+        let pushed = producer.join().expect("producer");
+        assert_eq!(out.len() as u64, pushed);
+        assert_eq!(pushed + ring.dropped(), 10_000);
+        // Drained spans decode intact (monotone starts, correct fields).
+        let mut prev = None;
+        for s in &out {
+            assert_eq!(s.end, s.start + Steps(2));
+            if let Some(p) = prev {
+                assert!(s.start > p);
+            }
+            prev = Some(s.start);
+        }
+    }
+}

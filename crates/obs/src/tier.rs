@@ -1,0 +1,254 @@
+//! Execution tiers: how much the observability plane records.
+//!
+//! A [`Tier`] is a run-time dial between "pay nothing" and "record
+//! everything". The registry enforces it at every recording call, so the
+//! engines carry one handle and never branch on the tier themselves:
+//!
+//! * [`Tier::Off`] — nothing is recorded; every call is one branch.
+//! * [`Tier::CountersOnly`] — per-processor counters and histograms
+//!   record, spans are dropped before construction.
+//! * [`Tier::Sampled`] — counters plus a deterministic subset of spans,
+//!   roughly one in `rate`.
+//! * [`Tier::Full`] — everything (the historical behaviour).
+//!
+//! Sampling is *content-keyed*, not stateful: whether a span is kept
+//! depends only on the span itself and a [`Sampler`] key derived from the
+//! run's per-`(domain, index)` `SeedStream` lane. Two runs of the same
+//! workload — at any shard or thread count, in any emission order —
+//! therefore keep exactly the same subset, which is what makes a sampled
+//! trace diffable across shard counts.
+
+use crate::span::Span;
+
+/// How much the observability plane records; see the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Tier {
+    /// Record nothing.
+    Off,
+    /// Counters and histograms only; spans are dropped.
+    CountersOnly,
+    /// Counters plus a deterministic ~`1/rate` subset of spans.
+    Sampled {
+        /// Keep roughly one span in `rate` (`rate <= 1` keeps all).
+        rate: u32,
+    },
+    /// Record everything.
+    #[default]
+    Full,
+}
+
+impl Tier {
+    /// Ordering rank: `Off < CountersOnly < Sampled < Full`.
+    pub const fn rank(self) -> u8 {
+        match self {
+            Tier::Off => 0,
+            Tier::CountersOnly => 1,
+            Tier::Sampled { .. } => 2,
+            Tier::Full => 3,
+        }
+    }
+
+    /// Whether counters and histograms record at this tier.
+    pub const fn counters_on(self) -> bool {
+        self.rank() >= 1
+    }
+
+    /// Whether any spans record at this tier.
+    pub const fn spans_on(self) -> bool {
+        self.rank() >= 2
+    }
+
+    /// The lower of two tiers (a handle can restrict, never widen, what
+    /// its registry was built to record). When both sides are `Sampled`,
+    /// the sparser rate (larger `rate`) wins.
+    pub fn min(self, other: Tier) -> Tier {
+        match (self, other) {
+            (Tier::Sampled { rate: a }, Tier::Sampled { rate: b }) => {
+                Tier::Sampled { rate: a.max(b) }
+            }
+            (a, b) => {
+                if a.rank() <= b.rank() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// Stable label: `off`, `counters`, `sampled:<rate>`, `full`.
+    pub fn label(self) -> String {
+        match self {
+            Tier::Off => "off".into(),
+            Tier::CountersOnly => "counters".into(),
+            Tier::Sampled { rate } => format!("sampled:{rate}"),
+            Tier::Full => "full".into(),
+        }
+    }
+
+    /// Parse a label produced by [`Tier::label`]; `sampled` without a rate
+    /// means the default rate of 8.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "off" => Some(Tier::Off),
+            "counters" | "counters-only" => Some(Tier::CountersOnly),
+            "sampled" => Some(Tier::Sampled { rate: 8 }),
+            "full" => Some(Tier::Full),
+            _ => {
+                let rate = s.strip_prefix("sampled:")?.parse::<u32>().ok()?;
+                Some(Tier::Sampled { rate: rate.max(1) })
+            }
+        }
+    }
+}
+
+/// The deterministic span sampler: a pure function of `(key, span)`.
+///
+/// The key comes from the run's `SeedStream` lane (see
+/// `bvl_model::rngutil::SeedStream::lane_key`), so distinct cells sample
+/// distinct subsets while one cell samples the same subset everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct Sampler {
+    rate: u32,
+    key: u64,
+}
+
+impl Sampler {
+    /// Sampler for a tier: keep-all below `Sampled`, keyed at `Sampled`.
+    pub fn new(tier: Tier, key: u64) -> Sampler {
+        let rate = match tier {
+            Tier::Sampled { rate } => rate.max(1),
+            _ => 1,
+        };
+        Sampler { rate, key }
+    }
+
+    /// The sampling key (0 when keep-all).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Nominal kept fraction (`1/rate`).
+    pub fn fraction(&self) -> f64 {
+        1.0 / f64::from(self.rate)
+    }
+
+    /// Whether `span` is in the kept subset. Depends only on the span's
+    /// content and the key — never on emission order, thread, or shard.
+    #[inline]
+    pub fn admits(&self, span: &Span) -> bool {
+        if self.rate <= 1 {
+            return true;
+        }
+        self.keeps(self.mix(span))
+    }
+
+    /// Whether spans anchored to phase `index` are in the kept subset.
+    ///
+    /// Engines that emit spans in per-phase bursts (the BSP machine emits
+    /// every superstep's spans at its barrier) sample at phase granularity:
+    /// one decision — a pure function of `(key, index)`, so still
+    /// bit-identical at any shard or thread count — covers the whole
+    /// burst, and rejected phases never even construct their spans. A
+    /// sampled BSP trace therefore keeps complete supersteps, roughly one
+    /// in `rate`.
+    #[inline]
+    pub fn admits_phase(&self, index: u64) -> bool {
+        if self.rate <= 1 {
+            return true;
+        }
+        self.keeps(splitmix(self.key ^ index.wrapping_mul(0x100_0000_01b3)))
+    }
+
+    /// Map a mixed hash onto the keep decision without a `u64` division:
+    /// `(h * rate) >> 64` is uniform over `0..rate`, and 0 keeps.
+    #[inline]
+    fn keeps(&self, h: u64) -> bool {
+        (u128::from(h) * u128::from(self.rate)) >> 64 == 0
+    }
+
+    #[inline]
+    fn mix(&self, span: &Span) -> u64 {
+        // SplitMix64 finalizer over an FNV-style fold of the span fields;
+        // cheap, stateless, and well-distributed enough for rate-sampling.
+        let mut h = self.key ^ 0xcbf2_9ce4_8422_2325;
+        let fold = |h: u64, v: u64| (h ^ v).wrapping_mul(0x100_0000_01b3);
+        h = fold(h, span.kind as u64);
+        h = fold(h, span.start.get());
+        h = fold(h, span.end.get());
+        h = fold(h, span.proc.map_or(u64::MAX, |p| u64::from(p.0)));
+        h = fold(h, span.index.unwrap_or(u64::MAX ^ 1));
+        splitmix(h)
+    }
+}
+
+#[inline]
+fn splitmix(h: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+    use bvl_model::{ProcId, Steps};
+
+    #[test]
+    fn labels_roundtrip() {
+        for t in [
+            Tier::Off,
+            Tier::CountersOnly,
+            Tier::Sampled { rate: 16 },
+            Tier::Full,
+        ] {
+            assert_eq!(Tier::parse(&t.label()), Some(t));
+        }
+        assert_eq!(Tier::parse("sampled"), Some(Tier::Sampled { rate: 8 }));
+        assert_eq!(Tier::parse("counters-only"), Some(Tier::CountersOnly));
+        assert_eq!(Tier::parse("sampled:0"), Some(Tier::Sampled { rate: 1 }));
+        assert_eq!(Tier::parse("everything"), None);
+    }
+
+    #[test]
+    fn ranks_order_and_min_caps() {
+        assert!(Tier::Off.rank() < Tier::CountersOnly.rank());
+        assert!(Tier::CountersOnly.rank() < Tier::Sampled { rate: 4 }.rank());
+        assert!(Tier::Sampled { rate: 4 }.rank() < Tier::Full.rank());
+        assert_eq!(Tier::Full.min(Tier::CountersOnly), Tier::CountersOnly);
+        assert_eq!(Tier::Off.min(Tier::Full), Tier::Off);
+        assert_eq!(
+            Tier::Sampled { rate: 4 }.min(Tier::Sampled { rate: 16 }),
+            Tier::Sampled { rate: 16 }
+        );
+        assert!(!Tier::CountersOnly.spans_on() && Tier::CountersOnly.counters_on());
+        assert!(Tier::Sampled { rate: 2 }.spans_on());
+        assert!(!Tier::Off.counters_on());
+    }
+
+    #[test]
+    fn sampler_is_content_keyed_and_rate_shaped() {
+        let s = Sampler::new(Tier::Sampled { rate: 4 }, 0xDEAD_BEEF);
+        let span = |i: u64| {
+            Span::new(SpanKind::Stall, Steps(i), Steps(i + 3))
+                .on(ProcId((i % 7) as u32))
+                .at_index(i)
+        };
+        // Pure function of content: same span, same verdict, every time.
+        for i in 0..64 {
+            assert_eq!(s.admits(&span(i)), s.admits(&span(i)));
+        }
+        // Rate-shaped: over many distinct spans, roughly 1/4 admitted.
+        let kept = (0..4096).filter(|&i| s.admits(&span(i))).count();
+        assert!((700..=1350).contains(&kept), "kept {kept} of 4096 at rate 4");
+        // Different keys keep different subsets.
+        let s2 = Sampler::new(Tier::Sampled { rate: 4 }, 0x1234_5678);
+        let differs = (0..256).any(|i| s.admits(&span(i)) != s2.admits(&span(i)));
+        assert!(differs);
+        // Keep-all tiers admit everything.
+        let full = Sampler::new(Tier::Full, 9);
+        assert!((0..256).all(|i| full.admits(&span(i))));
+    }
+}

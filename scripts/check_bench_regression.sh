@@ -19,6 +19,13 @@
 # not noise. The gate is skipped with a notice when no baseline is
 # committed.
 #
+# Gate 3 checks the committed BENCH_obs.json records a passing acceptance
+# block, then re-runs `bench_obs` in a scratch directory. The committed
+# wall-clock numbers belong to another host, so nothing is diffed against
+# them — the binary gates *same-host relative* overheads (off/counters/
+# sampled vs an uninstrumented baseline) itself and exits non-zero past
+# the limits. Skipped with a notice when no baseline is committed.
+#
 # The committed BENCH_engine.json is restored afterwards; regenerating the
 # baselines themselves is `scripts/regen_experiments.sh`'s job.
 set -euo pipefail
@@ -26,11 +33,13 @@ cd "$(dirname "$0")/.."
 
 baseline=$(mktemp)
 faults_work=""
+obs_work=""
 cp BENCH_engine.json "$baseline"
 restore() {
     cp "$baseline" BENCH_engine.json
     rm -f "$baseline"
     if [[ -n "$faults_work" ]]; then rm -rf "$faults_work"; fi
+    if [[ -n "$obs_work" ]]; then rm -rf "$obs_work"; fi
 }
 trap restore EXIT
 
@@ -93,8 +102,7 @@ echo "bench_engine regression gate: PASS (committed baseline restored)"
 
 if [[ ! -f BENCH_faults.json ]]; then
     echo "notice: no committed BENCH_faults.json baseline; skipping fault-conformance gate"
-    exit 0
-fi
+else
 
 # Run the full matrix in a scratch directory so the committed baseline and
 # any working-tree fault-repros.txt stay untouched. `exp_faults` writes its
@@ -145,3 +153,37 @@ if fail:
 print(f"PASS faults: {len(b)} cases bit-identical to baseline")
 PY
 echo "exp_faults conformance gate: PASS (exact match)"
+
+fi # BENCH_faults.json gate
+
+if [[ ! -f BENCH_obs.json ]]; then
+    echo "notice: no committed BENCH_obs.json baseline; skipping obs-overhead gate"
+    exit 0
+fi
+
+# The committed baseline must itself record a passing acceptance block —
+# a red baseline should never be committable by accident.
+python3 - <<'PY'
+import json, sys
+
+acc = json.load(open("BENCH_obs.json"))["acceptance"]
+if not acc.get("pass", False):
+    print("FAIL obs: committed BENCH_obs.json records a failing acceptance block")
+    sys.exit(1)
+print(f'PASS obs baseline: worst off {acc["off_overhead_worst_pct"]:+.2f}% '
+      f'(limit {acc["off_overhead_limit_pct"]:.0f}%), '
+      f'counters {acc["counters_overhead_worst_pct"]:+.2f}% '
+      f'(limit {acc["counters_overhead_limit_pct"]:.0f}%), '
+      f'sampled {acc["sampled_overhead_worst_pct"]:+.2f}% '
+      f'(limit {acc["sampled_overhead_limit_pct"]:.0f}%)')
+PY
+
+# Re-run in a scratch directory so the committed baseline stays untouched.
+# bench_obs gates its own same-host relative overheads and exits non-zero
+# past the limits; its per-workload rows go to stderr for the log.
+obs_work=$(mktemp -d)
+repo_root=$PWD
+(cd "$obs_work" && \
+    cargo run -q --release --manifest-path "$repo_root/Cargo.toml" \
+        -p bvl-bench --bin bench_obs >/dev/null)
+echo "bench_obs overhead gate: PASS (tiered overheads within limits on this host)"

@@ -47,8 +47,8 @@ CRITERION_JSONL="$mini" cargo run -q --release -p bvl-bench --bin bench_engine >
 rm -f "$mini"
 echo "BENCH_engine.json regenerated."
 
-# Observability overhead gate: baseline vs disabled-registry vs enabled,
-# written to BENCH_obs.json; exits non-zero if the disabled column costs
-# more than 2% over baseline.
+# Observability overhead gate: baseline vs the tier ladder (off /
+# counters / sampled / full), written to BENCH_obs.json; exits non-zero
+# past the limits (off <= 2%, counters <= 4%, sampled <= 8%).
 cargo run -q --release -p bvl-bench --bin bench_obs >/dev/null
 echo "BENCH_obs.json regenerated."

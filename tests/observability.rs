@@ -17,7 +17,7 @@ use bvl_exec::RunOptions;
 use bvl_logp::{LogpConfig, LogpMachine, LogpParams, Op, Script};
 use bvl_model::{Payload, ProcId, Steps};
 use bvl_obs::export::{jsonl, parse_jsonl};
-use bvl_obs::{Counter, Registry};
+use bvl_obs::{Counter, Hist, Registry, Tier};
 
 /// A hand-built workload with known accounting: in superstep 0 every
 /// processor charges `10` local operations and sends one word to each of its
@@ -215,4 +215,122 @@ fn disabled_registry_is_inert() {
     assert_eq!(plain.native_total, obs.native_total);
     assert!(disabled.spans().is_empty());
     assert_eq!(disabled.counter(Counter::Submitted), 0);
+}
+
+/// Span rings saturate, never block: with a deliberately tiny staging
+/// capacity, a stall-heavy run at every shard count completes without
+/// panic or deadlock, its counters are exactly what a roomy ring records,
+/// the overflow is counted in `spans_dropped`, and kept + dropped equals
+/// the span count of an undersized-ring-free run (span conservation).
+#[test]
+fn full_rings_drop_and_count_instead_of_blocking() {
+    let p = 8;
+    // Heavy flood: enough stall episodes per scheduling round that every
+    // sender shard overflows a 1-slot ring even when the senders are
+    // spread across 4 shards (at 4 shards each shard stages at most two
+    // spans per flush cycle, so capacity 2 would never drop).
+    let k = 40;
+    let params = LogpParams::new(p, 16, 1, 2).unwrap();
+    let scripts = || {
+        let mut v = vec![Script::new(vec![Op::Recv; (p - 1) * k])];
+        v.extend((1..p).map(|i| {
+            Script::new((0..k).map(move |q| Op::Send {
+                dst: ProcId(0),
+                payload: Payload::word(q as u32, i as i64),
+            }))
+        }));
+        v
+    };
+    let config = LogpConfig {
+        forbid_stalling: false,
+        ..LogpConfig::default()
+    };
+    // Reference: default (roomy) capacity — nothing dropped.
+    let roomy = Registry::tiered(p, Tier::Full, 0);
+    let mut m = LogpMachine::with_config(params, config, scripts());
+    m.instrument(&RunOptions::new().registry(&roomy));
+    m.run().expect("roomy run completes");
+    assert_eq!(roomy.spans_dropped(), 0);
+    let total_spans = roomy.spans().len();
+    assert!(total_spans > 4, "workload must emit enough spans to overflow");
+
+    for shards in [1usize, 2, 4] {
+        let tiny = Registry::tiered_with_capacity(p, Tier::Full, 0, 1);
+        let mut m = LogpMachine::with_config(params, config, scripts());
+        m.instrument(&RunOptions::new().registry(&tiny).shards(shards));
+        let rep = m.run().expect("overflowing run completes");
+        assert!(
+            tiny.spans_dropped() > 0,
+            "a 1-slot ring must overflow at {shards} shards"
+        );
+        assert_eq!(
+            tiny.spans().len() as u64 + tiny.spans_dropped(),
+            total_spans as u64,
+            "span conservation violated at {shards} shards"
+        );
+        // Counters are untouched by span overflow.
+        assert_eq!(tiny.counter(Counter::Delivered), ((p - 1) * k) as u64);
+        assert_eq!(rep.delivered, ((p - 1) * k) as u64);
+        assert_eq!(
+            tiny.counter(Counter::Delivered),
+            roomy.counter(Counter::Delivered)
+        );
+        assert_eq!(
+            tiny.counter(Counter::StallSteps),
+            roomy.counter(Counter::StallSteps)
+        );
+    }
+}
+
+/// The BSP driver ring saturates the same way: a burst of `2p + 2` spans
+/// per sampled superstep against a 4-slot ring drops the excess, counts
+/// it, and leaves every counter exact.
+#[test]
+fn bsp_ring_overflow_counts_drops() {
+    let p = 8;
+    let make = || -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |acc, ctx| {
+                    let p = ctx.p();
+                    while let Some(m) = ctx.recv() {
+                        *acc += m.payload.expect_word();
+                    }
+                    if ctx.superstep_index() < 6 {
+                        ctx.charge(1 + ctx.me().index() as u64);
+                        let me = ctx.me().index();
+                        ctx.send(ProcId::from((me + 1) % p), Payload::word(0, 1));
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    };
+    let roomy = Registry::tiered(p, Tier::Full, 0);
+    let mut m = BspMachine::new(BspParams::new(p, 2, 4).unwrap(), make());
+    m.instrument(&RunOptions::new().registry(&roomy));
+    m.run(64).expect("roomy run completes");
+    assert_eq!(roomy.spans_dropped(), 0);
+    let total_spans = roomy.spans().len();
+
+    let tiny = Registry::tiered_with_capacity(p, Tier::Full, 0, 4);
+    let mut m = BspMachine::new(BspParams::new(p, 2, 4).unwrap(), make());
+    m.instrument(&RunOptions::new().registry(&tiny));
+    m.run(64).expect("overflowing run completes");
+    assert!(tiny.spans_dropped() > 0, "a 4-slot ring must overflow");
+    assert_eq!(
+        tiny.spans().len() as u64 + tiny.spans_dropped(),
+        total_spans as u64,
+        "span conservation violated"
+    );
+    assert_eq!(
+        tiny.counter(Counter::Delivered),
+        roomy.counter(Counter::Delivered)
+    );
+    assert_eq!(
+        tiny.histogram(Hist::BarrierWait).count,
+        roomy.histogram(Hist::BarrierWait).count
+    );
 }

@@ -9,12 +9,14 @@
 //! pin that down exactly; a property test extends it to random programs
 //! under random policies and a random adversarial [`FaultPlan`].
 
+use bsp_vs_logp::bsp::{BspMachine, BspParams, FnProcess, Status};
 use bsp_vs_logp::exec::RunOptions;
 use bsp_vs_logp::fault::{Dist, Fault, FaultPlan};
 use bsp_vs_logp::logp::{
     AcceptOrder, DeliveryPolicy, LogpConfig, LogpMachine, LogpParams, LogpReport, Op, Script,
 };
 use bsp_vs_logp::model::{ModelError, Payload, ProcId};
+use bsp_vs_logp::obs::{Registry, Tier};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -153,6 +155,105 @@ fn random_policies_are_shard_invariant() {
         );
         assert_eq!(trace, trace1, "trace diverged at {shards} shards");
         assert_eq!(summary_line(&rep.unwrap()), summary_line(&base));
+    }
+}
+
+/// The sampled span plane obeys the same acceptance bar as the trace: the
+/// subset a `Sampled` registry keeps is **bit-identical at shard counts
+/// 1, 2 and 4**, because admission is a pure function of span content (or
+/// phase index) and the sampling key — never of emission order or thread.
+/// The sampled log must also be a strict, non-empty subset of the `Full`
+/// log for this stall-heavy workload.
+#[test]
+fn sampled_span_logs_are_shard_invariant() {
+    let p = 12;
+    let params = LogpParams::new(p, 16, 1, 2).unwrap();
+    let scripts = hot_spot_scripts(p, 6);
+    let capture = |tier: Tier, shards: usize| -> Vec<bsp_vs_logp::obs::Span> {
+        let reg = Registry::tiered(p, tier, 0x5eed);
+        let mut m = LogpMachine::with_config(params, LogpConfig::default(), scripts.clone());
+        m.instrument(&RunOptions::new().registry(&reg).shards(shards));
+        m.run().unwrap();
+        reg.spans()
+    };
+    let full = capture(Tier::Full, 1);
+    let sampled1 = capture(Tier::Sampled { rate: 4 }, 1);
+    assert!(
+        !sampled1.is_empty() && sampled1.len() < full.len(),
+        "sampling must keep a strict non-empty subset ({} of {})",
+        sampled1.len(),
+        full.len()
+    );
+    for span in &sampled1 {
+        assert!(full.contains(span), "sampled span not in the full log: {span:?}");
+    }
+    for shards in [2usize, 4] {
+        let sampled = capture(Tier::Sampled { rate: 4 }, shards);
+        assert_eq!(
+            format!("{sampled:?}"),
+            format!("{sampled1:?}"),
+            "sampled span log diverged at {shards} shards"
+        );
+    }
+}
+
+/// The BSP engine samples at phase granularity (whole supersteps); the
+/// kept subset is keyed on the superstep index, so it too is bit-identical
+/// at any shard count, and every kept superstep is complete.
+#[test]
+fn bsp_sampled_span_logs_are_shard_invariant() {
+    let p = 8;
+    let procs = || -> Vec<FnProcess<i64>> {
+        (0..p)
+            .map(|_| {
+                FnProcess::new(0i64, move |acc, ctx| {
+                    let p = ctx.p();
+                    while let Some(m) = ctx.recv() {
+                        *acc += m.payload.expect_word();
+                    }
+                    if ctx.superstep_index() < 24 {
+                        ctx.charge(1 + ctx.me().index() as u64);
+                        let me = ctx.me().index();
+                        ctx.send(ProcId::from((me + 1) % p), Payload::word(0, 1));
+                        Status::Continue
+                    } else {
+                        Status::Halt
+                    }
+                })
+            })
+            .collect()
+    };
+    let capture = |tier: Tier, shards: usize| -> Vec<bsp_vs_logp::obs::Span> {
+        let params = BspParams::new(p, 2, 4).unwrap();
+        let reg = Registry::tiered(p, tier, 0x1996);
+        let mut m = BspMachine::new(params, procs());
+        m.instrument(&RunOptions::new().registry(&reg).shards(shards));
+        m.run(64).unwrap();
+        reg.spans()
+    };
+    let full = capture(Tier::Full, 1);
+    let sampled1 = capture(Tier::Sampled { rate: 4 }, 1);
+    assert!(
+        !sampled1.is_empty() && sampled1.len() < full.len(),
+        "phase sampling must keep a strict non-empty subset ({} of {})",
+        sampled1.len(),
+        full.len()
+    );
+    for span in &sampled1 {
+        assert!(full.contains(span), "sampled span not in the full log: {span:?}");
+    }
+    // Phase granularity: every sampled Superstep span arrives with its
+    // whole burst — the per-superstep span count matches the full log's
+    // count for that superstep index.
+    let supersteps: Vec<u64> = sampled1.iter().filter_map(|s| s.index).collect();
+    assert!(!supersteps.is_empty(), "no indexed spans kept");
+    for shards in [2usize, 4] {
+        let sampled = capture(Tier::Sampled { rate: 4 }, shards);
+        assert_eq!(
+            format!("{sampled:?}"),
+            format!("{sampled1:?}"),
+            "BSP sampled span log diverged at {shards} shards"
+        );
     }
 }
 
