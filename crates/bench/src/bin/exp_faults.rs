@@ -15,7 +15,7 @@
 //! The single-case form is exactly what the printed repro lines contain.
 
 use bvl_bench::labexp::{self, faults};
-use bvl_bench::{banner, obs, print_table};
+use bvl_bench::{banner, obs, print_table, scn};
 use bvl_fault::conformance::{default_plans, run_case};
 use bvl_fault::Case;
 
@@ -54,15 +54,19 @@ fn main() {
         "E-FAULT: fault-plan conformance matrix across the simulators"
     });
 
-    // The case matrix runs as a lab grid: each cell is one (plan, shape,
-    // simulator) case, keyed by its fault-plan repro line. Uncached by
-    // default; with BVL_LAB_DIR set, a warm store replays verdicts, check
-    // counts and repro lines without re-simulating. Cells also fan out
-    // over rayon either way (the old driver was sequential) — the printed
-    // table keeps matrix order because the grid preserves request order.
+    // The case matrix runs as a lab grid compiled from
+    // `scenarios/faults.scn`: each cell is one (plan, shape, simulator)
+    // case, keyed by its fault-plan repro line. Uncached by default; with
+    // BVL_LAB_DIR set, a warm store replays verdicts, check counts and
+    // repro lines without re-simulating. Cells also fan out over rayon
+    // either way (the old driver was sequential) — the printed table keeps
+    // matrix order because the grid preserves request order. Completed
+    // grids pass the conformance lower-bound audit (faulted >= clean,
+    // clean >= the route latency floor) before printing.
     let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("faults", smoke);
     let case_count = faults::cases(smoke).len();
-    let rep = lab.run(&faults::grid(smoke), faults::run_cell);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[0], None);
     eprintln!("[sweep] faults: {}", rep.summary());
     let (rows, repros, checks) = faults::fold(rep);
     print_table(

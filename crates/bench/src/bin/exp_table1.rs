@@ -7,18 +7,22 @@
 //! parameters track the BSP ones (`G* = Θ(g*)`, `L* = Θ(ℓ* + g*)`), shown
 //! by measuring the 1-relation (ℓ-like) and saturation (g-like) regimes.
 //!
-//! The grids live in [`bvl_bench::labexp::table1`] and run through the
-//! `bvl-lab` scheduler: uncached by default (identical to the old sweep
-//! path), incremental against the persistent result store when
+//! The grids are compiled from `scenarios/table1.scn` (the declarative
+//! scenario plane; `lab validate` proves the document lowers to the same
+//! grids as [`bvl_bench::labexp::table1`], bit for bit) and run through
+//! the `bvl-lab` scheduler: uncached by default (identical to the old
+//! sweep path), incremental against the persistent result store when
 //! `BVL_LAB_DIR` is set — this binary is the repo's heaviest, and a warm
 //! store turns a full regeneration into a cache read. Stdout is
-//! bit-identical either way; cache statistics go to stderr.
+//! bit-identical either way; cache statistics go to stderr, and every
+//! completed grid passes the lower-bound audit before printing.
 
 use bvl_bench::labexp::{self, single_rows, table1};
-use bvl_bench::{banner, obs, print_table};
+use bvl_bench::{banner, obs, print_table, scn};
 
 fn main() {
     let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("table1", false);
 
     banner("Table 1: bandwidth gamma(p) and latency delta(p) per topology");
     println!("(measured = least-squares fit of completion time vs h over random");
@@ -26,7 +30,7 @@ fn main() {
     println!(" the meas/pred ratio should be roughly constant within a family)");
     println!();
 
-    let rep = lab.run(&table1::main_grid(), table1::run_cell);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[0], None);
     eprintln!("[sweep] table1: {}", rep.summary());
     print_table(
         &[
@@ -36,7 +40,7 @@ fn main() {
     );
 
     banner("Scaling check: gamma ratio stays bounded as p grows (hypercube vs mesh-of-trees)");
-    let rep = lab.run(&table1::scaling_grid(), table1::run_cell);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[1], None);
     eprintln!("[sweep] table1-scaling: {}", rep.summary());
     print_table(
         &["topology", "p", "γ̂", "γ pred", "δ̂", "δ pred"],
@@ -48,7 +52,7 @@ fn main() {
     println!(" L* = Θ(l* + g*); LogP side measured by restricting to relations of");
     println!(" degree <= capacity — the stall-free LogP operating regime)");
     println!();
-    let rep = lab.run(&table1::obs1_grid(), table1::run_cell);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[2], None);
     eprintln!("[sweep] table1-obs1: {}", rep.summary());
     print_table(
         &["network", "g*", "l*", "G* meas", "G* pred", "L* meas", "L* pred"],
@@ -58,7 +62,7 @@ fn main() {
     // The hypercube-k6 cell: its payload carries the raw (h, T(h)) samples,
     // so the per-h Routing spans and the SUMMARY line rebuild identically
     // whether the cell computed live or came back as a cache hit.
-    let rep = lab.run(&table1::k6_grid(), table1::run_cell);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[3], None);
     eprintln!("[sweep] table1-k6: {}", rep.summary());
     let rows = &rep.rows[0];
     let registry = table1::k6_registry(rows);

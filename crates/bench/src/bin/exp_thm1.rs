@@ -7,33 +7,28 @@
 //! constants) the `1 + g/G + ℓ/L` bound, and be flat along the matched
 //! diagonal — the paper's "substantial equivalence" claim.
 //!
-//! The grids live in [`bvl_bench::labexp::thm1`] and run through the
-//! `bvl-lab` scheduler (cached when `BVL_LAB_DIR` is set). The flagged
-//! attribution cell is *forced*: it recomputes live on every run, because
-//! its enabled registry feeds the cost-attribution SUMMARY and the
-//! optional `--trace-out` export.
+//! The grids are compiled from `scenarios/thm1.scn` (validated against
+//! [`bvl_bench::labexp::thm1`] bit for bit) and run through the `bvl-lab`
+//! scheduler (cached when `BVL_LAB_DIR` is set). The flagged attribution
+//! cell is *forced*: it recomputes live on every run, because its enabled
+//! registry feeds the cost-attribution SUMMARY and the optional
+//! `--trace-out` export. Completed grids pass the Theorem 1 lower-bound
+//! audit before printing.
 
 use bvl_bench::labexp::{self, single_rows, thm1};
-use bvl_bench::{banner, obs, print_table};
-use bvl_obs::{CostReport, Counter};
-use std::sync::Mutex;
+use bvl_bench::{banner, obs, print_table, scn};
+use bvl_obs::Counter;
 
 fn main() {
     let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("thm1", false);
     banner("Theorem 1: slowdown of stall-free LogP hosted on BSP");
 
     // Cell 0 (ring, matched 1x/1x parameters) is the flagged cell: it runs
     // with this enabled registry, feeding the cost-attribution summary and
     // the optional `--trace-out` export; every other cell pays nothing.
     let captured = obs::capture_registry("exp_thm1", 0, thm1::reference_params().p);
-    let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
-    let rep = lab.run(&thm1::scalings_grid(), |cell, job| {
-        let (rows, att) = thm1::run_cell_with(cell, job, cell.force.then_some(&captured));
-        if let Some(a) = att {
-            *flagged.lock().expect("attribution slot") = Some(a);
-        }
-        rows
-    });
+    let (rep, att) = scn::run_in_lab(&lab, &scenario.grids[0], Some(&captured));
     eprintln!("[sweep] thm1-scalings: {}", rep.summary());
     print_table(
         &[
@@ -43,9 +38,7 @@ fn main() {
     );
 
     banner("Matched parameters across machine sizes (slowdown should stay flat)");
-    let rep = lab.run(&thm1::sizes_grid(), |cell, job| {
-        thm1::run_cell_with(cell, job, None).0
-    });
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[1], None);
     eprintln!("[sweep] thm1-sizes: {}", rep.summary());
     print_table(
         &[
@@ -57,7 +50,6 @@ fn main() {
     // At `--obs-tier off` the capture registry is disabled, the flagged
     // cell runs unobserved, and there is no attribution — the SUMMARY line
     // says so rather than faking zeros.
-    let att = flagged.into_inner().expect("attribution slot");
     let summary = obs::Summary::new("exp_thm1").kv("cell", "ring_x8_1x/1x");
     match att {
         Some(att) => summary

@@ -7,27 +7,26 @@
 //! `O(log p)` for small h and flattens towards `O(1)` as `h` grows — the
 //! crossover the `S` column exhibits.
 //!
-//! The grids live in [`bvl_bench::labexp::thm2`] and run through the
-//! `bvl-lab` scheduler (cached when `BVL_LAB_DIR` is set). The two
-//! span-exporting cells — the `(16, 8)` phase breakdown and the
-//! deterministic strategy — are *forced*: they recompute live so their
-//! registries carry real spans for the SUMMARY line and `--trace-out`.
+//! The grids are compiled from `scenarios/thm2.scn` (validated against
+//! [`bvl_bench::labexp::thm2`] bit for bit) and run through the `bvl-lab`
+//! scheduler (cached when `BVL_LAB_DIR` is set). The two span-exporting
+//! cells — the `(16, 8)` phase breakdown and the deterministic strategy —
+//! are *forced*: they recompute live so their registries carry real spans
+//! for the SUMMARY line and `--trace-out`. Completed grids pass the
+//! `(h-1)·G + L` routing lower-bound audit before printing.
 
 use bvl_bench::labexp::{self, flat_rows, single_rows, thm2};
-use bvl_bench::{banner, obs, print_table};
-use bvl_obs::CostReport;
-use std::sync::Mutex;
+use bvl_bench::{banner, obs, print_table, scn};
 
 fn main() {
     let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("thm2", false);
 
     banner("Theorem 2: deterministic h-relation routing, phase breakdown");
     // The (p=16, h=8) cell (index 3) is flagged: its routing phases are
     // captured as spans for the summary line and `--trace-out`.
     let cell_registry = obs::capture_registry("exp_thm2", 0, thm2::FLAGGED_P);
-    let rep = lab.run(&thm2::cells_grid(), |cell, job| {
-        thm2::run_cell_with(cell, job, cell.force.then_some(&cell_registry)).0
-    });
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[0], Some(&cell_registry));
     eprintln!("[sweep] thm2-cells: {}", rep.summary());
     print_table(
         &[
@@ -41,9 +40,7 @@ fn main() {
     println!(" downward trend in h, the paper's crossover, is the result.)");
 
     banner("Large-h regime: Columnsort (Cubesort role) makes the sort constant-round");
-    let rep = lab.run(&thm2::big_grid(), |cell, job| {
-        thm2::run_cell_with(cell, job, None).0
-    });
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[1], None);
     eprintln!("[sweep] thm2-big: {}", rep.summary());
     print_table(
         &["h", "scheme", "comm rounds", "t_sort", "total", "S meas"],
@@ -55,15 +52,7 @@ fn main() {
     // sweep: its full superstep decomposition is captured as spans and its
     // measured phases are mapped onto the Theorem 2 cost terms.
     let strat_registry = obs::capture_registry("exp_thm2", 1, thm2::FLAGGED_P);
-    let flagged: Mutex<Option<CostReport>> = Mutex::new(None);
-    let rep = lab.run(&thm2::strategies_grid(), |cell, job| {
-        let (rows, att) =
-            thm2::run_cell_with(cell, job, cell.force.then_some(&strat_registry));
-        if let Some(a) = att {
-            *flagged.lock().expect("attribution slot") = Some(a);
-        }
-        rows
-    });
+    let (rep, att) = scn::run_in_lab(&lab, &scenario.grids[2], Some(&strat_registry));
     eprintln!("[sweep] thm2-strategies: {}", rep.summary());
     print_table(
         &[
@@ -76,7 +65,6 @@ fn main() {
     // At `--obs-tier off` the capture registries are disabled and the
     // flagged strategy runs unobserved — the SUMMARY line says so rather
     // than faking zeros.
-    let att = flagged.into_inner().expect("attribution slot");
     let summary = obs::Summary::new("exp_thm2").kv("cell", "deterministic_p16");
     match att {
         Some(att) => summary

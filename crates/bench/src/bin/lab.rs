@@ -2,6 +2,10 @@
 //!
 //! ```sh
 //! lab run <exp|all> [--smoke]   # run grids through the store (incremental)
+//! lab run --scenario F [--smoke] # run a scenario document as data
+//! lab validate                  # shipped .scn == legacy grids, bit for bit
+//! lab emit <name>               # print the reference scenario document
+//! lab audit [--bench F]         # lower-bound audit over exported results
 //! lab status                    # store summary: cells, segments, staleness
 //! lab query <exp>               # dump an experiment's cached cells
 //! lab diff                      # is the store current with this binary?
@@ -9,25 +13,31 @@
 //! lab serve [--addr A] [--workers N]   # HTTP JSON endpoint
 //! ```
 //!
-//! Every subcommand takes `--dir <path>`; the default is `$BVL_LAB_DIR`,
-//! falling back to `.lab`. The same directory is what the `exp_*`
-//! binaries read and write when run with `BVL_LAB_DIR` set, so a store
-//! warmed by `lab run` accelerates them and vice versa — the grids (and
-//! therefore the cache keys) are shared via `bvl_bench::labexp`.
+//! Every store-touching subcommand takes `--dir <path>`; the default is
+//! `$BVL_LAB_DIR`, falling back to `.lab`. The same directory is what the
+//! `exp_*` binaries read and write when run with `BVL_LAB_DIR` set, so a
+//! store warmed by `lab run` accelerates them and vice versa — the grids
+//! (and therefore the cache keys) are shared via `bvl_bench::scn`, which
+//! compiles the checked-in `scenarios/*.scn` documents.
 
-use bvl_bench::labexp;
-use bvl_bench::print_table;
+use bvl_bench::{labexp, print_table, scn};
+use bvl_lab::jsonio::Cursor;
 use bvl_lab::{serve, CodeFingerprint, OnStale, Service, Store};
 use bvl_obs::Registry;
+use bvl_scenario::grid_digest;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lab <run|status|query|diff|gc|serve> [args]\n\
+        "usage: lab <run|validate|emit|audit|status|query|diff|gc|serve> [args]\n\
          \n\
          lab run <exp|all> [--smoke] [--dir D]   incremental grid run\n\
+         lab run --scenario F [--smoke] [--dir D] run a scenario document\n\
+         lab validate                            shipped scenarios vs legacy grids\n\
+         lab emit <name>                         print the reference scenario text\n\
+         lab audit [--bench F]                   lower-bound audit of BENCH_faults.json\n\
          lab status [--dir D]                    store summary\n\
          lab query <exp> [--dir D]               dump cached cells\n\
          lab diff [--dir D]                      staleness check (exit 1 if stale)\n\
@@ -84,6 +94,60 @@ fn open(dir: &Path, on_stale: OnStale) -> Store {
 
 fn service(store: Store) -> Service {
     Service::new(store, Registry::enabled(1), labexp::experiments())
+        .with_scenario_runner(Box::new(scn::Runner))
+}
+
+/// Parse `BENCH_faults.json` (the exporter in `exp_faults`) into
+/// `(sim, h, clean, faulted)` tuples for the lower-bound audit.
+fn parse_bench_faults(text: &str) -> Result<Vec<(String, u64, u64, u64)>, String> {
+    let mut c = Cursor::new(text);
+    c.expect(b'{')?;
+    let key = c.string()?;
+    if key != "experiment" {
+        return Err(format!("expected \"experiment\", got \"{key}\""));
+    }
+    c.expect(b':')?;
+    let _ = c.string()?;
+    c.expect(b',')?;
+    let key = c.string()?;
+    if key != "rows" {
+        return Err(format!("expected \"rows\", got \"{key}\""));
+    }
+    c.expect(b':')?;
+    c.expect(b'[')?;
+    let mut out = Vec::new();
+    if !c.eat(b']') {
+        loop {
+            c.expect(b'{')?;
+            let mut sim = String::new();
+            let (mut h, mut clean, mut faulted) = (0u64, 0u64, 0u64);
+            loop {
+                let field = c.string()?;
+                c.expect(b':')?;
+                match field.as_str() {
+                    "sim" => sim = c.string()?,
+                    "plan" => drop(c.string()?),
+                    "h" => h = c.u64()?,
+                    "clean" => clean = c.u64()?,
+                    "faulted" => faulted = c.u64()?,
+                    "p" | "attempts" => drop(c.u64()?),
+                    "ok" => drop(c.boolean()?),
+                    other => return Err(format!("unknown field \"{other}\"")),
+                }
+                if !c.eat(b',') {
+                    break;
+                }
+            }
+            c.expect(b'}')?;
+            out.push((sim, h, clean, faulted));
+            if !c.eat(b',') {
+                break;
+            }
+        }
+        c.expect(b']')?;
+    }
+    c.expect(b'}')?;
+    Ok(out)
 }
 
 fn main() {
@@ -96,7 +160,42 @@ fn main() {
     match cmd.as_str() {
         "run" => {
             let smoke = take_switch(&mut args, "--smoke");
+            let scenario = take_flag(&mut args, "--scenario");
             let dir = store_dir(&mut args);
+            if let Some(path) = scenario {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("lab: cannot read scenario {path}: {e}");
+                        exit(2);
+                    }
+                };
+                let svc = service(open(&dir, OnStale::Invalidate));
+                match svc
+                    .run_scenario(&text, smoke, Some(bvl_obs::cli::obs_tier()))
+                    .expect("scenario runner is registered")
+                {
+                    Ok((name, rep)) => {
+                        print_table(
+                            &["scenario", "cells", "hits", "misses", "forced", "hit rate", "elapsed"],
+                            &[vec![
+                                name,
+                                rep.rows.len().to_string(),
+                                rep.hits.to_string(),
+                                rep.misses.to_string(),
+                                rep.forced.to_string(),
+                                format!("{:.1}%", 100.0 * rep.hit_rate()),
+                                format!("{:.2}s", rep.elapsed.as_secs_f64()),
+                            ]],
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("lab: scenario {path} failed: {e}");
+                        exit(1);
+                    }
+                }
+                return;
+            }
             let Some(exp) = args.first().cloned() else {
                 usage();
             };
@@ -132,6 +231,92 @@ fn main() {
                 &["experiment", "cells", "hits", "misses", "forced", "hit rate", "elapsed"],
                 &rows,
             );
+        }
+        "validate" => {
+            // Prove the checked-in scenario documents against the legacy
+            // code-defined grids: same documents as the reference
+            // builders, and bit-identical compiled grids (exp, master,
+            // canonical options, cells and store keys) in both modes.
+            let mut rows = Vec::new();
+            let mut bad = 0usize;
+            for (name, _) in scn::SHIPPED {
+                if scn::doc(name) != scn::reference(name) {
+                    rows.push(vec![name.into(), "-".into(), "-".into(), "DOC DRIFT".into()]);
+                    bad += 1;
+                    continue;
+                }
+                for smoke in [false, true] {
+                    let mode = if smoke { "smoke" } else { "full" };
+                    let compiled = scn::compiled(name, smoke);
+                    let legacy = scn::legacy_grids(name, smoke).expect("shipped name");
+                    let cells: usize = compiled.grids.iter().map(|g| g.spec.cells.len()).sum();
+                    let ok = compiled.grids.len() == legacy.len()
+                        && compiled
+                            .grids
+                            .iter()
+                            .zip(&legacy)
+                            .all(|(cg, lg)| grid_digest(&cg.spec) == grid_digest(lg));
+                    if !ok {
+                        bad += 1;
+                    }
+                    rows.push(vec![
+                        name.into(),
+                        mode.into(),
+                        format!("{} grid(s), {cells} cell(s)", compiled.grids.len()),
+                        if ok { "ok".into() } else { "DIGEST MISMATCH".into() },
+                    ]);
+                }
+            }
+            print_table(&["scenario", "mode", "compiled", "status"], &rows);
+            if bad > 0 {
+                eprintln!("lab: {bad} scenario lowering(s) diverge from the legacy grids");
+                exit(1);
+            }
+        }
+        "emit" => {
+            let Some(name) = args.first().cloned() else {
+                usage();
+            };
+            print!("{}", scn::reference(&name).to_text());
+        }
+        "audit" => {
+            let path = take_flag(&mut args, "--bench").unwrap_or_else(|| "BENCH_faults.json".into());
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lab: cannot read {path}: {e}");
+                    exit(2);
+                }
+            };
+            let rows = match parse_bench_faults(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("lab: {path} does not parse: {e}");
+                    exit(2);
+                }
+            };
+            let mut violations = Vec::new();
+            for (sim, h, clean, faulted) in &rows {
+                for v in bvl_scenario::audit_conformance_row(sim, *h as usize, *clean, *faulted) {
+                    violations.push(format!("{sim} h={h}: {v}"));
+                }
+            }
+            if violations.is_empty() {
+                println!(
+                    "audit: {} row(s) in {path} respect the conformance lower bounds",
+                    rows.len()
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("[audit] {v}");
+                }
+                eprintln!(
+                    "lab: {} lower-bound violation(s) in {path} — a cost below a proven \
+                     bound is a simulator bug",
+                    violations.len()
+                );
+                exit(1);
+            }
         }
         "status" => {
             let dir = store_dir(&mut args);

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod labexp;
+pub mod scn;
 
 /// Print a fixed-width table: a header row, a separator, then rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

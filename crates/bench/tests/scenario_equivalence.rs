@@ -1,0 +1,72 @@
+//! The scenario plane's central promise: a checked-in `.scn` document
+//! lowers to *exactly* the experiment the legacy code-defined builders
+//! produce. `lab validate` and the `scn` unit tests prove the static half
+//! (same documents, same grid digests, same store keys); this suite runs
+//! the smoke grids both ways and requires bit-identical rows — the
+//! dynamic half — plus shard-count invariance of the scenario path.
+
+use bvl_bench::{labexp, scn};
+use bvl_lab::{run_grid, CellSpec, GridReport, GridSpec, Job};
+use bvl_obs::Registry;
+use bvl_scenario::CompiledGrid;
+
+fn legacy_rows(name: &str, spec: &GridSpec) -> Vec<Vec<Vec<String>>> {
+    let registry = Registry::disabled();
+    let dispatch = |cell: &CellSpec, job: Job| match name {
+        "table1" | "scaling" => labexp::table1::run_cell(cell, job),
+        "thm1" => labexp::thm1::run_cell_with(cell, job, None).0,
+        "thm2" => labexp::thm2::run_cell_with(cell, job, None).0,
+        "faults" => labexp::faults::run_cell(cell, job),
+        "stack" => labexp::stack::run_cell_with(cell, job, None),
+        other => panic!("unknown scenario '{other}'"),
+    };
+    run_grid(spec, None, &registry, dispatch)
+        .expect("legacy grid runs")
+        .rows
+}
+
+fn scenario_report(grid: &CompiledGrid) -> GridReport {
+    let registry = Registry::disabled();
+    run_grid(&grid.spec, None, &registry, |cell, job| {
+        scn::run_work(scn::work_for(grid, cell), cell, job, None).0
+    })
+    .expect("scenario grid runs")
+}
+
+#[test]
+fn scenario_smoke_rows_are_bit_identical_to_the_legacy_grids() {
+    for name in ["table1", "thm1", "thm2", "faults", "stack", "scaling"] {
+        let compiled = scn::compiled(name, true);
+        let legacy = scn::legacy_grids(name, true).expect("shipped name");
+        assert_eq!(compiled.grids.len(), legacy.len(), "{name}: grid count");
+        for (cg, lg) in compiled.grids.iter().zip(&legacy) {
+            let scenario = scenario_report(cg);
+            // The rows the scenario produced pass the lower-bound audit...
+            let violations = scn::audit(cg, &scenario.rows);
+            assert!(violations.is_empty(), "{name}: audit fired: {violations:?}");
+            // ...and match the legacy computation cell for cell.
+            assert_eq!(
+                scenario.rows,
+                legacy_rows(name, lg),
+                "{name}: rows diverged on grid '{}'",
+                lg.exp
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_rows_are_invariant_under_shard_count() {
+    let compiled = scn::compiled("thm1", true);
+    for grid in &compiled.grids {
+        let base = scenario_report(grid);
+        let registry = Registry::disabled();
+        let mut sharded = grid.spec.clone();
+        sharded.opts = sharded.opts.clone().shards(4);
+        let rep = run_grid(&sharded, None, &registry, |cell, job| {
+            scn::run_work(scn::work_for(grid, cell), cell, job, None).0
+        })
+        .expect("sharded grid runs");
+        assert_eq!(base.rows, rep.rows, "shards=4 moved grid '{}'", grid.spec.exp);
+    }
+}

@@ -23,7 +23,11 @@
 //!   grid through the store (incremental: cached cells are hits) at the
 //!   requested observability [`Tier`] and report the hit/miss split. The
 //!   tier never enters the cache key, so dialing recording depth up or
-//!   down cannot fork the store.
+//!   down cannot fork the store. Instead of `"exp"` the body may carry
+//!   `"scenario":"<document text>"` — a scenario document (its one-line
+//!   `repro()` form fits a JSON string natively; multi-line text uses
+//!   `\n` escapes) parsed, compiled, run and audited by the registered
+//!   [`ScenarioRunner`]. Exactly one of the two fields must be present.
 
 use crate::jsonio::{encode_rows, escape, Cursor};
 use crate::scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
@@ -51,6 +55,52 @@ pub trait Experiment: Send + Sync {
     fn grids(&self, smoke: bool) -> Vec<GridSpec>;
     /// Compute one cell.
     fn run_cell(&self, cell: &CellSpec, job: Job) -> Vec<Vec<String>>;
+    /// Audit a completed grid's rows (`rows[i]` belongs to
+    /// `grid.cells[i]`) against whatever invariants the experiment can
+    /// prove — e.g. the BSS communication lower bounds. Each returned
+    /// string is one violation; any violation **fails the run** (a
+    /// measured cost below a proven bound is a simulator bug, not a fast
+    /// run). The default audits nothing.
+    fn audit(&self, _grid: &GridSpec, _rows: &[Vec<Vec<String>>]) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// How a scenario run failed: a bad document (client error) or a failed
+/// execution/audit (server error). The split drives the HTTP status.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The document did not parse or compile.
+    Invalid(String),
+    /// The document ran but a grid failed or a bounds audit fired.
+    Failed(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invalid(e) => write!(f, "invalid scenario: {e}"),
+            ScenarioError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Runs scenario documents submitted as data (`POST /run` with a
+/// `"scenario"` body, `lab run --scenario`). The lab crate cannot lower
+/// documents itself — cell bodies live next to the experiment binaries —
+/// so the binary that builds the [`Service`] registers a runner via
+/// [`Service::with_scenario_runner`].
+pub trait ScenarioRunner: Send + Sync {
+    /// Parse, compile, run and audit `text` through `store`, returning the
+    /// scenario name and the merged report.
+    fn run_scenario(
+        &self,
+        text: &str,
+        store: &Mutex<Store>,
+        registry: &Registry,
+        smoke: bool,
+        tier: Option<Tier>,
+    ) -> Result<(String, GridReport), ScenarioError>;
 }
 
 /// Shared state behind the front end: the store, the service registry and
@@ -61,6 +111,7 @@ pub struct Service {
     /// Service metrics (cache hits/misses, serve latency).
     pub registry: Registry,
     exps: Vec<Box<dyn Experiment>>,
+    scenario: Option<Box<dyn ScenarioRunner>>,
 }
 
 impl Service {
@@ -70,7 +121,26 @@ impl Service {
             store: Mutex::new(store),
             registry,
             exps,
+            scenario: None,
         }
+    }
+
+    /// Enable `POST /run` scenario bodies by registering a runner.
+    pub fn with_scenario_runner(mut self, runner: Box<dyn ScenarioRunner>) -> Service {
+        self.scenario = Some(runner);
+        self
+    }
+
+    /// Run a scenario document through the registered [`ScenarioRunner`].
+    /// `None` when no runner is registered.
+    pub fn run_scenario(
+        &self,
+        text: &str,
+        smoke: bool,
+        tier: Option<Tier>,
+    ) -> Option<Result<(String, GridReport), ScenarioError>> {
+        let runner = self.scenario.as_ref()?;
+        Some(runner.run_scenario(text, &self.store, &self.registry, smoke, tier))
     }
 
     /// Registered experiment names.
@@ -105,6 +175,18 @@ impl Service {
                 Ok(rep) => rep,
                 Err(e) => return Some(Err(e)),
             };
+            let violations = exp.audit(&grid, &rep.rows);
+            if !violations.is_empty() {
+                return Some(Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "bounds audit failed ({} violation{}): {}",
+                        violations.len(),
+                        if violations.len() == 1 { "" } else { "s" },
+                        violations.join("; ")
+                    ),
+                )));
+            }
             merged.merge(rep);
         }
         Some(Ok(merged))
@@ -260,36 +342,50 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
             let body = String::from_utf8_lossy(&body);
             match parse_run_body(&body) {
                 Err(e) => respond(&mut stream, "400 Bad Request", &err_body(&e)),
-                Ok((exp, smoke, tier)) => match service.run(&exp, smoke, tier) {
-                    None => respond(
-                        &mut stream,
-                        "400 Bad Request",
-                        &err_body(&format!(
-                            "unknown experiment '{exp}' (registered: {})",
-                            service.names().join(", ")
-                        )),
-                    ),
-                    Some(Err(e)) => respond(
-                        &mut stream,
-                        "500 Internal Server Error",
-                        &err_body(&format!("grid failed: {e}")),
-                    ),
-                    Some(Ok(rep)) => respond(
-                        &mut stream,
-                        "200 OK",
-                        &format!(
-                            "{{\"exp\":\"{}\",\"smoke\":{smoke},\"tier\":\"{}\",\"cells\":{},\
-                             \"hits\":{},\"misses\":{},\"forced\":{},\"elapsed_ms\":{}}}",
-                            escape(&exp),
-                            tier.unwrap_or_default().label(),
-                            rep.rows.len(),
-                            rep.hits,
-                            rep.misses,
-                            rep.forced,
-                            rep.elapsed.as_millis()
+                Ok(req) if req.scenario.is_some() => {
+                    let text = req.scenario.as_deref().unwrap_or_default();
+                    match service.run_scenario(text, req.smoke, req.tier) {
+                        None => respond(
+                            &mut stream,
+                            "400 Bad Request",
+                            &err_body("this service has no scenario runner registered"),
                         ),
-                    ),
-                },
+                        Some(Err(ScenarioError::Invalid(e))) => {
+                            respond(&mut stream, "400 Bad Request", &err_body(&e))
+                        }
+                        Some(Err(ScenarioError::Failed(e))) => {
+                            respond(&mut stream, "500 Internal Server Error", &err_body(&e))
+                        }
+                        Some(Ok((name, rep))) => respond(
+                            &mut stream,
+                            "200 OK",
+                            &run_report_body("scenario", &name, req.smoke, req.tier, &rep),
+                        ),
+                    }
+                }
+                Ok(req) => {
+                    let exp = req.exp.as_deref().unwrap_or_default();
+                    match service.run(exp, req.smoke, req.tier) {
+                        None => respond(
+                            &mut stream,
+                            "400 Bad Request",
+                            &err_body(&format!(
+                                "unknown experiment '{exp}' (registered: {})",
+                                service.names().join(", ")
+                            )),
+                        ),
+                        Some(Err(e)) => respond(
+                            &mut stream,
+                            "500 Internal Server Error",
+                            &err_body(&format!("grid failed: {e}")),
+                        ),
+                        Some(Ok(rep)) => respond(
+                            &mut stream,
+                            "200 OK",
+                            &run_report_body("exp", exp, req.smoke, req.tier, &rep),
+                        ),
+                    }
+                }
             }
         }
         ("GET", _) => respond(&mut stream, "404 Not Found", &err_body("no such route")),
@@ -297,12 +393,25 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
     }
 }
 
-/// Parse `{"exp":"NAME"}` with optional `"smoke":BOOL` and
-/// `"tier":"off|counters|sampled[:rate]|full"` fields, in any order.
-fn parse_run_body(body: &str) -> Result<(String, bool, Option<Tier>), String> {
+/// A decoded `POST /run` body: exactly one of `exp` (a registered
+/// experiment name) or `scenario` (a scenario document as text) plus the
+/// optional `smoke` and `tier` knobs.
+#[derive(Debug, PartialEq)]
+struct RunRequest {
+    exp: Option<String>,
+    scenario: Option<String>,
+    smoke: bool,
+    tier: Option<Tier>,
+}
+
+/// Parse `{"exp":"NAME"}` or `{"scenario":"TEXT"}` with optional
+/// `"smoke":BOOL` and `"tier":"off|counters|sampled[:rate]|full"` fields,
+/// in any order.
+fn parse_run_body(body: &str) -> Result<RunRequest, String> {
     let mut cur = Cursor::new(body);
     cur.expect(b'{')?;
     let mut exp = None;
+    let mut scenario = None;
     let mut smoke = false;
     let mut tier = None;
     loop {
@@ -310,6 +419,7 @@ fn parse_run_body(body: &str) -> Result<(String, bool, Option<Tier>), String> {
         cur.expect(b':')?;
         match field.as_str() {
             "exp" => exp = Some(cur.string()?),
+            "scenario" => scenario = Some(cur.string()?),
             "smoke" => smoke = cur.boolean()?,
             "tier" => {
                 let label = cur.string()?;
@@ -324,7 +434,38 @@ fn parse_run_body(body: &str) -> Result<(String, bool, Option<Tier>), String> {
         }
     }
     cur.expect(b'}')?;
-    Ok((exp.ok_or("missing \"exp\"")?, smoke, tier))
+    match (&exp, &scenario) {
+        (None, None) => Err("missing \"exp\"".into()),
+        (Some(_), Some(_)) => Err("\"exp\" and \"scenario\" are mutually exclusive".into()),
+        _ => Ok(RunRequest {
+            exp,
+            scenario,
+            smoke,
+            tier,
+        }),
+    }
+}
+
+/// The `POST /run` success body, shared by experiment and scenario runs —
+/// only the leading field name (`"exp"` vs `"scenario"`) differs.
+fn run_report_body(
+    kind: &str,
+    name: &str,
+    smoke: bool,
+    tier: Option<Tier>,
+    rep: &GridReport,
+) -> String {
+    format!(
+        "{{\"{kind}\":\"{}\",\"smoke\":{smoke},\"tier\":\"{}\",\"cells\":{},\
+         \"hits\":{},\"misses\":{},\"forced\":{},\"elapsed_ms\":{}}}",
+        escape(name),
+        tier.unwrap_or_default().label(),
+        rep.rows.len(),
+        rep.hits,
+        rep.misses,
+        rep.forced,
+        rep.elapsed.as_millis()
+    )
 }
 
 fn status_body(service: &Service) -> String {
@@ -433,19 +574,28 @@ fn cells_body(service: &Service, exp: &str) -> String {
 mod tests {
     use super::*;
 
+    fn exp_req(exp: &str, smoke: bool, tier: Option<Tier>) -> RunRequest {
+        RunRequest {
+            exp: Some(exp.into()),
+            scenario: None,
+            smoke,
+            tier,
+        }
+    }
+
     #[test]
     fn run_body_parses_both_orders_and_rejects_junk() {
         assert_eq!(
             parse_run_body("{\"exp\":\"t\",\"smoke\":true}").unwrap(),
-            ("t".into(), true, None)
+            exp_req("t", true, None)
         );
         assert_eq!(
             parse_run_body("{\"smoke\":false,\"exp\":\"t\"}").unwrap(),
-            ("t".into(), false, None)
+            exp_req("t", false, None)
         );
         assert_eq!(
             parse_run_body("{\"exp\":\"t\"}").unwrap(),
-            ("t".into(), false, None)
+            exp_req("t", false, None)
         );
         assert!(parse_run_body("{\"smoke\":true}").is_err());
         assert!(parse_run_body("not json").is_err());
@@ -456,12 +606,33 @@ mod tests {
     fn run_body_parses_the_tier_field() {
         assert_eq!(
             parse_run_body("{\"exp\":\"t\",\"tier\":\"sampled:4\"}").unwrap(),
-            ("t".into(), false, Some(Tier::Sampled { rate: 4 }))
+            exp_req("t", false, Some(Tier::Sampled { rate: 4 }))
         );
         assert_eq!(
             parse_run_body("{\"tier\":\"counters\",\"smoke\":true,\"exp\":\"t\"}").unwrap(),
-            ("t".into(), true, Some(Tier::CountersOnly))
+            exp_req("t", true, Some(Tier::CountersOnly))
         );
         assert!(parse_run_body("{\"exp\":\"t\",\"tier\":\"loud\"}").is_err());
+    }
+
+    #[test]
+    fn run_body_accepts_a_scenario_but_not_both() {
+        let req =
+            parse_run_body("{\"scenario\":\"scenario s; grid exp=e master=1\",\"smoke\":true}")
+                .unwrap();
+        assert_eq!(req.exp, None);
+        assert_eq!(
+            req.scenario.as_deref(),
+            Some("scenario s; grid exp=e master=1")
+        );
+        assert!(req.smoke);
+        // Embedded newlines arrive through the JSON string escape.
+        let multiline = parse_run_body("{\"scenario\":\"scenario s\\ngrid exp=e master=1\"}")
+            .unwrap();
+        assert_eq!(
+            multiline.scenario.as_deref(),
+            Some("scenario s\ngrid exp=e master=1")
+        );
+        assert!(parse_run_body("{\"exp\":\"t\",\"scenario\":\"scenario s\"}").is_err());
     }
 }

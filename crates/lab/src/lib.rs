@@ -37,6 +37,6 @@ pub mod scheduler;
 pub mod store;
 
 pub use fingerprint::{cell_key, CodeFingerprint, Digest};
-pub use http::{serve, Experiment, Server, Service};
+pub use http::{serve, Experiment, ScenarioError, ScenarioRunner, Server, Service};
 pub use scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
 pub use store::{Cell, GcReport, OnStale, Store};

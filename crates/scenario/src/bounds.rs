@@ -1,0 +1,354 @@
+//! Communication lower-bound audit (Bilardi–Scquizzato–Silvestri style).
+//!
+//! The BSS line of work proves *lower* bounds on BSP/LogP communication
+//! time: any schedule that moves an h-relation through a medium with gap
+//! `G` and latency `L` pays at least `(h−1)·G + L`; a guest simulated on a
+//! host can never beat the guest's own stall-free makespan; an adversarial
+//! medium that only delays (jitter, reorder, duplication, capacity
+//! squeeze, degradation) can never make a run *faster* than its clean leg.
+//!
+//! These are theorems about the models, not observations about the code —
+//! so a **measured cost below a proven bound is a simulator bug**, not a
+//! fast run. [`audit_grid`] re-derives the applicable bound for every cell
+//! kind from its [`Work`] description and checks the completed rows
+//! against it; the lab fails the run on any violation.
+//!
+//! What is audited per cell kind (measured value must be ≥ bound; equality
+//! is legal — several bounds are tight on the shipped grids):
+//!
+//! | kind          | bound |
+//! |---------------|-------|
+//! | `host`        | ring: native ≥ rounds·(L+2o); all-to-all: native ≥ (p−2)·G+L+2o; hosted ≥ native |
+//! | `route`       | cycle time and total ≥ (h−1)·G + L |
+//! | `route-big`   | total ≥ (h−1)·G + L (both schemes) |
+//! | `superstep`   | simulated total ≥ native stall-free total |
+//! | `conformance` | faulted ≥ clean; clean ≥ 1; routers: clean ≥ (h−1)·G+L |
+//! | `stack`       | t_abstract ≥ rounds·(L̂+2o); t_hosted ≥ t_abstract; t_grounded ≥ rounds |
+//! | `measure`     | k6 view: per-sample T ≥ ⌈h / indeg⌉; fit-only views not audited |
+//!
+//! The fit-summary views (`main`/`scaling`/`obs1`) report least-squares
+//! coefficients, for which no per-row bound is provable — they are
+//! deliberately not audited.
+
+use std::fmt;
+
+use bvl_lab::GridSpec;
+
+use crate::doc::{HostWl, View, Work};
+
+/// Tolerance for comparisons against bounds printed through `f64`
+/// formatting: a value this far below a bound is a violation.
+const EPS: f64 = 1e-6;
+
+/// One audited bound that a completed cell's rows fail to meet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Cell domain.
+    pub domain: String,
+    /// Cell index within the domain.
+    pub index: usize,
+    /// Human-readable description of the violated bound.
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.domain, self.index, self.what)
+    }
+}
+
+/// Column accessor that reports shape problems as violations instead of
+/// panicking: an audited column that fails to parse means the row format
+/// drifted under the auditor, which is itself a finding.
+struct RowLens<'a> {
+    row: &'a [String],
+    out: &'a mut Vec<Violation>,
+    domain: &'a str,
+    index: usize,
+}
+
+impl RowLens<'_> {
+    fn flag(&mut self, what: String) {
+        self.out.push(Violation {
+            domain: self.domain.to_string(),
+            index: self.index,
+            what,
+        });
+    }
+
+    fn num(&mut self, col: usize, name: &str) -> Option<f64> {
+        match self.row.get(col).map(|s| s.parse::<f64>()) {
+            Some(Ok(v)) => Some(v),
+            Some(Err(_)) => {
+                let s = &self.row[col];
+                self.flag(format!("column {col} ({name}) is not numeric: '{s}'"));
+                None
+            }
+            None => {
+                self.flag(format!(
+                    "row has {} columns, audited column {col} ({name}) missing",
+                    self.row.len()
+                ));
+                None
+            }
+        }
+    }
+
+    /// Check `measured ≥ bound` (with [`EPS`] slack for formatted floats).
+    fn at_least(&mut self, col: usize, name: &str, bound: f64, law: &str) {
+        if let Some(v) = self.num(col, name) {
+            if v < bound - EPS {
+                self.flag(format!(
+                    "{name} = {v} beats the proven lower bound {bound} ({law})"
+                ));
+            }
+        }
+    }
+}
+
+/// The conformance-row invariants, shared with the committed-baseline gate
+/// (`lab audit --bench BENCH_faults.json`): delay-only fault plans can
+/// never speed a run up, nothing finishes in zero steps, and the routers'
+/// clean legs route a real h-relation so they pay `(h−1)·G + L` (the
+/// conformance harness fixes `G = 2`, `L = 16`). Theorem 1 hosting has no
+/// latency bound here: its clean makespan is a guest-time quantity that
+/// can legitimately undercut the host's `L`.
+pub fn audit_conformance_row(
+    sim: &str,
+    h: usize,
+    clean: u64,
+    faulted: u64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if clean == 0 {
+        out.push(format!("{sim}: clean run of 0 steps"));
+    }
+    if faulted < clean {
+        out.push(format!(
+            "{sim}: faulted leg ({faulted}) beats clean leg ({clean}) — delay-only faults cannot speed a run up"
+        ));
+    }
+    if matches!(sim, "route_det" | "route_rand") && h >= 1 {
+        let bound = (h as u64 - 1) * 2 + 16;
+        if clean < bound {
+            out.push(format!(
+                "{sim}: clean h-relation time {clean} beats (h-1)·G + L = {bound}"
+            ));
+        }
+    }
+    out
+}
+
+fn audit_cell(work: &Work, domain: &str, index: usize, rows: &[Vec<String>], out: &mut Vec<Violation>) {
+    match work {
+        Work::Measure { net, view, .. } => {
+            if let View::K6 { .. } = view {
+                // rows[0] is the fit summary; rows[1..] are (h, T) samples.
+                let indeg = net.max_indegree();
+                for row in rows.iter().skip(1) {
+                    let mut lens = RowLens { row, out, domain, index };
+                    if let Some(h) = lens.num(0, "h") {
+                        let bound = (h / indeg as f64).ceil();
+                        lens.at_least(1, "T(h)", bound, "a node drains at most indeg messages per step");
+                    }
+                }
+            }
+        }
+        Work::Host { logp, wl, .. } => {
+            let native_bound = match wl {
+                HostWl::Ring { rounds } => (rounds * (logp.l + 2 * logp.o)) as f64,
+                HostWl::AllToAll => {
+                    ((logp.p as u64).saturating_sub(2) * logp.g + logp.l + 2 * logp.o) as f64
+                }
+            };
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                let law = match wl {
+                    HostWl::Ring { .. } => "each ring round pays L + 2o",
+                    HostWl::AllToAll => "p-1 gap-limited sends pay (p-2)·G + L + 2o",
+                };
+                lens.at_least(3, "native makespan", native_bound, law);
+                if let Some(native) = lens.num(3, "native makespan") {
+                    lens.at_least(
+                        4,
+                        "hosted makespan",
+                        native,
+                        "a host simulation cannot beat the guest's stall-free makespan",
+                    );
+                }
+            }
+        }
+        Work::Route { logp, h, .. } => {
+            let bound = ((*h as u64).max(1) - 1) as f64 * logp.g as f64 + logp.l as f64;
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                lens.at_least(5, "t_cycles", bound, "an h-relation pays (h-1)·G + L");
+                lens.at_least(6, "total", bound, "an h-relation pays (h-1)·G + L");
+            }
+        }
+        Work::RouteBig { logp, h, .. } => {
+            let bound = ((*h as u64).max(1) - 1) as f64 * logp.g as f64 + logp.l as f64;
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                lens.at_least(4, "total", bound, "an h-relation pays (h-1)·G + L");
+            }
+        }
+        Work::Superstep { .. } => {
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                if let Some(native) = lens.num(6, "native total") {
+                    lens.at_least(
+                        5,
+                        "simulated total",
+                        native,
+                        "a BSP-on-LogP simulation cannot beat the native BSP cost",
+                    );
+                }
+            }
+        }
+        Work::Conformance { sim, h, .. } => {
+            // rows[0] is the table row; rows[1] is the checks/repro meta
+            // row the warm-cache replay needs — only the former is a
+            // measurement.
+            if let Some(row) = rows.first() {
+                let mut lens = RowLens { row, out, domain, index };
+                let clean = lens.num(4, "clean");
+                let faulted = lens.num(5, "faulted");
+                if let (Some(clean), Some(faulted)) = (clean, faulted) {
+                    for what in
+                        audit_conformance_row(sim.as_str(), *h, clean as u64, faulted as u64)
+                    {
+                        lens.flag(what);
+                    }
+                }
+            }
+        }
+        Work::Stack { rounds, .. } => {
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                // Columns: [.., G(5), L(6), t_abstract(7), t_grounded(8), .., t_hosted(10), ..]
+                if let Some(l_hat) = lens.num(6, "L") {
+                    let bound = *rounds as f64 * (l_hat + 2.0);
+                    lens.at_least(7, "t_abstract", bound, "each ring round pays L + 2o");
+                }
+                if let Some(abst) = lens.num(7, "t_abstract") {
+                    lens.at_least(
+                        10,
+                        "t_hosted",
+                        abst,
+                        "Theorem 1 hosting cannot beat the abstract guest",
+                    );
+                }
+                lens.at_least(
+                    8,
+                    "t_grounded",
+                    *rounds as f64,
+                    "each ring round advances the grounded clock",
+                );
+            }
+        }
+    }
+}
+
+/// Audit one completed grid: `work[i]` describes `spec.cells[i]`, whose
+/// completed rows are `rows[i]`. Returns every violated bound.
+pub fn audit_grid(spec: &GridSpec, work: &[Work], rows: &[Vec<Vec<String>>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for ((cell, work), rows) in spec.cells.iter().zip(work).zip(rows) {
+        audit_cell(work, &cell.domain, cell.index, rows, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::Scheme;
+    use crate::topo::Net;
+    use bvl_lab::CellSpec;
+    use bvl_logp::LogpParams;
+
+    fn grid_for(work: Work, rows: Vec<Vec<String>>) -> Vec<Violation> {
+        let spec = GridSpec::new("t", 1).cell(CellSpec::new("d", 0, "p"));
+        audit_grid(&spec, &[work], &[rows])
+    }
+
+    fn s(cols: &[&str]) -> Vec<String> {
+        cols.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn route_bound_is_tight_but_strict() {
+        let logp = LogpParams::new(16, 16, 1, 2).unwrap();
+        let work = Work::Route {
+            logp,
+            h: 1,
+            scheme: Scheme::Network,
+            seed: 7,
+        };
+        // (h-1)·G + L = 16: the committed h=1 cell measures exactly 20/20.
+        let ok = s(&["16", "1", "0", "0", "0", "16", "16", "16.00", "1.00", "1.00"]);
+        assert!(grid_for(work.clone(), vec![ok]).is_empty(), "equality is legal");
+        let broken = s(&["16", "1", "0", "0", "0", "15", "16", "16.00", "1.00", "1.00"]);
+        let v = grid_for(work, vec![broken]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("t_cycles"), "{}", v[0]);
+        assert!(v[0].to_string().starts_with("d[0]:"), "{}", v[0]);
+    }
+
+    #[test]
+    fn host_hosted_below_native_is_flagged() {
+        let logp = LogpParams::new(16, 16, 1, 4).unwrap();
+        let work = Work::Host {
+            logp,
+            fg: 1,
+            fl: 1,
+            wl: HostWl::Ring { rounds: 8 },
+        };
+        // rounds·(L+2o) = 8·18 = 144 (the committed ring cell is exactly this).
+        let ok = s(&["ring x8", "16", "1x/1x", "144", "200", "1.39", "3.0", "0.46"]);
+        assert!(grid_for(work.clone(), vec![ok]).is_empty());
+        let fast_native = s(&["ring x8", "16", "1x/1x", "143", "200", "1.40", "3.0", "0.47"]);
+        assert_eq!(grid_for(work.clone(), vec![fast_native]).len(), 1);
+        let hosted_beats = s(&["ring x8", "16", "1x/1x", "144", "143", "0.99", "3.0", "0.33"]);
+        let v = grid_for(work, vec![hosted_beats]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("hosted"), "{}", v[0]);
+    }
+
+    #[test]
+    fn conformance_rows_enforce_monotone_faults() {
+        assert!(audit_conformance_row("route_det", 4, 22, 22).is_empty());
+        assert!(!audit_conformance_row("route_det", 4, 21, 30).is_empty(), "below (h-1)G+L");
+        assert!(!audit_conformance_row("logp_on_bsp", 4, 15, 14).is_empty(), "faulted < clean");
+        assert!(audit_conformance_row("logp_on_bsp", 4, 15, 15).is_empty(), "no latency bound for thm1 host");
+        assert!(!audit_conformance_row("route_rand", 4, 0, 0).is_empty(), "zero steps");
+    }
+
+    #[test]
+    fn k6_samples_respect_indegree_drain() {
+        let work = Work::Measure {
+            net: Net::Hypercube(6),
+            mode: bvl_net::PortMode::Multi,
+            seed: 11,
+            view: View::K6 { label: "hypercube_k6".into() },
+        };
+        let fit = s(&["hypercube_k6", "64", "1.00", "6.00", "0.99"]);
+        let ok = s(&["16", "12.5"]); // ⌈16/6⌉ = 3 ≤ 12.5
+        assert!(grid_for(work.clone(), vec![fit.clone(), ok]).is_empty());
+        let broken = s(&["16", "2"]);
+        let v = grid_for(work, vec![fit, broken]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("T(h)"), "{}", v[0]);
+    }
+
+    #[test]
+    fn malformed_audited_columns_are_findings() {
+        let logp = LogpParams::new(8, 16, 1, 2).unwrap();
+        let work = Work::RouteBig { logp, h: 98, seed: 9 };
+        let bad = s(&["98", "Network", "9"]); // audited column 4 missing
+        let v = grid_for(work, vec![bad]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("missing"), "{}", v[0]);
+    }
+}

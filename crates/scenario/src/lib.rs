@@ -1,0 +1,43 @@
+//! # bvl-scenario — the declarative scenario plane
+//!
+//! Every experiment in this repo is a *parameterized comparison*: a grid of
+//! (workload × machine params × routing × topology) cells driven through
+//! [`bvl_lab::run_grid`]. Until this crate, those grids were hand-written
+//! Rust in `bvl_bench::labexp`, so a new scenario required a rebuild and
+//! could not be submitted to the lab service as data.
+//!
+//! This crate makes scenarios data:
+//!
+//! * [`doc`] — the [`ScenarioDoc`] document model: grids of typed cells
+//!   ([`Work`]) with per-grid `RunOptions` knobs ([`FaultPlan`] included),
+//!   a line-oriented serializer ([`ScenarioDoc::to_text`]) and a one-line
+//!   round-trip encoding ([`ScenarioDoc::repro`]).
+//! * [`parse`] — a hand-written std-only parser with byte-offset error
+//!   messages; `parse(doc.to_text()) == doc` (proptested).
+//! * [`topo`] — the shared topology vocabulary ([`Net`], [`measure`])
+//!   previously duplicated in `labexp`, with stable text tokens.
+//! * [`compile`] — the lowering pass: a document becomes the exact
+//!   [`bvl_lab::GridSpec`]/[`bvl_lab::CellSpec`]/`RunOptions` stacks the
+//!   scheduler consumes today, so store keys — and therefore warm-cache
+//!   hits — survive the refactor bit for bit.
+//! * [`bounds`] — the Bilardi–Scquizzato–Silvestri-style lower-bound
+//!   audit: proven communication lower bounds per cell kind, checked over
+//!   every completed grid. A measured cost below a proven bound is not a
+//!   fast run, it is a simulator bug, and fails the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod compile;
+pub mod doc;
+pub mod parse;
+pub mod topo;
+
+pub use bounds::{audit_conformance_row, audit_grid, Violation};
+pub use compile::{compile, grid_digest, CompileError, CompiledGrid, CompiledScenario};
+pub use doc::{
+    CellDoc, GridDoc, HostWl, OnlyIn, Scheme, ScenarioDoc, Strategy, SuperWl, View, Work,
+};
+pub use parse::{parse, ParseError};
+pub use topo::{family_token, measure, parse_family, Net, HS};

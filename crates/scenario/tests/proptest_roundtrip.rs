@@ -1,0 +1,331 @@
+//! Property tests for the scenario text form: `parse(doc.to_text()) == doc`
+//! and `parse(doc.repro()) == doc` over random documents — random grids,
+//! random typed work, random quoted strings, random embedded `FaultPlan`
+//! one-liners — plus offset-carrying rejection checks for malformed input.
+
+use bvl_fault::conformance::Sim;
+use bvl_fault::FaultPlan;
+use bvl_logp::LogpParams;
+use bvl_net::table1::Family;
+use bvl_net::PortMode;
+use bvl_scenario::{
+    parse, CellDoc, GridDoc, HostWl, OnlyIn, ScenarioDoc, Scheme, Strategy as SimStrategy,
+    SuperWl, View, Work,
+};
+use bvl_scenario::Net;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::{ProptestConfig, TestRng};
+
+fn pick(rng: &mut TestRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+/// A bare-token identifier: safe outside quotes.
+fn ident() -> impl Strategy<Value = String> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let len = 1 + pick(&mut rng, 8) as usize;
+        (0..len)
+            .map(|_| (b'a' + pick(&mut rng, 26) as u8) as char)
+            .collect()
+    })
+}
+
+/// An arbitrary quoted string: exercises every escape and every character
+/// the tokenizer treats specially outside quotes.
+fn text() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '=', '#', ';', ':', ',', '(', ')', 'γ',
+    ];
+    Just(()).prop_perturb(|_, mut rng| {
+        let len = pick(&mut rng, 16) as usize;
+        (0..len)
+            .map(|_| ALPHABET[pick(&mut rng, ALPHABET.len() as u64) as usize])
+            .collect()
+    })
+}
+
+fn net() -> impl Strategy<Value = Net> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let size = 1 + pick(&mut rng, 16) as usize;
+        let k = 1 + pick(&mut rng, 8) as u32;
+        match pick(&mut rng, 7) {
+            0 => Net::Array2d(size),
+            1 => Net::Array3d(size),
+            2 => Net::Hypercube(k),
+            3 => Net::Butterfly(k),
+            4 => Net::Ccc(k),
+            5 => Net::ShuffleExchange(k),
+            _ => Net::MeshOfTrees(size),
+        }
+    })
+}
+
+fn family() -> impl Strategy<Value = Family> {
+    Just(()).prop_perturb(|_, mut rng| match pick(&mut rng, 7) {
+        0 => Family::ArrayD(1 + pick(&mut rng, 4) as u32),
+        1 => Family::HypercubeMulti,
+        2 => Family::HypercubeSingle,
+        3 => Family::Butterfly,
+        4 => Family::Ccc,
+        5 => Family::ShuffleExchange,
+        _ => Family::MeshOfTrees,
+    })
+}
+
+/// Valid LogP parameters: `max{2, o} ≤ G ≤ L` (enforced at parse time, so
+/// the generator must respect it too).
+fn logp() -> impl Strategy<Value = LogpParams> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let o = pick(&mut rng, 4);
+        let g_min = 2.max(o);
+        let g = g_min + pick(&mut rng, 7);
+        let l = g + pick(&mut rng, 60);
+        let p = 1 + pick(&mut rng, 64) as usize;
+        LogpParams::new(p, l, o, g).expect("generator respects the constraint")
+    })
+}
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let mut plan = FaultPlan::new(pick(&mut rng, 1000));
+        if pick(&mut rng, 2) == 0 {
+            plan = match pick(&mut rng, 2) {
+                0 => plan.jitter_uniform(1 + pick(&mut rng, 64)),
+                _ => plan.jitter_fixed(1 + pick(&mut rng, 64)),
+            };
+        }
+        if pick(&mut rng, 2) == 0 {
+            plan = plan.reorder((1 + pick(&mut rng, 100)) as u8);
+        }
+        if pick(&mut rng, 2) == 0 {
+            plan = plan.duplicate(1 + pick(&mut rng, 64));
+        }
+        if pick(&mut rng, 2) == 0 {
+            let period = 2 + pick(&mut rng, 126);
+            plan = plan.stall_burst(period, 1 + pick(&mut rng, period - 1));
+        }
+        if pick(&mut rng, 2) == 0 {
+            plan = plan.capacity_squeeze(1 + pick(&mut rng, 8));
+        }
+        if pick(&mut rng, 2) == 0 {
+            plan = plan.degrade(pick(&mut rng, 128), 1 + pick(&mut rng, 8));
+        }
+        plan.validate().expect("generator respects plan constraints");
+        plan
+    })
+}
+
+fn view() -> impl Strategy<Value = View> {
+    (family(), text(), 0u64..4).prop_map(|(family, label, k)| match k {
+        0 => View::Main { family },
+        1 => View::Scaling { family, label },
+        2 => View::Obs1 { label },
+        _ => View::K6 { label },
+    })
+}
+
+fn work() -> impl Strategy<Value = Work> {
+    let measure = (net(), proptest::bool::ANY, 0u64..1000, view()).prop_map(
+        |(net, multi, seed, view)| Work::Measure {
+            net,
+            mode: if multi { PortMode::Multi } else { PortMode::Single },
+            seed,
+            view,
+        },
+    );
+    let host = (logp(), 1u64..5, 1u64..5, 0u64..10, proptest::bool::ANY).prop_map(
+        |(logp, fg, fl, rounds, ring)| Work::Host {
+            logp,
+            fg,
+            fl,
+            wl: if ring {
+                HostWl::Ring { rounds }
+            } else {
+                HostWl::AllToAll
+            },
+        },
+    );
+    let route = (logp(), 1usize..64, proptest::bool::ANY, 0u64..1000).prop_map(
+        |(logp, h, network, seed)| Work::Route {
+            logp,
+            h,
+            scheme: if network {
+                Scheme::Network
+            } else {
+                Scheme::Columnsort
+            },
+            seed,
+        },
+    );
+    let route_big =
+        (logp(), 1usize..512, 0u64..1000).prop_map(|(logp, h, seed)| Work::RouteBig {
+            logp,
+            h,
+            seed,
+        });
+    let superstep = (logp(), 0u64..3, 1u64..9).prop_map(|(logp, k, slack)| Work::Superstep {
+        logp,
+        strategy: match k {
+            0 => SimStrategy::Offline,
+            1 => SimStrategy::Randomized { slack },
+            _ => SimStrategy::Deterministic,
+        },
+        wl: SuperWl::Mod7Fan,
+    });
+    let conformance =
+        (0u64..3, 1usize..64, 1usize..16, 0u64..1000).prop_map(|(k, p, h, seed)| {
+            Work::Conformance {
+                sim: match k {
+                    0 => Sim::RouteDet,
+                    1 => Sim::RouteRand,
+                    _ => Sim::LogpOnBsp,
+                },
+                p,
+                h,
+                seed,
+            }
+        });
+    let stack = (net(), 1u64..16, 0u64..10000).prop_map(|(net, rounds, seed)| Work::Stack {
+        net,
+        rounds,
+        seed,
+    });
+    prop_oneof![measure, host, route, route_big, superstep, conformance, stack]
+}
+
+fn option_of<S: Strategy + 'static>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (proptest::bool::ANY, inner).prop_map(|(some, v)| if some { Some(v) } else { None })
+}
+
+fn cell() -> impl Strategy<Value = CellDoc> {
+    (
+        work(),
+        text(),
+        option_of(ident()),
+        option_of(fault_plan()),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(work, params, domain, plan, force, smoke)| CellDoc {
+            work,
+            params,
+            domain,
+            plan,
+            force,
+            smoke,
+        })
+}
+
+fn grid() -> impl Strategy<Value = GridDoc> {
+    (
+        (
+            ident(),
+            0u64..10000,
+            option_of(ident()),
+            (0u64..3).prop_map(|k| match k {
+                0 => None,
+                1 => Some(OnlyIn::Smoke),
+                _ => Some(OnlyIn::Full),
+            }),
+        ),
+        (
+            option_of(0u64..10000),
+            proptest::bool::ANY,
+            option_of(0u64..1000),
+            option_of(1u64..100000),
+            option_of(fault_plan()),
+        ),
+        proptest::collection::vec(cell(), 0..4),
+    )
+        .prop_map(
+            |((exp, master, domain, only), (seed, trace, clock_base, budget, fault), cells)| {
+                GridDoc {
+                    exp,
+                    master,
+                    domain,
+                    only,
+                    seed,
+                    trace,
+                    clock_base,
+                    budget,
+                    fault,
+                    cells,
+                }
+            },
+        )
+}
+
+fn doc() -> impl Strategy<Value = ScenarioDoc> {
+    (ident(), proptest::collection::vec(grid(), 0..4))
+        .prop_map(|(name, grids)| ScenarioDoc { name, grids })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The serializer and parser are exact inverses, in both the
+    /// multi-line `.scn` form and the one-line repro form.
+    #[test]
+    fn parse_inverts_serialization(doc in doc()) {
+        let text = doc.to_text();
+        let parsed = parse(&text);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&doc), "to_text: {}", text);
+        let line = doc.repro();
+        let reparsed = parse(&line);
+        prop_assert_eq!(reparsed.as_ref().ok(), Some(&doc), "repro: {}", line);
+    }
+
+    /// Truncating a document mid-statement never panics, and a parse
+    /// failure always points inside the source.
+    #[test]
+    fn truncation_fails_cleanly(doc in doc(), frac in 1u64..100) {
+        let text = doc.to_text();
+        let cut = (text.len() as u64 * frac / 100) as usize;
+        // Snap to a char boundary.
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        match parse(&text[..cut]) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.offset <= cut, "offset {} past cut {cut}", e.offset),
+        }
+    }
+}
+
+#[test]
+fn rejection_errors_point_at_the_byte() {
+    // A representative malformed-input matrix; every error must carry the
+    // byte offset of the offending token and render it in the message.
+    let cases: &[(&str, &str)] = &[
+        ("scenario s\ngrid exp=e master=x\n", "master=x"),
+        ("scenario s\ngrid exp=e\n", "grid exp=e"),
+        (
+            "scenario s\ngrid exp=e master=1 domain=d\ncell route logp=8:16:1:99 h=1 scheme=network seed=7 params=\"x\"",
+            "logp=8:16:1:99",
+        ),
+        (
+            "scenario s\ngrid exp=e master=1 domain=d\ncell conformance sim=bogus p=8 h=4 seed=1 params=\"x\"",
+            "sim=bogus",
+        ),
+        (
+            "scenario s\ngrid exp=e master=1 domain=d fault=seed=1,burst=4x9\n",
+            "fault=seed=1,burst=4x9",
+        ),
+        (
+            "scenario s\ngrid exp=e master=1 domain=d\ncell stack net=hypercube:5 rounds=8 seed=1 params=\"x\" sneaky=1",
+            "sneaky=1",
+        ),
+    ];
+    for (src, token) in cases {
+        let e = parse(src).unwrap_err();
+        let expect = src.find(token).unwrap();
+        assert_eq!(
+            e.offset, expect,
+            "for {token:?} got error at {} ({e}), want {expect}",
+            e.offset
+        );
+        assert!(e.to_string().contains(&format!("byte {}", e.offset)), "{e}");
+    }
+}

@@ -26,6 +26,10 @@
 # sampled vs an uninstrumented baseline) itself and exits non-zero past
 # the limits. Skipped with a notice when no baseline is committed.
 #
+# Gate 4 runs `lab audit` over the committed BENCH_faults.json: every row
+# must respect the provable communication lower bounds (DESIGN.md §15).
+# Skipped with a notice when no baseline is committed.
+#
 # The committed BENCH_engine.json is restored afterwards; regenerating the
 # baselines themselves is `scripts/regen_experiments.sh`'s job.
 set -euo pipefail
@@ -155,6 +159,18 @@ PY
 echo "exp_faults conformance gate: PASS (exact match)"
 
 fi # BENCH_faults.json gate
+
+# Gate 4: the communication lower-bound audit over the committed fault
+# baselines (DESIGN.md §15). The bounds are theorems — delay-only faults
+# can never speed a run up; the routers' clean legs pay (h-1)·G + L — so
+# a baseline below them records a simulator bug, whatever it was diffed
+# against. Skipped with a notice when no baseline is committed.
+if [[ -f BENCH_faults.json ]]; then
+    cargo run -q --release -p bvl-bench --bin lab -- audit --bench BENCH_faults.json
+    echo "lower-bound audit gate: PASS (BENCH_faults.json respects the proven bounds)"
+else
+    echo "notice: no committed BENCH_faults.json baseline; skipping lower-bound audit gate"
+fi
 
 if [[ ! -f BENCH_obs.json ]]; then
     echo "notice: no committed BENCH_obs.json baseline; skipping obs-overhead gate"
