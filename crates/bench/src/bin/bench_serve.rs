@@ -1,0 +1,397 @@
+//! Open-loop service benchmark → `BENCH_serve.json`.
+//!
+//! Proves the nonblocking front end (ISSUE 9) on four axes, each recorded
+//! in the output JSON and folded into a single acceptance block:
+//!
+//! * **correctness** — a cold `POST /run` computes every cell of the
+//!   `thm2` smoke grid, a warm rerun is all hits, and the payloads agree.
+//! * **concurrency** — `clients` connections (1000 full, 64 `--smoke`)
+//!   are held open *simultaneously*; while all of them are parked the
+//!   server still answers a `/metrics` probe, whose `serve.active` count
+//!   is the proof the event loop really has that many registered
+//!   connections. Then every parked client issues its request and must
+//!   get a complete response.
+//! * **open-loop latency** — a Poisson arrival schedule (seeded ChaCha8,
+//!   fixed rate) is replayed by a sender pool; latency is measured from
+//!   the *scheduled* arrival, not the send, so coordinated omission
+//!   counts against the server. The mix is GET-heavy with a warm
+//!   `POST /run` every tenth request.
+//! * **replication** — the live store is synced to a follower, digests
+//!   must match; a torn tail is injected into the follower and a resync
+//!   must repair it back to bit-identical.
+//!
+//! Wall-clock gates are same-host relative and sized for a single-vCPU
+//! reference host: p99 under `P99_LIMIT_MS`, error rate under 1%. Run via:
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin bench_serve [-- --smoke]
+//! ```
+
+use bvl_bench::{labexp, scn};
+use bvl_lab::{serve, store_digest, sync_store, CodeFingerprint, OnStale, Service, ShardedStore};
+use bvl_obs::Registry;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Store shards for the served store: >1 so the serving path exercises
+/// digest routing, not just the flat legacy layout.
+const SHARDS: usize = 2;
+/// Worker threads behind the event loop (the reference host is 1 vCPU;
+/// workers only run `POST /run` bodies, GETs are answered on the loop).
+const WORKERS: usize = 2;
+/// p99 acceptance ceiling, scheduled-arrival to last-byte, milliseconds.
+const P99_LIMIT_MS: f64 = 750.0;
+/// Acceptance ceiling on the error rate across both load phases.
+const ERROR_RATE_LIMIT: f64 = 0.01;
+
+struct Config {
+    /// Simultaneously-open connections in the concurrency phase.
+    clients: usize,
+    /// Poisson arrival rate, requests per second.
+    rate_hz: f64,
+    /// Open-loop phase length, seconds.
+    seconds: f64,
+    /// Sender threads replaying the arrival schedule.
+    senders: usize,
+}
+
+impl Config {
+    fn new(smoke: bool) -> Config {
+        if smoke {
+            Config { clients: 64, rate_hz: 40.0, seconds: 2.0, senders: 8 }
+        } else {
+            Config { clients: 1000, rate_hz: 100.0, seconds: 6.0, senders: 16 }
+        }
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bvl-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP/1.1 request over a fresh connection. `Ok` carries (status,
+/// body); any transport failure or truncated response is an `Err`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    send_and_read(stream, method, path, body)
+}
+
+fn send_and_read(
+    mut stream: TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lab\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in {response:.60?}"))?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| "truncated response (no header/body split)".to_string())?;
+    Ok((status, payload))
+}
+
+/// Pull the integer following `"needle":` out of a JSON body. Good enough
+/// for the flat counters this harness reconciles.
+fn json_u64(body: &str, needle: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{needle}\":"))?;
+    let rest = &body[at + needle.len() + 3..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Phase 1: cold run computes, warm run hits, payloads agree.
+fn correctness_phase(addr: SocketAddr) -> (u64, u64) {
+    let (status, cold) =
+        request(addr, "POST", "/run", "{\"exp\":\"thm2\",\"smoke\":true}").expect("cold run");
+    assert_eq!(status, 200, "cold POST /run failed: {cold}");
+    let misses = json_u64(&cold, "misses").expect("cold misses");
+    assert!(misses > 0, "cold run computed nothing: {cold}");
+    let (status, warm) =
+        request(addr, "POST", "/run", "{\"exp\":\"thm2\",\"smoke\":true}").expect("warm run");
+    assert_eq!(status, 200, "warm POST /run failed: {warm}");
+    let hits = json_u64(&warm, "hits").expect("warm hits");
+    assert_eq!(hits, misses, "warm run did not hit every cold cell: {warm}");
+    (misses, hits)
+}
+
+/// Phase 2: hold `clients` connections open at once, prove the server
+/// still answers, then drain them all. Returns (active observed by the
+/// mid-phase probe, drained OK, errors).
+fn concurrency_phase(addr: SocketAddr, clients: usize) -> (u64, u64, u64) {
+    let connected = Barrier::new(clients + 1);
+    let probed = Barrier::new(clients + 1);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let mut active = 0u64;
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let (connected, probed, ok, errors) = (&connected, &probed, &ok, &errors);
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr);
+                connected.wait();
+                probed.wait();
+                let outcome = stream
+                    .map_err(|e| format!("connect: {e}"))
+                    .and_then(|s| {
+                        s.set_read_timeout(Some(Duration::from_secs(60))).ok();
+                        let path = if i % 2 == 0 { "/status" } else { "/metrics" };
+                        send_and_read(s, "GET", path, "")
+                    });
+                match outcome {
+                    Ok((200, _)) => drop(ok.fetch_add(1, Ordering::Relaxed)),
+                    _ => drop(errors.fetch_add(1, Ordering::Relaxed)),
+                }
+            });
+        }
+        connected.wait();
+        // Everyone is connected and parked. Give the event loop a beat to
+        // drain the accept backlog, then prove it is still responsive and
+        // read how many connections it is really holding.
+        std::thread::sleep(Duration::from_millis(500));
+        let (status, body) = request(addr, "GET", "/metrics", "").expect("mid-phase probe");
+        assert_eq!(status, 200, "server unresponsive under {clients} parked conns");
+        // The probe's own connection is part of `active`; discount it.
+        active = json_u64(&body, "active").expect("serve.active").saturating_sub(1);
+        probed.wait();
+    });
+    (active, ok.into_inner(), errors.into_inner())
+}
+
+#[derive(Clone, Copy)]
+struct LoadOutcome {
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    elapsed_s: f64,
+}
+
+/// Phase 3: open-loop Poisson replay. Arrival times are fixed up front;
+/// senders sleep until each scheduled instant and measure completion
+/// against it, so server-side queueing (and sender lateness) both count.
+fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5e12_1996);
+    let mut arrivals = Vec::new();
+    let mut t = 0.0f64;
+    while t < cfg.seconds {
+        // The vendored rand has no float ranges; an integer draw mapped
+        // into (0, 1] seeds the exponential just as well.
+        let u = f64::from(rng.gen_range(1..=u32::MAX)) / f64::from(u32::MAX);
+        t += -u.ln() / cfg.rate_hz;
+        arrivals.push(Duration::from_secs_f64(t));
+    }
+    let next = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(arrivals.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.senders {
+            let (next, ok, errors, latencies, arrivals) =
+                (&next, &ok, &errors, &latencies, &arrivals);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&at) = arrivals.get(i) else { break };
+                if let Some(wait) = at.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let outcome = match i % 10 {
+                    9 => request(addr, "POST", "/run", "{\"exp\":\"thm2\",\"smoke\":true}"),
+                    7 | 8 => request(addr, "GET", "/cells?exp=thm2", ""),
+                    1 => request(addr, "GET", "/metrics", ""),
+                    _ => request(addr, "GET", "/status", ""),
+                };
+                let latency_ms = (start.elapsed().saturating_sub(at)).as_secs_f64() * 1e3;
+                match outcome {
+                    Ok((200, _)) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        latencies.lock().unwrap().push(latency_ms);
+                    }
+                    _ => drop(errors.fetch_add(1, Ordering::Relaxed)),
+                }
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return f64::NAN;
+        }
+        lat[((lat.len() - 1) as f64 * q) as usize]
+    };
+    LoadOutcome {
+        requests: arrivals.len() as u64,
+        ok: ok.into_inner(),
+        errors: errors.into_inner(),
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        elapsed_s,
+    }
+}
+
+/// Phase 4: replicate the warm store, then tear the follower's newest
+/// segment and prove a resync repairs it back to bit-identical.
+fn replication_phase(leader: &Path, follower: &Path) -> (bool, bool, u64) {
+    let _ = std::fs::remove_dir_all(follower);
+    sync_store(leader, follower).expect("initial sync");
+    let initial =
+        store_digest(leader).expect("leader digest") == store_digest(follower).expect("follower");
+
+    // Torn tail: append half a record's worth of garbage to the newest
+    // follower segment, as a crash mid-append would leave behind.
+    let mut segs: Vec<PathBuf> = Vec::new();
+    for shard in 0..SHARDS {
+        let dir = follower.join(format!("shard-{shard:03}"));
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for e in rd.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "jsonl") {
+                    segs.push(p);
+                }
+            }
+        }
+    }
+    segs.sort();
+    let victim = segs.last().expect("follower has segments");
+    let mut bytes = std::fs::read(victim).expect("read victim");
+    bytes.extend_from_slice(b"{\"key\":\"torn-mid-append");
+    std::fs::write(victim, &bytes).expect("tear victim");
+
+    let reports = sync_store(leader, follower).expect("resync");
+    let repaired: u64 = reports.iter().map(|r| r.repaired_bytes).sum();
+    let healed =
+        store_digest(leader).expect("leader digest") == store_digest(follower).expect("follower");
+    (initial, healed, repaired)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = Config::new(smoke);
+    let dir = tmpdir("store");
+    let follower = tmpdir("follower");
+
+    let store = ShardedStore::open(&dir, SHARDS, CodeFingerprint::current(), OnStale::Invalidate)
+        .expect("open store");
+    let service = std::sync::Arc::new(
+        Service::new(store, Registry::enabled(1), labexp::experiments())
+            .with_scenario_runner(Box::new(scn::Runner)),
+    );
+    let server = serve("127.0.0.1:0", std::sync::Arc::clone(&service), WORKERS).expect("bind");
+    let addr = server.addr();
+    eprintln!(
+        "bench_serve: {} on {addr}, {SHARDS} shard(s), {WORKERS} worker(s)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let (cold_misses, warm_hits) = correctness_phase(addr);
+    eprintln!("correctness: cold misses {cold_misses}, warm hits {warm_hits}");
+
+    let (active, conc_ok, conc_errors) = concurrency_phase(addr, cfg.clients);
+    eprintln!(
+        "concurrency: {} clients parked, server held {active} active, {} drained ok, {} errors",
+        cfg.clients, conc_ok, conc_errors
+    );
+
+    let load = open_loop_phase(addr, &cfg);
+    eprintln!(
+        "open-loop: {} arrivals at {:.0}/s over {:.1}s — {} ok, {} errors, \
+         p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        load.requests, cfg.rate_hz, load.elapsed_s, load.ok, load.errors, load.p50_ms,
+        load.p95_ms, load.p99_ms
+    );
+
+    // The metrics plane must reconcile with what the harness saw: the
+    // server has answered at least every successful request counted here.
+    let (status, metrics) = request(addr, "GET", "/metrics", "").expect("final metrics");
+    assert_eq!(status, 200);
+    let responses = json_u64(&metrics, "responses").expect("serve.responses");
+    let harness_ok = 2 + conc_ok + load.ok + 1; // cold+warm, both phases, mid-probe
+    assert!(
+        responses >= harness_ok,
+        "serve.responses {responses} < harness-observed {harness_ok}"
+    );
+
+    server.stop();
+    let (repl_initial, repl_healed, repaired_bytes) = replication_phase(&dir, &follower);
+    eprintln!(
+        "replication: initial match {repl_initial}, torn-tail healed {repl_healed} \
+         ({repaired_bytes} byte(s) repaired)"
+    );
+
+    let total = (conc_ok + conc_errors + load.ok + load.errors) as f64;
+    let error_rate = (conc_errors + load.errors) as f64 / total.max(1.0);
+    let pass = active >= cfg.clients as u64
+        && conc_ok == cfg.clients as u64
+        && load.p99_ms <= P99_LIMIT_MS
+        && error_rate <= ERROR_RATE_LIMIT
+        && repl_initial
+        && repl_healed;
+
+    let json = format!(
+        "{{\n  \"config\": {{\"smoke\": {smoke}, \"shards\": {SHARDS}, \"workers\": {WORKERS}, \
+         \"clients\": {clients}, \"poisson_rate_hz\": {rate:.1}, \"poisson_seconds\": {secs:.1}}},\n\
+         \x20 \"correctness\": {{\"cold_misses\": {cold_misses}, \"warm_hits\": {warm_hits}}},\n\
+         \x20 \"concurrent\": {{\"clients\": {clients}, \"active_observed\": {active}, \
+         \"ok\": {conc_ok}, \"errors\": {conc_errors}}},\n\
+         \x20 \"open_loop\": {{\"requests\": {reqs}, \"ok\": {lok}, \"errors\": {lerr}, \
+         \"p50_ms\": {p50:.2}, \"p95_ms\": {p95:.2}, \"p99_ms\": {p99:.2}, \
+         \"elapsed_s\": {els:.2}}},\n\
+         \x20 \"replication\": {{\"initial_match\": {repl_initial}, \
+         \"torn_tail_healed\": {repl_healed}, \"repaired_bytes\": {repaired_bytes}}},\n\
+         \x20 \"acceptance\": {{\"min_concurrent_clients\": {clients}, \
+         \"concurrent_clients\": {active}, \"p99_limit_ms\": {p99lim:.1}, \"p99_ms\": {p99:.2}, \
+         \"error_rate_limit\": {errlim:.4}, \"error_rate\": {errate:.4}, \
+         \"replication_digest_match\": {repl_both}, \"pass\": {pass}}}\n}}\n",
+        clients = cfg.clients,
+        rate = cfg.rate_hz,
+        secs = cfg.seconds,
+        reqs = load.requests,
+        lok = load.ok,
+        lerr = load.errors,
+        p50 = load.p50_ms,
+        p95 = load.p95_ms,
+        p99 = load.p99_ms,
+        els = load.elapsed_s,
+        p99lim = P99_LIMIT_MS,
+        errlim = ERROR_RATE_LIMIT,
+        errate = error_rate,
+        repl_both = repl_initial && repl_healed,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_serve.json (serve gates: {})", if pass { "PASS" } else { "FAIL" });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&follower);
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -22,7 +22,7 @@
 
 use bvl_bench::{labexp, print_table, scn};
 use bvl_lab::jsonio::Cursor;
-use bvl_lab::{serve, CodeFingerprint, OnStale, Service, Store};
+use bvl_lab::{serve, shard_count_of, CodeFingerprint, OnStale, Service, ShardedStore};
 use bvl_obs::Registry;
 use bvl_scenario::grid_digest;
 use std::path::{Path, PathBuf};
@@ -43,6 +43,9 @@ fn usage() -> ! {
          lab diff [--dir D]                      staleness check (exit 1 if stale)\n\
          lab gc [--dir D]                        compact the store\n\
          lab serve [--addr A] [--workers N] [--dir D]\n\
+         \n\
+         store-touching subcommands also take --store-shards N (default:\n\
+         whatever the store records; 1 for a fresh flat store)\n\
          \n\
          experiments: {}",
         labexp::experiments()
@@ -82,8 +85,30 @@ fn store_dir(args: &mut Vec<String>) -> PathBuf {
         .into()
 }
 
-fn open(dir: &Path, on_stale: OnStale) -> Store {
-    match Store::open(dir, CodeFingerprint::current(), on_stale) {
+/// Shard count for a store-touching subcommand: `--store-shards N` wins
+/// (a fresh directory is created with that many shards; an existing one
+/// must already match), otherwise whatever the directory records.
+fn store_shards(args: &mut Vec<String>, dir: &Path) -> usize {
+    if let Some(n) = take_flag(args, "--store-shards") {
+        match n.parse() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                eprintln!("lab: --store-shards wants a positive integer, got {n}");
+                exit(2);
+            }
+        }
+    }
+    match shard_count_of(dir) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("lab: bad shard manifest in {}: {e}", dir.display());
+            exit(2);
+        }
+    }
+}
+
+fn open(dir: &Path, shards: usize, on_stale: OnStale) -> ShardedStore {
+    match ShardedStore::open(dir, shards, CodeFingerprint::current(), on_stale) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("lab: cannot open store at {}: {e}", dir.display());
@@ -92,7 +117,7 @@ fn open(dir: &Path, on_stale: OnStale) -> Store {
     }
 }
 
-fn service(store: Store) -> Service {
+fn service(store: ShardedStore) -> Service {
     Service::new(store, Registry::enabled(1), labexp::experiments())
         .with_scenario_runner(Box::new(scn::Runner))
 }
@@ -170,7 +195,8 @@ fn main() {
                         exit(2);
                     }
                 };
-                let svc = service(open(&dir, OnStale::Invalidate));
+                let shards = store_shards(&mut args, &dir);
+                let svc = service(open(&dir, shards, OnStale::Invalidate));
                 match svc
                     .run_scenario(&text, smoke, Some(bvl_obs::cli::obs_tier()))
                     .expect("scenario runner is registered")
@@ -199,7 +225,9 @@ fn main() {
             let Some(exp) = args.first().cloned() else {
                 usage();
             };
-            let svc = service(open(&dir, OnStale::Invalidate));
+            args.remove(0);
+            let shards = store_shards(&mut args, &dir);
+            let svc = service(open(&dir, shards, OnStale::Invalidate));
             let names: Vec<String> = if exp == "all" {
                 svc.names().iter().map(|n| n.to_string()).collect()
             } else {
@@ -320,9 +348,11 @@ fn main() {
         }
         "status" => {
             let dir = store_dir(&mut args);
-            let store = open(&dir, OnStale::Keep);
+            let shards = store_shards(&mut args, &dir);
+            let store = open(&dir, shards, OnStale::Keep);
             println!("store: {}", dir.display());
             println!("code:  {}", store.code());
+            println!("shards: {}", store.shard_count());
             match store.stale() {
                 Some(writer) => println!("stale: written by {writer}"),
                 None => println!("stale: no"),
@@ -350,7 +380,9 @@ fn main() {
             let Some(exp) = args.first().cloned() else {
                 usage();
             };
-            let store = open(&dir, OnStale::Keep);
+            args.remove(0);
+            let shards = store_shards(&mut args, &dir);
+            let store = open(&dir, shards, OnStale::Keep);
             let rows: Vec<Vec<String>> = store
                 .cells_for(&exp)
                 .into_iter()
@@ -373,7 +405,8 @@ fn main() {
         }
         "diff" => {
             let dir = store_dir(&mut args);
-            let store = open(&dir, OnStale::Keep);
+            let shards = store_shards(&mut args, &dir);
+            let store = open(&dir, shards, OnStale::Keep);
             match store.stale() {
                 Some(writer) => {
                     println!(
@@ -397,7 +430,8 @@ fn main() {
         }
         "gc" => {
             let dir = store_dir(&mut args);
-            let mut store = open(&dir, OnStale::Invalidate);
+            let shards = store_shards(&mut args, &dir);
+            let store = open(&dir, shards, OnStale::Invalidate);
             match store.gc() {
                 Ok(rep) => println!(
                     "gc: {} live cell(s) compacted; removed {} segment(s), {} stale archive(s)",
@@ -415,7 +449,8 @@ fn main() {
                 .map(|w| w.parse().unwrap_or(4))
                 .unwrap_or(4);
             let dir = store_dir(&mut args);
-            let svc = Arc::new(service(open(&dir, OnStale::Invalidate)));
+            let shards = store_shards(&mut args, &dir);
+            let svc = Arc::new(service(open(&dir, shards, OnStale::Invalidate)));
             match serve(&addr, svc, workers) {
                 Ok(server) => {
                     println!("lab: serving {} with {workers} worker(s)", server.addr());

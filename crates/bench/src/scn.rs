@@ -4,7 +4,7 @@
 //! (`bvl-scenario`) and the row-builders in [`crate::labexp`]:
 //!
 //! * [`SHIPPED`] embeds the checked-in `scenarios/*.scn` files;
-//!   [`reference`] rebuilds the same documents from the legacy
+//!   [`reference()`] rebuilds the same documents from the legacy
 //!   configuration lists, and the tests prove `doc(name) ==
 //!   reference(name)` — the text files are the source of truth, the code
 //!   is the oracle.
@@ -26,7 +26,7 @@ use bvl_core::{RoutingStrategy, SortScheme};
 use bvl_fault::Case;
 use bvl_lab::{
     run_grid, CellSpec, Experiment, GridReport, GridSpec, Job, ScenarioError, ScenarioRunner,
-    Store,
+    ShardedStore,
 };
 use bvl_logp::LogpParams;
 use bvl_net::PortMode;
@@ -40,7 +40,7 @@ use std::sync::Mutex;
 /// The shipped scenario sources, embedded so every binary finds them
 /// regardless of working directory. The on-disk `scenarios/*.scn` files
 /// are the checked-in form; `lab emit <name>` regenerates them from
-/// [`reference`].
+/// [`reference()`].
 pub const SHIPPED: [(&str, &str); 6] = [
     ("table1", include_str!("../../../scenarios/table1.scn")),
     ("thm1", include_str!("../../../scenarios/thm1.scn")),
@@ -599,7 +599,7 @@ impl ScenarioRunner for Runner {
     fn run_scenario(
         &self,
         text: &str,
-        store: &Mutex<Store>,
+        store: &ShardedStore,
         registry: &Registry,
         smoke: bool,
         tier: Option<Tier>,

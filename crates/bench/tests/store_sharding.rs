@@ -1,0 +1,77 @@
+//! Shard-count equivalence over the real experiment grids (ISSUE 9): a
+//! scenario grid run through stores sharded 1, 2 and 4 ways produces
+//! bit-identical rows and the same `grid_digest`, cold and warm. Sharding
+//! is a placement decision — it must never touch what is computed, how
+//! cells are keyed, or what a warm run serves.
+//!
+//! This test lives in `bvl-bench` (not `bvl-lab`) because `grid_digest`
+//! comes from `bvl-scenario`, which itself depends on `bvl-lab` — the lab
+//! crate cannot depend back on it.
+
+use bvl_bench::scn;
+use bvl_lab::{run_grid, CodeFingerprint, OnStale, ShardedStore};
+use bvl_obs::Registry;
+use bvl_scenario::grid_digest;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bvl-bench-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One grid's report rows: cell → row → field.
+type GridRows = Vec<Vec<Vec<String>>>;
+
+/// Cold + warm rows for `scenario`'s smoke grids under `shards` shards,
+/// plus the digest of every compiled grid spec.
+fn run_at(scenario: &str, shards: usize) -> (Vec<GridRows>, Vec<String>, usize, usize) {
+    let compiled = scn::compiled(scenario, true);
+    let dir = tmpdir(&format!("{scenario}-{shards}"));
+    let store =
+        ShardedStore::open(&dir, shards, CodeFingerprint::current(), OnStale::Error).unwrap();
+    let reg = Registry::disabled();
+    let (mut rows, mut digests, mut hits, mut misses) = (Vec::new(), Vec::new(), 0, 0);
+    for pass in 0..2 {
+        for (i, grid) in compiled.grids.iter().enumerate() {
+            let rep = run_grid(&grid.spec, Some(&store), &reg, |cell, job| {
+                scn::run_work(scn::work_for(grid, cell), cell, job, None).0
+            })
+            .unwrap();
+            if pass == 0 {
+                rows.push(rep.rows);
+                digests.push(grid_digest(&grid.spec));
+                misses += rep.misses;
+            } else {
+                // Warm pass: identical rows straight from the shards.
+                assert_eq!(rep.rows, rows[i], "warm rows moved for grid {i}");
+                hits += rep.hits;
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    (rows, digests, hits, misses)
+}
+
+#[test]
+fn thm2_grids_are_bit_identical_at_1_2_and_4_shards() {
+    let (rows1, digests1, hits1, misses1) = run_at("thm2", 1);
+    assert!(misses1 > 0, "cold pass computes");
+    assert_eq!(hits1, misses1, "warm pass hits every cell");
+    for shards in [2usize, 4] {
+        let (rows, digests, hits, misses) = run_at("thm2", shards);
+        assert_eq!(rows, rows1, "rows diverged at {shards} shards");
+        assert_eq!(digests, digests1, "grid digests diverged at {shards} shards");
+        assert_eq!((hits, misses), (hits1, misses1), "cache behavior moved at {shards} shards");
+    }
+}
+
+#[test]
+fn faults_grids_are_bit_identical_at_1_2_and_4_shards() {
+    let (rows1, digests1, _, _) = run_at("faults", 1);
+    for shards in [2usize, 4] {
+        let (rows, digests, _, _) = run_at("faults", shards);
+        assert_eq!(rows, rows1, "rows diverged at {shards} shards");
+        assert_eq!(digests, digests1, "grid digests diverged at {shards} shards");
+    }
+}

@@ -1,21 +1,33 @@
-//! The serve front end: a std-only HTTP/1.1 JSON endpoint over the store.
+//! The serve front end: a nonblocking HTTP/1.1 JSON endpoint on epoll.
 //!
-//! No async runtime and no HTTP dependency: a [`std::net::TcpListener`]
-//! accept loop feeds a **bounded pool** of worker threads over an
-//! `mpsc` channel, each worker parsing the one-request-per-connection
-//! subset of HTTP/1.1 this service speaks (`Connection: close` on every
-//! response). That is deliberately the smallest thing that serves
-//! concurrent clients correctly; swapping in a real server framework
-//! would change this file only.
+//! No async runtime and no HTTP dependency. One event-loop thread owns a
+//! nonblocking [`std::net::TcpListener`] plus every live connection,
+//! multiplexed through [`crate::epoll::Epoll`] (level-triggered). Cheap
+//! requests (`GET /status`, `/metrics`, `/cells`) are answered directly
+//! on the loop; `POST /run` — which may compute a whole grid — is handed
+//! to a bounded pool of worker threads, and the finished response comes
+//! back to the loop through a completion queue plus an
+//! [`crate::epoll::EventFd`] doorbell. Concurrency is therefore bounded
+//! by file descriptors, not threads: thousands of simultaneous clients
+//! cost one `Conn` struct each, while at most `workers` grids compute.
+//!
+//! Every response is `Connection: close` — one request per connection,
+//! the smallest protocol subset that serves concurrent clients correctly.
+//! A connection is a little state machine: **Reading** (accumulate bytes
+//! until the request is complete), **Running** (a worker owns the
+//! response), **Writing** (drain the response until done or
+//! `WouldBlock`). Connections idle in Reading/Writing past
+//! `IDLE_TIMEOUT` are reaped, so stalled or half-open peers cannot leak
+//! descriptors.
 //!
 //! Routes:
 //!
-//! * `GET /status` — store + service counters (cells, segments, staleness,
-//!   cache hits/misses, serve-latency histogram mean).
+//! * `GET /status` — store + service counters (cells, segments, shards,
+//!   staleness, cache hits/misses, serve-latency histogram mean).
 //! * `GET /metrics` — the live metrics plane: a full counter snapshot,
-//!   histogram summaries, and the scheduler's cache hit rate, all read
-//!   from the same service registry `/status` reports, so the two
-//!   endpoints always agree.
+//!   histogram summaries, the scheduler's cache hit rate, and the serve
+//!   loop's own accept/response/close counters, all read from the same
+//!   service registry `/status` reports, so the two endpoints agree.
 //! * `GET /cells?exp=NAME` — every cached cell of one experiment, payload
 //!   rows included.
 //! * `POST /run` — body `{"exp":"NAME","smoke":true,"tier":"sampled:8"}`
@@ -29,17 +41,20 @@
 //!   `\n` escapes) parsed, compiled, run and audited by the registered
 //!   [`ScenarioRunner`]. Exactly one of the two fields must be present.
 
+use crate::epoll::{Epoll, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::jsonio::{encode_rows, escape, Cursor};
 use crate::scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
-use crate::store::Store;
+use crate::shard::ShardedStore;
 use bvl_obs::{Counter, Hist, Registry, Tier};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A runnable experiment the service can execute on demand: a named grid
 /// plus the per-cell measurement body. Implementations live next to the
@@ -96,30 +111,62 @@ pub trait ScenarioRunner: Send + Sync {
     fn run_scenario(
         &self,
         text: &str,
-        store: &Mutex<Store>,
+        store: &ShardedStore,
         registry: &Registry,
         smoke: bool,
         tier: Option<Tier>,
     ) -> Result<(String, GridReport), ScenarioError>;
 }
 
-/// Shared state behind the front end: the store, the service registry and
-/// the registered experiments.
+/// The serve loop's own lifecycle counters, surfaced on `GET /metrics` so
+/// a load generator can reconcile what it saw with what the server did.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Responses fully written.
+    pub responses: AtomicU64,
+    /// Connections closed (every accept ends here, with or without a
+    /// response — disconnects, timeouts and malformed requests included).
+    pub closed: AtomicU64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.accepted.load(Ordering::Relaxed),
+            self.responses.load(Ordering::Relaxed),
+            self.closed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared state behind the front end: the sharded store, the service
+/// registry and the registered experiments. The store carries its own
+/// per-shard locks, so the service needs no outer mutex — concurrent
+/// grid runs contend only when they touch the same shard.
 pub struct Service {
-    /// The persistent result store.
-    pub store: Mutex<Store>,
+    /// The persistent result store (1..N digest-routed shards).
+    pub store: ShardedStore,
     /// Service metrics (cache hits/misses, serve latency).
     pub registry: Registry,
+    /// Serve-loop lifecycle counters.
+    pub stats: ServeStats,
     exps: Vec<Box<dyn Experiment>>,
     scenario: Option<Box<dyn ScenarioRunner>>,
 }
 
 impl Service {
     /// Bundle a store, a registry and the runnable experiments.
-    pub fn new(store: Store, registry: Registry, exps: Vec<Box<dyn Experiment>>) -> Service {
+    pub fn new(
+        store: ShardedStore,
+        registry: Registry,
+        exps: Vec<Box<dyn Experiment>>,
+    ) -> Service {
         Service {
-            store: Mutex::new(store),
+            store,
             registry,
+            stats: ServeStats::default(),
             exps,
             scenario: None,
         }
@@ -193,12 +240,27 @@ impl Service {
     }
 }
 
+/// Reap a connection stuck in Reading/Writing for this long. Connections
+/// in Running are exempt — a long grid compute is progress, not a stall.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// After [`Server::stop`], wait at most this long for in-flight runs.
+const STOP_GRACE: Duration = Duration::from_secs(30);
+/// Reject a request whose head (request line + headers) exceeds this.
+const MAX_HEAD: usize = 64 * 1024;
+/// Reject a request whose declared body exceeds this.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
 /// A running HTTP server; dropping it does **not** stop the threads —
 /// call [`Server::stop`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: JoinHandle<()>,
+    wake: Arc<EventFd>,
+    event_loop: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -208,118 +270,350 @@ impl Server {
         self.addr
     }
 
-    /// Signal shutdown, unblock the accept loop, and join every thread.
-    /// In-flight requests complete; queued connections are served.
+    /// Signal shutdown, wake the event loop, and join every thread.
+    /// In-flight runs complete (bounded by a grace period); new
+    /// connections stop being accepted immediately.
     pub fn stop(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.accept.join();
+        let _ = self.wake.ring();
+        let _ = self.event_loop.join();
         for w in self.workers {
             let _ = w.join();
         }
     }
 }
 
-/// Start serving `service` on `addr` (e.g. `"127.0.0.1:0"`) with a bounded
-/// pool of `workers` threads. Accepted connections queue (bounded at
-/// `4 × workers`) until a worker frees up, so a burst of clients larger
-/// than the pool is served, in order, rather than dropped.
+/// One `POST /run` handed to the worker pool.
+struct RunJob {
+    token: u64,
+    req: RunRequest,
+}
+
+/// Start serving `service` on `addr` (e.g. `"127.0.0.1:0"`). The event
+/// loop is nonblocking epoll, so concurrent *connections* are limited
+/// only by descriptors; `workers` bounds how many `POST /run` grids
+/// compute simultaneously (queued jobs run in arrival order).
 pub fn serve(addr: &str, service: Arc<Service>, workers: usize) -> io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let workers = workers.max(1);
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(4 * workers);
-    let rx = Arc::new(Mutex::new(rx));
+    let wake = Arc::new(EventFd::new()?);
+    let completions: CompletionQueue = Arc::new(Mutex::new(Vec::new()));
+    let (work_tx, work_rx) = channel::<RunJob>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
 
-    let mut handles = Vec::new();
+    let mut worker_handles = Vec::new();
     for _ in 0..workers {
-        let rx = Arc::clone(&rx);
+        let work_rx = Arc::clone(&work_rx);
         let service = Arc::clone(&service);
-        handles.push(std::thread::spawn(move || loop {
-            let stream = match rx.lock().expect("rx poisoned").recv() {
-                Ok(s) => s,
-                Err(_) => break, // accept loop dropped the sender: shutdown
+        let completions = Arc::clone(&completions);
+        let wake = Arc::clone(&wake);
+        worker_handles.push(std::thread::spawn(move || loop {
+            let job = {
+                let rx = work_rx.lock().expect("work rx poisoned");
+                match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // event loop exited: shutdown
+                }
             };
-            let t0 = Instant::now();
-            let _ = handle_connection(stream, &service);
-            service
-                .registry
-                .observe(Hist::ServeLatency, t0.elapsed().as_micros() as u64);
+            let (status, body) = run_response(&service, &job.req);
+            completions
+                .lock()
+                .expect("completions poisoned")
+                .push((job.token, response_bytes(status, &body)));
+            let _ = wake.ring();
         }));
     }
 
-    let accept_stop = Arc::clone(&stop);
-    let accept = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if accept_stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            // A send only fails when every worker already exited.
-            if tx.send(stream).is_err() {
-                break;
-            }
-        }
-        // Dropping `tx` here wakes the workers out of `recv`.
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.raw(), EPOLLIN, TOKEN_WAKE)?;
+
+    let loop_stop = Arc::clone(&stop);
+    let loop_wake = Arc::clone(&wake);
+    let event_loop = std::thread::spawn(move || {
+        event_loop(
+            listener,
+            epoll,
+            loop_wake,
+            service,
+            loop_stop,
+            completions,
+            work_tx,
+        );
     });
 
     Ok(Server {
         addr: local,
         stop,
-        accept,
-        workers: handles,
+        wake,
+        event_loop,
+        workers: worker_handles,
     })
 }
 
-fn respond(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+/// Completed `POST /run` responses, keyed by connection token, handed
+/// from the worker pool back to the event loop.
+type CompletionQueue = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
+/// Connection lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// A worker thread owns the response.
+    Running,
+    /// Draining the response buffer.
+    Writing,
 }
 
-fn err_body(msg: &str) -> String {
-    format!("{{\"error\":\"{}\"}}", escape(msg))
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    written: usize,
+    t0: Instant,
+    last_activity: Instant,
 }
 
-fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
-        _ => return respond(&mut stream, "400 Bad Request", &err_body("malformed request line")),
-    };
-
-    // Headers: only Content-Length matters to this service.
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        let line = line.trim();
-        if line.is_empty() {
-            break;
-        }
-        if let Some(v) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-        {
-            content_length = v.parse().unwrap_or(0);
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            state: ConnState::Reading,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            t0: now,
+            last_activity: now,
         }
     }
+}
 
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target.as_str(), ""),
+/// What the loop should do with a connection after handling an event.
+enum Action {
+    Keep,
+    Close { responded: bool },
+}
+
+#[allow(clippy::too_many_lines)]
+fn event_loop(
+    listener: TcpListener,
+    epoll: Epoll,
+    wake: Arc<EventFd>,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    completions: CompletionQueue,
+    work_tx: Sender<RunJob>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = vec![crate::epoll::EpollEvent { events: 0, data: 0 }; 512];
+    let mut accepting = true;
+    let mut stopped_at: Option<Instant> = None;
+
+    while let Ok(n) = epoll.wait(&mut events, 100) {
+        let ready: Vec<(u64, u32)> = events[..n].iter().map(|e| (e.data, e.events)).collect();
+        for (token, bits) in ready {
+            match token {
+                TOKEN_LISTENER => {
+                    if !accepting {
+                        continue;
+                    }
+                    accept_ready(&listener, &epoll, &service, &mut conns, &mut next_token);
+                }
+                TOKEN_WAKE => {
+                    let _ = wake.drain();
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    let action = handle_conn_event(conn, bits, token, &epoll, &service, &work_tx);
+                    finish(action, token, &mut conns, &epoll, &service);
+                }
+            }
+        }
+
+        // Deliver worker completions: attach the response and start
+        // draining it on the owning connection.
+        let done: Vec<(u64, Vec<u8>)> = {
+            let mut q = completions.lock().expect("completions poisoned");
+            std::mem::take(&mut *q)
+        };
+        for (token, bytes) in done {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // client vanished mid-run; drop the response
+            };
+            let action = start_writing(conn, bytes, token, &epoll);
+            finish(action, token, &mut conns, &epoll, &service);
+        }
+
+        // Reap connections idle in Reading/Writing (half-open peers,
+        // stalled readers). Running is exempt: the worker owns it.
+        let now = Instant::now();
+        let idle: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| {
+                c.state != ConnState::Running && now - c.last_activity > IDLE_TIMEOUT
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            finish(Action::Close { responded: false }, token, &mut conns, &epoll, &service);
+        }
+
+        if stop.load(Ordering::SeqCst) {
+            if accepting {
+                accepting = false;
+                let _ = epoll.del(listener.as_raw_fd());
+                stopped_at = Some(Instant::now());
+            }
+            let grace_over = stopped_at.is_some_and(|t| t.elapsed() > STOP_GRACE);
+            if conns.is_empty() || grace_over {
+                break;
+            }
+        }
+    }
+    // Dropping `work_tx` here hangs up the worker channel; workers drain
+    // queued jobs, then exit. Remaining connections close with the loop.
+    for (_, conn) in conns.drain() {
+        let _ = epoll.del(conn.stream.as_raw_fd());
+        service.stats.closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    service: &Service,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if epoll
+                    .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                    .is_err()
+                {
+                    continue; // fd table pressure: shed the connection
+                }
+                conns.insert(token, Conn::new(stream));
+                service.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Apply `action`: on close, deregister and drop the connection (closing
+/// its descriptor) and count the response latency if one was written.
+fn finish(
+    action: Action,
+    token: u64,
+    conns: &mut HashMap<u64, Conn>,
+    epoll: &Epoll,
+    service: &Service,
+) {
+    let Action::Close { responded } = action else { return };
+    if let Some(conn) = conns.remove(&token) {
+        let _ = epoll.del(conn.stream.as_raw_fd());
+        service.stats.closed.fetch_add(1, Ordering::Relaxed);
+        if responded {
+            service.stats.responses.fetch_add(1, Ordering::Relaxed);
+            service
+                .registry
+                .observe(Hist::ServeLatency, conn.t0.elapsed().as_micros() as u64);
+        }
+        // `conn.stream` drops here, closing the fd — the only close path,
+        // so every accepted descriptor is released exactly once.
+    }
+}
+
+fn handle_conn_event(
+    conn: &mut Conn,
+    bits: u32,
+    token: u64,
+    epoll: &Epoll,
+    service: &Service,
+    work_tx: &Sender<RunJob>,
+) -> Action {
+    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+        return Action::Close { responded: false };
+    }
+    conn.last_activity = Instant::now();
+    match conn.state {
+        ConnState::Reading => {
+            let mut peer_eof = false;
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Action::Close { responded: false },
+                }
+            }
+            match try_dispatch(conn, token, epoll, service, work_tx) {
+                Some(action) => action,
+                None if peer_eof => Action::Close { responded: false },
+                None => Action::Keep,
+            }
+        }
+        // A worker owns the response; only ERR/HUP (handled above) close.
+        ConnState::Running => Action::Keep,
+        ConnState::Writing => flush_out(conn, token, epoll),
+    }
+}
+
+/// If `conn.buf` now holds a complete request, route it. `None` = need
+/// more bytes.
+fn try_dispatch(
+    conn: &mut Conn,
+    token: u64,
+    epoll: &Epoll,
+    service: &Service,
+    work_tx: &Sender<RunJob>,
+) -> Option<Action> {
+    let head = match parse_head(&conn.buf) {
+        Ok(Some(head)) => head,
+        Ok(None) => {
+            if conn.buf.len() > MAX_HEAD {
+                return Some(respond(conn, token, epoll, "400 Bad Request", &err_body("request head too large")));
+            }
+            return None;
+        }
+        Err(e) => {
+            return Some(respond(conn, token, epoll, "400 Bad Request", &err_body(&e)));
+        }
+    };
+    if head.content_length > MAX_BODY {
+        return Some(respond(conn, token, epoll, "400 Bad Request", &err_body("request body too large")));
+    }
+    if conn.buf.len() < head.head_end + head.content_length {
+        return None; // body still arriving
+    }
+    let body_bytes = &conn.buf[head.head_end..head.head_end + head.content_length];
+    let body = String::from_utf8_lossy(body_bytes).into_owned();
+
+    let (path, query) = match head.target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (head.target.clone(), String::new()),
     };
     let query_param = |name: &str| -> Option<String> {
         query
@@ -329,67 +623,174 @@ fn handle_connection(mut stream: TcpStream, service: &Service) -> io::Result<()>
             .map(|(_, v)| v.to_string())
     };
 
-    match (method.as_str(), path) {
-        ("GET", "/status") => respond(&mut stream, "200 OK", &status_body(service)),
-        ("GET", "/metrics") => respond(&mut stream, "200 OK", &metrics_body(service)),
+    Some(match (head.method.as_str(), path.as_str()) {
+        ("GET", "/status") => respond(conn, token, epoll, "200 OK", &status_body(service)),
+        ("GET", "/metrics") => respond(conn, token, epoll, "200 OK", &metrics_body(service)),
         ("GET", "/cells") => match query_param("exp") {
-            None => respond(&mut stream, "400 Bad Request", &err_body("missing ?exp=")),
-            Some(exp) => respond(&mut stream, "200 OK", &cells_body(service, &exp)),
+            None => respond(conn, token, epoll, "400 Bad Request", &err_body("missing ?exp=")),
+            Some(exp) => respond(conn, token, epoll, "200 OK", &cells_body(service, &exp)),
         },
-        ("POST", "/run") => {
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            let body = String::from_utf8_lossy(&body);
-            match parse_run_body(&body) {
-                Err(e) => respond(&mut stream, "400 Bad Request", &err_body(&e)),
-                Ok(req) if req.scenario.is_some() => {
-                    let text = req.scenario.as_deref().unwrap_or_default();
-                    match service.run_scenario(text, req.smoke, req.tier) {
-                        None => respond(
-                            &mut stream,
-                            "400 Bad Request",
-                            &err_body("this service has no scenario runner registered"),
-                        ),
-                        Some(Err(ScenarioError::Invalid(e))) => {
-                            respond(&mut stream, "400 Bad Request", &err_body(&e))
-                        }
-                        Some(Err(ScenarioError::Failed(e))) => {
-                            respond(&mut stream, "500 Internal Server Error", &err_body(&e))
-                        }
-                        Some(Ok((name, rep))) => respond(
-                            &mut stream,
-                            "200 OK",
-                            &run_report_body("scenario", &name, req.smoke, req.tier, &rep),
-                        ),
-                    }
+        ("POST", "/run") => match parse_run_body(&body) {
+            Err(e) => respond(conn, token, epoll, "400 Bad Request", &err_body(&e)),
+            Ok(req) => {
+                // Hand the grid to the worker pool; stop watching for
+                // input (level-triggered EPOLLIN would spin on any
+                // pipelined bytes). ERR/HUP still arrive unrequested.
+                conn.state = ConnState::Running;
+                let _ = epoll.modify(conn.stream.as_raw_fd(), 0, token);
+                if work_tx.send(RunJob { token, req }).is_err() {
+                    // Shutdown race: workers are gone.
+                    return Some(respond(
+                        conn,
+                        token,
+                        epoll,
+                        "503 Service Unavailable",
+                        &err_body("server is stopping"),
+                    ));
                 }
-                Ok(req) => {
-                    let exp = req.exp.as_deref().unwrap_or_default();
-                    match service.run(exp, req.smoke, req.tier) {
-                        None => respond(
-                            &mut stream,
-                            "400 Bad Request",
-                            &err_body(&format!(
-                                "unknown experiment '{exp}' (registered: {})",
-                                service.names().join(", ")
-                            )),
-                        ),
-                        Some(Err(e)) => respond(
-                            &mut stream,
-                            "500 Internal Server Error",
-                            &err_body(&format!("grid failed: {e}")),
-                        ),
-                        Some(Ok(rep)) => respond(
-                            &mut stream,
-                            "200 OK",
-                            &run_report_body("exp", exp, req.smoke, req.tier, &rep),
-                        ),
-                    }
-                }
+                Action::Keep
             }
+        },
+        ("GET", _) => respond(conn, token, epoll, "404 Not Found", &err_body("no such route")),
+        _ => respond(conn, token, epoll, "405 Method Not Allowed", &err_body("GET or POST only")),
+    })
+}
+
+/// Attach a response and start draining it.
+fn respond(conn: &mut Conn, token: u64, epoll: &Epoll, status: &str, body: &str) -> Action {
+    start_writing(conn, response_bytes(status, body), token, epoll)
+}
+
+fn start_writing(conn: &mut Conn, bytes: Vec<u8>, token: u64, epoll: &Epoll) -> Action {
+    conn.out = bytes;
+    conn.written = 0;
+    conn.state = ConnState::Writing;
+    conn.last_activity = Instant::now();
+    let action = flush_out(conn, token, epoll);
+    if matches!(action, Action::Keep) {
+        // Socket buffer is full: wait for EPOLLOUT.
+        let _ = epoll.modify(conn.stream.as_raw_fd(), EPOLLOUT, token);
+    }
+    action
+}
+
+/// Drain `conn.out`. Close-with-response when fully written; keep (armed
+/// for EPOLLOUT) on `WouldBlock`; close silently on a write error.
+fn flush_out(conn: &mut Conn, _token: u64, _epoll: &Epoll) -> Action {
+    while conn.written < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.written..]) {
+            Ok(0) => return Action::Close { responded: false },
+            Ok(n) => {
+                conn.written += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Action::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close { responded: false },
         }
-        ("GET", _) => respond(&mut stream, "404 Not Found", &err_body("no such route")),
-        _ => respond(&mut stream, "405 Method Not Allowed", &err_body("GET or POST only")),
+    }
+    let _ = conn.stream.flush();
+    Action::Close { responded: true }
+}
+
+/// A parsed request head.
+struct Head {
+    method: String,
+    target: String,
+    content_length: usize,
+    /// Byte offset where the body starts.
+    head_end: usize,
+}
+
+/// Find the end of the head (`\r\n\r\n`, or bare `\n\n` from sloppy
+/// clients) and parse the request line + `Content-Length`. `Ok(None)` =
+/// incomplete; `Err` = malformed.
+fn parse_head(buf: &[u8]) -> Result<Option<Head>, String> {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => return Ok(None),
+    };
+    let text = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return Err("malformed request line".into()),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().map_err(|_| "bad content-length".to_string())?;
+        }
+    }
+    Ok(Some(Head {
+        method,
+        target,
+        content_length,
+        head_end,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+fn response_bytes(status: &str, body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(msg))
+}
+
+/// Execute a parsed `POST /run` request (on a worker thread) and return
+/// `(status, body)`.
+fn run_response(service: &Service, req: &RunRequest) -> (&'static str, String) {
+    if let Some(text) = req.scenario.as_deref() {
+        return match service.run_scenario(text, req.smoke, req.tier) {
+            None => (
+                "400 Bad Request",
+                err_body("this service has no scenario runner registered"),
+            ),
+            Some(Err(ScenarioError::Invalid(e))) => ("400 Bad Request", err_body(&e)),
+            Some(Err(ScenarioError::Failed(e))) => ("500 Internal Server Error", err_body(&e)),
+            Some(Ok((name, rep))) => (
+                "200 OK",
+                run_report_body("scenario", &name, req.smoke, req.tier, &rep),
+            ),
+        };
+    }
+    let exp = req.exp.as_deref().unwrap_or_default();
+    match service.run(exp, req.smoke, req.tier) {
+        None => (
+            "400 Bad Request",
+            err_body(&format!(
+                "unknown experiment '{exp}' (registered: {})",
+                service.names().join(", ")
+            )),
+        ),
+        Some(Err(e)) => (
+            "500 Internal Server Error",
+            err_body(&format!("grid failed: {e}")),
+        ),
+        Some(Ok(rep)) => (
+            "200 OK",
+            run_report_body("exp", exp, req.smoke, req.tier, &rep),
+        ),
     }
 }
 
@@ -469,7 +870,7 @@ fn run_report_body(
 }
 
 fn status_body(service: &Service) -> String {
-    let store = service.store.lock().expect("store poisoned");
+    let store = &service.store;
     let segments = store.segments().map(|s| s.len()).unwrap_or(0);
     let exps: Vec<String> = store
         .experiments()
@@ -478,14 +879,16 @@ fn status_body(service: &Service) -> String {
         .collect();
     let serve = service.registry.histogram(Hist::ServeLatency);
     format!(
-        "{{\"code\":\"{}\",\"stale\":{},\"cells\":{},\"segments\":{segments},\"torn\":{},\
+        "{{\"code\":\"{}\",\"stale\":{},\"cells\":{},\"segments\":{segments},\
+         \"shards\":{},\"torn\":{},\
          \"experiments\":[{}],\"registered\":[{}],\"cache_hits\":{},\"cache_misses\":{},\
          \"serve_mean_us\":{:.0}}}",
         escape(store.code().as_str()),
         store
             .stale()
-            .map_or_else(|| "null".into(), |c| format!("\"{}\"", escape(c))),
+            .map_or_else(|| "null".into(), |c| format!("\"{}\"", escape(&c))),
         store.len(),
+        store.shard_count(),
         store.torn(),
         exps.join(","),
         service
@@ -501,8 +904,9 @@ fn status_body(service: &Service) -> String {
 }
 
 /// The live metrics plane: every counter, a summary of every histogram,
-/// and the scheduler's cache hit rate — all read from `service.registry`,
-/// the same source `/status` reports, so the two endpoints agree by
+/// the scheduler's cache hit rate, and the serve loop's lifecycle
+/// counters — all read from `service.registry` and `service.stats`, the
+/// same sources `/status` reports, so the two endpoints agree by
 /// construction.
 fn metrics_body(service: &Service) -> String {
     let reg = &service.registry;
@@ -530,20 +934,24 @@ fn metrics_body(service: &Service) -> String {
     } else {
         hits as f64 / total as f64
     };
+    let (accepted, responses, closed) = service.stats.snapshot();
     format!(
         "{{\"tier\":\"{}\",\"spans_dropped\":{},\"counters\":{{{}}},\"hists\":{{{}}},\
          \"scheduler\":{{\"cache_hits\":{hits},\"cache_misses\":{misses},\
-         \"hit_rate\":{hit_rate:.4}}}}}",
+         \"hit_rate\":{hit_rate:.4}}},\
+         \"serve\":{{\"accepted\":{accepted},\"responses\":{responses},\
+         \"closed\":{closed},\"active\":{}}}}}",
         reg.tier().label(),
         reg.spans_dropped(),
         counters.join(","),
-        hists.join(",")
+        hists.join(","),
+        accepted - closed,
     )
 }
 
 fn cells_body(service: &Service, exp: &str) -> String {
-    let store = service.store.lock().expect("store poisoned");
-    let cells: Vec<String> = store
+    let cells: Vec<String> = service
+        .store
         .cells_for(exp)
         .into_iter()
         .map(|c| {
@@ -634,5 +1042,25 @@ mod tests {
             Some("scenario s\ngrid exp=e master=1")
         );
         assert!(parse_run_body("{\"exp\":\"t\",\"scenario\":\"scenario s\"}").is_err());
+    }
+
+    #[test]
+    fn head_parsing_handles_split_arrivals_and_rejects_garbage() {
+        let full = b"POST /run HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"exp\":\"t\"}";
+        // Incomplete prefixes ask for more bytes rather than erroring.
+        for cut in [0, 5, 20, 40] {
+            assert!(parse_head(&full[..cut.min(43)]).unwrap().is_none());
+        }
+        let head = parse_head(full).unwrap().unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.target, "/run");
+        assert_eq!(head.content_length, 11);
+        assert_eq!(&full[head.head_end..], b"{\"exp\":\"t\"}");
+        // Bare-\n heads (sloppy clients) still terminate.
+        let sloppy = b"GET /status HTTP/1.1\ncontent-length: 0\n\n";
+        assert_eq!(parse_head(sloppy).unwrap().unwrap().target, "/status");
+        // A complete head with no request line is malformed, not pending.
+        assert!(parse_head(b"\r\n\r\n").is_err());
+        assert!(parse_head(b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
     }
 }

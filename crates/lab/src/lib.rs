@@ -22,21 +22,37 @@
 //!   into hits and misses, compute only the misses (rayon, with the same
 //!   per-`(domain, index)` seeding as `bvl_bench::sweep`, so warm and
 //!   cold runs are bit-identical), journal each completion for resume.
-//! * [`http`] — the front end: a std-only HTTP/1.1 JSON endpoint
-//!   (`GET /cells`, `GET /status`, `POST /run`) over a bounded thread
-//!   pool, plus the [`http::Experiment`] registration trait the `lab` CLI
-//!   and the `exp_*` bins share.
+//! * [`shard`] — the scale-out layer: [`shard::ShardedStore`] routes each
+//!   cell to one of N independent store shards by a pure function of its
+//!   content digest, so shard count never changes what a grid computes.
+//! * [`replica`] — op-log replication: a follower replays the leader's
+//!   segment logs byte-for-byte behind a `(segment, offset, records)`
+//!   cursor, repairs crash-torn tails, and proves itself bit-identical
+//!   via a content digest over the live cells.
+//! * [`http`] — the front end: a std-only nonblocking HTTP/1.1 JSON
+//!   endpoint (`GET /cells`, `GET /status`, `GET /metrics`, `POST /run`)
+//!   on an [`epoll`] event loop with a bounded worker pool for runs, plus
+//!   the [`http::Experiment`] registration trait the `lab` CLI and the
+//!   `exp_*` bins share.
+//!
+//! `unsafe` is denied crate-wide and appears only in [`epoll`], which
+//! declares the five raw syscall bindings the event loop needs.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoll;
 pub mod fingerprint;
 pub mod http;
 pub mod jsonio;
+pub mod replica;
 pub mod scheduler;
+pub mod shard;
 pub mod store;
 
 pub use fingerprint::{cell_key, CodeFingerprint, Digest};
 pub use http::{serve, Experiment, ScenarioError, ScenarioRunner, Server, Service};
+pub use replica::{dir_digest, repair_dir, store_digest, sync_store, ReplicaCursor, SyncReport};
 pub use scheduler::{run_grid, CellSpec, GridReport, GridSpec, Job};
+pub use shard::{shard_count_of, shard_of, ShardedStore};
 pub use store::{Cell, GcReport, OnStale, Store};

@@ -1,0 +1,429 @@
+//! Op-log replication over the store's append-only JSONL segments.
+//!
+//! The segment format is already log-shaped: one record per line, files
+//! numbered in append order, no in-place rewrites. That makes the
+//! operation log literally *the* on-disk representation, so replication
+//! needs no second log — a follower is a directory that holds a byte
+//! prefix of the leader's segments, and the replay cursor is three
+//! numbers derived from the follower's own files:
+//!
+//! * `segment` — the newest segment id present (the append frontier),
+//! * `offset`  — bytes of complete records in that segment,
+//! * `records` — complete records across all segments (the sequence
+//!   number: record *k* of the log is record *k* on every replica).
+//!
+//! The protocol round is pull-based and idempotent:
+//!
+//! 1. **Repair** ([`repair_dir`]): truncate the follower's newest segment
+//!    to its longest clean prefix — whole `\n`-terminated lines that
+//!    decode as records. A crash mid-append tears at most the bytes past
+//!    that prefix, so repair returns the follower to "byte prefix of the
+//!    leader" no matter where the tear landed.
+//! 2. **Sync** ([`sync_dir`]): for each leader segment, append the bytes
+//!    of the leader's clean prefix that lie beyond the follower's cursor.
+//!    If the follower has diverged — a segment that is not a byte prefix
+//!    of the leader's, or a segment the leader no longer has (leader
+//!    `gc()` compacted) — fall back to a full resync: drop the follower's
+//!    segments and copy fresh. The manifest is copied atomically last, so
+//!    a crash mid-sync leaves a follower that the *next* round repairs.
+//! 3. **Prove** ([`dir_digest`]): both sides digest their live cells
+//!    (decoded last-writer-wins in segment order, sorted by key, framed
+//!    through [`Digest::of`]). Equal digests ⇒ every query answers
+//!    bit-identically on either replica — which is the property the
+//!    lower-bound audit needs: a replica must never serve a cell cheaper
+//!    (or different) than the leader proved.
+
+use crate::fingerprint::Digest;
+use crate::shard::{shard_count_of, shard_dir, SHARDS_FORMAT};
+use crate::store::{segment_id, segment_path, write_atomic, Cell};
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The replay position of a replica directory, derived from its files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaCursor {
+    /// Newest segment id present (`None` encoded as an empty log).
+    pub segment: Option<u32>,
+    /// Bytes of clean (complete, decodable) records in that segment.
+    pub offset: u64,
+    /// Clean records across all segments — the log sequence number.
+    pub records: u64,
+}
+
+/// What one [`sync_dir`] round did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Torn bytes truncated off the follower before copying.
+    pub repaired_bytes: u64,
+    /// Bytes appended to follower segments.
+    pub copied_bytes: u64,
+    /// Segments the follower created this round.
+    pub new_segments: usize,
+    /// True when divergence forced a drop-and-recopy instead of an
+    /// incremental tail append.
+    pub full_resync: bool,
+}
+
+/// Segment ids under `dir`, sorted ascending.
+fn segment_ids(dir: &Path) -> io::Result<Vec<u32>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut ids: Vec<u32> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| segment_id(&e.file_name().to_string_lossy()))
+        .collect();
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Length in bytes of the clean prefix of a segment's text: whole
+/// newline-terminated lines, each empty or decoding as a record, stopping
+/// at the first line that is torn (no `\n`) or corrupt (fails to decode).
+/// Also returns the number of records inside that prefix.
+fn clean_prefix(text: &str) -> (u64, u64) {
+    let mut good = 0usize;
+    let mut records = 0u64;
+    let mut pos = 0usize;
+    for line in text.split_inclusive('\n') {
+        let end = pos + line.len();
+        if !line.ends_with('\n') {
+            break; // torn tail: no terminator yet
+        }
+        let body = line.trim_end_matches(['\n', '\r']);
+        if body.trim().is_empty() {
+            good = end;
+        } else if Cell::decode(body).is_ok() {
+            good = end;
+            records += 1;
+        } else {
+            break; // corrupt record: everything after is suspect
+        }
+        pos = end;
+    }
+    (good as u64, records)
+}
+
+/// Derive the replay cursor of a replica directory from its files alone.
+pub fn cursor_of(dir: &Path) -> io::Result<ReplicaCursor> {
+    let ids = segment_ids(dir)?;
+    let mut records = 0u64;
+    let mut offset = 0u64;
+    for &id in &ids {
+        let text = fs::read_to_string(segment_path(dir, id))?;
+        let (bytes, recs) = clean_prefix(&text);
+        records += recs;
+        offset = bytes;
+    }
+    Ok(ReplicaCursor {
+        segment: ids.last().copied(),
+        offset,
+        records,
+    })
+}
+
+/// Truncate the newest segment of `dir` to its clean prefix, undoing a
+/// crash-torn append. Returns the bytes removed (0 on a healthy log).
+pub fn repair_dir(dir: &Path) -> io::Result<u64> {
+    let Some(&newest) = segment_ids(dir)?.last() else {
+        return Ok(0);
+    };
+    let path = segment_path(dir, newest);
+    let text = fs::read_to_string(&path)?;
+    let (good, _) = clean_prefix(&text);
+    let torn = text.len() as u64 - good;
+    if torn > 0 {
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(good)?;
+        f.sync_all()?;
+    }
+    Ok(torn)
+}
+
+/// One pull round: make `follower` a byte-identical copy of `leader`'s
+/// clean log. Repairs the follower first; appends incrementally when the
+/// follower is a prefix of the leader, otherwise drops the follower's
+/// segments and recopies (leader compaction, or divergence). Idempotent —
+/// a second round on an up-to-date follower copies zero bytes.
+pub fn sync_dir(leader: &Path, follower: &Path) -> io::Result<SyncReport> {
+    fs::create_dir_all(follower)?;
+    let mut report = SyncReport {
+        repaired_bytes: repair_dir(follower)?,
+        ..SyncReport::default()
+    };
+
+    let leader_ids = segment_ids(leader)?;
+    let follower_ids = segment_ids(follower)?;
+
+    // Divergence: any follower segment the leader lacks (leader gc), or
+    // whose bytes are not a prefix of the leader's clean prefix.
+    let mut diverged = false;
+    for &id in &follower_ids {
+        if !leader_ids.contains(&id) {
+            diverged = true;
+            break;
+        }
+        let ltext = fs::read_to_string(segment_path(leader, id))?;
+        let (lgood, _) = clean_prefix(&ltext);
+        let fbytes = fs::read(segment_path(follower, id))?;
+        if fbytes.len() as u64 > lgood || ltext.as_bytes()[..fbytes.len()] != fbytes[..] {
+            diverged = true;
+            break;
+        }
+    }
+    if diverged {
+        for &id in &follower_ids {
+            fs::remove_file(segment_path(follower, id))?;
+        }
+        report.full_resync = true;
+    }
+
+    for &id in &leader_ids {
+        let ltext = fs::read_to_string(segment_path(leader, id))?;
+        let (lgood, _) = clean_prefix(&ltext);
+        let fpath = segment_path(follower, id);
+        let have = if diverged || !fpath.exists() {
+            if !fpath.exists() {
+                report.new_segments += 1;
+            }
+            0u64
+        } else {
+            fs::metadata(&fpath)?.len()
+        };
+        if have < lgood {
+            let mut f = OpenOptions::new().create(true).append(true).open(&fpath)?;
+            f.write_all(&ltext.as_bytes()[have as usize..lgood as usize])?;
+            f.sync_all()?;
+            report.copied_bytes += lgood - have;
+        }
+    }
+
+    // Manifest last: a crash before this point leaves the follower's old
+    // generation label, and the next round simply recopies it.
+    let lman = leader.join("MANIFEST.json");
+    if lman.exists() {
+        write_atomic(&follower.join("MANIFEST.json"), &fs::read_to_string(&lman)?)?;
+    }
+    Ok(report)
+}
+
+/// Content digest of a replica directory's live cells: decode every clean
+/// record in segment order (last writer wins per key), then digest the
+/// surviving cells sorted by key. Two directories with equal digests
+/// answer every store query bit-identically, regardless of how their
+/// bytes are arranged into segments.
+pub fn dir_digest(dir: &Path) -> io::Result<Digest> {
+    let mut live: BTreeMap<String, String> = BTreeMap::new();
+    for id in segment_ids(dir)? {
+        let text = fs::read_to_string(segment_path(dir, id))?;
+        for line in text.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break;
+            }
+            let body = line.trim_end_matches(['\n', '\r']);
+            if body.trim().is_empty() {
+                continue;
+            }
+            if let Ok(cell) = Cell::decode(body) {
+                live.insert(cell.key.clone(), cell.encode());
+            }
+        }
+    }
+    let parts: Vec<(&str, &str)> = live
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    Ok(Digest::of(&parts))
+}
+
+/// Shard directories of a store root, in shard order (the root itself for
+/// a 1-shard / legacy store).
+fn shard_dirs_of(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let n = if root.exists() { shard_count_of(root)? } else { 1 };
+    Ok((0..n).map(|i| shard_dir(root, i, n)).collect())
+}
+
+/// [`sync_dir`] across a whole (possibly sharded) store root: copies the
+/// shard manifest, then syncs each shard directory. Refuses a follower
+/// already holding a different shard count — replicas of a sharded store
+/// must mirror its layout exactly.
+pub fn sync_store(leader: &Path, follower: &Path) -> io::Result<Vec<SyncReport>> {
+    let n = if leader.exists() { shard_count_of(leader)? } else { 1 };
+    fs::create_dir_all(follower)?;
+    let follower_n = shard_count_of(follower)?;
+    if follower.join("SHARDS.json").exists() && follower_n != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("follower has {follower_n} shard(s), leader has {n}"),
+        ));
+    }
+    if n > 1 {
+        write_atomic(
+            &follower.join("SHARDS.json"),
+            &format!("{{\"format\":{SHARDS_FORMAT},\"shards\":{n}}}\n"),
+        )?;
+    }
+    let mut reports = Vec::with_capacity(n);
+    for i in 0..n {
+        reports.push(sync_dir(&shard_dir(leader, i, n), &shard_dir(follower, i, n))?);
+    }
+    Ok(reports)
+}
+
+/// [`dir_digest`] across a whole (possibly sharded) store root: the
+/// per-shard digests folded in shard order.
+pub fn store_digest(root: &Path) -> io::Result<Digest> {
+    let dirs = shard_dirs_of(root)?;
+    if dirs.len() == 1 {
+        return dir_digest(&dirs[0]);
+    }
+    let hexes: Vec<String> = dirs
+        .iter()
+        .map(|d| dir_digest(d).map(|g| g.hex()))
+        .collect::<io::Result<Vec<_>>>()?;
+    let parts: Vec<(&str, &str)> = hexes.iter().map(|h| ("shard", h.as_str())).collect();
+    Ok(Digest::of(&parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::CodeFingerprint;
+    use crate::store::{OnStale, Store};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bvl-lab-replica-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn code() -> CodeFingerprint {
+        CodeFingerprint::from_parts("replica test api", "0.0.0")
+    }
+
+    fn cell(i: usize) -> Cell {
+        Cell {
+            key: format!("{i:032x}"),
+            exp: "e".into(),
+            domain: "d".into(),
+            index: i,
+            params: format!("i={i}"),
+            plan: None,
+            rows: vec![vec![format!("row {i} \"q\""), "γ̂=1.2".into()]],
+        }
+    }
+
+    #[test]
+    fn cursor_counts_records_and_offsets() {
+        let dir = tmpdir("cursor");
+        let mut s = Store::open(&dir, code(), OnStale::Error).unwrap();
+        assert_eq!(
+            cursor_of(&dir).unwrap(),
+            ReplicaCursor { segment: None, offset: 0, records: 0 }
+        );
+        for i in 0..5 {
+            s.put(cell(i)).unwrap();
+        }
+        let cur = cursor_of(&dir).unwrap();
+        assert_eq!(cur.segment, Some(0));
+        assert_eq!(cur.records, 5);
+        assert_eq!(cur.offset, fs::metadata(segment_path(&dir, 0)).unwrap().len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_then_digest_matches_and_is_idempotent() {
+        let ldir = tmpdir("sync-l");
+        let fdir = tmpdir("sync-f");
+        let mut leader = Store::open(&ldir, code(), OnStale::Error).unwrap();
+        for i in 0..20 {
+            leader.put(cell(i)).unwrap();
+        }
+        let r1 = sync_dir(&ldir, &fdir).unwrap();
+        assert!(r1.copied_bytes > 0);
+        assert_eq!(dir_digest(&ldir).unwrap(), dir_digest(&fdir).unwrap());
+        // Follower bytes are literally identical, not just logically.
+        assert_eq!(
+            fs::read(segment_path(&ldir, 0)).unwrap(),
+            fs::read(segment_path(&fdir, 0)).unwrap()
+        );
+        // Incremental: more appends, second round copies only the delta.
+        for i in 20..25 {
+            leader.put(cell(i)).unwrap();
+        }
+        let r2 = sync_dir(&ldir, &fdir).unwrap();
+        assert!(!r2.full_resync);
+        assert!(r2.copied_bytes > 0 && r2.copied_bytes < r1.copied_bytes);
+        assert_eq!(dir_digest(&ldir).unwrap(), dir_digest(&fdir).unwrap());
+        // Idempotent: up to date ⇒ zero bytes move.
+        assert_eq!(sync_dir(&ldir, &fdir).unwrap().copied_bytes, 0);
+        // The follower opens as a normal store with the same content.
+        let f = Store::open(&fdir, code(), OnStale::Error).unwrap();
+        assert_eq!(f.len(), 25);
+        fs::remove_dir_all(&ldir).unwrap();
+        fs::remove_dir_all(&fdir).unwrap();
+    }
+
+    #[test]
+    fn torn_follower_tail_repairs_then_converges() {
+        let ldir = tmpdir("torn-l");
+        let fdir = tmpdir("torn-f");
+        let mut leader = Store::open(&ldir, code(), OnStale::Error).unwrap();
+        for i in 0..8 {
+            leader.put(cell(i)).unwrap();
+        }
+        sync_dir(&ldir, &fdir).unwrap();
+        // Crash the follower mid-append: chop bytes off its newest segment.
+        let seg = segment_path(&fdir, 0);
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 17]).unwrap();
+        let rep = sync_dir(&ldir, &fdir).unwrap();
+        assert!(rep.repaired_bytes > 0, "torn partial record was truncated");
+        assert!(!rep.full_resync, "a clean prefix only needs a tail append");
+        assert_eq!(dir_digest(&ldir).unwrap(), dir_digest(&fdir).unwrap());
+        fs::remove_dir_all(&ldir).unwrap();
+        fs::remove_dir_all(&fdir).unwrap();
+    }
+
+    #[test]
+    fn leader_gc_forces_full_resync() {
+        let ldir = tmpdir("gc-l");
+        let fdir = tmpdir("gc-f");
+        let mut leader = Store::open(&ldir, code(), OnStale::Error).unwrap();
+        for i in 0..600 {
+            leader.put(cell(i)).unwrap(); // rotates past one segment
+        }
+        sync_dir(&ldir, &fdir).unwrap();
+        leader.gc().unwrap(); // rewrites the log into one fresh segment
+        let rep = sync_dir(&ldir, &fdir).unwrap();
+        assert!(rep.full_resync, "compacted leader invalidates old segments");
+        assert_eq!(dir_digest(&ldir).unwrap(), dir_digest(&fdir).unwrap());
+        assert_eq!(segment_ids(&fdir).unwrap(), segment_ids(&ldir).unwrap());
+        fs::remove_dir_all(&ldir).unwrap();
+        fs::remove_dir_all(&fdir).unwrap();
+    }
+
+    #[test]
+    fn sharded_store_replicates_shard_by_shard() {
+        use crate::shard::ShardedStore;
+        let ldir = tmpdir("shard-l");
+        let fdir = tmpdir("shard-f");
+        let leader = ShardedStore::open(&ldir, 3, code(), OnStale::Error).unwrap();
+        for i in 0..40 {
+            let mut c = cell(i);
+            c.key = crate::fingerprint::Digest(i as u64 * 0x9e37_79b9, i as u64).hex();
+            leader.put(c).unwrap();
+        }
+        let reports = sync_store(&ldir, &fdir).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(store_digest(&ldir).unwrap(), store_digest(&fdir).unwrap());
+        let follower = ShardedStore::open_existing(&fdir, code(), OnStale::Error).unwrap();
+        assert_eq!(follower.shard_count(), 3);
+        assert_eq!(follower.len(), 40);
+        fs::remove_dir_all(&ldir).unwrap();
+        fs::remove_dir_all(&fdir).unwrap();
+    }
+}

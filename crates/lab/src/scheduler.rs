@@ -19,7 +19,8 @@
 //! passes an enabled registry.
 
 use crate::fingerprint::{cell_key, CodeFingerprint};
-use crate::store::{Cell, Store};
+use crate::shard::ShardedStore;
+use crate::store::Cell;
 use bvl_exec::RunOptions;
 use bvl_model::rngutil::SeedStream;
 use bvl_obs::{Counter, Hist, Registry};
@@ -200,10 +201,12 @@ impl GridReport {
 /// Execute `grid`, serving cached cells from `store` and computing the
 /// rest via `f` in parallel. Pass `None` for an uncached (pure) sweep —
 /// the execution and seeding paths are identical, so cached and uncached
-/// runs of the same grid produce bit-identical rows.
+/// runs of the same grid produce bit-identical rows. The store may have
+/// any shard count: cell keys (and therefore rows) are shard-independent,
+/// so the same grid against a 1-, 2- or 4-shard store is bit-identical.
 pub fn run_grid<F>(
     grid: &GridSpec,
-    store: Option<&Mutex<Store>>,
+    store: Option<&ShardedStore>,
     registry: &Registry,
     f: F,
 ) -> io::Result<GridReport>
@@ -212,7 +215,7 @@ where
 {
     let t0 = Instant::now();
     let code = match store {
-        Some(s) => s.lock().expect("store poisoned").code().clone(),
+        Some(s) => s.code().clone(),
         None => CodeFingerprint::current(),
     };
 
@@ -227,12 +230,7 @@ where
             missing.push((slot, key));
             continue;
         }
-        match store.and_then(|s| {
-            s.lock()
-                .expect("store poisoned")
-                .get(&key)
-                .map(|c| c.rows.clone())
-        }) {
+        match store.and_then(|s| s.rows_of(&key)) {
             Some(cached) => {
                 rows[slot] = Some(cached);
                 hits += 1;
@@ -261,7 +259,7 @@ where
             // this point resumes with this cell as a hit.
             if let Some(s) = store {
                 if !cell.force {
-                    let put = s.lock().expect("store poisoned").put(Cell {
+                    let put = s.put(Cell {
                         key,
                         exp: grid.exp.clone(),
                         domain: cell.domain.clone(),
@@ -304,7 +302,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::OnStale;
+    use crate::store::{OnStale, Store};
     use rand::RngCore;
     use std::path::PathBuf;
 
@@ -344,7 +342,7 @@ mod tests {
     fn second_run_is_all_hits_with_identical_rows() {
         let dir = tmpdir("warm");
         let code = CodeFingerprint::from_parts("api", "0");
-        let store = Mutex::new(Store::open(&dir, code, OnStale::Error).unwrap());
+        let store = ShardedStore::open(&dir, 1, code, OnStale::Error).unwrap();
         let reg = Registry::enabled(1);
         let cold = run_grid(&grid(12), Some(&store), &reg, body).unwrap();
         assert_eq!((cold.hits, cold.misses), (0, 12));
@@ -362,7 +360,7 @@ mod tests {
     fn interrupted_grid_resumes_where_it_stopped() {
         let dir = tmpdir("resume");
         let code = CodeFingerprint::from_parts("api", "0");
-        let store = Mutex::new(Store::open(&dir, code.clone(), OnStale::Error).unwrap());
+        let store = ShardedStore::open(&dir, 1, code.clone(), OnStale::Error).unwrap();
         let reg = Registry::disabled();
         // "Interrupted" run: only the first half of the grid was requested
         // before the process died.
@@ -371,7 +369,7 @@ mod tests {
         run_grid(&half, Some(&store), &reg, body).unwrap();
         drop(store);
         // Restart: reopen the store, request the full grid.
-        let store = Mutex::new(Store::open(&dir, code, OnStale::Error).unwrap());
+        let store = ShardedStore::open(&dir, 1, code, OnStale::Error).unwrap();
         let full = run_grid(&grid(16), Some(&store), &reg, body).unwrap();
         assert_eq!((full.hits, full.misses), (8, 8));
         // The resumed cells' streams are (domain, index)-derived, so the
@@ -385,7 +383,7 @@ mod tests {
     fn forced_cells_never_cache() {
         let dir = tmpdir("forced");
         let code = CodeFingerprint::from_parts("api", "0");
-        let store = Mutex::new(Store::open(&dir, code, OnStale::Error).unwrap());
+        let store = ShardedStore::from_single(Store::open(&dir, code, OnStale::Error).unwrap());
         let reg = Registry::disabled();
         let g = GridSpec::new("forced-test", 1)
             .cell(CellSpec::new("dom", 0, "cached"))
@@ -394,7 +392,7 @@ mod tests {
         assert_eq!((cold.hits, cold.misses, cold.forced), (0, 2, 1));
         let warm = run_grid(&g, Some(&store), &reg, body).unwrap();
         assert_eq!((warm.hits, warm.misses, warm.forced), (1, 1, 1));
-        assert_eq!(store.lock().unwrap().len(), 1);
+        assert_eq!(store.len(), 1);
         assert_eq!(cold.rows, warm.rows, "forced cells are still deterministic");
         std::fs::remove_dir_all(&dir).unwrap();
     }

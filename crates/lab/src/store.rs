@@ -59,7 +59,7 @@ pub struct Cell {
 }
 
 impl Cell {
-    fn encode(&self) -> String {
+    pub(crate) fn encode(&self) -> String {
         let mut line = format!(
             "{{\"key\":\"{}\",\"exp\":\"{}\",\"domain\":\"{}\",\"index\":{},\"params\":\"{}\"",
             escape(&self.key),
@@ -77,7 +77,7 @@ impl Cell {
         line
     }
 
-    fn decode(line: &str) -> Result<Cell, String> {
+    pub(crate) fn decode(line: &str) -> Result<Cell, String> {
         let mut cur = Cursor::new(line);
         cur.expect(b'{')?;
         let mut cell = Cell {
@@ -162,11 +162,11 @@ pub struct Store {
     torn: usize,
 }
 
-fn segment_path(dir: &Path, id: u32) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, id: u32) -> PathBuf {
     dir.join(format!("segment-{id:05}.jsonl"))
 }
 
-fn segment_id(name: &str) -> Option<u32> {
+pub(crate) fn segment_id(name: &str) -> Option<u32> {
     name.strip_prefix("segment-")?
         .strip_suffix(".jsonl")?
         .parse()
@@ -202,7 +202,7 @@ fn parse_manifest(text: &str) -> Result<(u32, String), String> {
 }
 
 /// Write `text` to `path` atomically (`.tmp` + rename).
-fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;

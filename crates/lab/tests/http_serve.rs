@@ -6,7 +6,9 @@
 //! requests each at `GET /cells` / `GET /status` and checks every
 //! response is complete and consistent.
 
-use bvl_lab::{serve, CellSpec, CodeFingerprint, Experiment, GridSpec, Job, OnStale, Service, Store};
+use bvl_lab::{
+    serve, CellSpec, CodeFingerprint, Experiment, GridSpec, Job, OnStale, Service, ShardedStore,
+};
 use bvl_obs::Registry;
 use rand::RngCore;
 use std::io::{Read, Write};
@@ -72,7 +74,7 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
 fn http_serves_eight_concurrent_query_clients() {
     let dir = tmpdir("concurrent");
     let code = CodeFingerprint::from_parts("http-test-api", "0");
-    let store = Store::open(&dir, code, OnStale::Error).unwrap();
+    let store = ShardedStore::open(&dir, 1, code, OnStale::Error).unwrap();
     let service = Arc::new(Service::new(store, Registry::enabled(1), vec![Box::new(Square)]));
     // 4 workers < 8 clients: the bounded pool must queue, not drop.
     let server = serve("127.0.0.1:0", Arc::clone(&service), 4).unwrap();
@@ -147,7 +149,7 @@ fn http_serves_eight_concurrent_query_clients() {
 fn run_then_query_round_trips_payloads() {
     let dir = tmpdir("roundtrip");
     let code = CodeFingerprint::from_parts("http-test-api", "0");
-    let store = Store::open(&dir, code, OnStale::Error).unwrap();
+    let store = ShardedStore::open(&dir, 1, code, OnStale::Error).unwrap();
     let service = Arc::new(Service::new(store, Registry::disabled(), vec![Box::new(Square)]));
     let rep = service.run("square", true, None).unwrap().unwrap();
     assert_eq!(rep.rows.len(), 4);

@@ -1,0 +1,182 @@
+//! Replication under crash faults — the satellite contract (ISSUE 9):
+//!
+//! * a follower synced from a live leader is bit-identical (digest over
+//!   the live cell set, last-writer-wins across segments);
+//! * a follower killed mid-append — simulated by truncating its newest
+//!   segment at *every byte boundary inside the last record* — repairs
+//!   and converges back to bit-identical on the next sync;
+//! * the same holds shard by shard for a sharded store, and a leader
+//!   whose history was rewritten (gc) forces a clean full resync.
+
+use bvl_lab::replica::cursor_of;
+use bvl_lab::{
+    run_grid, store_digest, sync_store, CellSpec, CodeFingerprint, GridSpec, Job, OnStale,
+    ShardedStore,
+};
+use bvl_obs::Registry;
+use rand::RngCore;
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bvl-lab-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid(cells: usize) -> GridSpec {
+    let mut g = GridSpec::new("replication", 96);
+    for i in 0..cells {
+        g = g.cell(CellSpec::new("cells", i, format!("i={i}")));
+    }
+    g
+}
+
+fn body(cell: &CellSpec, mut job: Job) -> Vec<Vec<String>> {
+    vec![vec![cell.params.clone(), job.rng.next_u64().to_string()]]
+}
+
+/// Populate a store at `dir` with `shards` shards through the public
+/// `run_grid` path, so segments carry real journaled cells.
+fn populate(dir: &Path, shards: usize, cells: usize) {
+    let code = CodeFingerprint::from_parts("replication-api", "0");
+    let store = ShardedStore::open(dir, shards, code, OnStale::Error).unwrap();
+    run_grid(&grid(cells), Some(&store), &Registry::disabled(), body).unwrap();
+}
+
+/// Newest segment file under a (flat or shard) directory, if any — a
+/// shard the digest router never picked has no segments.
+fn newest_segment_in(dir: &Path) -> Option<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    segs.sort();
+    segs.pop()
+}
+
+fn newest_segment(dir: &Path) -> PathBuf {
+    newest_segment_in(dir).expect("directory has segments")
+}
+
+#[test]
+fn synced_follower_is_digest_identical_and_cursor_agrees() {
+    let (leader, follower) = (tmpdir("sync-leader"), tmpdir("sync-follower"));
+    populate(&leader, 1, 10);
+    let reports = sync_store(&leader, &follower).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].copied_bytes > 0);
+    assert_eq!(store_digest(&leader).unwrap(), store_digest(&follower).unwrap());
+    // The replay cursor sees the same history on both sides.
+    assert_eq!(cursor_of(&leader).unwrap(), cursor_of(&follower).unwrap());
+    assert_eq!(cursor_of(&follower).unwrap().records, 10);
+    // Idempotent: a second sync moves nothing.
+    let again = sync_store(&leader, &follower).unwrap();
+    assert_eq!(again[0].copied_bytes, 0);
+    assert!(!again[0].full_resync);
+    for d in [&leader, &follower] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+/// The tentpole crash matrix: kill the follower mid-append by truncating
+/// its newest segment at every byte boundary inside the last record (and
+/// at the record's start, the clean-kill case). Every cut must repair and
+/// replay back to a digest-identical follower.
+#[test]
+fn every_truncation_boundary_of_the_last_record_converges() {
+    let (leader, follower) = (tmpdir("cut-leader"), tmpdir("cut-follower"));
+    populate(&leader, 1, 8);
+    sync_store(&leader, &follower).unwrap();
+    let want = store_digest(&leader).unwrap();
+
+    let seg = newest_segment(&follower);
+    let full = std::fs::read(&seg).unwrap();
+    let text = std::str::from_utf8(&full).unwrap();
+    assert!(text.ends_with('\n'), "segments are newline-terminated");
+    // Start of the last record: byte after the second-to-last newline.
+    let last_start = text[..text.len() - 1].rfind('\n').map_or(0, |i| i + 1);
+    assert!(full.len() - last_start > 2, "last record is non-trivial");
+
+    for cut in last_start..=full.len() {
+        std::fs::write(&seg, &full[..cut]).unwrap();
+        let report = &sync_store(&leader, &follower).unwrap()[0];
+        if cut < full.len() && cut > last_start {
+            assert!(
+                report.repaired_bytes > 0 || report.full_resync,
+                "cut at {cut} left a torn tail unrepaired"
+            );
+        }
+        assert_eq!(
+            store_digest(&follower).unwrap(),
+            want,
+            "cut at byte {cut} of {} did not converge",
+            full.len()
+        );
+        // The replayed follower is byte-identical, not just digest-equal:
+        // the tail append copies the leader's serialization verbatim.
+        assert_eq!(std::fs::read(&seg).unwrap(), full, "cut at {cut}");
+    }
+    for d in [&leader, &follower] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn sharded_store_heals_a_torn_shard_and_detects_rewritten_history() {
+    let (leader, follower) = (tmpdir("shard-leader"), tmpdir("shard-follower"));
+    populate(&leader, 4, 24);
+    let reports = sync_store(&leader, &follower).unwrap();
+    assert_eq!(reports.len(), 4, "one sync report per shard");
+    let want = store_digest(&leader).unwrap();
+    assert_eq!(store_digest(&follower).unwrap(), want);
+
+    // Tear every populated shard's newest segment mid-record at once;
+    // one sync pass heals them all.
+    let mut torn = Vec::new();
+    for shard in 0..4 {
+        let dir = follower.join(format!("shard-{shard:03}"));
+        if let Some(seg) = newest_segment_in(&dir) {
+            let bytes = std::fs::read(&seg).unwrap();
+            std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+            torn.push(shard);
+        }
+    }
+    assert!(!torn.is_empty(), "24 cells over 4 shards hit at least one");
+    let reports = sync_store(&leader, &follower).unwrap();
+    assert!(torn
+        .iter()
+        .all(|&s| reports[s].repaired_bytes > 0 || reports[s].full_resync));
+    assert_eq!(store_digest(&follower).unwrap(), want);
+
+    // Rewritten leader history (gc compacts segments) must not be
+    // tail-patched onto the follower's old bytes: the divergence check
+    // forces a full resync that still converges.
+    let code = CodeFingerprint::from_parts("replication-api", "0");
+    let store = ShardedStore::open(&leader, 4, code, OnStale::Error).unwrap();
+    run_grid(&grid(32), Some(&store), &Registry::disabled(), body).unwrap();
+    store.gc().unwrap();
+    drop(store);
+    let reports = sync_store(&leader, &follower).unwrap();
+    assert!(reports.iter().any(|r| r.full_resync), "gc rewrites history");
+    assert_eq!(store_digest(&follower).unwrap(), store_digest(&leader).unwrap());
+    for d in [&leader, &follower] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn follower_shard_count_mismatch_is_refused() {
+    let (leader, follower) = (tmpdir("mismatch-leader"), tmpdir("mismatch-follower"));
+    populate(&leader, 2, 6);
+    populate(&follower, 4, 6);
+    let err = sync_store(&leader, &follower).unwrap_err();
+    assert!(
+        err.to_string().contains("shard"),
+        "mismatch error names the shard count: {err}"
+    );
+    for d in [&leader, &follower] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! Shard routing properties — the satellite contract (ISSUE 9): routing
+//! is a pure, total function of the cell digest. No key is ever lost, no
+//! shard index is ever out of range, the hex fast path agrees with the
+//! digest arithmetic, and a store's aggregate cell set is independent of
+//! the shard count it was written under.
+
+use bvl_lab::{
+    run_grid, shard_of, CellSpec, CodeFingerprint, GridSpec, Job, OnStale, ShardedStore,
+};
+use bvl_obs::Registry;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::RngCore;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bvl-lab-route-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pick(rng: &mut TestRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+/// Arbitrary key text: hex digits, non-hex ASCII, separators, unicode —
+/// everything a caller could conceivably hand the router.
+fn any_key() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        '0', '1', '7', '9', 'a', 'b', 'e', 'f', 'g', 'k', 'z', 'X', '-', '_', ' ', 'γ',
+    ];
+    Just(()).prop_perturb(|_, mut rng| {
+        let len = pick(&mut rng, 48) as usize;
+        (0..len)
+            .map(|_| ALPHABET[pick(&mut rng, ALPHABET.len() as u64) as usize])
+            .collect()
+    })
+}
+
+/// A key with no hex prefix at all, forcing the FNV fallback route.
+fn non_hex_key() -> impl Strategy<Value = String> {
+    Just(()).prop_perturb(|_, mut rng| {
+        let len = 1 + pick(&mut rng, 40) as usize;
+        (0..len)
+            .map(|_| (b'g' + pick(&mut rng, 20) as u8) as char)
+            .collect()
+    })
+}
+
+fn u64_pair() -> impl Strategy<Value = (u64, u64)> {
+    Just(()).prop_perturb(|_, mut rng| (rng.next_u64(), rng.next_u64()))
+}
+
+proptest! {
+    /// Total and in range for any string key and any plausible count.
+    #[test]
+    fn routing_is_total_and_in_range(key in any_key(), shards in 1usize..=32) {
+        let s = shard_of(&key, shards);
+        prop_assert!(s < shards);
+        // Pure: same inputs, same shard, every time.
+        prop_assert_eq!(s, shard_of(&key, shards));
+    }
+
+    /// One shard is the identity route — the legacy flat layout.
+    #[test]
+    fn single_shard_routes_everything_to_zero(key in any_key()) {
+        prop_assert_eq!(shard_of(&key, 1), 0);
+    }
+
+    /// Store keys are 32 hex chars; the router folds the first 16 into a
+    /// u64 and reduces mod the count. Check against the arithmetic.
+    #[test]
+    fn hex_keys_route_by_leading_u64((hi, lo) in u64_pair(), shards in 1usize..=8) {
+        let key = format!("{hi:016x}{lo:016x}");
+        prop_assert_eq!(shard_of(&key, shards), (hi % shards as u64) as usize);
+        // The low half never moves the route.
+        let other = format!("{hi:016x}{:016x}", lo.wrapping_add(1));
+        prop_assert_eq!(shard_of(&key, shards), shard_of(&other, shards));
+    }
+
+    /// Non-hex keys still route deterministically (FNV fallback) and in
+    /// range — routing never panics on garbage.
+    #[test]
+    fn garbage_keys_route_deterministically(key in non_hex_key(), shards in 1usize..=8) {
+        let s = shard_of(&key, shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, shard_of(&key, shards));
+    }
+}
+
+fn grid(cells: usize) -> GridSpec {
+    let mut g = GridSpec::new("routing", 1729);
+    for i in 0..cells {
+        g = g.cell(CellSpec::new("cells", i, format!("i={i}")));
+    }
+    g
+}
+
+fn body(cell: &CellSpec, mut job: Job) -> Vec<Vec<String>> {
+    vec![vec![cell.params.clone(), job.rng.next_u64().to_string()]]
+}
+
+/// Every key a grid run journals is findable again, lands on the shard
+/// the router names, and the aggregate cell set (keys and payloads) is
+/// identical at 1, 2 and 4 shards.
+#[test]
+fn aggregate_cell_set_is_shard_count_invariant() {
+    let g = grid(16);
+    let code = CodeFingerprint::from_parts("routing-api", "0");
+    let mut per_count = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let dir = tmpdir(&format!("agg-{shards}"));
+        let store = ShardedStore::open(&dir, shards, code.clone(), OnStale::Error).unwrap();
+        let rep = run_grid(&g, Some(&store), &Registry::disabled(), body).unwrap();
+        assert_eq!(rep.misses, 16);
+        for cell in &g.cells {
+            let key = g.key_of(&code, cell);
+            assert_eq!(store.route(&key), shard_of(&key, shards), "route agrees");
+            assert!(store.rows_of(&key).is_some(), "key {key} lost at {shards} shards");
+        }
+        let cells: Vec<(String, Vec<Vec<String>>)> =
+            store.cells().into_iter().map(|c| (c.key, c.rows)).collect();
+        per_count.push((rep.rows, cells));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(per_count[0], per_count[1], "1 vs 2 shards diverged");
+    assert_eq!(per_count[0], per_count[2], "1 vs 4 shards diverged");
+}
+
+/// A reopened sharded store routes exactly as the writer did: every cell
+/// is a hit, none recompute, and a wrong `--store-shards` is refused.
+#[test]
+fn reopen_preserves_routing_and_count_mismatch_is_refused() {
+    let g = grid(12);
+    let code = CodeFingerprint::from_parts("routing-api", "0");
+    let dir = tmpdir("reopen");
+    {
+        let store = ShardedStore::open(&dir, 4, code.clone(), OnStale::Error).unwrap();
+        run_grid(&g, Some(&store), &Registry::disabled(), body).unwrap();
+    }
+    let store = ShardedStore::open(&dir, 4, code.clone(), OnStale::Error).unwrap();
+    let rep = run_grid(&g, Some(&store), &Registry::disabled(), body).unwrap();
+    assert_eq!((rep.hits, rep.misses), (12, 0), "reopen serves every cell");
+    drop(store);
+    let err = ShardedStore::open(&dir, 2, code, OnStale::Error).unwrap_err();
+    assert!(err.to_string().contains("shard"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -3,7 +3,7 @@
 //! A [`ScenarioDoc`] is the typed form of a `.scn` file: a named list of
 //! grids, each grid a list of cells, each cell a typed [`Work`] item plus
 //! the content-address fields ([`CellDoc::params`], [`CellDoc::plan`],
-//! force/smoke markers) that [`crate::compile`] lowers into
+//! force/smoke markers) that [`crate::compile()`] lowers into
 //! `bvl_lab::CellSpec`s.
 //!
 //! The text form is a flat statement language — `scenario`, `grid`, `cell`

@@ -9,14 +9,14 @@
 //! This crate makes scenarios data:
 //!
 //! * [`doc`] — the [`ScenarioDoc`] document model: grids of typed cells
-//!   ([`Work`]) with per-grid `RunOptions` knobs ([`FaultPlan`] included),
+//!   ([`Work`]) with per-grid `RunOptions` knobs ([`bvl_fault::FaultPlan`] included),
 //!   a line-oriented serializer ([`ScenarioDoc::to_text`]) and a one-line
 //!   round-trip encoding ([`ScenarioDoc::repro`]).
-//! * [`parse`] — a hand-written std-only parser with byte-offset error
+//! * [`parse()`] — a hand-written std-only parser with byte-offset error
 //!   messages; `parse(doc.to_text()) == doc` (proptested).
 //! * [`topo`] — the shared topology vocabulary ([`Net`], [`measure`])
 //!   previously duplicated in `labexp`, with stable text tokens.
-//! * [`compile`] — the lowering pass: a document becomes the exact
+//! * [`compile()`] — the lowering pass: a document becomes the exact
 //!   [`bvl_lab::GridSpec`]/[`bvl_lab::CellSpec`]/`RunOptions` stacks the
 //!   scheduler consumes today, so store keys — and therefore warm-cache
 //!   hits — survive the refactor bit for bit.

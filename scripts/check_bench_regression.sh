@@ -30,6 +30,12 @@
 # must respect the provable communication lower bounds (DESIGN.md §15).
 # Skipped with a notice when no baseline is committed.
 #
+# Gate 5 checks the committed BENCH_serve.json records a passing serve
+# acceptance block (concurrent-client floor, p99, error rate, replication
+# digests), then re-runs `bench_serve --smoke` in a scratch directory —
+# the binary gates its own same-host acceptance and exits non-zero on
+# failure. Skipped with a notice when no baseline is committed.
+#
 # The committed BENCH_engine.json is restored afterwards; regenerating the
 # baselines themselves is `scripts/regen_experiments.sh`'s job.
 set -euo pipefail
@@ -38,12 +44,14 @@ cd "$(dirname "$0")/.."
 baseline=$(mktemp)
 faults_work=""
 obs_work=""
+serve_work=""
 cp BENCH_engine.json "$baseline"
 restore() {
     cp "$baseline" BENCH_engine.json
     rm -f "$baseline"
     if [[ -n "$faults_work" ]]; then rm -rf "$faults_work"; fi
     if [[ -n "$obs_work" ]]; then rm -rf "$obs_work"; fi
+    if [[ -n "$serve_work" ]]; then rm -rf "$serve_work"; fi
 }
 trap restore EXIT
 
@@ -174,8 +182,7 @@ fi
 
 if [[ ! -f BENCH_obs.json ]]; then
     echo "notice: no committed BENCH_obs.json baseline; skipping obs-overhead gate"
-    exit 0
-fi
+else
 
 # The committed baseline must itself record a passing acceptance block —
 # a red baseline should never be committable by accident.
@@ -203,3 +210,49 @@ repo_root=$PWD
     cargo run -q --release --manifest-path "$repo_root/Cargo.toml" \
         -p bvl-bench --bin bench_obs >/dev/null)
 echo "bench_obs overhead gate: PASS (tiered overheads within limits on this host)"
+
+fi # BENCH_obs.json gate
+
+# Gate 5: the committed BENCH_serve.json must record a passing acceptance
+# block — in particular ≥ its own min_concurrent_clients floor held
+# simultaneously, p99 and error rate under the recorded limits, and the
+# replication digests matching. The committed wall-clock numbers belong to
+# another host, so nothing is diffed against them; instead `bench_serve
+# --smoke` re-proves the front end on this host in a scratch directory
+# (it gates its own same-host p99/error-rate/replication acceptance and
+# exits non-zero on failure). Skipped with a notice when no baseline is
+# committed.
+if [[ ! -f BENCH_serve.json ]]; then
+    echo "notice: no committed BENCH_serve.json baseline; skipping serve gate"
+else
+
+python3 - <<'PY'
+import json, sys
+
+doc = json.load(open("BENCH_serve.json"))
+acc = doc["acceptance"]
+fail = False
+if not acc.get("pass", False):
+    print("FAIL serve: committed BENCH_serve.json records a failing acceptance block")
+    fail = True
+floor = acc.get("min_concurrent_clients", 0)
+held = acc.get("concurrent_clients", 0)
+if held < floor:
+    print(f"FAIL serve: baseline held {held} concurrent clients, floor is {floor}")
+    fail = True
+if fail:
+    sys.exit(1)
+print(f'PASS serve baseline: {held} concurrent clients (floor {floor}), '
+      f'p99 {acc["p99_ms"]:.2f} ms (limit {acc["p99_limit_ms"]:.0f} ms), '
+      f'error rate {acc["error_rate"]:.4f} (limit {acc["error_rate_limit"]:.4f}), '
+      f'replication match {acc["replication_digest_match"]}')
+PY
+
+serve_work=$(mktemp -d)
+repo_root=$PWD
+(cd "$serve_work" && \
+    cargo run -q --release --manifest-path "$repo_root/Cargo.toml" \
+        -p bvl-bench --bin bench_serve -- --smoke >/dev/null)
+echo "bench_serve gate: PASS (front end holds its smoke acceptance on this host)"
+
+fi # BENCH_serve.json gate
