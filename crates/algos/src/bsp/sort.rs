@@ -13,6 +13,7 @@
 //! expected degree `O(n/p)` for random inputs.
 
 use bvl_bsp::{BspMachine, BspParams, FnProcess, RunReport, Status};
+use bvl_exec::RunOptions;
 use bvl_model::{ModelError, Payload, ProcId, Word};
 
 /// Sort `n` keys distributed round-robin-block over the processors.
@@ -21,6 +22,19 @@ use bvl_model::{ModelError, Payload, ProcId, Word};
 pub fn sample_sort(
     params: BspParams,
     keys: Vec<Vec<Word>>,
+) -> Result<(Vec<Vec<Word>>, RunReport), ModelError> {
+    sample_sort_with(params, keys, &RunOptions::new())
+}
+
+/// [`sample_sort`] under shared [`RunOptions`]: the machine is
+/// instrumented with `opts` before running, so registries, tracing,
+/// thread/shard counts and the pseudo-streaming window all apply. This is
+/// the entry point the workload studies use — the plain [`sample_sort`]
+/// delegates here with default options.
+pub fn sample_sort_with(
+    params: BspParams,
+    keys: Vec<Vec<Word>>,
+    opts: &RunOptions,
 ) -> Result<(Vec<Vec<Word>>, RunReport), ModelError> {
     let p = params.p;
     assert_eq!(keys.len(), p);
@@ -33,25 +47,53 @@ pub fn sample_sort(
             params1,
             vec![FnProcess::new((), |_, _| Status::Halt)],
         );
+        m.instrument(opts);
         let report = m.run(2)?;
         return Ok((k, report));
     }
 
-    struct St {
-        mine: Vec<Word>,
-        splitters: Vec<Word>,
-        received: Vec<Word>,
-    }
+    let mut machine = BspMachine::new(params, sample_sort_processes(keys));
+    machine.instrument(opts);
+    let report = machine.run(16)?;
+    let out: Vec<Vec<Word>> = machine
+        .into_processes()
+        .into_iter()
+        .map(|pr| pr.into_state().received)
+        .collect();
+    Ok((out, report))
+}
+
+/// Per-processor state of the sample-sort program. Public so drivers that
+/// run the program on *other* machines (the Theorem 2 cross-simulation in
+/// the workload studies) can recover the sorted blocks from the final
+/// process states.
+#[derive(Debug, Default)]
+pub struct SortState {
+    /// This processor's (locally sorted) initial block.
+    pub mine: Vec<Word>,
+    /// The broadcast splitters.
+    pub splitters: Vec<Word>,
+    /// The sorted bucket this processor owns at the end.
+    pub received: Vec<Word>,
+}
+
+/// Build the sample-sort SPMD program itself — one [`FnProcess`] per
+/// processor, `keys[i]` seeding processor `i` — without committing to a
+/// machine. [`sample_sort_with`] runs it on a native [`BspMachine`]; the
+/// workload studies also feed it to `simulate_bsp_on_logp` so the same
+/// program is measured on both machines. Requires `keys.len() ≥ 2`
+/// (single-processor sorting has no samples to route).
+pub fn sample_sort_processes(keys: Vec<Vec<Word>>) -> Vec<FnProcess<SortState>> {
+    assert!(keys.len() >= 2, "sample-sort program needs p >= 2");
 
     const TAG_SAMPLE: u32 = 1;
     const TAG_SPLIT: u32 = 2;
     const TAG_KEY: u32 = 3;
 
-    let procs: Vec<FnProcess<St>> = keys
-        .into_iter()
+    keys.into_iter()
         .map(|block| {
             FnProcess::new(
-                St {
+                SortState {
                     mine: block,
                     splitters: Vec::new(),
                     received: Vec::new(),
@@ -120,16 +162,7 @@ pub fn sample_sort(
                 },
             )
         })
-        .collect();
-
-    let mut machine = BspMachine::new(params, procs);
-    let report = machine.run(16)?;
-    let out: Vec<Vec<Word>> = machine
-        .into_processes()
-        .into_iter()
-        .map(|pr| pr.into_state().received)
-        .collect();
-    Ok((out, report))
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,6 +16,11 @@
 //!   the *scheduled* arrival, not the send, so coordinated omission
 //!   counts against the server. The mix is GET-heavy with a warm
 //!   `POST /run` every tenth request.
+//! * **keep-alive / pipelining** — the same Poisson methodology replayed
+//!   over persistent HTTP/1.1 connections (one per sender, reused across
+//!   the whole phase, with periodic two-request pipelined bursts); its
+//!   p99 is recorded as `p99_pipelined_ms` and gated like the open-loop
+//!   p99.
 //! * **replication** — the live store is synced to a follower, digests
 //!   must match; a torn tail is injected into the follower and a resync
 //!   must repair it back to bit-identical.
@@ -167,17 +172,143 @@ fn concurrency_phase(addr: SocketAddr, clients: usize) -> (u64, u64, u64) {
             });
         }
         connected.wait();
-        // Everyone is connected and parked. Give the event loop a beat to
-        // drain the accept backlog, then prove it is still responsive and
-        // read how many connections it is really holding.
-        std::thread::sleep(Duration::from_millis(500));
-        let (status, body) = request(addr, "GET", "/metrics", "").expect("mid-phase probe");
-        assert_eq!(status, 200, "server unresponsive under {clients} parked conns");
-        // The probe's own connection is part of `active`; discount it.
-        active = json_u64(&body, "active").expect("serve.active").saturating_sub(1);
+        // Everyone is connected and parked. The kernel has completed the
+        // handshakes but the event loop drains the accept backlog at its
+        // own pace (SYN retransmits under a full backlog take seconds),
+        // so poll `/metrics` — each probe also proves the loop is still
+        // responsive — until every parked connection is registered. The
+        // deadline stays well inside the server's 10 s idle reaper:
+        // parked clients must issue their request before they are
+        // legitimately reaped as idle.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(100));
+            let (status, body) = request(addr, "GET", "/metrics", "").expect("mid-phase probe");
+            assert_eq!(status, 200, "server unresponsive under {clients} parked conns");
+            // The probe's own connection is part of `active`; discount
+            // it. Track the high-water mark: what matters is how many
+            // the loop demonstrably held at once.
+            let now = json_u64(&body, "active").expect("serve.active").saturating_sub(1);
+            active = active.max(now);
+            if active >= clients as u64 || Instant::now() > deadline {
+                break;
+            }
+        }
         probed.wait();
     });
     (active, ok.into_inner(), errors.into_inner())
+}
+
+/// A persistent keep-alive connection: requests are framed by
+/// `Content-Length` on both sides, responses are read off the same
+/// stream (leftover pipelined bytes kept between reads), and any
+/// transport error drops the stream so the next request reconnects.
+struct PersistentConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl PersistentConn {
+    fn new(addr: SocketAddr) -> PersistentConn {
+        PersistentConn { addr, stream: None, buf: Vec::new() }
+    }
+
+    fn frame(method: &str, path: &str, body: &str) -> Vec<u8> {
+        // No `Connection: close`: HTTP/1.1 keep-alive by default.
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: lab\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    fn ensure(&mut self) -> Result<&mut TcpStream, String> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+            s.set_read_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| format!("timeout: {e}"))?;
+            self.stream = Some(s);
+            self.buf.clear();
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
+    }
+
+    /// One request-response exchange on the live connection.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let result = self.ensure().and_then(|s| {
+            s.write_all(&Self::frame(method, path, body))
+                .map_err(|e| format!("send: {e}"))
+        });
+        let result = result.and_then(|()| self.recv());
+        if result.is_err() {
+            self.stream = None; // reconnect on the next request
+        }
+        result
+    }
+
+    /// Two requests written back-to-back (true pipelining), then both
+    /// responses read in order; errors if either is not a 200.
+    fn burst2(&mut self, first: &str, second: &str) -> Result<(u16, String), String> {
+        let mut bytes = Self::frame("GET", first, "");
+        bytes.extend(Self::frame("GET", second, ""));
+        let result = self
+            .ensure()
+            .and_then(|s| s.write_all(&bytes).map_err(|e| format!("send: {e}")))
+            .and_then(|()| self.recv())
+            .and_then(|(status, _)| {
+                if status != 200 {
+                    return Err(format!("pipelined first response: {status}"));
+                }
+                self.recv()
+            });
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Read one `Content-Length`-framed response off the stream.
+    fn recv(&mut self) -> Result<(u16, String), String> {
+        let stream = self.stream.as_mut().ok_or("no stream")?;
+        let mut chunk = [0u8; 16 * 1024];
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("eof before response head".into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("recv head: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line in {head:.60?}"))?;
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(|v| v.trim().to_string())
+            })
+            .and_then(|v| v.parse().ok())
+            .ok_or("response without content-length")?;
+        while self.buf.len() < head_end + len {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("eof mid-body".into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("recv body: {e}")),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end..head_end + len]).into_owned();
+        self.buf.drain(..head_end + len);
+        Ok((status, body))
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -191,11 +322,9 @@ struct LoadOutcome {
     elapsed_s: f64,
 }
 
-/// Phase 3: open-loop Poisson replay. Arrival times are fixed up front;
-/// senders sleep until each scheduled instant and measure completion
-/// against it, so server-side queueing (and sender lateness) both count.
-fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5e12_1996);
+/// A seeded Poisson arrival schedule, fixed up front.
+fn poisson_arrivals(seed: u64, cfg: &Config) -> Vec<Duration> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut arrivals = Vec::new();
     let mut t = 0.0f64;
     while t < cfg.seconds {
@@ -205,6 +334,14 @@ fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
         t += -u.ln() / cfg.rate_hz;
         arrivals.push(Duration::from_secs_f64(t));
     }
+    arrivals
+}
+
+/// Phase 3: open-loop Poisson replay. Arrival times are fixed up front;
+/// senders sleep until each scheduled instant and measure completion
+/// against it, so server-side queueing (and sender lateness) both count.
+fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
+    let arrivals = poisson_arrivals(0x5e12_1996, cfg);
     let next = AtomicUsize::new(0);
     let ok = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
@@ -237,8 +374,76 @@ fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
             });
         }
     });
-    let elapsed_s = start.elapsed().as_secs_f64();
-    let mut lat = latencies.into_inner().unwrap();
+    outcome(
+        arrivals.len() as u64,
+        ok.into_inner(),
+        errors.into_inner(),
+        latencies.into_inner().unwrap(),
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+/// Phase 3b: the same open-loop methodology replayed over *persistent*
+/// connections. Each sender keeps one keep-alive connection for the whole
+/// phase (reconnecting only after a transport error), so connection setup
+/// drops out of the path and the server's keep-alive machinery — drain,
+/// re-arm, buffered-byte dispatch — carries the load. Every 10th arrival
+/// is a warm `POST /run` through the worker pool on the same connection,
+/// and every 10th is a two-request pipelined burst.
+fn pipelined_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
+    let arrivals = poisson_arrivals(0x5e12_1997, cfg);
+    let next = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(arrivals.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.senders {
+            let (next, ok, errors, latencies, arrivals) =
+                (&next, &ok, &errors, &latencies, &arrivals);
+            scope.spawn(move || {
+                let mut conn = PersistentConn::new(addr);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&at) = arrivals.get(i) else { break };
+                    if let Some(wait) = at.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let outcome = match i % 10 {
+                        9 => conn.request("POST", "/run", "{\"exp\":\"thm2\",\"smoke\":true}"),
+                        5 => conn.burst2("/status", "/metrics"),
+                        7 | 8 => conn.request("GET", "/cells?exp=thm2", ""),
+                        1 => conn.request("GET", "/metrics", ""),
+                        _ => conn.request("GET", "/status", ""),
+                    };
+                    let latency_ms = (start.elapsed().saturating_sub(at)).as_secs_f64() * 1e3;
+                    match outcome {
+                        Ok((200, _)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latencies.lock().unwrap().push(latency_ms);
+                        }
+                        _ => drop(errors.fetch_add(1, Ordering::Relaxed)),
+                    }
+                }
+            });
+        }
+    });
+    outcome(
+        arrivals.len() as u64,
+        ok.into_inner(),
+        errors.into_inner(),
+        latencies.into_inner().unwrap(),
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+fn outcome(
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    mut lat: Vec<f64>,
+    elapsed_s: f64,
+) -> LoadOutcome {
     lat.sort_by(|a, b| a.total_cmp(b));
     let pct = |q: f64| -> f64 {
         if lat.is_empty() {
@@ -247,9 +452,9 @@ fn open_loop_phase(addr: SocketAddr, cfg: &Config) -> LoadOutcome {
         lat[((lat.len() - 1) as f64 * q) as usize]
     };
     LoadOutcome {
-        requests: arrivals.len() as u64,
-        ok: ok.into_inner(),
-        errors: errors.into_inner(),
+        requests,
+        ok,
+        errors,
         p50_ms: pct(0.50),
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
@@ -328,12 +533,21 @@ fn main() {
         load.p95_ms, load.p99_ms
     );
 
+    let pipe = pipelined_phase(addr, &cfg);
+    eprintln!(
+        "pipelined: {} arrivals over {} persistent conn(s) in {:.1}s — {} ok, {} errors, \
+         p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        pipe.requests, cfg.senders, pipe.elapsed_s, pipe.ok, pipe.errors, pipe.p50_ms,
+        pipe.p95_ms, pipe.p99_ms
+    );
+
     // The metrics plane must reconcile with what the harness saw: the
     // server has answered at least every successful request counted here.
     let (status, metrics) = request(addr, "GET", "/metrics", "").expect("final metrics");
     assert_eq!(status, 200);
     let responses = json_u64(&metrics, "responses").expect("serve.responses");
-    let harness_ok = 2 + conc_ok + load.ok + 1; // cold+warm, both phases, mid-probe
+    // cold+warm, both load phases, mid-probe (bursts answer 2 each).
+    let harness_ok = 2 + conc_ok + load.ok + pipe.ok + 1;
     assert!(
         responses >= harness_ok,
         "serve.responses {responses} < harness-observed {harness_ok}"
@@ -346,11 +560,12 @@ fn main() {
          ({repaired_bytes} byte(s) repaired)"
     );
 
-    let total = (conc_ok + conc_errors + load.ok + load.errors) as f64;
-    let error_rate = (conc_errors + load.errors) as f64 / total.max(1.0);
+    let total = (conc_ok + conc_errors + load.ok + load.errors + pipe.ok + pipe.errors) as f64;
+    let error_rate = (conc_errors + load.errors + pipe.errors) as f64 / total.max(1.0);
     let pass = active >= cfg.clients as u64
         && conc_ok == cfg.clients as u64
         && load.p99_ms <= P99_LIMIT_MS
+        && pipe.p99_ms <= P99_LIMIT_MS
         && error_rate <= ERROR_RATE_LIMIT
         && repl_initial
         && repl_healed;
@@ -364,15 +579,27 @@ fn main() {
          \x20 \"open_loop\": {{\"requests\": {reqs}, \"ok\": {lok}, \"errors\": {lerr}, \
          \"p50_ms\": {p50:.2}, \"p95_ms\": {p95:.2}, \"p99_ms\": {p99:.2}, \
          \"elapsed_s\": {els:.2}}},\n\
+         \x20 \"pipelined\": {{\"requests\": {preqs}, \"ok\": {pok}, \"errors\": {perr}, \
+         \"connections\": {senders}, \"p50_ms\": {pp50:.2}, \"p95_ms\": {pp95:.2}, \
+         \"p99_ms\": {pp99:.2}, \"elapsed_s\": {pels:.2}}},\n\
          \x20 \"replication\": {{\"initial_match\": {repl_initial}, \
          \"torn_tail_healed\": {repl_healed}, \"repaired_bytes\": {repaired_bytes}}},\n\
          \x20 \"acceptance\": {{\"min_concurrent_clients\": {clients}, \
          \"concurrent_clients\": {active}, \"p99_limit_ms\": {p99lim:.1}, \"p99_ms\": {p99:.2}, \
+         \"p99_pipelined_ms\": {pp99:.2}, \
          \"error_rate_limit\": {errlim:.4}, \"error_rate\": {errate:.4}, \
          \"replication_digest_match\": {repl_both}, \"pass\": {pass}}}\n}}\n",
         clients = cfg.clients,
         rate = cfg.rate_hz,
         secs = cfg.seconds,
+        senders = cfg.senders,
+        preqs = pipe.requests,
+        pok = pipe.ok,
+        perr = pipe.errors,
+        pp50 = pipe.p50_ms,
+        pp95 = pipe.p95_ms,
+        pp99 = pipe.p99_ms,
+        pels = pipe.elapsed_s,
         reqs = load.requests,
         lok = load.ok,
         lerr = load.errors,

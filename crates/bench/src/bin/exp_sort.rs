@@ -1,0 +1,97 @@
+//! E-SORT: the BSP sample-sort study (sorting by regular sampling).
+//!
+//! Runs the `scenarios/sort.scn` grid: per cell, deterministic per-lane
+//! key generation, the 4-superstep sample-sort on the instrumented BSP
+//! machine, the measured cost decomposed into `w + g·h + ℓ`, the
+//! **1-optimality ratio** against the bucket-balanced ideal of the same
+//! schedule, and the Theorem 2 cross-simulation onto LogP with its
+//! protocol-constant envelope verdict.
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin exp_sort             # full grid
+//! cargo run --release -p bvl-bench --bin exp_sort -- --smoke  # CI subset
+//! ```
+//!
+//! The full run writes `BENCH_sort.json` with an acceptance block
+//! (`scripts/check_bench_regression.sh` gate 6); the completed grid also
+//! passes the sort lower-bound audit (cost ≥ balanced ideal, ratio ≥ 1,
+//! cross-simulation ≥ native) before printing, on every front end.
+
+use bvl_bench::{banner, labexp, obs, print_table, scn};
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    banner(if smoke {
+        "E-SORT (smoke): sample-sort 1-optimality, small blocks"
+    } else {
+        "E-SORT: BSP sample-sort — 1-optimality and the Theorem 2 envelope"
+    });
+
+    let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("sort", smoke);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[0], None);
+    eprintln!("[sweep] sort: {}", rep.summary());
+    let rows = labexp::single_rows(rep);
+    print_table(
+        &[
+            "p", "n", "cost", "ideal", "ratio", "work", "comm", "sync", "xsim", "native",
+            "slowdown", "envelope", "sorted",
+        ],
+        &rows,
+    );
+
+    let num = |r: &[String], i: usize| -> f64 { r[i].parse().expect("numeric column") };
+    let sorted_ok = rows.iter().all(|r| r[12] == "yes");
+    let envelope_ok = rows.iter().all(|r| num(r, 8) <= num(r, 11));
+    let worst_ratio = rows
+        .iter()
+        .map(|r| num(r, 4))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let pass = sorted_ok && envelope_ok;
+
+    obs::Summary::new("exp_sort")
+        .kv("cells", rows.len())
+        .kv("sorted_ok", sorted_ok)
+        .kv("envelope_ok", envelope_ok)
+        .f2("worst_ratio", worst_ratio)
+        .kv("pass", pass)
+        .emit();
+
+    if !smoke {
+        let mut json = String::from("{\n  \"experiment\": \"exp_sort\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"p\": {}, \"n\": {}, \"cost\": {}, \"ideal\": {}, \"ratio\": {}, \
+                 \"work\": {}, \"comm\": {}, \"sync\": {}, \"xsim\": {}, \"native\": {}, \
+                 \"slowdown\": {}, \"envelope\": {}, \"sorted\": {}}}{}\n",
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+                r[5],
+                r[6],
+                r[7],
+                r[8],
+                r[9],
+                r[10],
+                r[11],
+                r[12] == "yes",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"acceptance\": {{\n    \"pass\": {pass},\n    \"cells\": {},\n    \
+             \"sorted_ok\": {sorted_ok},\n    \"ratio_floor\": 1.0,\n    \
+             \"worst_ratio\": {worst_ratio:.2},\n    \"envelope_ok\": {envelope_ok}\n  }}\n}}\n",
+            rows.len()
+        ));
+        std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
+        eprintln!("wrote BENCH_sort.json");
+    }
+
+    if !pass {
+        eprintln!("exp_sort: acceptance failed (sorted_ok={sorted_ok} envelope_ok={envelope_ok})");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,55 @@
+//! E-STREAM: bounded-memory pseudo-streaming supersteps.
+//!
+//! Runs the `scenarios/stream.scn` grid: the sample-sort workload
+//! executed classically and through a fixed working set of `window`
+//! messages per processor per synchronization round
+//! (`RunOptions::streamed`, applicable to any workload). Each row
+//! verifies the exact cost identity
+//! `streamed = native + ℓ·(rounds − supersteps)` and that the output is
+//! unchanged — streaming moves *when* synchronization happens, never
+//! *what* is computed.
+//!
+//! ```sh
+//! cargo run --release -p bvl-bench --bin exp_stream             # full grid
+//! cargo run --release -p bvl-bench --bin exp_stream -- --smoke  # CI subset
+//! ```
+
+use bvl_bench::{banner, labexp, obs, print_table, scn};
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    banner(if smoke {
+        "E-STREAM (smoke): widest and narrowest windows"
+    } else {
+        "E-STREAM: pseudo-streaming supersteps across window sizes"
+    });
+
+    let lab = labexp::Lab::from_env();
+    let scenario = scn::compiled("stream", smoke);
+    let (rep, _) = scn::run_in_lab(&lab, &scenario.grids[0], None);
+    eprintln!("[sweep] stream: {}", rep.summary());
+    let rows = labexp::single_rows(rep);
+    print_table(
+        &[
+            "p", "n", "window", "native", "streamed", "rounds", "supersteps", "overhead", "sorted",
+        ],
+        &rows,
+    );
+
+    let sorted_ok = rows.iter().all(|r| r[8] == "yes");
+    let worst_overhead = rows
+        .iter()
+        .map(|r| r[7].parse::<f64>().expect("overhead column"))
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    obs::Summary::new("exp_stream")
+        .kv("cells", rows.len())
+        .kv("sorted_ok", sorted_ok)
+        .f2("worst_overhead", worst_overhead)
+        .emit();
+
+    if !sorted_ok {
+        eprintln!("exp_stream: a streamed run changed the sorted output");
+        std::process::exit(1);
+    }
+}

@@ -37,7 +37,9 @@ fn usage() -> ! {
          lab run --scenario F [--smoke] [--dir D] run a scenario document\n\
          lab validate                            shipped scenarios vs legacy grids\n\
          lab emit <name>                         print the reference scenario text\n\
-         lab audit [--bench F]                   lower-bound audit of BENCH_faults.json\n\
+         lab audit [--bench F]                   audit a BENCH_*.json export: the\n\
+                                                 faults conformance lower bounds, or\n\
+                                                 any file's acceptance block per-gate\n\
          lab status [--dir D]                    store summary\n\
          lab query <exp> [--dir D]               dump cached cells\n\
          lab diff [--dir D]                      staleness check (exit 1 if stale)\n\
@@ -172,6 +174,165 @@ fn parse_bench_faults(text: &str) -> Result<Vec<(String, u64, u64, u64)>, String
         c.expect(b']')?;
     }
     c.expect(b'}')?;
+    Ok(out)
+}
+
+/// One field of an acceptance block: booleans are gates, everything else
+/// is reported as context alongside them.
+enum Gate {
+    Bool(bool),
+    Info(String),
+}
+
+/// Byte scanner for the acceptance fallback. The store's [`Cursor`] is
+/// deliberately closed over the record schema (no floats, no lookahead),
+/// and the exporters emit floats like `0.72` — so the generic audit path
+/// carries its own tiny tokenizer instead of widening the store's.
+struct Scan<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    /// A quoted string; the exporters only escape quotes and backslashes.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return String::from_utf8(out.into_bytes())
+                        .map_err(|e| format!("bad utf-8 in string: {e}"));
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => return Err(format!("bad escape: {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// A number literal, kept verbatim — the audit reports it, never
+    /// computes with it.
+    fn number(&mut self) -> Result<String, String> {
+        self.ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    /// One acceptance value: bool, number, string, or a flat array of
+    /// strings/numbers (rendered for display).
+    fn value(&mut self) -> Result<Gate, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b't') if self.b[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(Gate::Bool(true))
+            }
+            Some(b'f') if self.b[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(Gate::Bool(false))
+            }
+            Some(b'"') => Ok(Gate::Info(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                if !self.eat(b']') {
+                    loop {
+                        self.ws();
+                        items.push(match self.b.get(self.i) {
+                            Some(b'"') => self.string()?,
+                            _ => self.number()?,
+                        });
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b']')?;
+                }
+                Ok(Gate::Info(items.join(" ")))
+            }
+            _ => Ok(Gate::Info(self.number()?)),
+        }
+    }
+}
+
+/// Pull the `"acceptance"` object out of any `BENCH_*.json` exporter as
+/// ordered `(field, value)` pairs. The block is the trailing object in
+/// every exporter's fixed shape, so scanning starts at the *last*
+/// occurrence of the key — row payloads never follow it.
+fn parse_acceptance(text: &str) -> Result<Vec<(String, Gate)>, String> {
+    let at = text
+        .rfind("\"acceptance\"")
+        .ok_or("no \"acceptance\" block")?;
+    let mut s = Scan {
+        b: &text.as_bytes()[at + "\"acceptance\"".len()..],
+        i: 0,
+    };
+    s.expect(b':')?;
+    s.expect(b'{')?;
+    let mut out = Vec::new();
+    loop {
+        if s.eat(b'}') {
+            break;
+        }
+        let key = s.string()?;
+        s.expect(b':')?;
+        out.push((key, s.value()?));
+        s.eat(b',');
+    }
+    if out.is_empty() {
+        return Err("acceptance block is empty".into());
+    }
+    if !out.iter().any(|(_, g)| matches!(g, Gate::Bool(_))) {
+        return Err("acceptance block has no boolean gates".into());
+    }
     Ok(out)
 }
 
@@ -316,34 +477,74 @@ fn main() {
                     exit(2);
                 }
             };
-            let rows = match parse_bench_faults(&text) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("lab: {path} does not parse: {e}");
-                    exit(2);
+            // Two layouts are audited, tried in order. The faults export
+            // carries raw conformance rows and gets the lower-bound
+            // audit; every other exporter carries an `acceptance` block,
+            // whose boolean fields are reported as per-gate pass/fail. A
+            // file matching neither is a loud error, not a skip.
+            match parse_bench_faults(&text) {
+                Ok(rows) => {
+                    let mut violations = Vec::new();
+                    for (sim, h, clean, faulted) in &rows {
+                        for v in
+                            bvl_scenario::audit_conformance_row(sim, *h as usize, *clean, *faulted)
+                        {
+                            violations.push(format!("{sim} h={h}: {v}"));
+                        }
+                    }
+                    if violations.is_empty() {
+                        println!(
+                            "audit: {} row(s) in {path} respect the conformance lower bounds",
+                            rows.len()
+                        );
+                    } else {
+                        for v in &violations {
+                            eprintln!("[audit] {v}");
+                        }
+                        eprintln!(
+                            "lab: {} lower-bound violation(s) in {path} — a cost below a \
+                             proven bound is a simulator bug",
+                            violations.len()
+                        );
+                        exit(1);
+                    }
                 }
-            };
-            let mut violations = Vec::new();
-            for (sim, h, clean, faulted) in &rows {
-                for v in bvl_scenario::audit_conformance_row(sim, *h as usize, *clean, *faulted) {
-                    violations.push(format!("{sim} h={h}: {v}"));
-                }
-            }
-            if violations.is_empty() {
-                println!(
-                    "audit: {} row(s) in {path} respect the conformance lower bounds",
-                    rows.len()
-                );
-            } else {
-                for v in &violations {
-                    eprintln!("[audit] {v}");
-                }
-                eprintln!(
-                    "lab: {} lower-bound violation(s) in {path} — a cost below a proven \
-                     bound is a simulator bug",
-                    violations.len()
-                );
-                exit(1);
+                Err(faults_err) => match parse_acceptance(&text) {
+                    Ok(gates) => {
+                        let mut failed = 0usize;
+                        let mut total = 0usize;
+                        let rows: Vec<Vec<String>> = gates
+                            .iter()
+                            .map(|(key, gate)| match gate {
+                                Gate::Bool(ok) => {
+                                    total += 1;
+                                    if !ok {
+                                        failed += 1;
+                                    }
+                                    vec![
+                                        key.clone(),
+                                        ok.to_string(),
+                                        if *ok { "pass".into() } else { "FAIL".into() },
+                                    ]
+                                }
+                                Gate::Info(v) => vec![key.clone(), v.clone(), "-".into()],
+                            })
+                            .collect();
+                        print_table(&["gate", "value", "status"], &rows);
+                        if failed > 0 {
+                            eprintln!("lab: {failed} of {total} gate(s) in {path} failed");
+                            exit(1);
+                        }
+                        println!("audit: all {total} gate(s) in {path} pass");
+                    }
+                    Err(acc_err) => {
+                        eprintln!(
+                            "lab: {path} matches no auditable layout — not the faults \
+                             conformance export ({faults_err}); {acc_err}"
+                        );
+                        exit(2);
+                    }
+                },
             }
         }
         "status" => {
@@ -472,5 +673,59 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_blocks_of_every_exporter_shape_scan() {
+        let text = r#"{
+  "experiment": "exp_sort",
+  "rows": [{"p": 4, "ratio": 1.24}],
+  "acceptance": {
+    "pass": true,
+    "cells": 6,
+    "worst_ratio": 1.36,
+    "error_rate": 0.0,
+    "gated_workloads": ["logp_ring_p64_x32", "bsp_shift_p64_x16"],
+    "envelope_ok": false
+  }
+}"#;
+        let gates = parse_acceptance(text).expect("scans");
+        let find = |k: &str| {
+            gates
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, g)| match g {
+                    Gate::Bool(b) => b.to_string(),
+                    Gate::Info(v) => v.clone(),
+                })
+                .expect("key present")
+        };
+        assert_eq!(find("pass"), "true");
+        assert_eq!(find("envelope_ok"), "false");
+        assert_eq!(find("cells"), "6");
+        assert_eq!(find("worst_ratio"), "1.36");
+        assert_eq!(find("gated_workloads"), "logp_ring_p64_x32 bsp_shift_p64_x16");
+    }
+
+    #[test]
+    fn files_without_gates_are_rejected_not_skipped() {
+        assert!(parse_acceptance("{\"experiment\": \"exp_engine\", \"rows\": []}").is_err());
+        assert!(parse_acceptance("{\"acceptance\": {}}").is_err());
+        assert!(parse_acceptance("{\"acceptance\": {\"cells\": 6}}").is_err());
+    }
+
+    #[test]
+    fn the_faults_layout_still_wins_the_dispatch() {
+        let text = r#"{"experiment": "exp_faults", "rows": [
+            {"sim": "bsp-on-logp", "plan": "x", "h": 4, "clean": 10, "faulted": 12, "p": 8, "attempts": 1, "ok": true}
+        ]}"#;
+        let rows = parse_bench_faults(text).expect("faults layout parses");
+        assert_eq!(rows, vec![("bsp-on-logp".to_string(), 4, 10, 12)]);
+        assert!(parse_acceptance(text).is_err());
     }
 }

@@ -1115,6 +1115,241 @@ pub mod stack {
     }
 }
 
+pub mod sort {
+    //! E-SORT grid: the BSP sample-sort study (`bvl_workloads::sort`) —
+    //! one row per cell with the measured `w + g·h + ℓ` decomposition, the
+    //! 1-optimality ratio against the bucket-balanced ideal, and the
+    //! Theorem 2 cross-simulation leg with its envelope verdict.
+
+    use super::*;
+    use bvl_workloads::{run_sort, SortConfig};
+
+    /// Key-generation master seed of the shipped grid.
+    pub const SEED: u64 = 1996;
+
+    /// The shipped study cells: block sizes growing toward the 1-optimal
+    /// regime on two machine sizes, plus `(g, ℓ)` variations at fixed
+    /// shape. All `p` are powers of two (the Theorem 2 leg routes through
+    /// the power-of-two sorting network).
+    pub fn configs() -> Vec<SortConfig> {
+        let base = |p, n| SortConfig {
+            p,
+            n,
+            g: 2,
+            l: 16,
+            seed: SEED,
+        };
+        vec![
+            base(4, 256),
+            base(8, 512),
+            base(8, 4096),
+            base(16, 2048),
+            SortConfig { g: 4, l: 32, ..base(8, 512) },
+            SortConfig { l: 64, ..base(8, 512) },
+        ]
+    }
+
+    /// The cell-params string of one config (shared with the scenario doc).
+    pub fn params_of(cfg: &SortConfig) -> String {
+        format!("p={} n={} g={} l={} seed={}", cfg.p, cfg.n, cfg.g, cfg.l, cfg.seed)
+    }
+
+    /// The sort grid; no cell is forced — rows are pure measurements.
+    pub fn grid() -> GridSpec {
+        let mut g = GridSpec::new("sort", SEED);
+        for (i, cfg) in configs().iter().enumerate() {
+            g = g.cell(CellSpec::new("sort", i, params_of(cfg)));
+        }
+        g
+    }
+
+    /// The `sort` grids; smoke keeps the two small-block cells.
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        let mut g = grid();
+        if smoke {
+            g.cells.retain(|c| c.index <= 1);
+        }
+        vec![g]
+    }
+
+    /// One study row. Column order is load-bearing: the scenario auditor
+    /// (`bvl_scenario::bounds`) reads cost(2), ratio(4), xsim(8), native(9)
+    /// by index.
+    pub fn sort_row(cfg: &SortConfig, opts: &RunOptions) -> Vec<String> {
+        let study = run_sort(cfg, opts).expect("shipped sort config runs");
+        vec![
+            cfg.p.to_string(),
+            cfg.n.to_string(),
+            study.bsp.cost.to_string(),
+            study.bsp.ideal.to_string(),
+            f2(study.bsp.ratio),
+            study.bsp.work.to_string(),
+            study.bsp.comm.to_string(),
+            study.bsp.sync.to_string(),
+            study.xsim.total.to_string(),
+            study.xsim.native.to_string(),
+            f2(study.xsim.slowdown),
+            f2(study.xsim.envelope),
+            if study.sorted_ok { "yes" } else { "no" }.to_string(),
+        ]
+    }
+
+    /// Compute one `sort` cell (registry contract as in the other kinds:
+    /// nothing to attach, rows are registry-independent).
+    pub fn run_cell_with(cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        vec![sort_row(&configs()[cell.index], &job.opts)]
+    }
+}
+
+pub mod stream {
+    //! E-STREAM grid: the pseudo-streaming study
+    //! (`bvl_workloads::stream`) — the sample-sort workload run classically
+    //! and through a bounded window, one row per window.
+
+    use super::*;
+    use bvl_workloads::{run_stream, SortConfig, StreamConfig};
+
+    /// Key-generation master seed (shared with the sort grid's base cell).
+    pub const SEED: u64 = 1996;
+
+    /// The shipped cells: one base workload, windows narrowing from
+    /// wider-than-any-relation (classical behaviour must reproduce) down
+    /// to a few messages per round.
+    pub fn configs() -> Vec<StreamConfig> {
+        [10_000u64, 64, 16, 4]
+            .into_iter()
+            .map(|window| StreamConfig {
+                sort: SortConfig {
+                    p: 8,
+                    n: 512,
+                    g: 2,
+                    l: 16,
+                    seed: SEED,
+                },
+                window,
+            })
+            .collect()
+    }
+
+    /// The cell-params string of one config (shared with the scenario doc).
+    pub fn params_of(cfg: &StreamConfig) -> String {
+        format!(
+            "p={} n={} window={} g={} l={} seed={}",
+            cfg.sort.p, cfg.sort.n, cfg.window, cfg.sort.g, cfg.sort.l, cfg.sort.seed
+        )
+    }
+
+    /// The stream grid; no forced cells.
+    pub fn grid() -> GridSpec {
+        let mut g = GridSpec::new("stream", SEED);
+        for (i, cfg) in configs().iter().enumerate() {
+            g = g.cell(CellSpec::new("stream", i, params_of(cfg)));
+        }
+        g
+    }
+
+    /// The `stream` grids; smoke keeps the widest and narrowest windows.
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        let mut g = grid();
+        if smoke {
+            g.cells.retain(|c| c.index == 0 || c.index == 3);
+        }
+        vec![g]
+    }
+
+    /// One study row. The auditor reads native(3), streamed(4), rounds(5),
+    /// supersteps(6) by index.
+    pub fn stream_row(cfg: &StreamConfig, opts: &RunOptions) -> Vec<String> {
+        let study = run_stream(cfg, opts).expect("shipped stream config runs");
+        vec![
+            cfg.sort.p.to_string(),
+            cfg.sort.n.to_string(),
+            cfg.window.to_string(),
+            study.native.to_string(),
+            study.streamed.to_string(),
+            study.rounds.to_string(),
+            study.supersteps.to_string(),
+            f2(study.overhead),
+            if study.sorted_ok { "yes" } else { "no" }.to_string(),
+        ]
+    }
+
+    /// Compute one `stream` cell.
+    pub fn run_cell_with(cell: &CellSpec, job: Job) -> Vec<Vec<String>> {
+        vec![stream_row(&configs()[cell.index], &job.opts)]
+    }
+}
+
+pub mod bsf {
+    //! E-BSF grid: the Bulk Synchronous Farm study
+    //! (`bvl_workloads::bsf`) — one row per worker count, sweeping across
+    //! the scalability boundary `p* = √(units·t_w / (2·t_t))`.
+
+    use super::*;
+    use bvl_workloads::{run_bsf, BsfParams};
+
+    /// The shipped farm shape: `units·t_w/(2·t_t) = 256·4/4 = 256`, so the
+    /// predicted curve bottoms out at `p* = 16` — the sweep brackets it
+    /// from both sides.
+    pub fn base() -> BsfParams {
+        BsfParams::new(16, 256, 2, 4, 5, 3).expect("shipped BSF shape valid")
+    }
+
+    /// The shipped cells: the worker-count sweep across `p*`.
+    pub fn configs() -> Vec<BsfParams> {
+        [2usize, 4, 8, 16, 32, 64]
+            .into_iter()
+            .map(|w| base().with_workers(w))
+            .collect()
+    }
+
+    /// The cell-params string of one config (shared with the scenario doc).
+    pub fn params_of(p: &BsfParams) -> String {
+        format!(
+            "workers={} units={} tt={} tw={} ts={} iters={}",
+            p.workers, p.units, p.tt, p.tw, p.ts, p.iters
+        )
+    }
+
+    /// The bsf grid; no forced cells (the machine is RNG-free).
+    pub fn grid() -> GridSpec {
+        let mut g = GridSpec::new("bsf", 1996);
+        for (i, cfg) in configs().iter().enumerate() {
+            g = g.cell(CellSpec::new("bsf", i, params_of(cfg)));
+        }
+        g
+    }
+
+    /// The `bsf` grids; smoke keeps the two cells bracketing `p*` tightest.
+    pub fn grids(smoke: bool) -> Vec<GridSpec> {
+        let mut g = grid();
+        if smoke {
+            g.cells.retain(|c| c.index == 2 || c.index == 3);
+        }
+        vec![g]
+    }
+
+    /// One study row. The auditor reads simulated(2), predicted(3),
+    /// speedup(5) by index.
+    pub fn bsf_row(params: &BsfParams) -> Vec<String> {
+        let study = run_bsf(params).expect("shipped BSF config runs");
+        vec![
+            params.workers.to_string(),
+            params.units.to_string(),
+            study.simulated.to_string(),
+            study.predicted.to_string(),
+            f2(study.ratio),
+            f2(study.speedup),
+            f2(study.optimal_workers),
+        ]
+    }
+
+    /// Compute one `bsf` cell.
+    pub fn run_cell_with(cell: &CellSpec, _job: Job) -> Vec<Vec<String>> {
+        vec![bsf_row(&configs()[cell.index])]
+    }
+}
+
 /// Every experiment the `lab` CLI and HTTP service can run. Since the
 /// scenario plane landed these are compiled from the checked-in
 /// `scenarios/*.scn` documents; `lab validate` and the equivalence tests
@@ -1138,6 +1373,12 @@ mod tests {
         assert_eq!(count(&[faults::grid(false)]), 42);
         assert_eq!(count(&stack::grids(false)), 2);
         assert_eq!(count(&stack::grids(true)), 1);
+        assert_eq!(count(&sort::grids(false)), 6);
+        assert_eq!(count(&sort::grids(true)), 2);
+        assert_eq!(count(&stream::grids(false)), 4);
+        assert_eq!(count(&stream::grids(true)), 2);
+        assert_eq!(count(&bsf::grids(false)), 6);
+        assert_eq!(count(&bsf::grids(true)), 2);
     }
 
     #[test]

@@ -41,13 +41,16 @@ use std::sync::Mutex;
 /// regardless of working directory. The on-disk `scenarios/*.scn` files
 /// are the checked-in form; `lab emit <name>` regenerates them from
 /// [`reference()`].
-pub const SHIPPED: [(&str, &str); 6] = [
+pub const SHIPPED: [(&str, &str); 9] = [
     ("table1", include_str!("../../../scenarios/table1.scn")),
     ("thm1", include_str!("../../../scenarios/thm1.scn")),
     ("thm2", include_str!("../../../scenarios/thm2.scn")),
     ("faults", include_str!("../../../scenarios/faults.scn")),
     ("stack", include_str!("../../../scenarios/stack.scn")),
     ("scaling", include_str!("../../../scenarios/scaling.scn")),
+    ("sort", include_str!("../../../scenarios/sort.scn")),
+    ("stream", include_str!("../../../scenarios/stream.scn")),
+    ("bsf", include_str!("../../../scenarios/bsf.scn")),
 ];
 
 /// The embedded text of shipped scenario `name`, if it exists.
@@ -314,6 +317,71 @@ fn stack_doc() -> GridDoc {
     g
 }
 
+fn sort_doc() -> GridDoc {
+    let mut g = GridDoc::new("sort", labexp::sort::SEED).domain("sort");
+    for (i, cfg) in labexp::sort::configs().iter().enumerate() {
+        let mut c = CellDoc::new(
+            Work::Sort {
+                p: cfg.p,
+                n: cfg.n,
+                g: cfg.g,
+                l: cfg.l,
+                seed: cfg.seed,
+            },
+            labexp::sort::params_of(cfg),
+        );
+        if i <= 1 {
+            c = c.smoke();
+        }
+        g = g.cell(c);
+    }
+    g
+}
+
+fn stream_doc() -> GridDoc {
+    let mut g = GridDoc::new("stream", labexp::stream::SEED).domain("stream");
+    for (i, cfg) in labexp::stream::configs().iter().enumerate() {
+        let mut c = CellDoc::new(
+            Work::Stream {
+                p: cfg.sort.p,
+                n: cfg.sort.n,
+                window: cfg.window,
+                g: cfg.sort.g,
+                l: cfg.sort.l,
+                seed: cfg.sort.seed,
+            },
+            labexp::stream::params_of(cfg),
+        );
+        if i == 0 || i == 3 {
+            c = c.smoke();
+        }
+        g = g.cell(c);
+    }
+    g
+}
+
+fn bsf_doc() -> GridDoc {
+    let mut g = GridDoc::new("bsf", 1996).domain("bsf");
+    for (i, cfg) in labexp::bsf::configs().iter().enumerate() {
+        let mut c = CellDoc::new(
+            Work::Bsf {
+                workers: cfg.workers,
+                units: cfg.units,
+                tt: cfg.tt,
+                tw: cfg.tw,
+                ts: cfg.ts,
+                iters: cfg.iters,
+            },
+            labexp::bsf::params_of(cfg),
+        );
+        if i == 2 || i == 3 {
+            c = c.smoke();
+        }
+        g = g.cell(c);
+    }
+    g
+}
+
 /// The code-defined reference document for shipped scenario `name`, built
 /// from the same configuration lists as the legacy grid builders. This is
 /// the oracle the checked-in `.scn` files are proven against (`doc(name)
@@ -341,6 +409,9 @@ pub fn reference(name: &str) -> ScenarioDoc {
             .grid(faults_doc(true))
             .grid(faults_doc(false)),
         "stack" => ScenarioDoc::new("stack").grid(stack_doc()),
+        "sort" => ScenarioDoc::new("sort").grid(sort_doc()),
+        "stream" => ScenarioDoc::new("stream").grid(stream_doc()),
+        "bsf" => ScenarioDoc::new("bsf").grid(bsf_doc()),
         other => panic!("unknown shipped scenario '{other}'"),
     }
 }
@@ -354,6 +425,9 @@ pub fn legacy_grids(name: &str, smoke: bool) -> Option<Vec<GridSpec>> {
         "thm2" => Some(labexp::thm2::grids(smoke)),
         "faults" => Some(vec![labexp::faults::grid(smoke)]),
         "stack" => Some(labexp::stack::grids(smoke)),
+        "sort" => Some(labexp::sort::grids(smoke)),
+        "stream" => Some(labexp::stream::grids(smoke)),
+        "bsf" => Some(labexp::bsf::grids(smoke)),
         "scaling" => {
             let mut g = labexp::table1::scaling_grid();
             if smoke {
@@ -486,6 +560,48 @@ pub fn run_work(
             vec![labexp::stack::stack_row(*net, *rounds, *seed, &job.opts, cap)],
             None,
         ),
+        Work::Sort { p, n, g, l, seed } => {
+            let cfg = bvl_workloads::SortConfig {
+                p: *p,
+                n: *n,
+                g: *g,
+                l: *l,
+                seed: *seed,
+            };
+            (vec![labexp::sort::sort_row(&cfg, &job.opts)], None)
+        }
+        Work::Stream {
+            p,
+            n,
+            window,
+            g,
+            l,
+            seed,
+        } => {
+            let cfg = bvl_workloads::StreamConfig {
+                sort: bvl_workloads::SortConfig {
+                    p: *p,
+                    n: *n,
+                    g: *g,
+                    l: *l,
+                    seed: *seed,
+                },
+                window: *window,
+            };
+            (vec![labexp::stream::stream_row(&cfg, &job.opts)], None)
+        }
+        Work::Bsf {
+            workers,
+            units,
+            tt,
+            tw,
+            ts,
+            iters,
+        } => {
+            let params = bvl_workloads::BsfParams::new(*workers, *units, *tt, *tw, *ts, *iters)
+                .expect("bsf cell parameters valid");
+            (vec![labexp::bsf::bsf_row(&params)], None)
+        }
     }
 }
 
@@ -584,7 +700,7 @@ impl Experiment for ScenarioExperiment {
 /// a subset of `table1`'s cells and would collide with its experiment
 /// name; run it as a document via `lab run --scenario`.)
 pub fn experiments() -> Vec<Box<dyn Experiment>> {
-    ["table1", "thm1", "thm2", "faults", "stack"]
+    ["table1", "thm1", "thm2", "faults", "stack", "sort", "stream", "bsf"]
         .into_iter()
         .map(|name| Box::new(ScenarioExperiment::new(name)) as Box<dyn Experiment>)
         .collect()
@@ -640,7 +756,9 @@ mod tests {
     use super::*;
     use bvl_scenario::grid_digest;
 
-    const NAMES: [&str; 6] = ["table1", "thm1", "thm2", "faults", "stack", "scaling"];
+    const NAMES: [&str; 9] = [
+        "table1", "thm1", "thm2", "faults", "stack", "scaling", "sort", "stream", "bsf",
+    ];
 
     #[test]
     fn shipped_documents_match_their_reference() {
@@ -712,6 +830,9 @@ mod tests {
     #[test]
     fn experiments_cover_every_legacy_front_end_name() {
         let names: Vec<String> = experiments().iter().map(|e| e.name().to_string()).collect();
-        assert_eq!(names, ["table1", "thm1", "thm2", "faults", "stack"]);
+        assert_eq!(
+            names,
+            ["table1", "thm1", "thm2", "faults", "stack", "sort", "stream", "bsf"]
+        );
     }
 }

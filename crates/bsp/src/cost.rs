@@ -23,6 +23,7 @@ pub struct SuperstepRecord {
 pub struct CostLedger {
     records: Vec<SuperstepRecord>,
     total: Steps,
+    extra_rounds: u64,
 }
 
 impl CostLedger {
@@ -34,6 +35,30 @@ impl CostLedger {
     /// Append the record for a completed superstep.
     pub fn charge(&mut self, params: &BspParams, w: u64, h: u64) -> SuperstepRecord {
         let cost = params.superstep_cost(w, h);
+        self.push(w, h, cost)
+    }
+
+    /// Append the record for a completed superstep whose h-relation was
+    /// streamed through a working set of at most `window` messages per
+    /// processor (Buurlage-style pseudo-streaming): the relation routes in
+    /// `⌈h/window⌉` rounds, each closed by its own synchronization, so the
+    /// superstep costs `w + g·h + ℓ·max(1, ⌈h/window⌉)`. The extra rounds
+    /// accumulate into [`CostLedger::sync_rounds`] so the attribution
+    /// stays zero-residual.
+    pub fn charge_streamed(
+        &mut self,
+        params: &BspParams,
+        w: u64,
+        h: u64,
+        window: u64,
+    ) -> SuperstepRecord {
+        let rounds = h.div_ceil(window.max(1)).max(1);
+        let cost = params.superstep_cost(w, h) + Steps(params.l * (rounds - 1));
+        self.extra_rounds += rounds - 1;
+        self.push(w, h, cost)
+    }
+
+    fn push(&mut self, w: u64, h: u64, cost: Steps) -> SuperstepRecord {
         let rec = SuperstepRecord {
             index: self.records.len() as u64,
             w,
@@ -55,6 +80,14 @@ impl CostLedger {
         self.records.len() as u64
     }
 
+    /// Number of synchronization rounds paid for: one per superstep plus
+    /// the extra streaming rounds from [`CostLedger::charge_streamed`].
+    /// Equal to [`CostLedger::supersteps`] for classical (non-streamed)
+    /// runs.
+    pub fn sync_rounds(&self) -> u64 {
+        self.records.len() as u64 + self.extra_rounds
+    }
+
     /// Per-superstep records.
     pub fn records(&self) -> &[SuperstepRecord] {
         &self.records
@@ -71,9 +104,10 @@ impl CostLedger {
     }
 
     /// Attribute the ledger total onto the native BSP cost terms:
-    /// `work = Σ w`, `comm = Σ g·h`, `sync = supersteps · ℓ`. The ledger
-    /// charges exactly `w + g·h + ℓ` per superstep, so the residual of the
-    /// returned report is exactly zero — this is the ground truth the
+    /// `work = Σ w`, `comm = Σ g·h`, `sync = sync_rounds · ℓ` (one round
+    /// per superstep, plus any extra streaming rounds). The ledger charges
+    /// exactly `w + g·h + ℓ` per synchronization round, so the residual of
+    /// the returned report is exactly zero — this is the ground truth the
     /// cross-simulation attributions are compared against.
     pub fn attribution(&self, params: &BspParams, label: &str) -> CostReport {
         CostReport {
@@ -81,7 +115,7 @@ impl CostLedger {
             makespan: self.total(),
             work: Steps(self.total_work()),
             comm: Steps(params.g * self.total_h()),
-            sync: Steps(params.l * self.supersteps()),
+            sync: Steps(params.l * self.sync_rounds()),
             stall: Steps::ZERO,
             other: Steps::ZERO,
         }
@@ -104,5 +138,34 @@ mod tests {
         assert_eq!(led.total_work(), 5);
         assert_eq!(led.total_h(), 3);
         assert_eq!(led.records()[1].index, 1);
+        assert_eq!(led.sync_rounds(), 2, "no streaming: one round per superstep");
+    }
+
+    #[test]
+    fn streamed_charge_pays_one_l_per_round() {
+        let p = BspParams::new(4, 2, 10).unwrap();
+        let mut led = CostLedger::new();
+        // h=7 through window 3 → ⌈7/3⌉ = 3 rounds → 2 extra ℓ.
+        let rec = led.charge_streamed(&p, 5, 7, 3);
+        assert_eq!(rec.cost, Steps(5 + 2 * 7 + 3 * 10));
+        assert_eq!(led.sync_rounds(), 3);
+        assert_eq!(led.supersteps(), 1);
+        // h=0 still pays exactly one ℓ (a pure-compute superstep).
+        let rec0 = led.charge_streamed(&p, 4, 0, 3);
+        assert_eq!(rec0.cost, Steps(4 + 10));
+        assert_eq!(led.sync_rounds(), 4);
+        // Window ≥ h collapses to the classical charge.
+        let mut classic = CostLedger::new();
+        let a = classic.charge(&p, 5, 7);
+        let mut wide = CostLedger::new();
+        let b = wide.charge_streamed(&p, 5, 7, 100);
+        assert_eq!(a.cost, b.cost);
+        // Attribution stays zero-residual under streaming.
+        let rep = led.attribution(&p, "streamed");
+        assert_eq!(
+            rep.makespan,
+            rep.work + rep.comm + rep.sync,
+            "work + comm + sync must account for the full streamed total"
+        );
     }
 }

@@ -49,6 +49,7 @@ pub struct BspMachine<P: BspProcess> {
     superstep: u64,
     threads: usize,
     shards: usize,
+    stream: Option<u64>,
 }
 
 impl<P: BspProcess> BspMachine<P> {
@@ -79,6 +80,7 @@ impl<P: BspProcess> BspMachine<P> {
             superstep: 0,
             threads: 1,
             shards: 1,
+            stream: None,
         }
     }
 
@@ -130,6 +132,8 @@ impl<P: BspProcess> BspMachine<P> {
         };
         self.threads = opts.threads.max(1);
         self.shards = self.shards.max(opts.shards);
+        // Pseudo-streaming: charge each h-relation in ⌈h/window⌉ rounds.
+        self.stream = opts.stream;
     }
 
     /// Per-processor statistics accumulated so far.
@@ -232,7 +236,10 @@ impl<P: BspProcess> BspMachine<P> {
             .map(|(&s, &r)| s.max(r))
             .max()
             .unwrap_or(0);
-        let rec = self.ledger.charge(&self.params, w_max, h);
+        let rec = match self.stream {
+            Some(window) => self.ledger.charge_streamed(&self.params, w_max, h, window),
+            None => self.ledger.charge(&self.params, w_max, h),
+        };
         self.instruments.trace.record(Event::Superstep {
             index: rec.index,
             w: rec.w,
@@ -494,6 +501,23 @@ mod tests {
         assert_eq!(report.records[1].h, 0);
         assert_eq!(report.records[1].w, 0);
         assert_eq!(report.cost, Steps((1 + 2 * 8 + 16) + 16));
+    }
+
+    #[test]
+    fn streaming_adds_rounds_but_not_results() {
+        // Same gather, streamed through a window of 3: superstep 0's
+        // h-relation (h = 8) routes in ⌈8/3⌉ = 3 rounds → 2 extra ℓ.
+        let mut m = gather_machine(8, 2, 16);
+        m.instrument(&RunOptions::new().streamed(3));
+        let report = m.run(10).unwrap();
+        assert_eq!(*m.process(0).state(), (0..8).sum::<i64>());
+        assert_eq!(report.records[0].h, 8, "the relation itself is unchanged");
+        assert_eq!(report.cost, Steps((1 + 2 * 8 + 3 * 16) + 16));
+        assert_eq!(m.ledger().sync_rounds(), 4);
+        // A window ≥ h reproduces the classical cost exactly.
+        let mut wide = gather_machine(8, 2, 16);
+        wide.instrument(&RunOptions::new().streamed(64));
+        assert_eq!(wide.run(10).unwrap().cost, Steps((1 + 2 * 8 + 16) + 16));
     }
 
     #[test]

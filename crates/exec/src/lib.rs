@@ -32,7 +32,7 @@ mod phase;
 mod shard;
 mod stacked;
 
-pub use medium::{wrap_medium, Medium, WrapMedium};
+pub use medium::{wrap_medium, Medium, StreamMedium, WrapMedium};
 pub use options::{Instruments, RunOptions};
 pub use outcome::{drive, Executor, RunOutcome};
 pub use phase::Phase;

@@ -59,6 +59,14 @@ pub struct RunOptions {
     /// its medium before running — machines, routers and simulators all
     /// pick faults up from the one options struct, no API forks.
     pub fault: Option<Arc<dyn WrapMedium>>,
+    /// Pseudo-streaming window (Buurlage-style bounded-memory supersteps):
+    /// when set, engines that charge whole h-relations instead stream each
+    /// relation through a working set of at most `window` messages per
+    /// processor, paying one extra synchronization `ℓ` per additional
+    /// round — cost `w + g·h + ℓ·⌈h/window⌉` per superstep. `None` (the
+    /// default) is the classical one-shot h-relation. Result-affecting:
+    /// included in [`RunOptions::canonical`].
+    pub stream: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -73,6 +81,7 @@ impl Default for RunOptions {
             clock_base: Steps::ZERO,
             budget: None,
             fault: None,
+            stream: None,
         }
     }
 }
@@ -153,6 +162,15 @@ impl RunOptions {
         self
     }
 
+    /// Stream h-relations through a bounded working set of `window`
+    /// messages per processor (clamped to at least 1); see
+    /// [`RunOptions::stream`].
+    #[must_use]
+    pub fn streamed(mut self, window: u64) -> RunOptions {
+        self.stream = Some(window.max(1));
+        self
+    }
+
     /// Whether these options carry a fault decorator. Protocols whose
     /// correctness argument *assumes* a well-behaved medium (e.g. the
     /// stall-free schedules of §4.2) use this to downgrade
@@ -176,12 +194,13 @@ impl RunOptions {
     /// rotates them out).
     pub fn canonical(&self) -> String {
         format!(
-            "seed={} trace={} clock_base={} budget={} fault={}",
+            "seed={} trace={} clock_base={} budget={} fault={} stream={}",
             self.seed,
             self.trace,
             self.clock_base.get(),
             self.budget.map_or_else(|| "-".into(), |b| b.to_string()),
             self.fault.as_ref().map_or_else(|| "-".into(), |f| f.label()),
+            self.stream.map_or_else(|| "-".into(), |w| w.to_string()),
         )
     }
 
@@ -189,7 +208,8 @@ impl RunOptions {
     /// everything else default. Phase drivers (CB passes, sorting rounds,
     /// routing cycles) run many short-lived machines whose registries,
     /// budgets and clock bases are managed by the driver itself — only the
-    /// adversary, the seed, the shard count and the observability tier
+    /// adversary, the seed, the streaming window, the shard count and the
+    /// observability tier
     /// propagate down (shards are result-invariant, so propagating them is
     /// pure parallelism; the tier caps whatever registry the driver
     /// attaches, so a run observed at `counters` does not re-widen in its
@@ -200,6 +220,7 @@ impl RunOptions {
             fault: self.fault.clone(),
             shards: self.shards,
             obs_tier: self.obs_tier,
+            stream: self.stream,
             ..RunOptions::default()
         }
     }
@@ -348,12 +369,18 @@ mod tests {
     fn canonical_covers_result_affecting_fields_only() {
         assert_eq!(
             RunOptions::new().canonical(),
-            "seed=0 trace=false clock_base=0 budget=- fault=-"
+            "seed=0 trace=false clock_base=0 budget=- fault=- stream=-"
         );
         let opts = RunOptions::new().seed(7).traced().at(Steps(100)).budget(50);
         assert_eq!(
             opts.canonical(),
-            "seed=7 trace=true clock_base=100 budget=50 fault=-"
+            "seed=7 trace=true clock_base=100 budget=50 fault=- stream=-"
+        );
+        // The streaming window changes per-superstep cost, so it must move
+        // the cache key.
+        assert_eq!(
+            opts.clone().streamed(64).canonical(),
+            "seed=7 trace=true clock_base=100 budget=50 fault=- stream=64"
         );
         // The registry is observability-only: attaching one must not move
         // the cache key.
@@ -401,7 +428,22 @@ mod tests {
             }
         }
         let opts = RunOptions::new().faults(Arc::new(Tagged));
-        assert!(opts.canonical().ends_with("fault=seed=9,jitter=uniform:6"));
+        assert!(opts
+            .canonical()
+            .ends_with("fault=seed=9,jitter=uniform:6 stream=-"));
+    }
+
+    #[test]
+    fn stream_window_clamps_and_rides_subphases() {
+        assert_eq!(RunOptions::new().streamed(0).stream, Some(1));
+        let opts = RunOptions::new().streamed(8);
+        assert_eq!(opts.stream, Some(8));
+        assert_eq!(
+            opts.subphase().stream,
+            Some(8),
+            "streaming is result-affecting like the adversary: it propagates"
+        );
+        assert_eq!(RunOptions::new().subphase().stream, None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Minimal epoll + eventfd bindings for the nonblocking front end.
 //!
-//! The workspace vendors no `libc`, so the five syscalls the event loop
-//! needs are declared here directly against the C ABI. This is the one
+//! The workspace vendors no `libc`, so the handful of syscalls the event
+//! loop needs are declared here directly against the C ABI. This is the one
 //! module in the crate allowed to contain `unsafe`; everything it exports
 //! is a safe wrapper owning its file descriptor ([`Epoll`], [`EventFd`])
 //! plus the handful of `EPOLL*` interest bits the loop uses.
@@ -53,6 +53,20 @@ extern "C" {
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
         -> c_int;
     fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+}
+
+/// Re-issue `listen(2)` on an already-listening socket to widen its
+/// accept backlog. `std`'s `TcpListener::bind` hardcodes 128, which a
+/// storm of simultaneous connects overflows — overflowed handshakes
+/// complete client-side but park in `SYN_RECV` server-side until a
+/// SYN-ACK retransmit timer fires, adding seconds of latency the event
+/// loop never sees. Linux applies the new backlog to an already-listening
+/// socket; the kernel caps it at `net.core.somaxconn`.
+pub fn widen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
+    // SAFETY: `fd` is a live socket owned by the caller; `listen` only
+    // inspects it.
+    cvt(unsafe { listen(fd, backlog as c_int) }).map(drop)
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {

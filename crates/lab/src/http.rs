@@ -11,14 +11,19 @@
 //! by file descriptors, not threads: thousands of simultaneous clients
 //! cost one `Conn` struct each, while at most `workers` grids compute.
 //!
-//! Every response is `Connection: close` — one request per connection,
-//! the smallest protocol subset that serves concurrent clients correctly.
-//! A connection is a little state machine: **Reading** (accumulate bytes
-//! until the request is complete), **Running** (a worker owns the
-//! response), **Writing** (drain the response until done or
-//! `WouldBlock`). Connections idle in Reading/Writing past
-//! `IDLE_TIMEOUT` are reaped, so stalled or half-open peers cannot leak
-//! descriptors.
+//! Connections are persistent per HTTP/1.1: a request without
+//! `Connection: close` keeps the connection open after the response, and
+//! because requests are framed by `Content-Length` a client may pipeline
+//! — buffered bytes beyond one request are kept and dispatched as soon as
+//! the previous response drains. A connection is a little state machine:
+//! **Reading** (accumulate bytes until the request is complete),
+//! **Running** (a worker owns the response), **Writing** (drain the
+//! response until done or `WouldBlock`), then back to Reading on
+//! keep-alive. Responses are counted and their latency observed the
+//! moment the last byte is written (request-received to
+//! response-written), not at close. Connections idle in Reading/Writing
+//! past `IDLE_TIMEOUT` are reaped, so stalled or half-open peers cannot
+//! leak descriptors.
 //!
 //! Routes:
 //!
@@ -287,6 +292,8 @@ impl Server {
 struct RunJob {
     token: u64,
     req: RunRequest,
+    /// Framing the worker must bake into the response bytes.
+    keep_alive: bool,
 }
 
 /// Start serving `service` on `addr` (e.g. `"127.0.0.1:0"`). The event
@@ -297,6 +304,10 @@ pub fn serve(addr: &str, service: Arc<Service>, workers: usize) -> io::Result<Se
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    // Widen the accept backlog past std's 128 so a concurrent-connect
+    // storm establishes promptly instead of parking in SYN_RECV. Best
+    // effort: the server works (slower under storms) at the default.
+    let _ = crate::epoll::widen_backlog(listener.as_raw_fd(), 4096);
     let workers = workers.max(1);
     let stop = Arc::new(AtomicBool::new(false));
     let wake = Arc::new(EventFd::new()?);
@@ -322,7 +333,7 @@ pub fn serve(addr: &str, service: Arc<Service>, workers: usize) -> io::Result<Se
             completions
                 .lock()
                 .expect("completions poisoned")
-                .push((job.token, response_bytes(status, &body)));
+                .push((job.token, response_bytes(status, &body, job.keep_alive)));
             let _ = wake.ring();
         }));
     }
@@ -375,8 +386,13 @@ struct Conn {
     buf: Vec<u8>,
     out: Vec<u8>,
     written: usize,
+    /// When the in-flight request was fully received (serve latency is
+    /// request-received → response-written); accept time until then.
     t0: Instant,
     last_activity: Instant,
+    /// Whether the in-flight request asked to keep the connection open
+    /// (HTTP/1.1 default; `Connection: close` or HTTP/1.0 opt out).
+    keep_alive: bool,
 }
 
 impl Conn {
@@ -390,6 +406,7 @@ impl Conn {
             written: 0,
             t0: now,
             last_activity: now,
+            keep_alive: false,
         }
     }
 }
@@ -398,6 +415,10 @@ impl Conn {
 enum Action {
     Keep,
     Close { responded: bool },
+    /// A keep-alive response was fully written: count it, return the
+    /// connection to Reading, and dispatch any pipelined request already
+    /// buffered.
+    Responded,
 }
 
 #[allow(clippy::too_many_lines)]
@@ -432,7 +453,7 @@ fn event_loop(
                 token => {
                     let Some(conn) = conns.get_mut(&token) else { continue };
                     let action = handle_conn_event(conn, bits, token, &epoll, &service, &work_tx);
-                    finish(action, token, &mut conns, &epoll, &service);
+                    finish(action, token, &mut conns, &epoll, &service, &work_tx);
                 }
             }
         }
@@ -448,7 +469,7 @@ fn event_loop(
                 continue; // client vanished mid-run; drop the response
             };
             let action = start_writing(conn, bytes, token, &epoll);
-            finish(action, token, &mut conns, &epoll, &service);
+            finish(action, token, &mut conns, &epoll, &service, &work_tx);
         }
 
         // Reap connections idle in Reading/Writing (half-open peers,
@@ -462,7 +483,14 @@ fn event_loop(
             .map(|(&t, _)| t)
             .collect();
         for token in idle {
-            finish(Action::Close { responded: false }, token, &mut conns, &epoll, &service);
+            finish(
+                Action::Close { responded: false },
+                token,
+                &mut conns,
+                &epoll,
+                &service,
+                &work_tx,
+            );
         }
 
         if stop.load(Ordering::SeqCst) {
@@ -517,28 +545,61 @@ fn accept_ready(
     }
 }
 
-/// Apply `action`: on close, deregister and drop the connection (closing
-/// its descriptor) and count the response latency if one was written.
+/// Apply `action`. On close, deregister and drop the connection (closing
+/// its descriptor), counting the response if one was written. On
+/// `Responded` (keep-alive), count the response, return the connection to
+/// Reading, and immediately dispatch the next pipelined request if one is
+/// already buffered — looping, since that request may complete in turn.
 fn finish(
-    action: Action,
+    mut action: Action,
     token: u64,
     conns: &mut HashMap<u64, Conn>,
     epoll: &Epoll,
     service: &Service,
+    work_tx: &Sender<RunJob>,
 ) {
-    let Action::Close { responded } = action else { return };
-    if let Some(conn) = conns.remove(&token) {
-        let _ = epoll.del(conn.stream.as_raw_fd());
-        service.stats.closed.fetch_add(1, Ordering::Relaxed);
-        if responded {
-            service.stats.responses.fetch_add(1, Ordering::Relaxed);
-            service
-                .registry
-                .observe(Hist::ServeLatency, conn.t0.elapsed().as_micros() as u64);
+    loop {
+        match action {
+            Action::Keep => return,
+            Action::Close { responded } => {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = epoll.del(conn.stream.as_raw_fd());
+                    service.stats.closed.fetch_add(1, Ordering::Relaxed);
+                    if responded {
+                        count_response(service, &conn);
+                    }
+                    // `conn.stream` drops here, closing the fd — the only
+                    // close path, so every accepted descriptor is
+                    // released exactly once.
+                }
+                return;
+            }
+            Action::Responded => {
+                let Some(conn) = conns.get_mut(&token) else { return };
+                count_response(service, conn);
+                conn.state = ConnState::Reading;
+                conn.out.clear();
+                conn.written = 0;
+                let now = Instant::now();
+                conn.t0 = now;
+                conn.last_activity = now;
+                let _ = epoll.modify(conn.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token);
+                match try_dispatch(conn, token, epoll, service, work_tx) {
+                    None => return, // no complete pipelined request yet
+                    Some(a) => action = a,
+                }
+            }
         }
-        // `conn.stream` drops here, closing the fd — the only close path,
-        // so every accepted descriptor is released exactly once.
     }
+}
+
+/// Count a fully-written response and observe its latency (request
+/// received → last byte written).
+fn count_response(service: &Service, conn: &Conn) {
+    service.stats.responses.fetch_add(1, Ordering::Relaxed);
+    service
+        .registry
+        .observe(Hist::ServeLatency, conn.t0.elapsed().as_micros() as u64);
 }
 
 fn handle_conn_event(
@@ -594,15 +655,18 @@ fn try_dispatch(
         Ok(Some(head)) => head,
         Ok(None) => {
             if conn.buf.len() > MAX_HEAD {
+                conn.keep_alive = false; // unframed: cannot resync the stream
                 return Some(respond(conn, token, epoll, "400 Bad Request", &err_body("request head too large")));
             }
             return None;
         }
         Err(e) => {
+            conn.keep_alive = false;
             return Some(respond(conn, token, epoll, "400 Bad Request", &err_body(&e)));
         }
     };
     if head.content_length > MAX_BODY {
+        conn.keep_alive = false; // the oversized body is never read
         return Some(respond(conn, token, epoll, "400 Bad Request", &err_body("request body too large")));
     }
     if conn.buf.len() < head.head_end + head.content_length {
@@ -610,6 +674,11 @@ fn try_dispatch(
     }
     let body_bytes = &conn.buf[head.head_end..head.head_end + head.content_length];
     let body = String::from_utf8_lossy(body_bytes).into_owned();
+    // The request is complete: consume its bytes (pipelined successors
+    // stay buffered), adopt its framing, and start its latency clock.
+    conn.buf.drain(..head.head_end + head.content_length);
+    conn.keep_alive = head.keep_alive;
+    conn.t0 = Instant::now();
 
     let (path, query) = match head.target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -638,7 +707,8 @@ fn try_dispatch(
                 // pipelined bytes). ERR/HUP still arrive unrequested.
                 conn.state = ConnState::Running;
                 let _ = epoll.modify(conn.stream.as_raw_fd(), 0, token);
-                if work_tx.send(RunJob { token, req }).is_err() {
+                let keep_alive = conn.keep_alive;
+                if work_tx.send(RunJob { token, req, keep_alive }).is_err() {
                     // Shutdown race: workers are gone.
                     return Some(respond(
                         conn,
@@ -656,9 +726,11 @@ fn try_dispatch(
     })
 }
 
-/// Attach a response and start draining it.
+/// Attach a response (framed for the connection's keep-alive decision)
+/// and start draining it.
 fn respond(conn: &mut Conn, token: u64, epoll: &Epoll, status: &str, body: &str) -> Action {
-    start_writing(conn, response_bytes(status, body), token, epoll)
+    let bytes = response_bytes(status, body, conn.keep_alive);
+    start_writing(conn, bytes, token, epoll)
 }
 
 fn start_writing(conn: &mut Conn, bytes: Vec<u8>, token: u64, epoll: &Epoll) -> Action {
@@ -674,8 +746,9 @@ fn start_writing(conn: &mut Conn, bytes: Vec<u8>, token: u64, epoll: &Epoll) -> 
     action
 }
 
-/// Drain `conn.out`. Close-with-response when fully written; keep (armed
-/// for EPOLLOUT) on `WouldBlock`; close silently on a write error.
+/// Drain `conn.out`. Fully written → `Responded` (keep-alive) or
+/// close-with-response; keep (armed for EPOLLOUT) on `WouldBlock`; close
+/// silently on a write error.
 fn flush_out(conn: &mut Conn, _token: u64, _epoll: &Epoll) -> Action {
     while conn.written < conn.out.len() {
         match conn.stream.write(&conn.out[conn.written..]) {
@@ -690,7 +763,11 @@ fn flush_out(conn: &mut Conn, _token: u64, _epoll: &Epoll) -> Action {
         }
     }
     let _ = conn.stream.flush();
-    Action::Close { responded: true }
+    if conn.keep_alive {
+        Action::Responded
+    } else {
+        Action::Close { responded: true }
+    }
 }
 
 /// A parsed request head.
@@ -700,11 +777,15 @@ struct Head {
     content_length: usize,
     /// Byte offset where the body starts.
     head_end: usize,
+    /// Whether the request asks for a persistent connection: the
+    /// HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only with
+    /// an explicit `Connection: keep-alive`.
+    keep_alive: bool,
 }
 
 /// Find the end of the head (`\r\n\r\n`, or bare `\n\n` from sloppy
-/// clients) and parse the request line + `Content-Length`. `Ok(None)` =
-/// incomplete; `Err` = malformed.
+/// clients) and parse the request line + `Content-Length` +
+/// `Connection`. `Ok(None)` = incomplete; `Err` = malformed.
 fn parse_head(buf: &[u8]) -> Result<Option<Head>, String> {
     let head_end = match find_head_end(buf) {
         Some(end) => end,
@@ -718,21 +799,28 @@ fn parse_head(buf: &[u8]) -> Result<Option<Head>, String> {
         (Some(m), Some(t)) => (m.to_string(), t.to_string()),
         _ => return Err("malformed request line".into()),
     };
+    let http10 = parts.next() == Some("HTTP/1.0");
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for line in lines {
-        if let Some(v) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-        {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:").map(str::trim) {
             content_length = v.parse().map_err(|_| "bad content-length".to_string())?;
+        } else if let Some(v) = lower.strip_prefix("connection:").map(str::trim) {
+            connection = v.to_string();
         }
     }
+    let keep_alive = if http10 {
+        connection == "keep-alive"
+    } else {
+        connection != "close"
+    };
     Ok(Some(Head {
         method,
         target,
         content_length,
         head_end,
+        keep_alive,
     }))
 }
 
@@ -743,9 +831,10 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
 }
 
-fn response_bytes(status: &str, body: &str) -> Vec<u8> {
+fn response_bytes(status: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut out = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     )
     .into_bytes();
@@ -1062,5 +1151,17 @@ mod tests {
         // A complete head with no request line is malformed, not pending.
         assert!(parse_head(b"\r\n\r\n").is_err());
         assert!(parse_head(b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn keep_alive_follows_the_version_defaults() {
+        let ka = |head: &[u8]| parse_head(head).unwrap().unwrap().keep_alive;
+        // HTTP/1.1 persists by default; `Connection: close` opts out.
+        assert!(ka(b"GET /status HTTP/1.1\r\n\r\n"));
+        assert!(!ka(b"GET /status HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(ka(b"GET /status HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n"));
+        // HTTP/1.0 closes by default; keep-alive is an explicit opt-in.
+        assert!(!ka(b"GET /status HTTP/1.0\r\n\r\n"));
+        assert!(ka(b"GET /status HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
     }
 }

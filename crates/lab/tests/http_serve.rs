@@ -145,6 +145,144 @@ fn http_serves_eight_concurrent_query_clients() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A persistent connection: sends framed requests and reads framed
+/// responses, carrying leftover pipelined bytes between reads.
+struct KeepAliveClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: std::net::SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("timeout");
+        KeepAliveClient { stream, buf: Vec::new() }
+    }
+
+    fn request_bytes(method: &str, path: &str, body: &str, close: bool) -> Vec<u8> {
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: lab\r\nContent-Length: {}{}\r\n\r\n{body}",
+            body.len(),
+            if close { "\r\nConnection: close" } else { "" }
+        )
+        .into_bytes()
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &str, close: bool) {
+        self.stream
+            .write_all(&Self::request_bytes(method, path, body, close))
+            .expect("send");
+    }
+
+    /// Read one response; returns (status, connection header, body).
+    fn recv(&mut self) -> (String, String, String) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "eof before response head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let header = |name: &str| -> Option<String> {
+            head.lines().find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix(&format!("{name}:"))
+                    .map(|v| v.trim().to_string())
+            })
+        };
+        let len: usize = header("content-length")
+            .expect("content-length")
+            .parse()
+            .expect("numeric length");
+        while self.buf.len() < head_end + len {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "eof mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let status = head
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or("")
+            .to_string();
+        let body = String::from_utf8_lossy(&self.buf[head_end..head_end + len]).to_string();
+        self.buf.drain(..head_end + len);
+        (status, header("connection").unwrap_or_default(), body)
+    }
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_sequential_and_pipelined_requests() {
+    let dir = tmpdir("keepalive");
+    let code = CodeFingerprint::from_parts("http-test-api", "0");
+    let store = ShardedStore::open(&dir, 1, code, OnStale::Error).unwrap();
+    let service = Arc::new(Service::new(store, Registry::enabled(1), vec![Box::new(Square)]));
+    let server = serve("127.0.0.1:0", Arc::clone(&service), 2).unwrap();
+    let addr = server.addr();
+
+    let mut c = KeepAliveClient::connect(addr);
+
+    // Sequential reuse: HTTP/1.1 without `Connection: close` persists.
+    for _ in 0..3 {
+        c.send("GET", "/status", "", false);
+        let (status, connection, _) = c.recv();
+        assert_eq!(status, "200");
+        assert_eq!(connection, "keep-alive");
+    }
+
+    // Pipelining: three requests written back-to-back, three complete
+    // responses in order.
+    let mut burst = Vec::new();
+    burst.extend(KeepAliveClient::request_bytes("GET", "/status", "", false));
+    burst.extend(KeepAliveClient::request_bytes("GET", "/metrics", "", false));
+    burst.extend(KeepAliveClient::request_bytes("GET", "/cells?exp=square", "", false));
+    c.stream.write_all(&burst).expect("pipelined burst");
+    let (s1, _, b1) = c.recv();
+    let (s2, _, b2) = c.recv();
+    let (s3, _, b3) = c.recv();
+    assert_eq!((s1.as_str(), s2.as_str(), s3.as_str()), ("200", "200", "200"));
+    assert!(b1.contains("\"cells\""), "{b1}");
+    assert!(b2.contains("\"scheduler\""), "{b2}");
+    assert!(b3.contains("\"exp\":\"square\""), "{b3}");
+
+    // The connection survives a worker-pool round trip (Running state).
+    c.send("POST", "/run", "{\"exp\":\"square\",\"smoke\":true}", false);
+    let (status, connection, body) = c.recv();
+    assert_eq!(status, "200", "{body}");
+    assert_eq!(connection, "keep-alive");
+    assert!(body.contains("\"cells\":4"), "{body}");
+    c.send("GET", "/status", "", false);
+    assert_eq!(c.recv().0, "200");
+
+    // Everything so far rode one accepted connection.
+    c.send("GET", "/metrics", "", false);
+    let (_, _, metrics) = c.recv();
+    let accepted: u64 = metrics
+        .split("\"accepted\":")
+        .nth(1)
+        .and_then(|r| r.split(|ch: char| !ch.is_ascii_digit()).next())
+        .and_then(|d| d.parse().ok())
+        .expect("accepted counter");
+    assert_eq!(accepted, 1, "{metrics}");
+
+    // An explicit `Connection: close` is honored: final response, then EOF.
+    c.send("GET", "/status", "", true);
+    let (status, connection, _) = c.recv();
+    assert_eq!(status, "200");
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    c.stream.read_to_end(&mut rest).expect("drain to eof");
+    assert!(rest.is_empty(), "bytes after close: {rest:?}");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn run_then_query_round_trips_payloads() {
     let dir = tmpdir("roundtrip");

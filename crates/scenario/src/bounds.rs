@@ -25,6 +25,9 @@
 //! | `conformance` | faulted ≥ clean; clean ≥ 1; routers: clean ≥ (h−1)·G+L |
 //! | `stack`       | t_abstract ≥ rounds·(L̂+2o); t_hosted ≥ t_abstract; t_grounded ≥ rounds |
 //! | `measure`     | k6 view: per-sample T ≥ ⌈h / indeg⌉; fit-only views not audited |
+//! | `sort`        | cost ≥ ideal = 3b + p(p−1) + g·(p(p−1)+p+b) + 4ℓ, b=⌈n/p⌉; ratio ≥ 1; xsim ≥ native |
+//! | `stream`      | native ≥ sort ideal; streamed ≥ native; rounds ≥ supersteps |
+//! | `bsf`         | simulated ≥ iters·(t_s+2t_t+⌈units/p⌉·t_w) and ≥ iters·(t_s+(p+1)·t_t); predicted ≥ simulated; speedup ≤ p |
 //!
 //! The fit-summary views (`main`/`scaling`/`obs1`) report least-squares
 //! coefficients, for which no per-row bound is provable — they are
@@ -139,6 +142,18 @@ pub fn audit_conformance_row(
     out
 }
 
+/// The bucket-balanced ideal cost of the 4-superstep sample-sort schedule
+/// (`bvl_workloads::ideal_sort_cost`, re-derived here so the auditor stays
+/// self-contained): with `b = ⌈n/p⌉` balanced blocks,
+/// `3b + p(p−1) + g·(p(p−1) + p + b) + 4ℓ`. Every measured term dominates
+/// its balanced counterpart, so measured cost below this is a simulator bug.
+fn ideal_sort_bound(p: usize, n: u64, g: u64, l: u64) -> f64 {
+    let p = p as u64;
+    let b = n.div_ceil(p);
+    let samples = p * (p - 1);
+    (3 * b + samples + g * (samples + p + b) + 4 * l) as f64
+}
+
 fn audit_cell(work: &Work, domain: &str, index: usize, rows: &[Vec<String>], out: &mut Vec<Violation>) {
     match work {
         Work::Measure { net, view, .. } => {
@@ -219,6 +234,101 @@ fn audit_cell(work: &Work, domain: &str, index: usize, rows: &[Vec<String>], out
                         audit_conformance_row(sim.as_str(), *h, clean as u64, faulted as u64)
                     {
                         lens.flag(what);
+                    }
+                }
+            }
+        }
+        Work::Sort { p, n, g, l, .. } => {
+            let bound = ideal_sort_bound(*p, *n, *g, *l);
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                // Columns: [p, n, cost(2), ideal, ratio(4), work, comm, sync,
+                //           xsim(8), native(9), slowdown, envelope, sorted]
+                lens.at_least(
+                    2,
+                    "cost",
+                    bound,
+                    "every measured superstep term dominates its bucket-balanced ideal",
+                );
+                lens.at_least(4, "ratio", 1.0, "measured cost over the balanced ideal is at least 1");
+                if let Some(native) = lens.num(9, "native total") {
+                    lens.at_least(
+                        8,
+                        "xsim total",
+                        native,
+                        "a BSP-on-LogP simulation cannot beat the native BSP cost",
+                    );
+                }
+            }
+        }
+        Work::Stream { p, n, g, l, .. } => {
+            let bound = ideal_sort_bound(*p, *n, *g, *l);
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                // Columns: [p, n, window, native(3), streamed(4), rounds(5),
+                //           supersteps(6), overhead, sorted]
+                lens.at_least(
+                    3,
+                    "native cost",
+                    bound,
+                    "every measured superstep term dominates its bucket-balanced ideal",
+                );
+                if let Some(native) = lens.num(3, "native cost") {
+                    lens.at_least(
+                        4,
+                        "streamed cost",
+                        native,
+                        "streaming only adds synchronization rounds, it cannot save cost",
+                    );
+                }
+                if let Some(supersteps) = lens.num(6, "supersteps") {
+                    lens.at_least(
+                        5,
+                        "rounds",
+                        supersteps,
+                        "every superstep pays at least one synchronization round",
+                    );
+                }
+            }
+        }
+        Work::Bsf {
+            workers,
+            units,
+            tt,
+            tw,
+            ts,
+            iters,
+        } => {
+            let p = *workers as u64;
+            // The two provable per-iteration floors: the last-landing chunk
+            // must still be computed and collected, and the master's serial
+            // send/collect loop alone takes (p+1) transfers on the critical
+            // path to the final collect.
+            let per_iter = (ts + 2 * tt + units.div_ceil(p) * tw).max(ts + (p + 1) * tt);
+            let bound = (*iters * per_iter) as f64;
+            for row in rows {
+                let mut lens = RowLens { row, out, domain, index };
+                // Columns: [workers, units, simulated(2), predicted(3),
+                //           ratio, speedup(5), p*]
+                lens.at_least(
+                    2,
+                    "simulated",
+                    bound,
+                    "the critical chunk and the serial master loop floor every iteration",
+                );
+                if let Some(simulated) = lens.num(2, "simulated") {
+                    lens.at_least(
+                        3,
+                        "predicted",
+                        simulated,
+                        "the closed form gives away send/compute overlap, never claims it",
+                    );
+                }
+                if let Some(speedup) = lens.num(5, "speedup") {
+                    if speedup > *workers as f64 + EPS {
+                        lens.flag(format!(
+                            "speedup = {speedup} exceeds the worker count {workers} — superlinear farms are impossible in the model"
+                        ));
                     }
                 }
             }
@@ -340,6 +450,83 @@ mod tests {
         let v = grid_for(work, vec![fit, broken]);
         assert_eq!(v.len(), 1);
         assert!(v[0].what.contains("T(h)"), "{}", v[0]);
+    }
+
+    #[test]
+    fn sort_rows_respect_the_balanced_ideal() {
+        let work = Work::Sort {
+            p: 8,
+            n: 512,
+            g: 2,
+            l: 16,
+            seed: 0,
+        };
+        // b = 64, samples = 56: ideal = 192 + 56 + 2·(56+8+64) + 64 = 568.
+        assert_eq!(ideal_sort_bound(8, 512, 2, 16), 568.0);
+        let ok = s(&[
+            "8", "512", "580", "568", "1.02", "200", "300", "80", "2400", "580", "4.14", "9280.00",
+            "yes",
+        ]);
+        assert!(grid_for(work.clone(), vec![ok]).is_empty());
+        let below_ideal = s(&[
+            "8", "512", "567", "568", "1.00", "200", "287", "80", "2400", "567", "4.23", "9280.00",
+            "yes",
+        ]);
+        let v = grid_for(work.clone(), vec![below_ideal]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("cost"), "{}", v[0]);
+        let xsim_beats_native = s(&[
+            "8", "512", "580", "568", "1.02", "200", "300", "80", "579", "580", "1.00", "9280.00",
+            "yes",
+        ]);
+        let v = grid_for(work, vec![xsim_beats_native]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("xsim"), "{}", v[0]);
+    }
+
+    #[test]
+    fn stream_rows_cannot_save_cost_by_streaming() {
+        let work = Work::Stream {
+            p: 8,
+            n: 512,
+            window: 8,
+            g: 2,
+            l: 16,
+            seed: 0,
+        };
+        let ok = s(&["8", "512", "8", "580", "740", "14", "4", "1.28", "yes"]);
+        assert!(grid_for(work.clone(), vec![ok]).is_empty());
+        let streamed_faster = s(&["8", "512", "8", "580", "579", "14", "4", "1.00", "yes"]);
+        let v = grid_for(work.clone(), vec![streamed_faster]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("streamed"), "{}", v[0]);
+        let rounds_below = s(&["8", "512", "8", "580", "740", "3", "4", "1.28", "yes"]);
+        let v = grid_for(work, vec![rounds_below]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("rounds"), "{}", v[0]);
+    }
+
+    #[test]
+    fn bsf_rows_respect_the_iteration_floor() {
+        let work = Work::Bsf {
+            workers: 4,
+            units: 100,
+            tt: 2,
+            tw: 8,
+            ts: 5,
+            iters: 3,
+        };
+        // per-iter floor: max(5 + 4 + 25·8, 5 + 5·2) = 209 → ×3 = 627.
+        let ok = s(&["4", "100", "627", "651", "1.04", "3.87", "10.00"]);
+        assert!(grid_for(work.clone(), vec![ok]).is_empty());
+        let too_fast = s(&["4", "100", "626", "651", "1.04", "3.87", "10.00"]);
+        let v = grid_for(work.clone(), vec![too_fast]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("simulated"), "{}", v[0]);
+        let superlinear = s(&["4", "100", "627", "651", "1.04", "4.01", "10.00"]);
+        let v = grid_for(work, vec![superlinear]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("superlinear"), "{}", v[0]);
     }
 
     #[test]

@@ -315,6 +315,53 @@ pub enum Work {
         /// Measurement + run seed.
         seed: u64,
     },
+    /// Sample-sort study cell (E-SORT): native BSP leg plus the Theorem 2
+    /// cross-simulation leg, with the 1-optimality ratio per cell.
+    Sort {
+        /// Processors (`p = 2^k ≥ 2`).
+        p: usize,
+        /// Total keys.
+        n: u64,
+        /// BSP gap `g` (LogP `G` on the cross-simulation leg).
+        g: u64,
+        /// BSP periodicity `ℓ` (LogP `L`).
+        l: u64,
+        /// Key-generation master seed (per-processor `SeedStream` lanes).
+        seed: u64,
+    },
+    /// Pseudo-streaming study cell (E-STREAM): the sort workload run
+    /// classically and through a bounded working set of `window` messages
+    /// per processor per synchronization round.
+    Stream {
+        /// Processors (`p = 2^k ≥ 2`).
+        p: usize,
+        /// Total keys.
+        n: u64,
+        /// Streaming window (messages per processor per round).
+        window: u64,
+        /// BSP gap `g`.
+        g: u64,
+        /// BSP periodicity `ℓ`.
+        l: u64,
+        /// Key-generation master seed.
+        seed: u64,
+    },
+    /// BSF master-worker cell (E-BSF): event-wise simulated farm vs the
+    /// model's closed-form prediction, speedup and scalability boundary.
+    Bsf {
+        /// Worker count (master not counted).
+        workers: usize,
+        /// Work units per iteration.
+        units: u64,
+        /// Transfer time `t_t`.
+        tt: u64,
+        /// Compute time `t_w` per unit.
+        tw: u64,
+        /// Per-iteration setup `t_s`.
+        ts: u64,
+        /// Iterations.
+        iters: u64,
+    },
 }
 
 fn mode_token(mode: PortMode) -> &'static str {
@@ -421,6 +468,29 @@ impl Work {
             }
             Work::Stack { net, rounds, seed } => {
                 format!("stack net={net} rounds={rounds} seed={seed}")
+            }
+            Work::Sort { p, n, g, l, seed } => {
+                format!("sort p={p} n={n} g={g} l={l} seed={seed}")
+            }
+            Work::Stream {
+                p,
+                n,
+                window,
+                g,
+                l,
+                seed,
+            } => {
+                format!("stream p={p} n={n} window={window} g={g} l={l} seed={seed}")
+            }
+            Work::Bsf {
+                workers,
+                units,
+                tt,
+                tw,
+                ts,
+                iters,
+            } => {
+                format!("bsf workers={workers} units={units} tt={tt} tw={tw} ts={ts} iters={iters}")
             }
         }
     }

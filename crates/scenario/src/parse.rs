@@ -319,7 +319,7 @@ fn require_plan(src: &str, attrs: &mut Attrs<'_>, key: &str) -> Result<Option<Fa
 
 fn parse_cell(src: &str, stmt: &Statement) -> Result<CellDoc, ParseError> {
     let kind = stmt.tokens.get(1).ok_or_else(|| {
-        err(src, stmt.offset, "cell statement needs a kind (measure | host | route | route-big | superstep | conformance | stack)")
+        err(src, stmt.offset, "cell statement needs a kind (measure | host | route | route-big | superstep | conformance | stack | sort | stream | bsf)")
     })?;
     if kind.value.is_some() {
         return Err(err(src, kind.offset, "cell kind takes no value"));
@@ -465,11 +465,51 @@ fn parse_cell(src: &str, stmt: &Statement) -> Result<CellDoc, ParseError> {
             let seed = require_u64(src, &mut attrs, "seed")?;
             Work::Stack { net, rounds, seed }
         }
+        "sort" => {
+            let p = require_usize(src, &mut attrs, "p")?;
+            let n = require_u64(src, &mut attrs, "n")?;
+            let g = require_u64(src, &mut attrs, "g")?;
+            let l = require_u64(src, &mut attrs, "l")?;
+            let seed = require_u64(src, &mut attrs, "seed")?;
+            Work::Sort { p, n, g, l, seed }
+        }
+        "stream" => {
+            let p = require_usize(src, &mut attrs, "p")?;
+            let n = require_u64(src, &mut attrs, "n")?;
+            let window = require_u64(src, &mut attrs, "window")?;
+            let g = require_u64(src, &mut attrs, "g")?;
+            let l = require_u64(src, &mut attrs, "l")?;
+            let seed = require_u64(src, &mut attrs, "seed")?;
+            Work::Stream {
+                p,
+                n,
+                window,
+                g,
+                l,
+                seed,
+            }
+        }
+        "bsf" => {
+            let workers = require_usize(src, &mut attrs, "workers")?;
+            let units = require_u64(src, &mut attrs, "units")?;
+            let tt = require_u64(src, &mut attrs, "tt")?;
+            let tw = require_u64(src, &mut attrs, "tw")?;
+            let ts = require_u64(src, &mut attrs, "ts")?;
+            let iters = require_u64(src, &mut attrs, "iters")?;
+            Work::Bsf {
+                workers,
+                units,
+                tt,
+                tw,
+                ts,
+                iters,
+            }
+        }
         other => {
             return Err(err(
                 src,
                 kind.offset,
-                format!("unknown cell kind '{other}' (measure | host | route | route-big | superstep | conformance | stack)"),
+                format!("unknown cell kind '{other}' (measure | host | route | route-big | superstep | conformance | stack | sort | stream | bsf)"),
             ))
         }
     };

@@ -191,7 +191,36 @@ fn work() -> impl Strategy<Value = Work> {
         rounds,
         seed,
     });
-    prop_oneof![measure, host, route, route_big, superstep, conformance, stack]
+    let sort = (1u32..5, 16u64..4096, 2u64..5, 16u64..64, 0u64..1000).prop_map(
+        |(logp, n, g, l, seed)| Work::Sort {
+            p: 1usize << logp,
+            n,
+            g,
+            l,
+            seed,
+        },
+    );
+    let stream = (1u32..5, 16u64..4096, 1u64..64, 2u64..5, 16u64..64, 0u64..1000).prop_map(
+        |(logp, n, window, g, l, seed)| Work::Stream {
+            p: 1usize << logp,
+            n,
+            window,
+            g,
+            l,
+            seed,
+        },
+    );
+    let bsf = (1usize..32, 1u64..1000, 1u64..8, 1u64..8, 0u64..8, 1u64..8).prop_map(
+        |(workers, units, tt, tw, ts, iters)| Work::Bsf {
+            workers,
+            units,
+            tt,
+            tw,
+            ts,
+            iters,
+        },
+    );
+    prop_oneof![measure, host, route, route_big, superstep, conformance, stack, sort, stream, bsf]
 }
 
 fn option_of<S: Strategy + 'static>(inner: S) -> impl Strategy<Value = Option<S::Value>> {

@@ -1,0 +1,315 @@
+//! The BSF (Bulk Synchronous Farm) master-worker machine.
+//!
+//! Ezhova–Sokolinsky's BSF model restricts BSP to the master-worker
+//! skeleton that dominates cluster practice: each iteration, a master
+//! *sequentially* distributes one chunk of work to each of `p` workers
+//! (cost `t_t` per transfer), the workers compute their chunks in parallel
+//! (`t_w` per unit), and the master sequentially collects the `p` results
+//! (`t_t` each), plus a per-iteration setup `t_s`. The model's closed-form
+//! iteration time ignores the overlap between later sends and earlier
+//! computes:
+//!
+//! ```text
+//! T_pred(p) = t_s + 2·p·t_t + ⌈units/p⌉·t_w
+//! ```
+//!
+//! [`BsfMachine`] implements the finer *event-wise* semantics — worker `i`
+//! starts as soon as its own transfer lands, and the master collects each
+//! result as soon as both it and the master are free — as a third
+//! [`Executor`] beside the BSP and LogP machines (one step = one
+//! iteration). By construction the simulated time never exceeds the
+//! prediction, and the two converge as compute dominates transfer; the
+//! model's headline predictions ride along:
+//!
+//! * **speedup** `T(1)/T(p)`, provably ≤ `p`;
+//! * the **scalability boundary** `p* = √(units·t_w / (2·t_t))`, the
+//!   worker count past which the master's serial transfer loop beats the
+//!   parallel compute gain and adding workers slows the farm down.
+//!
+//! The machine is RNG-free and single-threaded deterministic, so its rows
+//! are shard- and thread-invariant trivially.
+
+use bvl_exec::{drive, Executor, RunOutcome};
+use bvl_model::{ModelError, Steps};
+
+/// BSF machine parameters (all times in abstract steps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BsfParams {
+    /// Worker count `p` (the master is not counted).
+    pub workers: usize,
+    /// Work units distributed per iteration.
+    pub units: u64,
+    /// Transfer time `t_t`: master ↔ one worker, one chunk or result.
+    pub tt: u64,
+    /// Compute time `t_w` per work unit.
+    pub tw: u64,
+    /// Per-iteration setup time `t_s`.
+    pub ts: u64,
+    /// Iterations to run.
+    pub iters: u64,
+}
+
+impl BsfParams {
+    /// Validated constructor: `workers ≥ 1`, `units ≥ 1`, `t_t ≥ 1`,
+    /// `t_w ≥ 1`, `iters ≥ 1` (`t_s` may be zero).
+    pub fn new(
+        workers: usize,
+        units: u64,
+        tt: u64,
+        tw: u64,
+        ts: u64,
+        iters: u64,
+    ) -> Result<BsfParams, ModelError> {
+        if workers < 1 {
+            return Err(ModelError::InvalidParams("BSF needs at least one worker".into()));
+        }
+        if units < 1 || tt < 1 || tw < 1 || iters < 1 {
+            return Err(ModelError::InvalidParams(
+                "BSF needs units >= 1, tt >= 1, tw >= 1, iters >= 1".into(),
+            ));
+        }
+        Ok(BsfParams {
+            workers,
+            units,
+            tt,
+            tw,
+            ts,
+            iters,
+        })
+    }
+
+    /// Worker `i`'s chunk: `⌊units/p⌋` plus one of the `units mod p`
+    /// remainder units for the lowest-indexed workers.
+    pub fn chunk(&self, i: usize) -> u64 {
+        let p = self.workers as u64;
+        self.units / p + u64::from((i as u64) < self.units % p)
+    }
+
+    /// The model's closed-form iteration time
+    /// `t_s + 2·p·t_t + ⌈units/p⌉·t_w` (no send/compute overlap).
+    pub fn predicted_iteration(&self) -> u64 {
+        let p = self.workers as u64;
+        self.ts + 2 * p * self.tt + self.units.div_ceil(p) * self.tw
+    }
+
+    /// Predicted total over all iterations.
+    pub fn predicted_total(&self) -> u64 {
+        self.iters * self.predicted_iteration()
+    }
+
+    /// Event-wise iteration time: the master's sends are serial (`i`-th
+    /// transfer lands at `t_s + (i+1)·t_t`), each worker computes as soon
+    /// as its chunk lands, and the master collects result `i` as soon as
+    /// worker `i` has finished *and* the master is free — overlap the
+    /// closed form gives away. Provably ≤ [`BsfParams::predicted_iteration`].
+    pub fn simulated_iteration(&self) -> u64 {
+        let mut send_done = self.ts;
+        let mut finish = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            send_done += self.tt;
+            finish.push(send_done + self.chunk(i) * self.tw);
+        }
+        let mut recv = 0u64;
+        for f in finish {
+            recv = recv.max(f) + self.tt;
+        }
+        recv
+    }
+
+    /// The scalability boundary `p* = √(units·t_w / (2·t_t))`: the
+    /// continuous minimizer of the predicted curve. Past it, the master's
+    /// `2·p·t_t` serial loop grows faster than the `units/p·t_w` compute
+    /// shrinks, and adding workers slows the farm.
+    pub fn optimal_workers(&self) -> f64 {
+        ((self.units * self.tw) as f64 / (2 * self.tt) as f64).sqrt()
+    }
+
+    /// The same farm with a different worker count (for speedup curves).
+    #[must_use]
+    pub fn with_workers(&self, workers: usize) -> BsfParams {
+        BsfParams {
+            workers: workers.max(1),
+            ..*self
+        }
+    }
+}
+
+/// The BSF master-worker machine: a deterministic [`Executor`] whose unit
+/// of work is one full distribute–compute–collect iteration.
+#[derive(Clone, Debug)]
+pub struct BsfMachine {
+    params: BsfParams,
+    done: u64,
+    makespan: Steps,
+}
+
+impl BsfMachine {
+    /// Build a machine over validated parameters.
+    pub fn new(params: BsfParams) -> BsfMachine {
+        BsfMachine {
+            params,
+            done: 0,
+            makespan: Steps::ZERO,
+        }
+    }
+
+    /// The machine parameters.
+    pub fn params(&self) -> &BsfParams {
+        &self.params
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations(&self) -> u64 {
+        self.done
+    }
+
+    /// Drive the farm to completion through the shared run loop.
+    pub fn run(&mut self) -> Result<RunOutcome, ModelError> {
+        drive(self, self.params.iters)
+    }
+}
+
+impl Executor for BsfMachine {
+    fn step(&mut self) -> Result<bool, ModelError> {
+        if self.done >= self.params.iters {
+            return Ok(false);
+        }
+        self.makespan += Steps(self.params.simulated_iteration());
+        self.done += 1;
+        Ok(true)
+    }
+
+    fn halted(&self) -> bool {
+        self.done >= self.params.iters
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            makespan: self.makespan,
+            // One chunk out and one result back per worker per iteration.
+            delivered: self.done * 2 * self.params.workers as u64,
+            work: self.done * self.params.units,
+            halted: self.halted(),
+        }
+    }
+}
+
+/// The measured-vs-predicted outcome of one BSF cell.
+#[derive(Clone, Copy, Debug)]
+pub struct BsfStudy {
+    /// Event-wise simulated makespan.
+    pub simulated: u64,
+    /// Closed-form predicted makespan, ≥ `simulated`.
+    pub predicted: u64,
+    /// `predicted / simulated` — ≥ 1, → 1 as compute dominates transfer.
+    pub ratio: f64,
+    /// Simulated speedup `T(1) / T(p)`, provably ≤ `p`.
+    pub speedup: f64,
+    /// The scalability boundary `p*`.
+    pub optimal_workers: f64,
+}
+
+/// Run one BSF cell: simulate the farm at `params.workers` and at one
+/// worker, and report the model's predictions next to the measurements.
+pub fn run_bsf(params: &BsfParams) -> Result<BsfStudy, ModelError> {
+    let mut farm = BsfMachine::new(*params);
+    let out = farm.run()?;
+    let mut solo = BsfMachine::new(params.with_workers(1));
+    let solo_out = solo.run()?;
+    let simulated = out.makespan.get();
+    let predicted = params.predicted_total();
+    Ok(BsfStudy {
+        simulated,
+        predicted,
+        ratio: predicted as f64 / simulated as f64,
+        speedup: solo_out.makespan.get() as f64 / simulated as f64,
+        optimal_workers: params.optimal_workers(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(workers: usize, units: u64) -> BsfParams {
+        BsfParams::new(workers, units, 2, 8, 5, 3).unwrap()
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(BsfParams::new(0, 8, 1, 1, 0, 1).is_err());
+        assert!(BsfParams::new(4, 0, 1, 1, 0, 1).is_err());
+        assert!(BsfParams::new(4, 8, 0, 1, 0, 1).is_err());
+        assert!(BsfParams::new(4, 8, 1, 1, 0, 0).is_err());
+        assert!(BsfParams::new(4, 8, 1, 1, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn chunks_partition_the_units() {
+        let p = params(4, 10);
+        let total: u64 = (0..4).map(|i| p.chunk(i)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(p.chunk(0), 3);
+        assert_eq!(p.chunk(3), 2);
+    }
+
+    #[test]
+    fn simulation_never_exceeds_the_prediction() {
+        for workers in [1, 2, 3, 7, 16] {
+            for units in [1, 16, 160, 1000] {
+                let p = params(workers, units);
+                assert!(
+                    p.simulated_iteration() <= p.predicted_iteration(),
+                    "overlap can only help: p={workers} units={units}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_converges_as_compute_dominates() {
+        // tt fixed, tw·units/p growing: the serial transfer loop the
+        // closed form double-counts becomes negligible.
+        let coarse = BsfParams::new(4, 40_000, 2, 8, 5, 1).unwrap();
+        let study = run_bsf(&coarse).unwrap();
+        assert!(study.ratio >= 1.0);
+        assert!(study.ratio < 1.01, "ratio {} should be ≈ 1", study.ratio);
+    }
+
+    #[test]
+    fn speedup_is_bounded_by_worker_count() {
+        for workers in [1, 2, 4, 8, 32] {
+            let study = run_bsf(&params(workers, 640)).unwrap();
+            assert!(study.speedup <= workers as f64 + 1e-9);
+            assert!(study.speedup >= 1.0 || workers == 1);
+        }
+    }
+
+    #[test]
+    fn scalability_boundary_shows_in_the_curve() {
+        // units·tw/(2tt) = 64·4/(2·2) = 64 → p* = 8: the predicted curve
+        // must dip at 8 relative to both far sides.
+        let base = BsfParams::new(8, 64, 2, 4, 0, 1).unwrap();
+        assert!((base.optimal_workers() - 8.0).abs() < 1e-9);
+        let at = |p: usize| base.with_workers(p).predicted_iteration();
+        assert!(at(8) < at(2));
+        assert!(at(8) < at(32), "past p* the serial master dominates");
+    }
+
+    #[test]
+    fn executor_contract_and_determinism() {
+        let p = params(4, 100);
+        let mut m = BsfMachine::new(p);
+        assert!(!m.halted());
+        let out = m.run().unwrap();
+        assert!(out.halted);
+        assert_eq!(out.work, 300, "3 iterations × 100 units");
+        assert_eq!(out.delivered, 3 * 2 * 4);
+        assert_eq!(out.makespan, Steps(3 * p.simulated_iteration()));
+        // Stepping past completion quiesces rather than erroring.
+        assert!(!m.step().unwrap());
+        // Bit-identical on re-run: the machine is deterministic.
+        let again = BsfMachine::new(p).run().unwrap();
+        assert_eq!(again, out);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pseudo-streaming supersteps: the bounded-memory study.
+//!
+//! Buurlage-style pseudo-streaming keeps a superstep's working set fixed:
+//! instead of routing a whole h-relation and synchronizing once, the
+//! relation streams through a window of at most `window` messages per
+//! processor, synchronizing after every round — `⌈h/window⌉` rounds, each
+//! paying `ℓ`. The knob is [`bvl_exec::RunOptions::streamed`], so *any*
+//! existing workload runs in streaming mode unchanged; this module drives
+//! the sample-sort workload through it and quantifies the overhead
+//! against the classical one-shot execution:
+//!
+//! ```text
+//! streamed = native + ℓ · (rounds − supersteps)
+//! ```
+//!
+//! an identity the study verifies exactly (both runs are deterministic on
+//! the same seed), alongside output equality — streaming changes *when*
+//! synchronization happens, never *what* is computed.
+
+use crate::sort::{run_sort, SortConfig, SortStudy};
+use bvl_exec::RunOptions;
+use bvl_model::ModelError;
+
+/// One cell of the streaming study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// The underlying sort workload.
+    pub sort: SortConfig,
+    /// Streaming window: messages per processor per round.
+    pub window: u64,
+}
+
+/// Outcome of one streaming cell: the same workload measured classically
+/// and through the window.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamStudy {
+    /// Classical (one-shot h-relation) cost.
+    pub native: u64,
+    /// Cost with the relation streamed through the window.
+    pub streamed: u64,
+    /// Synchronization rounds paid by the streamed run (≥ supersteps).
+    pub rounds: u64,
+    /// Supersteps (identical in both runs).
+    pub supersteps: u64,
+    /// `streamed / native` — the bounded-memory overhead, ≥ 1.
+    pub overhead: f64,
+    /// Output verification from both underlying runs.
+    pub sorted_ok: bool,
+    /// The streamed leg's full study (1-optimality under streaming).
+    pub study: SortStudy,
+}
+
+/// Run one streaming cell: the sort workload classically, then streamed,
+/// on identical keys. `opts` must not itself carry a streaming window —
+/// the cell owns that knob.
+pub fn run_stream(cfg: &StreamConfig, opts: &RunOptions) -> Result<StreamStudy, ModelError> {
+    if opts.stream.is_some() {
+        return Err(ModelError::InvalidParams(
+            "run_stream owns the streaming window; pass unstreamed options".into(),
+        ));
+    }
+    let native = run_sort(&cfg.sort, opts)?;
+    let streamed = run_sort(&cfg.sort, &opts.clone().streamed(cfg.window))?;
+    // Both runs execute the identical superstep schedule, so the round
+    // count falls out of the cost identity: every extra round costs ℓ.
+    let extra = (streamed.bsp.cost - native.bsp.cost) / cfg.sort.l;
+    Ok(StreamStudy {
+        native: native.bsp.cost,
+        streamed: streamed.bsp.cost,
+        rounds: native.bsp.supersteps + extra,
+        supersteps: native.bsp.supersteps,
+        overhead: streamed.bsp.cost as f64 / native.bsp.cost as f64,
+        sorted_ok: native.sorted_ok && streamed.sorted_ok,
+        study: streamed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: u64) -> StreamConfig {
+        StreamConfig {
+            sort: SortConfig {
+                p: 8,
+                n: 512,
+                g: 2,
+                l: 16,
+                seed: 9,
+            },
+            window,
+        }
+    }
+
+    #[test]
+    fn narrow_windows_cost_more() {
+        let wide = run_stream(&cfg(10_000), &RunOptions::new()).unwrap();
+        let narrow = run_stream(&cfg(8), &RunOptions::new()).unwrap();
+        assert!(wide.sorted_ok && narrow.sorted_ok);
+        // A window larger than any relation reproduces the classical run.
+        assert_eq!(wide.streamed, wide.native);
+        assert_eq!(wide.rounds, wide.supersteps);
+        assert!((wide.overhead - 1.0).abs() < 1e-9);
+        // A narrow window pays for its extra rounds, and only in ℓ.
+        assert!(narrow.streamed > narrow.native);
+        assert!(narrow.rounds > narrow.supersteps);
+        assert_eq!(
+            narrow.streamed - narrow.native,
+            (narrow.rounds - narrow.supersteps) * 16,
+            "every extra round costs exactly one ℓ"
+        );
+    }
+
+    #[test]
+    fn pre_streamed_options_are_rejected() {
+        let err = run_stream(&cfg(8), &RunOptions::new().streamed(4));
+        assert!(err.is_err());
+    }
+}

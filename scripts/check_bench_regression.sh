@@ -36,6 +36,14 @@
 # the binary gates its own same-host acceptance and exits non-zero on
 # failure. Skipped with a notice when no baseline is committed.
 #
+# Gate 6 checks the committed BENCH_sort.json records a passing sample-
+# sort acceptance block (every cell sorted, cross-simulation under the
+# Theorem 2 envelope), audits it through the generic `lab audit --bench`
+# acceptance path, and re-runs `exp_sort --smoke` in a scratch directory —
+# the binary gates its own sortedness/envelope acceptance and exits
+# non-zero on failure. Skipped with a notice when no baseline is
+# committed.
+#
 # The committed BENCH_engine.json is restored afterwards; regenerating the
 # baselines themselves is `scripts/regen_experiments.sh`'s job.
 set -euo pipefail
@@ -45,6 +53,7 @@ baseline=$(mktemp)
 faults_work=""
 obs_work=""
 serve_work=""
+sort_work=""
 cp BENCH_engine.json "$baseline"
 restore() {
     cp "$baseline" BENCH_engine.json
@@ -52,6 +61,7 @@ restore() {
     if [[ -n "$faults_work" ]]; then rm -rf "$faults_work"; fi
     if [[ -n "$obs_work" ]]; then rm -rf "$obs_work"; fi
     if [[ -n "$serve_work" ]]; then rm -rf "$serve_work"; fi
+    if [[ -n "$sort_work" ]]; then rm -rf "$sort_work"; fi
 }
 trap restore EXIT
 
@@ -256,3 +266,50 @@ repo_root=$PWD
 echo "bench_serve gate: PASS (front end holds its smoke acceptance on this host)"
 
 fi # BENCH_serve.json gate
+
+# Gate 6: the committed BENCH_sort.json must record a passing sample-sort
+# acceptance block — every cell sorted, every cross-simulation under its
+# Theorem 2 envelope, and the worst 1-optimality ratio at or above the
+# recorded floor. The per-cell costs are virtual-time quantities, but the
+# committed grid belongs to a fixed seed set, so nothing is diffed here;
+# `lab audit --bench` re-checks the acceptance gates and `exp_sort
+# --smoke` re-proves the study in a scratch directory (it self-gates
+# sortedness and the envelope and exits non-zero on failure). Skipped
+# with a notice when no baseline is committed.
+if [[ ! -f BENCH_sort.json ]]; then
+    echo "notice: no committed BENCH_sort.json baseline; skipping sample-sort gate"
+else
+
+python3 - <<'PY'
+import json, sys
+
+acc = json.load(open("BENCH_sort.json"))["acceptance"]
+fail = False
+if not acc.get("pass", False):
+    print("FAIL sort: committed BENCH_sort.json records a failing acceptance block")
+    fail = True
+for gate in ("sorted_ok", "envelope_ok"):
+    if not acc.get(gate, False):
+        print(f"FAIL sort: committed baseline has {gate} = false")
+        fail = True
+floor = acc.get("ratio_floor", 1.0)
+worst = acc.get("worst_ratio", 0.0)
+if worst < floor:
+    print(f"FAIL sort: worst 1-optimality ratio {worst} below the floor {floor}")
+    fail = True
+if fail:
+    sys.exit(1)
+print(f'PASS sort baseline: {acc["cells"]} cells, all sorted, '
+      f'worst ratio {worst:.2f} (floor {floor:.2f}), envelope holds')
+PY
+
+cargo run -q --release -p bvl-bench --bin lab -- audit --bench BENCH_sort.json
+
+sort_work=$(mktemp -d)
+repo_root=$PWD
+(cd "$sort_work" && \
+    cargo run -q --release --manifest-path "$repo_root/Cargo.toml" \
+        -p bvl-bench --bin exp_sort -- --smoke >/dev/null)
+echo "exp_sort gate: PASS (sample-sort acceptance holds on this host)"
+
+fi # BENCH_sort.json gate

@@ -4,7 +4,9 @@
 set -euo pipefail
 out=$(mktemp)
 one=$(mktemp)
-for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation stack faults; do
+# A full exp_sort run also rewrites the BENCH_sort.json baseline (gate 6
+# of scripts/check_bench_regression.sh) as a side effect.
+for b in table1 thm1 cb thm2 thm3 stalling anomalies xover partition radix ablation stack faults sort stream bsf; do
   echo "### Output: exp_$b" >> "$out"
   echo '```' >> "$out"
   # Fail loudly: a non-zero exit from any experiment aborts the whole
